@@ -1,0 +1,26 @@
+//! End-to-end simulation cost per paper workload at test scale: how long
+//! regenerating each figure's data points takes per workload, for both the
+//! base and the switch-directory machine.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use dresar::TransientReadPolicy;
+use dresar_bench::{run_one, suite};
+use dresar_workloads::Scale;
+
+fn bench_workloads(c: &mut Criterion) {
+    let benches = suite(Scale::Tiny);
+    let mut g = c.benchmark_group("simulate");
+    g.sample_size(10);
+    for b in &benches {
+        g.bench_function(format!("{}_base", b.label), |bch| {
+            bch.iter(|| black_box(run_one(b, None, TransientReadPolicy::Retry)));
+        });
+        g.bench_function(format!("{}_sd1k", b.label), |bch| {
+            bch.iter(|| black_box(run_one(b, Some(1024), TransientReadPolicy::Retry)));
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_workloads);
+criterion_main!(benches);

@@ -1,0 +1,76 @@
+//! Quality ablations for the DRESAR design choices (DESIGN.md §3):
+//!
+//! * TRANSIENT-read policy: the paper's Retry choice vs the rejected
+//!   bit-vector Accumulate alternative;
+//! * pending-buffer capacity (§4.3): unlimited vs 16 vs 1 vs effectively
+//!   disabled;
+//! * directory associativity: the paper's 4-way vs direct-mapped;
+//! * switch radix: 8x8 two-stage vs 4x4 four-stage (more, smaller switch
+//!   directories closer to the processors).
+//!
+//! Usage: `ablations [tiny|reduced|paper]`.
+
+use dresar::system::{RunOptions, System};
+use dresar::TransientReadPolicy;
+use dresar_bench::scale_from_args;
+use dresar_types::config::{SwitchDirConfig, SystemConfig};
+use dresar_types::Workload;
+use dresar_workloads::scientific;
+
+struct Variant {
+    name: &'static str,
+    cfg: SystemConfig,
+    policy: TransientReadPolicy,
+}
+
+fn variants() -> Vec<Variant> {
+    let base = SystemConfig::paper_table2();
+    let mk = |name, cfg, policy| Variant { name, cfg, policy };
+    let with_sd = |f: &dyn Fn(&mut SwitchDirConfig)| {
+        let mut c = base;
+        let mut sd = SwitchDirConfig::paper_default();
+        f(&mut sd);
+        c.switch_dir = Some(sd);
+        c
+    };
+    vec![
+        mk("paper default (retry, 4-way, pend=16)", base, TransientReadPolicy::Retry),
+        mk("accumulate readers", base, TransientReadPolicy::Accumulate),
+        mk("pending buffer = 1", with_sd(&|sd| sd.pending_buffer_entries = 1), TransientReadPolicy::Retry),
+        mk("pending buffer = 64", with_sd(&|sd| sd.pending_buffer_entries = 64), TransientReadPolicy::Retry),
+        mk("direct-mapped directory", with_sd(&|sd| sd.ways = 1), TransientReadPolicy::Retry),
+        mk("8-way directory", with_sd(&|sd| sd.ways = 8), TransientReadPolicy::Retry),
+        mk("4x4 switches (4 stages)", { let mut c = base; c.switch.radix = 2; c }, TransientReadPolicy::Retry),
+        mk("no switch directory (base)", SystemConfig::paper_base(), TransientReadPolicy::Retry),
+    ]
+}
+
+fn main() {
+    let scale = scale_from_args();
+    let workloads: Vec<(&str, Workload)> = vec![
+        ("FFT", scientific::fft(16, scale.fft_points())),
+        ("SOR", scientific::sor(16, scale.grid_n().min(192), 2)),
+    ];
+    for (wname, w) in &workloads {
+        println!("\n=== {wname} ({} refs) ===", w.total_refs());
+        println!(
+            "{:40} {:>9} {:>9} {:>9} {:>10} {:>9}",
+            "variant", "homeCC", "swCC", "retries", "avg lat", "exec"
+        );
+        for v in variants() {
+            let r = System::new(v.cfg, w).run(RunOptions {
+                transient_policy: v.policy,
+                ..RunOptions::default()
+            });
+            println!(
+                "{:40} {:>9} {:>9} {:>9} {:>10.1} {:>9}",
+                v.name,
+                r.reads.ctoc_home,
+                r.reads.ctoc_switch,
+                r.reads.retries,
+                r.avg_read_latency(),
+                r.cycles
+            );
+        }
+    }
+}

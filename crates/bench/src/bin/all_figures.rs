@@ -1,0 +1,83 @@
+//! Regenerates the full evaluation: Figures 1, 2, 8, 9, 10, 11 plus the
+//! Table 2/3 parameter dump, in one run, emitting EXPERIMENTS.md-style
+//! markdown on stdout.
+//!
+//! Usage: `all_figures [tiny|reduced|paper]` (default `reduced`).
+
+use dresar::TransientReadPolicy;
+use dresar_bench::{full_sweep, run_one, scale_from_args, suite, Sweep};
+use dresar_stats::percent_reduction;
+use dresar_trace_sim::TraceSimulator;
+use dresar_types::config::TraceSimConfig;
+use dresar_workloads::commercial;
+
+fn reduction_row(s: &Sweep, metric: impl Fn(&dresar_bench::Metrics) -> f64) -> String {
+    let base = metric(&s.base);
+    let cells: Vec<String> = s
+        .sized
+        .iter()
+        .map(|(_, m)| format!("{:.1}", percent_reduction(base, metric(m))))
+        .collect();
+    format!("| {} | {} |", s.label, cells.join(" | "))
+}
+
+fn main() {
+    let scale = scale_from_args();
+    let t0 = std::time::Instant::now();
+    println!("# dresar evaluation (scale = {scale:?})\n");
+
+    // ---- Figure 1 ------------------------------------------------------
+    println!("## Figure 1 — clean vs dirty read fractions (base machine)\n");
+    println!("| workload | read misses | clean % | dirty CtoC % |");
+    println!("|----------|------------:|--------:|-------------:|");
+    let benches = suite(scale);
+    for b in &benches {
+        let m = run_one(b, None, TransientReadPolicy::Retry);
+        let total = m.reads.total().max(1) as f64;
+        println!(
+            "| {} | {} | {:.1} | {:.1} |",
+            b.label,
+            m.reads.total(),
+            100.0 * m.reads.clean as f64 / total,
+            100.0 * m.reads.dirty_fraction()
+        );
+    }
+
+    // ---- Figure 2 ------------------------------------------------------
+    println!("\n## Figure 2 — TPC-C block access skew\n");
+    let tpcc = commercial::tpcc(16, scale.commercial_refs(), 0xD2E5_A25E);
+    let mut sim = TraceSimulator::new(TraceSimConfig::paper_base());
+    sim.collect_histogram();
+    let rep = sim.run(&tpcc);
+    let h = rep.histogram.unwrap();
+    println!(
+        "blocks touched = {}, read misses = {}, CtoC transfers = {}, top-10% CtoC coverage = {:.1}% (paper: ~88%)",
+        h.blocks_touched(),
+        h.total_misses(),
+        h.total_ctocs(),
+        100.0 * h.ctoc_coverage_of_top(0.10)
+    );
+
+    // ---- Figures 8-11 --------------------------------------------------
+    let sweeps = full_sweep(scale);
+    let header = "| workload | 256 | 512 | 1K | 2K |\n|----------|----:|----:|---:|---:|";
+
+    println!("\n## Figure 8 — reduction in home-node CtoC transfers (% vs base)\n\n{header}");
+    for s in &sweeps {
+        println!("{}", reduction_row(s, |m| m.home_ctoc()));
+    }
+    println!("\n## Figure 9 — reduction in average read latency (% vs base)\n\n{header}");
+    for s in &sweeps {
+        println!("{}", reduction_row(s, |m| m.avg_read_latency()));
+    }
+    println!("\n## Figure 10 — reduction in read stall time (% vs base)\n\n{header}");
+    for s in &sweeps {
+        println!("{}", reduction_row(s, |m| m.read_stall()));
+    }
+    println!("\n## Figure 11 — reduction in execution time (% vs base)\n\n{header}");
+    for s in &sweeps {
+        println!("{}", reduction_row(s, |m| m.exec()));
+    }
+
+    println!("\n_Total regeneration time: {:.1}s_", t0.elapsed().as_secs_f64());
+}

@@ -1,0 +1,33 @@
+//! Figure 1: fraction of reads serviced clean-from-memory vs dirty
+//! cache-to-cache, for the five scientific applications (execution-driven)
+//! and the two commercial workloads (trace-driven).
+
+use dresar::TransientReadPolicy;
+use dresar_bench::{run_one, scale_from_args, suite};
+use dresar_stats::FigureTable;
+
+fn main() {
+    let scale = scale_from_args();
+    let mut table = FigureTable::new(
+        format!("Figure 1: Fraction of Clean vs. Dirty Memory Reads (scale={scale:?})"),
+        vec!["clean %".into(), "dirty CtoC %".into(), "read misses".into()],
+        "percent of read misses",
+    );
+    for b in suite(scale) {
+        // Figure 1 characterizes the *base* machine (no switch directory).
+        let m = run_one(&b, None, TransientReadPolicy::Retry);
+        let total = m.reads.total().max(1) as f64;
+        table.push_row(
+            b.label,
+            vec![
+                100.0 * m.reads.clean as f64 / total,
+                100.0 * m.reads.dirty_fraction(),
+                total,
+            ],
+        );
+    }
+    println!("{}", table.render());
+    println!(
+        "Paper bands: FFT/SOR 60-70% dirty; TC/FWA/GAUSS 15-30%; TPC-C ~38%; TPC-D ~62%."
+    );
+}

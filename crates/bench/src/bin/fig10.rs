@@ -1,0 +1,24 @@
+//! Figure 10: reduction in read stall time, normalized to the base
+//! machine, across switch-directory sizes 256–2048.
+
+use dresar_bench::{full_sweep, scale_from_args};
+use dresar_stats::{percent_reduction, FigureTable};
+
+fn main() {
+    let scale = scale_from_args();
+    let mut table = FigureTable::new(
+        format!("Figure 10: Reduction in the Read Stall Time (scale={scale:?})"),
+        vec!["256".into(), "512".into(), "1K".into(), "2K".into()],
+        "% reduction vs base",
+    );
+    for s in full_sweep(scale) {
+        let vals = s
+            .sized
+            .iter()
+            .map(|(_, m)| percent_reduction(s.base.read_stall(), m.read_stall()))
+            .collect();
+        table.push_row(s.label, vals);
+    }
+    println!("{}", table.render());
+    println!("Paper: stall reductions track Figure 9, slightly amplified.");
+}

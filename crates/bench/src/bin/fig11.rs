@@ -1,0 +1,24 @@
+//! Figure 11: reduction in execution time, normalized to the base machine,
+//! across switch-directory sizes 256–2048.
+
+use dresar_bench::{full_sweep, scale_from_args};
+use dresar_stats::{percent_reduction, FigureTable};
+
+fn main() {
+    let scale = scale_from_args();
+    let mut table = FigureTable::new(
+        format!("Figure 11: Execution Time Reduction (scale={scale:?})"),
+        vec!["256".into(), "512".into(), "1K".into(), "2K".into()],
+        "% reduction vs base",
+    );
+    for s in full_sweep(scale) {
+        let vals = s
+            .sized
+            .iter()
+            .map(|(_, m)| percent_reduction(s.base.exec(), m.exec()))
+            .collect();
+        table.push_row(s.label, vals);
+    }
+    println!("{}", table.render());
+    println!("Paper: SOR up to 9%, FFT/TC ~4%, TPC-C ~4%, TPC-D ~2%, others negligible.");
+}

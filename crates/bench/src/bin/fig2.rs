@@ -1,0 +1,38 @@
+//! Figure 2: cumulative distribution of read misses and cache-to-cache
+//! transfers over blocks (sorted by decreasing misses per block) for the
+//! TPC-C workload on the trace-driven simulator.
+
+use dresar_bench::scale_from_args;
+use dresar_trace_sim::TraceSimulator;
+use dresar_types::config::TraceSimConfig;
+use dresar_workloads::commercial;
+
+fn main() {
+    let scale = scale_from_args();
+    let workload = commercial::tpcc(16, scale.commercial_refs(), 0xD2E5_A25E);
+    let mut sim = TraceSimulator::new(TraceSimConfig::paper_base());
+    sim.collect_histogram();
+    let report = sim.run(&workload);
+    let h = report.histogram.expect("histogram collected");
+
+    println!("Figure 2: Access Frequency of TPC-C Blocks (scale={scale:?})");
+    println!(
+        "blocks touched = {}, read misses = {}, CtoC transfers = {}",
+        h.blocks_touched(),
+        h.total_misses(),
+        h.total_ctocs()
+    );
+    println!("{:>10} {:>12} {:>12}", "top-N", "misses %", "CtoCs %");
+    for pt in h.cumulative(20) {
+        println!(
+            "{:>10} {:>11.1}% {:>11.1}%",
+            pt.block_rank,
+            100.0 * pt.miss_fraction,
+            100.0 * pt.ctoc_fraction
+        );
+    }
+    println!(
+        "\ntop 10% of blocks cover {:.1}% of CtoC transfers (paper: ~88%)",
+        100.0 * h.ctoc_coverage_of_top(0.10)
+    );
+}

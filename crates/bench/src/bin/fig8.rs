@@ -1,0 +1,24 @@
+//! Figure 8: reduction in home-node cache-to-cache transfers, normalized
+//! to the base machine, across switch-directory sizes 256–2048.
+
+use dresar_bench::{full_sweep, scale_from_args};
+use dresar_stats::{percent_reduction, FigureTable};
+
+fn main() {
+    let scale = scale_from_args();
+    let mut table = FigureTable::new(
+        format!("Figure 8: Reduction in Home Node CtoC Transfers (scale={scale:?})"),
+        vec!["256".into(), "512".into(), "1K".into(), "2K".into()],
+        "% reduction vs base",
+    );
+    for s in full_sweep(scale) {
+        let vals = s
+            .sized
+            .iter()
+            .map(|(_, m)| percent_reduction(s.base.home_ctoc(), m.home_ctoc()))
+            .collect();
+        table.push_row(s.label, vals);
+    }
+    println!("{}", table.render());
+    println!("Paper: FFT 66%, TC 68%, others 42-52%, TPC-C up to 51%, TPC-D 17%; 1K is the knee.");
+}

@@ -1,0 +1,24 @@
+//! Figure 9: reduction in average read latency, normalized to the base
+//! machine, across switch-directory sizes 256–2048.
+
+use dresar_bench::{full_sweep, scale_from_args};
+use dresar_stats::{percent_reduction, FigureTable};
+
+fn main() {
+    let scale = scale_from_args();
+    let mut table = FigureTable::new(
+        format!("Figure 9: Reduction in the Average Read Latency (scale={scale:?})"),
+        vec!["256".into(), "512".into(), "1K".into(), "2K".into()],
+        "% reduction vs base",
+    );
+    for s in full_sweep(scale) {
+        let vals = s
+            .sized
+            .iter()
+            .map(|(_, m)| percent_reduction(s.base.avg_read_latency(), m.avg_read_latency()))
+            .collect();
+        table.push_row(s.label, vals);
+    }
+    println!("{}", table.render());
+    println!("Paper: scientific 8-23%, TPC-C up to 10%, TPC-D up to 5%.");
+}

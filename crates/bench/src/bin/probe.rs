@@ -1,0 +1,44 @@
+//! Calibration probe: prints the raw Figure 1/8/9/10/11 inputs for every
+//! workload at the chosen scale, for sanity-checking the reproduction
+//! against the paper's bands before the figure binaries format them.
+
+use dresar::TransientReadPolicy;
+use dresar_bench::{run_one, scale_from_args, suite};
+
+fn main() {
+    let scale = scale_from_args();
+    println!("scale = {scale:?}");
+    println!(
+        "{:8} {:>10} {:>8} {:>8} {:>8} {:>8} | {:>9} {:>9} {:>9} {:>7}",
+        "workload", "reads", "dirty%", "homeCC", "swCC", "sdhit%", "lat_base", "lat_sd", "exec_red%", "stall_red%"
+    );
+    for b in suite(scale) {
+        let t0 = std::time::Instant::now();
+        let base = run_one(&b, None, TransientReadPolicy::Retry);
+        let with = run_one(&b, Some(1024), TransientReadPolicy::Retry);
+        let dirty_pct = 100.0 * base.reads.dirty_fraction();
+        let sd_serve_pct = if with.reads.dirty() > 0 {
+            100.0 * with.reads.ctoc_switch as f64 / with.reads.dirty() as f64
+        } else {
+            0.0
+        };
+        let exec_red = 100.0 * (base.exec() - with.exec()) / base.exec().max(1.0);
+        let stall_red = 100.0 * (base.read_stall() - with.read_stall()) / base.read_stall().max(1.0);
+        let cc_red = 100.0 * (base.home_ctoc() - with.home_ctoc()) / base.home_ctoc().max(1.0);
+        println!(
+            "{:8} {:>10} {:>7.1}% {:>8} {:>8} {:>7.1}% | {:>9.1} {:>9.1} {:>8.2}% {:>8.2}%  ccred={:.1}%  ({:.1}s)",
+            b.label,
+            base.reads.total(),
+            dirty_pct,
+            with.reads.ctoc_home,
+            with.reads.ctoc_switch,
+            sd_serve_pct,
+            base.avg_read_latency(),
+            with.avg_read_latency(),
+            exec_red,
+            stall_red,
+            cc_red,
+            t0.elapsed().as_secs_f64(),
+        );
+    }
+}

@@ -1,0 +1,194 @@
+//! # dresar-bench
+//!
+//! The evaluation harness: everything needed to regenerate the paper's
+//! tables and figures.
+//!
+//! Binaries (all accept an optional scale argument `tiny|reduced|paper`,
+//! default `reduced`):
+//!
+//! * `fig1` — clean vs dirty read fractions per workload (Figure 1);
+//! * `fig2` — cumulative miss/CtoC distribution over blocks for TPC-C
+//!   (Figure 2);
+//! * `fig8`–`fig11` — normalized reductions (home-node CtoC transfers,
+//!   average read latency, read stall time, execution time) across
+//!   switch-directory sizes 256–2048 (Figures 8–11);
+//! * `params` — prints the Table 2 / Table 3 configurations in use;
+//! * `dresar_cycle_budget` — the §4.2/§4.3 port-scheduling budget check
+//!   (Figures 5–7 arithmetic);
+//! * `all_figures` — runs everything and emits an EXPERIMENTS.md-style
+//!   report.
+//!
+//! Criterion benches: `switchdir_micro` (snoop/insert throughput),
+//! `crossbar` (flit-level arbitration), `figures` (end-to-end per-workload
+//! simulation cost) and `ablations` (design-choice comparisons).
+
+use dresar::system::{RunOptions, System};
+use dresar::TransientReadPolicy;
+use dresar_stats::ReadStats;
+use dresar_trace_sim::TraceSimulator;
+use dresar_types::config::{SwitchDirConfig, SystemConfig, TraceSimConfig};
+use dresar_types::Workload;
+use dresar_workloads::Scale;
+use rayon::prelude::*;
+
+/// Figure-relevant metrics extracted from either simulator.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Metrics {
+    /// Read statistics.
+    pub reads: ReadStats,
+    /// Execution time in cycles.
+    pub exec_cycles: u64,
+    /// Switch-directory read hits (0 for base).
+    pub sd_hits: u64,
+}
+
+impl Metrics {
+    /// Home-node cache-to-cache transfers (Figure 8 metric).
+    pub fn home_ctoc(&self) -> f64 {
+        self.reads.ctoc_home as f64
+    }
+
+    /// Average read-miss latency (Figure 9 metric).
+    pub fn avg_read_latency(&self) -> f64 {
+        self.reads.avg_latency()
+    }
+
+    /// Read stall cycles (Figure 10 metric).
+    pub fn read_stall(&self) -> f64 {
+        self.reads.stall_cycles as f64
+    }
+
+    /// Execution time (Figure 11 metric).
+    pub fn exec(&self) -> f64 {
+        self.exec_cycles as f64
+    }
+}
+
+/// A workload paired with the simulator that evaluates it (the paper runs
+/// scientific applications execution-driven and commercial traces
+/// trace-driven).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Driver {
+    /// Execution-driven 16-node system (Table 2).
+    Execution,
+    /// Trace-driven constant-latency model (Table 3).
+    Trace,
+}
+
+/// One evaluated workload.
+pub struct Bench {
+    /// Display name matching the paper's figures.
+    pub label: &'static str,
+    /// The reference streams.
+    pub workload: Workload,
+    /// Which simulator drives it.
+    pub driver: Driver,
+}
+
+/// The paper's seven-workload evaluation suite at a given scale.
+pub fn suite(scale: Scale) -> Vec<Bench> {
+    let p = 16;
+    let sci = dresar_workloads::scientific_suite(p, scale);
+    let mut out: Vec<Bench> = sci
+        .into_iter()
+        .zip(["FFT", "TC", "SOR", "FWA", "GAUSS"])
+        .map(|(workload, label)| Bench { label, workload, driver: Driver::Execution })
+        .collect();
+    for (workload, label) in
+        dresar_workloads::commercial_suite(p, scale, 0xD2E5_A25E).into_iter().zip(["TPC-C", "TPC-D"])
+    {
+        out.push(Bench { label, workload, driver: Driver::Trace });
+    }
+    out
+}
+
+/// Runs one workload with an optional switch-directory size.
+pub fn run_one(bench: &Bench, sd_entries: Option<u32>, policy: TransientReadPolicy) -> Metrics {
+    let sd = sd_entries.map(|entries| SwitchDirConfig { entries, ..SwitchDirConfig::paper_default() });
+    match bench.driver {
+        Driver::Execution => {
+            let mut cfg = SystemConfig::paper_table2();
+            cfg.switch_dir = sd;
+            let report = System::new(cfg, &bench.workload).run(RunOptions {
+                transient_policy: policy,
+                ..RunOptions::default()
+            });
+            Metrics {
+                reads: report.reads,
+                exec_cycles: report.cycles,
+                sd_hits: report.sd.read_hits,
+            }
+        }
+        Driver::Trace => {
+            let mut cfg = TraceSimConfig::paper_table3();
+            cfg.switch_dir = sd;
+            let report = TraceSimulator::new(cfg).run(&bench.workload);
+            Metrics {
+                reads: report.reads,
+                exec_cycles: report.exec_cycles,
+                sd_hits: report.sd.read_hits,
+            }
+        }
+    }
+}
+
+/// Sweep result for one workload: the base system plus every directory
+/// size.
+pub struct Sweep {
+    /// Workload label.
+    pub label: &'static str,
+    /// Base (no switch directory).
+    pub base: Metrics,
+    /// `(entries, metrics)` per swept size.
+    pub sized: Vec<(u32, Metrics)>,
+}
+
+/// The paper's Figure 8–11 sweep: sizes 256–2048 vs base, across the whole
+/// suite. Parallelized over (workload x configuration) with rayon.
+pub fn full_sweep(scale: Scale) -> Vec<Sweep> {
+    let benches = suite(scale);
+    let sizes = [256u32, 512, 1024, 2048];
+    benches
+        .par_iter()
+        .map(|b| {
+            let base = run_one(b, None, TransientReadPolicy::Retry);
+            let sized = sizes
+                .par_iter()
+                .map(|&s| (s, run_one(b, Some(s), TransientReadPolicy::Retry)))
+                .collect();
+            Sweep { label: b.label, base, sized }
+        })
+        .collect()
+}
+
+/// Scale argument parsing shared by the binaries: first CLI arg, default
+/// `reduced`.
+pub fn scale_from_args() -> Scale {
+    let arg = std::env::args().nth(1).unwrap_or_else(|| "reduced".into());
+    Scale::parse(&arg).unwrap_or_else(|| {
+        eprintln!("unknown scale '{arg}', expected tiny|reduced|paper; using reduced");
+        Scale::Reduced
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn suite_has_the_papers_seven_workloads() {
+        let s = suite(Scale::Tiny);
+        let labels: Vec<_> = s.iter().map(|b| b.label).collect();
+        assert_eq!(labels, vec!["FFT", "TC", "SOR", "FWA", "GAUSS", "TPC-C", "TPC-D"]);
+        assert!(s[..5].iter().all(|b| b.driver == Driver::Execution));
+        assert!(s[5..].iter().all(|b| b.driver == Driver::Trace));
+    }
+
+    #[test]
+    fn run_one_produces_reads() {
+        let s = suite(Scale::Tiny);
+        let m = run_one(&s[0], Some(1024), TransientReadPolicy::Retry);
+        assert!(m.reads.total() > 0);
+        assert!(m.exec_cycles > 0);
+    }
+}

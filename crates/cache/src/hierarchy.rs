@@ -1,0 +1,365 @@
+//! Two-level inclusive cache hierarchy (the per-node L1/L2 of Table 2).
+//!
+//! The hierarchy enforces inclusion: every L1-resident block is also
+//! L2-resident, so external coherence (invalidations, downgrades) only needs
+//! the L2 tags, and an L2 eviction back-invalidates L1. Dirty L1 victims are
+//! absorbed by L2; dirty L2 victims surface as [`Eviction::Writeback`]s that
+//! the protocol turns into `WriteBack` messages to the home node.
+
+use crate::set_assoc::{LineState, SetAssocCache};
+use dresar_types::config::CacheGeometry;
+use dresar_types::BlockAddr;
+
+/// Result of a processor-side read or write probe.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AccessOutcome {
+    /// Serviced by L1; `latency` cycles.
+    L1Hit {
+        /// Access latency in cycles.
+        latency: u32,
+    },
+    /// Serviced by L2 (and filled into L1); `latency` covers both lookups.
+    L2Hit {
+        /// Access latency in cycles.
+        latency: u32,
+    },
+    /// A write found only a Shared copy: ownership must be obtained from the
+    /// home directory, but no data transfer is needed once granted.
+    UpgradeNeeded {
+        /// Cycles spent discovering the shared copy.
+        latency: u32,
+    },
+    /// Not resident: the protocol must fetch the block.
+    Miss {
+        /// Cycles spent discovering the miss (both tag lookups).
+        latency: u32,
+    },
+}
+
+impl AccessOutcome {
+    /// Whether the access completed inside the hierarchy.
+    pub fn is_hit(&self) -> bool {
+        matches!(self, AccessOutcome::L1Hit { .. } | AccessOutcome::L2Hit { .. })
+    }
+
+    /// The lookup latency component.
+    pub fn latency(&self) -> u32 {
+        match *self {
+            AccessOutcome::L1Hit { latency }
+            | AccessOutcome::L2Hit { latency }
+            | AccessOutcome::UpgradeNeeded { latency }
+            | AccessOutcome::Miss { latency } => latency,
+        }
+    }
+}
+
+/// A block displaced by a fill.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Eviction {
+    /// A dirty (Modified) L2 victim: must be written back to its home.
+    Writeback(BlockAddr),
+    /// A clean victim, dropped silently. (The base protocol sends no
+    /// replacement hints, matching the paper's full-map scheme where clean
+    /// sharers linger in the directory vector until invalidated.)
+    Drop(BlockAddr),
+}
+
+/// Hit/miss counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct HierarchyStats {
+    /// Reads hitting L1.
+    pub l1_read_hits: u64,
+    /// Reads hitting L2.
+    pub l2_read_hits: u64,
+    /// Reads missing both levels.
+    pub read_misses: u64,
+    /// Writes hitting a Modified line.
+    pub write_hits: u64,
+    /// Writes hitting a Shared line (upgrade required).
+    pub write_upgrades: u64,
+    /// Writes missing both levels.
+    pub write_misses: u64,
+}
+
+/// The inclusive L1/L2 hierarchy of one node.
+#[derive(Debug, Clone)]
+pub struct CacheHierarchy {
+    l1: SetAssocCache,
+    l2: SetAssocCache,
+    l1_latency: u32,
+    l2_latency: u32,
+    stats: HierarchyStats,
+}
+
+impl CacheHierarchy {
+    /// Builds the hierarchy. Panics if the geometries are invalid or use
+    /// different line sizes (inclusion requires a common block identity).
+    pub fn new(l1: CacheGeometry, l2: CacheGeometry) -> Self {
+        assert_eq!(l1.line_bytes, l2.line_bytes, "L1/L2 must share a line size");
+        assert!(l2.size_bytes >= l1.size_bytes, "inclusion requires |L2| >= |L1|");
+        CacheHierarchy {
+            l1_latency: l1.access_cycles,
+            l2_latency: l2.access_cycles,
+            l1: SetAssocCache::new(l1),
+            l2: SetAssocCache::new(l2),
+            stats: HierarchyStats::default(),
+        }
+    }
+
+    /// Processor read probe.
+    pub fn read(&mut self, block: BlockAddr) -> AccessOutcome {
+        if self.l1.access(block).is_some() {
+            self.stats.l1_read_hits += 1;
+            return AccessOutcome::L1Hit { latency: self.l1_latency };
+        }
+        if let Some(state) = self.l2.access(block) {
+            self.stats.l2_read_hits += 1;
+            self.fill_l1(block, state);
+            return AccessOutcome::L2Hit { latency: self.l1_latency + self.l2_latency };
+        }
+        self.stats.read_misses += 1;
+        AccessOutcome::Miss { latency: self.l1_latency + self.l2_latency }
+    }
+
+    /// Processor write probe.
+    pub fn write(&mut self, block: BlockAddr) -> AccessOutcome {
+        match self.l1.access(block) {
+            Some(LineState::Modified) => {
+                self.stats.write_hits += 1;
+                return AccessOutcome::L1Hit { latency: self.l1_latency };
+            }
+            Some(LineState::Shared) => {
+                self.stats.write_upgrades += 1;
+                return AccessOutcome::UpgradeNeeded { latency: self.l1_latency };
+            }
+            None => {}
+        }
+        match self.l2.access(block) {
+            Some(LineState::Modified) => {
+                self.stats.write_hits += 1;
+                self.fill_l1(block, LineState::Modified);
+                AccessOutcome::L2Hit { latency: self.l1_latency + self.l2_latency }
+            }
+            Some(LineState::Shared) => {
+                self.stats.write_upgrades += 1;
+                AccessOutcome::UpgradeNeeded { latency: self.l1_latency + self.l2_latency }
+            }
+            None => {
+                self.stats.write_misses += 1;
+                AccessOutcome::Miss { latency: self.l1_latency + self.l2_latency }
+            }
+        }
+    }
+
+    /// Installs (or upgrades) a block with `state`, returning any external
+    /// consequences (dirty writebacks, silent drops) caused by L2 evictions.
+    pub fn fill(&mut self, block: BlockAddr, state: LineState) -> Vec<Eviction> {
+        let mut out = Vec::new();
+        if let Some((victim, victim_state)) = self.l2.insert(block, state) {
+            // Inclusion: the L2 victim must leave L1 too. A dirty L1 copy of
+            // the victim makes the writeback carry the freshest data; either
+            // way the victim's dirtiness decides Writeback vs Drop.
+            let l1_victim_state = self.l1.invalidate(victim);
+            let dirty = victim_state == LineState::Modified
+                || l1_victim_state == Some(LineState::Modified);
+            out.push(if dirty { Eviction::Writeback(victim) } else { Eviction::Drop(victim) });
+        }
+        self.fill_l1(block, state);
+        out
+    }
+
+    /// Installs into L1, absorbing a dirty L1 victim into L2. L1 evictions
+    /// never surface externally thanks to inclusion.
+    fn fill_l1(&mut self, block: BlockAddr, state: LineState) {
+        if let Some((victim, LineState::Modified)) = self.l1.insert(block, state) {
+            // Write the dirty L1 victim back into L2 (must be resident by
+            // inclusion).
+            let present = self.l2.set_state(victim, LineState::Modified);
+            debug_assert!(present, "inclusion violated: dirty L1 victim absent from L2");
+        }
+    }
+
+    /// External invalidation (on behalf of a writer elsewhere). Returns
+    /// `true` if a Modified copy was destroyed (the protocol then owes the
+    /// home a data transfer — handled by the caller via CtoC semantics).
+    pub fn invalidate(&mut self, block: BlockAddr) -> bool {
+        let l1 = self.l1.invalidate(block);
+        let l2 = self.l2.invalidate(block);
+        l1 == Some(LineState::Modified) || l2 == Some(LineState::Modified)
+    }
+
+    /// External downgrade M -> S (a cache-to-cache read intervention).
+    /// Returns `true` if this cache actually held the block Modified.
+    pub fn downgrade(&mut self, block: BlockAddr) -> bool {
+        let was_dirty = self.probe(block) == Some(LineState::Modified);
+        if self.l1.probe(block).is_some() {
+            self.l1.set_state(block, LineState::Shared);
+        }
+        if self.l2.probe(block).is_some() {
+            self.l2.set_state(block, LineState::Shared);
+        }
+        was_dirty
+    }
+
+    /// Authoritative state of a block (L1 dirtiness wins over L2's record).
+    pub fn probe(&self, block: BlockAddr) -> Option<LineState> {
+        match (self.l1.probe(block), self.l2.probe(block)) {
+            (Some(LineState::Modified), _) | (_, Some(LineState::Modified)) => {
+                Some(LineState::Modified)
+            }
+            (Some(LineState::Shared), _) | (_, Some(LineState::Shared)) => Some(LineState::Shared),
+            (None, None) => None,
+        }
+    }
+
+    /// Hit/miss counters.
+    pub fn stats(&self) -> HierarchyStats {
+        self.stats
+    }
+
+    /// Checks the inclusion invariant (every L1 block is in L2). O(|L1|);
+    /// used by tests and debug assertions, not hot paths.
+    pub fn inclusion_holds(&self) -> bool {
+        self.l1.resident_blocks().all(|(b, _)| self.l2.probe(b).is_some())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dresar_types::config::CacheGeometry;
+    use proptest::prelude::*;
+
+    fn tiny() -> CacheHierarchy {
+        // L1: 2 sets x 1 way; L2: 2 sets x 2 ways. 32-byte lines.
+        CacheHierarchy::new(
+            CacheGeometry { size_bytes: 64, line_bytes: 32, ways: 1, access_cycles: 1 },
+            CacheGeometry { size_bytes: 128, line_bytes: 32, ways: 2, access_cycles: 8 },
+        )
+    }
+
+    #[test]
+    fn read_miss_then_fill_then_hits() {
+        let mut h = tiny();
+        assert_eq!(h.read(BlockAddr(0)), AccessOutcome::Miss { latency: 9 });
+        assert!(h.fill(BlockAddr(0), LineState::Shared).is_empty());
+        assert_eq!(h.read(BlockAddr(0)), AccessOutcome::L1Hit { latency: 1 });
+        assert_eq!(h.stats().l1_read_hits, 1);
+        assert_eq!(h.stats().read_misses, 1);
+    }
+
+    #[test]
+    fn l2_hit_promotes_to_l1() {
+        let mut h = tiny();
+        h.fill(BlockAddr(0), LineState::Shared);
+        h.fill(BlockAddr(2), LineState::Shared); // evicts 0 from L1 (1-way set 0), stays in L2
+        assert_eq!(h.read(BlockAddr(0)), AccessOutcome::L2Hit { latency: 9 });
+        assert_eq!(h.read(BlockAddr(0)), AccessOutcome::L1Hit { latency: 1 });
+    }
+
+    #[test]
+    fn write_to_shared_requires_upgrade() {
+        let mut h = tiny();
+        h.fill(BlockAddr(1), LineState::Shared);
+        assert!(matches!(h.write(BlockAddr(1)), AccessOutcome::UpgradeNeeded { .. }));
+        h.fill(BlockAddr(1), LineState::Modified);
+        assert!(matches!(h.write(BlockAddr(1)), AccessOutcome::L1Hit { .. }));
+        assert_eq!(h.stats().write_upgrades, 1);
+        assert_eq!(h.stats().write_hits, 1);
+    }
+
+    #[test]
+    fn dirty_l2_eviction_surfaces_writeback() {
+        let mut h = tiny();
+        h.fill(BlockAddr(0), LineState::Modified);
+        h.fill(BlockAddr(2), LineState::Shared);
+        // Set 0 of L2 now has blocks 0(M) and 2(S); next fill evicts LRU = 0.
+        let ev = h.fill(BlockAddr(4), LineState::Shared);
+        assert_eq!(ev, vec![Eviction::Writeback(BlockAddr(0))]);
+        assert!(h.probe(BlockAddr(0)).is_none(), "back-invalidated from L1 too");
+        assert!(h.inclusion_holds());
+    }
+
+    #[test]
+    fn clean_eviction_is_silent() {
+        let mut h = tiny();
+        h.fill(BlockAddr(0), LineState::Shared);
+        h.fill(BlockAddr(2), LineState::Shared);
+        let ev = h.fill(BlockAddr(4), LineState::Shared);
+        assert_eq!(ev, vec![Eviction::Drop(BlockAddr(0))]);
+    }
+
+    #[test]
+    fn dirty_l1_victim_promotes_writeback() {
+        let mut h = tiny();
+        // Block 0 dirty in L1. Fill block 2 (same L1 set, different L2 way):
+        // L1 evicts 0 dirty -> absorbed by L2.
+        h.fill(BlockAddr(0), LineState::Modified);
+        // Make L2's record of 0 Shared to prove the L1 victim re-dirties it.
+        // (This can't happen in protocol flow; it isolates fill_l1.)
+        h.l2.set_state(BlockAddr(0), LineState::Shared);
+        h.fill(BlockAddr(2), LineState::Shared);
+        assert_eq!(h.l2.probe(BlockAddr(0)), Some(LineState::Modified));
+    }
+
+    #[test]
+    fn invalidate_reports_dirtiness() {
+        let mut h = tiny();
+        h.fill(BlockAddr(0), LineState::Modified);
+        assert!(h.invalidate(BlockAddr(0)));
+        assert!(!h.invalidate(BlockAddr(0)));
+        h.fill(BlockAddr(1), LineState::Shared);
+        assert!(!h.invalidate(BlockAddr(1)));
+    }
+
+    #[test]
+    fn downgrade_makes_shared() {
+        let mut h = tiny();
+        h.fill(BlockAddr(0), LineState::Modified);
+        assert!(h.downgrade(BlockAddr(0)));
+        assert_eq!(h.probe(BlockAddr(0)), Some(LineState::Shared));
+        assert!(!h.downgrade(BlockAddr(0)), "second downgrade finds no Modified copy");
+        assert!(!h.downgrade(BlockAddr(9)), "absent block");
+    }
+
+    #[test]
+    #[should_panic(expected = "line size")]
+    fn mismatched_line_sizes_rejected() {
+        CacheHierarchy::new(
+            CacheGeometry { size_bytes: 64, line_bytes: 32, ways: 1, access_cycles: 1 },
+            CacheGeometry { size_bytes: 128, line_bytes: 64, ways: 2, access_cycles: 8 },
+        );
+    }
+
+    proptest! {
+        /// Inclusion holds under any interleaving of fills, invalidations,
+        /// downgrades, reads and writes.
+        #[test]
+        fn prop_inclusion_invariant(ops in proptest::collection::vec((0u8..5, 0u64..32), 1..300)) {
+            let mut h = tiny();
+            for (op, b) in ops {
+                let block = BlockAddr(b);
+                match op {
+                    0 => { h.read(block); }
+                    1 => { h.write(block); }
+                    2 => { h.fill(block, if b % 2 == 0 { LineState::Shared } else { LineState::Modified }); }
+                    3 => { h.invalidate(block); }
+                    _ => { h.downgrade(block); }
+                }
+                prop_assert!(h.inclusion_holds());
+            }
+        }
+
+        /// After a fill the block is readable as a hit, whatever history
+        /// preceded it.
+        #[test]
+        fn prop_fill_guarantees_hit(pre in proptest::collection::vec(0u64..32, 0..100), b in 0u64..32) {
+            let mut h = tiny();
+            for p in pre {
+                h.fill(BlockAddr(p), LineState::Shared);
+            }
+            h.fill(BlockAddr(b), LineState::Shared);
+            prop_assert!(h.read(BlockAddr(b)).is_hit());
+        }
+    }
+}

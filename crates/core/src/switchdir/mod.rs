@@ -1,0 +1,530 @@
+//! The switch directory device (DRESAR, paper §3.2–§4.3).
+//!
+//! Each crossbar switch embeds one [`SwitchDirectory`]: a small set-
+//! associative SRAM array of ownership entries with three states —
+//! **MODIFIED** (the recorded owner holds the block dirty), **TRANSIENT**
+//! (this switch sank a read and a cache-to-cache transfer is in flight) and
+//! **INVALID** (absent). [`SwitchDirectory::snoop`] implements the protocol
+//! FSM of the paper's Figure 4 for the seven Table 1 message types and
+//! returns what the switch should do with the message (forward, sink, or
+//! sink-and-generate).
+//!
+//! Module layout:
+//! * [`array`] — the entry array with TRANSIENT-pinned LRU replacement and
+//!   the pending-buffer capacity bound of §4.3.
+//! * the FSM itself lives on [`SwitchDirectory`] in this module;
+//! * [`ports`] — the multiported-SRAM cycle-budget scheduler of §4.2
+//!   ("four incoming requests need switch directory processing within four
+//!   cycles").
+
+pub mod array;
+pub mod ports;
+
+use dresar_types::config::SwitchDirConfig;
+use dresar_types::msg::{Message, MsgType};
+use dresar_types::{BlockAddr, NodeId};
+
+pub use array::{SdEntryView, SdState};
+pub use ports::PortScheduler;
+
+/// Policy for a `ReadRequest` that hits a TRANSIENT entry (paper §3.2
+/// discusses both alternatives; the paper *chose* `Retry` "because
+/// communication intensive blocks have very few sharers").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum TransientReadPolicy {
+    /// Sink the read and NAK the requester (the paper's choice).
+    #[default]
+    Retry,
+    /// Sink the read and remember the requester in the entry's bit vector;
+    /// it is served with data when the owner's copyback/writeback passes
+    /// (the paper's rejected-for-complexity alternative — kept as an
+    /// ablation).
+    Accumulate,
+}
+
+/// A message the switch directory asks the switch to emit (the "CtoC &
+/// Reply Unit" of Figure 6). Routes are computed by the caller, which knows
+/// the switch's position.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GenMsg {
+    /// Send a cache-to-cache transfer request down to the owner.
+    CtoCRequest {
+        /// Owner cache to interrogate.
+        owner: NodeId,
+        /// Processor the data should go to.
+        requester: NodeId,
+    },
+    /// NAK a requester (it retries after backoff).
+    Retry {
+        /// Destination processor.
+        to: NodeId,
+    },
+    /// Reply with data captured from a passing writeback/copyback.
+    DataReply {
+        /// Destination processor.
+        to: NodeId,
+    },
+}
+
+/// What the switch should do with the snooped message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SnoopAction {
+    /// Forward unchanged (possibly after in-place marking).
+    Forward,
+    /// Consume the message.
+    Sink,
+    /// Consume the message and emit the generated messages.
+    SinkSend(Vec<GenMsg>),
+    /// Forward the (marked) message and also emit generated messages
+    /// (writeback passing a TRANSIENT entry: data replies to waiters plus
+    /// the marked writeback continuing to the home).
+    ForwardSend(Vec<GenMsg>),
+}
+
+/// Counters per switch directory.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SdStats {
+    /// Entries installed by passing write replies.
+    pub inserts: u64,
+    /// Installs skipped because every way of the set was pinned TRANSIENT
+    /// or the pending buffer was full.
+    pub inserts_blocked: u64,
+    /// Reads served (MODIFIED hit, CtoC request generated).
+    pub read_hits: u64,
+    /// Reads sunk+NAK'd on TRANSIENT entries.
+    pub transient_retries: u64,
+    /// Readers accumulated into TRANSIENT bit vectors (Accumulate policy).
+    pub readers_accumulated: u64,
+    /// Entries invalidated by writes/CtoC/writebacks passing through.
+    pub invalidations: u64,
+    /// Writes / foreign CtoC requests NAK'd on TRANSIENT entries.
+    pub write_retries: u64,
+    /// Copybacks marked with served-sharer pids.
+    pub copybacks_marked: u64,
+    /// Writebacks whose data answered waiting readers.
+    pub writeback_replies: u64,
+    /// Messages snooped in total.
+    pub snoops: u64,
+}
+
+impl SdStats {
+    /// Sums another instance's counters into this one (aggregation across
+    /// switches).
+    pub fn merge(&mut self, other: &SdStats) {
+        self.inserts += other.inserts;
+        self.inserts_blocked += other.inserts_blocked;
+        self.read_hits += other.read_hits;
+        self.transient_retries += other.transient_retries;
+        self.readers_accumulated += other.readers_accumulated;
+        self.invalidations += other.invalidations;
+        self.write_retries += other.write_retries;
+        self.copybacks_marked += other.copybacks_marked;
+        self.writeback_replies += other.writeback_replies;
+        self.snoops += other.snoops;
+    }
+}
+
+/// One switch's directory cache plus its protocol FSM.
+#[derive(Debug, Clone)]
+pub struct SwitchDirectory {
+    array: array::SdArray,
+    policy: TransientReadPolicy,
+    stats: SdStats,
+}
+
+impl SwitchDirectory {
+    /// Builds a directory from the configuration.
+    pub fn new(cfg: SwitchDirConfig) -> Self {
+        Self::with_policy(cfg, TransientReadPolicy::default())
+    }
+
+    /// Builds a directory with an explicit TRANSIENT-read policy.
+    pub fn with_policy(cfg: SwitchDirConfig, policy: TransientReadPolicy) -> Self {
+        SwitchDirectory { array: array::SdArray::new(cfg), policy, stats: SdStats::default() }
+    }
+
+    /// Counters.
+    pub fn stats(&self) -> SdStats {
+        self.stats
+    }
+
+    /// Entry view for tests/diagnostics.
+    pub fn peek(&self, block: BlockAddr) -> Option<SdEntryView> {
+        self.array.peek(block)
+    }
+
+    /// Number of TRANSIENT entries currently held (pending-buffer load).
+    pub fn transient_count(&self) -> usize {
+        self.array.transient_count()
+    }
+
+    /// Snoops a message traversing this switch, applying the Figure 4 FSM.
+    /// May mutate `msg` in place (attaching carried sharer pids to
+    /// copybacks/writebacks). Message types outside Table 1 are forwarded
+    /// untouched.
+    pub fn snoop(&mut self, msg: &mut Message) -> SnoopAction {
+        if !msg.kind.switch_dir_relevant() {
+            return SnoopAction::Forward;
+        }
+        self.stats.snoops += 1;
+        let block = msg.block;
+        match msg.kind {
+            MsgType::WriteReply => {
+                // Capture ownership as the reply streams toward the writer.
+                let owner = msg.requester;
+                if self.array.insert_modified(block, owner) {
+                    self.stats.inserts += 1;
+                } else {
+                    self.stats.inserts_blocked += 1;
+                }
+                SnoopAction::Forward
+            }
+            MsgType::ReadRequest => self.snoop_read(block, msg.requester),
+            MsgType::WriteRequest => match self.array.peek(block) {
+                Some(e) if e.state == SdState::Modified => {
+                    self.array.invalidate(block);
+                    self.stats.invalidations += 1;
+                    SnoopAction::Forward
+                }
+                Some(_) => {
+                    // TRANSIENT: a CtoC is in flight from this switch; NAK
+                    // the writer and retry later (paper §3.2).
+                    self.stats.write_retries += 1;
+                    SnoopAction::SinkSend(vec![GenMsg::Retry { to: msg.requester }])
+                }
+                None => SnoopAction::Forward,
+            },
+            MsgType::CtoCRequest => match self.array.peek(block) {
+                Some(e) if e.state == SdState::Modified => {
+                    // The block is about to stop being dirty-owned: the
+                    // recorded hint is stale the moment the transfer
+                    // completes.
+                    self.array.invalidate(block);
+                    self.stats.invalidations += 1;
+                    SnoopAction::Forward
+                }
+                Some(_) => {
+                    // Another switch (or the home) races our in-flight CtoC:
+                    // sink it and NAK its requester; ours will complete and
+                    // the retry falls back to the (by then updated) home.
+                    self.stats.write_retries += 1;
+                    SnoopAction::SinkSend(vec![GenMsg::Retry { to: msg.requester }])
+                }
+                None => SnoopAction::Forward,
+            },
+            MsgType::CopyBack => match self.array.peek(block) {
+                Some(e) if e.state == SdState::Transient => {
+                    // Mark the copyback with every pid this switch served or
+                    // queued so the home's full-map vector stays exact, and
+                    // (Accumulate policy) answer queued readers beyond the
+                    // first from the copyback's data.
+                    let served = e.sharers;
+                    msg.carried_sharers = msg.carried_sharers.union(served);
+                    self.stats.copybacks_marked += 1;
+                    let first = e.first_requester;
+                    self.array.invalidate(block);
+                    let extra: Vec<GenMsg> = served
+                        .iter()
+                        .filter(|&p| p != first)
+                        .map(|p| GenMsg::DataReply { to: p })
+                        .collect();
+                    if extra.is_empty() {
+                        SnoopAction::Forward
+                    } else {
+                        SnoopAction::ForwardSend(extra)
+                    }
+                }
+                Some(_) => {
+                    // Stale MODIFIED hint for a block completing a transfer
+                    // elsewhere.
+                    self.array.invalidate(block);
+                    self.stats.invalidations += 1;
+                    SnoopAction::Forward
+                }
+                None => SnoopAction::Forward,
+            },
+            MsgType::WriteBack => match self.array.peek(block) {
+                Some(e) if e.state == SdState::Transient => {
+                    // The owner evicted before our CtoC request reached it:
+                    // serve every waiting reader from the writeback's data
+                    // and mark the writeback so the home records them as
+                    // sharers (paper §3.2).
+                    let served = e.sharers;
+                    msg.carried_sharers = msg.carried_sharers.union(served);
+                    self.array.invalidate(block);
+                    self.stats.writeback_replies += served.len() as u64;
+                    let replies: Vec<GenMsg> =
+                        served.iter().map(|p| GenMsg::DataReply { to: p }).collect();
+                    if replies.is_empty() {
+                        SnoopAction::Forward
+                    } else {
+                        SnoopAction::ForwardSend(replies)
+                    }
+                }
+                Some(_) => {
+                    self.array.invalidate(block);
+                    self.stats.invalidations += 1;
+                    SnoopAction::Forward
+                }
+                None => SnoopAction::Forward,
+            },
+            MsgType::Retry => SnoopAction::Forward,
+            _ => unreachable!("filtered by switch_dir_relevant"),
+        }
+    }
+
+    fn snoop_read(&mut self, block: BlockAddr, requester: NodeId) -> SnoopAction {
+        match self.array.peek(block) {
+            None => SnoopAction::Forward,
+            Some(e) if e.state == SdState::Modified => {
+                if e.owner == requester {
+                    // Stale hint: the recorded owner itself is asking (its
+                    // writeback must be in flight). Let the home sort it
+                    // out; the writeback will clean this entry as it passes.
+                    return SnoopAction::Forward;
+                }
+                // The switch-directory hit: sink the read and re-route it
+                // straight to the owner cache.
+                if self.array.make_transient(block, requester) {
+                    self.stats.read_hits += 1;
+                    SnoopAction::SinkSend(vec![GenMsg::CtoCRequest { owner: e.owner, requester }])
+                } else {
+                    // Pending buffer full: cannot track another transient
+                    // block, fall through to the home path (§4.3 feedback).
+                    self.stats.inserts_blocked += 1;
+                    SnoopAction::Forward
+                }
+            }
+            Some(e) => {
+                debug_assert_eq!(e.state, SdState::Transient);
+                if e.sharers.contains(requester) || e.first_requester == requester {
+                    // Duplicate/retried read from a pid we already track:
+                    // NAK (its data or NAK is already on the way).
+                    self.stats.transient_retries += 1;
+                    return SnoopAction::SinkSend(vec![GenMsg::Retry { to: requester }]);
+                }
+                match self.policy {
+                    TransientReadPolicy::Retry => {
+                        self.stats.transient_retries += 1;
+                        SnoopAction::SinkSend(vec![GenMsg::Retry { to: requester }])
+                    }
+                    TransientReadPolicy::Accumulate => {
+                        self.array.add_sharer(block, requester);
+                        self.stats.readers_accumulated += 1;
+                        SnoopAction::Sink
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dresar_types::msg::Endpoint;
+    use dresar_types::Cycle;
+
+    fn cfg() -> SwitchDirConfig {
+        SwitchDirConfig { entries: 64, ways: 4, lookup_ports: 2, pending_buffer_entries: 8 }
+    }
+
+    fn msg(kind: MsgType, block: u64, requester: NodeId) -> Message {
+        Message::new(
+            0,
+            kind,
+            BlockAddr(block),
+            Endpoint::Proc(requester),
+            Endpoint::Mem(0),
+            requester,
+            0 as Cycle,
+        )
+    }
+
+    fn install(sd: &mut SwitchDirectory, block: u64, owner: NodeId) {
+        let mut wr = msg(MsgType::WriteReply, block, owner);
+        assert_eq!(sd.snoop(&mut wr), SnoopAction::Forward);
+    }
+
+    #[test]
+    fn write_reply_installs_modified_entry() {
+        let mut sd = SwitchDirectory::new(cfg());
+        install(&mut sd, 5, 3);
+        let e = sd.peek(BlockAddr(5)).expect("entry present");
+        assert_eq!(e.state, SdState::Modified);
+        assert_eq!(e.owner, 3);
+        assert_eq!(sd.stats().inserts, 1);
+    }
+
+    #[test]
+    fn read_hit_sinks_and_generates_ctoc() {
+        let mut sd = SwitchDirectory::new(cfg());
+        install(&mut sd, 5, 3);
+        let mut rd = msg(MsgType::ReadRequest, 5, 7);
+        let act = sd.snoop(&mut rd);
+        assert_eq!(act, SnoopAction::SinkSend(vec![GenMsg::CtoCRequest { owner: 3, requester: 7 }]));
+        let e = sd.peek(BlockAddr(5)).unwrap();
+        assert_eq!(e.state, SdState::Transient);
+        assert!(e.sharers.contains(7));
+        assert_eq!(sd.stats().read_hits, 1);
+    }
+
+    #[test]
+    fn read_miss_forwards() {
+        let mut sd = SwitchDirectory::new(cfg());
+        let mut rd = msg(MsgType::ReadRequest, 99, 7);
+        assert_eq!(sd.snoop(&mut rd), SnoopAction::Forward);
+    }
+
+    #[test]
+    fn read_from_recorded_owner_forwards() {
+        let mut sd = SwitchDirectory::new(cfg());
+        install(&mut sd, 5, 3);
+        let mut rd = msg(MsgType::ReadRequest, 5, 3);
+        assert_eq!(sd.snoop(&mut rd), SnoopAction::Forward);
+        assert_eq!(sd.peek(BlockAddr(5)).unwrap().state, SdState::Modified);
+    }
+
+    #[test]
+    fn transient_read_retries_under_default_policy() {
+        let mut sd = SwitchDirectory::new(cfg());
+        install(&mut sd, 5, 3);
+        sd.snoop(&mut msg(MsgType::ReadRequest, 5, 7)); // -> transient
+        let act = sd.snoop(&mut msg(MsgType::ReadRequest, 5, 9));
+        assert_eq!(act, SnoopAction::SinkSend(vec![GenMsg::Retry { to: 9 }]));
+        assert_eq!(sd.stats().transient_retries, 1);
+    }
+
+    #[test]
+    fn transient_read_accumulates_under_alt_policy() {
+        let mut sd = SwitchDirectory::with_policy(cfg(), TransientReadPolicy::Accumulate);
+        install(&mut sd, 5, 3);
+        sd.snoop(&mut msg(MsgType::ReadRequest, 5, 7));
+        let act = sd.snoop(&mut msg(MsgType::ReadRequest, 5, 9));
+        assert_eq!(act, SnoopAction::Sink);
+        assert!(sd.peek(BlockAddr(5)).unwrap().sharers.contains(9));
+        assert_eq!(sd.stats().readers_accumulated, 1);
+    }
+
+    #[test]
+    fn duplicate_transient_reader_is_nakked_even_when_accumulating() {
+        let mut sd = SwitchDirectory::with_policy(cfg(), TransientReadPolicy::Accumulate);
+        install(&mut sd, 5, 3);
+        sd.snoop(&mut msg(MsgType::ReadRequest, 5, 7));
+        let act = sd.snoop(&mut msg(MsgType::ReadRequest, 5, 7));
+        assert_eq!(act, SnoopAction::SinkSend(vec![GenMsg::Retry { to: 7 }]));
+    }
+
+    #[test]
+    fn write_request_invalidates_modified_entry() {
+        let mut sd = SwitchDirectory::new(cfg());
+        install(&mut sd, 5, 3);
+        let act = sd.snoop(&mut msg(MsgType::WriteRequest, 5, 9));
+        assert_eq!(act, SnoopAction::Forward);
+        assert!(sd.peek(BlockAddr(5)).is_none());
+        assert_eq!(sd.stats().invalidations, 1);
+    }
+
+    #[test]
+    fn write_request_on_transient_is_nakked() {
+        let mut sd = SwitchDirectory::new(cfg());
+        install(&mut sd, 5, 3);
+        sd.snoop(&mut msg(MsgType::ReadRequest, 5, 7));
+        let act = sd.snoop(&mut msg(MsgType::WriteRequest, 5, 9));
+        assert_eq!(act, SnoopAction::SinkSend(vec![GenMsg::Retry { to: 9 }]));
+        assert_eq!(sd.peek(BlockAddr(5)).unwrap().state, SdState::Transient);
+    }
+
+    #[test]
+    fn foreign_ctoc_request_invalidates_modified() {
+        let mut sd = SwitchDirectory::new(cfg());
+        install(&mut sd, 5, 3);
+        let mut cc = msg(MsgType::CtoCRequest, 5, 9);
+        assert_eq!(sd.snoop(&mut cc), SnoopAction::Forward);
+        assert!(sd.peek(BlockAddr(5)).is_none());
+    }
+
+    #[test]
+    fn copyback_in_transient_is_marked_and_cleans_entry() {
+        let mut sd = SwitchDirectory::new(cfg());
+        install(&mut sd, 5, 3);
+        sd.snoop(&mut msg(MsgType::ReadRequest, 5, 7));
+        let mut cb = msg(MsgType::CopyBack, 5, 3);
+        let act = sd.snoop(&mut cb);
+        assert_eq!(act, SnoopAction::Forward);
+        assert!(cb.carried_sharers.contains(7), "copyback must carry the served pid");
+        assert!(sd.peek(BlockAddr(5)).is_none());
+        assert_eq!(sd.stats().copybacks_marked, 1);
+    }
+
+    #[test]
+    fn copyback_serves_accumulated_readers_beyond_first() {
+        let mut sd = SwitchDirectory::with_policy(cfg(), TransientReadPolicy::Accumulate);
+        install(&mut sd, 5, 3);
+        sd.snoop(&mut msg(MsgType::ReadRequest, 5, 7));
+        sd.snoop(&mut msg(MsgType::ReadRequest, 5, 9));
+        let mut cb = msg(MsgType::CopyBack, 5, 3);
+        let act = sd.snoop(&mut cb);
+        assert_eq!(act, SnoopAction::ForwardSend(vec![GenMsg::DataReply { to: 9 }]));
+        assert!(cb.carried_sharers.contains(7) && cb.carried_sharers.contains(9));
+    }
+
+    #[test]
+    fn writeback_in_transient_answers_waiters_with_data() {
+        let mut sd = SwitchDirectory::new(cfg());
+        install(&mut sd, 5, 3);
+        sd.snoop(&mut msg(MsgType::ReadRequest, 5, 7));
+        let mut wb = msg(MsgType::WriteBack, 5, 3);
+        let act = sd.snoop(&mut wb);
+        assert_eq!(act, SnoopAction::ForwardSend(vec![GenMsg::DataReply { to: 7 }]));
+        assert!(wb.carried_sharers.contains(7));
+        assert!(sd.peek(BlockAddr(5)).is_none());
+        assert_eq!(sd.stats().writeback_replies, 1);
+    }
+
+    #[test]
+    fn writeback_invalidates_stale_modified_entry() {
+        let mut sd = SwitchDirectory::new(cfg());
+        install(&mut sd, 5, 3);
+        let mut wb = msg(MsgType::WriteBack, 5, 3);
+        assert_eq!(sd.snoop(&mut wb), SnoopAction::Forward);
+        assert!(sd.peek(BlockAddr(5)).is_none());
+    }
+
+    #[test]
+    fn retry_and_irrelevant_messages_pass_untouched() {
+        let mut sd = SwitchDirectory::new(cfg());
+        install(&mut sd, 5, 3);
+        for kind in [MsgType::Retry, MsgType::ReadReply, MsgType::CtoCData, MsgType::Invalidate] {
+            let mut m = msg(kind, 5, 9);
+            assert_eq!(sd.snoop(&mut m), SnoopAction::Forward, "{kind:?}");
+        }
+        assert_eq!(sd.peek(BlockAddr(5)).unwrap().state, SdState::Modified);
+    }
+
+    #[test]
+    fn pending_buffer_limit_blocks_new_transients() {
+        let mut small = SwitchDirConfig { pending_buffer_entries: 1, ..cfg() };
+        small.entries = 64;
+        let mut sd = SwitchDirectory::new(small);
+        install(&mut sd, 1, 3);
+        install(&mut sd, 2, 3);
+        // First transient OK.
+        let a1 = sd.snoop(&mut msg(MsgType::ReadRequest, 1, 7));
+        assert!(matches!(a1, SnoopAction::SinkSend(_)));
+        // Second would exceed the pending buffer: falls through to home.
+        let a2 = sd.snoop(&mut msg(MsgType::ReadRequest, 2, 7));
+        assert_eq!(a2, SnoopAction::Forward);
+        assert_eq!(sd.transient_count(), 1);
+        assert_eq!(sd.stats().inserts_blocked, 1);
+    }
+
+    #[test]
+    fn snoop_counts_only_relevant_messages() {
+        let mut sd = SwitchDirectory::new(cfg());
+        sd.snoop(&mut msg(MsgType::ReadReply, 1, 1));
+        assert_eq!(sd.stats().snoops, 0);
+        sd.snoop(&mut msg(MsgType::ReadRequest, 1, 1));
+        assert_eq!(sd.stats().snoops, 1);
+    }
+}

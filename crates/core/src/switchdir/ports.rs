@@ -1,0 +1,204 @@
+//! The multiported-SRAM cycle-budget model of §4.2–§4.3.
+//!
+//! DRESAR must process every flit that enters the crossbar *within* the
+//! four cycles the base switch already spends on arbitration and
+//! traversal, or it would add latency and need flow-control feedback. The
+//! paper's accounting:
+//!
+//! * **4x4 switch (radix 2)**: up to 4 header flits arrive per window; a
+//!   2-way multiported directory snoops 2 per cycle → 2 cycles of lookups,
+//!   leaving 2 idle port-cycles for the FSM's state updates. Budget met.
+//! * **8x8 switch (radix 4)**: up to 8 headers per window would need 4
+//!   lookup cycles plus updates — over budget. §4.3's fix: a small 4-way
+//!   multiported **pending buffer** holds the TRANSIENT entries, so the
+//!   message types that only need a transient check (`WriteBack`,
+//!   `CopyBack`, `CtoCRequest`, `Retry`) are served there, and only
+//!   `ReadRequest`/`WriteRequest`/`WriteReply` occupy main-directory ports.
+//!
+//! [`PortScheduler`] reproduces that arithmetic for an arbitrary batch so
+//! the microbenchmarks (and the ablation that removes the pending buffer)
+//! can verify the budget claims quantitatively.
+
+use dresar_types::msg::MsgType;
+
+/// Where a message's snoop is served.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ServedBy {
+    /// Main directory SRAM ports.
+    MainDirectory,
+    /// The pending buffer (transient-state check only).
+    PendingBuffer,
+}
+
+/// Classification of Table 1 messages per §4.3: which unit must serve the
+/// snoop when a pending buffer is present.
+pub fn unit_for(kind: MsgType) -> Option<ServedBy> {
+    match kind {
+        MsgType::ReadRequest | MsgType::WriteRequest | MsgType::WriteReply => {
+            Some(ServedBy::MainDirectory)
+        }
+        MsgType::CtoCRequest | MsgType::CopyBack | MsgType::WriteBack | MsgType::Retry => {
+            Some(ServedBy::PendingBuffer)
+        }
+        _ => None,
+    }
+}
+
+/// Outcome of scheduling one arbitration window's batch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WindowSchedule {
+    /// Cycles of main-directory port time used for lookups.
+    pub main_lookup_cycles: u32,
+    /// Cycles of pending-buffer port time used.
+    pub pending_lookup_cycles: u32,
+    /// Port-cycles left in the window for FSM state updates.
+    pub update_cycles_free: u32,
+    /// Whether everything fit in the window (no feedback/blocking needed).
+    pub within_budget: bool,
+}
+
+/// The port scheduler for one switch-directory configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct PortScheduler {
+    /// Window length: the base switch's core delay in cycles.
+    pub window_cycles: u32,
+    /// Main directory lookup ports (paper: 2).
+    pub main_ports: u32,
+    /// Pending-buffer lookup ports (paper: 4); 0 disables the pending
+    /// buffer and routes everything to the main directory (the 4x4 design
+    /// and the ablation case).
+    pub pending_ports: u32,
+}
+
+impl PortScheduler {
+    /// The paper's 4x4 DRESAR: 2-way multiported directory, no pending
+    /// buffer, 4-cycle window.
+    pub fn paper_4x4() -> Self {
+        PortScheduler { window_cycles: 4, main_ports: 2, pending_ports: 0 }
+    }
+
+    /// The paper's 8x8 DRESAR: 2-way multiported directory plus a 4-way
+    /// multiported pending buffer.
+    pub fn paper_8x8() -> Self {
+        PortScheduler { window_cycles: 4, main_ports: 2, pending_ports: 4 }
+    }
+
+    /// Schedules one window's batch of snoops and reports the budget.
+    pub fn schedule(&self, batch: &[MsgType]) -> WindowSchedule {
+        let mut main = 0u32;
+        let mut pending = 0u32;
+        for &k in batch {
+            match unit_for(k) {
+                Some(ServedBy::MainDirectory) => main += 1,
+                Some(ServedBy::PendingBuffer) => {
+                    if self.pending_ports > 0 {
+                        pending += 1;
+                    } else {
+                        main += 1;
+                    }
+                }
+                None => {}
+            }
+        }
+        let main_cycles = main.div_ceil(self.main_ports.max(1));
+        let pending_cycles = if self.pending_ports > 0 {
+            pending.div_ceil(self.pending_ports)
+        } else {
+            0
+        };
+        // Lookups must finish within the window; updates use the remaining
+        // main-port cycles ("state changes ... are made during the two idle
+        // cycles when the directory ports are free", §4.2).
+        let busy = main_cycles.max(pending_cycles);
+        let update_free = self.window_cycles.saturating_sub(main_cycles) * self.main_ports.max(1);
+        WindowSchedule {
+            main_lookup_cycles: main_cycles,
+            pending_lookup_cycles: pending_cycles,
+            update_cycles_free: update_free,
+            within_budget: busy <= self.window_cycles && update_free >= main,
+        }
+    }
+
+    /// Worst-case batch for a switch of `radix` down-ports: every input
+    /// delivers a header flit of the given kind mix. Convenience for the
+    /// benchmarks.
+    pub fn worst_case_within_budget(&self, inputs: usize, kinds: &[MsgType]) -> bool {
+        let batch: Vec<MsgType> = (0..inputs).map(|i| kinds[i % kinds.len()]).collect();
+        self.schedule(&batch).within_budget
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use MsgType::*;
+
+    #[test]
+    fn paper_claim_4x4_meets_budget() {
+        // 4 arbitrary Table 1 headers in one window, 2 ports, no pending
+        // buffer: 2 cycles of lookups, 2 idle cycles for <=4 updates.
+        let s = PortScheduler::paper_4x4();
+        let w = s.schedule(&[ReadRequest, WriteReply, WriteBack, CtoCRequest]);
+        assert_eq!(w.main_lookup_cycles, 2);
+        assert!(w.within_budget);
+        assert_eq!(w.update_cycles_free, 4);
+    }
+
+    #[test]
+    fn naive_8x8_without_pending_buffer_blows_budget() {
+        // 8 headers through the 2-ported directory: 4 lookup cycles, zero
+        // idle update cycles -> feedback needed.
+        let s = PortScheduler { window_cycles: 4, main_ports: 2, pending_ports: 0 };
+        let batch = [ReadRequest, WriteRequest, WriteReply, WriteBack, CopyBack, CtoCRequest, Retry, ReadRequest];
+        let w = s.schedule(&batch);
+        assert!(!w.within_budget);
+    }
+
+    #[test]
+    fn paper_claim_8x8_with_pending_buffer_meets_budget() {
+        let s = PortScheduler::paper_8x8();
+        // Mixed worst case: 4 main-directory types + 4 pending types.
+        let batch = [ReadRequest, WriteRequest, WriteReply, ReadRequest, WriteBack, CopyBack, CtoCRequest, Retry];
+        let w = s.schedule(&batch);
+        assert_eq!(w.main_lookup_cycles, 2);
+        assert_eq!(w.pending_lookup_cycles, 1);
+        assert!(w.within_budget);
+    }
+
+    #[test]
+    fn all_main_types_on_8x8_still_fits() {
+        // §4.3's residual worry: all 8 requests needing the main directory.
+        let s = PortScheduler::paper_8x8();
+        let batch = [ReadRequest; 8];
+        let w = s.schedule(&batch);
+        assert_eq!(w.main_lookup_cycles, 4);
+        assert!(!w.within_budget, "the paper concedes this case needs 4-way multiporting");
+    }
+
+    #[test]
+    fn irrelevant_messages_cost_nothing() {
+        let s = PortScheduler::paper_4x4();
+        let w = s.schedule(&[ReadReply, CtoCData, Invalidate, InvalAck]);
+        assert_eq!(w.main_lookup_cycles, 0);
+        assert!(w.within_budget);
+    }
+
+    #[test]
+    fn unit_classification_matches_section_4_3() {
+        assert_eq!(unit_for(ReadRequest), Some(ServedBy::MainDirectory));
+        assert_eq!(unit_for(WriteRequest), Some(ServedBy::MainDirectory));
+        assert_eq!(unit_for(WriteReply), Some(ServedBy::MainDirectory));
+        for k in [CtoCRequest, CopyBack, WriteBack, Retry] {
+            assert_eq!(unit_for(k), Some(ServedBy::PendingBuffer), "{k:?}");
+        }
+        assert_eq!(unit_for(ReadReply), None);
+    }
+
+    #[test]
+    fn worst_case_helper() {
+        assert!(PortScheduler::paper_4x4().worst_case_within_budget(4, &[ReadRequest]));
+        assert!(!PortScheduler::paper_8x8().worst_case_within_budget(8, &[ReadRequest]));
+        assert!(PortScheduler::paper_8x8()
+            .worst_case_within_budget(8, &[ReadRequest, WriteBack]));
+    }
+}

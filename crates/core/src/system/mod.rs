@@ -1,0 +1,1149 @@
+//! The execution-driven CC-NUMA system simulator (paper §5.1, Table 2).
+//!
+//! A [`System`] assembles, per node, a 4-issue processor with release
+//! consistency and a write buffer, an inclusive L1/L2 MSI hierarchy, a slice
+//! of the distributed memory with its full-map directory, and — between the
+//! processor and memory interfaces — the wormhole BMIN whose every switch
+//! hosts a DRESAR switch directory (when enabled).
+//!
+//! Processors execute [`dresar_types::Workload`] reference streams: reads
+//! block the core (read stall time), writes retire through the write buffer,
+//! and barriers synchronize phases. Every miss becomes protocol messages
+//! routed hop-by-hop through the interconnect; switch directories snoop each
+//! hop and may sink, re-route or answer messages per the Figure 4 FSM.
+//!
+//! The simulator is deterministic: event ties break by schedule order and
+//! no randomness is used outside workload generation.
+
+mod node;
+mod report;
+
+pub use node::{Mshr, MshrKind, Node, ProcState};
+pub use report::ExecutionReport;
+
+use crate::switchdir::{GenMsg, SnoopAction, SwitchDirectory, TransientReadPolicy};
+use dresar_cache::{AccessOutcome, CacheHierarchy, Eviction, LineState};
+use dresar_directory::{DirAction, HomeDirectory, QueuedReq, ReqKind};
+use dresar_engine::{BankedResource, EventQueue, Resource};
+use dresar_interconnect::routes::{self, Route};
+use dresar_interconnect::{Bmin, HopNetwork, SwitchId};
+use dresar_stats::{BlockHistogram, ReadClass};
+use dresar_types::addr::AddressMap;
+use dresar_types::config::SystemConfig;
+use dresar_types::msg::{Endpoint, Message, MsgType};
+use dresar_types::{BlockAddr, Cycle, NodeId, RefKind, SharerSet, StreamItem, Workload};
+
+/// Options for one run.
+#[derive(Debug, Clone, Copy)]
+pub struct RunOptions {
+    /// Abort (panic) if simulated time exceeds this bound — catches
+    /// protocol livelock in tests instead of hanging.
+    pub max_cycles: Cycle,
+    /// Collect the per-block miss histogram (Figure 2 support).
+    pub collect_histogram: bool,
+    /// TRANSIENT-read policy for the switch directories.
+    pub transient_policy: TransientReadPolicy,
+}
+
+impl Default for RunOptions {
+    fn default() -> Self {
+        RunOptions {
+            max_cycles: 1 << 40,
+            collect_histogram: false,
+            transient_policy: TransientReadPolicy::Retry,
+        }
+    }
+}
+
+/// Simulation events.
+enum Ev {
+    /// Processor resumes stream execution.
+    Proc(NodeId),
+    /// A message header arrives at `route.links[hop]`'s far side.
+    Msg(Box<InFlight>),
+    /// The home directory/DRAM finished processing `msg`; execute the FSM.
+    HomeExec {
+        /// Home node.
+        home: NodeId,
+        /// The processed message.
+        msg: Box<Message>,
+    },
+    /// A NAK'd transaction re-issues.
+    Retry {
+        /// Retrying node.
+        node: NodeId,
+        /// Block of the NAK'd transaction.
+        block: BlockAddr,
+    },
+}
+
+struct InFlight {
+    msg: Message,
+    route: Route,
+    hop: usize,
+}
+
+#[derive(Debug, Default)]
+struct BarrierState {
+    arrived: u64,
+    count: usize,
+    max_time: Cycle,
+}
+
+/// The assembled machine.
+pub struct System {
+    cfg: SystemConfig,
+    map: AddressMap,
+    bmin: Bmin,
+    net: HopNetwork,
+    nodes: Vec<Node>,
+    homes: Vec<HomeDirectory>,
+    home_ctrl: Vec<Resource>,
+    dram: Vec<BankedResource>,
+    sdirs: Vec<Option<SwitchDirectory>>,
+    queue: EventQueue<Ev>,
+    msg_seq: u64,
+    barrier: BarrierState,
+    workload: String,
+    writebacks: u64,
+    histogram: Option<BlockHistogram>,
+    end_time: Cycle,
+}
+
+impl System {
+    /// Builds a system for `cfg` loaded with `workload` (streams beyond
+    /// `cfg.nodes` are rejected; missing streams run empty).
+    ///
+    /// # Panics
+    /// Panics if the configuration or workload fails validation.
+    pub fn new(cfg: SystemConfig, workload: &Workload) -> Self {
+        cfg.validate().expect("invalid system configuration");
+        workload.validate().expect("invalid workload");
+        assert!(
+            workload.streams.len() <= cfg.nodes,
+            "workload has more streams ({}) than nodes ({})",
+            workload.streams.len(),
+            cfg.nodes
+        );
+        let map = cfg.address_map();
+        let bmin = Bmin::new(cfg.nodes, cfg.switch.radix as usize);
+        let nodes = (0..cfg.nodes)
+            .map(|i| {
+                let stream = workload.streams.get(i).cloned().unwrap_or_default();
+                Node::new(i as NodeId, CacheHierarchy::new(cfg.l1, cfg.l2), stream)
+            })
+            .collect();
+        let sdirs = (0..bmin.total_switches())
+            .map(|_| cfg.switch_dir.map(SwitchDirectory::new))
+            .collect();
+        System {
+            map,
+            bmin,
+            net: HopNetwork::new(cfg.switch),
+            nodes,
+            homes: (0..cfg.nodes).map(|_| HomeDirectory::new(8)).collect(),
+            home_ctrl: vec![Resource::new(); cfg.nodes],
+            dram: (0..cfg.nodes)
+                .map(|_| BankedResource::new(cfg.memory.interleave as usize))
+                .collect(),
+            sdirs,
+            queue: EventQueue::new(),
+            msg_seq: 0,
+            barrier: BarrierState::default(),
+            workload: workload.name.clone(),
+            writebacks: 0,
+            histogram: None,
+            end_time: 0,
+            cfg,
+        }
+    }
+
+    fn linear(&self, sw: SwitchId) -> usize {
+        sw.stage as usize * self.bmin.switches_per_stage() + sw.index as usize
+    }
+
+    fn next_id(&mut self) -> u64 {
+        self.msg_seq += 1;
+        self.msg_seq
+    }
+
+    /// Runs the simulation to completion and returns the report.
+    ///
+    /// # Panics
+    /// Panics on protocol deadlock (event queue drains with undrained
+    /// nodes) or when `opts.max_cycles` is exceeded (livelock guard).
+    pub fn run(mut self, opts: RunOptions) -> ExecutionReport {
+        if opts.collect_histogram {
+            self.histogram = Some(BlockHistogram::new());
+        }
+        if let Some(policy) = match opts.transient_policy {
+            TransientReadPolicy::Retry => None,
+            p => Some(p),
+        } {
+            // Rebuild switch directories with the requested policy.
+            if let Some(sd_cfg) = self.cfg.switch_dir {
+                for s in &mut self.sdirs {
+                    *s = Some(SwitchDirectory::with_policy(sd_cfg, policy));
+                }
+            }
+        }
+        for p in 0..self.cfg.nodes {
+            self.queue.schedule_at(0, Ev::Proc(p as NodeId));
+        }
+        while let Some((t, ev)) = self.queue.pop() {
+            assert!(
+                t <= opts.max_cycles,
+                "simulation exceeded {} cycles: livelock or runaway workload \
+                 (workload={}, pending events={})",
+                opts.max_cycles,
+                self.workload,
+                self.queue.len()
+            );
+            self.end_time = self.end_time.max(t);
+            match ev {
+                Ev::Proc(p) => self.on_proc(p, t),
+                Ev::Msg(infl) => self.on_msg(*infl, t),
+                Ev::HomeExec { home, msg } => self.on_home_exec(home, *msg, t),
+                Ev::Retry { node, block } => self.on_retry(node, block, t),
+            }
+        }
+        for n in &self.nodes {
+            assert!(
+                n.drained(),
+                "protocol deadlock: node {} stuck in {:?} with {} MSHRs (workload={})",
+                n.id,
+                n.state,
+                n.mshrs.len(),
+                self.workload
+            );
+        }
+        self.build_report()
+    }
+
+    fn build_report(self) -> ExecutionReport {
+        let mut r = ExecutionReport {
+            workload: self.workload,
+            cycles: self.end_time,
+            network_hops: self.net.messages_moved(),
+            writebacks: self.writebacks,
+            histogram: self.histogram,
+            ..Default::default()
+        };
+        for n in &self.nodes {
+            r.reads.merge(&n.reads);
+            r.refs_executed += n.refs_executed;
+        }
+        for h in &self.homes {
+            r.dir.merge(&h.stats());
+        }
+        for s in self.sdirs.iter().flatten() {
+            r.sd.merge(&s.stats());
+        }
+        r
+    }
+
+    // ------------------------------------------------------------------
+    // Processor execution
+    // ------------------------------------------------------------------
+
+    fn on_proc(&mut self, p: NodeId, t: Cycle) {
+        let issue_width = self.cfg.processor.issue_width as Cycle;
+        let wb_cap = self.cfg.processor.write_buffer_entries;
+        let mut t = t.max(self.nodes[p as usize].local_time);
+        loop {
+            let node = &mut self.nodes[p as usize];
+            if node.state != ProcState::Ready {
+                return;
+            }
+            let Some(item) = node.items.get(node.pc).copied() else {
+                node.state = ProcState::Done;
+                node.local_time = t;
+                return;
+            };
+            match item {
+                StreamItem::Barrier(id) => {
+                    node.pc += 1;
+                    node.local_time = t;
+                    if node.writes_inflight > 0 {
+                        // Release semantics: prior stores must complete
+                        // before the barrier is announced.
+                        node.state = ProcState::DrainForBarrier(id);
+                    } else {
+                        node.state = ProcState::AtBarrier(id);
+                        self.barrier_arrive(p, t);
+                    }
+                    return;
+                }
+                StreamItem::Ref(r) => {
+                    t += (r.work as Cycle).div_ceil(issue_width);
+                    let block = self.map.block(r.addr);
+                    match r.kind {
+                        RefKind::Read => match self.nodes[p as usize].hier.read(block) {
+                            AccessOutcome::L1Hit { latency } | AccessOutcome::L2Hit { latency } => {
+                                t += latency as Cycle;
+                                let node = &mut self.nodes[p as usize];
+                                node.pc += 1;
+                                node.refs_executed += 1;
+                            }
+                            outcome => {
+                                let t_miss = t + outcome.latency() as Cycle;
+                                let node = &mut self.nodes[p as usize];
+                                node.state = ProcState::WaitRead(block);
+                                node.stall_since = t;
+                                node.local_time = t;
+                                if node.mshrs.contains_key(&block) {
+                                    // A write to this block is already in
+                                    // flight: wait for its completion; the
+                                    // re-executed read will hit.
+                                    return;
+                                }
+                                node.mshrs.insert(
+                                    block,
+                                    Mshr {
+                                        kind: MshrKind::Read,
+                                        issued_at: t,
+                                        then_write: false,
+                                        inval_pending: false,
+                                        retry_pending: false,
+                                    },
+                                );
+                                self.send_request(p, block, MsgType::ReadRequest, t_miss);
+                                return;
+                            }
+                        },
+                        RefKind::Write => match self.nodes[p as usize].hier.write(block) {
+                            AccessOutcome::L1Hit { latency } | AccessOutcome::L2Hit { latency } => {
+                                t += latency as Cycle;
+                                let node = &mut self.nodes[p as usize];
+                                node.pc += 1;
+                                node.refs_executed += 1;
+                            }
+                            outcome => {
+                                let t_miss = t + outcome.latency() as Cycle;
+                                let node = &mut self.nodes[p as usize];
+                                if let Some(m) = node.mshrs.get_mut(&block) {
+                                    // Coalesce into the outstanding
+                                    // transaction; a pending read upgrades
+                                    // on fill.
+                                    if m.kind == MshrKind::Read {
+                                        m.then_write = true;
+                                    }
+                                    node.pc += 1;
+                                    node.refs_executed += 1;
+                                    t += 1;
+                                } else if node.writes_inflight >= wb_cap {
+                                    node.state = ProcState::WaitWriteBuffer;
+                                    node.local_time = t;
+                                    return;
+                                } else {
+                                    node.writes_inflight += 1;
+                                    node.mshrs.insert(
+                                        block,
+                                        Mshr {
+                                            kind: MshrKind::Write,
+                                            issued_at: t,
+                                            then_write: false,
+                                            inval_pending: false,
+                                            retry_pending: false,
+                                        },
+                                    );
+                                    node.pc += 1;
+                                    node.refs_executed += 1;
+                                    self.send_request(p, block, MsgType::WriteRequest, t_miss);
+                                    t += 1;
+                                }
+                            }
+                        },
+                    }
+                }
+            }
+        }
+    }
+
+    fn barrier_arrive(&mut self, p: NodeId, t: Cycle) {
+        self.barrier.arrived |= 1u64 << p;
+        self.barrier.count += 1;
+        self.barrier.max_time = self.barrier.max_time.max(t);
+        if self.barrier.count == self.cfg.nodes {
+            let release = self.barrier.max_time + 1;
+            self.barrier = BarrierState::default();
+            for q in 0..self.cfg.nodes {
+                let node = &mut self.nodes[q];
+                if matches!(node.state, ProcState::AtBarrier(_)) {
+                    node.state = ProcState::Ready;
+                    node.local_time = release;
+                    self.queue.schedule_at(release, Ev::Proc(q as NodeId));
+                }
+            }
+        }
+    }
+
+    fn on_retry(&mut self, p: NodeId, block: BlockAddr, t: Cycle) {
+        let node = &mut self.nodes[p as usize];
+        let Some(m) = node.mshrs.get_mut(&block) else {
+            return; // transaction completed before the retry fired
+        };
+        m.retry_pending = false;
+        node.reads.retries += 1;
+        let kind = match m.kind {
+            MshrKind::Read => MsgType::ReadRequest,
+            MshrKind::Write => MsgType::WriteRequest,
+        };
+        self.send_request(p, block, kind, t);
+    }
+
+    // ------------------------------------------------------------------
+    // Message plumbing
+    // ------------------------------------------------------------------
+
+    fn flits(&self, msg: &Message) -> u32 {
+        msg.flits(self.cfg.l2.line_bytes, self.cfg.switch.flit_bytes)
+    }
+
+    fn launch(&mut self, msg: Message, route: Route, t: Cycle) {
+        debug_assert!(route.well_formed());
+        let flits = self.flits(&msg);
+        let arrive = self.net.traverse_link(route.links[0], t, flits);
+        self.queue
+            .schedule_at(arrive, Ev::Msg(Box::new(InFlight { msg, route, hop: 0 })));
+    }
+
+    fn send_request(&mut self, p: NodeId, block: BlockAddr, kind: MsgType, t: Cycle) {
+        let home = self.map.home_of_block(block);
+        let msg = Message::new(
+            self.next_id(),
+            kind,
+            block,
+            Endpoint::Proc(p),
+            Endpoint::Mem(home),
+            p,
+            t,
+        );
+        let route = routes::forward(&self.bmin, p, home);
+        self.launch(msg, route, t);
+    }
+
+    fn send_from_proc(&mut self, msg: Message, t: Cycle) {
+        let src = match msg.src {
+            Endpoint::Proc(p) => p,
+            _ => unreachable!("send_from_proc with non-proc source"),
+        };
+        let route = match msg.dst {
+            Endpoint::Mem(h) => routes::forward(&self.bmin, src, h),
+            Endpoint::Proc(q) => routes::proc_to_proc(&self.bmin, src, q, msg.block.0),
+            Endpoint::Switch { .. } => unreachable!("messages never target switches"),
+        };
+        self.launch(msg, route, t);
+    }
+
+    fn send_from_mem(&mut self, msg: Message, t: Cycle) {
+        let src = match msg.src {
+            Endpoint::Mem(h) => h,
+            _ => unreachable!("send_from_mem with non-mem source"),
+        };
+        let dst = match msg.dst {
+            Endpoint::Proc(p) => p,
+            _ => unreachable!("memory only sends to processors"),
+        };
+        let route = routes::backward(&self.bmin, src, dst);
+        self.launch(msg, route, t);
+    }
+
+    fn send_from_switch(&mut self, sw: SwitchId, gen: GenMsg, orig: &Message, t: Cycle) {
+        let (kind, to, owner) = match gen {
+            GenMsg::CtoCRequest { owner, requester } => (MsgType::CtoCRequest, owner, Some(requester)),
+            GenMsg::Retry { to } => (MsgType::Retry, to, None),
+            GenMsg::DataReply { to } => (MsgType::ReadReply, to, None),
+        };
+        let requester = match gen {
+            GenMsg::CtoCRequest { requester, .. } => requester,
+            GenMsg::Retry { to } | GenMsg::DataReply { to } => to,
+        };
+        let mut msg = Message::new(
+            self.next_id(),
+            kind,
+            orig.block,
+            Endpoint::Switch { stage: sw.stage, index: sw.index },
+            Endpoint::Proc(to),
+            requester,
+            orig.issued_at,
+        )
+        .from_switch();
+        if let (MsgType::CtoCRequest, Some(_)) = (kind, owner) {
+            msg.owner = Some(to);
+        }
+        // Targets of CtoC requests and data replies are always down-
+        // reachable (placement invariant); NAKs to foreign CtoC requesters
+        // may need to ascend and turn around.
+        let route = routes::from_switch_to_proc_via(&self.bmin, sw, to, orig.block.0);
+        // Generation overlaps the switch's own pipeline: one core delay.
+        let depart = t + self.net.core_delay();
+        self.launch(msg, route, depart);
+    }
+
+    fn on_msg(&mut self, infl: InFlight, t: Cycle) {
+        let InFlight { mut msg, route, hop } = infl;
+        if hop < route.switches.len() {
+            let sw = route.switches[hop];
+            let idx = self.linear(sw);
+            let action = match self.sdirs[idx].as_mut() {
+                Some(sd) => sd.snoop(&mut msg),
+                None => SnoopAction::Forward,
+            };
+            match action {
+                SnoopAction::Forward => self.forward_hop(msg, route, hop, t),
+                SnoopAction::Sink => {}
+                SnoopAction::SinkSend(gen) => {
+                    for g in gen {
+                        self.send_from_switch(sw, g, &msg, t);
+                    }
+                }
+                SnoopAction::ForwardSend(gen) => {
+                    for g in gen {
+                        self.send_from_switch(sw, g, &msg, t);
+                    }
+                    self.forward_hop(msg, route, hop, t);
+                }
+            }
+        } else {
+            // Endpoint delivery: the header arrived at `t`; data-bearing
+            // messages complete after the tail.
+            let flits = self.flits(&msg);
+            let t_full = t + self.net.tail_lag(flits);
+            match msg.dst {
+                Endpoint::Mem(h) => self.on_home_arrival(h, msg, t_full),
+                Endpoint::Proc(p) => self.on_proc_delivery(p, msg, t_full),
+                Endpoint::Switch { .. } => unreachable!("messages never terminate at switches"),
+            }
+        }
+    }
+
+    fn forward_hop(&mut self, msg: Message, route: Route, hop: usize, t: Cycle) {
+        let flits = self.flits(&msg);
+        let depart = t + self.net.core_delay();
+        let arrive = self.net.traverse_link(route.links[hop + 1], depart, flits);
+        self.queue
+            .schedule_at(arrive, Ev::Msg(Box::new(InFlight { msg, route, hop: hop + 1 })));
+    }
+
+    // ------------------------------------------------------------------
+    // Home node (memory + directory controller)
+    // ------------------------------------------------------------------
+
+    fn on_home_arrival(&mut self, h: NodeId, msg: Message, t: Cycle) {
+        let occ = self.cfg.memory.controller_occupancy as Cycle;
+        let start = self.home_ctrl[h as usize].acquire(t, occ);
+        let done = match msg.kind {
+            MsgType::InvalAck => start + occ,
+            _ => {
+                // Directory state lives in DRAM: every lookup/update pays
+                // the access latency (the cost switch directories dodge).
+                let dram = self.cfg.memory.access_cycles as Cycle;
+                let dstart = self.dram[h as usize].acquire(msg.block.0, start + occ, dram);
+                dstart + dram
+            }
+        };
+        self.queue.schedule_at(done, Ev::HomeExec { home: h, msg: Box::new(msg) });
+    }
+
+    fn on_home_exec(&mut self, h: NodeId, msg: Message, t: Cycle) {
+        match msg.kind {
+            MsgType::ReadRequest => {
+                let act = self.homes[h as usize].handle_read(msg.block, msg.requester);
+                self.apply_dir_action(h, msg.block, act, t);
+            }
+            MsgType::WriteRequest => {
+                let act = self.homes[h as usize].handle_write(msg.block, msg.requester);
+                self.apply_dir_action(h, msg.block, act, t);
+            }
+            MsgType::CopyBack => {
+                let sender = match msg.src {
+                    Endpoint::Proc(p) => p,
+                    _ => unreachable!("copybacks originate at caches"),
+                };
+                let c = self.homes[h as usize].handle_copyback(msg.block, sender, msg.carried_sharers);
+                self.apply_completion(h, msg.block, c, t);
+            }
+            MsgType::WriteBack => {
+                let sender = match msg.src {
+                    Endpoint::Proc(p) => p,
+                    _ => unreachable!("writebacks originate at caches"),
+                };
+                let c = self.homes[h as usize].handle_writeback(msg.block, sender, msg.carried_sharers);
+                self.apply_completion(h, msg.block, c, t);
+            }
+            MsgType::InvalAck => {
+                let c = self.homes[h as usize].handle_inval_ack(msg.block);
+                self.apply_completion(h, msg.block, c, t);
+            }
+            other => unreachable!("home received unexpected {other:?}"),
+        }
+    }
+
+    fn apply_completion(
+        &mut self,
+        h: NodeId,
+        block: BlockAddr,
+        c: dresar_directory::Completion,
+        t: Cycle,
+    ) {
+        for act in c.actions {
+            self.apply_dir_action(h, block, act, t);
+        }
+        for QueuedReq { block, requester, kind } in c.replay {
+            let act = match kind {
+                ReqKind::Read => self.homes[h as usize].handle_read(block, requester),
+                ReqKind::Write => self.homes[h as usize].handle_write(block, requester),
+            };
+            self.apply_dir_action(h, block, act, t);
+        }
+    }
+
+    fn apply_dir_action(&mut self, h: NodeId, block: BlockAddr, act: DirAction, t: Cycle) {
+        match act {
+            DirAction::ReadReplyClean { to } => {
+                let msg = Message::new(
+                    self.next_id(),
+                    MsgType::ReadReply,
+                    block,
+                    Endpoint::Mem(h),
+                    Endpoint::Proc(to),
+                    to,
+                    t,
+                );
+                self.send_from_mem(msg, t);
+            }
+            DirAction::WriteReplyGrant { to } => {
+                let msg = Message::new(
+                    self.next_id(),
+                    MsgType::WriteReply,
+                    block,
+                    Endpoint::Mem(h),
+                    Endpoint::Proc(to),
+                    to,
+                    t,
+                );
+                self.send_from_mem(msg, t);
+            }
+            DirAction::ForwardCtoC { owner, requester, write_intent } => {
+                let mut msg = Message::new(
+                    self.next_id(),
+                    MsgType::CtoCRequest,
+                    block,
+                    Endpoint::Mem(h),
+                    Endpoint::Proc(owner),
+                    requester,
+                    t,
+                )
+                .with_owner(owner);
+                if write_intent {
+                    msg = msg.with_write_intent();
+                }
+                self.send_from_mem(msg, t);
+            }
+            DirAction::Invalidate { targets, writer: _ } => {
+                for target in targets.iter() {
+                    let msg = Message::new(
+                        self.next_id(),
+                        MsgType::Invalidate,
+                        block,
+                        Endpoint::Mem(h),
+                        Endpoint::Proc(target),
+                        target,
+                        t,
+                    );
+                    self.send_from_mem(msg, t);
+                }
+            }
+            DirAction::Nak { to } => {
+                let msg = Message::new(
+                    self.next_id(),
+                    MsgType::Retry,
+                    block,
+                    Endpoint::Mem(h),
+                    Endpoint::Proc(to),
+                    to,
+                    t,
+                );
+                self.send_from_mem(msg, t);
+            }
+            DirAction::Queued => {}
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Processor-side message handling (cache controller)
+    // ------------------------------------------------------------------
+
+    fn on_proc_delivery(&mut self, p: NodeId, msg: Message, t: Cycle) {
+        match msg.kind {
+            MsgType::ReadReply => {
+                self.complete_fill(p, &msg, LineState::Shared, self.classify_read(&msg), t)
+            }
+            MsgType::CtoCData => {
+                if msg.write_intent {
+                    self.complete_fill(p, &msg, LineState::Modified, None, t);
+                } else {
+                    self.complete_fill(p, &msg, LineState::Shared, self.classify_read(&msg), t);
+                }
+            }
+            MsgType::WriteReply => {
+                self.complete_fill(p, &msg, LineState::Modified, None, t);
+            }
+            MsgType::CtoCRequest => self.on_intervention(p, msg, t),
+            MsgType::Invalidate => self.on_invalidate(p, msg, t),
+            MsgType::Retry => self.on_nak(p, msg, t),
+            other => unreachable!("processor received unexpected {other:?}"),
+        }
+    }
+
+    fn classify_read(&self, msg: &Message) -> Option<ReadClass> {
+        Some(match msg.kind {
+            MsgType::ReadReply if msg.switch_generated => ReadClass::DirtyCtoCSwitch,
+            MsgType::ReadReply => ReadClass::CleanMemory,
+            MsgType::CtoCData if msg.switch_generated => ReadClass::DirtyCtoCSwitch,
+            MsgType::CtoCData => ReadClass::DirtyCtoCHome,
+            _ => return None,
+        })
+    }
+
+    /// Installs arriving data and completes the block's MSHR.
+    fn complete_fill(
+        &mut self,
+        p: NodeId,
+        msg: &Message,
+        state: LineState,
+        class: Option<ReadClass>,
+        t: Cycle,
+    ) {
+        let block = msg.block;
+        let evictions = self.nodes[p as usize].hier.fill(block, state);
+        self.emit_evictions(p, evictions, t);
+
+        let node = &mut self.nodes[p as usize];
+        let Some(m) = node.mshrs.remove(&block) else {
+            return; // Late duplicate (NAK'd then served twice): fill only.
+        };
+        match m.kind {
+            MshrKind::Read => {
+                if let Some(class) = class {
+                    node.reads.record(class, t.saturating_sub(m.issued_at));
+                    if let Some(h) = self.histogram.as_mut() {
+                        h.record_miss(block, class != ReadClass::CleanMemory);
+                    }
+                }
+                if m.then_write {
+                    // A write coalesced behind this read: upgrade now.
+                    let node = &mut self.nodes[p as usize];
+                    node.writes_inflight += 1;
+                    node.mshrs.insert(
+                        block,
+                        Mshr {
+                            kind: MshrKind::Write,
+                            issued_at: t,
+                            then_write: false,
+                            inval_pending: m.inval_pending,
+                            retry_pending: false,
+                        },
+                    );
+                    self.send_request(p, block, MsgType::WriteRequest, t);
+                } else if m.inval_pending {
+                    // Fill-then-invalidate: the blocked read consumes the
+                    // data once (below), then the line dies.
+                    self.nodes[p as usize].hier.invalidate(block);
+                }
+            }
+            MshrKind::Write => {
+                let node = &mut self.nodes[p as usize];
+                debug_assert!(node.writes_inflight > 0);
+                node.writes_inflight -= 1;
+                match node.state {
+                    ProcState::WaitWriteBuffer => {
+                        node.state = ProcState::Ready;
+                        self.queue.schedule_at(t, Ev::Proc(p));
+                    }
+                    ProcState::DrainForBarrier(id) if node.writes_inflight == 0 => {
+                        node.state = ProcState::AtBarrier(id);
+                        node.local_time = node.local_time.max(t);
+                        let at = node.local_time;
+                        self.barrier_arrive(p, at);
+                    }
+                    _ => {}
+                }
+            }
+        }
+        // Resume a processor blocked on this block.
+        let node = &mut self.nodes[p as usize];
+        if node.state == ProcState::WaitRead(block) {
+            if m.inval_pending && m.kind == MshrKind::Read {
+                // Let the pending read hit before the invalidation bites:
+                // model the single use by re-filling Shared for one access.
+                // (The line was invalidated above; a refill would be
+                // incorrect — instead account the hit by advancing past the
+                // read here.)
+                node.pc += 1;
+                node.refs_executed += 1;
+            }
+            node.reads.stall_cycles += t.saturating_sub(node.stall_since);
+            node.state = ProcState::Ready;
+            node.local_time = node.local_time.max(t);
+            self.queue.schedule_at(t, Ev::Proc(p));
+        }
+    }
+
+    fn emit_evictions(&mut self, p: NodeId, evictions: Vec<Eviction>, t: Cycle) {
+        for ev in evictions {
+            if let Eviction::Writeback(victim) = ev {
+                self.writebacks += 1;
+                let home = self.map.home_of_block(victim);
+                let msg = Message::new(
+                    self.next_id(),
+                    MsgType::WriteBack,
+                    victim,
+                    Endpoint::Proc(p),
+                    Endpoint::Mem(home),
+                    p,
+                    t,
+                );
+                self.send_from_proc(msg, t);
+            }
+        }
+    }
+
+    /// A CtoC intervention arrives at (what the sender believes is) the
+    /// owner cache.
+    fn on_intervention(&mut self, p: NodeId, msg: Message, t: Cycle) {
+        let block = msg.block;
+        let t_cache = t + self.cfg.l2.access_cycles as Cycle;
+        let holds_dirty =
+            self.nodes[p as usize].hier.probe(block) == Some(LineState::Modified);
+        if holds_dirty {
+            if msg.write_intent {
+                self.nodes[p as usize].hier.invalidate(block);
+            } else {
+                self.nodes[p as usize].hier.downgrade(block);
+            }
+            // Data straight to the requester...
+            let mut data = Message::new(
+                self.next_id(),
+                MsgType::CtoCData,
+                block,
+                Endpoint::Proc(p),
+                Endpoint::Proc(msg.requester),
+                msg.requester,
+                msg.issued_at,
+            );
+            data.switch_generated = msg.switch_generated;
+            if msg.write_intent {
+                data = data.with_write_intent();
+            }
+            self.send_from_proc(data, t_cache);
+            // ...and the copyback toward the home to update memory (and be
+            // marked by any TRANSIENT switch entries on the way).
+            let home = self.map.home_of_block(block);
+            let mut cb = Message::new(
+                self.next_id(),
+                MsgType::CopyBack,
+                block,
+                Endpoint::Proc(p),
+                Endpoint::Mem(home),
+                msg.requester,
+                msg.issued_at,
+            );
+            cb.switch_generated = msg.switch_generated;
+            if msg.write_intent {
+                cb = cb.with_write_intent();
+            }
+            self.send_from_proc(cb, t_cache);
+        } else {
+            // Race: the block left this cache (eviction writeback or a
+            // concurrent transfer). NAK the requester; home-side completion
+            // is handled by the writeback/copyback already in flight.
+            let mut nak = Message::new(
+                self.next_id(),
+                MsgType::Retry,
+                block,
+                Endpoint::Proc(p),
+                Endpoint::Proc(msg.requester),
+                msg.requester,
+                msg.issued_at,
+            );
+            nak.switch_generated = msg.switch_generated;
+            self.send_from_proc(nak, t_cache);
+        }
+    }
+
+    fn on_invalidate(&mut self, p: NodeId, msg: Message, t: Cycle) {
+        let block = msg.block;
+        {
+            let node = &mut self.nodes[p as usize];
+            if let Some(m) = node.mshrs.get_mut(&block) {
+                if m.kind == MshrKind::Read {
+                    // Data is in flight: use-once then invalidate.
+                    m.inval_pending = true;
+                }
+            } else {
+                node.hier.invalidate(block);
+            }
+        }
+        let home = self.map.home_of_block(block);
+        let ack = Message::new(
+            self.next_id(),
+            MsgType::InvalAck,
+            block,
+            Endpoint::Proc(p),
+            Endpoint::Mem(home),
+            p,
+            t,
+        );
+        self.send_from_proc(ack, t + 1);
+    }
+
+    fn on_nak(&mut self, p: NodeId, msg: Message, t: Cycle) {
+        let backoff = self.cfg.processor.retry_backoff_cycles as Cycle;
+        let node = &mut self.nodes[p as usize];
+        if let Some(m) = node.mshrs.get_mut(&msg.block) {
+            if !m.retry_pending {
+                m.retry_pending = true;
+                self.queue.schedule_at(t + backoff, Ev::Retry { node: p, block: msg.block });
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Introspection for tests
+    // ------------------------------------------------------------------
+
+    /// The address map in use.
+    pub fn address_map(&self) -> AddressMap {
+        self.map
+    }
+
+    /// Sharer set recorded at the home for a block (tests).
+    pub fn home_sharers(&self, block: BlockAddr) -> Option<SharerSet> {
+        let h = self.map.home_of_block(block);
+        match self.homes[h as usize].state(block) {
+            dresar_directory::DirState::Shared(s) => Some(s),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dresar_types::config::SwitchDirConfig;
+
+    fn small_cfg(switch_dir: bool) -> SystemConfig {
+        let mut cfg = SystemConfig::paper_table2();
+        cfg.nodes = 4;
+        cfg.switch.radix = 2;
+        cfg.switch_dir = switch_dir.then(SwitchDirConfig::paper_default);
+        cfg
+    }
+
+    fn wl(streams: Vec<Vec<StreamItem>>) -> Workload {
+        Workload { name: "test".into(), streams }
+    }
+
+    fn run(cfg: SystemConfig, w: &Workload) -> ExecutionReport {
+        System::new(cfg, w).run(RunOptions { max_cycles: 10_000_000, ..Default::default() })
+    }
+
+    #[test]
+    fn single_read_is_clean_from_memory() {
+        let w = wl(vec![vec![StreamItem::read(0, 4)]]);
+        let r = run(small_cfg(false), &w);
+        assert_eq!(r.reads.clean, 1);
+        assert_eq!(r.reads.dirty(), 0);
+        assert!(r.cycles > 0);
+        assert_eq!(r.refs_executed, 1);
+    }
+
+    #[test]
+    fn cached_reads_do_not_go_to_memory() {
+        let w = wl(vec![vec![StreamItem::read(0, 1), StreamItem::read(0, 1), StreamItem::read(4, 1)]]);
+        let r = run(small_cfg(false), &w);
+        // Blocks 0 and 4 share a 32-byte line? addr 4 is in block 0: one miss.
+        assert_eq!(r.reads.total(), 1);
+        assert_eq!(r.refs_executed, 3);
+    }
+
+    #[test]
+    fn write_then_remote_read_is_home_ctoc_without_switch_dir() {
+        let w = wl(vec![
+            vec![StreamItem::write(0, 1), StreamItem::Barrier(0)],
+            vec![StreamItem::Barrier(0), StreamItem::read(0, 1)],
+            vec![StreamItem::Barrier(0)],
+            vec![StreamItem::Barrier(0)],
+        ]);
+        let r = run(small_cfg(false), &w);
+        assert_eq!(r.reads.ctoc_home, 1, "dirty read must be a home-forwarded CtoC");
+        assert_eq!(r.reads.ctoc_switch, 0);
+        assert_eq!(r.dir.reads_ctoc, 1);
+    }
+
+    #[test]
+    fn switch_directory_serves_remote_read() {
+        let w = wl(vec![
+            vec![StreamItem::write(0, 1), StreamItem::Barrier(0)],
+            vec![StreamItem::Barrier(0), StreamItem::read(0, 1)],
+            vec![StreamItem::Barrier(0)],
+            vec![StreamItem::Barrier(0)],
+        ]);
+        let r = run(small_cfg(true), &w);
+        assert_eq!(r.reads.ctoc_switch, 1, "switch directory must intercept the read");
+        assert_eq!(r.reads.ctoc_home, 0);
+        assert_eq!(r.dir.reads_ctoc, 0, "the read never reached the home");
+        assert!(r.sd.read_hits >= 1);
+        assert!(r.sd.copybacks_marked >= 1, "the copyback must carry the new sharer");
+    }
+
+    #[test]
+    fn switch_dir_keeps_home_directory_exact() {
+        // After a switch-served read, a third processor writing the block
+        // must trigger invalidations covering *both* the owner and the
+        // switch-served reader — proof the marked copyback reached the home.
+        let w = wl(vec![
+            vec![StreamItem::write(0, 1), StreamItem::Barrier(0), StreamItem::Barrier(1)],
+            vec![StreamItem::Barrier(0), StreamItem::read(0, 1), StreamItem::Barrier(1)],
+            vec![StreamItem::Barrier(0), StreamItem::Barrier(1), StreamItem::write(0, 1)],
+            vec![StreamItem::Barrier(0), StreamItem::Barrier(1)],
+        ]);
+        let r = run(small_cfg(true), &w);
+        assert_eq!(r.reads.ctoc_switch, 1);
+        assert!(r.dir.marked_completions >= 1, "home must see the marked copyback");
+        assert!(
+            r.dir.invals_sent >= 2,
+            "writer must invalidate owner and switch-served sharer, got {}",
+            r.dir.invals_sent
+        );
+    }
+
+    #[test]
+    fn write_after_remote_write_transfers_ownership() {
+        let w = wl(vec![
+            vec![StreamItem::write(0, 1), StreamItem::Barrier(0)],
+            vec![StreamItem::Barrier(0), StreamItem::write(0, 1)],
+            vec![StreamItem::Barrier(0)],
+            vec![StreamItem::Barrier(0)],
+        ]);
+        let r = run(small_cfg(false), &w);
+        assert_eq!(r.dir.writes_ctoc, 1, "second write must trigger an ownership transfer");
+    }
+
+    #[test]
+    fn shared_then_write_invalidates_sharers() {
+        let w = wl(vec![
+            vec![StreamItem::read(0, 1), StreamItem::Barrier(0)],
+            vec![StreamItem::read(0, 1), StreamItem::Barrier(0)],
+            vec![StreamItem::Barrier(0), StreamItem::write(0, 1)],
+            vec![StreamItem::Barrier(0)],
+        ]);
+        let r = run(small_cfg(false), &w);
+        assert!(r.dir.inval_rounds >= 1);
+        assert!(r.dir.invals_sent >= 2);
+    }
+
+    #[test]
+    fn capacity_evictions_produce_writebacks() {
+        // Write more distinct blocks than L2 can hold.
+        let cfg = small_cfg(false);
+        let lines = cfg.l2.lines();
+        let stream: Vec<StreamItem> =
+            (0..lines + 64).map(|i| StreamItem::write(i * 32, 1)).collect();
+        let r = run(cfg, &wl(vec![stream]));
+        assert!(r.writebacks > 0, "dirty evictions must write back");
+    }
+
+    #[test]
+    fn reports_are_deterministic() {
+        let w = wl(vec![
+            vec![StreamItem::write(0, 1), StreamItem::read(4096, 2), StreamItem::Barrier(0)],
+            vec![StreamItem::Barrier(0), StreamItem::read(0, 1)],
+            vec![StreamItem::write(8192, 3), StreamItem::Barrier(0)],
+            vec![StreamItem::Barrier(0), StreamItem::read(8192, 1)],
+        ]);
+        let r1 = run(small_cfg(true), &w);
+        let r2 = run(small_cfg(true), &w);
+        assert_eq!(r1.cycles, r2.cycles);
+        assert_eq!(r1.reads, r2.reads);
+        assert_eq!(r1.network_hops, r2.network_hops);
+    }
+
+    #[test]
+    fn switch_dir_reduces_read_latency() {
+        // A producer writes many blocks; consumers read them. With switch
+        // directories the dirty reads shortcut the home.
+        let blocks: Vec<u64> = (0..32).map(|i| i * 32).collect();
+        let producer: Vec<StreamItem> = blocks
+            .iter()
+            .map(|&b| StreamItem::write(b, 2))
+            .chain([StreamItem::Barrier(0)])
+            .collect();
+        let consumer: Vec<StreamItem> = [StreamItem::Barrier(0)]
+            .into_iter()
+            .chain(blocks.iter().map(|&b| StreamItem::read(b, 2)))
+            .collect();
+        let w = wl(vec![
+            producer,
+            consumer,
+            vec![StreamItem::Barrier(0)],
+            vec![StreamItem::Barrier(0)],
+        ]);
+        let base = run(small_cfg(false), &w);
+        let with = run(small_cfg(true), &w);
+        assert!(with.reads.ctoc_switch > 0);
+        assert!(
+            with.avg_read_latency() < base.avg_read_latency(),
+            "switch dir {} must beat base {}",
+            with.avg_read_latency(),
+            base.avg_read_latency()
+        );
+        assert!(with.home_ctoc() < base.home_ctoc());
+    }
+
+    #[test]
+    fn histogram_collection_works() {
+        let w = wl(vec![
+            vec![StreamItem::write(0, 1), StreamItem::Barrier(0)],
+            vec![StreamItem::Barrier(0), StreamItem::read(0, 1), StreamItem::read(4096, 1)],
+            vec![StreamItem::Barrier(0)],
+            vec![StreamItem::Barrier(0)],
+        ]);
+        let r = System::new(small_cfg(false), &w).run(RunOptions {
+            collect_histogram: true,
+            max_cycles: 10_000_000,
+            ..Default::default()
+        });
+        let h = r.histogram.expect("histogram requested");
+        assert_eq!(h.total_misses(), 2);
+        assert_eq!(h.total_ctocs(), 1);
+    }
+
+    #[test]
+    fn paper_table2_sixteen_nodes_run() {
+        // Smoke test at the paper's full 16-node scale.
+        let mut streams = Vec::new();
+        for p in 0..16u64 {
+            streams.push(vec![
+                StreamItem::write(p * 32, 1),
+                StreamItem::Barrier(0),
+                StreamItem::read(((p + 1) % 16) * 32, 1),
+            ]);
+        }
+        let r = run(SystemConfig::paper_table2(), &wl(streams));
+        assert_eq!(r.refs_executed, 32);
+        assert!(r.reads.dirty() > 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeded")]
+    fn livelock_guard_fires() {
+        let w = wl(vec![vec![StreamItem::read(0, 1)]]);
+        System::new(small_cfg(false), &w).run(RunOptions {
+            max_cycles: 1, // absurdly small bound
+            ..Default::default()
+        });
+    }
+}

@@ -1,0 +1,102 @@
+//! Per-node processor state: stream execution, MSHRs, write buffer.
+
+use dresar_cache::CacheHierarchy;
+use dresar_stats::ReadStats;
+use dresar_types::{BlockAddr, Cycle, NodeId, StreamItem};
+use std::collections::HashMap;
+
+/// What the processor core is doing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ProcState {
+    /// Executing its stream.
+    Ready,
+    /// Blocked on a read to the given block.
+    WaitRead(BlockAddr),
+    /// Blocked because the write buffer is full.
+    WaitWriteBuffer,
+    /// Draining the write buffer before entering a barrier (a barrier is a
+    /// release point: all prior stores must complete first).
+    DrainForBarrier(u32),
+    /// Waiting at a barrier.
+    AtBarrier(u32),
+    /// Stream drained.
+    Done,
+}
+
+/// Kind of outstanding transaction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MshrKind {
+    /// Read (blocks the processor).
+    Read,
+    /// Write / ownership (retires through the write buffer).
+    Write,
+}
+
+/// A miss-status holding register: one outstanding transaction per block.
+#[derive(Debug, Clone, Copy)]
+pub struct Mshr {
+    /// Read or write.
+    pub kind: MshrKind,
+    /// Cycle the transaction was first issued (latency accounting).
+    pub issued_at: Cycle,
+    /// A write arrived while a read was outstanding: upgrade ownership as
+    /// soon as the read data lands.
+    pub then_write: bool,
+    /// An invalidation arrived while the fill was in flight: fill, let the
+    /// blocked read consume the data once, then invalidate.
+    pub inval_pending: bool,
+    /// A retry event is already scheduled (debounces NAK storms).
+    pub retry_pending: bool,
+}
+
+/// One node's processor-side state.
+#[derive(Debug)]
+pub struct Node {
+    /// Node id.
+    pub id: NodeId,
+    /// L1/L2 hierarchy.
+    pub hier: CacheHierarchy,
+    /// The reference stream.
+    pub items: Vec<StreamItem>,
+    /// Next stream index.
+    pub pc: usize,
+    /// Core state.
+    pub state: ProcState,
+    /// Outstanding transactions by block.
+    pub mshrs: HashMap<BlockAddr, Mshr>,
+    /// Outstanding write transactions (write-buffer occupancy).
+    pub writes_inflight: u32,
+    /// Read statistics for this node.
+    pub reads: ReadStats,
+    /// Cycle the current read stall began.
+    pub stall_since: Cycle,
+    /// The node's local notion of time: the cycle up to which its stream
+    /// has executed.
+    pub local_time: Cycle,
+    /// Memory references executed.
+    pub refs_executed: u64,
+}
+
+impl Node {
+    /// Creates a node with the given stream.
+    pub fn new(id: NodeId, hier: CacheHierarchy, items: Vec<StreamItem>) -> Self {
+        Node {
+            id,
+            hier,
+            items,
+            pc: 0,
+            state: ProcState::Ready,
+            mshrs: HashMap::new(),
+            writes_inflight: 0,
+            reads: ReadStats::default(),
+            stall_since: 0,
+            local_time: 0,
+            refs_executed: 0,
+        }
+    }
+
+    /// Whether the node has fully drained (stream done, no transactions).
+    pub fn drained(&self) -> bool {
+        self.state == ProcState::Done && self.mshrs.is_empty()
+    }
+}

@@ -1,0 +1,62 @@
+//! Aggregated results of one execution-driven simulation run.
+
+use dresar_directory::DirStats;
+use dresar_stats::ReadStats;
+use dresar_types::Cycle;
+
+use crate::switchdir::SdStats;
+
+/// Everything the evaluation figures need from one run.
+#[derive(Debug, Clone, Default)]
+pub struct ExecutionReport {
+    /// Workload name.
+    pub workload: String,
+    /// Total execution time in cycles (Figure 11's basis): the cycle the
+    /// last processor drained its stream, write buffer and transactions.
+    pub cycles: Cycle,
+    /// Aggregated read statistics (Figures 1, 9, 10).
+    pub reads: ReadStats,
+    /// Aggregated home-directory statistics (Figure 8's home-node CtoC
+    /// count is `dir.reads_ctoc`).
+    pub dir: DirStats,
+    /// Aggregated switch-directory statistics across all switches.
+    pub sd: SdStats,
+    /// Messages moved through the interconnect (hop count).
+    pub network_hops: u64,
+    /// Writebacks sent by caches.
+    pub writebacks: u64,
+    /// Total memory references executed.
+    pub refs_executed: u64,
+    /// Per-block miss/CtoC histogram (only if requested in
+    /// [`crate::system::RunOptions`]).
+    pub histogram: Option<dresar_stats::BlockHistogram>,
+}
+
+impl ExecutionReport {
+    /// Home-node cache-to-cache transfers (Figure 8's metric): dirty reads
+    /// that had to be serviced via the home directory.
+    pub fn home_ctoc(&self) -> u64 {
+        self.reads.ctoc_home
+    }
+
+    /// Switch-directory-served cache-to-cache transfers.
+    pub fn switch_ctoc(&self) -> u64 {
+        self.reads.ctoc_switch
+    }
+
+    /// Average read-miss latency in cycles (Figure 9).
+    pub fn avg_read_latency(&self) -> f64 {
+        self.reads.avg_latency()
+    }
+
+    /// Total read stall cycles across processors (Figure 10).
+    pub fn read_stall_cycles(&self) -> u64 {
+        self.reads.stall_cycles
+    }
+
+    /// Fraction of read misses serviced dirty (Figure 1).
+    pub fn dirty_read_fraction(&self) -> f64 {
+        self.reads.dirty_fraction()
+    }
+}
+

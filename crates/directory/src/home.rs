@@ -1,0 +1,708 @@
+//! The home-node full-map directory FSM.
+//!
+//! Per-block state is either *stable* — `Uncached`, `Shared(vector)`,
+//! `Modified(owner)` — or *busy* while a transaction is in flight:
+//!
+//! * `BusyCtoC`: a read or write intervention has been forwarded to the
+//!   owner and the home is waiting for the owner's `CopyBack` (or, in the
+//!   eviction race, its `WriteBack`).
+//! * `BusyInval`: invalidations are out and the home is counting acks
+//!   before granting ownership to a writer.
+//!
+//! Requests that hit a busy block are queued (bounded) or NAK'd. Marked
+//! copybacks/writebacks from switch directories carry additional sharer
+//! pids that the home folds into the vector at completion time.
+
+use dresar_types::{BlockAddr, NodeId, SharerSet};
+use std::collections::hash_map::Entry;
+use std::collections::{HashMap, VecDeque};
+
+/// Stable directory state of a block.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DirState {
+    /// No cache holds the block; memory is the only copy.
+    Uncached,
+    /// Read-only copies at the recorded sharers; memory is up to date.
+    /// (The vector may include stale sharers that evicted silently.)
+    Shared(SharerSet),
+    /// One cache holds the block dirty.
+    Modified(NodeId),
+}
+
+/// A queued request kind.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReqKind {
+    /// Read (load miss).
+    Read,
+    /// Write / ownership request.
+    Write,
+}
+
+/// A request parked in a block's pending queue.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct QueuedReq {
+    /// The block concerned.
+    pub block: BlockAddr,
+    /// Requesting processor.
+    pub requester: NodeId,
+    /// Read or write.
+    pub kind: ReqKind,
+}
+
+/// What the home directory wants the surrounding simulator to do.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DirAction {
+    /// Send the requester a clean `ReadReply` from memory.
+    ReadReplyClean {
+        /// Destination processor.
+        to: NodeId,
+    },
+    /// Send the requester a `WriteReply` granting ownership (with data).
+    WriteReplyGrant {
+        /// Destination processor.
+        to: NodeId,
+    },
+    /// Forward a `CtoCRequest` intervention to the owner.
+    ForwardCtoC {
+        /// Current owner to interrogate.
+        owner: NodeId,
+        /// Processor the data should be sent to.
+        requester: NodeId,
+        /// `true` when the intervention transfers ownership (write).
+        write_intent: bool,
+    },
+    /// Send `Invalidate`s to `targets`; ownership will be granted to
+    /// `writer` once all acks return.
+    Invalidate {
+        /// Sharers to invalidate.
+        targets: SharerSet,
+        /// Writer awaiting the grant.
+        writer: NodeId,
+    },
+    /// NAK the requester (busy queue full, or a writeback race); the
+    /// requester retries after backoff.
+    Nak {
+        /// Destination processor.
+        to: NodeId,
+    },
+    /// The request was parked in the block's pending queue.
+    Queued,
+}
+
+/// Busy sub-state of an in-flight transaction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Busy {
+    /// Intervention forwarded to `owner` on behalf of `requester`.
+    CtoC { owner: NodeId, requester: NodeId, write_intent: bool },
+    /// Counting invalidation acks before granting to `writer`.
+    Inval { writer: NodeId, acks_left: u32 },
+}
+
+#[derive(Debug, Clone)]
+struct BlockEntry {
+    state: DirState,
+    busy: Option<Busy>,
+    pending: VecDeque<QueuedReq>,
+}
+
+impl BlockEntry {
+    fn stable_uncached() -> Self {
+        BlockEntry { state: DirState::Uncached, busy: None, pending: VecDeque::new() }
+    }
+
+    fn is_quiescent(&self) -> bool {
+        self.state == DirState::Uncached && self.busy.is_none() && self.pending.is_empty()
+    }
+}
+
+/// Counters the evaluation section reads out.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DirStats {
+    /// Reads serviced clean from memory.
+    pub reads_clean: u64,
+    /// Reads that required a home-forwarded cache-to-cache transfer —
+    /// the "home node CtoC transfers" of Figure 8.
+    pub reads_ctoc: u64,
+    /// Write interventions forwarded to an owner.
+    pub writes_ctoc: u64,
+    /// Invalidation rounds started.
+    pub inval_rounds: u64,
+    /// Individual invalidations sent.
+    pub invals_sent: u64,
+    /// NAKs issued.
+    pub naks: u64,
+    /// Requests parked in pending queues.
+    pub queued: u64,
+    /// Marked copyback/writeback messages whose carried sharer pids were
+    /// folded into the vector (the switch-directory protocol extension).
+    pub marked_completions: u64,
+}
+
+impl DirStats {
+    /// Sums another instance's counters into this one (aggregation across
+    /// home nodes).
+    pub fn merge(&mut self, other: &DirStats) {
+        self.reads_clean += other.reads_clean;
+        self.reads_ctoc += other.reads_ctoc;
+        self.writes_ctoc += other.writes_ctoc;
+        self.inval_rounds += other.inval_rounds;
+        self.invals_sent += other.invals_sent;
+        self.naks += other.naks;
+        self.queued += other.queued;
+        self.marked_completions += other.marked_completions;
+    }
+}
+
+/// The full-map directory for the blocks homed at one node.
+#[derive(Debug, Clone)]
+pub struct HomeDirectory {
+    blocks: HashMap<BlockAddr, BlockEntry>,
+    pending_limit: usize,
+    stats: DirStats,
+}
+
+/// Outcome of a completion-type message (copyback / writeback / inval ack):
+/// zero or more immediate actions plus any pending requests to replay.
+#[derive(Debug, Default, PartialEq, Eq)]
+pub struct Completion {
+    /// Actions to perform now (replies to waiting requesters, new
+    /// invalidation rounds).
+    pub actions: Vec<DirAction>,
+    /// Pending requests unblocked by this completion; the caller must
+    /// re-dispatch them through `handle_read`/`handle_write` in order.
+    pub replay: Vec<QueuedReq>,
+}
+
+impl Default for HomeDirectory {
+    fn default() -> Self {
+        Self::new(8)
+    }
+}
+
+impl HomeDirectory {
+    /// Creates a directory with the given per-block pending-queue bound.
+    pub fn new(pending_limit: usize) -> Self {
+        HomeDirectory { blocks: HashMap::new(), pending_limit, stats: DirStats::default() }
+    }
+
+    /// Current stable state of a block (`Uncached` if never touched).
+    /// Busy blocks report their pre-transaction stable state.
+    pub fn state(&self, block: BlockAddr) -> DirState {
+        self.blocks.get(&block).map(|e| e.state).unwrap_or(DirState::Uncached)
+    }
+
+    /// Whether a transaction is in flight for the block.
+    pub fn is_busy(&self, block: BlockAddr) -> bool {
+        self.blocks.get(&block).is_some_and(|e| e.busy.is_some())
+    }
+
+    /// Counters.
+    pub fn stats(&self) -> DirStats {
+        self.stats
+    }
+
+    fn entry(&mut self, block: BlockAddr) -> &mut BlockEntry {
+        self.blocks.entry(block).or_insert_with(BlockEntry::stable_uncached)
+    }
+
+    /// Drops quiescent entries to bound memory in long runs.
+    pub fn compact(&mut self) {
+        self.blocks.retain(|_, e| !e.is_quiescent());
+    }
+
+    fn park(&mut self, block: BlockAddr, requester: NodeId, kind: ReqKind) -> DirAction {
+        let limit = self.pending_limit;
+        let e = self.entry(block);
+        if e.pending.len() >= limit {
+            self.stats.naks += 1;
+            DirAction::Nak { to: requester }
+        } else {
+            e.pending.push_back(QueuedReq { block, requester, kind });
+            self.stats.queued += 1;
+            DirAction::Queued
+        }
+    }
+
+    /// Handles a `ReadRequest` arriving at the home.
+    pub fn handle_read(&mut self, block: BlockAddr, requester: NodeId) -> DirAction {
+        if self.entry(block).busy.is_some() {
+            return self.park(block, requester, ReqKind::Read);
+        }
+        let e = self.entry(block);
+        match e.state {
+            DirState::Uncached => {
+                e.state = DirState::Shared(SharerSet::singleton(requester));
+                self.stats.reads_clean += 1;
+                DirAction::ReadReplyClean { to: requester }
+            }
+            DirState::Shared(mut set) => {
+                set.insert(requester);
+                e.state = DirState::Shared(set);
+                self.stats.reads_clean += 1;
+                DirAction::ReadReplyClean { to: requester }
+            }
+            DirState::Modified(owner) if owner == requester => {
+                // Writeback race: the directory still names the requester as
+                // owner, so its WriteBack must be in flight. NAK; the retry
+                // will find the block Uncached.
+                self.stats.naks += 1;
+                DirAction::Nak { to: requester }
+            }
+            DirState::Modified(owner) => {
+                e.busy = Some(Busy::CtoC { owner, requester, write_intent: false });
+                self.stats.reads_ctoc += 1;
+                DirAction::ForwardCtoC { owner, requester, write_intent: false }
+            }
+        }
+    }
+
+    /// Handles a `WriteRequest` (ownership request) arriving at the home.
+    pub fn handle_write(&mut self, block: BlockAddr, requester: NodeId) -> DirAction {
+        if self.entry(block).busy.is_some() {
+            return self.park(block, requester, ReqKind::Write);
+        }
+        let e = self.entry(block);
+        match e.state {
+            DirState::Uncached => {
+                e.state = DirState::Modified(requester);
+                DirAction::WriteReplyGrant { to: requester }
+            }
+            DirState::Shared(set) => {
+                let targets = {
+                    let mut t = set;
+                    t.remove(requester);
+                    t
+                };
+                if targets.is_empty() {
+                    e.state = DirState::Modified(requester);
+                    DirAction::WriteReplyGrant { to: requester }
+                } else {
+                    e.busy = Some(Busy::Inval { writer: requester, acks_left: targets.len() as u32 });
+                    self.stats.inval_rounds += 1;
+                    self.stats.invals_sent += targets.len() as u64;
+                    DirAction::Invalidate { targets, writer: requester }
+                }
+            }
+            DirState::Modified(owner) if owner == requester => {
+                // Writeback race, as in handle_read.
+                self.stats.naks += 1;
+                DirAction::Nak { to: requester }
+            }
+            DirState::Modified(owner) => {
+                e.busy = Some(Busy::CtoC { owner, requester, write_intent: true });
+                self.stats.writes_ctoc += 1;
+                DirAction::ForwardCtoC { owner, requester, write_intent: true }
+            }
+        }
+    }
+
+    /// Handles an `InvalAck`. When the last ack arrives, the waiting writer
+    /// gets its grant and pending requests replay.
+    pub fn handle_inval_ack(&mut self, block: BlockAddr) -> Completion {
+        let e = self.entry(block);
+        match e.busy {
+            Some(Busy::Inval { writer, acks_left }) => {
+                debug_assert!(acks_left > 0);
+                if acks_left == 1 {
+                    e.busy = None;
+                    e.state = DirState::Modified(writer);
+                    let replay = std::mem::take(&mut e.pending).into_iter().collect();
+                    Completion {
+                        actions: vec![DirAction::WriteReplyGrant { to: writer }],
+                        replay,
+                    }
+                } else {
+                    e.busy = Some(Busy::Inval { writer, acks_left: acks_left - 1 });
+                    Completion::default()
+                }
+            }
+            _ => {
+                debug_assert!(false, "InvalAck for a block with no inval round in flight");
+                Completion::default()
+            }
+        }
+    }
+
+    /// Handles a `CopyBack` from `from` — either solicited (the home
+    /// forwarded an intervention) or unsolicited (a switch directory
+    /// initiated the cache-to-cache transfer and the copyback is *marked*
+    /// with the extra sharer pids in `carried`).
+    pub fn handle_copyback(
+        &mut self,
+        block: BlockAddr,
+        from: NodeId,
+        carried: SharerSet,
+    ) -> Completion {
+        if !carried.is_empty() {
+            self.stats.marked_completions += 1;
+        }
+        let e = self.entry(block);
+        match e.busy {
+            Some(Busy::CtoC { owner, requester, write_intent }) if owner == from => {
+                e.busy = None;
+                if write_intent && carried.is_empty() {
+                    // Ownership transfer completed owner -> requester.
+                    e.state = DirState::Modified(requester);
+                    let replay = std::mem::take(&mut e.pending).into_iter().collect();
+                    return Completion { actions: vec![], replay };
+                }
+                // Read intervention completed (or a switch-initiated read
+                // CtoC completed while we were waiting): memory is fresh,
+                // owner downgraded to Shared.
+                let mut set = SharerSet::singleton(owner).union(carried);
+                if write_intent {
+                    // Our waiting transaction was a write but the owner
+                    // serviced a read CtoC first: everyone now sharing must
+                    // be invalidated before the writer gets ownership.
+                    let targets = {
+                        let mut t = set;
+                        t.remove(requester);
+                        t
+                    };
+                    if targets.is_empty() {
+                        e.state = DirState::Modified(requester);
+                        let replay = std::mem::take(&mut e.pending).into_iter().collect();
+                        return Completion {
+                            actions: vec![DirAction::WriteReplyGrant { to: requester }],
+                            replay,
+                        };
+                    }
+                    e.state = DirState::Shared(set);
+                    e.busy =
+                        Some(Busy::Inval { writer: requester, acks_left: targets.len() as u32 });
+                    self.stats.inval_rounds += 1;
+                    self.stats.invals_sent += targets.len() as u64;
+                    return Completion {
+                        actions: vec![DirAction::Invalidate { targets, writer: requester }],
+                        replay: vec![],
+                    };
+                }
+                set.insert(requester);
+                e.state = DirState::Shared(set);
+                let replay = std::mem::take(&mut e.pending).into_iter().collect();
+                Completion {
+                    actions: vec![DirAction::ReadReplyClean { to: requester }],
+                    replay,
+                }
+            }
+            _ => {
+                // Unsolicited: a switch-directory-initiated CtoC. The block
+                // must be recorded Modified(from); fold in carried sharers.
+                match e.state {
+                    DirState::Modified(owner) if owner == from => {
+                        e.state = DirState::Shared(SharerSet::singleton(from).union(carried));
+                        let replay = std::mem::take(&mut e.pending).into_iter().collect();
+                        Completion { actions: vec![], replay }
+                    }
+                    _ => {
+                        // Stale copyback (transaction already resolved by a
+                        // racing writeback). Memory write is harmless; fold
+                        // carried sharers if the state is Shared.
+                        if let DirState::Shared(set) = e.state {
+                            e.state = DirState::Shared(set.union(carried));
+                        }
+                        Completion::default()
+                    }
+                }
+            }
+        }
+    }
+
+    /// Handles a `WriteBack` (dirty eviction) from `from`. A *marked*
+    /// writeback (non-empty `carried`) means a switch directory already
+    /// answered some requester with the writeback's data, so those pids
+    /// enter the vector as sharers.
+    pub fn handle_writeback(
+        &mut self,
+        block: BlockAddr,
+        from: NodeId,
+        carried: SharerSet,
+    ) -> Completion {
+        if !carried.is_empty() {
+            self.stats.marked_completions += 1;
+        }
+        let e = self.entry(block);
+        match e.busy {
+            Some(Busy::CtoC { owner, requester, write_intent }) if owner == from => {
+                // Eviction race: the owner wrote back before our intervention
+                // reached it. Serve the waiting requester from memory.
+                e.busy = None;
+                if write_intent {
+                    let targets = carried;
+                    if targets.is_empty() {
+                        e.state = DirState::Modified(requester);
+                        let replay = std::mem::take(&mut e.pending).into_iter().collect();
+                        return Completion {
+                            actions: vec![DirAction::WriteReplyGrant { to: requester }],
+                            replay,
+                        };
+                    }
+                    e.state = DirState::Shared(targets);
+                    e.busy =
+                        Some(Busy::Inval { writer: requester, acks_left: targets.len() as u32 });
+                    self.stats.inval_rounds += 1;
+                    self.stats.invals_sent += targets.len() as u64;
+                    return Completion {
+                        actions: vec![DirAction::Invalidate { targets, writer: requester }],
+                        replay: vec![],
+                    };
+                }
+                let set = SharerSet::singleton(requester).union(carried);
+                e.state = DirState::Shared(set);
+                let replay = std::mem::take(&mut e.pending).into_iter().collect();
+                Completion {
+                    actions: vec![DirAction::ReadReplyClean { to: requester }],
+                    replay,
+                }
+            }
+            _ => match e.state {
+                DirState::Modified(owner) if owner == from => {
+                    e.state = if carried.is_empty() {
+                        DirState::Uncached
+                    } else {
+                        DirState::Shared(carried)
+                    };
+                    let replay = std::mem::take(&mut e.pending).into_iter().collect();
+                    Completion { actions: vec![], replay }
+                }
+                _ => {
+                    // Stale writeback (e.g. the block was already taken over
+                    // by another writer after a read-CtoC downgrade made the
+                    // evicting cache a mere sharer). Ignore.
+                    Completion::default()
+                }
+            },
+        }
+    }
+
+    /// Number of block entries currently tracked (diagnostic).
+    pub fn tracked_blocks(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// Test/debug helper: force a block's stable state.
+    pub fn force_state(&mut self, block: BlockAddr, state: DirState) {
+        match self.blocks.entry(block) {
+            Entry::Occupied(mut e) => {
+                let e = e.get_mut();
+                e.state = state;
+                e.busy = None;
+                e.pending.clear();
+            }
+            Entry::Vacant(v) => {
+                v.insert(BlockEntry { state, busy: None, pending: VecDeque::new() });
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const B: BlockAddr = BlockAddr(42);
+
+    #[test]
+    fn cold_read_is_clean_and_records_sharer() {
+        let mut d = HomeDirectory::default();
+        assert_eq!(d.handle_read(B, 3), DirAction::ReadReplyClean { to: 3 });
+        assert_eq!(d.state(B), DirState::Shared(SharerSet::singleton(3)));
+        assert_eq!(d.stats().reads_clean, 1);
+    }
+
+    #[test]
+    fn shared_read_accumulates_sharers() {
+        let mut d = HomeDirectory::default();
+        d.handle_read(B, 1);
+        d.handle_read(B, 2);
+        match d.state(B) {
+            DirState::Shared(s) => {
+                assert!(s.contains(1) && s.contains(2));
+                assert_eq!(s.len(), 2);
+            }
+            other => panic!("unexpected state {other:?}"),
+        }
+    }
+
+    #[test]
+    fn cold_write_grants_ownership() {
+        let mut d = HomeDirectory::default();
+        assert_eq!(d.handle_write(B, 5), DirAction::WriteReplyGrant { to: 5 });
+        assert_eq!(d.state(B), DirState::Modified(5));
+    }
+
+    #[test]
+    fn write_to_shared_invalidates_then_grants() {
+        let mut d = HomeDirectory::default();
+        d.handle_read(B, 1);
+        d.handle_read(B, 2);
+        let act = d.handle_write(B, 3);
+        let expected: SharerSet = [1u8, 2].into_iter().collect();
+        assert_eq!(act, DirAction::Invalidate { targets: expected, writer: 3 });
+        assert!(d.is_busy(B));
+        // First ack: still waiting.
+        assert_eq!(d.handle_inval_ack(B), Completion::default());
+        // Second ack: grant.
+        let c = d.handle_inval_ack(B);
+        assert_eq!(c.actions, vec![DirAction::WriteReplyGrant { to: 3 }]);
+        assert_eq!(d.state(B), DirState::Modified(3));
+        assert!(!d.is_busy(B));
+    }
+
+    #[test]
+    fn writer_already_sharing_skips_self_invalidation() {
+        let mut d = HomeDirectory::default();
+        d.handle_read(B, 1);
+        // Upgrade by the only sharer: immediate grant.
+        assert_eq!(d.handle_write(B, 1), DirAction::WriteReplyGrant { to: 1 });
+        assert_eq!(d.state(B), DirState::Modified(1));
+    }
+
+    #[test]
+    fn read_to_modified_forwards_ctoc_and_copyback_completes() {
+        let mut d = HomeDirectory::default();
+        d.handle_write(B, 7);
+        let act = d.handle_read(B, 2);
+        assert_eq!(act, DirAction::ForwardCtoC { owner: 7, requester: 2, write_intent: false });
+        assert_eq!(d.stats().reads_ctoc, 1);
+        let c = d.handle_copyback(B, 7, SharerSet::EMPTY);
+        assert_eq!(c.actions, vec![DirAction::ReadReplyClean { to: 2 }]);
+        let expected: SharerSet = [2u8, 7].into_iter().collect();
+        assert_eq!(d.state(B), DirState::Shared(expected));
+    }
+
+    #[test]
+    fn write_to_modified_transfers_ownership() {
+        let mut d = HomeDirectory::default();
+        d.handle_write(B, 7);
+        let act = d.handle_write(B, 2);
+        assert_eq!(act, DirAction::ForwardCtoC { owner: 7, requester: 2, write_intent: true });
+        let c = d.handle_copyback(B, 7, SharerSet::EMPTY);
+        assert!(c.actions.is_empty(), "ownership transfer needs no home reply");
+        assert_eq!(d.state(B), DirState::Modified(2));
+    }
+
+    #[test]
+    fn requests_during_busy_are_queued_and_replayed() {
+        let mut d = HomeDirectory::default();
+        d.handle_write(B, 7);
+        d.handle_read(B, 1); // busy: CtoC
+        assert_eq!(d.handle_read(B, 2), DirAction::Queued);
+        assert_eq!(d.handle_write(B, 3), DirAction::Queued);
+        let c = d.handle_copyback(B, 7, SharerSet::EMPTY);
+        assert_eq!(
+            c.replay,
+            vec![
+                QueuedReq { block: B, requester: 2, kind: ReqKind::Read },
+                QueuedReq { block: B, requester: 3, kind: ReqKind::Write },
+            ]
+        );
+    }
+
+    #[test]
+    fn pending_queue_overflow_naks() {
+        let mut d = HomeDirectory::new(2);
+        d.handle_write(B, 7);
+        d.handle_read(B, 1); // busy
+        assert_eq!(d.handle_read(B, 2), DirAction::Queued);
+        assert_eq!(d.handle_read(B, 3), DirAction::Queued);
+        assert_eq!(d.handle_read(B, 4), DirAction::Nak { to: 4 });
+        assert_eq!(d.stats().naks, 1);
+    }
+
+    #[test]
+    fn writeback_race_naks_the_owner_request() {
+        let mut d = HomeDirectory::default();
+        d.handle_write(B, 7);
+        // Owner 7 asks again while the directory still names it owner:
+        // only possible when its writeback is in flight.
+        assert_eq!(d.handle_read(B, 7), DirAction::Nak { to: 7 });
+        assert_eq!(d.handle_write(B, 7), DirAction::Nak { to: 7 });
+        // Writeback lands; retries now succeed.
+        d.handle_writeback(B, 7, SharerSet::EMPTY);
+        assert_eq!(d.state(B), DirState::Uncached);
+        assert_eq!(d.handle_read(B, 7), DirAction::ReadReplyClean { to: 7 });
+    }
+
+    #[test]
+    fn eviction_race_during_read_ctoc_serves_requester_from_memory() {
+        let mut d = HomeDirectory::default();
+        d.handle_write(B, 7);
+        d.handle_read(B, 2); // busy CtoC to owner 7
+        // Owner evicts before the intervention arrives.
+        let c = d.handle_writeback(B, 7, SharerSet::EMPTY);
+        assert_eq!(c.actions, vec![DirAction::ReadReplyClean { to: 2 }]);
+        assert_eq!(d.state(B), DirState::Shared(SharerSet::singleton(2)));
+    }
+
+    #[test]
+    fn eviction_race_during_write_ctoc_grants_from_memory() {
+        let mut d = HomeDirectory::default();
+        d.handle_write(B, 7);
+        d.handle_write(B, 2); // busy CtoC (write intent)
+        let c = d.handle_writeback(B, 7, SharerSet::EMPTY);
+        assert_eq!(c.actions, vec![DirAction::WriteReplyGrant { to: 2 }]);
+        assert_eq!(d.state(B), DirState::Modified(2));
+    }
+
+    #[test]
+    fn marked_copyback_installs_switch_served_sharers() {
+        let mut d = HomeDirectory::default();
+        d.handle_write(B, 7);
+        // Switch directory served requester 4 directly; owner's copyback is
+        // marked with pid 4 and arrives unsolicited.
+        let c = d.handle_copyback(B, 7, SharerSet::singleton(4));
+        assert!(c.actions.is_empty());
+        let expected: SharerSet = [4u8, 7].into_iter().collect();
+        assert_eq!(d.state(B), DirState::Shared(expected));
+        assert_eq!(d.stats().marked_completions, 1);
+    }
+
+    #[test]
+    fn marked_writeback_installs_switch_served_sharers() {
+        let mut d = HomeDirectory::default();
+        d.handle_write(B, 7);
+        // The switch replied to requester 4 from the writeback's data.
+        let c = d.handle_writeback(B, 7, SharerSet::singleton(4));
+        assert!(c.actions.is_empty());
+        assert_eq!(d.state(B), DirState::Shared(SharerSet::singleton(4)));
+    }
+
+    #[test]
+    fn copyback_while_write_busy_triggers_invalidation_round() {
+        let mut d = HomeDirectory::default();
+        d.handle_write(B, 7);
+        d.handle_write(B, 2); // home wants ownership moved to 2
+        // But a switch-initiated *read* CtoC completed first: owner 7 copies
+        // back marked with new sharer 4. Sharers {7,4} must be invalidated
+        // before 2 can own the block.
+        let c = d.handle_copyback(B, 7, SharerSet::singleton(4));
+        let expected: SharerSet = [4u8, 7].into_iter().collect();
+        assert_eq!(c.actions, vec![DirAction::Invalidate { targets: expected, writer: 2 }]);
+        d.handle_inval_ack(B);
+        let c = d.handle_inval_ack(B);
+        assert_eq!(c.actions, vec![DirAction::WriteReplyGrant { to: 2 }]);
+        assert_eq!(d.state(B), DirState::Modified(2));
+    }
+
+    #[test]
+    fn stale_writeback_is_ignored() {
+        let mut d = HomeDirectory::default();
+        d.handle_read(B, 1);
+        // Writeback from a node that is not the owner: dropped.
+        let c = d.handle_writeback(B, 9, SharerSet::EMPTY);
+        assert_eq!(c, Completion::default());
+        assert_eq!(d.state(B), DirState::Shared(SharerSet::singleton(1)));
+    }
+
+    #[test]
+    fn compact_drops_quiescent_blocks() {
+        let mut d = HomeDirectory::default();
+        d.handle_write(B, 7);
+        d.handle_writeback(B, 7, SharerSet::EMPTY);
+        assert_eq!(d.state(B), DirState::Uncached);
+        assert!(d.tracked_blocks() > 0);
+        d.compact();
+        assert_eq!(d.tracked_blocks(), 0);
+    }
+}

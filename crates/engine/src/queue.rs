@@ -1,0 +1,198 @@
+//! Deterministic time-ordered event queue.
+
+use dresar_types::Cycle;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// Internal heap entry: ordered by `(time, seq)` so that events scheduled
+/// earlier (in program order) at the same cycle are delivered first.
+#[derive(Debug)]
+struct Entry<E> {
+    time: Cycle,
+    seq: u64,
+    event: E,
+}
+
+impl<E> PartialEq for Entry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl<E> Eq for Entry<E> {}
+impl<E> PartialOrd for Entry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<E> Ord for Entry<E> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.time, self.seq).cmp(&(other.time, other.seq))
+    }
+}
+
+/// A deterministic discrete-event queue.
+///
+/// The queue tracks the current simulation time ([`EventQueue::now`]);
+/// popping an event advances time to that event's timestamp. Scheduling in
+/// the past panics in debug builds (a scheduling bug would otherwise warp
+/// causality silently).
+#[derive(Debug)]
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Reverse<Entry<E>>>,
+    seq: u64,
+    now: Cycle,
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> EventQueue<E> {
+    /// Creates an empty queue at cycle 0.
+    pub fn new() -> Self {
+        EventQueue { heap: BinaryHeap::new(), seq: 0, now: 0 }
+    }
+
+    /// Current simulation time.
+    #[inline]
+    pub fn now(&self) -> Cycle {
+        self.now
+    }
+
+    /// Schedules `event` at absolute cycle `time`.
+    pub fn schedule_at(&mut self, time: Cycle, event: E) {
+        debug_assert!(time >= self.now, "scheduling into the past: {} < {}", time, self.now);
+        let seq = self.seq;
+        self.seq += 1;
+        self.heap.push(Reverse(Entry { time: time.max(self.now), seq, event }));
+    }
+
+    /// Schedules `event` `delay` cycles from now.
+    pub fn schedule_in(&mut self, delay: Cycle, event: E) {
+        self.schedule_at(self.now + delay, event);
+    }
+
+    /// Removes and returns the next event, advancing the clock to its
+    /// timestamp. Returns `None` when the simulation has drained.
+    pub fn pop(&mut self) -> Option<(Cycle, E)> {
+        self.heap.pop().map(|Reverse(e)| {
+            debug_assert!(e.time >= self.now);
+            self.now = e.time;
+            (e.time, e.event)
+        })
+    }
+
+    /// Timestamp of the next event without removing it.
+    pub fn peek_time(&self) -> Option<Cycle> {
+        self.heap.peek().map(|Reverse(e)| e.time)
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Total number of events ever scheduled (diagnostic; also the tie-break
+    /// sequence counter).
+    pub fn scheduled_total(&self) -> u64 {
+        self.seq
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.schedule_at(30, "c");
+        q.schedule_at(10, "a");
+        q.schedule_at(20, "b");
+        assert_eq!(q.pop(), Some((10, "a")));
+        assert_eq!(q.pop(), Some((20, "b")));
+        assert_eq!(q.pop(), Some((30, "c")));
+        assert_eq!(q.pop(), None);
+        assert_eq!(q.now(), 30);
+    }
+
+    #[test]
+    fn equal_times_are_fifo() {
+        let mut q = EventQueue::new();
+        for i in 0..100 {
+            q.schedule_at(5, i);
+        }
+        for i in 0..100 {
+            assert_eq!(q.pop(), Some((5, i)));
+        }
+    }
+
+    #[test]
+    fn schedule_in_is_relative_to_now() {
+        let mut q = EventQueue::new();
+        q.schedule_at(10, 0u32);
+        q.pop();
+        q.schedule_in(5, 1u32);
+        assert_eq!(q.pop(), Some((15, 1)));
+    }
+
+    #[test]
+    fn peek_does_not_advance_clock() {
+        let mut q = EventQueue::new();
+        q.schedule_at(42, ());
+        assert_eq!(q.peek_time(), Some(42));
+        assert_eq!(q.now(), 0);
+        assert_eq!(q.len(), 1);
+        assert!(!q.is_empty());
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "scheduling into the past")]
+    fn past_scheduling_panics_in_debug() {
+        let mut q = EventQueue::new();
+        q.schedule_at(10, ());
+        q.pop();
+        q.schedule_at(5, ());
+    }
+
+    proptest! {
+        /// Popping always yields a non-decreasing time sequence, and every
+        /// scheduled event comes back exactly once.
+        #[test]
+        fn prop_time_monotone_and_complete(delays in proptest::collection::vec(0u64..1000, 0..200)) {
+            let mut q = EventQueue::new();
+            for (i, d) in delays.iter().enumerate() {
+                q.schedule_at(*d, i);
+            }
+            let mut popped = Vec::new();
+            let mut last = 0;
+            while let Some((t, e)) = q.pop() {
+                prop_assert!(t >= last);
+                last = t;
+                popped.push(e);
+            }
+            popped.sort_unstable();
+            prop_assert_eq!(popped, (0..delays.len()).collect::<Vec<_>>());
+        }
+
+        /// FIFO among events scheduled for the same cycle.
+        #[test]
+        fn prop_fifo_within_cycle(n in 1usize..64) {
+            let mut q = EventQueue::new();
+            for i in 0..n {
+                q.schedule_at(7, i);
+            }
+            let got: Vec<_> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+            prop_assert_eq!(got, (0..n).collect::<Vec<_>>());
+        }
+    }
+}

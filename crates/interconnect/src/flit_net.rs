@@ -1,0 +1,430 @@
+//! A cycle-stepped network of [`crate::crossbar`] switches over the
+//! [`crate::topology::Bmin`] wiring.
+//!
+//! This is the validation fidelity: whole messages are decomposed into
+//! flits, links transmit one flit per `link_cycles_per_flit` cycles with
+//! credit-based backpressure against the downstream input FIFO, and every
+//! switch runs the age-based wormhole arbiter. It is used to cross-check
+//! the hop-level model's latencies and by the crossbar benchmarks — the
+//! full-system protocol simulators use the hop model for speed.
+//!
+//! Port convention per switch (radix `d`): inputs/outputs `0..d` face the
+//! processors (down side), `d..2d` face the memories (up side).
+
+use crate::crossbar::{flits_of_message, Crossbar};
+use crate::routes::{LinkId, Route};
+use crate::topology::{Bmin, SwitchId};
+use dresar_types::config::SwitchConfig;
+use dresar_types::Cycle;
+use std::collections::{HashMap, VecDeque};
+
+/// A completed message delivery.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Delivery {
+    /// Message id.
+    pub msg: u64,
+    /// Cycle the tail flit reached the endpoint.
+    pub at: Cycle,
+    /// The endpoint link it arrived on (`ProcDown` or `MemUp`).
+    pub endpoint: LinkId,
+}
+
+/// Where a link feeds into.
+#[derive(Debug, Clone, Copy)]
+enum LinkSink {
+    Switch { idx: usize, input: usize },
+    Endpoint,
+}
+
+/// A physical link: flits wait until their availability time (switch core
+/// delay), transmit one per `link_cycles_per_flit` cycles, and arrive at the
+/// far side one flit-time after transmission starts.
+#[derive(Debug, Default)]
+struct LinkPipe {
+    /// Flits waiting to transmit, with the cycle they become available.
+    waiting: VecDeque<(Cycle, crate::crossbar::Flit)>,
+    /// Flits in flight, with their arrival cycle.
+    arriving: VecDeque<(Cycle, crate::crossbar::Flit)>,
+    next_send: Cycle,
+}
+
+/// Per-message routing state: output port at each switch (by linear switch
+/// index) and total flits.
+#[derive(Debug)]
+struct MsgRoute {
+    out_ports: HashMap<usize, u8>,
+}
+
+/// The flit-level network.
+#[derive(Debug)]
+pub struct FlitNetwork {
+    bmin: Bmin,
+    cfg: SwitchConfig,
+    switches: Vec<Crossbar>,
+    pipes: HashMap<LinkId, LinkPipe>,
+    routes: HashMap<u64, MsgRoute>,
+    now: Cycle,
+    delivered: Vec<Delivery>,
+}
+
+impl FlitNetwork {
+    /// Builds the network.
+    pub fn new(bmin: Bmin, cfg: SwitchConfig) -> Self {
+        let d = bmin.radix();
+        let n_ports = 2 * d;
+        let switches = (0..bmin.total_switches())
+            .map(|_| {
+                Crossbar::new(
+                    n_ports,
+                    n_ports,
+                    cfg.virtual_channels as usize,
+                    cfg.buffer_flits as usize,
+                    cfg.core_cycles,
+                )
+            })
+            .collect();
+        FlitNetwork {
+            bmin,
+            cfg,
+            switches,
+            pipes: HashMap::new(),
+            routes: HashMap::new(),
+            now: 0,
+            delivered: Vec::new(),
+        }
+    }
+
+    /// Current cycle.
+    pub fn now(&self) -> Cycle {
+        self.now
+    }
+
+    fn linear(&self, sw: SwitchId) -> usize {
+        sw.stage as usize * self.bmin.switches_per_stage() + sw.index as usize
+    }
+
+    /// The switch (and its input port) a link feeds.
+    fn sink_of(&self, link: LinkId) -> LinkSink {
+        let d = self.bmin.radix();
+        match link {
+            LinkId::ProcUp(p) => LinkSink::Switch {
+                idx: self.linear(SwitchId { stage: 0, index: (p as usize / d) as u16 }),
+                input: p as usize % d,
+            },
+            LinkId::MemDown(m) => {
+                let top = (self.bmin.stages() - 1) as u8;
+                LinkSink::Switch {
+                    idx: self.linear(SwitchId { stage: top, index: (m as usize / d) as u16 }),
+                    input: d + m as usize % d,
+                }
+            }
+            LinkId::Up { stage, lower, port } => {
+                // Feeds the upper switch's down-side input; the input index
+                // is the upper switch's down-port toward `lower`, which is
+                // the last digit of the lower switch's p-part.
+                let k = stage as usize;
+                let p_part = lower as usize / d.pow(k as u32);
+                let m_part = lower as usize % d.pow(k as u32);
+                let upper_index = (p_part / d) * d.pow(k as u32 + 1) + (m_part * d + port as usize);
+                LinkSink::Switch {
+                    idx: self.linear(SwitchId { stage: stage + 1, index: upper_index as u16 }),
+                    input: p_part % d,
+                }
+            }
+            LinkId::Down { stage, lower, port } => LinkSink::Switch {
+                idx: self.linear(SwitchId { stage, index: lower }),
+                input: self.bmin.radix() + port as usize,
+            },
+            LinkId::ProcDown(_) | LinkId::MemUp(_) => LinkSink::Endpoint,
+        }
+    }
+
+    /// Output port on `sw` that drives `link`.
+    fn out_port_for(&self, sw: SwitchId, link: LinkId) -> u8 {
+        let d = self.bmin.radix();
+        match link {
+            LinkId::MemUp(m) => (d + m as usize % d) as u8,
+            LinkId::ProcDown(p) => (p as usize % d) as u8,
+            LinkId::Up { port, .. } => {
+                debug_assert!(self.sink_is_above(sw, link));
+                (d + port as usize) as u8
+            }
+            LinkId::Down { lower, .. } => {
+                // Driven by the upper switch's down output toward `lower`:
+                // port = last digit of the lower switch's p-part.
+                let k = (sw.stage - 1) as usize;
+                let p_part = lower as usize / d.pow(k as u32);
+                (p_part % d) as u8
+            }
+            LinkId::ProcUp(_) | LinkId::MemDown(_) => unreachable!("injection links have no driver"),
+        }
+    }
+
+    fn sink_is_above(&self, sw: SwitchId, link: LinkId) -> bool {
+        matches!(link, LinkId::Up { stage, .. } if stage == sw.stage)
+    }
+
+    /// Injects a message: `flits` flits following `route`, entering the
+    /// network on `route.links[0]` (which must be an injection link).
+    pub fn inject(&mut self, msg: u64, route: &Route, flits: u32) {
+        assert!(route.well_formed(), "malformed route");
+        let mut out_ports = HashMap::with_capacity(route.switches.len());
+        for (i, &sw) in route.switches.iter().enumerate() {
+            let next_link = route.links[i + 1];
+            out_ports.insert(self.linear(sw), self.out_port_for(sw, next_link));
+        }
+        self.routes.insert(msg, MsgRoute { out_ports });
+
+        // First out-port: at the first switch (or directly the endpoint for
+        // degenerate single-link routes — only possible for switch-origin
+        // routes, which we inject at their first link too).
+        let first_port = route
+            .switches
+            .first()
+            .map(|&sw| *self.routes[&msg].out_ports.get(&self.linear(sw)).unwrap())
+            .unwrap_or(0);
+        let now = self.now;
+        let pipe = self.pipes.entry(route.links[0]).or_default();
+        for f in flits_of_message(msg, flits, self.now, first_port) {
+            pipe.waiting.push_back((now, f));
+        }
+    }
+
+    /// Advances one cycle; returns deliveries completed this cycle.
+    pub fn step(&mut self) -> Vec<Delivery> {
+        let now = self.now;
+        let lcpf = self.cfg.link_cycles_per_flit as Cycle;
+
+        // 1a. Deliver flits whose transmission completed this cycle.
+        let links: Vec<LinkId> = self.pipes.keys().copied().collect();
+        let mut done = Vec::new();
+        for &link in &links {
+            let sink = self.sink_of(link);
+            loop {
+                let pipe = self.pipes.get_mut(&link).unwrap();
+                match pipe.arriving.front() {
+                    Some(&(at, _)) if at <= now => {}
+                    _ => break,
+                }
+                let (at, f) = *pipe.arriving.front().unwrap();
+                match sink {
+                    LinkSink::Endpoint => {
+                        pipe.arriving.pop_front();
+                        if f.tail {
+                            done.push(Delivery { msg: f.msg, at, endpoint: link });
+                        }
+                    }
+                    LinkSink::Switch { idx, input } => {
+                        let vc = (f.msg % self.cfg.virtual_channels as u64) as usize;
+                        // Retarget the flit's out-port for the switch it
+                        // enters.
+                        let mut f2 = f;
+                        if let Some(r) = self.routes.get(&f.msg) {
+                            if let Some(&p) = r.out_ports.get(&idx) {
+                                f2.out_port = p;
+                            }
+                        }
+                        if self.switches[idx].offer(input, vc, f2) {
+                            self.pipes.get_mut(&link).unwrap().arriving.pop_front();
+                        } else {
+                            break; // FIFO full: back-pressure, retry next cycle.
+                        }
+                    }
+                }
+            }
+        }
+
+        // 1b. Start new transmissions: one flit per `lcpf` cycles, subject
+        //     to downstream FIFO credit.
+        for &link in &links {
+            let sink = self.sink_of(link);
+            let credit = match sink {
+                LinkSink::Endpoint => true,
+                LinkSink::Switch { idx, input } => {
+                    // Conservative credit: require space for every VC this
+                    // flit might enter (per-message VC is known below, but a
+                    // cheap any-space check keeps the hot loop simple and the
+                    // arrival path retries on the rare overfill).
+                    (0..self.cfg.virtual_channels as usize)
+                        .any(|v| self.switches[idx].free_space(input, v) > 0)
+                }
+            };
+            let pipe = self.pipes.get_mut(&link).unwrap();
+            if now < pipe.next_send || !credit {
+                continue;
+            }
+            match pipe.waiting.front() {
+                Some(&(avail, _)) if avail <= now => {}
+                _ => continue,
+            }
+            let (_, f) = pipe.waiting.pop_front().unwrap();
+            pipe.next_send = now + lcpf;
+            pipe.arriving.push_back((now + lcpf, f));
+        }
+
+        // 2. Switches arbitrate; exits enter their outgoing link pipes.
+        for idx in 0..self.switches.len() {
+            let exits = self.switches[idx].step(now);
+            if exits.is_empty() {
+                continue;
+            }
+            let sw = SwitchId {
+                stage: (idx / self.bmin.switches_per_stage()) as u8,
+                index: (idx % self.bmin.switches_per_stage()) as u16,
+            };
+            for e in exits {
+                let link = self.link_of_output(sw, e.out_port);
+                self.pipes.entry(link).or_default().waiting.push_back((e.at, e.flit));
+            }
+        }
+
+        self.now += 1;
+        self.delivered.extend(done.iter().copied());
+        done
+    }
+
+    /// The link driven by `sw`'s output `port`, reconstructed from the
+    /// wiring. Down-side outputs (`port < d`) drive `Down` or `ProcDown`
+    /// links; up-side outputs drive `Up` or `MemUp`.
+    fn link_of_output(&self, sw: SwitchId, port: u8) -> LinkId {
+        let d = self.bmin.radix();
+        let k = sw.stage as usize;
+        let p_part = sw.index as usize / d.pow(k as u32);
+        let m_part = sw.index as usize % d.pow(k as u32);
+        if (port as usize) < d {
+            // Down side.
+            if k == 0 {
+                LinkId::ProcDown((p_part * d + port as usize) as u8)
+            } else {
+                // Lower switch: p-part gains digit `port`, m-part drops its
+                // last digit; the pair's canonical port is m_part's last
+                // digit.
+                let lower_p = p_part * d + port as usize;
+                let lower_m = m_part / d;
+                let lower = lower_p * d.pow(k as u32 - 1) + lower_m;
+                LinkId::Down {
+                    stage: (k - 1) as u8,
+                    lower: lower as u16,
+                    port: (m_part % d) as u8,
+                }
+            }
+        } else {
+            let j = port as usize - d;
+            if k == self.bmin.stages() - 1 {
+                LinkId::MemUp((sw.index as usize * d + j) as u8)
+            } else {
+                LinkId::Up { stage: sw.stage, lower: sw.index, port: j as u8 }
+            }
+        }
+    }
+
+    /// Runs until every message has delivered or `max_cycles` elapse.
+    /// Returns all deliveries so far.
+    pub fn run_until_drained(&mut self, max_cycles: Cycle) -> Vec<Delivery> {
+        let target = self.routes.len();
+        while self.delivered.len() < target && self.now < max_cycles {
+            self.step();
+        }
+        self.delivered.clone()
+    }
+
+    /// All deliveries so far.
+    pub fn deliveries(&self) -> &[Delivery] {
+        &self.delivered
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::routes;
+    use dresar_types::config::SystemConfig;
+
+    fn net() -> FlitNetwork {
+        FlitNetwork::new(Bmin::new(16, 4), SystemConfig::paper_table2().switch)
+    }
+
+    #[test]
+    fn single_request_crosses_network() {
+        let mut n = net();
+        let bmin = Bmin::new(16, 4);
+        let r = routes::forward(&bmin, 3, 12);
+        n.inject(1, &r, 1);
+        let d = n.run_until_drained(10_000);
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].msg, 1);
+        assert_eq!(d[0].endpoint, LinkId::MemUp(12));
+        // Uncontended: 3 links x 4 + 2 cores x 4 = 20 cycles, +-1 stepping.
+        assert!(d[0].at >= 20 && d[0].at <= 24, "latency {} out of range", d[0].at);
+    }
+
+    #[test]
+    fn reply_crosses_backward() {
+        let mut n = net();
+        let bmin = Bmin::new(16, 4);
+        let r = routes::backward(&bmin, 12, 3);
+        n.inject(2, &r, 5);
+        let d = n.run_until_drained(10_000);
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].endpoint, LinkId::ProcDown(3));
+        // 5 flits: tail lag adds 4 x 4 = 16 over the 20-cycle head path.
+        assert!(d[0].at >= 36 && d[0].at <= 44, "latency {} out of range", d[0].at);
+    }
+
+    #[test]
+    fn proc_to_proc_turnaround_delivers() {
+        let mut n = net();
+        let bmin = Bmin::new(16, 4);
+        let r = routes::proc_to_proc(&bmin, 1, 9, 0);
+        n.inject(3, &r, 5);
+        let d = n.run_until_drained(10_000);
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].endpoint, LinkId::ProcDown(9));
+    }
+
+    #[test]
+    fn many_messages_all_deliver() {
+        let mut n = net();
+        let bmin = Bmin::new(16, 4);
+        let mut id = 0u64;
+        for p in 0..16u8 {
+            for m in 0..16u8 {
+                n.inject(id, &routes::forward(&bmin, p, m), 1);
+                id += 1;
+            }
+        }
+        let d = n.run_until_drained(100_000);
+        assert_eq!(d.len(), 256, "every message must deliver (no deadlock)");
+    }
+
+    #[test]
+    fn contention_slows_shared_destination() {
+        let bmin = Bmin::new(16, 4);
+        // 4 processors of one quad all target memory 12: they share the
+        // ejection link.
+        let mut n = net();
+        for p in 0..4u8 {
+            n.inject(p as u64, &routes::forward(&bmin, p, 12), 5);
+        }
+        let d = n.run_until_drained(100_000);
+        assert_eq!(d.len(), 4);
+        let mut times: Vec<_> = d.iter().map(|x| x.at).collect();
+        times.sort_unstable();
+        // Tails must be separated by at least the 20-cycle serialization of
+        // a 5-flit message on the shared final link.
+        for w in times.windows(2) {
+            assert!(w[1] >= w[0] + 20, "deliveries {} and {} overlap on the shared link", w[0], w[1]);
+        }
+    }
+
+    #[test]
+    fn radix2_network_works_too() {
+        let bmin = Bmin::new(16, 2);
+        let mut n = FlitNetwork::new(bmin, SystemConfig::paper_table2().switch);
+        for p in 0..16u8 {
+            n.inject(p as u64, &routes::forward(&bmin, p, 15 - p), 1);
+        }
+        let d = n.run_until_drained(100_000);
+        assert_eq!(d.len(), 16);
+    }
+}

@@ -1,0 +1,163 @@
+//! Hop-level network timing model.
+//!
+//! Used by the full-system simulator for application-scale runs: each link
+//! is a serialized [`Resource`] booked for the message's full serialization
+//! time (`flits x link_cycles_per_flit`), and each switch traversal adds the
+//! crossbar core delay. Wormhole pipelining is modeled by advancing the
+//! *header* one flit-time per link while the tail lags `(flits-1)` flit
+//! times behind — the standard analytic wormhole latency, plus real queuing
+//! delays from link contention.
+//!
+//! The flit-level model in [`crate::flit_net`] cross-checks this
+//! approximation on small batches (see `tests/fidelity_crosscheck.rs`).
+
+use crate::routes::LinkId;
+use dresar_engine::Resource;
+use dresar_types::config::SwitchConfig;
+use dresar_types::Cycle;
+use std::collections::HashMap;
+
+/// Per-link utilization sample.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LinkUtilization {
+    /// The link.
+    pub link: LinkId,
+    /// Cycles the link spent transmitting.
+    pub busy_cycles: Cycle,
+}
+
+/// The hop-level network state: one [`Resource`] per directed link.
+#[derive(Debug)]
+pub struct HopNetwork {
+    cfg: SwitchConfig,
+    links: HashMap<LinkId, Resource>,
+    messages: u64,
+    flits: u64,
+}
+
+impl HopNetwork {
+    /// Creates an uncontended network with the given switch parameters.
+    pub fn new(cfg: SwitchConfig) -> Self {
+        HopNetwork { cfg, links: HashMap::new(), messages: 0, flits: 0 }
+    }
+
+    /// Switch-core traversal delay in cycles.
+    pub fn core_delay(&self) -> Cycle {
+        self.cfg.core_cycles as Cycle
+    }
+
+    /// Cycles for one flit to cross a link.
+    pub fn flit_time(&self) -> Cycle {
+        self.cfg.link_cycles_per_flit as Cycle
+    }
+
+    /// Extra cycles after head arrival until the full message has arrived.
+    pub fn tail_lag(&self, flits: u32) -> Cycle {
+        (flits.saturating_sub(1) as Cycle) * self.flit_time()
+    }
+
+    /// Books `link` for a message of `flits` starting no earlier than
+    /// `now`; returns the cycle the *head* flit arrives at the far side.
+    /// The link stays busy for the full serialization time.
+    pub fn traverse_link(&mut self, link: LinkId, now: Cycle, flits: u32) -> Cycle {
+        let duration = flits as Cycle * self.flit_time();
+        let start = self.links.entry(link).or_default().acquire(now, duration);
+        self.messages += 1;
+        self.flits += flits as u64;
+        start + self.flit_time()
+    }
+
+    /// Cycle at which `link` would next be free (no booking).
+    pub fn link_free_at(&self, link: LinkId) -> Cycle {
+        self.links.get(&link).map(Resource::free_at).unwrap_or(0)
+    }
+
+    /// Total messages moved (hop count).
+    pub fn messages_moved(&self) -> u64 {
+        self.messages
+    }
+
+    /// Per-link busy-cycle report, sorted by busiest first.
+    pub fn utilization(&self) -> Vec<LinkUtilization> {
+        let mut v: Vec<_> = self
+            .links
+            .iter()
+            .map(|(&link, r)| LinkUtilization { link, busy_cycles: r.occupied_cycles() })
+            .collect();
+        v.sort_unstable_by_key(|u| std::cmp::Reverse(u.busy_cycles));
+        v
+    }
+
+    /// Uncontended end-to-end latency of a message over `switch_hops`
+    /// switches and `switch_hops + 1` links: head pipeline time plus tail
+    /// serialization. Useful as an analytic baseline in tests and reports.
+    pub fn base_latency(&self, switch_hops: usize, flits: u32) -> Cycle {
+        (switch_hops as Cycle + 1) * self.flit_time()
+            + switch_hops as Cycle * self.core_delay()
+            + self.tail_lag(flits)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dresar_types::config::SystemConfig;
+
+    fn net() -> HopNetwork {
+        HopNetwork::new(SystemConfig::paper_table2().switch)
+    }
+
+    #[test]
+    fn uncontended_link_delivers_after_one_flit_time() {
+        let mut n = net();
+        let arr = n.traverse_link(LinkId::ProcUp(0), 100, 5);
+        assert_eq!(arr, 104, "head arrives one flit-time later");
+        assert_eq!(n.link_free_at(LinkId::ProcUp(0)), 120, "busy for 5 flits x 4 cycles");
+    }
+
+    #[test]
+    fn contention_queues_second_message() {
+        let mut n = net();
+        n.traverse_link(LinkId::ProcUp(0), 0, 5);
+        let arr = n.traverse_link(LinkId::ProcUp(0), 0, 1);
+        assert_eq!(arr, 24, "second message starts after 20 cycles of serialization");
+    }
+
+    #[test]
+    fn different_links_do_not_contend() {
+        let mut n = net();
+        n.traverse_link(LinkId::ProcUp(0), 0, 5);
+        let arr = n.traverse_link(LinkId::ProcUp(1), 0, 5);
+        assert_eq!(arr, 4);
+    }
+
+    #[test]
+    fn directions_are_separate_resources() {
+        let mut n = net();
+        n.traverse_link(LinkId::Up { stage: 0, lower: 1, port: 2 }, 0, 5);
+        let arr = n.traverse_link(LinkId::Down { stage: 0, lower: 1, port: 2 }, 0, 5);
+        assert_eq!(arr, 4, "backward link unaffected by forward traffic");
+    }
+
+    #[test]
+    fn base_latency_matches_paper_arithmetic() {
+        let n = net();
+        // A 1-flit request over 2 switches: 3 links x 4 + 2 cores x 4 = 20.
+        assert_eq!(n.base_latency(2, 1), 20);
+        // A 5-flit reply over 2 switches adds 4 flits x 4 = 16 tail cycles.
+        assert_eq!(n.base_latency(2, 5), 36);
+    }
+
+    #[test]
+    fn utilization_sorted_desc() {
+        let mut n = net();
+        n.traverse_link(LinkId::ProcUp(0), 0, 5);
+        n.traverse_link(LinkId::ProcUp(1), 0, 1);
+        n.traverse_link(LinkId::ProcUp(0), 0, 5);
+        let u = n.utilization();
+        assert_eq!(u[0].link, LinkId::ProcUp(0));
+        assert_eq!(u[0].busy_cycles, 40);
+        assert_eq!(u[1].busy_cycles, 4);
+        assert_eq!(n.messages_moved(), 3);
+    }
+}

@@ -1,0 +1,399 @@
+//! Route objects: the ordered switches and directed links a message
+//! traverses.
+//!
+//! A [`Route`] always satisfies `links.len() == switches.len() + 1`:
+//! `links[0]` carries the message into `switches[0]`, `links[i]` connects
+//! `switches[i-1]` to `switches[i]`, and the last link delivers to the
+//! endpoint. Messages *originated by a switch directory* start at their
+//! first downstream switch (the originating switch is excluded so the hop
+//! executor never re-snoops the entry that generated the message).
+//!
+//! Forward and backward directions use disjoint link identities: the BMIN
+//! provides separate physical resources per direction (paper §3.1,
+//! "Separating the paths enables separate resources and reduces the
+//! possibility of deadlocks").
+
+use crate::topology::{Bmin, SwitchId};
+use dresar_types::NodeId;
+use serde::{Deserialize, Serialize};
+
+/// A directed physical link.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum LinkId {
+    /// Processor injection link (forward, proc -> stage 0).
+    ProcUp(NodeId),
+    /// Processor ejection link (backward, stage 0 -> proc).
+    ProcDown(NodeId),
+    /// Memory ejection link (forward, top stage -> memory).
+    MemUp(NodeId),
+    /// Memory injection link (backward, memory -> top stage).
+    MemDown(NodeId),
+    /// Inter-stage link, forward (up) direction. Identified by the lower
+    /// switch and its up-port.
+    Up {
+        /// Stage of the lower switch.
+        stage: u8,
+        /// Index of the lower switch.
+        lower: u16,
+        /// Up-port on the lower switch.
+        port: u8,
+    },
+    /// Inter-stage link, backward (down) direction; mirrors [`LinkId::Up`].
+    Down {
+        /// Stage of the lower switch.
+        stage: u8,
+        /// Index of the lower switch.
+        lower: u16,
+        /// Up-port on the lower switch (canonical pair identity).
+        port: u8,
+    },
+}
+
+/// A hop-by-hop route through the BMIN.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Route {
+    /// Switches traversed, in order. May be empty (switch-originated
+    /// message already adjacent to its destination).
+    pub switches: Vec<SwitchId>,
+    /// Links traversed, in order; always `switches.len() + 1` long.
+    pub links: Vec<LinkId>,
+}
+
+/// A single hop: the link taken to arrive somewhere.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Hop {
+    /// Link traversed.
+    pub link: LinkId,
+    /// Switch reached, or `None` for the final (endpoint) hop.
+    pub switch: Option<SwitchId>,
+}
+
+impl Route {
+    /// Sanity invariant.
+    pub fn well_formed(&self) -> bool {
+        self.links.len() == self.switches.len() + 1
+    }
+
+    /// Iterates hops: each link paired with the switch it leads to (`None`
+    /// for the endpoint-delivering last link).
+    pub fn hops(&self) -> impl Iterator<Item = Hop> + '_ {
+        self.links.iter().enumerate().map(|(i, &link)| Hop {
+            link,
+            switch: self.switches.get(i).copied(),
+        })
+    }
+
+    /// Number of switch traversals.
+    pub fn switch_hops(&self) -> usize {
+        self.switches.len()
+    }
+}
+
+/// Derives the inter-stage link id between two adjacent path switches.
+/// `upper.m_part = lower.m_part * d + port`, so the port is recoverable
+/// from the upper switch alone.
+fn link_between(bmin: &Bmin, lower: SwitchId, upper: SwitchId, up_dir: bool) -> LinkId {
+    debug_assert_eq!(lower.stage + 1, upper.stage);
+    let d = bmin.radix();
+    let upper_m_part = upper.index as usize % d.pow(upper.stage as u32);
+    let port = (upper_m_part % d) as u8;
+    if up_dir {
+        LinkId::Up { stage: lower.stage, lower: lower.index, port }
+    } else {
+        LinkId::Down { stage: lower.stage, lower: lower.index, port }
+    }
+}
+
+/// Builds the forward route processor `p` -> memory `m`.
+pub fn forward(bmin: &Bmin, p: NodeId, m: NodeId) -> Route {
+    let switches = bmin.path_switches(p, m);
+    let mut links = Vec::with_capacity(switches.len() + 1);
+    links.push(LinkId::ProcUp(p));
+    for w in switches.windows(2) {
+        links.push(link_between(bmin, w[0], w[1], true));
+    }
+    links.push(LinkId::MemUp(m));
+    Route { switches, links }
+}
+
+/// Builds the backward route memory `m` -> processor `p`.
+pub fn backward(bmin: &Bmin, m: NodeId, p: NodeId) -> Route {
+    let mut switches = bmin.path_switches(p, m);
+    switches.reverse();
+    let mut links = Vec::with_capacity(switches.len() + 1);
+    links.push(LinkId::MemDown(m));
+    for w in switches.windows(2) {
+        links.push(link_between(bmin, w[1], w[0], false));
+    }
+    links.push(LinkId::ProcDown(p));
+    Route { switches, links }
+}
+
+/// Builds a processor-to-processor route `a` -> `b` (cache-to-cache data,
+/// owner NAKs): up the forward links to the lowest common turnaround
+/// switch, then down the backward links. `tiebreak` (typically a block
+/// hash) picks among the equivalent turnaround switches.
+pub fn proc_to_proc(bmin: &Bmin, a: NodeId, b: NodeId, tiebreak: u64) -> Route {
+    let turn = bmin.turnaround_switch(a, b, tiebreak);
+    let up = bmin.up_path(a, turn).expect("turnaround switch reaches its own source");
+    let down = bmin.down_path(turn, b).expect("turnaround switch reaches the destination");
+
+    let mut switches = Vec::with_capacity(up.len() + 1 + down.len());
+    switches.extend_from_slice(&up);
+    switches.push(turn);
+    switches.extend_from_slice(&down);
+
+    let mut links = Vec::with_capacity(switches.len() + 1);
+    links.push(LinkId::ProcUp(a));
+    for w in switches.windows(2) {
+        if w[0].stage < w[1].stage {
+            links.push(link_between(bmin, w[0], w[1], true));
+        } else {
+            links.push(link_between(bmin, w[1], w[0], false));
+        }
+    }
+    links.push(LinkId::ProcDown(b));
+    Route { switches, links }
+}
+
+/// Builds the route for a message *originated by* switch `sw` (a CtoC
+/// request, retry or writeback-data reply from the switch directory's
+/// "CtoC & Reply unit") heading down to processor `p`. Returns `None` if
+/// `p` is not down-reachable — the placement invariant guarantees it is for
+/// every message a correct switch directory generates, so callers treat
+/// `None` as a protocol bug.
+pub fn from_switch_to_proc(bmin: &Bmin, sw: SwitchId, p: NodeId) -> Option<Route> {
+    let below = bmin.down_path(sw, p)?;
+    let mut links = Vec::with_capacity(below.len() + 1);
+    let mut prev = sw;
+    for &next in &below {
+        links.push(link_between(bmin, next, prev, false));
+        prev = next;
+    }
+    links.push(LinkId::ProcDown(p));
+    Some(Route { switches: below, links })
+}
+
+/// Like [`from_switch_to_proc`], but handles targets that are *not*
+/// down-reachable from `sw` by ascending (forward links) to the lowest
+/// stage that covers the target and turning around — needed for switch-
+/// generated NAKs to *foreign* CtoC requesters (a CtoC request sunk on a
+/// TRANSIENT entry names a requester that may live under a different
+/// subtree than the message's down-path). `tiebreak` picks among the
+/// equivalent turnaround switches.
+pub fn from_switch_to_proc_via(bmin: &Bmin, sw: SwitchId, p: NodeId, tiebreak: u64) -> Route {
+    if bmin.reaches_down(sw, p) {
+        return from_switch_to_proc(bmin, sw, p).expect("reaches_down checked");
+    }
+    let d = bmin.radix();
+    let k = sw.stage as usize;
+    // A representative processor under `sw` determines the lowest stage
+    // whose subtree also covers `p`.
+    let rep_p = (sw.index as usize / d.pow(k as u32)) * d.pow((k + 1) as u32);
+    let turn_k = bmin.turnaround_stage(rep_p as NodeId, p);
+    debug_assert!(turn_k > k, "not down-reachable yet same/lower turnaround stage");
+
+    // Ascend hop by hop: each up-hop drops the last p-digit and appends a
+    // free m-digit (drawn from `tiebreak` to spread load).
+    let mut switches = Vec::new();
+    let mut links = Vec::new();
+    let mut p_part = sw.index as usize / d.pow(k as u32);
+    let mut m_part = sw.index as usize % d.pow(k as u32);
+    let mut tb = tiebreak as usize;
+    let mut prev = sw;
+    for j in (k + 1)..=turn_k {
+        p_part /= d;
+        m_part = m_part * d + (tb % d);
+        tb /= d;
+        let next = SwitchId { stage: j as u8, index: (p_part * d.pow(j as u32) + m_part) as u16 };
+        links.push(link_between(bmin, prev, next, true));
+        switches.push(next);
+        prev = next;
+    }
+    let below = bmin.down_path(prev, p).expect("turnaround stage covers the target");
+    for &next in &below {
+        links.push(link_between(bmin, next, prev, false));
+        prev = next;
+    }
+    switches.extend_from_slice(&below);
+    links.push(LinkId::ProcDown(p));
+    Route { switches, links }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn b16() -> Bmin {
+        Bmin::new(16, 4)
+    }
+
+    #[test]
+    fn forward_route_shape() {
+        let r = forward(&b16(), 5, 9);
+        assert!(r.well_formed());
+        assert_eq!(r.switch_hops(), 2);
+        assert_eq!(r.links[0], LinkId::ProcUp(5));
+        assert_eq!(*r.links.last().unwrap(), LinkId::MemUp(9));
+        assert!(matches!(r.links[1], LinkId::Up { .. }));
+    }
+
+    #[test]
+    fn backward_route_mirrors_forward() {
+        let b = b16();
+        let f = forward(&b, 5, 9);
+        let r = backward(&b, 9, 5);
+        assert!(r.well_formed());
+        let mut f_switches = f.switches.clone();
+        f_switches.reverse();
+        assert_eq!(r.switches, f_switches);
+        // Same physical link pair, opposite direction.
+        if let (LinkId::Up { stage, lower, port }, LinkId::Down { stage: s2, lower: l2, port: p2 }) =
+            (f.links[1], r.links[1])
+        {
+            assert_eq!((stage, lower, port), (s2, l2, p2));
+        } else {
+            panic!("expected inter-stage links");
+        }
+    }
+
+    #[test]
+    fn proc_to_proc_same_quad_turns_at_stage0() {
+        let r = proc_to_proc(&b16(), 1, 2, 0);
+        assert!(r.well_formed());
+        assert_eq!(r.switch_hops(), 1);
+        assert_eq!(r.switches[0].stage, 0);
+        assert_eq!(r.links, vec![LinkId::ProcUp(1), LinkId::ProcDown(2)]);
+    }
+
+    #[test]
+    fn proc_to_proc_cross_quad_turns_at_top() {
+        let r = proc_to_proc(&b16(), 1, 9, 7);
+        assert!(r.well_formed());
+        assert_eq!(r.switch_hops(), 3); // up stage0, turn stage1, down stage0
+        assert_eq!(r.switches[1].stage, 1);
+    }
+
+    #[test]
+    fn switch_originated_route_descends_only() {
+        let b = b16();
+        // Top-stage switch on the path of owner 6 to home 9.
+        let sw = b.switch_on_path(6, 9, 1);
+        let r = from_switch_to_proc(&b, sw, 6).expect("owner reachable");
+        assert!(r.well_formed());
+        assert_eq!(r.switch_hops(), 1);
+        assert_eq!(r.switches[0].stage, 0);
+        assert!(matches!(r.links[0], LinkId::Down { .. }));
+        assert_eq!(*r.links.last().unwrap(), LinkId::ProcDown(6));
+    }
+
+    #[test]
+    fn switch_originated_route_from_stage0_is_single_link() {
+        let b = b16();
+        let sw = b.switch_on_path(6, 9, 0);
+        let r = from_switch_to_proc(&b, sw, 6).unwrap();
+        assert_eq!(r.switch_hops(), 0);
+        assert_eq!(r.links, vec![LinkId::ProcDown(6)]);
+    }
+
+    #[test]
+    fn unreachable_switch_origin_returns_none() {
+        let b = b16();
+        let sw = b.switch_on_path(0, 9, 0); // serves quad 0..4
+        assert!(from_switch_to_proc(&b, sw, 12).is_none());
+    }
+
+    #[test]
+    fn via_route_matches_direct_when_reachable() {
+        let b = b16();
+        let sw = b.switch_on_path(6, 9, 1);
+        assert_eq!(
+            from_switch_to_proc_via(&b, sw, 6, 3),
+            from_switch_to_proc(&b, sw, 6).unwrap()
+        );
+    }
+
+    #[test]
+    fn via_route_ascends_for_foreign_targets() {
+        let b = b16();
+        // Stage-0 switch of quad 0 must reach processor 12 by turning
+        // around at the top stage.
+        let sw = b.switch_on_path(0, 9, 0);
+        let r = from_switch_to_proc_via(&b, sw, 12, 5);
+        assert!(r.well_formed());
+        assert!(matches!(r.links[0], LinkId::Up { .. }), "must ascend first");
+        assert_eq!(*r.links.last().unwrap(), LinkId::ProcDown(12));
+        // Stage sequence rises then falls.
+        let stages: Vec<u8> = r.switches.iter().map(|s| s.stage).collect();
+        assert_eq!(stages, vec![1, 0]);
+    }
+
+    proptest! {
+        /// The via-route always terminates at the target, with consistent
+        /// stage steps, for every (switch, target, tiebreak).
+        #[test]
+        fn prop_via_route_always_routable(
+            o in 0u8..16, h in 0u8..16, target in 0u8..16, tb in 0u64..256
+        ) {
+            for bmin in [Bmin::new(16, 4), Bmin::new(16, 2)] {
+                for sw in bmin.path_switches(o, h) {
+                    let r = from_switch_to_proc_via(&bmin, sw, target, tb);
+                    prop_assert!(r.well_formed());
+                    prop_assert_eq!(*r.links.last().unwrap(), LinkId::ProcDown(target));
+                    for w in r.switches.windows(2) {
+                        prop_assert_eq!((w[0].stage as i16 - w[1].stage as i16).abs(), 1);
+                    }
+                    if let Some(first) = r.switches.first() {
+                        prop_assert_eq!(
+                            (first.stage as i16 - sw.stage as i16).abs(),
+                            1,
+                            "first hop adjacent to origin"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    proptest! {
+        /// All route constructors produce well-formed routes whose stages
+        /// step by one.
+        #[test]
+        fn prop_routes_well_formed(p in 0u8..16, m in 0u8..16, tb in 0u64..64) {
+            for bmin in [Bmin::new(16, 4), Bmin::new(16, 2)] {
+                for r in [forward(&bmin, p, m), backward(&bmin, m, p), proc_to_proc(&bmin, p, m, tb)] {
+                    prop_assert!(r.well_formed());
+                    for w in r.switches.windows(2) {
+                        let diff = (w[0].stage as i16 - w[1].stage as i16).abs();
+                        prop_assert_eq!(diff, 1);
+                    }
+                }
+            }
+        }
+
+        /// Hops iteration pairs every link with its destination switch and
+        /// ends with the endpoint hop.
+        #[test]
+        fn prop_hops_pairing(p in 0u8..16, m in 0u8..16) {
+            let bmin = Bmin::new(16, 2);
+            let r = forward(&bmin, p, m);
+            let hops: Vec<_> = r.hops().collect();
+            prop_assert_eq!(hops.len(), r.links.len());
+            prop_assert!(hops.last().unwrap().switch.is_none());
+            for h in &hops[..hops.len() - 1] {
+                prop_assert!(h.switch.is_some());
+            }
+        }
+
+        /// Every switch directory message target in the protocol is
+        /// routable: any switch on the owner->home path reaches the owner.
+        #[test]
+        fn prop_switch_messages_routable(o in 0u8..16, h in 0u8..16) {
+            let bmin = Bmin::new(16, 4);
+            for sw in bmin.path_switches(o, h) {
+                prop_assert!(from_switch_to_proc(&bmin, sw, o).is_some());
+            }
+        }
+    }
+}

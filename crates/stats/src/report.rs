@@ -1,0 +1,105 @@
+//! Report arithmetic and table formatting for the figure binaries.
+
+/// Percentage reduction of `with` relative to `base`: the paper's
+/// "normalized reduction" y-axes (Figures 8–11). Returns 0 for a zero
+/// baseline.
+pub fn percent_reduction(base: f64, with: f64) -> f64 {
+    if base <= 0.0 {
+        0.0
+    } else {
+        (base - with) / base * 100.0
+    }
+}
+
+/// A simple fixed-width table the figure binaries print: one row per
+/// workload, one column per configuration (e.g. switch-directory size).
+#[derive(Debug, Clone, Default)]
+pub struct FigureTable {
+    title: String,
+    columns: Vec<String>,
+    rows: Vec<(String, Vec<f64>)>,
+    unit: String,
+}
+
+impl FigureTable {
+    /// Creates a table with the given title, column headers and value unit.
+    pub fn new(title: impl Into<String>, columns: Vec<String>, unit: impl Into<String>) -> Self {
+        FigureTable { title: title.into(), columns, rows: Vec::new(), unit: unit.into() }
+    }
+
+    /// Appends a row; `values.len()` must equal the column count.
+    pub fn push_row(&mut self, label: impl Into<String>, values: Vec<f64>) {
+        assert_eq!(values.len(), self.columns.len(), "row width mismatch");
+        self.rows.push((label.into(), values));
+    }
+
+    /// Row accessor for tests and EXPERIMENTS.md generation.
+    pub fn rows(&self) -> &[(String, Vec<f64>)] {
+        &self.rows
+    }
+
+    /// Renders the table.
+    pub fn render(&self) -> String {
+        let label_w = self
+            .rows
+            .iter()
+            .map(|(l, _)| l.len())
+            .chain(std::iter::once(8))
+            .max()
+            .unwrap();
+        let col_w = self.columns.iter().map(|c| c.len().max(9)).collect::<Vec<_>>();
+
+        let mut s = String::new();
+        s.push_str(&format!("{} ({})\n", self.title, self.unit));
+        s.push_str(&format!("{:label_w$}", ""));
+        for (c, w) in self.columns.iter().zip(&col_w) {
+            s.push_str(&format!("  {c:>w$}"));
+        }
+        s.push('\n');
+        for (label, vals) in &self.rows {
+            s.push_str(&format!("{label:label_w$}"));
+            for (v, w) in vals.iter().zip(&col_w) {
+                s.push_str(&format!("  {v:>w$.2}"));
+            }
+            s.push('\n');
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percent_reduction_basics() {
+        assert_eq!(percent_reduction(100.0, 50.0), 50.0);
+        assert_eq!(percent_reduction(100.0, 100.0), 0.0);
+        assert_eq!(percent_reduction(0.0, 10.0), 0.0);
+        assert!(percent_reduction(100.0, 110.0) < 0.0, "regressions go negative");
+    }
+
+    #[test]
+    fn table_renders_all_rows_and_columns() {
+        let mut t = FigureTable::new(
+            "Figure 8: Reduction in Home Node CtoC Transfers",
+            vec!["256".into(), "512".into(), "1K".into(), "2K".into()],
+            "% vs base",
+        );
+        t.push_row("FFT", vec![60.0, 63.0, 65.5, 66.0]);
+        t.push_row("TPC-C", vec![40.0, 45.0, 50.0, 51.0]);
+        let s = t.render();
+        assert!(s.contains("FFT"));
+        assert!(s.contains("TPC-C"));
+        assert!(s.contains("65.50"));
+        assert!(s.contains("% vs base"));
+        assert_eq!(t.rows().len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "row width mismatch")]
+    fn mismatched_row_panics() {
+        let mut t = FigureTable::new("t", vec!["a".into()], "u");
+        t.push_row("x", vec![1.0, 2.0]);
+    }
+}

@@ -1,0 +1,152 @@
+//! Addresses and node identities.
+//!
+//! The simulated machine is a CC-NUMA multiprocessor: physical memory is
+//! distributed across the nodes and every cache block has a unique *home*
+//! node that holds both the DRAM copy and the full-map directory entry for
+//! it. Addresses are plain byte addresses; cache-block addresses strip the
+//! offset bits.
+
+use serde::{Deserialize, Serialize};
+
+/// A byte address in the simulated shared physical address space.
+pub type Addr = u64;
+
+/// Identity of a node. Each node hosts one processor (with its cache
+/// hierarchy) *and* one memory module with its slice of the directory, so a
+/// `NodeId` doubles as processor id ("pid" in the paper) and memory-module
+/// id depending on context.
+pub type NodeId = u8;
+
+/// A cache-block ("line") address: the byte address shifted right by the
+/// block-offset bits. Using the block address as the canonical key keeps
+/// every coherence structure (caches, directories, switch directories)
+/// agreeing on identity without re-deriving masks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct BlockAddr(pub u64);
+
+impl BlockAddr {
+    /// Builds a block address from a byte address given the block size.
+    ///
+    /// `block_bytes` must be a power of two (the geometry structs in
+    /// [`crate::config`] enforce this at validation time).
+    #[inline]
+    pub fn from_byte(addr: Addr, block_bytes: u64) -> Self {
+        debug_assert!(block_bytes.is_power_of_two());
+        BlockAddr(addr >> block_bytes.trailing_zeros())
+    }
+
+    /// The first byte address covered by this block.
+    #[inline]
+    pub fn base_byte(self, block_bytes: u64) -> Addr {
+        debug_assert!(block_bytes.is_power_of_two());
+        self.0 << block_bytes.trailing_zeros()
+    }
+
+    /// Home node of this block under page-interleaved placement: consecutive
+    /// pages rotate round-robin across the nodes. This is the placement the
+    /// evaluation uses (RSIM's default round-robin page allocation).
+    #[inline]
+    pub fn home(self, block_bytes: u64, page_bytes: u64, nodes: usize) -> NodeId {
+        debug_assert!(page_bytes >= block_bytes && page_bytes.is_power_of_two());
+        let blocks_per_page = page_bytes / block_bytes;
+        ((self.0 / blocks_per_page) % nodes as u64) as NodeId
+    }
+}
+
+/// Geometry helper bundling the block/page parameters so call sites cannot
+/// mix the block size used for address splitting with a different one used
+/// for home mapping.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AddressMap {
+    /// Cache block (line) size in bytes.
+    pub block_bytes: u64,
+    /// Page size in bytes; pages are interleaved round-robin across nodes.
+    pub page_bytes: u64,
+    /// Number of nodes in the machine.
+    pub nodes: usize,
+}
+
+impl AddressMap {
+    /// Creates a map, panicking on non-power-of-two or inconsistent sizes.
+    pub fn new(block_bytes: u64, page_bytes: u64, nodes: usize) -> Self {
+        assert!(block_bytes.is_power_of_two(), "block size must be a power of two");
+        assert!(page_bytes.is_power_of_two(), "page size must be a power of two");
+        assert!(page_bytes >= block_bytes, "page must be at least one block");
+        assert!(nodes > 0, "need at least one node");
+        AddressMap { block_bytes, page_bytes, nodes }
+    }
+
+    /// Block address of a byte address.
+    #[inline]
+    pub fn block(&self, addr: Addr) -> BlockAddr {
+        BlockAddr::from_byte(addr, self.block_bytes)
+    }
+
+    /// Home node of a byte address.
+    #[inline]
+    pub fn home_of(&self, addr: Addr) -> NodeId {
+        self.block(addr).home(self.block_bytes, self.page_bytes, self.nodes)
+    }
+
+    /// Home node of a block address.
+    #[inline]
+    pub fn home_of_block(&self, block: BlockAddr) -> NodeId {
+        block.home(self.block_bytes, self.page_bytes, self.nodes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn block_addr_strips_offset_bits() {
+        assert_eq!(BlockAddr::from_byte(0, 32), BlockAddr(0));
+        assert_eq!(BlockAddr::from_byte(31, 32), BlockAddr(0));
+        assert_eq!(BlockAddr::from_byte(32, 32), BlockAddr(1));
+        assert_eq!(BlockAddr::from_byte(0x1000, 32), BlockAddr(0x80));
+    }
+
+    #[test]
+    fn base_byte_round_trips() {
+        for addr in [0u64, 31, 32, 4095, 4096, 123_456_789] {
+            let b = BlockAddr::from_byte(addr, 32);
+            let base = b.base_byte(32);
+            assert!(base <= addr && addr < base + 32);
+        }
+    }
+
+    #[test]
+    fn home_is_page_interleaved() {
+        let map = AddressMap::new(32, 4096, 16);
+        // All blocks of page 0 live on node 0, page 1 on node 1, ...
+        for off in (0..4096).step_by(32) {
+            assert_eq!(map.home_of(off), 0);
+            assert_eq!(map.home_of(4096 + off), 1);
+            assert_eq!(map.home_of(15 * 4096 + off), 15);
+            assert_eq!(map.home_of(16 * 4096 + off), 0);
+        }
+    }
+
+    #[test]
+    fn home_covers_all_nodes() {
+        let map = AddressMap::new(32, 4096, 16);
+        let mut seen = [false; 16];
+        for page in 0..64u64 {
+            seen[map.home_of(page * 4096) as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn rejects_non_power_of_two_block() {
+        AddressMap::new(48, 4096, 16);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one block")]
+    fn rejects_page_smaller_than_block() {
+        AddressMap::new(64, 32, 16);
+    }
+}

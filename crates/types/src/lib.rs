@@ -1,0 +1,40 @@
+//! # dresar-types
+//!
+//! Shared vocabulary for the `dresar` reproduction of *"Using Switch
+//! Directories to Speed Up Cache-to-Cache Transfers in CC-NUMA
+//! Multiprocessors"* (Iyer, Bhuyan, Nanda; IPPS 2000).
+//!
+//! Every simulator crate in the workspace — the set-associative caches, the
+//! full-map home directory, the BMIN interconnect, the DRESAR switch
+//! directory, and the execution-/trace-driven system models — speaks in the
+//! types defined here:
+//!
+//! * [`addr`] — byte addresses, cache-block addresses, node identities and
+//!   the home-node mapping.
+//! * [`msg`] — the coherence message vocabulary of the paper's Table 1 plus
+//!   the ordinary data-carrying replies, and the [`msg::Message`] envelope
+//!   that flows through the interconnect.
+//! * [`sharers`] — a compact bit-vector sharer set (the "directory vector").
+//! * [`config`] — configuration structs mirroring the paper's Table 2
+//!   (execution-driven parameters) and Table 3 (trace-driven parameters),
+//!   with validated presets.
+//! * [`refstream`] — the memory-reference stream items produced by workload
+//!   generators and consumed by the simulators.
+
+#![warn(missing_docs)]
+
+pub mod addr;
+pub mod config;
+pub mod msg;
+pub mod refstream;
+pub mod sharers;
+
+pub use addr::{Addr, BlockAddr, NodeId};
+pub use config::{SystemConfig, TraceSimConfig};
+pub use msg::{Message, MsgType};
+pub use refstream::{MemRef, RefKind, StreamItem, Workload};
+pub use sharers::SharerSet;
+
+/// Simulation time, in cycles of the 200 MHz clock shared by the processor
+/// core, the switch core and the link transmitters (paper §4.1 / Table 2).
+pub type Cycle = u64;

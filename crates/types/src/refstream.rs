@@ -1,0 +1,150 @@
+//! Memory-reference streams.
+//!
+//! Workload generators (crate `dresar-workloads`) produce one stream per
+//! simulated processor. A stream is a sequence of [`StreamItem`]s: memory
+//! references annotated with the number of non-memory instructions executed
+//! since the previous reference (so the processor model can account compute
+//! time), interleaved with barrier markers for the scientific kernels'
+//! phase structure.
+
+use crate::addr::Addr;
+use serde::{Deserialize, Serialize};
+
+/// Load or store.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum RefKind {
+    /// A load; the processor blocks until data returns (reads determine
+    /// stall time — paper §2).
+    Read,
+    /// A store; retired through the write buffer under release consistency,
+    /// so it does not stall the processor.
+    Write,
+}
+
+/// One memory reference.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MemRef {
+    /// Byte address referenced.
+    pub addr: Addr,
+    /// Load or store.
+    pub kind: RefKind,
+    /// Number of non-memory instructions executed since the previous item
+    /// of this stream; converted to cycles by the processor's issue width.
+    pub work: u32,
+}
+
+/// An item of a per-processor reference stream.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum StreamItem {
+    /// A memory reference.
+    Ref(MemRef),
+    /// A global barrier: the processor may not proceed past barrier `id`
+    /// until every processor has reached it. Barrier ids are issued in
+    /// ascending order within each stream.
+    Barrier(u32),
+}
+
+impl StreamItem {
+    /// Convenience constructor for a read.
+    pub fn read(addr: Addr, work: u32) -> Self {
+        StreamItem::Ref(MemRef { addr, kind: RefKind::Read, work })
+    }
+
+    /// Convenience constructor for a write.
+    pub fn write(addr: Addr, work: u32) -> Self {
+        StreamItem::Ref(MemRef { addr, kind: RefKind::Write, work })
+    }
+}
+
+/// A complete multiprocessor workload: one reference stream per processor.
+///
+/// Invariants (checked by [`Workload::validate`]):
+/// * all streams see the same set of barrier ids in the same order;
+/// * barrier ids ascend.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Workload {
+    /// A short human-readable name ("fft", "tpcc", ...).
+    pub name: String,
+    /// One stream per processor, indexed by pid.
+    pub streams: Vec<Vec<StreamItem>>,
+}
+
+impl Workload {
+    /// Total number of memory references across all streams.
+    pub fn total_refs(&self) -> usize {
+        self.streams
+            .iter()
+            .map(|s| s.iter().filter(|i| matches!(i, StreamItem::Ref(_))).count())
+            .sum()
+    }
+
+    /// Checks the barrier invariants; returns a description of the first
+    /// violation, if any.
+    pub fn validate(&self) -> Result<(), String> {
+        let barrier_seq = |s: &Vec<StreamItem>| -> Vec<u32> {
+            s.iter()
+                .filter_map(|i| match i {
+                    StreamItem::Barrier(b) => Some(*b),
+                    _ => None,
+                })
+                .collect()
+        };
+        let first = match self.streams.first() {
+            Some(s) => barrier_seq(s),
+            None => return Ok(()),
+        };
+        if first.windows(2).any(|w| w[0] >= w[1]) {
+            return Err(format!("{}: barrier ids do not ascend", self.name));
+        }
+        for (pid, s) in self.streams.iter().enumerate().skip(1) {
+            if barrier_seq(s) != first {
+                return Err(format!(
+                    "{}: processor {pid} sees a different barrier sequence than processor 0",
+                    self.name
+                ));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn validate_accepts_matching_barriers() {
+        let w = Workload {
+            name: "t".into(),
+            streams: vec![
+                vec![StreamItem::read(0, 1), StreamItem::Barrier(0), StreamItem::Barrier(1)],
+                vec![StreamItem::Barrier(0), StreamItem::write(64, 2), StreamItem::Barrier(1)],
+            ],
+        };
+        assert!(w.validate().is_ok());
+        assert_eq!(w.total_refs(), 2);
+    }
+
+    #[test]
+    fn validate_rejects_mismatched_barriers() {
+        let w = Workload {
+            name: "t".into(),
+            streams: vec![vec![StreamItem::Barrier(0)], vec![StreamItem::Barrier(1)]],
+        };
+        assert!(w.validate().is_err());
+    }
+
+    #[test]
+    fn validate_rejects_descending_barriers() {
+        let w = Workload {
+            name: "t".into(),
+            streams: vec![vec![StreamItem::Barrier(1), StreamItem::Barrier(0)]],
+        };
+        assert!(w.validate().is_err());
+    }
+
+    #[test]
+    fn empty_workload_is_valid() {
+        assert!(Workload::default().validate().is_ok());
+    }
+}

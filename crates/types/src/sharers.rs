@@ -1,0 +1,179 @@
+//! Compact sharer sets ("directory bit vectors").
+//!
+//! The full-map directory keeps one bit per node for every memory block
+//! (paper §3.2); the switch directory entries likewise carry "a bit vector
+//! for marking subsequent sharers" (§4.2). With at most 64 nodes supported
+//! by the workspace, a single `u64` suffices and keeps directory state
+//! `Copy`.
+
+use crate::addr::NodeId;
+use serde::{Deserialize, Serialize};
+
+/// A set of node ids represented as a 64-bit mask.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct SharerSet(u64);
+
+impl SharerSet {
+    /// The empty set.
+    pub const EMPTY: SharerSet = SharerSet(0);
+
+    /// Creates a set containing exactly one node.
+    #[inline]
+    pub fn singleton(node: NodeId) -> Self {
+        debug_assert!(node < 64);
+        SharerSet(1u64 << node)
+    }
+
+    /// Creates a set from an iterator of node ids.
+    #[allow(clippy::should_implement_trait)] // also provided via FromIterator below
+    pub fn from_iter<I: IntoIterator<Item = NodeId>>(iter: I) -> Self {
+        let mut s = SharerSet::EMPTY;
+        for n in iter {
+            s.insert(n);
+        }
+        s
+    }
+
+    /// Inserts a node; returns `true` if it was newly added.
+    #[inline]
+    pub fn insert(&mut self, node: NodeId) -> bool {
+        debug_assert!(node < 64);
+        let bit = 1u64 << node;
+        let added = self.0 & bit == 0;
+        self.0 |= bit;
+        added
+    }
+
+    /// Removes a node; returns `true` if it was present.
+    #[inline]
+    pub fn remove(&mut self, node: NodeId) -> bool {
+        debug_assert!(node < 64);
+        let bit = 1u64 << node;
+        let present = self.0 & bit != 0;
+        self.0 &= !bit;
+        present
+    }
+
+    /// Whether the node is in the set.
+    #[inline]
+    pub fn contains(&self, node: NodeId) -> bool {
+        debug_assert!(node < 64);
+        self.0 & (1u64 << node) != 0
+    }
+
+    /// Whether the set is empty.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.0 == 0
+    }
+
+    /// Number of nodes in the set.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.0.count_ones() as usize
+    }
+
+    /// Union with another set.
+    #[inline]
+    pub fn union(self, other: SharerSet) -> SharerSet {
+        SharerSet(self.0 | other.0)
+    }
+
+    /// Set difference `self \ other`.
+    #[inline]
+    pub fn difference(self, other: SharerSet) -> SharerSet {
+        SharerSet(self.0 & !other.0)
+    }
+
+    /// If the set holds exactly one node, returns it.
+    #[inline]
+    pub fn sole_member(&self) -> Option<NodeId> {
+        if self.len() == 1 {
+            Some(self.0.trailing_zeros() as NodeId)
+        } else {
+            None
+        }
+    }
+
+    /// Iterates the members in ascending id order.
+    pub fn iter(&self) -> impl Iterator<Item = NodeId> + '_ {
+        let mut bits = self.0;
+        std::iter::from_fn(move || {
+            if bits == 0 {
+                None
+            } else {
+                let n = bits.trailing_zeros() as NodeId;
+                bits &= bits - 1;
+                Some(n)
+            }
+        })
+    }
+
+    /// Raw mask, for compact logging.
+    #[inline]
+    pub fn raw(&self) -> u64 {
+        self.0
+    }
+}
+
+impl FromIterator<NodeId> for SharerSet {
+    fn from_iter<I: IntoIterator<Item = NodeId>>(iter: I) -> Self {
+        SharerSet::from_iter(iter)
+    }
+}
+
+impl std::fmt::Display for SharerSet {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{{")?;
+        for (i, n) in self.iter().enumerate() {
+            if i > 0 {
+                write!(f, ",")?;
+            }
+            write!(f, "{n}")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_remove_contains() {
+        let mut s = SharerSet::EMPTY;
+        assert!(s.is_empty());
+        assert!(s.insert(3));
+        assert!(!s.insert(3));
+        assert!(s.contains(3));
+        assert_eq!(s.len(), 1);
+        assert_eq!(s.sole_member(), Some(3));
+        assert!(s.insert(15));
+        assert_eq!(s.sole_member(), None);
+        assert!(s.remove(3));
+        assert!(!s.remove(3));
+        assert_eq!(s.sole_member(), Some(15));
+    }
+
+    #[test]
+    fn iter_is_sorted_and_complete() {
+        let s: SharerSet = [9u8, 1, 4, 63, 0].into_iter().collect();
+        let v: Vec<_> = s.iter().collect();
+        assert_eq!(v, vec![0, 1, 4, 9, 63]);
+    }
+
+    #[test]
+    fn union_and_difference() {
+        let a: SharerSet = [1u8, 2, 3].into_iter().collect();
+        let b: SharerSet = [3u8, 4].into_iter().collect();
+        assert_eq!(a.union(b).len(), 4);
+        let d = a.difference(b);
+        assert!(d.contains(1) && d.contains(2) && !d.contains(3));
+    }
+
+    #[test]
+    fn display_formats_members() {
+        let s: SharerSet = [2u8, 5].into_iter().collect();
+        assert_eq!(s.to_string(), "{2,5}");
+    }
+}

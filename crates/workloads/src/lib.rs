@@ -1,0 +1,52 @@
+//! # dresar-workloads
+//!
+//! Workload generators for the `dresar` simulators, reproducing the
+//! paper's evaluation mix (§2, §5.1):
+//!
+//! * [`scientific`] — the five numerical kernels, implemented as *real*
+//!   shared-memory computations whose every load/store to the shared arrays
+//!   is recorded into per-processor reference streams (execution-driven in
+//!   spirit, like the paper's RSIM runs):
+//!   - Fast Fourier Transform ([`scientific::fft`]),
+//!   - Successive Over-Relaxation ([`scientific::sor`]),
+//!   - Transitive Closure ([`scientific::tc`]),
+//!   - Floyd–Warshall all-pairs shortest paths ([`scientific::fwa`]),
+//!   - Gaussian Elimination ([`scientific::gauss`]).
+//! * [`commercial`] — synthetic TPC-C (OLTP) and TPC-D (DSS) memory-
+//!   reference traces. The paper used proprietary IBM COMPASS traces; the
+//!   generator is calibrated to the published characteristics instead (see
+//!   DESIGN.md's substitution table): hot-block skew (Figure 2) and the
+//!   38% / 62% dirty-read fractions (Figure 1).
+//! * [`builder`] — the stream-recording substrate shared by all kernels.
+//! * [`scale`] — paper-scale vs reduced vs test-size presets.
+
+#![warn(missing_docs)]
+
+pub mod builder;
+pub mod commercial;
+pub mod scale;
+pub mod scientific;
+
+pub use builder::StreamRecorder;
+pub use scale::Scale;
+
+use dresar_types::Workload;
+
+/// Generates the paper's five scientific workloads at the given scale.
+pub fn scientific_suite(processors: usize, scale: Scale) -> Vec<Workload> {
+    vec![
+        scientific::fft(processors, scale.fft_points()),
+        scientific::tc(processors, scale.matrix_n()),
+        scientific::sor(processors, scale.grid_n(), scale.sor_iters()),
+        scientific::fwa(processors, scale.matrix_n()),
+        scientific::gauss(processors, scale.matrix_n()),
+    ]
+}
+
+/// Generates the two commercial workloads at the given scale.
+pub fn commercial_suite(processors: usize, scale: Scale, seed: u64) -> Vec<Workload> {
+    vec![
+        commercial::tpcc(processors, scale.commercial_refs(), seed),
+        commercial::tpcd(processors, scale.commercial_refs(), seed ^ 0x9e37_79b9),
+    ]
+}

@@ -1,0 +1,101 @@
+//! Workload size presets.
+
+/// Input-size presets. `Paper` matches Table 2/Table 3; `Reduced` keeps the
+//  same sharing structure at a size a single host core sweeps quickly;
+/// `Tiny` is for unit tests.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scale {
+    /// The paper's Table 2 input sizes (FFT 16K points, SOR 512x512,
+    /// TC/FWA/GE 128x128, 16M commercial references).
+    Paper,
+    /// Reduced sizes preserving the sharing patterns (default for the
+    /// figure harness).
+    Reduced,
+    /// Very small sizes for unit/integration tests.
+    Tiny,
+}
+
+impl Scale {
+    /// FFT input points (power of two).
+    pub fn fft_points(self) -> usize {
+        match self {
+            Scale::Paper => 16 * 1024,
+            Scale::Reduced => 4 * 1024,
+            Scale::Tiny => 256,
+        }
+    }
+
+    /// Matrix dimension for TC / FWA / GAUSS.
+    pub fn matrix_n(self) -> usize {
+        match self {
+            Scale::Paper => 128,
+            Scale::Reduced => 64,
+            Scale::Tiny => 16,
+        }
+    }
+
+    /// SOR grid dimension.
+    pub fn grid_n(self) -> usize {
+        match self {
+            Scale::Paper => 512,
+            Scale::Reduced => 192,
+            Scale::Tiny => 32,
+        }
+    }
+
+    /// SOR iterations.
+    pub fn sor_iters(self) -> usize {
+        match self {
+            Scale::Paper => 4,
+            Scale::Reduced => 3,
+            Scale::Tiny => 2,
+        }
+    }
+
+    /// Commercial trace length (total references across processors).
+    pub fn commercial_refs(self) -> usize {
+        match self {
+            Scale::Paper => 16_000_000,
+            Scale::Reduced => 1_500_000,
+            Scale::Tiny => 40_000,
+        }
+    }
+
+    /// Parses from a CLI-ish string.
+    pub fn parse(s: &str) -> Option<Scale> {
+        match s {
+            "paper" | "full" => Some(Scale::Paper),
+            "reduced" | "default" => Some(Scale::Reduced),
+            "tiny" | "test" => Some(Scale::Tiny),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_matches_table2() {
+        assert_eq!(Scale::Paper.fft_points(), 16384);
+        assert_eq!(Scale::Paper.matrix_n(), 128);
+        assert_eq!(Scale::Paper.grid_n(), 512);
+        assert_eq!(Scale::Paper.commercial_refs(), 16_000_000);
+    }
+
+    #[test]
+    fn parse_accepts_aliases() {
+        assert_eq!(Scale::parse("paper"), Some(Scale::Paper));
+        assert_eq!(Scale::parse("full"), Some(Scale::Paper));
+        assert_eq!(Scale::parse("reduced"), Some(Scale::Reduced));
+        assert_eq!(Scale::parse("tiny"), Some(Scale::Tiny));
+        assert_eq!(Scale::parse("bogus"), None);
+    }
+
+    #[test]
+    fn scales_are_ordered() {
+        assert!(Scale::Paper.fft_points() > Scale::Reduced.fft_points());
+        assert!(Scale::Reduced.fft_points() > Scale::Tiny.fft_points());
+    }
+}

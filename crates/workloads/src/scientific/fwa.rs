@@ -1,0 +1,147 @@
+//! Floyd–Warshall all-pairs shortest paths.
+//!
+//! Distance matrix of f64, cyclic row ownership. Like TC, iteration `k`
+//! broadcasts pivot row `k`; unlike TC every (i, j) pair is visited every
+//! iteration, making the reference stream denser and the pivot-row reuse
+//! higher.
+
+use crate::builder::StreamRecorder;
+use dresar_types::{Addr, Workload};
+
+const ELEM: u64 = 8;
+const BASE: Addr = 0x7000_0000;
+const SYNC: Addr = 0x7800_0000;
+const INF: f64 = 1.0e18;
+
+#[inline]
+fn addr(n: usize, i: usize, j: usize) -> Addr {
+    BASE + ((i * n + j) as u64) * ELEM
+}
+
+/// Deterministic weighted digraph.
+fn seed_weights(n: usize) -> Vec<f64> {
+    let mut d = vec![INF; n * n];
+    for i in 0..n {
+        d[i * n + i] = 0.0;
+        for j in 0..n {
+            if i != j {
+                let h = (i as u64)
+                    .wrapping_mul(0x2545_f491_4f6c_dd1d)
+                    .wrapping_add((j as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15));
+                if h % 11 < 3 {
+                    d[i * n + j] = 1.0 + (h % 97) as f64;
+                }
+            }
+        }
+    }
+    d
+}
+
+/// Runs parallel Floyd–Warshall, returning the workload and the distance
+/// matrix for verification.
+pub fn fwa_with_result(processors: usize, n: usize) -> (Workload, Vec<f64>) {
+    assert!(n >= 2 && processors >= 1);
+    let mut rec = StreamRecorder::new(processors, 4);
+    let mut dist = seed_weights(n);
+
+    for i in 0..n {
+        let p = i % processors;
+        for j in 0..n {
+            rec.write(p, addr(n, i, j));
+        }
+    }
+    rec.sync_barrier(SYNC);
+
+    for k in 0..n {
+        for i in 0..n {
+            let p = i % processors;
+            rec.read(p, addr(n, i, k));
+            let dik = dist[i * n + k];
+            if dik >= INF {
+                continue; // no path through k from i; row skipped
+            }
+            for j in 0..n {
+                rec.read(p, addr(n, k, j));
+                rec.read(p, addr(n, i, j));
+                let cand = dik + dist[k * n + j];
+                if cand < dist[i * n + j] {
+                    dist[i * n + j] = cand;
+                    rec.write(p, addr(n, i, j));
+                }
+            }
+        }
+        rec.sync_barrier(SYNC);
+    }
+
+    (rec.into_workload("fwa"), dist)
+}
+
+/// The FWA workload alone.
+pub fn fwa(processors: usize, n: usize) -> Workload {
+    fwa_with_result(processors, n).0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Dijkstra from each source over the same seed graph.
+    fn dijkstra_all(n: usize, w: &[f64]) -> Vec<f64> {
+        let mut out = vec![INF; n * n];
+        for s in 0..n {
+            let mut dist = vec![INF; n];
+            let mut done = vec![false; n];
+            dist[s] = 0.0;
+            for _ in 0..n {
+                let mut u = usize::MAX;
+                let mut best = INF;
+                for v in 0..n {
+                    if !done[v] && dist[v] < best {
+                        best = dist[v];
+                        u = v;
+                    }
+                }
+                if u == usize::MAX {
+                    break;
+                }
+                done[u] = true;
+                for v in 0..n {
+                    let e = w[u * n + v];
+                    if e < INF && dist[u] + e < dist[v] {
+                        dist[v] = dist[u] + e;
+                    }
+                }
+            }
+            out[s * n..(s + 1) * n].copy_from_slice(&dist);
+        }
+        out
+    }
+
+    #[test]
+    fn matches_dijkstra() {
+        let n = 20;
+        let (_, got) = fwa_with_result(4, n);
+        let want = dijkstra_all(n, &seed_weights(n));
+        for (g, w) in got.iter().zip(&want) {
+            if *w >= INF {
+                assert!(*g >= INF);
+            } else {
+                assert!((g - w).abs() < 1e-9, "{g} vs {w}");
+            }
+        }
+    }
+
+    #[test]
+    fn result_independent_of_processor_count() {
+        let (_, a) = fwa_with_result(1, 18);
+        let (_, b) = fwa_with_result(5, 18);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn stream_is_valid() {
+        let (w, _) = fwa_with_result(4, 16);
+        assert!(w.validate().is_ok());
+        assert!(w.total_refs() > 16 * 16);
+    }
+}

@@ -1,0 +1,141 @@
+//! Gaussian Elimination (LU-style forward elimination + back substitution)
+//! on an augmented system `A x = b`.
+//!
+//! Rows are cyclically assigned. At step `k` the owner normalizes pivot row
+//! `k` (rewriting it), then every processor eliminates its rows below `k`
+//! using that freshly written pivot row — the classic shrinking-broadcast
+//! pattern. Back substitution serializes but is short.
+
+use crate::builder::StreamRecorder;
+use dresar_types::{Addr, Workload};
+
+const ELEM: u64 = 8;
+const BASE: Addr = 0x8000_0000;
+const SYNC: Addr = 0x8800_0000;
+
+#[inline]
+fn addr(ncols: usize, i: usize, j: usize) -> Addr {
+    BASE + ((i * ncols + j) as u64) * ELEM
+}
+
+/// Deterministic well-conditioned system: diagonally dominant matrix.
+fn seed_system(n: usize) -> (Vec<f64>, Vec<f64>) {
+    let ncols = n + 1;
+    let mut a = vec![0.0; n * ncols];
+    let x_true: Vec<f64> = (0..n).map(|i| ((i % 7) as f64) - 3.0).collect();
+    for i in 0..n {
+        let mut row_sum = 0.0;
+        for j in 0..n {
+            let h = (i as u64)
+                .wrapping_mul(0x9e37_79b9_7f4a_7c15)
+                .wrapping_add((j as u64).wrapping_mul(0x2545_f491_4f6c_dd1d));
+            let v = ((h % 19) as f64 - 9.0) / 10.0;
+            a[i * ncols + j] = v;
+            row_sum += v.abs();
+        }
+        a[i * ncols + i] = row_sum + 1.0; // strict diagonal dominance
+        let b: f64 = (0..n).map(|j| a[i * ncols + j] * x_true[j]).sum();
+        a[i * ncols + n] = b;
+    }
+    (a, x_true)
+}
+
+/// Runs parallel Gaussian elimination, returning the workload and the
+/// solution vector for verification.
+pub fn gauss_with_result(processors: usize, n: usize) -> (Workload, Vec<f64>) {
+    assert!(n >= 2 && processors >= 1);
+    let ncols = n + 1;
+    let mut rec = StreamRecorder::new(processors, 4);
+    let (mut a, _) = seed_system(n);
+
+    for i in 0..n {
+        let p = i % processors;
+        for j in 0..ncols {
+            rec.write(p, addr(ncols, i, j));
+        }
+    }
+    rec.sync_barrier(SYNC);
+
+    // Forward elimination.
+    for k in 0..n {
+        let owner = k % processors;
+        // Owner normalizes the pivot row.
+        rec.read(owner, addr(ncols, k, k));
+        let pivot = a[k * ncols + k];
+        for j in k..ncols {
+            rec.read(owner, addr(ncols, k, j));
+            a[k * ncols + j] /= pivot;
+            rec.write(owner, addr(ncols, k, j));
+        }
+        rec.sync_barrier(SYNC);
+        // All processors eliminate their rows below k.
+        for i in k + 1..n {
+            let p = i % processors;
+            rec.read(p, addr(ncols, i, k));
+            let factor = a[i * ncols + k];
+            if factor == 0.0 {
+                continue;
+            }
+            for j in k..ncols {
+                rec.read(p, addr(ncols, k, j));
+                rec.read(p, addr(ncols, i, j));
+                a[i * ncols + j] -= factor * a[k * ncols + j];
+                rec.write(p, addr(ncols, i, j));
+            }
+        }
+        rec.sync_barrier(SYNC);
+    }
+
+    // Back substitution (each row's owner computes its x, reading the
+    // already-solved suffix).
+    let mut x = vec![0.0; n];
+    for k in (0..n).rev() {
+        let p = k % processors;
+        let mut v = a[k * ncols + n];
+        rec.read(p, addr(ncols, k, n));
+        for j in k + 1..n {
+            rec.read(p, addr(ncols, k, j));
+            v -= a[k * ncols + j] * x[j];
+        }
+        x[k] = v; // pivot normalized to 1
+        rec.barrier();
+    }
+
+    (rec.into_workload("gauss"), x)
+}
+
+/// The GAUSS workload alone.
+pub fn gauss(processors: usize, n: usize) -> Workload {
+    gauss_with_result(processors, n).0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn solves_the_system() {
+        let n = 24;
+        let (_, x) = gauss_with_result(4, n);
+        let (_, want) = seed_system(n);
+        for (g, w) in x.iter().zip(&want) {
+            assert!((g - w).abs() < 1e-8, "{g} vs {w}");
+        }
+    }
+
+    #[test]
+    fn result_independent_of_processor_count() {
+        let (_, a) = gauss_with_result(1, 16);
+        let (_, b) = gauss_with_result(6, 16);
+        for (x, y) in a.iter().zip(&b) {
+            assert!((x - y).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn stream_is_valid() {
+        let (w, _) = gauss_with_result(4, 16);
+        assert!(w.validate().is_ok());
+        assert!(w.total_refs() > 16 * 17);
+    }
+}

@@ -1,0 +1,55 @@
+//! Domain scenario: drive the Table 3 trace simulator with the synthetic
+//! TPC-C workload, reproduce the block-skew analysis of the paper's
+//! Figure 2, and sweep switch-directory sizes.
+//!
+//! Run with: `cargo run --release --example commercial_analysis`
+
+use dresar_trace_sim::TraceSimulator;
+use dresar_types::config::{SwitchDirConfig, TraceSimConfig};
+use dresar_workloads::commercial;
+
+fn main() {
+    let refs = 400_000;
+    let workload = commercial::tpcc(16, refs, 42);
+    println!("synthetic TPC-C: {} references over 16 processors", workload.total_refs());
+
+    // Base run with histogram: the Figure 2 skew.
+    let mut sim = TraceSimulator::new(TraceSimConfig::paper_base());
+    sim.collect_histogram();
+    let base = sim.run(&workload);
+    let h = base.histogram.as_ref().unwrap();
+    println!(
+        "\nbase machine: {} read misses over {} blocks, {:.1}% dirty",
+        base.reads.total(),
+        h.blocks_touched(),
+        100.0 * base.reads.dirty_fraction()
+    );
+    println!(
+        "hot-set skew: top 10% of blocks account for {:.1}% of CtoC transfers",
+        100.0 * h.ctoc_coverage_of_top(0.10)
+    );
+
+    println!("\nswitch-directory sweep:");
+    println!("{:>8} {:>12} {:>12} {:>14} {:>12}", "entries", "home CtoC", "switch CtoC", "avg lat (cyc)", "exec (Mcyc)");
+    println!(
+        "{:>8} {:>12} {:>12} {:>14.1} {:>12.2}",
+        "none",
+        base.reads.ctoc_home,
+        base.reads.ctoc_switch,
+        base.avg_read_latency(),
+        base.exec_cycles as f64 / 1e6
+    );
+    for entries in [256u32, 512, 1024, 2048] {
+        let mut cfg = TraceSimConfig::paper_table3();
+        cfg.switch_dir = Some(SwitchDirConfig { entries, ..SwitchDirConfig::paper_default() });
+        let r = TraceSimulator::new(cfg).run(&workload);
+        println!(
+            "{:>8} {:>12} {:>12} {:>14.1} {:>12.2}",
+            entries,
+            r.reads.ctoc_home,
+            r.reads.ctoc_switch,
+            r.avg_read_latency(),
+            r.exec_cycles as f64 / 1e6
+        );
+    }
+}

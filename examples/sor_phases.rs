@@ -1,0 +1,45 @@
+//! Domain scenario: run the red-black SOR kernel on the full execution-
+//! driven machine and watch where its misses go — the halo-exchange
+//! pattern that makes SOR one of the paper's best switch-directory cases.
+//!
+//! Run with: `cargo run --release --example sor_phases`
+
+use dresar::system::{RunOptions, System};
+use dresar_types::config::SystemConfig;
+use dresar_workloads::scientific;
+
+fn main() {
+    let grid = 64;
+    let iters = 3;
+    let workload = scientific::sor(16, grid, iters);
+    println!(
+        "SOR {grid}x{grid}, {iters} iterations, 16 processors: {} references",
+        workload.total_refs()
+    );
+
+    for (label, cfg) in
+        [("base", SystemConfig::paper_base()), ("switch-dir", SystemConfig::paper_table2())]
+    {
+        let r = System::new(cfg, &workload).run(RunOptions::default());
+        println!(
+            "\n[{label}] exec = {} cycles, read misses = {} (clean {}, home-CtoC {}, switch-CtoC {})",
+            r.cycles,
+            r.reads.total(),
+            r.reads.clean,
+            r.reads.ctoc_home,
+            r.reads.ctoc_switch
+        );
+        println!(
+            "         avg read latency = {:.1} cycles, read stall = {} cycles, writebacks = {}",
+            r.avg_read_latency(),
+            r.reads.stall_cycles,
+            r.writebacks
+        );
+        if r.sd.snoops > 0 {
+            println!(
+                "         switch dirs: {} snoops, {} inserts, {} read hits, {} copybacks marked",
+                r.sd.snoops, r.sd.inserts, r.sd.read_hits, r.sd.copybacks_marked
+            );
+        }
+    }
+}

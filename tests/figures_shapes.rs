@@ -1,0 +1,130 @@
+//! End-to-end shape checks: at test scale, the reproduction must exhibit
+//! the qualitative results the paper reports (DESIGN.md §4 "Expected
+//! shapes"). Absolute numbers differ — the substrate is a from-scratch
+//! simulator — but who wins, roughly by how much, and the skew structure
+//! must hold.
+
+use dresar_workspace::dresar::system::{RunOptions, System};
+use dresar_workspace::trace_sim::TraceSimulator;
+use dresar_workspace::types::config::{SystemConfig, TraceSimConfig};
+use dresar_workspace::workloads::{commercial, scientific};
+
+fn run_exec(w: &dresar_workspace::types::Workload, sd: bool) -> dresar_workspace::dresar::ExecutionReport {
+    let cfg = if sd { SystemConfig::paper_table2() } else { SystemConfig::paper_base() };
+    System::new(cfg, w).run(RunOptions { max_cycles: 2_000_000_000, ..Default::default() })
+}
+
+#[test]
+fn figure1_fft_and_sor_are_ctoc_dominated() {
+    let fft = run_exec(&scientific::fft(16, 1024), false);
+    assert!(
+        fft.dirty_read_fraction() > 0.5,
+        "FFT dirty fraction {:.2} should be CtoC-dominated",
+        fft.dirty_read_fraction()
+    );
+    let sor = run_exec(&scientific::sor(16, 64, 2), false);
+    assert!(
+        sor.dirty_read_fraction() > 0.5,
+        "SOR dirty fraction {:.2} should be CtoC-dominated",
+        sor.dirty_read_fraction()
+    );
+}
+
+#[test]
+fn figure1_pivot_kernels_are_moderate() {
+    for (name, w) in [
+        ("tc", scientific::tc(16, 32)),
+        ("fwa", scientific::fwa(16, 32)),
+        ("gauss", scientific::gauss(16, 32)),
+    ] {
+        let r = run_exec(&w, false);
+        let f = r.dirty_read_fraction();
+        assert!(f > 0.02 && f < 0.6, "{name} dirty fraction {f:.2} out of the moderate band");
+    }
+}
+
+#[test]
+fn figure1_commercial_mix() {
+    // Short traces under-weight the dirty fraction (cold misses dominate);
+    // 1M references is enough for the steady-state mix to emerge. At the
+    // full 16M-reference paper scale the presets measure ~44% (TPC-C) and
+    // ~52% (TPC-D) against the paper's 38% / 62% — see EXPERIMENTS.md.
+    let refs = 1_000_000;
+    let tpcc = TraceSimulator::new(TraceSimConfig::paper_base())
+        .run(&commercial::tpcc(16, refs, 7));
+    let tpcd = TraceSimulator::new(TraceSimConfig::paper_base())
+        .run(&commercial::tpcd(16, refs, 7));
+    let fc = tpcc.reads.dirty_fraction();
+    let fd = tpcd.reads.dirty_fraction();
+    assert!(fc > 0.25 && fc < 0.55, "TPC-C dirty {fc:.2} outside band (paper 0.38)");
+    assert!(fd > 0.35 && fd < 0.75, "TPC-D dirty {fd:.2} outside band (paper 0.62)");
+    assert!(fd > fc, "TPC-D must be dirtier than TPC-C (got {fd:.2} vs {fc:.2})");
+}
+
+#[test]
+fn figure2_skew_concentrates_ctocs() {
+    let mut sim = TraceSimulator::new(TraceSimConfig::paper_base());
+    sim.collect_histogram();
+    let r = sim.run(&commercial::tpcc(16, 300_000, 11));
+    let h = r.histogram.unwrap();
+    let cov = h.ctoc_coverage_of_top(0.10);
+    assert!(cov > 0.6, "top-10% CtoC coverage {cov:.2} too flat (paper ~0.88)");
+    // The cumulative curve must be monotone (checked in-crate) and end at 1.
+    let pts = h.cumulative(10);
+    assert!((pts.last().unwrap().ctoc_fraction - 1.0).abs() < 1e-9);
+}
+
+#[test]
+fn figure8_switch_dirs_cut_home_ctocs_for_every_workload() {
+    // Scientific side at test scale.
+    for (name, w) in [
+        ("fft", scientific::fft(16, 512)),
+        ("sor", scientific::sor(16, 48, 2)),
+        ("gauss", scientific::gauss(16, 32)),
+    ] {
+        let base = run_exec(&w, false);
+        let with = run_exec(&w, true);
+        assert!(
+            with.home_ctoc() < base.home_ctoc() || base.home_ctoc() == 0,
+            "{name}: home CtoC did not drop ({} -> {})",
+            base.home_ctoc(),
+            with.home_ctoc()
+        );
+    }
+    // Commercial side.
+    let w = commercial::tpcc(16, 200_000, 3);
+    let base = TraceSimulator::new(TraceSimConfig::paper_base()).run(&w);
+    let with = TraceSimulator::new(TraceSimConfig::paper_table3()).run(&w);
+    assert!(with.home_ctoc() < base.home_ctoc());
+    assert!(with.reads.ctoc_switch > 0);
+}
+
+#[test]
+fn figure9_to_11_latency_stall_and_exec_improve_where_hits_exist() {
+    let w = scientific::fft(16, 1024);
+    let base = run_exec(&w, false);
+    let with = run_exec(&w, true);
+    assert!(with.sd.read_hits > 0, "FFT must hit switch directories");
+    assert!(
+        with.avg_read_latency() < base.avg_read_latency(),
+        "read latency must improve ({:.1} -> {:.1})",
+        base.avg_read_latency(),
+        with.avg_read_latency()
+    );
+    assert!(with.read_stall_cycles() < base.read_stall_cycles());
+    assert!(with.cycles <= base.cycles, "execution time must not regress");
+}
+
+#[test]
+fn latency_ordering_matches_table3() {
+    // switch-served < home-served dirty; clean < dirty (the 1.5-2x premium
+    // the paper attacks).
+    let w = commercial::tpcd(16, 200_000, 5);
+    let base = TraceSimulator::new(TraceSimConfig::paper_base()).run(&w);
+    let with = TraceSimulator::new(TraceSimConfig::paper_table3()).run(&w);
+    assert!(with.avg_read_latency() < base.avg_read_latency());
+    // Reconstruct per-class means from Table 3 weights: the aggregate with
+    // switch service must sit strictly between the switch-hit latency and
+    // the base aggregate.
+    assert!(with.avg_read_latency() > 200.0 - 1e-9);
+}
