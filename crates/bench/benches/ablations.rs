@@ -4,45 +4,40 @@
 //! are printed by the `ablations` binary; these benches track what each
 //! variant costs to simulate.
 
-use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use dresar::system::{RunOptions, System};
 use dresar::TransientReadPolicy;
+use dresar_bench::harness::{bench, black_box};
 use dresar_types::config::{SwitchDirConfig, SystemConfig};
 use dresar_workloads::scientific;
 
-fn bench_ablations(c: &mut Criterion) {
+fn main() {
     let workload = scientific::fft(16, 512);
-    let mut g = c.benchmark_group("ablations");
-    g.sample_size(10);
 
     let run = |cfg: SystemConfig, policy: TransientReadPolicy, w: &dresar_types::Workload| {
-        System::new(cfg, w)
-            .run(RunOptions { transient_policy: policy, ..RunOptions::default() })
+        System::new(cfg, w).run(RunOptions { transient_policy: policy, ..RunOptions::default() })
     };
 
-    g.bench_function("policy_retry", |b| {
-        b.iter(|| black_box(run(SystemConfig::paper_table2(), TransientReadPolicy::Retry, &workload)))
+    bench("ablations/policy_retry", || {
+        black_box(run(SystemConfig::paper_table2(), TransientReadPolicy::Retry, &workload));
     });
-    g.bench_function("policy_accumulate", |b| {
-        b.iter(|| {
-            black_box(run(SystemConfig::paper_table2(), TransientReadPolicy::Accumulate, &workload))
-        })
+    bench("ablations/policy_accumulate", || {
+        black_box(run(SystemConfig::paper_table2(), TransientReadPolicy::Accumulate, &workload));
     });
-    g.bench_function("radix4_two_stage", |b| {
-        b.iter(|| black_box(run(SystemConfig::paper_table2(), TransientReadPolicy::Retry, &workload)))
+    bench("ablations/radix4_two_stage", || {
+        black_box(run(SystemConfig::paper_table2(), TransientReadPolicy::Retry, &workload));
     });
-    g.bench_function("radix2_four_stage", |b| {
+    {
         let mut cfg = SystemConfig::paper_table2();
         cfg.switch.radix = 2;
-        b.iter(|| black_box(run(cfg, TransientReadPolicy::Retry, &workload)))
-    });
-    g.bench_function("assoc_1way", |b| {
+        bench("ablations/radix2_four_stage", || {
+            black_box(run(cfg, TransientReadPolicy::Retry, &workload));
+        });
+    }
+    {
         let mut cfg = SystemConfig::paper_table2();
         cfg.switch_dir = Some(SwitchDirConfig { ways: 1, ..SwitchDirConfig::paper_default() });
-        b.iter(|| black_box(run(cfg, TransientReadPolicy::Retry, &workload)))
-    });
-    g.finish();
+        bench("ablations/assoc_1way", || {
+            black_box(run(cfg, TransientReadPolicy::Retry, &workload));
+        });
+    }
 }
-
-criterion_group!(benches, bench_ablations);
-criterion_main!(benches);

@@ -1,52 +1,44 @@
 //! Microbenchmarks of the cycle-accurate crossbar switch and the
 //! flit-level network.
 
-use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use dresar_bench::harness::{bench, bench_with_setup, black_box};
 use dresar_interconnect::crossbar::{flits_of_message, Crossbar};
 use dresar_interconnect::{routes, Bmin, FlitNetwork};
 use dresar_types::config::SystemConfig;
 
-fn bench_arbitration(c: &mut Criterion) {
-    let mut g = c.benchmark_group("crossbar");
-    g.throughput(Throughput::Elements(8));
-    g.bench_function("arbitrate_full_8x8", |b| {
-        b.iter_batched(
-            || {
-                let mut x = Crossbar::new(8, 8, 2, 4, 4);
-                for i in 0..8usize {
-                    for f in flits_of_message(i as u64, 2, i as u64, ((i + 3) % 8) as u8) {
-                        x.offer(i, 0, f);
-                    }
+fn bench_arbitration() {
+    bench_with_setup(
+        "crossbar/arbitrate_full_8x8",
+        || {
+            let mut x = Crossbar::new(8, 8, 2, 4, 4);
+            for i in 0..8usize {
+                for f in flits_of_message(i as u64, 2, i as u64, ((i + 3) % 8) as u8) {
+                    x.offer(i, 0, f);
                 }
-                x
-            },
-            |mut x| {
-                black_box(x.step(0));
-                black_box(x.step(1));
-            },
-            criterion::BatchSize::SmallInput,
-        );
-    });
-    g.finish();
+            }
+            x
+        },
+        |mut x| {
+            black_box(x.step(0));
+            black_box(x.step(1));
+        },
+    );
 }
 
-fn bench_flit_network(c: &mut Criterion) {
+fn bench_flit_network() {
     let bmin = Bmin::new(16, 4);
     let cfg = SystemConfig::paper_table2().switch;
-    let mut g = c.benchmark_group("flit_network");
-    g.throughput(Throughput::Elements(32));
-    g.bench_function("deliver_32_messages", |b| {
-        b.iter(|| {
-            let mut net = FlitNetwork::new(bmin, cfg);
-            for p in 0..16u8 {
-                net.inject(p as u64, &routes::forward(&bmin, p, (p + 5) % 16), 1);
-                net.inject(100 + p as u64, &routes::backward(&bmin, (p + 5) % 16, p), 5);
-            }
-            black_box(net.run_until_drained(100_000).len())
-        });
+    bench("flit_network/deliver_32_messages", || {
+        let mut net = FlitNetwork::new(bmin, cfg);
+        for p in 0..16u8 {
+            net.inject(p as u64, &routes::forward(&bmin, p, (p + 5) % 16), 1);
+            net.inject(100 + p as u64, &routes::backward(&bmin, (p + 5) % 16, p), 5);
+        }
+        black_box(net.run_until_drained(100_000).len());
     });
-    g.finish();
 }
 
-criterion_group!(benches, bench_arbitration, bench_flit_network);
-criterion_main!(benches);
+fn main() {
+    bench_arbitration();
+    bench_flit_network();
+}

@@ -2,25 +2,19 @@
 //! regenerating each figure's data points takes per workload, for both the
 //! base and the switch-directory machine.
 
-use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use dresar::TransientReadPolicy;
+use dresar_bench::harness::{bench, black_box};
 use dresar_bench::{run_one, suite};
 use dresar_workloads::Scale;
 
-fn bench_workloads(c: &mut Criterion) {
+fn main() {
     let benches = suite(Scale::Tiny);
-    let mut g = c.benchmark_group("simulate");
-    g.sample_size(10);
     for b in &benches {
-        g.bench_function(format!("{}_base", b.label), |bch| {
-            bch.iter(|| black_box(run_one(b, None, TransientReadPolicy::Retry)));
+        bench(&format!("simulate/{}_base", b.label), || {
+            black_box(run_one(b, None, TransientReadPolicy::Retry));
         });
-        g.bench_function(format!("{}_sd1k", b.label), |bch| {
-            bch.iter(|| black_box(run_one(b, Some(1024), TransientReadPolicy::Retry)));
+        bench(&format!("simulate/{}_sd1k", b.label), || {
+            black_box(run_one(b, Some(1024), TransientReadPolicy::Retry));
         });
     }
-    g.finish();
 }
-
-criterion_group!(benches, bench_workloads);
-criterion_main!(benches);

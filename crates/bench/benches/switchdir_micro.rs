@@ -1,39 +1,45 @@
 //! Microbenchmarks of the switch-directory device: the SRAM array and the
 //! Figure 4 FSM, at the paper's operating points.
 
-use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
 use dresar::switchdir::{PortScheduler, SwitchDirectory};
+use dresar_bench::harness::{bench, black_box};
 use dresar_types::config::SwitchDirConfig;
 use dresar_types::msg::{Endpoint, Message, MsgType};
 use dresar_types::BlockAddr;
 
 fn msg(kind: MsgType, block: u64, requester: u8) -> Message {
-    Message::new(0, kind, BlockAddr(block), Endpoint::Proc(requester), Endpoint::Mem(0), requester, 0)
+    Message::new(
+        0,
+        kind,
+        BlockAddr(block),
+        Endpoint::Proc(requester),
+        Endpoint::Mem(0),
+        requester,
+        0,
+    )
 }
 
-fn bench_snoop(c: &mut Criterion) {
-    let mut g = c.benchmark_group("switchdir_snoop");
+fn bench_snoop() {
     for entries in [256u32, 1024, 2048] {
         let cfg = SwitchDirConfig { entries, ..SwitchDirConfig::paper_default() };
 
-        g.throughput(Throughput::Elements(1));
-        g.bench_function(format!("write_reply_insert_{entries}"), |b| {
+        {
             let mut sd = SwitchDirectory::new(cfg);
             let mut i = 0u64;
-            b.iter(|| {
+            bench(&format!("switchdir_snoop/write_reply_insert_{entries}"), || {
                 let mut m = msg(MsgType::WriteReply, i % (entries as u64 * 4), (i % 16) as u8);
                 i += 1;
                 black_box(sd.snoop(&mut m));
             });
-        });
+        }
 
-        g.bench_function(format!("read_hit_{entries}"), |b| {
+        {
             let mut sd = SwitchDirectory::new(cfg);
             for blk in 0..(entries as u64 / 2) {
                 sd.snoop(&mut msg(MsgType::WriteReply, blk, 1));
             }
             let mut i = 0u64;
-            b.iter(|| {
+            bench(&format!("switchdir_snoop/read_hit_{entries}"), || {
                 let blk = i % (entries as u64 / 2);
                 i += 1;
                 let mut rd = msg(MsgType::ReadRequest, blk, 2);
@@ -44,30 +50,39 @@ fn bench_snoop(c: &mut Criterion) {
                 sd.snoop(&mut msg(MsgType::WriteReply, blk, 1));
                 black_box(act);
             });
-        });
+        }
 
-        g.bench_function(format!("read_miss_{entries}"), |b| {
+        {
             let mut sd = SwitchDirectory::new(cfg);
             let mut i = 0u64;
-            b.iter(|| {
+            bench(&format!("switchdir_snoop/read_miss_{entries}"), || {
                 let mut rd = msg(MsgType::ReadRequest, 1_000_000 + i, 2);
                 i += 1;
                 black_box(sd.snoop(&mut rd));
             });
-        });
+        }
     }
-    g.finish();
 }
 
-fn bench_port_scheduler(c: &mut Criterion) {
+fn bench_port_scheduler() {
     use MsgType::*;
-    let batch8 =
-        [ReadRequest, WriteRequest, WriteReply, ReadRequest, WriteBack, CopyBack, CtoCRequest, Retry];
-    c.bench_function("port_scheduler_8x8_window", |b| {
-        let s = PortScheduler::paper_8x8();
-        b.iter(|| black_box(s.schedule(black_box(&batch8))));
+    let batch8 = [
+        ReadRequest,
+        WriteRequest,
+        WriteReply,
+        ReadRequest,
+        WriteBack,
+        CopyBack,
+        CtoCRequest,
+        Retry,
+    ];
+    let s = PortScheduler::paper_8x8();
+    bench("port_scheduler_8x8_window", || {
+        black_box(s.schedule(black_box(&batch8)));
     });
 }
 
-criterion_group!(benches, bench_snoop, bench_port_scheduler);
-criterion_main!(benches);
+fn main() {
+    bench_snoop();
+    bench_port_scheduler();
+}

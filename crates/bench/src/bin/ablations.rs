@@ -8,13 +8,13 @@
 //! * switch radix: 8x8 two-stage vs 4x4 four-stage (more, smaller switch
 //!   directories closer to the processors).
 //!
-//! Usage: `ablations [tiny|reduced|paper]`.
+//! Usage: `ablations [tiny|reduced|paper] [--json]`.
 
 use dresar::system::{RunOptions, System};
 use dresar::TransientReadPolicy;
-use dresar_bench::scale_from_args;
+use dresar_bench::{json_requested, scale_from_args};
 use dresar_types::config::{SwitchDirConfig, SystemConfig};
-use dresar_types::Workload;
+use dresar_types::{JsonValue, ToJson, Workload};
 use dresar_workloads::scientific;
 
 struct Variant {
@@ -36,41 +36,83 @@ fn variants() -> Vec<Variant> {
     vec![
         mk("paper default (retry, 4-way, pend=16)", base, TransientReadPolicy::Retry),
         mk("accumulate readers", base, TransientReadPolicy::Accumulate),
-        mk("pending buffer = 1", with_sd(&|sd| sd.pending_buffer_entries = 1), TransientReadPolicy::Retry),
-        mk("pending buffer = 64", with_sd(&|sd| sd.pending_buffer_entries = 64), TransientReadPolicy::Retry),
+        mk(
+            "pending buffer = 1",
+            with_sd(&|sd| sd.pending_buffer_entries = 1),
+            TransientReadPolicy::Retry,
+        ),
+        mk(
+            "pending buffer = 64",
+            with_sd(&|sd| sd.pending_buffer_entries = 64),
+            TransientReadPolicy::Retry,
+        ),
         mk("direct-mapped directory", with_sd(&|sd| sd.ways = 1), TransientReadPolicy::Retry),
         mk("8-way directory", with_sd(&|sd| sd.ways = 8), TransientReadPolicy::Retry),
-        mk("4x4 switches (4 stages)", { let mut c = base; c.switch.radix = 2; c }, TransientReadPolicy::Retry),
+        mk(
+            "4x4 switches (4 stages)",
+            {
+                let mut c = base;
+                c.switch.radix = 2;
+                c
+            },
+            TransientReadPolicy::Retry,
+        ),
         mk("no switch directory (base)", SystemConfig::paper_base(), TransientReadPolicy::Retry),
     ]
 }
 
 fn main() {
     let scale = scale_from_args();
+    let json = json_requested();
     let workloads: Vec<(&str, Workload)> = vec![
         ("FFT", scientific::fft(16, scale.fft_points())),
         ("SOR", scientific::sor(16, scale.grid_n().min(192), 2)),
     ];
+    let mut json_workloads: Vec<JsonValue> = Vec::new();
     for (wname, w) in &workloads {
-        println!("\n=== {wname} ({} refs) ===", w.total_refs());
-        println!(
-            "{:40} {:>9} {:>9} {:>9} {:>10} {:>9}",
-            "variant", "homeCC", "swCC", "retries", "avg lat", "exec"
-        );
-        for v in variants() {
-            let r = System::new(v.cfg, w).run(RunOptions {
-                transient_policy: v.policy,
-                ..RunOptions::default()
-            });
+        if !json {
+            println!("\n=== {wname} ({} refs) ===", w.total_refs());
             println!(
-                "{:40} {:>9} {:>9} {:>9} {:>10.1} {:>9}",
-                v.name,
-                r.reads.ctoc_home,
-                r.reads.ctoc_switch,
-                r.reads.retries,
-                r.avg_read_latency(),
-                r.cycles
+                "{:40} {:>9} {:>9} {:>9} {:>10} {:>9}",
+                "variant", "homeCC", "swCC", "retries", "avg lat", "exec"
             );
         }
+        let mut json_variants: Vec<JsonValue> = Vec::new();
+        for v in variants() {
+            let r = System::new(v.cfg, w)
+                .run(RunOptions { transient_policy: v.policy, ..RunOptions::default() });
+            if json {
+                json_variants.push(
+                    JsonValue::obj().field("variant", v.name).field("report", r.to_json()).build(),
+                );
+            } else {
+                println!(
+                    "{:40} {:>9} {:>9} {:>9} {:>10.1} {:>9}",
+                    v.name,
+                    r.reads.ctoc_home,
+                    r.reads.ctoc_switch,
+                    r.reads.retries,
+                    r.avg_read_latency(),
+                    r.cycles
+                );
+            }
+        }
+        if json {
+            json_workloads.push(
+                JsonValue::obj()
+                    .field("workload", *wname)
+                    .field("refs", w.total_refs())
+                    .field("variants", json_variants)
+                    .build(),
+            );
+        }
+    }
+    if json {
+        let doc = JsonValue::obj()
+            .field("tool", "ablations")
+            .field("scale", format!("{scale:?}"))
+            .field("workloads", json_workloads)
+            .build();
+        println!("{}", doc.dump());
     }
 }

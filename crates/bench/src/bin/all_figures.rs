@@ -13,11 +13,8 @@ use dresar_workloads::commercial;
 
 fn reduction_row(s: &Sweep, metric: impl Fn(&dresar_bench::Metrics) -> f64) -> String {
     let base = metric(&s.base);
-    let cells: Vec<String> = s
-        .sized
-        .iter()
-        .map(|(_, m)| format!("{:.1}", percent_reduction(base, metric(m))))
-        .collect();
+    let cells: Vec<String> =
+        s.sized.iter().map(|(_, m)| format!("{:.1}", percent_reduction(base, metric(m)))).collect();
     format!("| {} | {} |", s.label, cells.join(" | "))
 }
 

@@ -20,8 +20,16 @@ fn show(name: &str, s: PortScheduler, batch: &[MsgType]) {
 fn main() {
     println!("DRESAR cycle-budget check (window = 4 cycles, per §4.2/§4.3)\n");
     let mix4 = [ReadRequest, WriteReply, WriteBack, CtoCRequest];
-    let mix8 =
-        [ReadRequest, WriteRequest, WriteReply, ReadRequest, WriteBack, CopyBack, CtoCRequest, Retry];
+    let mix8 = [
+        ReadRequest,
+        WriteRequest,
+        WriteReply,
+        ReadRequest,
+        WriteBack,
+        CopyBack,
+        CtoCRequest,
+        Retry,
+    ];
     let reads8 = [ReadRequest; 8];
 
     show("4x4, 2-ported directory, mixed 4-batch", PortScheduler::paper_4x4(), &mix4);

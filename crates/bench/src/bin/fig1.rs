@@ -3,8 +3,9 @@
 //! and the two commercial workloads (trace-driven).
 
 use dresar::TransientReadPolicy;
-use dresar_bench::{run_one, scale_from_args, suite};
+use dresar_bench::{json_requested, run_one, scale_from_args, suite};
 use dresar_stats::FigureTable;
+use dresar_types::{JsonValue, ToJson};
 
 fn main() {
     let scale = scale_from_args();
@@ -19,15 +20,18 @@ fn main() {
         let total = m.reads.total().max(1) as f64;
         table.push_row(
             b.label,
-            vec![
-                100.0 * m.reads.clean as f64 / total,
-                100.0 * m.reads.dirty_fraction(),
-                total,
-            ],
+            vec![100.0 * m.reads.clean as f64 / total, 100.0 * m.reads.dirty_fraction(), total],
         );
     }
-    println!("{}", table.render());
-    println!(
-        "Paper bands: FFT/SOR 60-70% dirty; TC/FWA/GAUSS 15-30%; TPC-C ~38%; TPC-D ~62%."
-    );
+    if json_requested() {
+        let doc = JsonValue::obj()
+            .field("tool", "fig1")
+            .field("scale", format!("{scale:?}"))
+            .field("table", table.to_json())
+            .build();
+        println!("{}", doc.dump());
+    } else {
+        println!("{}", table.render());
+        println!("Paper bands: FFT/SOR 60-70% dirty; TC/FWA/GAUSS 15-30%; TPC-C ~38%; TPC-D ~62%.");
+    }
 }

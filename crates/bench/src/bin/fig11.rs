@@ -1,8 +1,9 @@
 //! Figure 11: reduction in execution time, normalized to the base machine,
 //! across switch-directory sizes 256–2048.
 
-use dresar_bench::{full_sweep, scale_from_args};
+use dresar_bench::{full_sweep, json_requested, scale_from_args};
 use dresar_stats::{percent_reduction, FigureTable};
+use dresar_types::{JsonValue, ToJson};
 
 fn main() {
     let scale = scale_from_args();
@@ -12,13 +13,19 @@ fn main() {
         "% reduction vs base",
     );
     for s in full_sweep(scale) {
-        let vals = s
-            .sized
-            .iter()
-            .map(|(_, m)| percent_reduction(s.base.exec(), m.exec()))
-            .collect();
+        let vals =
+            s.sized.iter().map(|(_, m)| percent_reduction(s.base.exec(), m.exec())).collect();
         table.push_row(s.label, vals);
     }
-    println!("{}", table.render());
-    println!("Paper: SOR up to 9%, FFT/TC ~4%, TPC-C ~4%, TPC-D ~2%, others negligible.");
+    if json_requested() {
+        let doc = JsonValue::obj()
+            .field("tool", "fig11")
+            .field("scale", format!("{scale:?}"))
+            .field("table", table.to_json())
+            .build();
+        println!("{}", doc.dump());
+    } else {
+        println!("{}", table.render());
+        println!("Paper: SOR up to 9%, FFT/TC ~4%, TPC-C ~4%, TPC-D ~2%, others negligible.");
+    }
 }

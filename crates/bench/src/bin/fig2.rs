@@ -2,9 +2,10 @@
 //! transfers over blocks (sorted by decreasing misses per block) for the
 //! TPC-C workload on the trace-driven simulator.
 
-use dresar_bench::scale_from_args;
+use dresar_bench::{json_requested, scale_from_args};
 use dresar_trace_sim::TraceSimulator;
 use dresar_types::config::TraceSimConfig;
+use dresar_types::JsonValue;
 use dresar_workloads::commercial;
 
 fn main() {
@@ -14,6 +15,31 @@ fn main() {
     sim.collect_histogram();
     let report = sim.run(&workload);
     let h = report.histogram.expect("histogram collected");
+
+    if json_requested() {
+        let points: Vec<JsonValue> = h
+            .cumulative(20)
+            .into_iter()
+            .map(|pt| {
+                JsonValue::obj()
+                    .field("block_rank", pt.block_rank)
+                    .field("miss_fraction", pt.miss_fraction)
+                    .field("ctoc_fraction", pt.ctoc_fraction)
+                    .build()
+            })
+            .collect();
+        let doc = JsonValue::obj()
+            .field("tool", "fig2")
+            .field("scale", format!("{scale:?}"))
+            .field("blocks_touched", h.blocks_touched())
+            .field("read_misses", h.total_misses())
+            .field("ctoc_transfers", h.total_ctocs())
+            .field("cumulative", points)
+            .field("top_decile_ctoc_coverage", h.ctoc_coverage_of_top(0.10))
+            .build();
+        println!("{}", doc.dump());
+        return;
+    }
 
     println!("Figure 2: Access Frequency of TPC-C Blocks (scale={scale:?})");
     println!(

@@ -1,8 +1,9 @@
 //! Figure 8: reduction in home-node cache-to-cache transfers, normalized
 //! to the base machine, across switch-directory sizes 256–2048.
 
-use dresar_bench::{full_sweep, scale_from_args};
+use dresar_bench::{full_sweep, json_requested, scale_from_args};
 use dresar_stats::{percent_reduction, FigureTable};
+use dresar_types::{JsonValue, ToJson};
 
 fn main() {
     let scale = scale_from_args();
@@ -19,6 +20,17 @@ fn main() {
             .collect();
         table.push_row(s.label, vals);
     }
-    println!("{}", table.render());
-    println!("Paper: FFT 66%, TC 68%, others 42-52%, TPC-C up to 51%, TPC-D 17%; 1K is the knee.");
+    if json_requested() {
+        let doc = JsonValue::obj()
+            .field("tool", "fig8")
+            .field("scale", format!("{scale:?}"))
+            .field("table", table.to_json())
+            .build();
+        println!("{}", doc.dump());
+    } else {
+        println!("{}", table.render());
+        println!(
+            "Paper: FFT 66%, TC 68%, others 42-52%, TPC-C up to 51%, TPC-D 17%; 1K is the knee."
+        );
+    }
 }

@@ -1,8 +1,9 @@
 //! Figure 9: reduction in average read latency, normalized to the base
 //! machine, across switch-directory sizes 256–2048.
 
-use dresar_bench::{full_sweep, scale_from_args};
+use dresar_bench::{full_sweep, json_requested, scale_from_args};
 use dresar_stats::{percent_reduction, FigureTable};
+use dresar_types::{JsonValue, ToJson};
 
 fn main() {
     let scale = scale_from_args();
@@ -19,6 +20,15 @@ fn main() {
             .collect();
         table.push_row(s.label, vals);
     }
-    println!("{}", table.render());
-    println!("Paper: scientific 8-23%, TPC-C up to 10%, TPC-D up to 5%.");
+    if json_requested() {
+        let doc = JsonValue::obj()
+            .field("tool", "fig9")
+            .field("scale", format!("{scale:?}"))
+            .field("table", table.to_json())
+            .build();
+        println!("{}", doc.dump());
+    } else {
+        println!("{}", table.render());
+        println!("Paper: scientific 8-23%, TPC-C up to 10%, TPC-D up to 5%.");
+    }
 }

@@ -1,30 +1,46 @@
 //! Calibration probe: prints the raw Figure 1/8/9/10/11 inputs for every
 //! workload at the chosen scale, for sanity-checking the reproduction
 //! against the paper's bands before the figure binaries format them.
+//!
+//! With `--json`, emits one machine-readable document instead, including
+//! the per-phase read-latency breakdown from the observability layer
+//! (execution-driven workloads only).
 
 use dresar::TransientReadPolicy;
-use dresar_bench::{run_one, scale_from_args, suite};
+use dresar_bench::{json_requested, run_one, run_one_observed, scale_from_args, suite};
+use dresar_obs::ObserverConfig;
+use dresar_stats::{percent_of, percent_reduction};
+use dresar_types::{JsonValue, ToJson};
 
 fn main() {
     let scale = scale_from_args();
+    if json_requested() {
+        emit_json(scale);
+        return;
+    }
     println!("scale = {scale:?}");
     println!(
         "{:8} {:>10} {:>8} {:>8} {:>8} {:>8} | {:>9} {:>9} {:>9} {:>7}",
-        "workload", "reads", "dirty%", "homeCC", "swCC", "sdhit%", "lat_base", "lat_sd", "exec_red%", "stall_red%"
+        "workload",
+        "reads",
+        "dirty%",
+        "homeCC",
+        "swCC",
+        "sdhit%",
+        "lat_base",
+        "lat_sd",
+        "exec_red%",
+        "stall_red%"
     );
     for b in suite(scale) {
         let t0 = std::time::Instant::now();
         let base = run_one(&b, None, TransientReadPolicy::Retry);
         let with = run_one(&b, Some(1024), TransientReadPolicy::Retry);
         let dirty_pct = 100.0 * base.reads.dirty_fraction();
-        let sd_serve_pct = if with.reads.dirty() > 0 {
-            100.0 * with.reads.ctoc_switch as f64 / with.reads.dirty() as f64
-        } else {
-            0.0
-        };
-        let exec_red = 100.0 * (base.exec() - with.exec()) / base.exec().max(1.0);
-        let stall_red = 100.0 * (base.read_stall() - with.read_stall()) / base.read_stall().max(1.0);
-        let cc_red = 100.0 * (base.home_ctoc() - with.home_ctoc()) / base.home_ctoc().max(1.0);
+        let sd_serve_pct = percent_of(with.reads.ctoc_switch as f64, with.reads.dirty() as f64);
+        let exec_red = percent_reduction(base.exec(), with.exec());
+        let stall_red = percent_reduction(base.read_stall(), with.read_stall());
+        let cc_red = percent_reduction(base.home_ctoc(), with.home_ctoc());
         println!(
             "{:8} {:>10} {:>7.1}% {:>8} {:>8} {:>7.1}% | {:>9.1} {:>9.1} {:>8.2}% {:>8.2}%  ccred={:.1}%  ({:.1}s)",
             b.label,
@@ -41,4 +57,51 @@ fn main() {
             t0.elapsed().as_secs_f64(),
         );
     }
+}
+
+fn emit_json(scale: dresar_workloads::Scale) {
+    let observers = ObserverConfig { latency_breakdown: true, ..Default::default() };
+    let workloads: Vec<JsonValue> = suite(scale)
+        .iter()
+        .map(|b| {
+            let (base, base_obs) = run_one_observed(b, None, TransientReadPolicy::Retry, observers);
+            let (with, with_obs) =
+                run_one_observed(b, Some(1024), TransientReadPolicy::Retry, observers);
+            let mut w = JsonValue::obj()
+                .field("label", b.label)
+                .field("base", base.to_json())
+                .field("with_sd", with.to_json())
+                .field(
+                    "reductions",
+                    JsonValue::obj()
+                        .field(
+                            "home_ctoc_pct",
+                            percent_reduction(base.home_ctoc(), with.home_ctoc()),
+                        )
+                        .field(
+                            "avg_read_latency_pct",
+                            percent_reduction(base.avg_read_latency(), with.avg_read_latency()),
+                        )
+                        .field(
+                            "read_stall_pct",
+                            percent_reduction(base.read_stall(), with.read_stall()),
+                        )
+                        .field("exec_pct", percent_reduction(base.exec(), with.exec()))
+                        .build(),
+                );
+            if let Some(bd) = base_obs.and_then(|o| o.breakdown) {
+                w = w.field("base_breakdown", bd.to_json());
+            }
+            if let Some(bd) = with_obs.and_then(|o| o.breakdown) {
+                w = w.field("with_sd_breakdown", bd.to_json());
+            }
+            w.build()
+        })
+        .collect();
+    let doc = JsonValue::obj()
+        .field("tool", "probe")
+        .field("scale", format!("{scale:?}"))
+        .field("workloads", workloads)
+        .build();
+    println!("{}", doc.dump());
 }

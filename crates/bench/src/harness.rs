@@ -1,0 +1,73 @@
+//! Minimal timing harness for the `harness = false` bench targets.
+//!
+//! Adaptive batch sizing (grow until a batch runs ≥ 5 ms), a warmup pass,
+//! then a few timed samples; reports mean and best ns/iteration. Fancy
+//! statistics belong to profilers — these benches exist to catch order-of-
+//! magnitude regressions in the simulator hot paths.
+
+use std::time::Instant;
+
+pub use std::hint::black_box;
+
+const SAMPLES: usize = 3;
+const MIN_BATCH_MS: u128 = 5;
+const MAX_BATCH: u64 = 1 << 20;
+
+/// Times `f` and prints one result line.
+pub fn bench(name: &str, mut f: impl FnMut()) {
+    // Grow the batch until one batch takes at least MIN_BATCH_MS; the first
+    // pass doubles as warmup.
+    let mut iters: u64 = 1;
+    loop {
+        let t = Instant::now();
+        for _ in 0..iters {
+            f();
+        }
+        if t.elapsed().as_millis() >= MIN_BATCH_MS || iters >= MAX_BATCH {
+            break;
+        }
+        iters = iters.saturating_mul(4).min(MAX_BATCH);
+    }
+    let mut samples = [0f64; SAMPLES];
+    for s in samples.iter_mut() {
+        let t = Instant::now();
+        for _ in 0..iters {
+            f();
+        }
+        *s = t.elapsed().as_nanos() as f64 / iters as f64;
+    }
+    report(name, &samples, iters);
+}
+
+/// Like [`bench`], but rebuilds fresh input with `setup` for every
+/// iteration, outside the timed region.
+pub fn bench_with_setup<T>(name: &str, mut setup: impl FnMut() -> T, mut f: impl FnMut(T)) {
+    let mut iters: u64 = 1;
+    loop {
+        let inputs: Vec<T> = (0..iters).map(|_| setup()).collect();
+        let t = Instant::now();
+        for input in inputs {
+            f(input);
+        }
+        if t.elapsed().as_millis() >= MIN_BATCH_MS || iters >= 4096 {
+            break;
+        }
+        iters = iters.saturating_mul(4).min(4096);
+    }
+    let mut samples = [0f64; SAMPLES];
+    for s in samples.iter_mut() {
+        let inputs: Vec<T> = (0..iters).map(|_| setup()).collect();
+        let t = Instant::now();
+        for input in inputs {
+            f(input);
+        }
+        *s = t.elapsed().as_nanos() as f64 / iters as f64;
+    }
+    report(name, &samples, iters);
+}
+
+fn report(name: &str, samples: &[f64], iters: u64) {
+    let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+    let best = samples.iter().cloned().fold(f64::INFINITY, f64::min);
+    println!("{name:<44} {mean:>14.1} ns/iter   (best {best:.1}, {iters} iters/sample)");
+}

@@ -18,18 +18,26 @@
 //! * `all_figures` — runs everything and emits an EXPERIMENTS.md-style
 //!   report.
 //!
-//! Criterion benches: `switchdir_micro` (snoop/insert throughput),
-//! `crossbar` (flit-level arbitration), `figures` (end-to-end per-workload
-//! simulation cost) and `ablations` (design-choice comparisons).
+//! Timing benches (plain `std::time` harnesses, run with `cargo bench`):
+//! `switchdir_micro` (snoop/insert throughput), `crossbar` (flit-level
+//! arbitration), `figures` (end-to-end per-workload simulation cost) and
+//! `ablations` (design-choice comparisons).
+//!
+//! The `probe`, `ablations` and `fig*` binaries also accept `--json` to
+//! emit their results as a single machine-readable JSON document on
+//! stdout (see the README's "Observability" section).
+
+pub mod harness;
 
 use dresar::system::{RunOptions, System};
 use dresar::TransientReadPolicy;
+use dresar_obs::{ObsReport, ObserverConfig};
 use dresar_stats::ReadStats;
 use dresar_trace_sim::TraceSimulator;
 use dresar_types::config::{SwitchDirConfig, SystemConfig, TraceSimConfig};
-use dresar_types::Workload;
+use dresar_types::{JsonValue, ToJson, Workload};
 use dresar_workloads::Scale;
-use rayon::prelude::*;
+use std::sync::atomic::{AtomicUsize, Ordering};
 
 /// Figure-relevant metrics extracted from either simulator.
 #[derive(Debug, Clone, Copy, Default)]
@@ -64,6 +72,17 @@ impl Metrics {
     }
 }
 
+impl ToJson for Metrics {
+    fn to_json(&self) -> JsonValue {
+        JsonValue::obj()
+            .field("reads", self.reads.to_json())
+            .field("exec_cycles", self.exec_cycles)
+            .field("sd_hits", self.sd_hits)
+            .field("avg_read_latency", self.avg_read_latency())
+            .build()
+    }
+}
+
 /// A workload paired with the simulator that evaluates it (the paper runs
 /// scientific applications execution-driven and commercial traces
 /// trace-driven).
@@ -94,8 +113,9 @@ pub fn suite(scale: Scale) -> Vec<Bench> {
         .zip(["FFT", "TC", "SOR", "FWA", "GAUSS"])
         .map(|(workload, label)| Bench { label, workload, driver: Driver::Execution })
         .collect();
-    for (workload, label) in
-        dresar_workloads::commercial_suite(p, scale, 0xD2E5_A25E).into_iter().zip(["TPC-C", "TPC-D"])
+    for (workload, label) in dresar_workloads::commercial_suite(p, scale, 0xD2E5_A25E)
+        .into_iter()
+        .zip(["TPC-C", "TPC-D"])
     {
         out.push(Bench { label, workload, driver: Driver::Trace });
     }
@@ -104,30 +124,49 @@ pub fn suite(scale: Scale) -> Vec<Bench> {
 
 /// Runs one workload with an optional switch-directory size.
 pub fn run_one(bench: &Bench, sd_entries: Option<u32>, policy: TransientReadPolicy) -> Metrics {
-    let sd = sd_entries.map(|entries| SwitchDirConfig { entries, ..SwitchDirConfig::paper_default() });
+    run_one_observed(bench, sd_entries, policy, ObserverConfig::default()).0
+}
+
+/// [`run_one`] with observers attached. Only the execution-driven simulator
+/// is instrumented; trace-driven workloads return `None` for the payload.
+pub fn run_one_observed(
+    bench: &Bench,
+    sd_entries: Option<u32>,
+    policy: TransientReadPolicy,
+    observers: ObserverConfig,
+) -> (Metrics, Option<ObsReport>) {
+    let sd =
+        sd_entries.map(|entries| SwitchDirConfig { entries, ..SwitchDirConfig::paper_default() });
     match bench.driver {
         Driver::Execution => {
             let mut cfg = SystemConfig::paper_table2();
             cfg.switch_dir = sd;
             let report = System::new(cfg, &bench.workload).run(RunOptions {
                 transient_policy: policy,
+                observers,
                 ..RunOptions::default()
             });
-            Metrics {
-                reads: report.reads,
-                exec_cycles: report.cycles,
-                sd_hits: report.sd.read_hits,
-            }
+            (
+                Metrics {
+                    reads: report.reads,
+                    exec_cycles: report.cycles,
+                    sd_hits: report.sd.read_hits,
+                },
+                report.obs,
+            )
         }
         Driver::Trace => {
             let mut cfg = TraceSimConfig::paper_table3();
             cfg.switch_dir = sd;
             let report = TraceSimulator::new(cfg).run(&bench.workload);
-            Metrics {
-                reads: report.reads,
-                exec_cycles: report.exec_cycles,
-                sd_hits: report.sd.read_hits,
-            }
+            (
+                Metrics {
+                    reads: report.reads,
+                    exec_cycles: report.exec_cycles,
+                    sd_hits: report.sd.read_hits,
+                },
+                None,
+            )
         }
     }
 }
@@ -143,32 +182,84 @@ pub struct Sweep {
     pub sized: Vec<(u32, Metrics)>,
 }
 
+/// Order-preserving parallel map over a shared worker pool (one thread per
+/// available core, work handed out through an atomic cursor).
+pub fn par_map<T: Sync, R: Send>(items: &[T], f: impl Fn(&T) -> R + Sync) -> Vec<R> {
+    let n = items.len();
+    if n <= 1 {
+        return items.iter().map(&f).collect();
+    }
+    let workers = std::thread::available_parallelism().map(|c| c.get()).unwrap_or(4).min(n);
+    let cursor = AtomicUsize::new(0);
+    let mut results: Vec<Option<R>> = (0..n).map(|_| None).collect();
+    std::thread::scope(|s| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                let f = &f;
+                let cursor = &cursor;
+                s.spawn(move || {
+                    let mut done = Vec::new();
+                    loop {
+                        let i = cursor.fetch_add(1, Ordering::Relaxed);
+                        if i >= n {
+                            return done;
+                        }
+                        done.push((i, f(&items[i])));
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            for (i, r) in h.join().expect("bench worker panicked") {
+                results[i] = Some(r);
+            }
+        }
+    });
+    results.into_iter().map(|r| r.unwrap()).collect()
+}
+
 /// The paper's Figure 8–11 sweep: sizes 256–2048 vs base, across the whole
-/// suite. Parallelized over (workload x configuration) with rayon.
+/// suite. Parallelized over (workload x configuration).
 pub fn full_sweep(scale: Scale) -> Vec<Sweep> {
     let benches = suite(scale);
     let sizes = [256u32, 512, 1024, 2048];
+    // Flatten (workload x config) into one job list so the pool stays busy
+    // even when one workload dominates the runtime.
+    let jobs: Vec<(usize, Option<u32>)> = (0..benches.len())
+        .flat_map(|bi| std::iter::once((bi, None)).chain(sizes.iter().map(move |&s| (bi, Some(s)))))
+        .collect();
+    let metrics = par_map(&jobs, |&(bi, sd)| run_one(&benches[bi], sd, TransientReadPolicy::Retry));
+    let stride = 1 + sizes.len();
     benches
-        .par_iter()
-        .map(|b| {
-            let base = run_one(b, None, TransientReadPolicy::Retry);
-            let sized = sizes
-                .par_iter()
-                .map(|&s| (s, run_one(b, Some(s), TransientReadPolicy::Retry)))
-                .collect();
-            Sweep { label: b.label, base, sized }
+        .iter()
+        .enumerate()
+        .map(|(bi, b)| Sweep {
+            label: b.label,
+            base: metrics[bi * stride],
+            sized: sizes
+                .iter()
+                .enumerate()
+                .map(|(si, &s)| (s, metrics[bi * stride + 1 + si]))
+                .collect(),
         })
         .collect()
 }
 
-/// Scale argument parsing shared by the binaries: first CLI arg, default
-/// `reduced`.
+/// Scale argument parsing shared by the binaries: first non-flag CLI arg,
+/// default `reduced`. Flags (`--json`, ...) are ignored here.
 pub fn scale_from_args() -> Scale {
-    let arg = std::env::args().nth(1).unwrap_or_else(|| "reduced".into());
+    let arg =
+        std::env::args().skip(1).find(|a| !a.starts_with("--")).unwrap_or_else(|| "reduced".into());
     Scale::parse(&arg).unwrap_or_else(|| {
         eprintln!("unknown scale '{arg}', expected tiny|reduced|paper; using reduced");
         Scale::Reduced
     })
+}
+
+/// Whether `--json` was passed: binaries switch from human-readable tables
+/// to a single JSON document on stdout.
+pub fn json_requested() -> bool {
+    std::env::args().skip(1).any(|a| a == "--json")
 }
 
 #[cfg(test)]

@@ -70,6 +70,8 @@ pub struct SdArray {
     data: Vec<Way>,
     stamp: u64,
     transients: usize,
+    valid: usize,
+    last_evicted: Option<BlockAddr>,
     pending_limit: usize,
 }
 
@@ -88,6 +90,8 @@ impl SdArray {
             data: vec![Way::EMPTY; cfg.entries as usize],
             stamp: 0,
             transients: 0,
+            valid: 0,
+            last_evicted: None,
             pending_limit: cfg.pending_buffer_entries.max(1) as usize,
         }
     }
@@ -150,6 +154,15 @@ impl SdArray {
             .min_by_key(|&i| if self.data[i].valid { (1, self.data[i].lru) } else { (0, 0) });
         match victim {
             Some(i) => {
+                if self.data[i].valid {
+                    // A valid MODIFIED hint is silently dropped — record the
+                    // victim so observers can count replacement pressure.
+                    let v = &self.data[i];
+                    self.last_evicted =
+                        Some(BlockAddr((v.tag << self.set_shift) | (i / self.ways) as u64));
+                } else {
+                    self.valid += 1;
+                }
                 self.data[i] = Way {
                     valid: true,
                     tag,
@@ -208,15 +221,23 @@ impl SdArray {
                 self.transients -= 1;
             }
             self.data[i].valid = false;
+            self.valid -= 1;
             true
         } else {
             false
         }
     }
 
-    /// Number of valid entries.
+    /// Number of valid entries (O(1): maintained incrementally).
     pub fn occupancy(&self) -> usize {
-        self.data.iter().filter(|w| w.valid).count()
+        debug_assert_eq!(self.valid, self.data.iter().filter(|w| w.valid).count());
+        self.valid
+    }
+
+    /// Takes the most recent eviction victim (a valid MODIFIED entry
+    /// dropped by [`SdArray::insert_modified`]), clearing it.
+    pub fn take_last_evicted(&mut self) -> Option<BlockAddr> {
+        self.last_evicted.take()
     }
 
     /// Number of TRANSIENT entries.
@@ -228,7 +249,7 @@ impl SdArray {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
+    use dresar_types::rng::SmallRng;
 
     fn small() -> SdArray {
         // 4 sets x 2 ways.
@@ -324,24 +345,49 @@ mod tests {
         assert_eq!(e.first_requester, 7);
     }
 
-    proptest! {
-        /// The transient counter always equals the number of TRANSIENT
-        /// entries, and occupancy never exceeds capacity.
-        #[test]
-        fn prop_transient_accounting(ops in proptest::collection::vec((0u8..3, 0u64..32, 0u8..16), 1..300)) {
+    #[test]
+    fn eviction_victims_are_surfaced() {
+        let mut a = small();
+        assert!(a.take_last_evicted().is_none());
+        a.insert_modified(BlockAddr(0), 1);
+        a.insert_modified(BlockAddr(4), 2);
+        // Set 0 is full; inserting block 8 evicts LRU block 0.
+        a.insert_modified(BlockAddr(8), 3);
+        assert_eq!(a.take_last_evicted(), Some(BlockAddr(0)));
+        assert!(a.take_last_evicted().is_none(), "take clears the record");
+        assert_eq!(a.occupancy(), 2);
+    }
+
+    /// The transient counter always equals the number of TRANSIENT
+    /// entries, and occupancy never exceeds capacity (seeded randomized
+    /// sweep).
+    #[test]
+    fn transient_accounting_stays_exact() {
+        for seed in 0..64u64 {
+            let mut rng = SmallRng::seed_from_u64(seed);
             let mut a = small();
-            for (op, b, n) in ops {
-                let block = BlockAddr(b);
+            for step in 0..300 {
+                let op = rng.gen_range(0u8..3);
+                let block = BlockAddr(rng.gen_range(0u64..32));
+                let n = rng.gen_range(0u8..16);
                 match op {
-                    0 => { a.insert_modified(block, n); }
-                    1 => { a.make_transient(block, n); }
-                    _ => { a.invalidate(block); }
+                    0 => {
+                        a.insert_modified(block, n);
+                    }
+                    1 => {
+                        a.make_transient(block, n);
+                    }
+                    _ => {
+                        a.invalidate(block);
+                    }
                 }
                 let actual = (0..32u64)
-                    .filter(|&x| a.peek(BlockAddr(x)).is_some_and(|e| e.state == SdState::Transient))
+                    .filter(|&x| {
+                        a.peek(BlockAddr(x)).is_some_and(|e| e.state == SdState::Transient)
+                    })
                     .count();
-                prop_assert_eq!(a.transient_count(), actual);
-                prop_assert!(a.occupancy() <= 8);
+                assert_eq!(a.transient_count(), actual, "seed {seed} step {step}");
+                assert!(a.occupancy() <= 8, "seed {seed} step {step}");
             }
         }
     }

@@ -20,9 +20,10 @@
 pub mod array;
 pub mod ports;
 
+use dresar_obs::{NullProbe, Probe, SdProbeEvent, SwitchLoc};
 use dresar_types::config::SwitchDirConfig;
 use dresar_types::msg::{Message, MsgType};
-use dresar_types::{BlockAddr, NodeId};
+use dresar_types::{BlockAddr, Cycle, FromJson, JsonError, JsonValue, NodeId, ToJson};
 
 pub use array::{SdEntryView, SdState};
 pub use ports::PortScheduler;
@@ -124,6 +125,40 @@ impl SdStats {
     }
 }
 
+impl ToJson for SdStats {
+    fn to_json(&self) -> JsonValue {
+        JsonValue::obj()
+            .field("inserts", self.inserts)
+            .field("inserts_blocked", self.inserts_blocked)
+            .field("read_hits", self.read_hits)
+            .field("transient_retries", self.transient_retries)
+            .field("readers_accumulated", self.readers_accumulated)
+            .field("invalidations", self.invalidations)
+            .field("write_retries", self.write_retries)
+            .field("copybacks_marked", self.copybacks_marked)
+            .field("writeback_replies", self.writeback_replies)
+            .field("snoops", self.snoops)
+            .build()
+    }
+}
+
+impl FromJson for SdStats {
+    fn from_json(v: &JsonValue) -> Result<Self, JsonError> {
+        Ok(SdStats {
+            inserts: JsonError::want_u64(v, "inserts")?,
+            inserts_blocked: JsonError::want_u64(v, "inserts_blocked")?,
+            read_hits: JsonError::want_u64(v, "read_hits")?,
+            transient_retries: JsonError::want_u64(v, "transient_retries")?,
+            readers_accumulated: JsonError::want_u64(v, "readers_accumulated")?,
+            invalidations: JsonError::want_u64(v, "invalidations")?,
+            write_retries: JsonError::want_u64(v, "write_retries")?,
+            copybacks_marked: JsonError::want_u64(v, "copybacks_marked")?,
+            writeback_replies: JsonError::want_u64(v, "writeback_replies")?,
+            snoops: JsonError::want_u64(v, "snoops")?,
+        })
+    }
+}
+
 /// One switch's directory cache plus its protocol FSM.
 #[derive(Debug, Clone)]
 pub struct SwitchDirectory {
@@ -163,6 +198,19 @@ impl SwitchDirectory {
     /// copybacks/writebacks). Message types outside Table 1 are forwarded
     /// untouched.
     pub fn snoop(&mut self, msg: &mut Message) -> SnoopAction {
+        self.snoop_probed(msg, SwitchLoc::default(), 0, &mut NullProbe)
+    }
+
+    /// [`SwitchDirectory::snoop`] with observability: emits an
+    /// [`SdProbeEvent`] for every notable outcome. With [`NullProbe`] this
+    /// monomorphizes to exactly the uninstrumented FSM.
+    pub fn snoop_probed<P: Probe>(
+        &mut self,
+        msg: &mut Message,
+        loc: SwitchLoc,
+        t: Cycle,
+        probe: &mut P,
+    ) -> SnoopAction {
         if !msg.kind.switch_dir_relevant() {
             return SnoopAction::Forward;
         }
@@ -174,22 +222,34 @@ impl SwitchDirectory {
                 let owner = msg.requester;
                 if self.array.insert_modified(block, owner) {
                     self.stats.inserts += 1;
+                    probe.sd_event(t, loc, block, SdProbeEvent::Insert);
+                    if let Some(victim) = self.array.take_last_evicted() {
+                        probe.sd_event(t, loc, victim, SdProbeEvent::Evict);
+                    }
                 } else {
                     self.stats.inserts_blocked += 1;
+                    probe.sd_event(t, loc, block, SdProbeEvent::InsertBlocked);
                 }
                 SnoopAction::Forward
             }
-            MsgType::ReadRequest => self.snoop_read(block, msg.requester),
+            MsgType::ReadRequest => self.snoop_read(block, msg.requester, loc, t, probe),
             MsgType::WriteRequest => match self.array.peek(block) {
                 Some(e) if e.state == SdState::Modified => {
                     self.array.invalidate(block);
                     self.stats.invalidations += 1;
+                    probe.sd_event(t, loc, block, SdProbeEvent::Invalidate);
                     SnoopAction::Forward
                 }
                 Some(_) => {
                     // TRANSIENT: a CtoC is in flight from this switch; NAK
                     // the writer and retry later (paper §3.2).
                     self.stats.write_retries += 1;
+                    probe.sd_event(
+                        t,
+                        loc,
+                        block,
+                        SdProbeEvent::WriteNak { requester: msg.requester },
+                    );
                     SnoopAction::SinkSend(vec![GenMsg::Retry { to: msg.requester }])
                 }
                 None => SnoopAction::Forward,
@@ -201,6 +261,7 @@ impl SwitchDirectory {
                     // completes.
                     self.array.invalidate(block);
                     self.stats.invalidations += 1;
+                    probe.sd_event(t, loc, block, SdProbeEvent::Invalidate);
                     SnoopAction::Forward
                 }
                 Some(_) => {
@@ -208,6 +269,12 @@ impl SwitchDirectory {
                     // sink it and NAK its requester; ours will complete and
                     // the retry falls back to the (by then updated) home.
                     self.stats.write_retries += 1;
+                    probe.sd_event(
+                        t,
+                        loc,
+                        block,
+                        SdProbeEvent::WriteNak { requester: msg.requester },
+                    );
                     SnoopAction::SinkSend(vec![GenMsg::Retry { to: msg.requester }])
                 }
                 None => SnoopAction::Forward,
@@ -221,6 +288,12 @@ impl SwitchDirectory {
                     let served = e.sharers;
                     msg.carried_sharers = msg.carried_sharers.union(served);
                     self.stats.copybacks_marked += 1;
+                    probe.sd_event(
+                        t,
+                        loc,
+                        block,
+                        SdProbeEvent::CopybackMarked { served: served.len() as u32 },
+                    );
                     let first = e.first_requester;
                     self.array.invalidate(block);
                     let extra: Vec<GenMsg> = served
@@ -239,6 +312,7 @@ impl SwitchDirectory {
                     // elsewhere.
                     self.array.invalidate(block);
                     self.stats.invalidations += 1;
+                    probe.sd_event(t, loc, block, SdProbeEvent::Invalidate);
                     SnoopAction::Forward
                 }
                 None => SnoopAction::Forward,
@@ -253,6 +327,12 @@ impl SwitchDirectory {
                     msg.carried_sharers = msg.carried_sharers.union(served);
                     self.array.invalidate(block);
                     self.stats.writeback_replies += served.len() as u64;
+                    probe.sd_event(
+                        t,
+                        loc,
+                        block,
+                        SdProbeEvent::WritebackServed { served: served.len() as u32 },
+                    );
                     let replies: Vec<GenMsg> =
                         served.iter().map(|p| GenMsg::DataReply { to: p }).collect();
                     if replies.is_empty() {
@@ -264,6 +344,7 @@ impl SwitchDirectory {
                 Some(_) => {
                     self.array.invalidate(block);
                     self.stats.invalidations += 1;
+                    probe.sd_event(t, loc, block, SdProbeEvent::Invalidate);
                     SnoopAction::Forward
                 }
                 None => SnoopAction::Forward,
@@ -273,7 +354,14 @@ impl SwitchDirectory {
         }
     }
 
-    fn snoop_read(&mut self, block: BlockAddr, requester: NodeId) -> SnoopAction {
+    fn snoop_read<P: Probe>(
+        &mut self,
+        block: BlockAddr,
+        requester: NodeId,
+        loc: SwitchLoc,
+        t: Cycle,
+        probe: &mut P,
+    ) -> SnoopAction {
         match self.array.peek(block) {
             None => SnoopAction::Forward,
             Some(e) if e.state == SdState::Modified => {
@@ -287,11 +375,18 @@ impl SwitchDirectory {
                 // straight to the owner cache.
                 if self.array.make_transient(block, requester) {
                     self.stats.read_hits += 1;
+                    probe.sd_event(
+                        t,
+                        loc,
+                        block,
+                        SdProbeEvent::ReadHit { owner: e.owner, requester },
+                    );
                     SnoopAction::SinkSend(vec![GenMsg::CtoCRequest { owner: e.owner, requester }])
                 } else {
                     // Pending buffer full: cannot track another transient
                     // block, fall through to the home path (§4.3 feedback).
                     self.stats.inserts_blocked += 1;
+                    probe.sd_event(t, loc, block, SdProbeEvent::InsertBlocked);
                     SnoopAction::Forward
                 }
             }
@@ -301,21 +396,34 @@ impl SwitchDirectory {
                     // Duplicate/retried read from a pid we already track:
                     // NAK (its data or NAK is already on the way).
                     self.stats.transient_retries += 1;
+                    probe.sd_event(t, loc, block, SdProbeEvent::TransientNak { requester });
                     return SnoopAction::SinkSend(vec![GenMsg::Retry { to: requester }]);
                 }
                 match self.policy {
                     TransientReadPolicy::Retry => {
                         self.stats.transient_retries += 1;
+                        probe.sd_event(t, loc, block, SdProbeEvent::TransientNak { requester });
                         SnoopAction::SinkSend(vec![GenMsg::Retry { to: requester }])
                     }
                     TransientReadPolicy::Accumulate => {
                         self.array.add_sharer(block, requester);
                         self.stats.readers_accumulated += 1;
+                        probe.sd_event(
+                            t,
+                            loc,
+                            block,
+                            SdProbeEvent::ReaderAccumulated { requester },
+                        );
                         SnoopAction::Sink
                     }
                 }
             }
         }
+    }
+
+    /// Number of valid entries in the array (O(1)).
+    pub fn occupancy(&self) -> usize {
+        self.array.occupancy()
     }
 }
 
@@ -362,7 +470,10 @@ mod tests {
         install(&mut sd, 5, 3);
         let mut rd = msg(MsgType::ReadRequest, 5, 7);
         let act = sd.snoop(&mut rd);
-        assert_eq!(act, SnoopAction::SinkSend(vec![GenMsg::CtoCRequest { owner: 3, requester: 7 }]));
+        assert_eq!(
+            act,
+            SnoopAction::SinkSend(vec![GenMsg::CtoCRequest { owner: 3, requester: 7 }])
+        );
         let e = sd.peek(BlockAddr(5)).unwrap();
         assert_eq!(e.state, SdState::Transient);
         assert!(e.sharers.contains(7));

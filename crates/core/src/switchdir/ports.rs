@@ -101,11 +101,8 @@ impl PortScheduler {
             }
         }
         let main_cycles = main.div_ceil(self.main_ports.max(1));
-        let pending_cycles = if self.pending_ports > 0 {
-            pending.div_ceil(self.pending_ports)
-        } else {
-            0
-        };
+        let pending_cycles =
+            if self.pending_ports > 0 { pending.div_ceil(self.pending_ports) } else { 0 };
         // Lookups must finish within the window; updates use the remaining
         // main-port cycles ("state changes ... are made during the two idle
         // cycles when the directory ports are free", §4.2).
@@ -149,7 +146,16 @@ mod tests {
         // 8 headers through the 2-ported directory: 4 lookup cycles, zero
         // idle update cycles -> feedback needed.
         let s = PortScheduler { window_cycles: 4, main_ports: 2, pending_ports: 0 };
-        let batch = [ReadRequest, WriteRequest, WriteReply, WriteBack, CopyBack, CtoCRequest, Retry, ReadRequest];
+        let batch = [
+            ReadRequest,
+            WriteRequest,
+            WriteReply,
+            WriteBack,
+            CopyBack,
+            CtoCRequest,
+            Retry,
+            ReadRequest,
+        ];
         let w = s.schedule(&batch);
         assert!(!w.within_budget);
     }
@@ -158,7 +164,16 @@ mod tests {
     fn paper_claim_8x8_with_pending_buffer_meets_budget() {
         let s = PortScheduler::paper_8x8();
         // Mixed worst case: 4 main-directory types + 4 pending types.
-        let batch = [ReadRequest, WriteRequest, WriteReply, ReadRequest, WriteBack, CopyBack, CtoCRequest, Retry];
+        let batch = [
+            ReadRequest,
+            WriteRequest,
+            WriteReply,
+            ReadRequest,
+            WriteBack,
+            CopyBack,
+            CtoCRequest,
+            Retry,
+        ];
         let w = s.schedule(&batch);
         assert_eq!(w.main_lookup_cycles, 2);
         assert_eq!(w.pending_lookup_cycles, 1);
@@ -198,7 +213,6 @@ mod tests {
     fn worst_case_helper() {
         assert!(PortScheduler::paper_4x4().worst_case_within_budget(4, &[ReadRequest]));
         assert!(!PortScheduler::paper_8x8().worst_case_within_budget(8, &[ReadRequest]));
-        assert!(PortScheduler::paper_8x8()
-            .worst_case_within_budget(8, &[ReadRequest, WriteBack]));
+        assert!(PortScheduler::paper_8x8().worst_case_within_budget(8, &[ReadRequest, WriteBack]));
     }
 }

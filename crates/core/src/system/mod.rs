@@ -27,6 +27,9 @@ use dresar_directory::{DirAction, HomeDirectory, QueuedReq, ReqKind};
 use dresar_engine::{BankedResource, EventQueue, Resource};
 use dresar_interconnect::routes::{self, Route};
 use dresar_interconnect::{Bmin, HopNetwork, SwitchId};
+use dresar_obs::{
+    MachineShape, NullProbe, ObserverConfig, ObserverSet, Probe, ServicePoint, SwitchLoc,
+};
 use dresar_stats::{BlockHistogram, ReadClass};
 use dresar_types::addr::AddressMap;
 use dresar_types::config::SystemConfig;
@@ -43,6 +46,9 @@ pub struct RunOptions {
     pub collect_histogram: bool,
     /// TRANSIENT-read policy for the switch directories.
     pub transient_policy: TransientReadPolicy,
+    /// Observers to attach (latency breakdown, time series, trace). All off
+    /// by default; the run is uninstrumented unless something is enabled.
+    pub observers: ObserverConfig,
 }
 
 impl Default for RunOptions {
@@ -51,6 +57,7 @@ impl Default for RunOptions {
             max_cycles: 1 << 40,
             collect_histogram: false,
             transient_policy: TransientReadPolicy::Retry,
+            observers: ObserverConfig::default(),
         }
     }
 }
@@ -133,9 +140,8 @@ impl System {
                 Node::new(i as NodeId, CacheHierarchy::new(cfg.l1, cfg.l2), stream)
             })
             .collect();
-        let sdirs = (0..bmin.total_switches())
-            .map(|_| cfg.switch_dir.map(SwitchDirectory::new))
-            .collect();
+        let sdirs =
+            (0..bmin.total_switches()).map(|_| cfg.switch_dir.map(SwitchDirectory::new)).collect();
         System {
             map,
             bmin,
@@ -172,7 +178,22 @@ impl System {
     /// # Panics
     /// Panics on protocol deadlock (event queue drains with undrained
     /// nodes) or when `opts.max_cycles` is exceeded (livelock guard).
-    pub fn run(mut self, opts: RunOptions) -> ExecutionReport {
+    pub fn run(self, opts: RunOptions) -> ExecutionReport {
+        if opts.observers.enabled() {
+            let shape =
+                MachineShape { nodes: self.cfg.nodes, switches: self.bmin.total_switches() };
+            let mut set = ObserverSet::new(opts.observers, shape);
+            let mut report = self.run_probed(opts, &mut set);
+            report.obs = Some(set.finish());
+            report
+        } else {
+            self.run_probed(opts, &mut NullProbe)
+        }
+    }
+
+    /// [`System::run`] generic over the attached [`Probe`]. With
+    /// [`NullProbe`] every hook inlines to nothing.
+    pub fn run_probed<P: Probe>(mut self, opts: RunOptions, probe: &mut P) -> ExecutionReport {
         if opts.collect_histogram {
             self.histogram = Some(BlockHistogram::new());
         }
@@ -200,11 +221,12 @@ impl System {
                 self.queue.len()
             );
             self.end_time = self.end_time.max(t);
+            probe.tick(t, self.queue.len());
             match ev {
-                Ev::Proc(p) => self.on_proc(p, t),
-                Ev::Msg(infl) => self.on_msg(*infl, t),
-                Ev::HomeExec { home, msg } => self.on_home_exec(home, *msg, t),
-                Ev::Retry { node, block } => self.on_retry(node, block, t),
+                Ev::Proc(p) => self.on_proc(p, t, probe),
+                Ev::Msg(infl) => self.on_msg(*infl, t, probe),
+                Ev::HomeExec { home, msg } => self.on_home_exec(home, *msg, t, probe),
+                Ev::Retry { node, block } => self.on_retry(node, block, t, probe),
             }
         }
         for n in &self.nodes {
@@ -246,7 +268,7 @@ impl System {
     // Processor execution
     // ------------------------------------------------------------------
 
-    fn on_proc(&mut self, p: NodeId, t: Cycle) {
+    fn on_proc<P: Probe>(&mut self, p: NodeId, t: Cycle, probe: &mut P) {
         let issue_width = self.cfg.processor.issue_width as Cycle;
         let wb_cap = self.cfg.processor.write_buffer_entries;
         let mut t = t.max(self.nodes[p as usize].local_time);
@@ -307,7 +329,8 @@ impl System {
                                         retry_pending: false,
                                     },
                                 );
-                                self.send_request(p, block, MsgType::ReadRequest, t_miss);
+                                probe.read_issue(p, block, t, t_miss);
+                                self.send_request(p, block, MsgType::ReadRequest, t_miss, probe);
                                 return;
                             }
                         },
@@ -349,7 +372,13 @@ impl System {
                                     );
                                     node.pc += 1;
                                     node.refs_executed += 1;
-                                    self.send_request(p, block, MsgType::WriteRequest, t_miss);
+                                    self.send_request(
+                                        p,
+                                        block,
+                                        MsgType::WriteRequest,
+                                        t_miss,
+                                        probe,
+                                    );
                                     t += 1;
                                 }
                             }
@@ -378,7 +407,7 @@ impl System {
         }
     }
 
-    fn on_retry(&mut self, p: NodeId, block: BlockAddr, t: Cycle) {
+    fn on_retry<P: Probe>(&mut self, p: NodeId, block: BlockAddr, t: Cycle, probe: &mut P) {
         let node = &mut self.nodes[p as usize];
         let Some(m) = node.mshrs.get_mut(&block) else {
             return; // transaction completed before the retry fired
@@ -386,10 +415,13 @@ impl System {
         m.retry_pending = false;
         node.reads.retries += 1;
         let kind = match m.kind {
-            MshrKind::Read => MsgType::ReadRequest,
+            MshrKind::Read => {
+                probe.read_retry(p, block, t);
+                MsgType::ReadRequest
+            }
             MshrKind::Write => MsgType::WriteRequest,
         };
-        self.send_request(p, block, kind, t);
+        self.send_request(p, block, kind, t, probe);
     }
 
     // ------------------------------------------------------------------
@@ -400,30 +432,30 @@ impl System {
         msg.flits(self.cfg.l2.line_bytes, self.cfg.switch.flit_bytes)
     }
 
-    fn launch(&mut self, msg: Message, route: Route, t: Cycle) {
+    fn launch<P: Probe>(&mut self, msg: Message, route: Route, t: Cycle, probe: &mut P) {
         debug_assert!(route.well_formed());
         let flits = self.flits(&msg);
-        let arrive = self.net.traverse_link(route.links[0], t, flits);
-        self.queue
-            .schedule_at(arrive, Ev::Msg(Box::new(InFlight { msg, route, hop: 0 })));
+        probe.msg_send(t, &msg);
+        let arrive = self.net.traverse_link_probed(route.links[0], t, flits, probe);
+        self.queue.schedule_at(arrive, Ev::Msg(Box::new(InFlight { msg, route, hop: 0 })));
     }
 
-    fn send_request(&mut self, p: NodeId, block: BlockAddr, kind: MsgType, t: Cycle) {
+    fn send_request<P: Probe>(
+        &mut self,
+        p: NodeId,
+        block: BlockAddr,
+        kind: MsgType,
+        t: Cycle,
+        probe: &mut P,
+    ) {
         let home = self.map.home_of_block(block);
-        let msg = Message::new(
-            self.next_id(),
-            kind,
-            block,
-            Endpoint::Proc(p),
-            Endpoint::Mem(home),
-            p,
-            t,
-        );
+        let msg =
+            Message::new(self.next_id(), kind, block, Endpoint::Proc(p), Endpoint::Mem(home), p, t);
         let route = routes::forward(&self.bmin, p, home);
-        self.launch(msg, route, t);
+        self.launch(msg, route, t, probe);
     }
 
-    fn send_from_proc(&mut self, msg: Message, t: Cycle) {
+    fn send_from_proc<P: Probe>(&mut self, msg: Message, t: Cycle, probe: &mut P) {
         let src = match msg.src {
             Endpoint::Proc(p) => p,
             _ => unreachable!("send_from_proc with non-proc source"),
@@ -433,10 +465,10 @@ impl System {
             Endpoint::Proc(q) => routes::proc_to_proc(&self.bmin, src, q, msg.block.0),
             Endpoint::Switch { .. } => unreachable!("messages never target switches"),
         };
-        self.launch(msg, route, t);
+        self.launch(msg, route, t, probe);
     }
 
-    fn send_from_mem(&mut self, msg: Message, t: Cycle) {
+    fn send_from_mem<P: Probe>(&mut self, msg: Message, t: Cycle, probe: &mut P) {
         let src = match msg.src {
             Endpoint::Mem(h) => h,
             _ => unreachable!("send_from_mem with non-mem source"),
@@ -446,12 +478,21 @@ impl System {
             _ => unreachable!("memory only sends to processors"),
         };
         let route = routes::backward(&self.bmin, src, dst);
-        self.launch(msg, route, t);
+        self.launch(msg, route, t, probe);
     }
 
-    fn send_from_switch(&mut self, sw: SwitchId, gen: GenMsg, orig: &Message, t: Cycle) {
+    fn send_from_switch<P: Probe>(
+        &mut self,
+        sw: SwitchId,
+        gen: GenMsg,
+        orig: &Message,
+        t: Cycle,
+        probe: &mut P,
+    ) {
         let (kind, to, owner) = match gen {
-            GenMsg::CtoCRequest { owner, requester } => (MsgType::CtoCRequest, owner, Some(requester)),
+            GenMsg::CtoCRequest { owner, requester } => {
+                (MsgType::CtoCRequest, owner, Some(requester))
+            }
             GenMsg::Retry { to } => (MsgType::Retry, to, None),
             GenMsg::DataReply { to } => (MsgType::ReadReply, to, None),
         };
@@ -478,31 +519,64 @@ impl System {
         let route = routes::from_switch_to_proc_via(&self.bmin, sw, to, orig.block.0);
         // Generation overlaps the switch's own pipeline: one core delay.
         let depart = t + self.net.core_delay();
-        self.launch(msg, route, depart);
+        self.launch(msg, route, depart, probe);
     }
 
-    fn on_msg(&mut self, infl: InFlight, t: Cycle) {
+    fn switch_loc(&self, sw: SwitchId) -> SwitchLoc {
+        SwitchLoc { stage: sw.stage, index: sw.index, linear: self.linear(sw) as u16 }
+    }
+
+    fn on_msg<P: Probe>(&mut self, infl: InFlight, t: Cycle, probe: &mut P) {
         let InFlight { mut msg, route, hop } = infl;
         if hop < route.switches.len() {
             let sw = route.switches[hop];
             let idx = self.linear(sw);
+            let loc = self.switch_loc(sw);
+            probe.msg_hop(t, &msg, loc);
             let action = match self.sdirs[idx].as_mut() {
-                Some(sd) => sd.snoop(&mut msg),
+                Some(sd) => {
+                    let action = sd.snoop_probed(&mut msg, loc, t, probe);
+                    let sd = self.sdirs[idx].as_ref().unwrap();
+                    probe.sd_occupancy(t, loc, sd.occupancy(), sd.transient_count());
+                    action
+                }
                 None => SnoopAction::Forward,
             };
+            // A sunk ReadRequest reached its service point at this switch:
+            // either an SD hit (CtoC generated) or an accumulated wait.
+            if msg.kind == MsgType::ReadRequest
+                && matches!(action, SnoopAction::Sink | SnoopAction::SinkSend(_))
+            {
+                let is_service = match &action {
+                    SnoopAction::Sink => true,
+                    SnoopAction::SinkSend(gen) => {
+                        gen.iter().any(|g| matches!(g, GenMsg::CtoCRequest { .. }))
+                    }
+                    _ => false,
+                };
+                if is_service {
+                    probe.read_service_arrive(
+                        msg.requester,
+                        msg.block,
+                        ServicePoint::Switch(loc),
+                        t,
+                    );
+                }
+            }
             match action {
-                SnoopAction::Forward => self.forward_hop(msg, route, hop, t),
-                SnoopAction::Sink => {}
+                SnoopAction::Forward => self.forward_hop(msg, route, hop, t, probe),
+                SnoopAction::Sink => probe.msg_sink(t, &msg, loc),
                 SnoopAction::SinkSend(gen) => {
+                    probe.msg_sink(t, &msg, loc);
                     for g in gen {
-                        self.send_from_switch(sw, g, &msg, t);
+                        self.send_from_switch(sw, g, &msg, t, probe);
                     }
                 }
                 SnoopAction::ForwardSend(gen) => {
                     for g in gen {
-                        self.send_from_switch(sw, g, &msg, t);
+                        self.send_from_switch(sw, g, &msg, t, probe);
                     }
-                    self.forward_hop(msg, route, hop, t);
+                    self.forward_hop(msg, route, hop, t, probe);
                 }
             }
         } else {
@@ -510,27 +584,34 @@ impl System {
             // messages complete after the tail.
             let flits = self.flits(&msg);
             let t_full = t + self.net.tail_lag(flits);
+            probe.msg_deliver(t_full, &msg);
             match msg.dst {
-                Endpoint::Mem(h) => self.on_home_arrival(h, msg, t_full),
-                Endpoint::Proc(p) => self.on_proc_delivery(p, msg, t_full),
+                Endpoint::Mem(h) => self.on_home_arrival(h, msg, t_full, probe),
+                Endpoint::Proc(p) => self.on_proc_delivery(p, msg, t_full, probe),
                 Endpoint::Switch { .. } => unreachable!("messages never terminate at switches"),
             }
         }
     }
 
-    fn forward_hop(&mut self, msg: Message, route: Route, hop: usize, t: Cycle) {
+    fn forward_hop<P: Probe>(
+        &mut self,
+        msg: Message,
+        route: Route,
+        hop: usize,
+        t: Cycle,
+        probe: &mut P,
+    ) {
         let flits = self.flits(&msg);
         let depart = t + self.net.core_delay();
-        let arrive = self.net.traverse_link(route.links[hop + 1], depart, flits);
-        self.queue
-            .schedule_at(arrive, Ev::Msg(Box::new(InFlight { msg, route, hop: hop + 1 })));
+        let arrive = self.net.traverse_link_probed(route.links[hop + 1], depart, flits, probe);
+        self.queue.schedule_at(arrive, Ev::Msg(Box::new(InFlight { msg, route, hop: hop + 1 })));
     }
 
     // ------------------------------------------------------------------
     // Home node (memory + directory controller)
     // ------------------------------------------------------------------
 
-    fn on_home_arrival(&mut self, h: NodeId, msg: Message, t: Cycle) {
+    fn on_home_arrival<P: Probe>(&mut self, h: NodeId, msg: Message, t: Cycle, probe: &mut P) {
         let occ = self.cfg.memory.controller_occupancy as Cycle;
         let start = self.home_ctrl[h as usize].acquire(t, occ);
         let done = match msg.kind {
@@ -543,65 +624,108 @@ impl System {
                 dstart + dram
             }
         };
+        probe.home_service(h, msg.block, t, start, done);
+        if msg.kind == MsgType::ReadRequest {
+            probe.read_service_arrive(msg.requester, msg.block, ServicePoint::Home(h), t);
+        }
         self.queue.schedule_at(done, Ev::HomeExec { home: h, msg: Box::new(msg) });
     }
 
-    fn on_home_exec(&mut self, h: NodeId, msg: Message, t: Cycle) {
+    fn on_home_exec<P: Probe>(&mut self, h: NodeId, msg: Message, t: Cycle, probe: &mut P) {
         match msg.kind {
             MsgType::ReadRequest => {
-                let act = self.homes[h as usize].handle_read(msg.block, msg.requester);
-                self.apply_dir_action(h, msg.block, act, t);
+                let act = self.homes[h as usize].handle_read_probed(
+                    msg.block,
+                    msg.requester,
+                    h,
+                    t,
+                    probe,
+                );
+                self.apply_dir_action(h, msg.block, act, t, probe);
             }
             MsgType::WriteRequest => {
-                let act = self.homes[h as usize].handle_write(msg.block, msg.requester);
-                self.apply_dir_action(h, msg.block, act, t);
+                let act = self.homes[h as usize].handle_write_probed(
+                    msg.block,
+                    msg.requester,
+                    h,
+                    t,
+                    probe,
+                );
+                self.apply_dir_action(h, msg.block, act, t, probe);
             }
             MsgType::CopyBack => {
                 let sender = match msg.src {
                     Endpoint::Proc(p) => p,
                     _ => unreachable!("copybacks originate at caches"),
                 };
-                let c = self.homes[h as usize].handle_copyback(msg.block, sender, msg.carried_sharers);
-                self.apply_completion(h, msg.block, c, t);
+                let c = self.homes[h as usize].handle_copyback_probed(
+                    msg.block,
+                    sender,
+                    msg.carried_sharers,
+                    h,
+                    t,
+                    probe,
+                );
+                self.apply_completion(h, msg.block, c, t, probe);
             }
             MsgType::WriteBack => {
                 let sender = match msg.src {
                     Endpoint::Proc(p) => p,
                     _ => unreachable!("writebacks originate at caches"),
                 };
-                let c = self.homes[h as usize].handle_writeback(msg.block, sender, msg.carried_sharers);
-                self.apply_completion(h, msg.block, c, t);
+                let c = self.homes[h as usize].handle_writeback_probed(
+                    msg.block,
+                    sender,
+                    msg.carried_sharers,
+                    h,
+                    t,
+                    probe,
+                );
+                self.apply_completion(h, msg.block, c, t, probe);
             }
             MsgType::InvalAck => {
-                let c = self.homes[h as usize].handle_inval_ack(msg.block);
-                self.apply_completion(h, msg.block, c, t);
+                let c = self.homes[h as usize].handle_inval_ack_probed(msg.block, h, t, probe);
+                self.apply_completion(h, msg.block, c, t, probe);
             }
             other => unreachable!("home received unexpected {other:?}"),
         }
     }
 
-    fn apply_completion(
+    fn apply_completion<P: Probe>(
         &mut self,
         h: NodeId,
         block: BlockAddr,
         c: dresar_directory::Completion,
         t: Cycle,
+        probe: &mut P,
     ) {
         for act in c.actions {
-            self.apply_dir_action(h, block, act, t);
+            self.apply_dir_action(h, block, act, t, probe);
         }
         for QueuedReq { block, requester, kind } in c.replay {
             let act = match kind {
-                ReqKind::Read => self.homes[h as usize].handle_read(block, requester),
-                ReqKind::Write => self.homes[h as usize].handle_write(block, requester),
+                ReqKind::Read => {
+                    self.homes[h as usize].handle_read_probed(block, requester, h, t, probe)
+                }
+                ReqKind::Write => {
+                    self.homes[h as usize].handle_write_probed(block, requester, h, t, probe)
+                }
             };
-            self.apply_dir_action(h, block, act, t);
+            self.apply_dir_action(h, block, act, t, probe);
         }
     }
 
-    fn apply_dir_action(&mut self, h: NodeId, block: BlockAddr, act: DirAction, t: Cycle) {
+    fn apply_dir_action<P: Probe>(
+        &mut self,
+        h: NodeId,
+        block: BlockAddr,
+        act: DirAction,
+        t: Cycle,
+        probe: &mut P,
+    ) {
         match act {
             DirAction::ReadReplyClean { to } => {
+                probe.read_service_done(to, block, t);
                 let msg = Message::new(
                     self.next_id(),
                     MsgType::ReadReply,
@@ -611,7 +735,7 @@ impl System {
                     to,
                     t,
                 );
-                self.send_from_mem(msg, t);
+                self.send_from_mem(msg, t, probe);
             }
             DirAction::WriteReplyGrant { to } => {
                 let msg = Message::new(
@@ -623,7 +747,7 @@ impl System {
                     to,
                     t,
                 );
-                self.send_from_mem(msg, t);
+                self.send_from_mem(msg, t, probe);
             }
             DirAction::ForwardCtoC { owner, requester, write_intent } => {
                 let mut msg = Message::new(
@@ -639,7 +763,7 @@ impl System {
                 if write_intent {
                     msg = msg.with_write_intent();
                 }
-                self.send_from_mem(msg, t);
+                self.send_from_mem(msg, t, probe);
             }
             DirAction::Invalidate { targets, writer: _ } => {
                 for target in targets.iter() {
@@ -652,7 +776,7 @@ impl System {
                         target,
                         t,
                     );
-                    self.send_from_mem(msg, t);
+                    self.send_from_mem(msg, t, probe);
                 }
             }
             DirAction::Nak { to } => {
@@ -665,7 +789,7 @@ impl System {
                     to,
                     t,
                 );
-                self.send_from_mem(msg, t);
+                self.send_from_mem(msg, t, probe);
             }
             DirAction::Queued => {}
         }
@@ -675,24 +799,31 @@ impl System {
     // Processor-side message handling (cache controller)
     // ------------------------------------------------------------------
 
-    fn on_proc_delivery(&mut self, p: NodeId, msg: Message, t: Cycle) {
+    fn on_proc_delivery<P: Probe>(&mut self, p: NodeId, msg: Message, t: Cycle, probe: &mut P) {
         match msg.kind {
             MsgType::ReadReply => {
-                self.complete_fill(p, &msg, LineState::Shared, self.classify_read(&msg), t)
+                self.complete_fill(p, &msg, LineState::Shared, self.classify_read(&msg), t, probe)
             }
             MsgType::CtoCData => {
                 if msg.write_intent {
-                    self.complete_fill(p, &msg, LineState::Modified, None, t);
+                    self.complete_fill(p, &msg, LineState::Modified, None, t, probe);
                 } else {
-                    self.complete_fill(p, &msg, LineState::Shared, self.classify_read(&msg), t);
+                    self.complete_fill(
+                        p,
+                        &msg,
+                        LineState::Shared,
+                        self.classify_read(&msg),
+                        t,
+                        probe,
+                    );
                 }
             }
             MsgType::WriteReply => {
-                self.complete_fill(p, &msg, LineState::Modified, None, t);
+                self.complete_fill(p, &msg, LineState::Modified, None, t, probe);
             }
-            MsgType::CtoCRequest => self.on_intervention(p, msg, t),
-            MsgType::Invalidate => self.on_invalidate(p, msg, t),
-            MsgType::Retry => self.on_nak(p, msg, t),
+            MsgType::CtoCRequest => self.on_intervention(p, msg, t, probe),
+            MsgType::Invalidate => self.on_invalidate(p, msg, t, probe),
+            MsgType::Retry => self.on_nak(p, msg, t, probe),
             other => unreachable!("processor received unexpected {other:?}"),
         }
     }
@@ -708,17 +839,18 @@ impl System {
     }
 
     /// Installs arriving data and completes the block's MSHR.
-    fn complete_fill(
+    fn complete_fill<P: Probe>(
         &mut self,
         p: NodeId,
         msg: &Message,
         state: LineState,
         class: Option<ReadClass>,
         t: Cycle,
+        probe: &mut P,
     ) {
         let block = msg.block;
         let evictions = self.nodes[p as usize].hier.fill(block, state);
-        self.emit_evictions(p, evictions, t);
+        self.emit_evictions(p, evictions, t, probe);
 
         let node = &mut self.nodes[p as usize];
         let Some(m) = node.mshrs.remove(&block) else {
@@ -727,7 +859,9 @@ impl System {
         match m.kind {
             MshrKind::Read => {
                 if let Some(class) = class {
-                    node.reads.record(class, t.saturating_sub(m.issued_at));
+                    let latency = t.saturating_sub(m.issued_at);
+                    node.reads.record(class, latency);
+                    probe.read_complete(p, block, class, latency, t);
                     if let Some(h) = self.histogram.as_mut() {
                         h.record_miss(block, class != ReadClass::CleanMemory);
                     }
@@ -746,7 +880,7 @@ impl System {
                             retry_pending: false,
                         },
                     );
-                    self.send_request(p, block, MsgType::WriteRequest, t);
+                    self.send_request(p, block, MsgType::WriteRequest, t, probe);
                 } else if m.inval_pending {
                     // Fill-then-invalidate: the blocked read consumes the
                     // data once (below), then the line dies.
@@ -791,7 +925,13 @@ impl System {
         }
     }
 
-    fn emit_evictions(&mut self, p: NodeId, evictions: Vec<Eviction>, t: Cycle) {
+    fn emit_evictions<P: Probe>(
+        &mut self,
+        p: NodeId,
+        evictions: Vec<Eviction>,
+        t: Cycle,
+        probe: &mut P,
+    ) {
         for ev in evictions {
             if let Eviction::Writeback(victim) = ev {
                 self.writebacks += 1;
@@ -805,23 +945,25 @@ impl System {
                     p,
                     t,
                 );
-                self.send_from_proc(msg, t);
+                self.send_from_proc(msg, t, probe);
             }
         }
     }
 
     /// A CtoC intervention arrives at (what the sender believes is) the
     /// owner cache.
-    fn on_intervention(&mut self, p: NodeId, msg: Message, t: Cycle) {
+    fn on_intervention<P: Probe>(&mut self, p: NodeId, msg: Message, t: Cycle, probe: &mut P) {
         let block = msg.block;
         let t_cache = t + self.cfg.l2.access_cycles as Cycle;
-        let holds_dirty =
-            self.nodes[p as usize].hier.probe(block) == Some(LineState::Modified);
+        let holds_dirty = self.nodes[p as usize].hier.probe(block) == Some(LineState::Modified);
         if holds_dirty {
             if msg.write_intent {
                 self.nodes[p as usize].hier.invalidate(block);
             } else {
                 self.nodes[p as usize].hier.downgrade(block);
+                // The owner cache is the service point of a read CtoC: the
+                // data departs toward the requester now.
+                probe.read_service_done(msg.requester, block, t_cache);
             }
             // Data straight to the requester...
             let mut data = Message::new(
@@ -837,7 +979,7 @@ impl System {
             if msg.write_intent {
                 data = data.with_write_intent();
             }
-            self.send_from_proc(data, t_cache);
+            self.send_from_proc(data, t_cache, probe);
             // ...and the copyback toward the home to update memory (and be
             // marked by any TRANSIENT switch entries on the way).
             let home = self.map.home_of_block(block);
@@ -854,7 +996,7 @@ impl System {
             if msg.write_intent {
                 cb = cb.with_write_intent();
             }
-            self.send_from_proc(cb, t_cache);
+            self.send_from_proc(cb, t_cache, probe);
         } else {
             // Race: the block left this cache (eviction writeback or a
             // concurrent transfer). NAK the requester; home-side completion
@@ -869,11 +1011,11 @@ impl System {
                 msg.issued_at,
             );
             nak.switch_generated = msg.switch_generated;
-            self.send_from_proc(nak, t_cache);
+            self.send_from_proc(nak, t_cache, probe);
         }
     }
 
-    fn on_invalidate(&mut self, p: NodeId, msg: Message, t: Cycle) {
+    fn on_invalidate<P: Probe>(&mut self, p: NodeId, msg: Message, t: Cycle, probe: &mut P) {
         let block = msg.block;
         {
             let node = &mut self.nodes[p as usize];
@@ -896,12 +1038,13 @@ impl System {
             p,
             t,
         );
-        self.send_from_proc(ack, t + 1);
+        self.send_from_proc(ack, t + 1, probe);
     }
 
-    fn on_nak(&mut self, p: NodeId, msg: Message, t: Cycle) {
+    fn on_nak<P: Probe>(&mut self, p: NodeId, msg: Message, t: Cycle, probe: &mut P) {
         let backoff = self.cfg.processor.retry_backoff_cycles as Cycle;
         let node = &mut self.nodes[p as usize];
+        probe.nak_received(t, p, msg.block);
         if let Some(m) = node.mshrs.get_mut(&msg.block) {
             if !m.retry_pending {
                 m.retry_pending = true;
@@ -962,7 +1105,8 @@ mod tests {
 
     #[test]
     fn cached_reads_do_not_go_to_memory() {
-        let w = wl(vec![vec![StreamItem::read(0, 1), StreamItem::read(0, 1), StreamItem::read(4, 1)]]);
+        let w =
+            wl(vec![vec![StreamItem::read(0, 1), StreamItem::read(0, 1), StreamItem::read(4, 1)]]);
         let r = run(small_cfg(false), &w);
         // Blocks 0 and 4 share a 32-byte line? addr 4 is in block 0: one miss.
         assert_eq!(r.reads.total(), 1);

@@ -1,8 +1,9 @@
 //! Aggregated results of one execution-driven simulation run.
 
 use dresar_directory::DirStats;
+use dresar_obs::ObsReport;
 use dresar_stats::ReadStats;
-use dresar_types::Cycle;
+use dresar_types::{Cycle, FromJson, JsonError, JsonValue, ToJson};
 
 use crate::switchdir::SdStats;
 
@@ -30,6 +31,9 @@ pub struct ExecutionReport {
     /// Per-block miss/CtoC histogram (only if requested in
     /// [`crate::system::RunOptions`]).
     pub histogram: Option<dresar_stats::BlockHistogram>,
+    /// Observer payloads (latency breakdown, time series, trace), present
+    /// when [`crate::system::RunOptions::observers`] enabled any.
+    pub obs: Option<ObsReport>,
 }
 
 impl ExecutionReport {
@@ -60,3 +64,45 @@ impl ExecutionReport {
     }
 }
 
+impl ToJson for ExecutionReport {
+    fn to_json(&self) -> JsonValue {
+        let mut b = JsonValue::obj()
+            .field("workload", self.workload.as_str())
+            .field("cycles", self.cycles)
+            .field("reads", self.reads.to_json())
+            .field("dir", self.dir.to_json())
+            .field("sd", self.sd.to_json())
+            .field("network_hops", self.network_hops)
+            .field("writebacks", self.writebacks)
+            .field("refs_executed", self.refs_executed)
+            .field("avg_read_latency", self.avg_read_latency())
+            .field("dirty_read_fraction", self.dirty_read_fraction());
+        if let Some(obs) = &self.obs {
+            b = b.field("obs", obs.to_json());
+        }
+        b.build()
+    }
+}
+
+impl FromJson for ExecutionReport {
+    /// Round-trips the scalar counters and nested stats. The histogram and
+    /// observer payloads are not reconstructed (they serialize for external
+    /// consumers only) and come back `None`.
+    fn from_json(v: &JsonValue) -> Result<Self, JsonError> {
+        let reads = v.get("reads").ok_or_else(|| JsonError::new("missing field `reads`"))?;
+        let dir = v.get("dir").ok_or_else(|| JsonError::new("missing field `dir`"))?;
+        let sd = v.get("sd").ok_or_else(|| JsonError::new("missing field `sd`"))?;
+        Ok(ExecutionReport {
+            workload: JsonError::want_str(v, "workload")?,
+            cycles: JsonError::want_u64(v, "cycles")?,
+            reads: ReadStats::from_json(reads)?,
+            dir: DirStats::from_json(dir)?,
+            sd: SdStats::from_json(sd)?,
+            network_hops: JsonError::want_u64(v, "network_hops")?,
+            writebacks: JsonError::want_u64(v, "writebacks")?,
+            refs_executed: JsonError::want_u64(v, "refs_executed")?,
+            histogram: None,
+            obs: None,
+        })
+    }
+}

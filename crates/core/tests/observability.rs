@@ -1,0 +1,115 @@
+//! Tier-1 observability guarantees: the latency breakdown accounts for
+//! every read-stall cycle exactly, traces are deterministic and valid
+//! Chrome trace-event documents, and the JSON reports round-trip.
+
+use dresar::system::{ExecutionReport, RunOptions, System};
+use dresar_obs::{ObserverConfig, CLASS_LABELS};
+use dresar_types::config::{SwitchDirConfig, SystemConfig};
+use dresar_types::{FromJson, JsonValue, ToJson, Workload};
+use dresar_workloads::scientific;
+
+fn cfg(switch_dir: bool) -> SystemConfig {
+    let mut cfg = SystemConfig::paper_table2();
+    cfg.switch_dir = switch_dir.then(SwitchDirConfig::paper_default);
+    cfg
+}
+
+fn workload() -> Workload {
+    scientific::fft(16, 256)
+}
+
+fn run_observed(switch_dir: bool, observers: ObserverConfig) -> ExecutionReport {
+    System::new(cfg(switch_dir), &workload()).run(RunOptions { observers, ..RunOptions::default() })
+}
+
+#[test]
+fn breakdown_phase_sums_equal_read_latency_cycles() {
+    for switch_dir in [false, true] {
+        let observers = ObserverConfig { latency_breakdown: true, ..Default::default() };
+        let r = run_observed(switch_dir, observers);
+        let bd = r.obs.as_ref().and_then(|o| o.breakdown.as_ref()).expect("breakdown recorded");
+
+        // Every class's phase cycles sum to that class's total latency...
+        for c in &bd.classes {
+            assert_eq!(c.phases.iter().sum::<u64>(), c.total_latency);
+            assert_eq!(c.hist.iter().sum::<u64>(), c.count);
+        }
+        // ...and the grand total accounts for ReadStats exactly: no stall
+        // cycle is unattributed and none is double-counted.
+        assert_eq!(bd.total_phase_cycles(), r.reads.latency_cycles, "sd={switch_dir}");
+        assert_eq!(bd.total_reads(), r.reads.total(), "sd={switch_dir}");
+        assert_eq!(bd.unfinished, 0, "all reads complete at barrier exit");
+        // Per-node counts partition the total.
+        assert_eq!(bd.per_node.iter().map(|n| n.count).sum::<u64>(), r.reads.total());
+        assert_eq!(
+            bd.per_node.iter().map(|n| n.total_latency).sum::<u64>(),
+            r.reads.latency_cycles
+        );
+    }
+}
+
+#[test]
+fn identical_runs_produce_byte_identical_traces() {
+    let observers = ObserverConfig { trace: true, ..Default::default() };
+    let t1 = run_observed(true, observers).obs.and_then(|o| o.trace).expect("trace recorded");
+    let t2 = run_observed(true, observers).obs.and_then(|o| o.trace).expect("trace recorded");
+    assert!(!t1.is_empty());
+    assert_eq!(t1, t2, "tracing must be deterministic");
+}
+
+#[test]
+fn trace_is_a_valid_chrome_trace_event_document() {
+    let observers = ObserverConfig { trace: true, ..Default::default() };
+    let trace = run_observed(true, observers).obs.and_then(|o| o.trace).expect("trace recorded");
+    let doc = JsonValue::parse(&trace).expect("trace parses as JSON");
+    let events = doc.as_arr().expect("trace-event array flavour");
+    assert!(events.len() > 10, "trace has events");
+    let mut phases_seen = std::collections::BTreeSet::new();
+    for ev in events {
+        let ph = ev.get("ph").and_then(|v| v.as_str()).expect("every event has ph");
+        phases_seen.insert(ph.to_string());
+        assert!(ev.get("name").is_some(), "every event has a name");
+        assert!(ev.get("pid").and_then(|v| v.as_u64()).is_some(), "every event has pid");
+        if ph != "M" {
+            assert!(ev.get("ts").and_then(|v| v.as_u64()).is_some(), "timed events have ts");
+        }
+    }
+    // Metadata, async read spans, instants and home-service slices all show up.
+    for required in ["M", "b", "e", "i", "X"] {
+        assert!(phases_seen.contains(required), "missing ph={required}: {phases_seen:?}");
+    }
+}
+
+#[test]
+fn execution_report_round_trips_through_json() {
+    let r = run_observed(true, ObserverConfig::default());
+    assert!(r.obs.is_none(), "default config attaches no observers");
+    let dumped = r.to_json().dump();
+    let parsed = JsonValue::parse(&dumped).expect("report JSON parses");
+    let r2 = ExecutionReport::from_json(&parsed).expect("report JSON deserializes");
+    assert_eq!(r2.cycles, r.cycles);
+    assert_eq!(r2.refs_executed, r.refs_executed);
+    assert_eq!(r2.reads.to_json().dump(), r.reads.to_json().dump());
+    assert_eq!(r2.dir.to_json().dump(), r.dir.to_json().dump());
+    assert_eq!(r2.sd.to_json().dump(), r.sd.to_json().dump());
+    // Re-serializing the reconstruction reproduces the document.
+    assert_eq!(r2.to_json().dump(), dumped);
+}
+
+#[test]
+fn obs_report_json_names_every_read_class() {
+    let observers = ObserverConfig::all(1000);
+    let r = run_observed(true, observers);
+    let obs = r.obs.as_ref().expect("observers attached");
+    assert!(obs.breakdown.is_some() && obs.timeseries.is_some() && obs.trace.is_some());
+    let json = r.to_json().dump();
+    let parsed = JsonValue::parse(&json).expect("parses");
+    let classes = parsed
+        .get("obs")
+        .and_then(|o| o.get("breakdown"))
+        .and_then(|b| b.get("classes"))
+        .expect("breakdown classes serialized");
+    for label in CLASS_LABELS {
+        assert!(classes.get(label).is_some(), "class {label} present");
+    }
+}

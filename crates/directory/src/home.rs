@@ -13,9 +13,18 @@
 //! copybacks/writebacks from switch directories carry additional sharer
 //! pids that the home folds into the vector at completion time.
 
-use dresar_types::{BlockAddr, NodeId, SharerSet};
+use dresar_obs::{DirStateKind, HomeReq, HomeTransition, Probe};
+use dresar_types::{BlockAddr, Cycle, FromJson, JsonError, JsonValue, NodeId, SharerSet, ToJson};
 use std::collections::hash_map::Entry;
 use std::collections::{HashMap, VecDeque};
+
+fn kind_of(state: DirState) -> DirStateKind {
+    match state {
+        DirState::Uncached => DirStateKind::Uncached,
+        DirState::Shared(_) => DirStateKind::Shared,
+        DirState::Modified(_) => DirStateKind::Modified,
+    }
+}
 
 /// Stable directory state of a block.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -153,6 +162,36 @@ impl DirStats {
     }
 }
 
+impl ToJson for DirStats {
+    fn to_json(&self) -> JsonValue {
+        JsonValue::obj()
+            .field("reads_clean", self.reads_clean)
+            .field("reads_ctoc", self.reads_ctoc)
+            .field("writes_ctoc", self.writes_ctoc)
+            .field("inval_rounds", self.inval_rounds)
+            .field("invals_sent", self.invals_sent)
+            .field("naks", self.naks)
+            .field("queued", self.queued)
+            .field("marked_completions", self.marked_completions)
+            .build()
+    }
+}
+
+impl FromJson for DirStats {
+    fn from_json(v: &JsonValue) -> Result<Self, JsonError> {
+        Ok(DirStats {
+            reads_clean: JsonError::want_u64(v, "reads_clean")?,
+            reads_ctoc: JsonError::want_u64(v, "reads_ctoc")?,
+            writes_ctoc: JsonError::want_u64(v, "writes_ctoc")?,
+            inval_rounds: JsonError::want_u64(v, "inval_rounds")?,
+            invals_sent: JsonError::want_u64(v, "invals_sent")?,
+            naks: JsonError::want_u64(v, "naks")?,
+            queued: JsonError::want_u64(v, "queued")?,
+            marked_completions: JsonError::want_u64(v, "marked_completions")?,
+        })
+    }
+}
+
 /// The full-map directory for the blocks homed at one node.
 #[derive(Debug, Clone)]
 pub struct HomeDirectory {
@@ -277,7 +316,8 @@ impl HomeDirectory {
                     e.state = DirState::Modified(requester);
                     DirAction::WriteReplyGrant { to: requester }
                 } else {
-                    e.busy = Some(Busy::Inval { writer: requester, acks_left: targets.len() as u32 });
+                    e.busy =
+                        Some(Busy::Inval { writer: requester, acks_left: targets.len() as u32 });
                     self.stats.inval_rounds += 1;
                     self.stats.invals_sent += targets.len() as u64;
                     DirAction::Invalidate { targets, writer: requester }
@@ -307,10 +347,7 @@ impl HomeDirectory {
                     e.busy = None;
                     e.state = DirState::Modified(writer);
                     let replay = std::mem::take(&mut e.pending).into_iter().collect();
-                    Completion {
-                        actions: vec![DirAction::WriteReplyGrant { to: writer }],
-                        replay,
-                    }
+                    Completion { actions: vec![DirAction::WriteReplyGrant { to: writer }], replay }
                 } else {
                     e.busy = Some(Busy::Inval { writer, acks_left: acks_left - 1 });
                     Completion::default()
@@ -380,10 +417,7 @@ impl HomeDirectory {
                 set.insert(requester);
                 e.state = DirState::Shared(set);
                 let replay = std::mem::take(&mut e.pending).into_iter().collect();
-                Completion {
-                    actions: vec![DirAction::ReadReplyClean { to: requester }],
-                    replay,
-                }
+                Completion { actions: vec![DirAction::ReadReplyClean { to: requester }], replay }
             }
             _ => {
                 // Unsolicited: a switch-directory-initiated CtoC. The block
@@ -450,10 +484,7 @@ impl HomeDirectory {
                 let set = SharerSet::singleton(requester).union(carried);
                 e.state = DirState::Shared(set);
                 let replay = std::mem::take(&mut e.pending).into_iter().collect();
-                Completion {
-                    actions: vec![DirAction::ReadReplyClean { to: requester }],
-                    replay,
-                }
+                Completion { actions: vec![DirAction::ReadReplyClean { to: requester }], replay }
             }
             _ => match e.state {
                 DirState::Modified(owner) if owner == from => {
@@ -473,6 +504,112 @@ impl HomeDirectory {
                 }
             },
         }
+    }
+
+    fn snapshot(&self, block: BlockAddr) -> (DirStateKind, bool) {
+        (kind_of(self.state(block)), self.is_busy(block))
+    }
+
+    #[allow(clippy::too_many_arguments)] // flattened HomeTransition fields
+    fn emit_fsm<P: Probe>(
+        &self,
+        probe: &mut P,
+        t: Cycle,
+        home: NodeId,
+        block: BlockAddr,
+        req: HomeReq,
+        before: (DirStateKind, bool),
+        nak: bool,
+        queued: bool,
+    ) {
+        let (to, to_busy) = self.snapshot(block);
+        probe.home_fsm(
+            t,
+            home,
+            block,
+            HomeTransition { req, from: before.0, from_busy: before.1, to, to_busy, nak, queued },
+        );
+    }
+
+    /// [`HomeDirectory::handle_read`] with observability: emits the FSM
+    /// transition through `probe`.
+    pub fn handle_read_probed<P: Probe>(
+        &mut self,
+        block: BlockAddr,
+        requester: NodeId,
+        home: NodeId,
+        t: Cycle,
+        probe: &mut P,
+    ) -> DirAction {
+        let before = self.snapshot(block);
+        let action = self.handle_read(block, requester);
+        let nak = matches!(action, DirAction::Nak { .. });
+        let queued = matches!(action, DirAction::Queued);
+        self.emit_fsm(probe, t, home, block, HomeReq::Read, before, nak, queued);
+        action
+    }
+
+    /// [`HomeDirectory::handle_write`] with observability.
+    pub fn handle_write_probed<P: Probe>(
+        &mut self,
+        block: BlockAddr,
+        requester: NodeId,
+        home: NodeId,
+        t: Cycle,
+        probe: &mut P,
+    ) -> DirAction {
+        let before = self.snapshot(block);
+        let action = self.handle_write(block, requester);
+        let nak = matches!(action, DirAction::Nak { .. });
+        let queued = matches!(action, DirAction::Queued);
+        self.emit_fsm(probe, t, home, block, HomeReq::Write, before, nak, queued);
+        action
+    }
+
+    /// [`HomeDirectory::handle_inval_ack`] with observability.
+    pub fn handle_inval_ack_probed<P: Probe>(
+        &mut self,
+        block: BlockAddr,
+        home: NodeId,
+        t: Cycle,
+        probe: &mut P,
+    ) -> Completion {
+        let before = self.snapshot(block);
+        let c = self.handle_inval_ack(block);
+        self.emit_fsm(probe, t, home, block, HomeReq::InvalAck, before, false, false);
+        c
+    }
+
+    /// [`HomeDirectory::handle_copyback`] with observability.
+    pub fn handle_copyback_probed<P: Probe>(
+        &mut self,
+        block: BlockAddr,
+        from: NodeId,
+        carried: SharerSet,
+        home: NodeId,
+        t: Cycle,
+        probe: &mut P,
+    ) -> Completion {
+        let before = self.snapshot(block);
+        let c = self.handle_copyback(block, from, carried);
+        self.emit_fsm(probe, t, home, block, HomeReq::CopyBack, before, false, false);
+        c
+    }
+
+    /// [`HomeDirectory::handle_writeback`] with observability.
+    pub fn handle_writeback_probed<P: Probe>(
+        &mut self,
+        block: BlockAddr,
+        from: NodeId,
+        carried: SharerSet,
+        home: NodeId,
+        t: Cycle,
+        probe: &mut P,
+    ) -> Completion {
+        let before = self.snapshot(block);
+        let c = self.handle_writeback(block, from, carried);
+        self.emit_fsm(probe, t, home, block, HomeReq::WriteBack, before, false, false);
+        c
     }
 
     /// Number of block entries currently tracked (diagnostic).
@@ -629,7 +766,7 @@ mod tests {
         let mut d = HomeDirectory::default();
         d.handle_write(B, 7);
         d.handle_read(B, 2); // busy CtoC to owner 7
-        // Owner evicts before the intervention arrives.
+                             // Owner evicts before the intervention arrives.
         let c = d.handle_writeback(B, 7, SharerSet::EMPTY);
         assert_eq!(c.actions, vec![DirAction::ReadReplyClean { to: 2 }]);
         assert_eq!(d.state(B), DirState::Shared(SharerSet::singleton(2)));
@@ -673,9 +810,9 @@ mod tests {
         let mut d = HomeDirectory::default();
         d.handle_write(B, 7);
         d.handle_write(B, 2); // home wants ownership moved to 2
-        // But a switch-initiated *read* CtoC completed first: owner 7 copies
-        // back marked with new sharer 4. Sharers {7,4} must be invalidated
-        // before 2 can own the block.
+                              // But a switch-initiated *read* CtoC completed first: owner 7 copies
+                              // back marked with new sharer 4. Sharers {7,4} must be invalidated
+                              // before 2 can own the block.
         let c = d.handle_copyback(B, 7, SharerSet::singleton(4));
         let expected: SharerSet = [4u8, 7].into_iter().collect();
         assert_eq!(c.actions, vec![DirAction::Invalidate { targets: expected, writer: 2 }]);

@@ -84,7 +84,7 @@ impl BankedResource {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
+    use dresar_types::rng::SmallRng;
 
     #[test]
     fn resource_serializes_back_to_back() {
@@ -124,31 +124,39 @@ mod tests {
         BankedResource::new(0);
     }
 
-    proptest! {
-        /// Bookings on one resource never overlap and starts are monotone.
-        #[test]
-        fn prop_no_overlap(reqs in proptest::collection::vec((0u64..100, 1u64..20), 1..50)) {
+    /// Bookings on one resource never overlap and starts are monotone
+    /// (seeded randomized sweep).
+    #[test]
+    fn bookings_never_overlap() {
+        for seed in 0..64u64 {
+            let mut rng = SmallRng::seed_from_u64(seed);
             let mut r = Resource::new();
             let mut now = 0;
             let mut prev_end = 0;
-            for (gap, dur) in reqs {
-                now += gap;
+            for _ in 0..50 {
+                now += rng.gen_range(0u64..100);
+                let dur = rng.gen_range(1u64..20);
                 let start = r.acquire(now, dur);
-                prop_assert!(start >= prev_end);
-                prop_assert!(start >= now);
+                assert!(start >= prev_end, "seed {seed}");
+                assert!(start >= now, "seed {seed}");
                 prev_end = start + dur;
             }
         }
+    }
 
-        /// A banked resource with one bank behaves exactly like a Resource.
-        #[test]
-        fn prop_single_bank_equivalence(reqs in proptest::collection::vec((0u64..50, 1u64..10, 0u64..1000), 1..40)) {
+    /// A banked resource with one bank behaves exactly like a Resource.
+    #[test]
+    fn single_bank_equivalent_to_plain_resource() {
+        for seed in 0..64u64 {
+            let mut rng = SmallRng::seed_from_u64(seed ^ 0xbab5);
             let mut banked = BankedResource::new(1);
             let mut plain = Resource::new();
             let mut now = 0;
-            for (gap, dur, key) in reqs {
-                now += gap;
-                prop_assert_eq!(banked.acquire(key, now, dur), plain.acquire(now, dur));
+            for _ in 0..40 {
+                now += rng.gen_range(0u64..50);
+                let dur = rng.gen_range(1u64..10);
+                let key = rng.gen_range(0u64..1000);
+                assert_eq!(banked.acquire(key, now, dur), plain.acquire(now, dur), "seed {seed}");
             }
         }
     }

@@ -71,7 +71,13 @@ impl Crossbar {
     /// Creates a switch with `n_in` input links x `vcs` virtual channels,
     /// `n_out` outputs, per-VC FIFO capacity `buffer_flits`, and a core
     /// delay of `core_cycles`.
-    pub fn new(n_in: usize, n_out: usize, vcs: usize, buffer_flits: usize, core_cycles: u32) -> Self {
+    pub fn new(
+        n_in: usize,
+        n_out: usize,
+        vcs: usize,
+        buffer_flits: usize,
+        core_cycles: u32,
+    ) -> Self {
         assert!(n_in > 0 && n_out > 0 && vcs > 0 && buffer_flits > 0);
         Crossbar {
             inputs: vec![InputBlock { vcs: vec![Vc::default(); vcs] }; n_in],
@@ -174,9 +180,7 @@ impl Crossbar {
 /// Splits a message into `n` flits for injection.
 pub fn flits_of_message(msg: u64, n: u32, age: Cycle, out_port: u8) -> Vec<Flit> {
     assert!(n >= 1);
-    (0..n)
-        .map(|i| Flit { msg, head: i == 0, tail: i == n - 1, age, out_port })
-        .collect()
+    (0..n).map(|i| Flit { msg, head: i == 0, tail: i == n - 1, age, out_port }).collect()
 }
 
 #[cfg(test)]

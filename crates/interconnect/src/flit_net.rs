@@ -156,7 +156,9 @@ impl FlitNetwork {
                 let p_part = lower as usize / d.pow(k as u32);
                 (p_part % d) as u8
             }
-            LinkId::ProcUp(_) | LinkId::MemDown(_) => unreachable!("injection links have no driver"),
+            LinkId::ProcUp(_) | LinkId::MemDown(_) => {
+                unreachable!("injection links have no driver")
+            }
         }
     }
 
@@ -302,11 +304,7 @@ impl FlitNetwork {
                 let lower_p = p_part * d + port as usize;
                 let lower_m = m_part / d;
                 let lower = lower_p * d.pow(k as u32 - 1) + lower_m;
-                LinkId::Down {
-                    stage: (k - 1) as u8,
-                    lower: lower as u16,
-                    port: (m_part % d) as u8,
-                }
+                LinkId::Down { stage: (k - 1) as u8, lower: lower as u16, port: (m_part % d) as u8 }
             }
         } else {
             let j = port as usize - d;
@@ -413,7 +411,12 @@ mod tests {
         // Tails must be separated by at least the 20-cycle serialization of
         // a 5-flit message on the shared final link.
         for w in times.windows(2) {
-            assert!(w[1] >= w[0] + 20, "deliveries {} and {} overlap on the shared link", w[0], w[1]);
+            assert!(
+                w[1] >= w[0] + 20,
+                "deliveries {} and {} overlap on the shared link",
+                w[0],
+                w[1]
+            );
         }
     }
 

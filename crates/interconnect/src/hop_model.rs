@@ -13,9 +13,29 @@
 
 use crate::routes::LinkId;
 use dresar_engine::Resource;
+use dresar_obs::{LinkKey, Probe};
 use dresar_types::config::SwitchConfig;
 use dresar_types::Cycle;
 use std::collections::HashMap;
+
+/// Packs a [`LinkId`] into the flat [`LinkKey`] the observability layer
+/// uses: a variant tag in bits 32.. and the variant's fields below.
+#[allow(clippy::identity_op)] // `0u64 << 32` keeps the variant tags visually parallel
+pub fn link_key(link: LinkId) -> LinkKey {
+    let k = match link {
+        LinkId::ProcUp(n) => (0u64 << 32) | n as u64,
+        LinkId::ProcDown(n) => (1u64 << 32) | n as u64,
+        LinkId::MemUp(n) => (2u64 << 32) | n as u64,
+        LinkId::MemDown(n) => (3u64 << 32) | n as u64,
+        LinkId::Up { stage, lower, port } => {
+            (4u64 << 32) | ((stage as u64) << 24) | ((lower as u64) << 8) | port as u64
+        }
+        LinkId::Down { stage, lower, port } => {
+            (5u64 << 32) | ((stage as u64) << 24) | ((lower as u64) << 8) | port as u64
+        }
+    };
+    LinkKey(k)
+}
 
 /// Per-link utilization sample.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -65,6 +85,26 @@ impl HopNetwork {
         self.messages += 1;
         self.flits += flits as u64;
         start + self.flit_time()
+    }
+
+    /// [`HopNetwork::traverse_link`] with observability: reports the booked
+    /// busy interval (`start..start + serialization`) through `probe`.
+    pub fn traverse_link_probed<P: Probe>(
+        &mut self,
+        link: LinkId,
+        now: Cycle,
+        flits: u32,
+        probe: &mut P,
+    ) -> Cycle {
+        let head = self.traverse_link(link, now, flits);
+        let start = head - self.flit_time();
+        probe.link_traverse(
+            link_key(link),
+            start,
+            start + flits as Cycle * self.flit_time(),
+            flits,
+        );
+        head
     }
 
     /// Cycle at which `link` would next be free (no booking).

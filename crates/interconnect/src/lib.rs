@@ -33,6 +33,6 @@ pub mod topology;
 
 pub use crossbar::{Crossbar, Flit};
 pub use flit_net::{Delivery, FlitNetwork};
-pub use hop_model::HopNetwork;
+pub use hop_model::{link_key, HopNetwork};
 pub use routes::{Hop, LinkId, Route};
 pub use topology::{Bmin, SwitchId};

@@ -15,10 +15,9 @@
 
 use crate::topology::{Bmin, SwitchId};
 use dresar_types::NodeId;
-use serde::{Deserialize, Serialize};
 
 /// A directed physical link.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum LinkId {
     /// Processor injection link (forward, proc -> stage 0).
     ProcUp(NodeId),
@@ -50,7 +49,7 @@ pub enum LinkId {
 }
 
 /// A hop-by-hop route through the BMIN.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Route {
     /// Switches traversed, in order. May be empty (switch-originated
     /// message already adjacent to its destination).
@@ -77,10 +76,10 @@ impl Route {
     /// Iterates hops: each link paired with the switch it leads to (`None`
     /// for the endpoint-delivering last link).
     pub fn hops(&self) -> impl Iterator<Item = Hop> + '_ {
-        self.links.iter().enumerate().map(|(i, &link)| Hop {
-            link,
-            switch: self.switches.get(i).copied(),
-        })
+        self.links
+            .iter()
+            .enumerate()
+            .map(|(i, &link)| Hop { link, switch: self.switches.get(i).copied() })
     }
 
     /// Number of switch traversals.
@@ -223,7 +222,6 @@ pub fn from_switch_to_proc_via(bmin: &Bmin, sw: SwitchId, p: NodeId, tiebreak: u
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
 
     fn b16() -> Bmin {
         Bmin::new(16, 4)
@@ -249,8 +247,10 @@ mod tests {
         f_switches.reverse();
         assert_eq!(r.switches, f_switches);
         // Same physical link pair, opposite direction.
-        if let (LinkId::Up { stage, lower, port }, LinkId::Down { stage: s2, lower: l2, port: p2 }) =
-            (f.links[1], r.links[1])
+        if let (
+            LinkId::Up { stage, lower, port },
+            LinkId::Down { stage: s2, lower: l2, port: p2 },
+        ) = (f.links[1], r.links[1])
         {
             assert_eq!((stage, lower, port), (s2, l2, p2));
         } else {
@@ -308,10 +308,7 @@ mod tests {
     fn via_route_matches_direct_when_reachable() {
         let b = b16();
         let sw = b.switch_on_path(6, 9, 1);
-        assert_eq!(
-            from_switch_to_proc_via(&b, sw, 6, 3),
-            from_switch_to_proc(&b, sw, 6).unwrap()
-        );
+        assert_eq!(from_switch_to_proc_via(&b, sw, 6, 3), from_switch_to_proc(&b, sw, 6).unwrap());
     }
 
     #[test]
@@ -329,70 +326,90 @@ mod tests {
         assert_eq!(stages, vec![1, 0]);
     }
 
-    proptest! {
-        /// The via-route always terminates at the target, with consistent
-        /// stage steps, for every (switch, target, tiebreak).
-        #[test]
-        fn prop_via_route_always_routable(
-            o in 0u8..16, h in 0u8..16, target in 0u8..16, tb in 0u64..256
-        ) {
-            for bmin in [Bmin::new(16, 4), Bmin::new(16, 2)] {
-                for sw in bmin.path_switches(o, h) {
-                    let r = from_switch_to_proc_via(&bmin, sw, target, tb);
-                    prop_assert!(r.well_formed());
-                    prop_assert_eq!(*r.links.last().unwrap(), LinkId::ProcDown(target));
-                    for w in r.switches.windows(2) {
-                        prop_assert_eq!((w[0].stage as i16 - w[1].stage as i16).abs(), 1);
-                    }
-                    if let Some(first) = r.switches.first() {
-                        prop_assert_eq!(
-                            (first.stage as i16 - sw.stage as i16).abs(),
-                            1,
-                            "first hop adjacent to origin"
-                        );
+    /// The via-route always terminates at the target, with consistent
+    /// stage steps, for every (switch, target) and sampled tiebreaks.
+    #[test]
+    fn via_route_always_routable() {
+        for bmin in [Bmin::new(16, 4), Bmin::new(16, 2)] {
+            for o in 0u8..16 {
+                for h in 0u8..16 {
+                    for target in 0u8..16 {
+                        for tb in [0u64, 1, 5, 63, 255] {
+                            for sw in bmin.path_switches(o, h) {
+                                let r = from_switch_to_proc_via(&bmin, sw, target, tb);
+                                assert!(r.well_formed(), "o={o} h={h} t={target} tb={tb}");
+                                assert_eq!(*r.links.last().unwrap(), LinkId::ProcDown(target));
+                                for w in r.switches.windows(2) {
+                                    assert_eq!((w[0].stage as i16 - w[1].stage as i16).abs(), 1);
+                                }
+                                if let Some(first) = r.switches.first() {
+                                    assert_eq!(
+                                        (first.stage as i16 - sw.stage as i16).abs(),
+                                        1,
+                                        "first hop adjacent to origin"
+                                    );
+                                }
+                            }
+                        }
                     }
                 }
             }
         }
     }
 
-    proptest! {
-        /// All route constructors produce well-formed routes whose stages
-        /// step by one.
-        #[test]
-        fn prop_routes_well_formed(p in 0u8..16, m in 0u8..16, tb in 0u64..64) {
-            for bmin in [Bmin::new(16, 4), Bmin::new(16, 2)] {
-                for r in [forward(&bmin, p, m), backward(&bmin, m, p), proc_to_proc(&bmin, p, m, tb)] {
-                    prop_assert!(r.well_formed());
-                    for w in r.switches.windows(2) {
-                        let diff = (w[0].stage as i16 - w[1].stage as i16).abs();
-                        prop_assert_eq!(diff, 1);
+    /// All route constructors produce well-formed routes whose stages
+    /// step by one. Exhaustive over endpoint pairs, sampled tiebreaks.
+    #[test]
+    fn routes_well_formed() {
+        for bmin in [Bmin::new(16, 4), Bmin::new(16, 2)] {
+            for p in 0u8..16 {
+                for m in 0u8..16 {
+                    for tb in [0u64, 1, 13, 63] {
+                        for r in [
+                            forward(&bmin, p, m),
+                            backward(&bmin, m, p),
+                            proc_to_proc(&bmin, p, m, tb),
+                        ] {
+                            assert!(r.well_formed(), "p={p} m={m} tb={tb}");
+                            for w in r.switches.windows(2) {
+                                let diff = (w[0].stage as i16 - w[1].stage as i16).abs();
+                                assert_eq!(diff, 1);
+                            }
+                        }
                     }
                 }
             }
         }
+    }
 
-        /// Hops iteration pairs every link with its destination switch and
-        /// ends with the endpoint hop.
-        #[test]
-        fn prop_hops_pairing(p in 0u8..16, m in 0u8..16) {
-            let bmin = Bmin::new(16, 2);
-            let r = forward(&bmin, p, m);
-            let hops: Vec<_> = r.hops().collect();
-            prop_assert_eq!(hops.len(), r.links.len());
-            prop_assert!(hops.last().unwrap().switch.is_none());
-            for h in &hops[..hops.len() - 1] {
-                prop_assert!(h.switch.is_some());
+    /// Hops iteration pairs every link with its destination switch and
+    /// ends with the endpoint hop. Exhaustive over endpoint pairs.
+    #[test]
+    fn hops_pairing() {
+        let bmin = Bmin::new(16, 2);
+        for p in 0u8..16 {
+            for m in 0u8..16 {
+                let r = forward(&bmin, p, m);
+                let hops: Vec<_> = r.hops().collect();
+                assert_eq!(hops.len(), r.links.len());
+                assert!(hops.last().unwrap().switch.is_none());
+                for h in &hops[..hops.len() - 1] {
+                    assert!(h.switch.is_some());
+                }
             }
         }
+    }
 
-        /// Every switch directory message target in the protocol is
-        /// routable: any switch on the owner->home path reaches the owner.
-        #[test]
-        fn prop_switch_messages_routable(o in 0u8..16, h in 0u8..16) {
-            let bmin = Bmin::new(16, 4);
-            for sw in bmin.path_switches(o, h) {
-                prop_assert!(from_switch_to_proc(&bmin, sw, o).is_some());
+    /// Every switch directory message target in the protocol is
+    /// routable: any switch on the owner->home path reaches the owner.
+    #[test]
+    fn switch_messages_routable() {
+        let bmin = Bmin::new(16, 4);
+        for o in 0u8..16 {
+            for h in 0u8..16 {
+                for sw in bmin.path_switches(o, h) {
+                    assert!(from_switch_to_proc(&bmin, sw, o).is_some(), "o={o} h={h}");
+                }
             }
         }
     }

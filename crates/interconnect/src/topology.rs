@@ -30,10 +30,9 @@
 //! toward that home, which cleans it up.
 
 use dresar_types::NodeId;
-use serde::{Deserialize, Serialize};
 
 /// Identity of a switch: its stage and index within the stage.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct SwitchId {
     /// Stage, 0 = adjacent to the processors.
     pub stage: u8,
@@ -42,7 +41,7 @@ pub struct SwitchId {
 }
 
 /// The BMIN topology descriptor. Cheap to copy; all route methods are pure.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Bmin {
     nodes: usize,
     radix: usize,
@@ -201,7 +200,6 @@ impl Bmin {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
 
     #[test]
     fn paper_config_dimensions() {
@@ -296,81 +294,113 @@ mod tests {
         assert!(b.down_path(sw, 3).is_some());
     }
 
-    proptest! {
-        /// The p→m and m→p paths use the same switches (bidirectionality)
-        /// and the path is unique per (p, m).
-        #[test]
-        fn prop_path_symmetric_and_unique(p in 0u8..16, m in 0u8..16) {
-            let b = Bmin::new(16, 2);
-            let fwd = b.path_switches(p, m);
-            // Recompute: determinism = uniqueness under this construction.
-            prop_assert_eq!(&fwd, &b.path_switches(p, m));
-            // A copyback (owner -> home) path equals the write-reply path.
-            prop_assert_eq!(&fwd, &b.path_switches(p, m));
-        }
-
-        /// Placement invariant, part 1: every switch on the owner→home path
-        /// can route a CtoC request down to the owner.
-        #[test]
-        fn prop_entries_can_reach_owner(o in 0u8..64, h in 0u8..64) {
-            let b = Bmin::new(64, 4);
-            for sw in b.path_switches(o, h) {
-                prop_assert!(b.down_path(sw, o).is_some());
+    /// The p→m and m→p paths use the same switches (bidirectionality)
+    /// and the path is unique per (p, m). Exhaustive over all pairs.
+    #[test]
+    fn path_symmetric_and_unique() {
+        let b = Bmin::new(16, 2);
+        for p in 0u8..16 {
+            for m in 0u8..16 {
+                let fwd = b.path_switches(p, m);
+                // Recompute: determinism = uniqueness under this construction.
+                assert_eq!(&fwd, &b.path_switches(p, m));
+                // A copyback (owner -> home) path equals the write-reply path.
+                assert_eq!(&fwd, &b.path_switches(p, m));
             }
         }
+    }
 
-        /// Placement invariant, part 2: the owner's cleanup traffic to the
-        /// home re-traverses every switch that could hold an entry for
-        /// (block homed at h, owner o).
-        #[test]
-        fn prop_cleanup_retraverses_entries(o in 0u8..64, h in 0u8..64) {
-            let b = Bmin::new(64, 4);
-            let reply_path = b.path_switches(o, h); // write reply h->o (same switches)
-            let cleanup_path = b.path_switches(o, h); // copyback/writeback o->h
-            prop_assert_eq!(reply_path, cleanup_path);
-        }
-
-        /// A read from any requester r to home h overlaps the owner-path at
-        /// least at the top stage, so a hot block is always visible to a
-        /// switch directory somewhere.
-        #[test]
-        fn prop_top_stage_always_overlaps(o in 0u8..16, h in 0u8..16, r in 0u8..16) {
-            let b = Bmin::new(16, 4);
-            let owner_path = b.path_switches(o, h);
-            let read_path = b.path_switches(r, h);
-            prop_assert_eq!(owner_path.last(), read_path.last());
-        }
-
-        /// Turnaround switches really reach both endpoints.
-        #[test]
-        fn prop_turnaround_reaches_both(a in 0u8..16, r in 0u8..16, tb in 0u64..1000) {
-            let b = Bmin::new(16, 2);
-            let sw = b.turnaround_switch(a, r, tb);
-            prop_assert!(b.reaches_down(sw, a));
-            prop_assert!(b.reaches_down(sw, r));
-            prop_assert!(b.up_path(a, sw).is_some());
-            prop_assert!(b.down_path(sw, r).is_some());
-            // Minimality: no lower stage reaches both unless equal quads.
-            if sw.stage > 0 {
-                let k = sw.stage as usize;
-                let d = b.radix();
-                prop_assert_ne!((a as usize) / d.pow(k as u32), (r as usize) / d.pow(k as u32));
+    /// Placement invariant, part 1: every switch on the owner→home path
+    /// can route a CtoC request down to the owner. Exhaustive over pairs.
+    #[test]
+    fn entries_can_reach_owner() {
+        let b = Bmin::new(64, 4);
+        for o in 0u8..64 {
+            for h in 0u8..64 {
+                for sw in b.path_switches(o, h) {
+                    assert!(b.down_path(sw, o).is_some(), "o={o} h={h} {sw:?}");
+                }
             }
         }
+    }
 
-        /// up_path / down_path are stage-consistent and adjacent to the
-        /// endpoints.
-        #[test]
-        fn prop_up_down_paths_consistent(a in 0u8..16, m in 0u8..16) {
-            let b = Bmin::new(16, 2);
-            let top = b.switch_on_path(a, m, 3);
-            let up = b.up_path(a, top).unwrap();
-            prop_assert_eq!(up.len(), 3);
-            prop_assert_eq!(up[0].index, (a / 2) as u16);
-            let down = b.down_path(top, a).unwrap();
-            let mut rev = down.clone();
-            rev.reverse();
-            prop_assert_eq!(up, rev);
+    /// Placement invariant, part 2: the owner's cleanup traffic to the
+    /// home re-traverses every switch that could hold an entry for
+    /// (block homed at h, owner o).
+    #[test]
+    fn cleanup_retraverses_entries() {
+        let b = Bmin::new(64, 4);
+        for o in 0u8..64 {
+            for h in 0u8..64 {
+                let reply_path = b.path_switches(o, h); // write reply h->o (same switches)
+                let cleanup_path = b.path_switches(o, h); // copyback/writeback o->h
+                assert_eq!(reply_path, cleanup_path);
+            }
+        }
+    }
+
+    /// A read from any requester r to home h overlaps the owner-path at
+    /// least at the top stage, so a hot block is always visible to a
+    /// switch directory somewhere. Exhaustive over all triples.
+    #[test]
+    fn top_stage_always_overlaps() {
+        let b = Bmin::new(16, 4);
+        for o in 0u8..16 {
+            for h in 0u8..16 {
+                for r in 0u8..16 {
+                    let owner_path = b.path_switches(o, h);
+                    let read_path = b.path_switches(r, h);
+                    assert_eq!(owner_path.last(), read_path.last(), "o={o} h={h} r={r}");
+                }
+            }
+        }
+    }
+
+    /// Turnaround switches really reach both endpoints. Exhaustive over
+    /// endpoint pairs, sampled over tie-break values.
+    #[test]
+    fn turnaround_reaches_both() {
+        let b = Bmin::new(16, 2);
+        for a in 0u8..16 {
+            for r in 0u8..16 {
+                for tb in [0u64, 1, 7, 42, 500, 999] {
+                    let sw = b.turnaround_switch(a, r, tb);
+                    assert!(b.reaches_down(sw, a), "a={a} r={r} tb={tb}");
+                    assert!(b.reaches_down(sw, r), "a={a} r={r} tb={tb}");
+                    assert!(b.up_path(a, sw).is_some());
+                    assert!(b.down_path(sw, r).is_some());
+                    // Minimality: no lower stage reaches both unless equal
+                    // quads.
+                    if sw.stage > 0 {
+                        let k = sw.stage as usize;
+                        let d = b.radix();
+                        assert_ne!(
+                            (a as usize) / d.pow(k as u32),
+                            (r as usize) / d.pow(k as u32),
+                            "a={a} r={r} tb={tb}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    /// up_path / down_path are stage-consistent and adjacent to the
+    /// endpoints. Exhaustive over all pairs.
+    #[test]
+    fn up_down_paths_consistent() {
+        let b = Bmin::new(16, 2);
+        for a in 0u8..16 {
+            for m in 0u8..16 {
+                let top = b.switch_on_path(a, m, 3);
+                let up = b.up_path(a, top).unwrap();
+                assert_eq!(up.len(), 3);
+                assert_eq!(up[0].index, (a / 2) as u16);
+                let down = b.down_path(top, a).unwrap();
+                let mut rev = down.clone();
+                rev.reverse();
+                assert_eq!(up, rev);
+            }
         }
     }
 }

@@ -1,0 +1,512 @@
+//! # dresar-obs
+//!
+//! Observability for the dresar simulators.
+//!
+//! The central abstraction is the [`Probe`] trait: a vocabulary of
+//! message-lifecycle, switch-directory, home-directory and resource events
+//! that the simulators emit from their hot paths. Every method has an empty
+//! `#[inline]` default, and the simulators are generic over `P: Probe`, so a
+//! run instrumented with [`NullProbe`] monomorphizes to exactly the
+//! uninstrumented code — observability is free when it is off.
+//!
+//! Three observers implement `Probe`:
+//!
+//! * [`breakdown::LatencyRecorder`] — decomposes every read miss into
+//!   per-phase cycle counts (L2 detect, retry wait, request network, home
+//!   service, data return) with log2-bucketed latency histograms per
+//!   [`ReadClass`] and per-node / per-switch summaries;
+//! * [`sampler::Sampler`] — cycle-windowed time series of event-queue
+//!   depth, home-controller busy cycles, link busy cycles, switch-directory
+//!   occupancy and eviction/NAK rates;
+//! * [`trace::Tracer`] — a Chrome `about:tracing` / Perfetto compatible
+//!   trace-event JSON stream of message and transaction lifecycles.
+//!
+//! [`ObserverSet`] bundles any subset of the three behind one `Probe`
+//! implementation and is what [`ObserverConfig`] enables from run options.
+
+pub mod breakdown;
+pub mod sampler;
+pub mod trace;
+
+use dresar_stats::ReadClass;
+use dresar_types::msg::Message;
+use dresar_types::{BlockAddr, Cycle, JsonValue, NodeId, ToJson};
+
+pub use breakdown::{LatencyBreakdown, LatencyRecorder, PhaseSums, PHASES};
+pub use sampler::{Sampler, TimeSeries, WindowSample};
+pub use trace::Tracer;
+
+/// Identifies a switch: BMIN position plus the simulator's linear index
+/// (stage-major), which observers use for dense per-switch vectors.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SwitchLoc {
+    /// Stage of the BMIN, 0 = adjacent to the processors.
+    pub stage: u8,
+    /// Index of the switch within its stage.
+    pub index: u16,
+    /// Linear index across all stages (stage-major).
+    pub linear: u16,
+}
+
+/// Opaque identity of a directed network link, packed by the interconnect
+/// (variant tag in the top bits). Stable across runs of the same topology.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct LinkKey(pub u64);
+
+/// Where a read miss was serviced.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ServicePoint {
+    /// The home node's directory/DRAM.
+    Home(NodeId),
+    /// A switch directory sank the read (SD hit or accumulated wait).
+    Switch(SwitchLoc),
+}
+
+/// Outcome of one switch-directory snoop, as observed on the hot path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SdProbeEvent {
+    /// A passing `WriteReply` installed (or refreshed) a MODIFIED entry.
+    Insert,
+    /// An install was refused (all ways pinned TRANSIENT).
+    InsertBlocked,
+    /// A valid MODIFIED entry was evicted to make room.
+    Evict,
+    /// A read hit a MODIFIED entry: sunk, CtoC request generated.
+    ReadHit {
+        /// Recorded owner the CtoC is routed to.
+        owner: NodeId,
+        /// The reader being served.
+        requester: NodeId,
+    },
+    /// A read hit a TRANSIENT entry and was NAK'd.
+    TransientNak {
+        /// The NAK'd reader.
+        requester: NodeId,
+    },
+    /// A read hit a TRANSIENT entry and was queued in the bit vector
+    /// (Accumulate policy).
+    ReaderAccumulated {
+        /// The accumulated reader.
+        requester: NodeId,
+    },
+    /// A write/CtoC/writeback invalidated an entry.
+    Invalidate,
+    /// A write or foreign CtoC was NAK'd on a TRANSIENT entry.
+    WriteNak {
+        /// The NAK'd requester.
+        requester: NodeId,
+    },
+    /// A copyback was marked with served-sharer pids.
+    CopybackMarked {
+        /// Number of pids carried.
+        served: u32,
+    },
+    /// A writeback's data answered waiting readers.
+    WritebackServed {
+        /// Number of readers served.
+        served: u32,
+    },
+}
+
+impl SdProbeEvent {
+    /// Short stable label (used by the tracer).
+    pub fn label(&self) -> &'static str {
+        match self {
+            SdProbeEvent::Insert => "sd_insert",
+            SdProbeEvent::InsertBlocked => "sd_insert_blocked",
+            SdProbeEvent::Evict => "sd_evict",
+            SdProbeEvent::ReadHit { .. } => "sd_read_hit",
+            SdProbeEvent::TransientNak { .. } => "sd_transient_nak",
+            SdProbeEvent::ReaderAccumulated { .. } => "sd_reader_accumulated",
+            SdProbeEvent::Invalidate => "sd_invalidate",
+            SdProbeEvent::WriteNak { .. } => "sd_write_nak",
+            SdProbeEvent::CopybackMarked { .. } => "sd_copyback_marked",
+            SdProbeEvent::WritebackServed { .. } => "sd_writeback_served",
+        }
+    }
+}
+
+/// Stable-state kind of a home-directory block (the full state carries a
+/// sharer vector / owner; observers only need the discriminant).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DirStateKind {
+    /// Memory is the only copy.
+    Uncached,
+    /// Read-only copies exist.
+    Shared,
+    /// One cache holds the block dirty.
+    Modified,
+}
+
+impl DirStateKind {
+    /// Stable label.
+    pub fn label(&self) -> &'static str {
+        match self {
+            DirStateKind::Uncached => "U",
+            DirStateKind::Shared => "S",
+            DirStateKind::Modified => "M",
+        }
+    }
+}
+
+/// Kind of request driving a home-directory FSM transition.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HomeReq {
+    /// `ReadRequest`.
+    Read,
+    /// `WriteRequest`.
+    Write,
+    /// `InvalAck`.
+    InvalAck,
+    /// `CopyBack`.
+    CopyBack,
+    /// `WriteBack`.
+    WriteBack,
+}
+
+impl HomeReq {
+    /// Stable label.
+    pub fn label(&self) -> &'static str {
+        match self {
+            HomeReq::Read => "read",
+            HomeReq::Write => "write",
+            HomeReq::InvalAck => "inval_ack",
+            HomeReq::CopyBack => "copyback",
+            HomeReq::WriteBack => "writeback",
+        }
+    }
+}
+
+/// One observed home-directory FSM transition.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HomeTransition {
+    /// The request kind driving the transition.
+    pub req: HomeReq,
+    /// Stable state before.
+    pub from: DirStateKind,
+    /// Whether a transaction was in flight before.
+    pub from_busy: bool,
+    /// Stable state after.
+    pub to: DirStateKind,
+    /// Whether a transaction is in flight after.
+    pub to_busy: bool,
+    /// The request was NAK'd.
+    pub nak: bool,
+    /// The request was parked in the pending queue.
+    pub queued: bool,
+}
+
+/// The event vocabulary the simulators emit. Every method defaults to a
+/// no-op; [`NullProbe`] relies on that to vanish entirely after inlining.
+#[allow(unused_variables)]
+pub trait Probe {
+    /// One simulation event popped at time `t` with `queue_depth` events
+    /// still pending.
+    #[inline]
+    fn tick(&mut self, t: Cycle, queue_depth: usize) {}
+
+    /// A message was injected into the network.
+    #[inline]
+    fn msg_send(&mut self, t: Cycle, msg: &Message) {}
+
+    /// A message header reached a switch (before the snoop).
+    #[inline]
+    fn msg_hop(&mut self, t: Cycle, msg: &Message, sw: SwitchLoc) {}
+
+    /// A switch directory consumed the message.
+    #[inline]
+    fn msg_sink(&mut self, t: Cycle, msg: &Message, sw: SwitchLoc) {}
+
+    /// A message was delivered at its endpoint (tail fully arrived).
+    #[inline]
+    fn msg_deliver(&mut self, t: Cycle, msg: &Message) {}
+
+    /// A switch-directory snoop produced a notable outcome.
+    #[inline]
+    fn sd_event(&mut self, t: Cycle, sw: SwitchLoc, block: BlockAddr, ev: SdProbeEvent) {}
+
+    /// Switch-directory load after a snoop: valid entries and TRANSIENT
+    /// (pending-buffer) entries.
+    #[inline]
+    fn sd_occupancy(&mut self, t: Cycle, sw: SwitchLoc, valid: usize, transient: usize) {}
+
+    /// A home-directory FSM transition executed.
+    #[inline]
+    fn home_fsm(&mut self, t: Cycle, home: NodeId, block: BlockAddr, tr: HomeTransition) {}
+
+    /// The home controller + DRAM processed a message: arrival at `arrive`,
+    /// controller acquired at `start`, finished at `done`.
+    #[inline]
+    fn home_service(
+        &mut self,
+        home: NodeId,
+        block: BlockAddr,
+        arrive: Cycle,
+        start: Cycle,
+        done: Cycle,
+    ) {
+    }
+
+    /// A processor received a NAK for its outstanding transaction.
+    #[inline]
+    fn nak_received(&mut self, t: Cycle, node: NodeId, block: BlockAddr) {}
+
+    /// A directed link was booked from `start` to `end` for `flits` flits.
+    #[inline]
+    fn link_traverse(&mut self, link: LinkKey, start: Cycle, end: Cycle, flits: u32) {}
+
+    /// A read miss left the processor: stall began at `t0`, the request
+    /// enters the network at `inject` (after L2 miss detection).
+    #[inline]
+    fn read_issue(&mut self, node: NodeId, block: BlockAddr, t0: Cycle, inject: Cycle) {}
+
+    /// A NAK'd read re-issued at `t`.
+    #[inline]
+    fn read_retry(&mut self, node: NodeId, block: BlockAddr, t: Cycle) {}
+
+    /// The read reached its service point (home arrival or SD sink).
+    #[inline]
+    fn read_service_arrive(&mut self, node: NodeId, block: BlockAddr, at: ServicePoint, t: Cycle) {}
+
+    /// The service point finished and the reply/intervention departed.
+    #[inline]
+    fn read_service_done(&mut self, node: NodeId, block: BlockAddr, t: Cycle) {}
+
+    /// The read miss completed with `latency` cycles issue-to-data.
+    #[inline]
+    fn read_complete(
+        &mut self,
+        node: NodeId,
+        block: BlockAddr,
+        class: ReadClass,
+        latency: Cycle,
+        t: Cycle,
+    ) {
+    }
+}
+
+/// The do-nothing probe: instrumented code monomorphized with this is
+/// identical to uninstrumented code.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NullProbe;
+
+impl Probe for NullProbe {}
+
+/// Which observers to enable for a run. `Default` is everything off.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ObserverConfig {
+    /// Record per-phase read-miss latency breakdowns.
+    pub latency_breakdown: bool,
+    /// Collect a time series with this window size in cycles.
+    pub timeseries_window: Option<Cycle>,
+    /// Emit a Chrome trace-event JSON stream.
+    pub trace: bool,
+}
+
+impl ObserverConfig {
+    /// Whether any observer is on.
+    pub fn enabled(&self) -> bool {
+        self.latency_breakdown || self.timeseries_window.is_some() || self.trace
+    }
+
+    /// Everything on, with the given sampling window.
+    pub fn all(window: Cycle) -> Self {
+        ObserverConfig { latency_breakdown: true, timeseries_window: Some(window), trace: true }
+    }
+}
+
+/// Static shape of the machine, needed to size per-node / per-switch
+/// observer state.
+#[derive(Debug, Clone, Copy)]
+pub struct MachineShape {
+    /// Number of nodes.
+    pub nodes: usize,
+    /// Total number of switches across all stages.
+    pub switches: usize,
+}
+
+/// What the observers produced, attached to the execution report.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ObsReport {
+    /// Per-phase read-latency breakdown, if recorded.
+    pub breakdown: Option<LatencyBreakdown>,
+    /// Cycle-windowed time series, if sampled.
+    pub timeseries: Option<TimeSeries>,
+    /// Chrome trace-event JSON document, if traced.
+    pub trace: Option<String>,
+}
+
+impl ToJson for ObsReport {
+    fn to_json(&self) -> JsonValue {
+        let mut b = JsonValue::obj();
+        if let Some(bd) = &self.breakdown {
+            b = b.field("breakdown", bd.to_json());
+        }
+        if let Some(ts) = &self.timeseries {
+            b = b.field("timeseries", ts.to_json());
+        }
+        if let Some(tr) = &self.trace {
+            b = b.field("trace_events", JsonValue::Str(tr.clone()));
+        }
+        b.build()
+    }
+}
+
+/// Bundles the enabled observers behind a single [`Probe`] implementation.
+#[derive(Debug)]
+pub struct ObserverSet {
+    recorder: Option<LatencyRecorder>,
+    sampler: Option<Sampler>,
+    tracer: Option<Tracer>,
+}
+
+impl ObserverSet {
+    /// Builds the observers `cfg` enables for a machine of `shape`.
+    pub fn new(cfg: ObserverConfig, shape: MachineShape) -> Self {
+        ObserverSet {
+            recorder: cfg.latency_breakdown.then(|| LatencyRecorder::new(shape)),
+            sampler: cfg.timeseries_window.map(Sampler::new),
+            tracer: cfg.trace.then(Tracer::new),
+        }
+    }
+
+    /// Finalizes all observers into the report payload.
+    pub fn finish(self) -> ObsReport {
+        ObsReport {
+            breakdown: self.recorder.map(LatencyRecorder::finish),
+            timeseries: self.sampler.map(Sampler::finish),
+            trace: self.tracer.map(Tracer::finish),
+        }
+    }
+}
+
+macro_rules! fan_out {
+    ($self:ident, $m:ident ( $($a:expr),* )) => {
+        if let Some(r) = $self.recorder.as_mut() {
+            r.$m($($a),*);
+        }
+        if let Some(s) = $self.sampler.as_mut() {
+            s.$m($($a),*);
+        }
+        if let Some(t) = $self.tracer.as_mut() {
+            t.$m($($a),*);
+        }
+    };
+}
+
+impl Probe for ObserverSet {
+    fn tick(&mut self, t: Cycle, queue_depth: usize) {
+        fan_out!(self, tick(t, queue_depth));
+    }
+    fn msg_send(&mut self, t: Cycle, msg: &Message) {
+        fan_out!(self, msg_send(t, msg));
+    }
+    fn msg_hop(&mut self, t: Cycle, msg: &Message, sw: SwitchLoc) {
+        fan_out!(self, msg_hop(t, msg, sw));
+    }
+    fn msg_sink(&mut self, t: Cycle, msg: &Message, sw: SwitchLoc) {
+        fan_out!(self, msg_sink(t, msg, sw));
+    }
+    fn msg_deliver(&mut self, t: Cycle, msg: &Message) {
+        fan_out!(self, msg_deliver(t, msg));
+    }
+    fn sd_event(&mut self, t: Cycle, sw: SwitchLoc, block: BlockAddr, ev: SdProbeEvent) {
+        fan_out!(self, sd_event(t, sw, block, ev));
+    }
+    fn sd_occupancy(&mut self, t: Cycle, sw: SwitchLoc, valid: usize, transient: usize) {
+        fan_out!(self, sd_occupancy(t, sw, valid, transient));
+    }
+    fn home_fsm(&mut self, t: Cycle, home: NodeId, block: BlockAddr, tr: HomeTransition) {
+        fan_out!(self, home_fsm(t, home, block, tr));
+    }
+    fn home_service(
+        &mut self,
+        home: NodeId,
+        block: BlockAddr,
+        arrive: Cycle,
+        start: Cycle,
+        done: Cycle,
+    ) {
+        fan_out!(self, home_service(home, block, arrive, start, done));
+    }
+    fn nak_received(&mut self, t: Cycle, node: NodeId, block: BlockAddr) {
+        fan_out!(self, nak_received(t, node, block));
+    }
+    fn link_traverse(&mut self, link: LinkKey, start: Cycle, end: Cycle, flits: u32) {
+        fan_out!(self, link_traverse(link, start, end, flits));
+    }
+    fn read_issue(&mut self, node: NodeId, block: BlockAddr, t0: Cycle, inject: Cycle) {
+        fan_out!(self, read_issue(node, block, t0, inject));
+    }
+    fn read_retry(&mut self, node: NodeId, block: BlockAddr, t: Cycle) {
+        fan_out!(self, read_retry(node, block, t));
+    }
+    fn read_service_arrive(&mut self, node: NodeId, block: BlockAddr, at: ServicePoint, t: Cycle) {
+        fan_out!(self, read_service_arrive(node, block, at, t));
+    }
+    fn read_service_done(&mut self, node: NodeId, block: BlockAddr, t: Cycle) {
+        fan_out!(self, read_service_done(node, block, t));
+    }
+    fn read_complete(
+        &mut self,
+        node: NodeId,
+        block: BlockAddr,
+        class: ReadClass,
+        latency: Cycle,
+        t: Cycle,
+    ) {
+        fan_out!(self, read_complete(node, block, class, latency, t));
+    }
+}
+
+/// Index of a [`ReadClass`] into per-class arrays (stable order:
+/// clean, home CtoC, switch CtoC).
+pub fn class_index(class: ReadClass) -> usize {
+    match class {
+        ReadClass::CleanMemory => 0,
+        ReadClass::DirtyCtoCHome => 1,
+        ReadClass::DirtyCtoCSwitch => 2,
+    }
+}
+
+/// Stable labels matching [`class_index`].
+pub const CLASS_LABELS: [&str; 3] = ["clean_memory", "dirty_ctoc_home", "dirty_ctoc_switch"];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn null_probe_is_zero_sized() {
+        assert_eq!(std::mem::size_of::<NullProbe>(), 0);
+    }
+
+    #[test]
+    fn observer_config_enabled_logic() {
+        assert!(!ObserverConfig::default().enabled());
+        assert!(ObserverConfig { latency_breakdown: true, ..Default::default() }.enabled());
+        assert!(ObserverConfig { timeseries_window: Some(64), ..Default::default() }.enabled());
+        assert!(ObserverConfig { trace: true, ..Default::default() }.enabled());
+        assert!(ObserverConfig::all(128).enabled());
+    }
+
+    #[test]
+    fn observer_set_builds_only_requested_observers() {
+        let shape = MachineShape { nodes: 4, switches: 4 };
+        let set = ObserverSet::new(
+            ObserverConfig { latency_breakdown: true, ..Default::default() },
+            shape,
+        );
+        let report = set.finish();
+        assert!(report.breakdown.is_some());
+        assert!(report.timeseries.is_none());
+        assert!(report.trace.is_none());
+    }
+
+    #[test]
+    fn class_indices_cover_all_classes() {
+        assert_eq!(class_index(ReadClass::CleanMemory), 0);
+        assert_eq!(class_index(ReadClass::DirtyCtoCHome), 1);
+        assert_eq!(class_index(ReadClass::DirtyCtoCSwitch), 2);
+    }
+}

@@ -1,0 +1,219 @@
+//! Cycle-windowed time-series sampling.
+//!
+//! The sampler buckets observed activity into fixed-width cycle windows:
+//! event counts and peak event-queue depth from the simulation loop, busy
+//! cycles of home controllers and network links (intervals are split across
+//! the windows they span), switch-directory occupancy peaks, evictions and
+//! NAK/retry rates. The result is a compact per-window table suitable for
+//! plotting utilization over time.
+
+use crate::{LinkKey, Probe, SdProbeEvent, SwitchLoc};
+use dresar_stats::ReadClass;
+use dresar_types::msg::Message;
+use dresar_types::{BlockAddr, Cycle, JsonValue, NodeId, ToJson};
+
+/// One window's accumulated activity.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct WindowSample {
+    /// Simulation events processed in the window.
+    pub events: u64,
+    /// Peak pending-event-queue depth observed.
+    pub peak_queue_depth: u64,
+    /// Messages injected into the network.
+    pub msgs_sent: u64,
+    /// Busy cycles of home controllers + DRAM attributed to this window.
+    pub home_busy: u64,
+    /// Busy cycles of network links attributed to this window.
+    pub link_busy: u64,
+    /// Peak switch-directory occupancy (valid entries, max over switches).
+    pub sd_peak_occupancy: u64,
+    /// Peak TRANSIENT (pending-buffer) entries, max over switches.
+    pub sd_peak_transients: u64,
+    /// Switch-directory entries evicted.
+    pub sd_evictions: u64,
+    /// NAKs received by processors.
+    pub naks: u64,
+    /// Read misses completed.
+    pub reads_completed: u64,
+}
+
+impl ToJson for WindowSample {
+    fn to_json(&self) -> JsonValue {
+        JsonValue::obj()
+            .field("events", self.events)
+            .field("peak_queue_depth", self.peak_queue_depth)
+            .field("msgs_sent", self.msgs_sent)
+            .field("home_busy", self.home_busy)
+            .field("link_busy", self.link_busy)
+            .field("sd_peak_occupancy", self.sd_peak_occupancy)
+            .field("sd_peak_transients", self.sd_peak_transients)
+            .field("sd_evictions", self.sd_evictions)
+            .field("naks", self.naks)
+            .field("reads_completed", self.reads_completed)
+            .build()
+    }
+}
+
+/// The finished time series.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct TimeSeries {
+    /// Window width in cycles.
+    pub window: Cycle,
+    /// One sample per window, window `i` covering
+    /// `[i * window, (i+1) * window)`.
+    pub windows: Vec<WindowSample>,
+}
+
+impl ToJson for TimeSeries {
+    fn to_json(&self) -> JsonValue {
+        JsonValue::obj()
+            .field("window_cycles", self.window)
+            .field("windows", self.windows.to_vec())
+            .build()
+    }
+}
+
+/// The live sampler.
+#[derive(Debug)]
+pub struct Sampler {
+    window: Cycle,
+    windows: Vec<WindowSample>,
+}
+
+impl Sampler {
+    /// Creates a sampler with the given window width (clamped to >= 1).
+    pub fn new(window: Cycle) -> Self {
+        Sampler { window: window.max(1), windows: Vec::new() }
+    }
+
+    fn at(&mut self, t: Cycle) -> &mut WindowSample {
+        let i = (t / self.window) as usize;
+        if i >= self.windows.len() {
+            self.windows.resize(i + 1, WindowSample::default());
+        }
+        &mut self.windows[i]
+    }
+
+    /// Splits a busy interval `[start, end)` across the windows it spans,
+    /// adding the per-window share through `add`.
+    fn spread(&mut self, start: Cycle, end: Cycle, add: impl Fn(&mut WindowSample, u64)) {
+        if end <= start {
+            return;
+        }
+        let w = self.window;
+        let mut cur = start;
+        while cur < end {
+            let boundary = ((cur / w) + 1) * w;
+            let stop = boundary.min(end);
+            add(self.at(cur), stop - cur);
+            cur = stop;
+        }
+    }
+
+    /// Finalizes into the report payload.
+    pub fn finish(self) -> TimeSeries {
+        TimeSeries { window: self.window, windows: self.windows }
+    }
+}
+
+impl Probe for Sampler {
+    fn tick(&mut self, t: Cycle, queue_depth: usize) {
+        let s = self.at(t);
+        s.events += 1;
+        s.peak_queue_depth = s.peak_queue_depth.max(queue_depth as u64);
+    }
+
+    fn msg_send(&mut self, t: Cycle, _msg: &Message) {
+        self.at(t).msgs_sent += 1;
+    }
+
+    fn home_service(
+        &mut self,
+        _home: NodeId,
+        _block: BlockAddr,
+        _arrive: Cycle,
+        start: Cycle,
+        done: Cycle,
+    ) {
+        self.spread(start, done, |s, d| s.home_busy += d);
+    }
+
+    fn link_traverse(&mut self, _link: LinkKey, start: Cycle, end: Cycle, _flits: u32) {
+        self.spread(start, end, |s, d| s.link_busy += d);
+    }
+
+    fn sd_event(&mut self, t: Cycle, _sw: SwitchLoc, _block: BlockAddr, ev: SdProbeEvent) {
+        if ev == SdProbeEvent::Evict {
+            self.at(t).sd_evictions += 1;
+        }
+    }
+
+    fn sd_occupancy(&mut self, t: Cycle, _sw: SwitchLoc, valid: usize, transient: usize) {
+        let s = self.at(t);
+        s.sd_peak_occupancy = s.sd_peak_occupancy.max(valid as u64);
+        s.sd_peak_transients = s.sd_peak_transients.max(transient as u64);
+    }
+
+    fn nak_received(&mut self, t: Cycle, _node: NodeId, _block: BlockAddr) {
+        self.at(t).naks += 1;
+    }
+
+    fn read_complete(
+        &mut self,
+        _node: NodeId,
+        _block: BlockAddr,
+        _class: ReadClass,
+        _latency: Cycle,
+        t: Cycle,
+    ) {
+        self.at(t).reads_completed += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ticks_land_in_their_windows() {
+        let mut s = Sampler::new(100);
+        s.tick(5, 3);
+        s.tick(50, 9);
+        s.tick(250, 1);
+        let ts = s.finish();
+        assert_eq!(ts.windows.len(), 3);
+        assert_eq!(ts.windows[0].events, 2);
+        assert_eq!(ts.windows[0].peak_queue_depth, 9);
+        assert_eq!(ts.windows[1].events, 0);
+        assert_eq!(ts.windows[2].events, 1);
+    }
+
+    #[test]
+    fn busy_intervals_split_across_window_boundaries() {
+        let mut s = Sampler::new(100);
+        // 80..230 spans three windows: 20 + 100 + 30.
+        s.link_traverse(LinkKey(1), 80, 230, 4);
+        let ts = s.finish();
+        assert_eq!(ts.windows[0].link_busy, 20);
+        assert_eq!(ts.windows[1].link_busy, 100);
+        assert_eq!(ts.windows[2].link_busy, 30);
+    }
+
+    #[test]
+    fn occupancy_tracks_peaks_not_sums() {
+        let mut s = Sampler::new(100);
+        let sw = SwitchLoc::default();
+        s.sd_occupancy(10, sw, 5, 2);
+        s.sd_occupancy(20, sw, 3, 4);
+        let ts = s.finish();
+        assert_eq!(ts.windows[0].sd_peak_occupancy, 5);
+        assert_eq!(ts.windows[0].sd_peak_transients, 4);
+    }
+
+    #[test]
+    fn zero_window_is_clamped() {
+        let mut s = Sampler::new(0);
+        s.tick(7, 0);
+        assert_eq!(s.finish().window, 1);
+    }
+}

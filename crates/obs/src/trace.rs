@@ -1,0 +1,268 @@
+//! Chrome trace-event (`about:tracing` / Perfetto) JSON tracer.
+//!
+//! Emits the JSON-array flavour of the trace-event format: one event object
+//! per line, loadable directly into `chrome://tracing` or
+//! [ui.perfetto.dev](https://ui.perfetto.dev). Processors are pid 0 (one
+//! thread per node), home directories pid 1, switches pid 2. Read misses
+//! appear as async spans (`ph: "b"`/`"e"`) keyed by a per-transaction id;
+//! message sends/sinks/deliveries, switch-directory outcomes, home FSM
+//! transitions and NAKs are instant events; home service occupancy is a
+//! complete (`ph: "X"`) slice.
+//!
+//! Timestamps are simulation cycles written as integer `ts` values. The
+//! output is fully deterministic: two identical runs produce byte-identical
+//! documents (asserted by the tier-1 observability tests).
+
+use crate::class_index;
+use crate::{HomeTransition, Probe, SdProbeEvent, ServicePoint, SwitchLoc, CLASS_LABELS};
+use dresar_stats::ReadClass;
+use dresar_types::msg::{Endpoint, Message};
+use dresar_types::{BlockAddr, Cycle, NodeId};
+use std::collections::HashMap;
+
+const PID_PROC: u32 = 0;
+const PID_HOME: u32 = 1;
+const PID_SWITCH: u32 = 2;
+
+fn endpoint_pid_tid(ep: Endpoint) -> (u32, u64) {
+    match ep {
+        Endpoint::Proc(p) => (PID_PROC, p as u64),
+        Endpoint::Mem(h) => (PID_HOME, h as u64),
+        Endpoint::Switch { stage, index } => (PID_SWITCH, stage as u64 * 256 + index as u64),
+    }
+}
+
+/// The live tracer.
+#[derive(Debug, Default)]
+pub struct Tracer {
+    events: Vec<String>,
+    open_reads: HashMap<(NodeId, u64), u64>,
+    next_span: u64,
+}
+
+impl Tracer {
+    /// Creates a tracer with the process-name metadata pre-recorded.
+    pub fn new() -> Self {
+        let mut t = Tracer::default();
+        for (pid, name) in
+            [(PID_PROC, "processors"), (PID_HOME, "home directories"), (PID_SWITCH, "switches")]
+        {
+            t.events.push(format!(
+                "{{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":{pid},\"tid\":0,\"args\":{{\"name\":\"{name}\"}}}}"
+            ));
+        }
+        t
+    }
+
+    fn instant(&mut self, name: &str, pid: u32, tid: u64, ts: Cycle, args: String) {
+        self.events.push(format!(
+            "{{\"name\":\"{name}\",\"ph\":\"i\",\"s\":\"t\",\"pid\":{pid},\"tid\":{tid},\"ts\":{ts},\"args\":{{{args}}}}}"
+        ));
+    }
+
+    /// Finalizes into one JSON document (an array, one event per line).
+    pub fn finish(self) -> String {
+        let mut out = String::from("[\n");
+        out.push_str(&self.events.join(",\n"));
+        out.push_str("\n]\n");
+        out
+    }
+}
+
+impl Probe for Tracer {
+    fn msg_send(&mut self, t: Cycle, msg: &Message) {
+        let (pid, tid) = endpoint_pid_tid(msg.src);
+        self.instant(
+            &format!("send:{:?}", msg.kind),
+            pid,
+            tid,
+            t,
+            format!("\"block\":{},\"msg\":{},\"req\":{}", msg.block.0, msg.id, msg.requester),
+        );
+    }
+
+    fn msg_sink(&mut self, t: Cycle, msg: &Message, sw: SwitchLoc) {
+        self.instant(
+            &format!("sink:{:?}", msg.kind),
+            PID_SWITCH,
+            sw.linear as u64,
+            t,
+            format!("\"block\":{},\"msg\":{}", msg.block.0, msg.id),
+        );
+    }
+
+    fn msg_deliver(&mut self, t: Cycle, msg: &Message) {
+        let (pid, tid) = endpoint_pid_tid(msg.dst);
+        self.instant(
+            &format!("deliver:{:?}", msg.kind),
+            pid,
+            tid,
+            t,
+            format!("\"block\":{},\"msg\":{}", msg.block.0, msg.id),
+        );
+    }
+
+    fn sd_event(&mut self, t: Cycle, sw: SwitchLoc, block: BlockAddr, ev: SdProbeEvent) {
+        self.instant(ev.label(), PID_SWITCH, sw.linear as u64, t, format!("\"block\":{}", block.0));
+    }
+
+    fn home_fsm(&mut self, t: Cycle, home: NodeId, block: BlockAddr, tr: HomeTransition) {
+        self.instant(
+            &format!("fsm:{}", tr.req.label()),
+            PID_HOME,
+            home as u64,
+            t,
+            format!(
+                "\"block\":{},\"from\":\"{}{}\",\"to\":\"{}{}\",\"nak\":{},\"queued\":{}",
+                block.0,
+                tr.from.label(),
+                if tr.from_busy { "*" } else { "" },
+                tr.to.label(),
+                if tr.to_busy { "*" } else { "" },
+                tr.nak,
+                tr.queued
+            ),
+        );
+    }
+
+    fn home_service(
+        &mut self,
+        home: NodeId,
+        block: BlockAddr,
+        _arrive: Cycle,
+        start: Cycle,
+        done: Cycle,
+    ) {
+        let dur = done.saturating_sub(start);
+        self.events.push(format!(
+            "{{\"name\":\"home_service\",\"ph\":\"X\",\"pid\":{PID_HOME},\"tid\":{home},\"ts\":{start},\"dur\":{dur},\"args\":{{\"block\":{}}}}}",
+            block.0
+        ));
+    }
+
+    fn nak_received(&mut self, t: Cycle, node: NodeId, block: BlockAddr) {
+        self.instant("nak", PID_PROC, node as u64, t, format!("\"block\":{}", block.0));
+    }
+
+    fn read_issue(&mut self, node: NodeId, block: BlockAddr, t0: Cycle, _inject: Cycle) {
+        self.next_span += 1;
+        let id = self.next_span;
+        self.open_reads.insert((node, block.0), id);
+        self.events.push(format!(
+            "{{\"name\":\"read_miss\",\"cat\":\"read\",\"ph\":\"b\",\"id\":{id},\"pid\":{PID_PROC},\"tid\":{node},\"ts\":{t0},\"args\":{{\"block\":{}}}}}",
+            block.0
+        ));
+    }
+
+    fn read_retry(&mut self, node: NodeId, block: BlockAddr, t: Cycle) {
+        self.instant("read_retry", PID_PROC, node as u64, t, format!("\"block\":{}", block.0));
+    }
+
+    fn read_service_arrive(&mut self, node: NodeId, block: BlockAddr, at: ServicePoint, t: Cycle) {
+        let (where_, tid) = match at {
+            ServicePoint::Home(h) => ("home", h as u64),
+            ServicePoint::Switch(sw) => ("switch", sw.linear as u64),
+        };
+        let pid = if matches!(at, ServicePoint::Home(_)) { PID_HOME } else { PID_SWITCH };
+        self.instant(
+            "read_service",
+            pid,
+            tid,
+            t,
+            format!("\"block\":{},\"node\":{node},\"at\":\"{where_}\"", block.0),
+        );
+    }
+
+    fn read_complete(
+        &mut self,
+        node: NodeId,
+        block: BlockAddr,
+        class: ReadClass,
+        latency: Cycle,
+        t: Cycle,
+    ) {
+        let Some(id) = self.open_reads.remove(&(node, block.0)) else {
+            return;
+        };
+        self.events.push(format!(
+            "{{\"name\":\"read_miss\",\"cat\":\"read\",\"ph\":\"e\",\"id\":{id},\"pid\":{PID_PROC},\"tid\":{node},\"ts\":{t},\"args\":{{\"block\":{},\"class\":\"{}\",\"latency\":{latency}}}}}",
+            block.0,
+            CLASS_LABELS[class_index(class)]
+        ));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dresar_types::JsonValue;
+
+    #[test]
+    fn trace_is_valid_json_with_required_keys() {
+        let mut t = Tracer::new();
+        t.read_issue(1, BlockAddr(5), 10, 15);
+        t.read_service_arrive(1, BlockAddr(5), ServicePoint::Home(0), 40);
+        t.home_service(0, BlockAddr(5), 40, 42, 90);
+        t.read_complete(1, BlockAddr(5), ReadClass::CleanMemory, 100, 110);
+        let doc = t.finish();
+        let parsed = JsonValue::parse(&doc).expect("trace parses as JSON");
+        let events = parsed.as_arr().expect("array form");
+        assert!(events.len() >= 6, "metadata + 4 events");
+        for e in events {
+            assert!(e.get("name").is_some(), "every event has a name");
+            assert!(e.get("ph").is_some(), "every event has a phase");
+            assert!(e.get("pid").is_some(), "every event has a pid");
+        }
+    }
+
+    #[test]
+    fn async_span_ids_pair_up() {
+        let mut t = Tracer::new();
+        t.read_issue(2, BlockAddr(9), 0, 5);
+        t.read_complete(2, BlockAddr(9), ReadClass::DirtyCtoCSwitch, 50, 50);
+        let doc = t.finish();
+        let parsed = JsonValue::parse(&doc).unwrap();
+        let events = parsed.as_arr().unwrap();
+        let begin = events.iter().find(|e| e.get("ph").and_then(JsonValue::as_str) == Some("b"));
+        let end = events.iter().find(|e| e.get("ph").and_then(JsonValue::as_str) == Some("e"));
+        let (b, e) = (begin.expect("begin"), end.expect("end"));
+        assert_eq!(
+            b.get("id").and_then(JsonValue::as_u64),
+            e.get("id").and_then(JsonValue::as_u64)
+        );
+        assert_eq!(
+            e.get("args").and_then(|a| a.get("class")).and_then(JsonValue::as_str),
+            Some("dirty_ctoc_switch")
+        );
+    }
+
+    #[test]
+    fn identical_event_streams_are_byte_identical() {
+        let run = || {
+            let mut t = Tracer::new();
+            t.msg_send(
+                3,
+                &Message::new(
+                    1,
+                    dresar_types::msg::MsgType::ReadRequest,
+                    BlockAddr(2),
+                    Endpoint::Proc(0),
+                    Endpoint::Mem(1),
+                    0,
+                    3,
+                ),
+            );
+            t.nak_received(9, 0, BlockAddr(2));
+            t.finish()
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn complete_without_issue_is_ignored() {
+        let mut t = Tracer::new();
+        t.read_complete(0, BlockAddr(1), ReadClass::CleanMemory, 10, 10);
+        let doc = t.finish();
+        assert!(!doc.contains("\"ph\":\"e\""));
+    }
+}

@@ -18,4 +18,4 @@ pub mod report;
 
 pub use blocks::BlockHistogram;
 pub use reads::{ReadClass, ReadStats};
-pub use report::{percent_reduction, FigureTable};
+pub use report::{percent_of, percent_reduction, FigureTable};

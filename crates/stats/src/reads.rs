@@ -1,9 +1,9 @@
 //! Read-miss classification and latency accounting.
 
-use serde::{Deserialize, Serialize};
+use dresar_types::{FromJson, JsonError, JsonValue, ToJson};
 
 /// How a read miss was ultimately serviced.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum ReadClass {
     /// Data came clean from the home memory.
     CleanMemory,
@@ -16,7 +16,7 @@ pub enum ReadClass {
 }
 
 /// Accumulated read statistics for one simulation run.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
 pub struct ReadStats {
     /// Reads serviced clean from memory.
     pub clean: u64,
@@ -83,6 +83,32 @@ impl ReadStats {
     }
 }
 
+impl ToJson for ReadStats {
+    fn to_json(&self) -> JsonValue {
+        JsonValue::obj()
+            .field("clean", self.clean)
+            .field("ctoc_home", self.ctoc_home)
+            .field("ctoc_switch", self.ctoc_switch)
+            .field("latency_cycles", self.latency_cycles)
+            .field("stall_cycles", self.stall_cycles)
+            .field("retries", self.retries)
+            .build()
+    }
+}
+
+impl FromJson for ReadStats {
+    fn from_json(v: &JsonValue) -> Result<Self, JsonError> {
+        Ok(ReadStats {
+            clean: JsonError::want_u64(v, "clean")?,
+            ctoc_home: JsonError::want_u64(v, "ctoc_home")?,
+            ctoc_switch: JsonError::want_u64(v, "ctoc_switch")?,
+            latency_cycles: JsonError::want_u64(v, "latency_cycles")?,
+            stall_cycles: JsonError::want_u64(v, "stall_cycles")?,
+            retries: JsonError::want_u64(v, "retries")?,
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -109,8 +135,22 @@ mod tests {
 
     #[test]
     fn merge_sums_everything() {
-        let mut a = ReadStats { clean: 1, ctoc_home: 2, ctoc_switch: 3, latency_cycles: 10, stall_cycles: 5, retries: 1 };
-        let b = ReadStats { clean: 10, ctoc_home: 20, ctoc_switch: 30, latency_cycles: 100, stall_cycles: 50, retries: 9 };
+        let mut a = ReadStats {
+            clean: 1,
+            ctoc_home: 2,
+            ctoc_switch: 3,
+            latency_cycles: 10,
+            stall_cycles: 5,
+            retries: 1,
+        };
+        let b = ReadStats {
+            clean: 10,
+            ctoc_home: 20,
+            ctoc_switch: 30,
+            latency_cycles: 100,
+            stall_cycles: 50,
+            retries: 9,
+        };
         a.merge(&b);
         assert_eq!(a.clean, 11);
         assert_eq!(a.ctoc_home, 22);

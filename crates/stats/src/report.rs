@@ -1,13 +1,26 @@
 //! Report arithmetic and table formatting for the figure binaries.
 
+use dresar_types::{JsonValue, ToJson};
+
 /// Percentage reduction of `with` relative to `base`: the paper's
-/// "normalized reduction" y-axes (Figures 8–11). Returns 0 for a zero
-/// baseline.
+/// "normalized reduction" y-axes (Figures 8–11). Returns 0 for a zero,
+/// negative or non-finite baseline, so callers never divide by zero or
+/// propagate NaN into a report.
 pub fn percent_reduction(base: f64, with: f64) -> f64 {
-    if base <= 0.0 {
+    if !base.is_finite() || !with.is_finite() || base <= 0.0 {
         0.0
     } else {
         (base - with) / base * 100.0
+    }
+}
+
+/// `part` as a percentage of `whole`, with the same zero/NaN safety as
+/// [`percent_reduction`]: a zero, negative or non-finite `whole` yields 0.
+pub fn percent_of(part: f64, whole: f64) -> f64 {
+    if !part.is_finite() || !whole.is_finite() || whole <= 0.0 {
+        0.0
+    } else {
+        part / whole * 100.0
     }
 }
 
@@ -40,13 +53,8 @@ impl FigureTable {
 
     /// Renders the table.
     pub fn render(&self) -> String {
-        let label_w = self
-            .rows
-            .iter()
-            .map(|(l, _)| l.len())
-            .chain(std::iter::once(8))
-            .max()
-            .unwrap();
+        let label_w =
+            self.rows.iter().map(|(l, _)| l.len()).chain(std::iter::once(8)).max().unwrap();
         let col_w = self.columns.iter().map(|c| c.len().max(9)).collect::<Vec<_>>();
 
         let mut s = String::new();
@@ -64,6 +72,27 @@ impl FigureTable {
             s.push('\n');
         }
         s
+    }
+}
+
+impl ToJson for FigureTable {
+    fn to_json(&self) -> JsonValue {
+        let rows: Vec<JsonValue> = self
+            .rows
+            .iter()
+            .map(|(label, vals)| {
+                JsonValue::obj()
+                    .field("label", label.as_str())
+                    .field("values", vals.clone())
+                    .build()
+            })
+            .collect();
+        JsonValue::obj()
+            .field("title", self.title.as_str())
+            .field("unit", self.unit.as_str())
+            .field("columns", self.columns.clone())
+            .field("rows", rows)
+            .build()
     }
 }
 

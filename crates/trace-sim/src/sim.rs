@@ -108,7 +108,13 @@ impl TraceSimulator {
         sw.stage as usize * self.bmin.switches_per_stage() + sw.index as usize
     }
 
-    fn mk_msg(&mut self, kind: MsgType, block: BlockAddr, requester: NodeId, dst: NodeId) -> Message {
+    fn mk_msg(
+        &mut self,
+        kind: MsgType,
+        block: BlockAddr,
+        requester: NodeId,
+        dst: NodeId,
+    ) -> Message {
         self.msg_seq += 1;
         Message::new(
             self.msg_seq,
@@ -318,9 +324,8 @@ impl TraceSimulator {
         assert!(workload.streams.len() <= self.cfg.nodes);
         let n = self.cfg.nodes;
         let mut pc = vec![0usize; n];
-        let streams: Vec<&[StreamItem]> = (0..n)
-            .map(|p| workload.streams.get(p).map(|s| s.as_slice()).unwrap_or(&[]))
-            .collect();
+        let streams: Vec<&[StreamItem]> =
+            (0..n).map(|p| workload.streams.get(p).map(|s| s.as_slice()).unwrap_or(&[])).collect();
 
         loop {
             // Phase 1: round-robin refs until everyone is at a barrier/end.

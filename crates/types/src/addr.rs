@@ -6,8 +6,6 @@
 //! it. Addresses are plain byte addresses; cache-block addresses strip the
 //! offset bits.
 
-use serde::{Deserialize, Serialize};
-
 /// A byte address in the simulated shared physical address space.
 pub type Addr = u64;
 
@@ -21,7 +19,7 @@ pub type NodeId = u8;
 /// block-offset bits. Using the block address as the canonical key keeps
 /// every coherence structure (caches, directories, switch directories)
 /// agreeing on identity without re-deriving masks.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct BlockAddr(pub u64);
 
 impl BlockAddr {
@@ -56,7 +54,7 @@ impl BlockAddr {
 /// Geometry helper bundling the block/page parameters so call sites cannot
 /// mix the block size used for address splitting with a different one used
 /// for home mapping.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct AddressMap {
     /// Cache block (line) size in bytes.
     pub block_bytes: u64,

@@ -7,10 +7,9 @@
 //! wrong figures.
 
 use crate::addr::AddressMap;
-use serde::{Deserialize, Serialize};
 
 /// Geometry and access time of one set-associative cache level.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct CacheGeometry {
     /// Total capacity in bytes.
     pub size_bytes: u64,
@@ -56,7 +55,7 @@ impl CacheGeometry {
 }
 
 /// Main-memory (DRAM) module parameters.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct MemoryConfig {
     /// DRAM access time in cycles (Table 2: 40).
     pub access_cycles: u32,
@@ -69,7 +68,7 @@ pub struct MemoryConfig {
 }
 
 /// Processor-core parameters.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ProcessorConfig {
     /// Instructions issued per cycle (Table 2: 4-way issue).
     pub issue_width: u32,
@@ -82,7 +81,7 @@ pub struct ProcessorConfig {
 
 /// Crossbar switch and link parameters (Table 2 / §4.1, after the SGI
 /// SPIDER and Intel Cavallino numbers).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct SwitchConfig {
     /// Down-ports per switch (toward processors). An "8x8 crossbar" in the
     /// paper's bidirectional arrangement has 4 down-ports and 4 up-ports,
@@ -102,7 +101,7 @@ pub struct SwitchConfig {
 }
 
 /// Switch-directory (DRESAR) parameters (Table 2 / §4.2).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct SwitchDirConfig {
     /// Total entries per switch directory (paper sweeps 256–2048).
     pub entries: u32,
@@ -148,7 +147,7 @@ impl SwitchDirConfig {
 }
 
 /// Complete configuration of the execution-driven CC-NUMA simulator.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct SystemConfig {
     /// Number of nodes (processor + memory module each). Table 2: 16.
     pub nodes: usize,
@@ -177,12 +176,7 @@ impl SystemConfig {
             nodes: 16,
             page_bytes: 4096,
             l1: CacheGeometry { size_bytes: 16 * 1024, line_bytes: 32, ways: 2, access_cycles: 1 },
-            l2: CacheGeometry {
-                size_bytes: 128 * 1024,
-                line_bytes: 32,
-                ways: 4,
-                access_cycles: 8,
-            },
+            l2: CacheGeometry { size_bytes: 128 * 1024, line_bytes: 32, ways: 4, access_cycles: 8 },
             memory: MemoryConfig { access_cycles: 40, interleave: 4, controller_occupancy: 16 },
             processor: ProcessorConfig {
                 issue_width: 4,
@@ -263,7 +257,7 @@ impl SystemConfig {
 }
 
 /// Constant latencies of the trace-driven simulator (paper Table 3).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct TraceLatencies {
     /// Cache access time.
     pub cache_access: u32,
@@ -280,7 +274,7 @@ pub struct TraceLatencies {
 }
 
 /// Configuration of the trace-driven simulator (paper Table 3).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct TraceSimConfig {
     /// Number of nodes.
     pub nodes: usize,
@@ -345,11 +339,9 @@ impl TraceSimConfig {
         }
         let l = &self.latencies;
         if l.ctoc_local_home <= l.local_memory || l.ctoc_remote_home <= l.remote_memory {
-            return Err(
-                "cache-to-cache latencies must exceed the corresponding clean-memory \
+            return Err("cache-to-cache latencies must exceed the corresponding clean-memory \
                  latencies (the 1.5-2x premium the paper attacks)"
-                    .into(),
-            );
+                .into());
         }
         if l.switch_dir_hit >= l.ctoc_remote_home {
             return Err("a switch-directory hit must be faster than a remote-home CtoC".into());

@@ -20,19 +20,27 @@
 //!   with validated presets.
 //! * [`refstream`] — the memory-reference stream items produced by workload
 //!   generators and consumed by the simulators.
+//! * [`json`] — a dependency-free JSON tree, writer and parser with the
+//!   [`ToJson`]/[`FromJson`] traits behind the `--json` telemetry surface.
+//! * [`rng`] — the small seeded deterministic RNG the workload generators
+//!   and randomized tests draw from.
 
 #![warn(missing_docs)]
 
 pub mod addr;
 pub mod config;
+pub mod json;
 pub mod msg;
 pub mod refstream;
+pub mod rng;
 pub mod sharers;
 
 pub use addr::{Addr, BlockAddr, NodeId};
 pub use config::{SystemConfig, TraceSimConfig};
+pub use json::{FromJson, JsonError, JsonValue, ToJson};
 pub use msg::{Message, MsgType};
 pub use refstream::{MemRef, RefKind, StreamItem, Workload};
+pub use rng::SmallRng;
 pub use sharers::SharerSet;
 
 /// Simulation time, in cycles of the 200 MHz clock shared by the processor

@@ -9,7 +9,6 @@
 use crate::addr::{BlockAddr, NodeId};
 use crate::sharers::SharerSet;
 use crate::Cycle;
-use serde::{Deserialize, Serialize};
 
 /// Where a message originates or terminates.
 ///
@@ -17,7 +16,7 @@ use serde::{Deserialize, Serialize};
 /// side of the network and the memory/directory interfaces on the other, so
 /// endpoints are either a processor-side or a memory-side attachment of a
 /// node — or a switch, for messages generated *by* a switch directory.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Endpoint {
     /// The processor/cache interface of a node.
     Proc(NodeId),
@@ -50,7 +49,7 @@ impl Endpoint {
 /// are the ordinary protocol messages the table omits because the switch
 /// directory ignores them ("All other request types can be ignored since
 /// they do not require switch directory processing", §4.2).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum MsgType {
     // ---- Table 1: relevant to the switch directory -----------------------
     /// Load miss headed to a (possibly remote) home memory.
@@ -133,7 +132,7 @@ impl MsgType {
 /// "single bit in the header flit" that lets cache and directory controllers
 /// distinguish them (paper §3.2) — and marked copybacks/writebacks carry the
 /// extra sharer pids for the home directory in `carried_sharers`.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Message {
     /// Unique id (monotone per simulation), for tracing and determinism.
     pub id: u64,
@@ -265,7 +264,8 @@ mod tests {
     #[test]
     fn table1_set_is_switch_dir_relevant() {
         use MsgType::*;
-        for kind in [ReadRequest, WriteRequest, WriteReply, CtoCRequest, CopyBack, WriteBack, Retry] {
+        for kind in [ReadRequest, WriteRequest, WriteReply, CtoCRequest, CopyBack, WriteBack, Retry]
+        {
             assert!(kind.switch_dir_relevant());
         }
         for kind in [ReadReply, CtoCData, Invalidate, InvalAck, WriteBackAck] {

@@ -8,10 +8,9 @@
 //! phase structure.
 
 use crate::addr::Addr;
-use serde::{Deserialize, Serialize};
 
 /// Load or store.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum RefKind {
     /// A load; the processor blocks until data returns (reads determine
     /// stall time — paper §2).
@@ -22,7 +21,7 @@ pub enum RefKind {
 }
 
 /// One memory reference.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct MemRef {
     /// Byte address referenced.
     pub addr: Addr,
@@ -34,7 +33,7 @@ pub struct MemRef {
 }
 
 /// An item of a per-processor reference stream.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum StreamItem {
     /// A memory reference.
     Ref(MemRef),
@@ -61,7 +60,7 @@ impl StreamItem {
 /// Invariants (checked by [`Workload::validate`]):
 /// * all streams see the same set of barrier ids in the same order;
 /// * barrier ids ascend.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default)]
 pub struct Workload {
     /// A short human-readable name ("fft", "tpcc", ...).
     pub name: String,

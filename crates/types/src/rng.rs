@@ -1,0 +1,166 @@
+//! Small deterministic pseudo-random number generator.
+//!
+//! The workload generators and the randomized protocol tests need a seeded,
+//! reproducible stream of numbers — nothing more. This is a counter-based
+//! splitmix64 generator: tiny state, full 64-bit period per seed, and
+//! identical output on every platform, which is what the determinism
+//! guarantees of the simulator require. The API mirrors the subset of
+//! `rand::rngs::SmallRng` the workspace uses (`seed_from_u64`, `gen`,
+//! `gen_range`, `gen_bool`) so call sites read idiomatically.
+
+use std::ops::Range;
+
+const GOLDEN_GAMMA: u64 = 0x9e37_79b9_7f4a_7c15;
+
+/// A seeded, deterministic, non-cryptographic RNG.
+#[derive(Debug, Clone)]
+pub struct SmallRng {
+    state: u64,
+}
+
+impl SmallRng {
+    /// Creates a generator from a 64-bit seed. Equal seeds give equal
+    /// streams on every platform.
+    pub fn seed_from_u64(seed: u64) -> Self {
+        // Pre-mix the seed once so that related seeds (0, 1, 2, ...) do not
+        // produce correlated first outputs.
+        let mut rng = SmallRng { state: seed };
+        rng.next_u64();
+        rng
+    }
+
+    /// Next raw 64-bit output (splitmix64 finalizer over a Weyl sequence).
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(GOLDEN_GAMMA);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform sample of type `T` (`f64` in `[0, 1)`, or a full-range
+    /// integer).
+    pub fn gen<T: RandValue>(&mut self) -> T {
+        T::from_rng(self)
+    }
+
+    /// Uniform integer in `[range.start, range.end)`. Panics on an empty
+    /// range, like `rand`.
+    pub fn gen_range<T: UniformInt>(&mut self, range: Range<T>) -> T {
+        let lo = range.start.to_u64();
+        let hi = range.end.to_u64();
+        assert!(lo < hi, "gen_range called with empty range");
+        let span = hi - lo;
+        // Multiply-shift keeps the bias below 2^-64, far under anything a
+        // simulation-scale sample count can see.
+        let v = ((self.next_u64() as u128 * span as u128) >> 64) as u64;
+        T::from_u64(lo + v)
+    }
+
+    /// Bernoulli draw: `true` with probability `p`.
+    pub fn gen_bool(&mut self, p: f64) -> bool {
+        self.gen::<f64>() < p
+    }
+}
+
+/// Types [`SmallRng::gen`] can produce.
+pub trait RandValue {
+    /// Draws one value from the generator.
+    fn from_rng(rng: &mut SmallRng) -> Self;
+}
+
+impl RandValue for f64 {
+    fn from_rng(rng: &mut SmallRng) -> Self {
+        // 53 mantissa bits -> uniform in [0, 1).
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl RandValue for u64 {
+    fn from_rng(rng: &mut SmallRng) -> Self {
+        rng.next_u64()
+    }
+}
+
+impl RandValue for u32 {
+    fn from_rng(rng: &mut SmallRng) -> Self {
+        (rng.next_u64() >> 32) as u32
+    }
+}
+
+/// Integer types usable with [`SmallRng::gen_range`].
+pub trait UniformInt: Copy {
+    /// Widens to `u64` (all workspace ranges are non-negative).
+    fn to_u64(self) -> u64;
+    /// Narrows back; the sample is always inside the caller's range.
+    fn from_u64(v: u64) -> Self;
+}
+
+macro_rules! impl_uniform_int {
+    ($($t:ty),*) => {$(
+        impl UniformInt for $t {
+            fn to_u64(self) -> u64 {
+                self as u64
+            }
+            fn from_u64(v: u64) -> Self {
+                v as $t
+            }
+        }
+    )*};
+}
+
+impl_uniform_int!(u8, u16, u32, u64, usize);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = SmallRng::seed_from_u64(42);
+        let mut b = SmallRng::seed_from_u64(42);
+        for _ in 0..1000 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = SmallRng::seed_from_u64(1);
+        let mut b = SmallRng::seed_from_u64(2);
+        let same = (0..64).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert_eq!(same, 0);
+    }
+
+    #[test]
+    fn f64_in_unit_interval() {
+        let mut rng = SmallRng::seed_from_u64(7);
+        for _ in 0..10_000 {
+            let v = rng.gen::<f64>();
+            assert!((0.0..1.0).contains(&v));
+        }
+    }
+
+    #[test]
+    fn gen_range_within_bounds_and_covers() {
+        let mut rng = SmallRng::seed_from_u64(9);
+        let mut seen = [false; 8];
+        for _ in 0..1000 {
+            let v = rng.gen_range(0usize..8);
+            seen[v] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+        for _ in 0..1000 {
+            let v = rng.gen_range(5u64..6);
+            assert_eq!(v, 5);
+        }
+    }
+
+    #[test]
+    fn gen_bool_tracks_probability() {
+        let mut rng = SmallRng::seed_from_u64(11);
+        let hits = (0..100_000).filter(|_| rng.gen_bool(0.3)).count();
+        let frac = hits as f64 / 100_000.0;
+        assert!((frac - 0.3).abs() < 0.01, "frac = {frac}");
+    }
+}

@@ -7,10 +7,9 @@
 //! `Copy`.
 
 use crate::addr::NodeId;
-use serde::{Deserialize, Serialize};
 
 /// A set of node ids represented as a 64-bit mask.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash)]
 pub struct SharerSet(u64);
 
 impl SharerSet {

@@ -154,8 +154,12 @@ mod tests {
             assert_eq!(e - s, 8);
         }
         // Remainders spread over the first processors.
-        let sizes: Vec<usize> =
-            (0..3).map(|p| { let (s, e) = partition(10, 3, p); e - s }).collect();
+        let sizes: Vec<usize> = (0..3)
+            .map(|p| {
+                let (s, e) = partition(10, 3, p);
+                e - s
+            })
+            .collect();
         assert_eq!(sizes, vec![4, 3, 3]);
     }
 }

@@ -20,9 +20,8 @@
 //! Table 3 trace simulator (asserted by `dresar-trace-sim`'s tests).
 
 use crate::builder::StreamRecorder;
+use dresar_types::rng::SmallRng;
 use dresar_types::{Addr, Workload};
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
 
 const BLOCK: u64 = 32;
 const SHARED_BASE: Addr = 0xA000_0000;
@@ -141,15 +140,13 @@ pub fn generate(params: &CommercialParams) -> Workload {
     let exch_addr = |b: usize| SHARED_BASE + ((migratory_blocks + b) as u64) * BLOCK;
     let ro_addr =
         |b: usize| SHARED_BASE + ((migratory_blocks + exchange_blocks + b) as u64) * BLOCK;
-    let priv_addr = |p: usize, b: usize| {
-        PRIVATE_BASE + ((p * private_blocks.max(1) + b) as u64) * BLOCK
-    };
+    let priv_addr =
+        |p: usize, b: usize| PRIVATE_BASE + ((p * private_blocks.max(1) + b) as u64) * BLOCK;
 
     let m = params.mix;
     for p in 0..params.processors {
-        let mut rng = SmallRng::seed_from_u64(
-            params.seed ^ (p as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15),
-        );
+        let mut rng =
+            SmallRng::seed_from_u64(params.seed ^ (p as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15));
         // Sequential cursors for scan-style exchange (one per processor).
         // The consumer trails the producer by half the region: the data is
         // still dirty when scanned, but the ownership hint was installed

@@ -33,7 +33,7 @@ fn c_mul(a: C, b: C) -> C {
 
 /// Sequential radix-2 Stockham FFT on a scratch buffer (used for the local
 /// row transforms; verified against the naive DFT in tests).
-fn stockham_seq(data: &mut Vec<C>) {
+fn stockham_seq(data: &mut [C]) {
     let n = data.len();
     debug_assert!(n.is_power_of_two());
     let mut scratch = vec![(0.0, 0.0); n];
@@ -44,14 +44,14 @@ fn stockham_seq(data: &mut Vec<C>) {
         {
             let (src, dst): (&[C], &mut [C]) =
                 if in_data { (data, &mut scratch) } else { (&scratch, data) };
-            for k in 0..n {
+            for (k, d) in dst.iter_mut().enumerate() {
                 let q = k % stride;
                 let rem = k / stride;
                 let r = rem & 1;
                 let p = rem >> 1;
                 let c0 = src[q + stride * p];
                 let c1 = src[q + stride * (p + half)];
-                dst[k] = if r == 0 {
+                *d = if r == 0 {
                     (c0.0 + c1.0, c0.1 + c1.1)
                 } else {
                     let ang = -theta0 * p as f64;
@@ -79,11 +79,14 @@ fn maddr(base: Addr, cols: usize, row: usize, col: usize) -> Addr {
 ///
 /// `n` must be a power of four (so the matrix view is square).
 pub fn fft_six_step_with_result(processors: usize, n: usize) -> (Workload, Vec<C>) {
-    assert!(n >= 16 && n.is_power_of_two() && n.trailing_zeros() % 2 == 0, "n must be a power of 4");
+    assert!(
+        n >= 16 && n.is_power_of_two() && n.trailing_zeros().is_multiple_of(2),
+        "n must be a power of 4"
+    );
     let r = 1usize << (n.trailing_zeros() / 2); // rows = cols = sqrt(n)
     let c = r;
     let mut rec = StreamRecorder::new(processors, 4);
-    let fft_work = 5 * (r.trailing_zeros().max(1)) as u32;
+    let fft_work = 5 * r.trailing_zeros().max(1);
 
     // The actual data: `a` holds the natural-order array, `b` is scratch.
     let mut a: Vec<C> = (0..n)
@@ -108,12 +111,12 @@ pub fn fft_six_step_with_result(processors: usize, n: usize) -> (Workload, Vec<C
     // A transpose helper: dst[i][j] = src[j][i]; each processor writes its
     // own destination rows, reading columns scattered over every source
     // row owner (the all-to-all).
-    let mut transpose = |rec: &mut StreamRecorder,
-                         src_base: Addr,
-                         dst_base: Addr,
-                         src: &Vec<C>,
-                         dst: &mut Vec<C>,
-                         dim: usize| {
+    let transpose = |rec: &mut StreamRecorder,
+                     src_base: Addr,
+                     dst_base: Addr,
+                     src: &Vec<C>,
+                     dst: &mut Vec<C>,
+                     dim: usize| {
         for p in 0..processors {
             let (rs, re) = partition(dim, processors, p);
             for i in rs..re {
@@ -239,10 +242,7 @@ mod tests {
         let (_, got) = fft_six_step_with_result(4, n);
         let want = naive_dft(&input(n));
         for (k, (g, w)) in got.iter().zip(&want).enumerate() {
-            assert!(
-                (g.0 - w.0).abs() < 1e-6 && (g.1 - w.1).abs() < 1e-6,
-                "k={k}: {g:?} vs {w:?}"
-            );
+            assert!((g.0 - w.0).abs() < 1e-6 && (g.1 - w.1).abs() < 1e-6, "k={k}: {g:?} vs {w:?}");
         }
     }
 

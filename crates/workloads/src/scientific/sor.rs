@@ -60,10 +60,11 @@ pub fn sor_with_result(processors: usize, n: usize, iters: usize) -> (Workload, 
                         rec.read(p, addr(n2, i, j - 1));
                         rec.read(p, addr(n2, i, j + 1));
                         rec.read(p, addr(n2, i, j));
-                        let stencil =
-                            (g[(i - 1) * n2 + j] + g[(i + 1) * n2 + j] + g[i * n2 + j - 1]
-                                + g[i * n2 + j + 1])
-                                / 4.0;
+                        let stencil = (g[(i - 1) * n2 + j]
+                            + g[(i + 1) * n2 + j]
+                            + g[i * n2 + j - 1]
+                            + g[i * n2 + j + 1])
+                            / 4.0;
                         g[i * n2 + j] = (1.0 - OMEGA) * g[i * n2 + j] + OMEGA * stencil;
                         rec.write(p, addr(n2, i, j));
                         j += 2;

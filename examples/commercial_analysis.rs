@@ -30,7 +30,10 @@ fn main() {
     );
 
     println!("\nswitch-directory sweep:");
-    println!("{:>8} {:>12} {:>12} {:>14} {:>12}", "entries", "home CtoC", "switch CtoC", "avg lat (cyc)", "exec (Mcyc)");
+    println!(
+        "{:>8} {:>12} {:>12} {:>14} {:>12}",
+        "entries", "home CtoC", "switch CtoC", "avg lat (cyc)", "exec (Mcyc)"
+    );
     println!(
         "{:>8} {:>12} {:>12} {:>14.1} {:>12.2}",
         "none",

@@ -43,7 +43,8 @@ fn main() {
     assert_eq!(deliveries.len(), 32, "all messages must deliver");
     let flit_avg: f64 =
         deliveries.iter().map(|d| d.at as f64).sum::<f64>() / deliveries.len() as f64;
-    let hop_avg: f64 = hop_latencies.iter().map(|&t| t as f64).sum::<f64>() / hop_latencies.len() as f64;
+    let hop_avg: f64 =
+        hop_latencies.iter().map(|&t| t as f64).sum::<f64>() / hop_latencies.len() as f64;
 
     println!("flit-level average delivery time : {flit_avg:.1} cycles");
     println!("hop-level  average delivery time : {hop_avg:.1} cycles");

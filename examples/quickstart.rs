@@ -21,13 +21,7 @@ fn main() {
     for c in 1..16usize {
         let mine: Vec<StreamItem> = [StreamItem::Barrier(0)]
             .into_iter()
-            .chain(
-                blocks
-                    .iter()
-                    .skip(c % 4)
-                    .step_by(4)
-                    .map(|&b| StreamItem::read(b, 4)),
-            )
+            .chain(blocks.iter().skip(c % 4).step_by(4).map(|&b| StreamItem::read(b, 4)))
             .collect();
         streams.push(mine);
     }

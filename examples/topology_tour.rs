@@ -24,7 +24,9 @@ fn main() {
     println!("\nforward route P6 -> M9:");
     for hop in fwd.hops() {
         match hop.switch {
-            Some(sw) => println!("  {:?} -> switch(stage {}, index {})", hop.link, sw.stage, sw.index),
+            Some(sw) => {
+                println!("  {:?} -> switch(stage {}, index {})", hop.link, sw.stage, sw.index)
+            }
             None => println!("  {:?} -> memory 9", hop.link),
         }
     }
@@ -34,7 +36,9 @@ fn main() {
     println!("\nprocessor-to-processor route P6 -> P13 (turnaround):");
     for hop in p2p.hops() {
         match hop.switch {
-            Some(sw) => println!("  {:?} -> switch(stage {}, index {})", hop.link, sw.stage, sw.index),
+            Some(sw) => {
+                println!("  {:?} -> switch(stage {}, index {})", hop.link, sw.stage, sw.index)
+            }
             None => println!("  {:?} -> processor 13", hop.link),
         }
     }

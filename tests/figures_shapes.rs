@@ -9,7 +9,10 @@ use dresar_workspace::trace_sim::TraceSimulator;
 use dresar_workspace::types::config::{SystemConfig, TraceSimConfig};
 use dresar_workspace::workloads::{commercial, scientific};
 
-fn run_exec(w: &dresar_workspace::types::Workload, sd: bool) -> dresar_workspace::dresar::ExecutionReport {
+fn run_exec(
+    w: &dresar_workspace::types::Workload,
+    sd: bool,
+) -> dresar_workspace::dresar::ExecutionReport {
     let cfg = if sd { SystemConfig::paper_table2() } else { SystemConfig::paper_base() };
     System::new(cfg, w).run(RunOptions { max_cycles: 2_000_000_000, ..Default::default() })
 }
@@ -50,10 +53,10 @@ fn figure1_commercial_mix() {
     // full 16M-reference paper scale the presets measure ~44% (TPC-C) and
     // ~52% (TPC-D) against the paper's 38% / 62% — see EXPERIMENTS.md.
     let refs = 1_000_000;
-    let tpcc = TraceSimulator::new(TraceSimConfig::paper_base())
-        .run(&commercial::tpcc(16, refs, 7));
-    let tpcd = TraceSimulator::new(TraceSimConfig::paper_base())
-        .run(&commercial::tpcd(16, refs, 7));
+    let tpcc =
+        TraceSimulator::new(TraceSimConfig::paper_base()).run(&commercial::tpcc(16, refs, 7));
+    let tpcd =
+        TraceSimulator::new(TraceSimConfig::paper_base()).run(&commercial::tpcd(16, refs, 7));
     let fc = tpcc.reads.dirty_fraction();
     let fd = tpcd.reads.dirty_fraction();
     assert!(fc > 0.25 && fc < 0.55, "TPC-C dirty {fc:.2} outside band (paper 0.38)");

@@ -5,9 +5,8 @@
 use dresar_workspace::dresar::system::{RunOptions, System};
 use dresar_workspace::dresar::TransientReadPolicy;
 use dresar_workspace::types::config::{SwitchDirConfig, SystemConfig};
+use dresar_workspace::types::rng::SmallRng;
 use dresar_workspace::types::{StreamItem, Workload};
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
 
 fn random_workload(seed: u64, procs: usize, refs_per_proc: usize, blocks: u64) -> Workload {
     let mut rng = SmallRng::seed_from_u64(seed);
@@ -33,7 +32,8 @@ fn random_workload(seed: u64, procs: usize, refs_per_proc: usize, blocks: u64) -
 
 fn cfg(sd: Option<u32>) -> SystemConfig {
     let mut cfg = SystemConfig::paper_table2();
-    cfg.switch_dir = sd.map(|entries| SwitchDirConfig { entries, ..SwitchDirConfig::paper_default() });
+    cfg.switch_dir =
+        sd.map(|entries| SwitchDirConfig { entries, ..SwitchDirConfig::paper_default() });
     cfg
 }
 

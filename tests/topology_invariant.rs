@@ -1,4 +1,4 @@
-//! Property tests for the switch-directory placement invariant across
+//! Exhaustive tests for the switch-directory placement invariant across
 //! every supported topology (DESIGN.md §3).
 //!
 //! The protocol's correctness rests on two facts about the BMIN:
@@ -10,7 +10,6 @@
 //!    block.
 
 use dresar_workspace::interconnect::{routes, Bmin};
-use proptest::prelude::*;
 
 fn topologies() -> Vec<Bmin> {
     vec![
@@ -22,60 +21,76 @@ fn topologies() -> Vec<Bmin> {
     ]
 }
 
-proptest! {
-    /// Invariant 1: entries can always re-route to their owner.
-    #[test]
-    fn entries_reach_owner(o in 0usize..64, h in 0usize..64) {
-        for bmin in topologies() {
-            let (o, h) = ((o % bmin.nodes()) as u8, (h % bmin.nodes()) as u8);
-            for sw in bmin.path_switches(o, h) {
-                prop_assert!(
-                    routes::from_switch_to_proc(&bmin, sw, o).is_some(),
-                    "{bmin:?}: switch {sw:?} on path({o},{h}) cannot reach owner"
-                );
+/// Invariant 1: entries can always re-route to their owner. Exhaustive over
+/// all (owner, home) pairs of every topology.
+#[test]
+fn entries_reach_owner() {
+    for bmin in topologies() {
+        for o in 0..bmin.nodes() as u8 {
+            for h in 0..bmin.nodes() as u8 {
+                for sw in bmin.path_switches(o, h) {
+                    assert!(
+                        routes::from_switch_to_proc(&bmin, sw, o).is_some(),
+                        "{bmin:?}: switch {sw:?} on path({o},{h}) cannot reach owner"
+                    );
+                }
             }
         }
     }
+}
 
-    /// Invariant 2: cleanup traffic re-traverses the entry-holding switches.
-    #[test]
-    fn cleanup_covers_entries(o in 0usize..64, h in 0usize..64) {
-        for bmin in topologies() {
-            let (o, h) = ((o % bmin.nodes()) as u8, (h % bmin.nodes()) as u8);
-            // Entries are installed along the write-reply path (h -> o),
-            // which in this topology uses the same switches as (o -> h).
-            let install = bmin.path_switches(o, h);
-            let cleanup: Vec<_> = routes::forward(&bmin, o, h).switches;
-            prop_assert_eq!(install, cleanup);
+/// Invariant 2: cleanup traffic re-traverses the entry-holding switches.
+#[test]
+fn cleanup_covers_entries() {
+    for bmin in topologies() {
+        for o in 0..bmin.nodes() as u8 {
+            for h in 0..bmin.nodes() as u8 {
+                // Entries are installed along the write-reply path (h -> o),
+                // which in this topology uses the same switches as (o -> h).
+                let install = bmin.path_switches(o, h);
+                let cleanup: Vec<_> = routes::forward(&bmin, o, h).switches;
+                assert_eq!(install, cleanup, "{bmin:?}: o={o} h={h}");
+            }
         }
     }
+}
 
-    /// Every endpoint pair is routable and the hop counts are minimal:
-    /// requests cross exactly `stages` switches; turnaround routes cross
-    /// `2 * (turnaround stage) + 1`.
-    #[test]
-    fn route_lengths_minimal(a in 0usize..64, b in 0usize..64) {
-        for bmin in topologies() {
-            let (a, b) = ((a % bmin.nodes()) as u8, (b % bmin.nodes()) as u8);
-            prop_assert_eq!(routes::forward(&bmin, a, b).switch_hops(), bmin.stages());
-            prop_assert_eq!(routes::backward(&bmin, b, a).switch_hops(), bmin.stages());
-            let p2p = routes::proc_to_proc(&bmin, a, b, 0);
-            let t = bmin.turnaround_stage(a, b);
-            prop_assert_eq!(p2p.switch_hops(), 2 * t + 1);
+/// Every endpoint pair is routable and the hop counts are minimal:
+/// requests cross exactly `stages` switches; turnaround routes cross
+/// `2 * (turnaround stage) + 1`.
+#[test]
+fn route_lengths_minimal() {
+    for bmin in topologies() {
+        for a in 0..bmin.nodes() as u8 {
+            for b in 0..bmin.nodes() as u8 {
+                assert_eq!(routes::forward(&bmin, a, b).switch_hops(), bmin.stages());
+                assert_eq!(routes::backward(&bmin, b, a).switch_hops(), bmin.stages());
+                let p2p = routes::proc_to_proc(&bmin, a, b, 0);
+                let t = bmin.turnaround_stage(a, b);
+                assert_eq!(p2p.switch_hops(), 2 * t + 1, "{bmin:?}: a={a} b={b}");
+            }
         }
     }
+}
 
-    /// The generalized switch-origin route terminates at its target for
-    /// every (origin switch, target) combination, including foreign ones.
-    #[test]
-    fn via_routes_universal(o in 0usize..64, h in 0usize..64, target in 0usize..64, tb in 0u64..512) {
-        for bmin in topologies() {
-            let o = (o % bmin.nodes()) as u8;
-            let h = (h % bmin.nodes()) as u8;
-            let target = (target % bmin.nodes()) as u8;
-            for sw in bmin.path_switches(o, h) {
-                let r = routes::from_switch_to_proc_via(&bmin, sw, target, tb);
-                prop_assert!(r.well_formed());
+/// The generalized switch-origin route terminates at its target for
+/// every (origin switch, target) combination, including foreign ones.
+/// Exhaustive over endpoints, sampled over tie-break values.
+#[test]
+fn via_routes_universal() {
+    for bmin in topologies() {
+        let n = bmin.nodes() as u8;
+        for o in 0..n {
+            for h in 0..n {
+                let path = bmin.path_switches(o, h);
+                for target in 0..n {
+                    for tb in [0u64, 3, 511] {
+                        for &sw in &path {
+                            let r = routes::from_switch_to_proc_via(&bmin, sw, target, tb);
+                            assert!(r.well_formed(), "{bmin:?}: sw={sw:?} target={target} tb={tb}");
+                        }
+                    }
+                }
             }
         }
     }
