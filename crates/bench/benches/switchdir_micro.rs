@@ -64,6 +64,33 @@ fn bench_snoop() {
     }
 }
 
+/// Overhead guard for the observability contract: `snoop` (the plain entry
+/// point) against an explicit `snoop_probed` with [`NullProbe`]. The two
+/// must monomorphize to the same code, so the paired numbers should agree
+/// within noise — a gap here means the no-probe path grew real work.
+fn bench_probe_overhead() {
+    use dresar_obs::{NullProbe, SwitchLoc};
+    let cfg = SwitchDirConfig { entries: 1024, ..SwitchDirConfig::paper_default() };
+    {
+        let mut sd = SwitchDirectory::new(cfg);
+        let mut i = 0u64;
+        bench("switchdir_overhead/snoop_plain", || {
+            let mut m = msg(MsgType::WriteReply, i % 4096, (i % 16) as u8);
+            i += 1;
+            black_box(sd.snoop(&mut m));
+        });
+    }
+    {
+        let mut sd = SwitchDirectory::new(cfg);
+        let mut i = 0u64;
+        bench("switchdir_overhead/snoop_null_probe", || {
+            let mut m = msg(MsgType::WriteReply, i % 4096, (i % 16) as u8);
+            i += 1;
+            black_box(sd.snoop_probed(&mut m, SwitchLoc::default(), 0, &mut NullProbe));
+        });
+    }
+}
+
 fn bench_port_scheduler() {
     use MsgType::*;
     let batch8 = [
@@ -84,5 +111,6 @@ fn bench_port_scheduler() {
 
 fn main() {
     bench_snoop();
+    bench_probe_overhead();
     bench_port_scheduler();
 }

@@ -12,7 +12,7 @@
 
 use dresar::system::{RunOptions, System};
 use dresar::TransientReadPolicy;
-use dresar_bench::{json_requested, scale_from_args};
+use dresar_bench::{json_doc, json_requested, scale_from_args};
 use dresar_types::config::{SwitchDirConfig, SystemConfig};
 use dresar_types::{JsonValue, ToJson, Workload};
 use dresar_workloads::scientific;
@@ -108,8 +108,7 @@ fn main() {
         }
     }
     if json {
-        let doc = JsonValue::obj()
-            .field("tool", "ablations")
+        let doc = json_doc("ablations")
             .field("scale", format!("{scale:?}"))
             .field("workloads", json_workloads)
             .build();

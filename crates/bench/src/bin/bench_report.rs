@@ -1,0 +1,289 @@
+//! `bench_report` — the repo's standard telemetry run and regression gate.
+//!
+//! Runs the figure/ablation configurations (base and 1K-entry switch
+//! directory per workload) plus a deterministic crossbar validation batch,
+//! and writes one schema-versioned document, `BENCH_dresar.json`, holding
+//! each run's component-metrics registry. Everything in `runs` is a
+//! deterministic simulation counter: two same-seed invocations produce
+//! byte-identical `runs` sections. The `host` section (wall-clock phases,
+//! simulated cycles/sec, peak RSS) is measured on the host and therefore
+//! nondeterministic; it is recorded for humans and never compared.
+//!
+//! Usage:
+//!
+//! ```text
+//! bench_report [tiny|reduced|paper] [--out PATH]
+//!              [--baseline PATH [--tolerance PCT] [--informational]]
+//! ```
+//!
+//! With `--baseline`, the freshly produced registries are diffed scalar-by-
+//! scalar against the baseline document. Any scalar whose relative change
+//! exceeds the tolerance (percent, default 0 — exact match) is a
+//! regression: they are listed on stderr and the process exits nonzero,
+//! unless `--informational` downgrades the gate to reporting only (the
+//! mode CI uses on pull requests).
+
+use dresar::TransientReadPolicy;
+use dresar_bench::{json_doc, run_one_registry, suite, Bench};
+use dresar_interconnect::{routes, Bmin, FlitNetwork};
+use dresar_obs::{HostProfiler, MetricsRegistry};
+use dresar_types::config::SystemConfig;
+use dresar_types::{FromJson, JsonValue, ToJson, SCHEMA_VERSION};
+use dresar_workloads::Scale;
+use std::process::ExitCode;
+
+struct Args {
+    scale: Scale,
+    out: String,
+    baseline: Option<String>,
+    tolerance_pct: f64,
+    informational: bool,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        scale: Scale::Tiny,
+        out: "BENCH_dresar.json".into(),
+        baseline: None,
+        tolerance_pct: 0.0,
+        informational: false,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--out" => args.out = it.next().ok_or("--out needs a path")?,
+            "--baseline" => args.baseline = Some(it.next().ok_or("--baseline needs a path")?),
+            "--tolerance" => {
+                let v = it.next().ok_or("--tolerance needs a percentage")?;
+                args.tolerance_pct =
+                    v.parse().map_err(|_| format!("bad tolerance '{v}': expected a number"))?;
+            }
+            "--informational" => args.informational = true,
+            other if !other.starts_with("--") => {
+                args.scale = Scale::parse(other).ok_or_else(|| {
+                    format!("unknown scale '{other}', expected tiny|reduced|paper")
+                })?;
+            }
+            other => return Err(format!("unknown flag '{other}'")),
+        }
+    }
+    Ok(args)
+}
+
+/// One named deterministic run in the document.
+struct RunResult {
+    name: String,
+    metrics: MetricsRegistry,
+}
+
+/// The standard run set: every suite workload at base and 1K-entry switch
+/// directory, plus the crossbar validation batch.
+fn standard_runs(benches: &[Bench]) -> Vec<RunResult> {
+    let mut runs = Vec::new();
+    for b in benches {
+        for (tag, sd) in [("base", None), ("sd1024", Some(1024))] {
+            runs.push(RunResult {
+                name: format!("{}.{}", b.label, tag),
+                metrics: run_one_registry(b, sd, TransientReadPolicy::Retry),
+            });
+        }
+    }
+    runs.push(RunResult { name: "xbar.validation".into(), metrics: crossbar_validation() });
+    runs
+}
+
+/// A deterministic flit-level batch through the full 16-node BMIN: 32
+/// messages on fixed routes, run to drain. This is the one place the
+/// cycle-accurate [`FlitNetwork`] arbitration counters surface in telemetry
+/// (the execution-driven system uses the analytical hop model instead).
+fn crossbar_validation() -> MetricsRegistry {
+    let bmin = Bmin::new(16, 4);
+    let cfg = SystemConfig::paper_table2().switch;
+    let mut net = FlitNetwork::new(bmin, cfg);
+    for p in 0..16u8 {
+        net.inject(p as u64, &routes::forward(&bmin, p, (p + 5) % 16), 1);
+        net.inject(100 + p as u64, &routes::backward(&bmin, (p + 5) % 16, p), 5);
+    }
+    let delivered = net.run_until_drained(100_000).len() as u64;
+    let s = net.arbiter_stats();
+    let mut m = MetricsRegistry::new();
+    m.counter("xbar.deliveries", delivered);
+    m.counter("xbar.cycles", net.now());
+    m.counter("xbar.grants", s.grants);
+    m.counter("xbar.conflicts", s.conflicts);
+    m.counter("xbar.lock_blocked", s.lock_blocked);
+    m.counter("xbar.offers_refused", s.offers_refused);
+    m
+}
+
+fn total_sim_cycles(runs: &[RunResult]) -> u64 {
+    use dresar_obs::MetricValue;
+    runs.iter()
+        .flat_map(|r| [r.metrics.get("sim.cycles"), r.metrics.get("trace.exec_cycles")])
+        .filter_map(|v| match v {
+            Some(MetricValue::Counter(c)) => Some(*c),
+            _ => None,
+        })
+        .sum()
+}
+
+/// Parses the `runs` array of a `bench_report` document into name→registry.
+fn parse_runs(doc: &JsonValue) -> Result<Vec<(String, MetricsRegistry)>, String> {
+    if let Some(v) = doc.get("schema_version").and_then(JsonValue::as_u64) {
+        if v != SCHEMA_VERSION as u64 {
+            eprintln!(
+                "bench_report: note: baseline schema_version {v} differs from current \
+                 {SCHEMA_VERSION}; comparing anyway"
+            );
+        }
+    }
+    let Some(JsonValue::Arr(runs)) = doc.get("runs") else {
+        return Err("document has no `runs` array".into());
+    };
+    runs.iter()
+        .map(|r| {
+            let name = r
+                .get("name")
+                .and_then(JsonValue::as_str)
+                .ok_or("run entry missing `name`")?
+                .to_string();
+            let metrics = r.get("metrics").ok_or("run entry missing `metrics`")?;
+            let reg =
+                MetricsRegistry::from_json(metrics).map_err(|e| format!("run '{name}': {e}"))?;
+            Ok((name, reg))
+        })
+        .collect()
+}
+
+/// Compares current runs against a baseline document. Returns the number of
+/// regressions (scalar changes beyond tolerance, plus whole runs that
+/// appeared or disappeared).
+fn compare(
+    current: &[RunResult],
+    baseline: &[(String, MetricsRegistry)],
+    tolerance_pct: f64,
+) -> usize {
+    let tol = tolerance_pct / 100.0;
+    let mut regressions = 0usize;
+    for (name, base_reg) in baseline {
+        let Some(cur) = current.iter().find(|r| &r.name == name) else {
+            eprintln!("REGRESSION {name}: run present in baseline but not produced");
+            regressions += 1;
+            continue;
+        };
+        for d in cur.metrics.diff(base_reg) {
+            let rel = d.rel_change();
+            if rel.abs() > tol {
+                eprintln!(
+                    "REGRESSION {name}/{}: baseline {:?} -> current {:?} ({:+.2}%)",
+                    d.name,
+                    d.baseline,
+                    d.current,
+                    rel * 100.0
+                );
+                regressions += 1;
+            }
+        }
+    }
+    for r in current {
+        if !baseline.iter().any(|(n, _)| n == &r.name) {
+            eprintln!("REGRESSION {}: run not present in baseline (record a new one)", r.name);
+            regressions += 1;
+        }
+    }
+    regressions
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("bench_report: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    let mut prof = HostProfiler::new();
+    prof.phase("suite");
+    let benches = suite(args.scale);
+    let mut runs = standard_runs(&benches);
+    prof.phase("crossbar");
+    // standard_runs already includes the crossbar batch; the phase split
+    // exists so a second timed pass attributes suite vs network cost.
+    runs.sort_by(|a, b| a.name.cmp(&b.name));
+    prof.phase("report");
+    let sim_cycles = total_sim_cycles(&runs);
+
+    let runs_json: Vec<JsonValue> = runs
+        .iter()
+        .map(|r| {
+            JsonValue::obj()
+                .field("name", r.name.as_str())
+                .field("metrics", r.metrics.to_json())
+                .build()
+        })
+        .collect();
+    let host = prof.finish();
+    let doc = json_doc("bench_report")
+        .field("scale", format!("{:?}", args.scale))
+        .field("runs", runs_json)
+        .field(
+            "host",
+            JsonValue::obj()
+                .field("profile", host.to_json())
+                .field("simulated_cycles", sim_cycles)
+                .field("cycles_per_sec", host.cycles_per_sec(sim_cycles))
+                .build(),
+        )
+        .build();
+    let mut text = doc.dump();
+    text.push('\n');
+    if let Err(e) = std::fs::write(&args.out, &text) {
+        eprintln!("bench_report: cannot write {}: {e}", args.out);
+        return ExitCode::from(2);
+    }
+    println!(
+        "bench_report: {} runs at scale {:?} -> {} ({} simulated cycles, {:.0} cycles/sec)",
+        runs.len(),
+        args.scale,
+        args.out,
+        sim_cycles,
+        host.cycles_per_sec(sim_cycles)
+    );
+
+    let Some(baseline_path) = &args.baseline else {
+        return ExitCode::SUCCESS;
+    };
+    let baseline = match std::fs::read_to_string(baseline_path)
+        .map_err(|e| format!("cannot read {baseline_path}: {e}"))
+        .and_then(|s| {
+            JsonValue::parse(&s).map_err(|e| format!("cannot parse {baseline_path}: {e}"))
+        })
+        .and_then(|doc| parse_runs(&doc))
+    {
+        Ok(b) => b,
+        Err(e) => {
+            eprintln!("bench_report: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let regressions = compare(&runs, &baseline, args.tolerance_pct);
+    if regressions == 0 {
+        println!(
+            "bench_report: 0 regressions vs {baseline_path} (tolerance {}%)",
+            args.tolerance_pct
+        );
+        ExitCode::SUCCESS
+    } else {
+        eprintln!(
+            "bench_report: {regressions} regression(s) vs {baseline_path} (tolerance {}%)",
+            args.tolerance_pct
+        );
+        if args.informational {
+            eprintln!("bench_report: informational mode, not failing");
+            ExitCode::SUCCESS
+        } else {
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -3,9 +3,9 @@
 //! and the two commercial workloads (trace-driven).
 
 use dresar::TransientReadPolicy;
-use dresar_bench::{json_requested, run_one, scale_from_args, suite};
+use dresar_bench::{json_doc, json_requested, run_one, scale_from_args, suite};
 use dresar_stats::FigureTable;
-use dresar_types::{JsonValue, ToJson};
+use dresar_types::ToJson;
 
 fn main() {
     let scale = scale_from_args();
@@ -24,8 +24,7 @@ fn main() {
         );
     }
     if json_requested() {
-        let doc = JsonValue::obj()
-            .field("tool", "fig1")
+        let doc = json_doc("fig1")
             .field("scale", format!("{scale:?}"))
             .field("table", table.to_json())
             .build();

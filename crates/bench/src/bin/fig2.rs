@@ -2,7 +2,7 @@
 //! transfers over blocks (sorted by decreasing misses per block) for the
 //! TPC-C workload on the trace-driven simulator.
 
-use dresar_bench::{json_requested, scale_from_args};
+use dresar_bench::{json_doc, json_requested, scale_from_args};
 use dresar_trace_sim::TraceSimulator;
 use dresar_types::config::TraceSimConfig;
 use dresar_types::JsonValue;
@@ -28,8 +28,7 @@ fn main() {
                     .build()
             })
             .collect();
-        let doc = JsonValue::obj()
-            .field("tool", "fig2")
+        let doc = json_doc("fig2")
             .field("scale", format!("{scale:?}"))
             .field("blocks_touched", h.blocks_touched())
             .field("read_misses", h.total_misses())

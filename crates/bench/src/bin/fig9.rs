@@ -1,9 +1,9 @@
 //! Figure 9: reduction in average read latency, normalized to the base
 //! machine, across switch-directory sizes 256–2048.
 
-use dresar_bench::{full_sweep, json_requested, scale_from_args};
+use dresar_bench::{full_sweep, json_doc, json_requested, scale_from_args};
 use dresar_stats::{percent_reduction, FigureTable};
-use dresar_types::{JsonValue, ToJson};
+use dresar_types::ToJson;
 
 fn main() {
     let scale = scale_from_args();
@@ -21,8 +21,7 @@ fn main() {
         table.push_row(s.label, vals);
     }
     if json_requested() {
-        let doc = JsonValue::obj()
-            .field("tool", "fig9")
+        let doc = json_doc("fig9")
             .field("scale", format!("{scale:?}"))
             .field("table", table.to_json())
             .build();

@@ -7,7 +7,7 @@
 //! (execution-driven workloads only).
 
 use dresar::TransientReadPolicy;
-use dresar_bench::{json_requested, run_one, run_one_observed, scale_from_args, suite};
+use dresar_bench::{json_doc, json_requested, run_one, run_one_observed, scale_from_args, suite};
 use dresar_obs::ObserverConfig;
 use dresar_stats::{percent_of, percent_reduction};
 use dresar_types::{JsonValue, ToJson};
@@ -98,8 +98,7 @@ fn emit_json(scale: dresar_workloads::Scale) {
             w.build()
         })
         .collect();
-    let doc = JsonValue::obj()
-        .field("tool", "probe")
+    let doc = json_doc("probe")
         .field("scale", format!("{scale:?}"))
         .field("workloads", workloads)
         .build();

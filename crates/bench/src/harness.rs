@@ -4,6 +4,11 @@
 //! then a few timed samples; reports mean and best ns/iteration. Fancy
 //! statistics belong to profilers — these benches exist to catch order-of-
 //! magnitude regressions in the simulator hot paths.
+//!
+//! Setting the `DRESAR_BENCH_MACHINE` environment variable (any non-empty
+//! value) makes every result line followed by a machine-readable
+//! `BENCHLINE {name} {mean_ns} {best_ns} {iters}` record that tools like
+//! `bench_report` can parse without scraping the human-formatted output.
 
 use std::time::Instant;
 
@@ -12,6 +17,16 @@ pub use std::hint::black_box;
 const SAMPLES: usize = 3;
 const MIN_BATCH_MS: u128 = 5;
 const MAX_BATCH: u64 = 1 << 20;
+
+/// Batch cap for [`bench_with_setup`]. Deliberately far below [`MAX_BATCH`]:
+/// every iteration's input is rebuilt by `setup()` *outside* the timed
+/// region, so a batch of N holds N prebuilt inputs in memory at once and
+/// pays N untimed setup calls per sample. Setup-bound benches (whole-system
+/// construction, workload generation) would otherwise spend minutes and
+/// gigabytes growing toward `MAX_BATCH` for a few milliseconds of timed
+/// work. 4096 inputs is enough to amortize timer overhead while keeping the
+/// prebuilt vector small.
+const MAX_SETUP_BATCH: u64 = 4096;
 
 /// Times `f` and prints one result line.
 pub fn bench(name: &str, mut f: impl FnMut()) {
@@ -40,7 +55,8 @@ pub fn bench(name: &str, mut f: impl FnMut()) {
 }
 
 /// Like [`bench`], but rebuilds fresh input with `setup` for every
-/// iteration, outside the timed region.
+/// iteration, outside the timed region. Batches cap at [`MAX_SETUP_BATCH`],
+/// not [`MAX_BATCH`] — see the constant's doc for why.
 pub fn bench_with_setup<T>(name: &str, mut setup: impl FnMut() -> T, mut f: impl FnMut(T)) {
     let mut iters: u64 = 1;
     loop {
@@ -49,10 +65,10 @@ pub fn bench_with_setup<T>(name: &str, mut setup: impl FnMut() -> T, mut f: impl
         for input in inputs {
             f(input);
         }
-        if t.elapsed().as_millis() >= MIN_BATCH_MS || iters >= 4096 {
+        if t.elapsed().as_millis() >= MIN_BATCH_MS || iters >= MAX_SETUP_BATCH {
             break;
         }
-        iters = iters.saturating_mul(4).min(4096);
+        iters = iters.saturating_mul(4).min(MAX_SETUP_BATCH);
     }
     let mut samples = [0f64; SAMPLES];
     for s in samples.iter_mut() {
@@ -70,4 +86,41 @@ fn report(name: &str, samples: &[f64], iters: u64) {
     let mean = samples.iter().sum::<f64>() / samples.len() as f64;
     let best = samples.iter().cloned().fold(f64::INFINITY, f64::min);
     println!("{name:<44} {mean:>14.1} ns/iter   (best {best:.1}, {iters} iters/sample)");
+    if std::env::var_os("DRESAR_BENCH_MACHINE").is_some_and(|v| !v.is_empty()) {
+        println!("BENCHLINE {name} {mean:.1} {best:.1} {iters}");
+    }
+}
+
+/// Parses one `BENCHLINE` record emitted under `DRESAR_BENCH_MACHINE`.
+/// Returns `(name, mean_ns, best_ns, iters)`; `None` for any other line.
+pub fn parse_benchline(line: &str) -> Option<(String, f64, f64, u64)> {
+    let rest = line.strip_prefix("BENCHLINE ")?;
+    let mut parts = rest.split_whitespace();
+    let name = parts.next()?.to_string();
+    let mean: f64 = parts.next()?.parse().ok()?;
+    let best: f64 = parts.next()?.parse().ok()?;
+    let iters: u64 = parts.next()?.parse().ok()?;
+    Some((name, mean, best, iters))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn setup_batch_cap_is_below_global_cap() {
+        const { assert!(MAX_SETUP_BATCH < MAX_BATCH) }
+    }
+
+    #[test]
+    fn benchline_round_trips() {
+        let line = "BENCHLINE sd.snoop_hit 12.5 11.9 1048576";
+        let (name, mean, best, iters) = parse_benchline(line).unwrap();
+        assert_eq!(name, "sd.snoop_hit");
+        assert_eq!(mean, 12.5);
+        assert_eq!(best, 11.9);
+        assert_eq!(iters, 1048576);
+        assert_eq!(parse_benchline("sd.snoop_hit 12.5 ns/iter"), None);
+        assert_eq!(parse_benchline("BENCHLINE incomplete"), None);
+    }
 }

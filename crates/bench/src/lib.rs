@@ -171,6 +171,56 @@ pub fn run_one_observed(
     }
 }
 
+/// Runs one workload and returns its deterministic component-metrics
+/// registry. Execution-driven workloads return the simulator's full
+/// snapshot; trace-driven ones get a registry assembled from the trace
+/// report's counters (the constant-latency model has no event engine or
+/// flit network to instrument).
+pub fn run_one_registry(
+    bench: &Bench,
+    sd_entries: Option<u32>,
+    policy: TransientReadPolicy,
+) -> dresar_obs::MetricsRegistry {
+    let sd =
+        sd_entries.map(|entries| SwitchDirConfig { entries, ..SwitchDirConfig::paper_default() });
+    match bench.driver {
+        Driver::Execution => {
+            let mut cfg = SystemConfig::paper_table2();
+            cfg.switch_dir = sd;
+            System::new(cfg, &bench.workload)
+                .run(RunOptions { transient_policy: policy, ..RunOptions::default() })
+                .metrics
+        }
+        Driver::Trace => {
+            let mut cfg = TraceSimConfig::paper_table3();
+            cfg.switch_dir = sd;
+            let r = TraceSimulator::new(cfg).run(&bench.workload);
+            let mut m = dresar_obs::MetricsRegistry::new();
+            m.counter("trace.exec_cycles", r.exec_cycles);
+            m.counter("trace.read_hits", r.read_hits);
+            m.counter("trace.writes", r.writes);
+            m.counter("reads.clean", r.reads.clean);
+            m.counter("reads.ctoc_home", r.reads.ctoc_home);
+            m.counter("reads.ctoc_switch", r.reads.ctoc_switch);
+            m.counter("reads.latency_cycles", r.reads.latency_cycles);
+            m.counter("reads.stall_cycles", r.reads.stall_cycles);
+            m.counter("reads.retries", r.reads.retries);
+            m.counter("home.lookups", r.dir.lookups);
+            m.counter("home.reads_ctoc", r.dir.reads_ctoc);
+            m.counter("home.invals_sent", r.dir.invals_sent);
+            m.counter("home.naks", r.dir.naks);
+            if sd_entries.is_some() {
+                m.counter("sd.snoops", r.sd.snoops);
+                m.counter("sd.read_hits", r.sd.read_hits);
+                m.counter("sd.inserts", r.sd.inserts);
+                m.counter("sd.evictions", r.sd.evictions);
+                m.counter("sd.copybacks_marked", r.sd.copybacks_marked);
+            }
+            m
+        }
+    }
+}
+
 /// Sweep result for one workload: the base system plus every directory
 /// size.
 pub struct Sweep {
@@ -260,6 +310,13 @@ pub fn scale_from_args() -> Scale {
 /// to a single JSON document on stdout.
 pub fn json_requested() -> bool {
     std::env::args().skip(1).any(|a| a == "--json")
+}
+
+/// Starts a machine-readable JSON document. Every `--json` emitter goes
+/// through here so all documents lead with the same two fields:
+/// `schema_version` (see [`dresar_types::SCHEMA_VERSION`]) then `tool`.
+pub fn json_doc(tool: &str) -> dresar_types::ObjBuilder {
+    JsonValue::obj().field("schema_version", dresar_types::SCHEMA_VERSION).field("tool", tool)
 }
 
 #[cfg(test)]

@@ -79,6 +79,29 @@ pub struct HierarchyStats {
     pub write_upgrades: u64,
     /// Writes missing both levels.
     pub write_misses: u64,
+    /// Blocks installed via [`CacheHierarchy::fill`].
+    pub fills: u64,
+    /// Dirty L2 victims surfaced as [`Eviction::Writeback`]s.
+    pub writebacks: u64,
+    /// Modified copies surrendered to external coherence — downgrades plus
+    /// invalidations that destroyed a dirty line. Each is a block this cache
+    /// served (or owed) to another node: the CtoC supply side.
+    pub ctoc_serves: u64,
+}
+
+impl HierarchyStats {
+    /// Accumulates another node's counters into this one.
+    pub fn merge(&mut self, other: &HierarchyStats) {
+        self.l1_read_hits += other.l1_read_hits;
+        self.l2_read_hits += other.l2_read_hits;
+        self.read_misses += other.read_misses;
+        self.write_hits += other.write_hits;
+        self.write_upgrades += other.write_upgrades;
+        self.write_misses += other.write_misses;
+        self.fills += other.fills;
+        self.writebacks += other.writebacks;
+        self.ctoc_serves += other.ctoc_serves;
+    }
 }
 
 /// The inclusive L1/L2 hierarchy of one node.
@@ -155,6 +178,7 @@ impl CacheHierarchy {
     /// consequences (dirty writebacks, silent drops) caused by L2 evictions.
     pub fn fill(&mut self, block: BlockAddr, state: LineState) -> Vec<Eviction> {
         let mut out = Vec::new();
+        self.stats.fills += 1;
         if let Some((victim, victim_state)) = self.l2.insert(block, state) {
             // Inclusion: the L2 victim must leave L1 too. A dirty L1 copy of
             // the victim makes the writeback carry the freshest data; either
@@ -162,6 +186,9 @@ impl CacheHierarchy {
             let l1_victim_state = self.l1.invalidate(victim);
             let dirty =
                 victim_state == LineState::Modified || l1_victim_state == Some(LineState::Modified);
+            if dirty {
+                self.stats.writebacks += 1;
+            }
             out.push(if dirty { Eviction::Writeback(victim) } else { Eviction::Drop(victim) });
         }
         self.fill_l1(block, state);
@@ -185,13 +212,20 @@ impl CacheHierarchy {
     pub fn invalidate(&mut self, block: BlockAddr) -> bool {
         let l1 = self.l1.invalidate(block);
         let l2 = self.l2.invalidate(block);
-        l1 == Some(LineState::Modified) || l2 == Some(LineState::Modified)
+        let was_dirty = l1 == Some(LineState::Modified) || l2 == Some(LineState::Modified);
+        if was_dirty {
+            self.stats.ctoc_serves += 1;
+        }
+        was_dirty
     }
 
     /// External downgrade M -> S (a cache-to-cache read intervention).
     /// Returns `true` if this cache actually held the block Modified.
     pub fn downgrade(&mut self, block: BlockAddr) -> bool {
         let was_dirty = self.probe(block) == Some(LineState::Modified);
+        if was_dirty {
+            self.stats.ctoc_serves += 1;
+        }
         if self.l1.probe(block).is_some() {
             self.l1.set_state(block, LineState::Shared);
         }
@@ -320,6 +354,26 @@ mod tests {
         assert_eq!(h.probe(BlockAddr(0)), Some(LineState::Shared));
         assert!(!h.downgrade(BlockAddr(0)), "second downgrade finds no Modified copy");
         assert!(!h.downgrade(BlockAddr(9)), "absent block");
+    }
+
+    #[test]
+    fn fill_writeback_and_ctoc_counters() {
+        let mut h = tiny();
+        h.fill(BlockAddr(0), LineState::Modified);
+        h.fill(BlockAddr(2), LineState::Shared);
+        h.fill(BlockAddr(4), LineState::Shared); // evicts dirty block 0
+        assert_eq!(h.stats().fills, 3);
+        assert_eq!(h.stats().writebacks, 1);
+        // CtoC supply: downgrade of a dirty line counts, of a clean one not.
+        h.fill(BlockAddr(6), LineState::Modified);
+        h.downgrade(BlockAddr(6));
+        h.downgrade(BlockAddr(6)); // now Shared: not a serve
+        assert_eq!(h.stats().ctoc_serves, 1);
+        // Invalidation destroying a dirty copy counts too.
+        h.fill(BlockAddr(8), LineState::Modified);
+        h.invalidate(BlockAddr(8));
+        h.invalidate(BlockAddr(2)); // clean: not a serve
+        assert_eq!(h.stats().ctoc_serves, 2);
     }
 
     #[test]

@@ -71,7 +71,7 @@ pub struct SdArray {
     stamp: u64,
     transients: usize,
     valid: usize,
-    last_evicted: Option<BlockAddr>,
+    last_evicted: Option<(BlockAddr, SdState)>,
     pending_limit: usize,
 }
 
@@ -156,10 +156,13 @@ impl SdArray {
             Some(i) => {
                 if self.data[i].valid {
                     // A valid MODIFIED hint is silently dropped — record the
-                    // victim so observers can count replacement pressure.
+                    // victim (and its state) so observers can count
+                    // replacement pressure and cross-check the TRANSIENT pin.
                     let v = &self.data[i];
-                    self.last_evicted =
-                        Some(BlockAddr((v.tag << self.set_shift) | (i / self.ways) as u64));
+                    self.last_evicted = Some((
+                        BlockAddr((v.tag << self.set_shift) | (i / self.ways) as u64),
+                        v.state,
+                    ));
                 } else {
                     self.valid += 1;
                 }
@@ -234,9 +237,10 @@ impl SdArray {
         self.valid
     }
 
-    /// Takes the most recent eviction victim (a valid MODIFIED entry
-    /// dropped by [`SdArray::insert_modified`]), clearing it.
-    pub fn take_last_evicted(&mut self) -> Option<BlockAddr> {
+    /// Takes the most recent eviction victim and its pre-eviction state (a
+    /// valid entry dropped by [`SdArray::insert_modified`]), clearing it.
+    /// The state is always `Modified` while the TRANSIENT pin holds.
+    pub fn take_last_evicted(&mut self) -> Option<(BlockAddr, SdState)> {
         self.last_evicted.take()
     }
 
@@ -353,7 +357,7 @@ mod tests {
         a.insert_modified(BlockAddr(4), 2);
         // Set 0 is full; inserting block 8 evicts LRU block 0.
         a.insert_modified(BlockAddr(8), 3);
-        assert_eq!(a.take_last_evicted(), Some(BlockAddr(0)));
+        assert_eq!(a.take_last_evicted(), Some((BlockAddr(0), SdState::Modified)));
         assert!(a.take_last_evicted().is_none(), "take clears the record");
         assert_eq!(a.occupancy(), 2);
     }

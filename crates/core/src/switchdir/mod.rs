@@ -106,11 +106,23 @@ pub struct SdStats {
     pub writeback_replies: u64,
     /// Messages snooped in total.
     pub snoops: u64,
+    /// Valid entries displaced by replacement (LRU victims of new inserts).
+    pub evictions: u64,
+    /// Replacement victims that were TRANSIENT — structurally zero while the
+    /// TRANSIENT pin holds; a nonzero value flags a protocol bug, so the
+    /// breakdown doubles as a telemetry cross-check.
+    pub evictions_transient: u64,
+    /// High-water mark of valid entries in the array.
+    pub peak_occupancy: u64,
+    /// High-water mark of TRANSIENT entries — the pending-buffer occupancy
+    /// a sized §4.3 buffer would have needed.
+    pub peak_transients: u64,
 }
 
 impl SdStats {
     /// Sums another instance's counters into this one (aggregation across
-    /// switches).
+    /// switches). Peaks take the max: the merged value answers "how large
+    /// would the busiest single switch's array/buffer have to be".
     pub fn merge(&mut self, other: &SdStats) {
         self.inserts += other.inserts;
         self.inserts_blocked += other.inserts_blocked;
@@ -122,6 +134,10 @@ impl SdStats {
         self.copybacks_marked += other.copybacks_marked;
         self.writeback_replies += other.writeback_replies;
         self.snoops += other.snoops;
+        self.evictions += other.evictions;
+        self.evictions_transient += other.evictions_transient;
+        self.peak_occupancy = self.peak_occupancy.max(other.peak_occupancy);
+        self.peak_transients = self.peak_transients.max(other.peak_transients);
     }
 }
 
@@ -138,6 +154,10 @@ impl ToJson for SdStats {
             .field("copybacks_marked", self.copybacks_marked)
             .field("writeback_replies", self.writeback_replies)
             .field("snoops", self.snoops)
+            .field("evictions", self.evictions)
+            .field("evictions_transient", self.evictions_transient)
+            .field("peak_occupancy", self.peak_occupancy)
+            .field("peak_transients", self.peak_transients)
             .build()
     }
 }
@@ -155,6 +175,10 @@ impl FromJson for SdStats {
             copybacks_marked: JsonError::want_u64(v, "copybacks_marked")?,
             writeback_replies: JsonError::want_u64(v, "writeback_replies")?,
             snoops: JsonError::want_u64(v, "snoops")?,
+            evictions: JsonError::want_u64(v, "evictions")?,
+            evictions_transient: JsonError::want_u64(v, "evictions_transient")?,
+            peak_occupancy: JsonError::want_u64(v, "peak_occupancy")?,
+            peak_transients: JsonError::want_u64(v, "peak_transients")?,
         })
     }
 }
@@ -211,6 +235,20 @@ impl SwitchDirectory {
         t: Cycle,
         probe: &mut P,
     ) -> SnoopAction {
+        let action = self.snoop_impl(msg, loc, t, probe);
+        self.stats.peak_occupancy = self.stats.peak_occupancy.max(self.array.occupancy() as u64);
+        self.stats.peak_transients =
+            self.stats.peak_transients.max(self.array.transient_count() as u64);
+        action
+    }
+
+    fn snoop_impl<P: Probe>(
+        &mut self,
+        msg: &mut Message,
+        loc: SwitchLoc,
+        t: Cycle,
+        probe: &mut P,
+    ) -> SnoopAction {
         if !msg.kind.switch_dir_relevant() {
             return SnoopAction::Forward;
         }
@@ -223,7 +261,11 @@ impl SwitchDirectory {
                 if self.array.insert_modified(block, owner) {
                     self.stats.inserts += 1;
                     probe.sd_event(t, loc, block, SdProbeEvent::Insert);
-                    if let Some(victim) = self.array.take_last_evicted() {
+                    if let Some((victim, state)) = self.array.take_last_evicted() {
+                        self.stats.evictions += 1;
+                        if state == SdState::Transient {
+                            self.stats.evictions_transient += 1;
+                        }
                         probe.sd_event(t, loc, victim, SdProbeEvent::Evict);
                     }
                 } else {
@@ -628,6 +670,36 @@ mod tests {
         assert_eq!(a2, SnoopAction::Forward);
         assert_eq!(sd.transient_count(), 1);
         assert_eq!(sd.stats().inserts_blocked, 1);
+    }
+
+    #[test]
+    fn eviction_and_peak_counters_tracked() {
+        // 4 sets x 2 ways: blocks 0, 4, 8 share set 0.
+        let mut sd = SwitchDirectory::new(SwitchDirConfig {
+            entries: 8,
+            ways: 2,
+            lookup_ports: 2,
+            pending_buffer_entries: 8,
+        });
+        install(&mut sd, 0, 1);
+        install(&mut sd, 4, 2);
+        install(&mut sd, 8, 3); // evicts MODIFIED block 0
+        assert_eq!(sd.stats().evictions, 1);
+        assert_eq!(sd.stats().evictions_transient, 0, "TRANSIENT pin holds");
+        assert_eq!(sd.stats().peak_occupancy, 2);
+        sd.snoop(&mut msg(MsgType::ReadRequest, 4, 7)); // -> transient
+        assert_eq!(sd.stats().peak_transients, 1);
+        // Peaks persist after the transient drains.
+        let mut cb = msg(MsgType::CopyBack, 4, 2);
+        sd.snoop(&mut cb);
+        assert_eq!(sd.transient_count(), 0);
+        assert_eq!(sd.stats().peak_transients, 1);
+        // Merge takes the max of peaks, the sum of evictions.
+        let mut a = sd.stats();
+        let b = SdStats { peak_occupancy: 9, evictions: 4, ..SdStats::default() };
+        a.merge(&b);
+        assert_eq!(a.peak_occupancy, 9);
+        assert_eq!(a.evictions, 5);
     }
 
     #[test]

@@ -242,13 +242,13 @@ impl System {
         self.build_report()
     }
 
-    fn build_report(self) -> ExecutionReport {
+    fn build_report(mut self) -> ExecutionReport {
         let mut r = ExecutionReport {
-            workload: self.workload,
+            workload: std::mem::take(&mut self.workload),
             cycles: self.end_time,
             network_hops: self.net.messages_moved(),
             writebacks: self.writebacks,
-            histogram: self.histogram,
+            histogram: self.histogram.take(),
             ..Default::default()
         };
         for n in &self.nodes {
@@ -261,7 +261,112 @@ impl System {
         for s in self.sdirs.iter().flatten() {
             r.sd.merge(&s.stats());
         }
+        r.metrics = self.snapshot_metrics(&r);
         r
+    }
+
+    /// Assembles the deterministic component-metrics registry from every
+    /// structure's counters. Runs once, after the simulation, so it costs
+    /// the hot loops nothing. Names follow `component.sub.metric`; merge
+    /// semantics are sum for counts and max-across-instances for peaks.
+    fn snapshot_metrics(&self, r: &ExecutionReport) -> dresar_obs::MetricsRegistry {
+        let mut m = dresar_obs::MetricsRegistry::new();
+
+        // Simulated time (lets tools compute cycles/sec without re-parsing
+        // the enclosing report).
+        m.counter("sim.cycles", r.cycles);
+
+        // Event engine: queue pressure.
+        m.counter("engine.queue.scheduled", self.queue.scheduled_total());
+        m.gauge("engine.queue.depth", self.queue.len() as u64, self.queue.peak_len() as u64);
+
+        // Processor-side totals.
+        m.counter("proc.refs_executed", r.refs_executed);
+        m.counter("reads.clean", r.reads.clean);
+        m.counter("reads.ctoc_home", r.reads.ctoc_home);
+        m.counter("reads.ctoc_switch", r.reads.ctoc_switch);
+        m.counter("reads.latency_cycles", r.reads.latency_cycles);
+        m.counter("reads.stall_cycles", r.reads.stall_cycles);
+        m.counter("reads.retries", r.reads.retries);
+
+        // Cache hierarchy, aggregated over nodes.
+        let mut cache = dresar_cache::HierarchyStats::default();
+        for n in &self.nodes {
+            cache.merge(&n.hier.stats());
+        }
+        m.counter("cache.l1_read_hits", cache.l1_read_hits);
+        m.counter("cache.l2_read_hits", cache.l2_read_hits);
+        m.counter("cache.read_misses", cache.read_misses);
+        m.counter("cache.write_hits", cache.write_hits);
+        m.counter("cache.write_upgrades", cache.write_upgrades);
+        m.counter("cache.write_misses", cache.write_misses);
+        m.counter("cache.fills", cache.fills);
+        m.counter("cache.writebacks", cache.writebacks);
+        m.counter("cache.ctoc_serves", cache.ctoc_serves);
+
+        // Home directories (FSM occupancy peaks are max over homes).
+        m.counter("home.lookups", r.dir.lookups);
+        m.counter("home.reads_clean", r.dir.reads_clean);
+        m.counter("home.reads_ctoc", r.dir.reads_ctoc);
+        m.counter("home.writes_ctoc", r.dir.writes_ctoc);
+        m.counter("home.inval_rounds", r.dir.inval_rounds);
+        m.counter("home.invals_sent", r.dir.invals_sent);
+        m.counter("home.naks", r.dir.naks);
+        m.counter("home.queued", r.dir.queued);
+        m.counter("home.marked_completions", r.dir.marked_completions);
+        m.gauge("home.busy", 0, r.dir.peak_busy);
+        m.gauge("home.pending", 0, r.dir.peak_pending);
+
+        // Home controller + DRAM banks as contended resources.
+        let (mut ctrl_acq, mut ctrl_stall, mut ctrl_busy) = (0u64, 0u64, 0u64);
+        for c in &self.home_ctrl {
+            ctrl_acq += c.acquisitions();
+            ctrl_stall += c.stall_cycles();
+            ctrl_busy += c.occupied_cycles();
+        }
+        m.counter("home.ctrl.acquisitions", ctrl_acq);
+        m.counter("home.ctrl.stall_cycles", ctrl_stall);
+        m.counter("home.ctrl.busy_cycles", ctrl_busy);
+        let (mut dram_acq, mut dram_stall, mut dram_busy) = (0u64, 0u64, 0u64);
+        for d in &self.dram {
+            dram_acq += d.acquisitions();
+            dram_stall += d.stall_cycles();
+            dram_busy += d.occupied_cycles();
+        }
+        m.counter("dram.acquisitions", dram_acq);
+        m.counter("dram.stall_cycles", dram_stall);
+        m.counter("dram.busy_cycles", dram_busy);
+
+        // Switch directories (present only when configured).
+        if self.sdirs.iter().any(Option::is_some) {
+            let occupancy: u64 = self.sdirs.iter().flatten().map(|s| s.occupancy() as u64).sum();
+            let transients: u64 =
+                self.sdirs.iter().flatten().map(|s| s.transient_count() as u64).sum();
+            m.counter("sd.snoops", r.sd.snoops);
+            m.counter("sd.inserts", r.sd.inserts);
+            m.counter("sd.inserts_blocked", r.sd.inserts_blocked);
+            m.counter("sd.read_hits", r.sd.read_hits);
+            m.counter("sd.transient_retries", r.sd.transient_retries);
+            m.counter("sd.readers_accumulated", r.sd.readers_accumulated);
+            m.counter("sd.invalidations", r.sd.invalidations);
+            m.counter("sd.write_retries", r.sd.write_retries);
+            m.counter("sd.copybacks_marked", r.sd.copybacks_marked);
+            m.counter("sd.writeback_replies", r.sd.writeback_replies);
+            m.counter("sd.evictions", r.sd.evictions);
+            m.counter("sd.evictions_transient", r.sd.evictions_transient);
+            m.gauge("sd.occupancy", occupancy, r.sd.peak_occupancy);
+            m.gauge("sd.transients", transients, r.sd.peak_transients);
+        }
+
+        // Interconnect links.
+        let (link_acq, link_stall) = self.net.contention();
+        m.counter("net.messages", self.net.messages_moved());
+        m.counter("net.flits", self.net.flits_moved());
+        m.counter("net.link_acquisitions", link_acq);
+        m.counter("net.link_stall_cycles", link_stall);
+        m.counter("net.writebacks", self.writebacks);
+
+        m
     }
 
     // ------------------------------------------------------------------
@@ -1076,6 +1181,7 @@ impl System {
 mod tests {
     use super::*;
     use dresar_types::config::SwitchDirConfig;
+    use dresar_types::ToJson;
 
     fn small_cfg(switch_dir: bool) -> SystemConfig {
         let mut cfg = SystemConfig::paper_table2();
@@ -1213,6 +1319,41 @@ mod tests {
         assert_eq!(r1.cycles, r2.cycles);
         assert_eq!(r1.reads, r2.reads);
         assert_eq!(r1.network_hops, r2.network_hops);
+        assert_eq!(r1.metrics, r2.metrics, "metrics registries must match exactly");
+        assert_eq!(
+            r1.metrics.to_json().dump(),
+            r2.metrics.to_json().dump(),
+            "metrics serialization must be byte-identical"
+        );
+    }
+
+    #[test]
+    fn metrics_registry_is_populated() {
+        let w = wl(vec![
+            vec![StreamItem::write(0, 1), StreamItem::Barrier(0)],
+            vec![StreamItem::Barrier(0), StreamItem::read(0, 1)],
+            vec![StreamItem::Barrier(0)],
+            vec![StreamItem::Barrier(0)],
+        ]);
+        let r = run(small_cfg(true), &w);
+        use dresar_obs::MetricValue;
+        assert_eq!(r.metrics.get("proc.refs_executed"), Some(&MetricValue::Counter(2)));
+        assert_eq!(r.metrics.get("net.messages"), Some(&MetricValue::Counter(r.network_hops)));
+        assert_eq!(r.metrics.get("reads.ctoc_switch"), Some(&MetricValue::Counter(1)));
+        assert_eq!(r.metrics.get("sd.read_hits"), Some(&MetricValue::Counter(r.sd.read_hits)));
+        assert_eq!(r.metrics.get("home.lookups"), Some(&MetricValue::Counter(r.dir.lookups)));
+        // The queue drained, so the gauge's current level is zero but its
+        // peak saw the run.
+        match r.metrics.get("engine.queue.depth") {
+            Some(MetricValue::Gauge { current: 0, peak }) if *peak > 0 => {}
+            other => panic!("unexpected engine.queue.depth: {other:?}"),
+        }
+        // Structural invariant: TRANSIENT entries are pinned, so replacement
+        // never victimizes one.
+        assert_eq!(r.metrics.get("sd.evictions_transient"), Some(&MetricValue::Counter(0)));
+        // No switch directories -> no sd.* metrics at all.
+        let base = run(small_cfg(false), &w);
+        assert_eq!(base.metrics.get("sd.read_hits"), None);
     }
 
     #[test]

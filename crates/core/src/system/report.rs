@@ -1,7 +1,7 @@
 //! Aggregated results of one execution-driven simulation run.
 
 use dresar_directory::DirStats;
-use dresar_obs::ObsReport;
+use dresar_obs::{MetricsRegistry, ObsReport};
 use dresar_stats::ReadStats;
 use dresar_types::{Cycle, FromJson, JsonError, JsonValue, ToJson};
 
@@ -34,6 +34,11 @@ pub struct ExecutionReport {
     /// Observer payloads (latency breakdown, time series, trace), present
     /// when [`crate::system::RunOptions::observers`] enabled any.
     pub obs: Option<ObsReport>,
+    /// Deterministic component-metrics snapshot (queue depths, arbitration,
+    /// directory occupancy, cache traffic...), assembled after the run from
+    /// each structure's counters. Always populated by the simulator; the
+    /// `bench_report` regression gate diffs it against a baseline.
+    pub metrics: MetricsRegistry,
 }
 
 impl ExecutionReport {
@@ -80,6 +85,9 @@ impl ToJson for ExecutionReport {
         if let Some(obs) = &self.obs {
             b = b.field("obs", obs.to_json());
         }
+        if !self.metrics.is_empty() {
+            b = b.field("metrics", self.metrics.to_json());
+        }
         b.build()
     }
 }
@@ -92,6 +100,10 @@ impl FromJson for ExecutionReport {
         let reads = v.get("reads").ok_or_else(|| JsonError::new("missing field `reads`"))?;
         let dir = v.get("dir").ok_or_else(|| JsonError::new("missing field `dir`"))?;
         let sd = v.get("sd").ok_or_else(|| JsonError::new("missing field `sd`"))?;
+        let metrics = match v.get("metrics") {
+            Some(m) => MetricsRegistry::from_json(m)?,
+            None => MetricsRegistry::default(),
+        };
         Ok(ExecutionReport {
             workload: JsonError::want_str(v, "workload")?,
             cycles: JsonError::want_u64(v, "cycles")?,
@@ -103,6 +115,7 @@ impl FromJson for ExecutionReport {
             refs_executed: JsonError::want_u64(v, "refs_executed")?,
             histogram: None,
             obs: None,
+            metrics,
         })
     }
 }

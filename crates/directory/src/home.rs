@@ -145,11 +145,21 @@ pub struct DirStats {
     /// Marked copyback/writeback messages whose carried sharer pids were
     /// folded into the vector (the switch-directory protocol extension).
     pub marked_completions: u64,
+    /// Full-map lookups performed (every request/completion handler consults
+    /// the map once). The difference against total reads shows the lookups a
+    /// switch directory *saved* the home.
+    pub lookups: u64,
+    /// High-water mark of concurrently busy (in-transaction) blocks — the
+    /// FSM occupancy a sized transaction table would have needed.
+    pub peak_busy: u64,
+    /// High-water mark of total requests parked in pending queues.
+    pub peak_pending: u64,
 }
 
 impl DirStats {
     /// Sums another instance's counters into this one (aggregation across
-    /// home nodes).
+    /// home nodes). Peaks take the max: the merged value answers "how large
+    /// would the busiest single controller's table have to be".
     pub fn merge(&mut self, other: &DirStats) {
         self.reads_clean += other.reads_clean;
         self.reads_ctoc += other.reads_ctoc;
@@ -159,6 +169,9 @@ impl DirStats {
         self.naks += other.naks;
         self.queued += other.queued;
         self.marked_completions += other.marked_completions;
+        self.lookups += other.lookups;
+        self.peak_busy = self.peak_busy.max(other.peak_busy);
+        self.peak_pending = self.peak_pending.max(other.peak_pending);
     }
 }
 
@@ -173,6 +186,9 @@ impl ToJson for DirStats {
             .field("naks", self.naks)
             .field("queued", self.queued)
             .field("marked_completions", self.marked_completions)
+            .field("lookups", self.lookups)
+            .field("peak_busy", self.peak_busy)
+            .field("peak_pending", self.peak_pending)
             .build()
     }
 }
@@ -188,6 +204,9 @@ impl FromJson for DirStats {
             naks: JsonError::want_u64(v, "naks")?,
             queued: JsonError::want_u64(v, "queued")?,
             marked_completions: JsonError::want_u64(v, "marked_completions")?,
+            lookups: JsonError::want_u64(v, "lookups")?,
+            peak_busy: JsonError::want_u64(v, "peak_busy")?,
+            peak_pending: JsonError::want_u64(v, "peak_pending")?,
         })
     }
 }
@@ -198,6 +217,11 @@ pub struct HomeDirectory {
     blocks: HashMap<BlockAddr, BlockEntry>,
     pending_limit: usize,
     stats: DirStats,
+    /// Blocks currently mid-transaction (feeds `stats.peak_busy`).
+    busy_now: u64,
+    /// Requests currently parked across all queues (feeds
+    /// `stats.peak_pending`).
+    pending_now: u64,
 }
 
 /// Outcome of a completion-type message (copyback / writeback / inval ack):
@@ -221,7 +245,13 @@ impl Default for HomeDirectory {
 impl HomeDirectory {
     /// Creates a directory with the given per-block pending-queue bound.
     pub fn new(pending_limit: usize) -> Self {
-        HomeDirectory { blocks: HashMap::new(), pending_limit, stats: DirStats::default() }
+        HomeDirectory {
+            blocks: HashMap::new(),
+            pending_limit,
+            stats: DirStats::default(),
+            busy_now: 0,
+            pending_now: 0,
+        }
     }
 
     /// Current stable state of a block (`Uncached` if never touched).
@@ -244,6 +274,21 @@ impl HomeDirectory {
         self.blocks.entry(block).or_insert_with(BlockEntry::stable_uncached)
     }
 
+    /// (busy?, parked requests) of one block — the only entry a handler can
+    /// change, so before/after snapshots yield the occupancy delta.
+    fn occupancy_of(&self, block: BlockAddr) -> (bool, usize) {
+        self.blocks.get(&block).map_or((false, 0), |e| (e.busy.is_some(), e.pending.len()))
+    }
+
+    /// Folds one block's occupancy delta into the global counts and peaks.
+    fn track_occupancy(&mut self, block: BlockAddr, before: (bool, usize)) {
+        let after = self.occupancy_of(block);
+        self.busy_now = self.busy_now + after.0 as u64 - before.0 as u64;
+        self.pending_now = self.pending_now + after.1 as u64 - before.1 as u64;
+        self.stats.peak_busy = self.stats.peak_busy.max(self.busy_now);
+        self.stats.peak_pending = self.stats.peak_pending.max(self.pending_now);
+    }
+
     /// Drops quiescent entries to bound memory in long runs.
     pub fn compact(&mut self) {
         self.blocks.retain(|_, e| !e.is_quiescent());
@@ -264,6 +309,14 @@ impl HomeDirectory {
 
     /// Handles a `ReadRequest` arriving at the home.
     pub fn handle_read(&mut self, block: BlockAddr, requester: NodeId) -> DirAction {
+        let before = self.occupancy_of(block);
+        self.stats.lookups += 1;
+        let action = self.read_impl(block, requester);
+        self.track_occupancy(block, before);
+        action
+    }
+
+    fn read_impl(&mut self, block: BlockAddr, requester: NodeId) -> DirAction {
         if self.entry(block).busy.is_some() {
             return self.park(block, requester, ReqKind::Read);
         }
@@ -297,6 +350,14 @@ impl HomeDirectory {
 
     /// Handles a `WriteRequest` (ownership request) arriving at the home.
     pub fn handle_write(&mut self, block: BlockAddr, requester: NodeId) -> DirAction {
+        let before = self.occupancy_of(block);
+        self.stats.lookups += 1;
+        let action = self.write_impl(block, requester);
+        self.track_occupancy(block, before);
+        action
+    }
+
+    fn write_impl(&mut self, block: BlockAddr, requester: NodeId) -> DirAction {
         if self.entry(block).busy.is_some() {
             return self.park(block, requester, ReqKind::Write);
         }
@@ -339,6 +400,14 @@ impl HomeDirectory {
     /// Handles an `InvalAck`. When the last ack arrives, the waiting writer
     /// gets its grant and pending requests replay.
     pub fn handle_inval_ack(&mut self, block: BlockAddr) -> Completion {
+        let before = self.occupancy_of(block);
+        self.stats.lookups += 1;
+        let c = self.inval_ack_impl(block);
+        self.track_occupancy(block, before);
+        c
+    }
+
+    fn inval_ack_impl(&mut self, block: BlockAddr) -> Completion {
         let e = self.entry(block);
         match e.busy {
             Some(Busy::Inval { writer, acks_left }) => {
@@ -370,6 +439,14 @@ impl HomeDirectory {
         from: NodeId,
         carried: SharerSet,
     ) -> Completion {
+        let before = self.occupancy_of(block);
+        self.stats.lookups += 1;
+        let c = self.copyback_impl(block, from, carried);
+        self.track_occupancy(block, before);
+        c
+    }
+
+    fn copyback_impl(&mut self, block: BlockAddr, from: NodeId, carried: SharerSet) -> Completion {
         if !carried.is_empty() {
             self.stats.marked_completions += 1;
         }
@@ -452,6 +529,14 @@ impl HomeDirectory {
         from: NodeId,
         carried: SharerSet,
     ) -> Completion {
+        let before = self.occupancy_of(block);
+        self.stats.lookups += 1;
+        let c = self.writeback_impl(block, from, carried);
+        self.track_occupancy(block, before);
+        c
+    }
+
+    fn writeback_impl(&mut self, block: BlockAddr, from: NodeId, carried: SharerSet) -> Completion {
         if !carried.is_empty() {
             self.stats.marked_completions += 1;
         }
@@ -619,6 +704,12 @@ impl HomeDirectory {
 
     /// Test/debug helper: force a block's stable state.
     pub fn force_state(&mut self, block: BlockAddr, state: DirState) {
+        let before = self.occupancy_of(block);
+        self.force_state_impl(block, state);
+        self.track_occupancy(block, before);
+    }
+
+    fn force_state_impl(&mut self, block: BlockAddr, state: DirState) {
         match self.blocks.entry(block) {
             Entry::Occupied(mut e) => {
                 let e = e.get_mut();
@@ -830,6 +921,30 @@ mod tests {
         let c = d.handle_writeback(B, 9, SharerSet::EMPTY);
         assert_eq!(c, Completion::default());
         assert_eq!(d.state(B), DirState::Shared(SharerSet::singleton(1)));
+    }
+
+    #[test]
+    fn lookups_and_occupancy_peaks_tracked() {
+        let mut d = HomeDirectory::default();
+        d.handle_write(B, 7); // lookup 1
+        d.handle_read(B, 2); // lookup 2: busy CtoC (busy_now = 1)
+        d.handle_write(BlockAddr(43), 5); // lookup 3
+        d.handle_write(BlockAddr(43), 6); // lookup 4: busy CtoC (busy_now = 2)
+        d.handle_read(B, 3); // lookup 5: parked (pending_now = 1)
+        assert_eq!(d.stats().lookups, 5);
+        assert_eq!(d.stats().peak_busy, 2);
+        assert_eq!(d.stats().peak_pending, 1);
+        // Completions drain the occupancy but peaks persist.
+        d.handle_copyback(B, 7, SharerSet::EMPTY);
+        d.handle_copyback(BlockAddr(43), 5, SharerSet::EMPTY);
+        assert!(!d.is_busy(B) && !d.is_busy(BlockAddr(43)));
+        assert_eq!(d.stats().peak_busy, 2);
+        // Merge takes the max of peaks, the sum of lookups.
+        let mut a = d.stats();
+        let b = DirStats { peak_busy: 7, lookups: 10, ..DirStats::default() };
+        a.merge(&b);
+        assert_eq!(a.peak_busy, 7);
+        assert_eq!(a.lookups, 17);
     }
 
     #[test]

@@ -41,6 +41,7 @@ pub struct EventQueue<E> {
     heap: BinaryHeap<Reverse<Entry<E>>>,
     seq: u64,
     now: Cycle,
+    peak_len: usize,
 }
 
 impl<E> Default for EventQueue<E> {
@@ -52,7 +53,7 @@ impl<E> Default for EventQueue<E> {
 impl<E> EventQueue<E> {
     /// Creates an empty queue at cycle 0.
     pub fn new() -> Self {
-        EventQueue { heap: BinaryHeap::new(), seq: 0, now: 0 }
+        EventQueue { heap: BinaryHeap::new(), seq: 0, now: 0, peak_len: 0 }
     }
 
     /// Current simulation time.
@@ -67,6 +68,7 @@ impl<E> EventQueue<E> {
         let seq = self.seq;
         self.seq += 1;
         self.heap.push(Reverse(Entry { time: time.max(self.now), seq, event }));
+        self.peak_len = self.peak_len.max(self.heap.len());
     }
 
     /// Schedules `event` `delay` cycles from now.
@@ -103,6 +105,12 @@ impl<E> EventQueue<E> {
     /// sequence counter).
     pub fn scheduled_total(&self) -> u64 {
         self.seq
+    }
+
+    /// High-water mark of pending events — the queue occupancy a sized
+    /// hardware event list would have needed.
+    pub fn peak_len(&self) -> usize {
+        self.peak_len
     }
 }
 
@@ -142,6 +150,19 @@ mod tests {
         q.pop();
         q.schedule_in(5, 1u32);
         assert_eq!(q.pop(), Some((15, 1)));
+    }
+
+    #[test]
+    fn peak_len_tracks_high_water_mark() {
+        let mut q = EventQueue::new();
+        for i in 0..5 {
+            q.schedule_at(i, i);
+        }
+        q.pop();
+        q.pop();
+        q.schedule_at(10, 10);
+        assert_eq!(q.peak_len(), 5, "peak is the historical maximum, not the current depth");
+        assert_eq!(q.len(), 4);
     }
 
     #[test]

@@ -18,6 +18,11 @@ pub struct Resource {
     busy_until: Cycle,
     /// Total cycles the resource has been occupied (utilization metric).
     occupied: Cycle,
+    /// Bookings served.
+    acquisitions: u64,
+    /// Cycles requests spent waiting for the resource to free up
+    /// (backpressure: sum of `start - now` over all bookings).
+    stalled: Cycle,
 }
 
 impl Resource {
@@ -31,6 +36,8 @@ impl Resource {
         let start = now.max(self.busy_until);
         self.busy_until = start + duration;
         self.occupied += duration;
+        self.acquisitions += 1;
+        self.stalled += start - now;
         start
     }
 
@@ -47,6 +54,16 @@ impl Resource {
     /// Total occupied cycles so far.
     pub fn occupied_cycles(&self) -> Cycle {
         self.occupied
+    }
+
+    /// Bookings served so far.
+    pub fn acquisitions(&self) -> u64 {
+        self.acquisitions
+    }
+
+    /// Total cycles requests waited behind earlier bookings (backpressure).
+    pub fn stall_cycles(&self) -> Cycle {
+        self.stalled
     }
 }
 
@@ -78,6 +95,16 @@ impl BankedResource {
     /// Total occupied cycles across all banks.
     pub fn occupied_cycles(&self) -> Cycle {
         self.banks.iter().map(Resource::occupied_cycles).sum()
+    }
+
+    /// Bookings served across all banks.
+    pub fn acquisitions(&self) -> u64 {
+        self.banks.iter().map(Resource::acquisitions).sum()
+    }
+
+    /// Cycles requests waited on busy banks, across all banks.
+    pub fn stall_cycles(&self) -> Cycle {
+        self.banks.iter().map(Resource::stall_cycles).sum()
     }
 }
 

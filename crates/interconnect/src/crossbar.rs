@@ -44,6 +44,37 @@ struct OutputLock {
     holder: Option<(u16, u16)>, // (input, vc)
 }
 
+/// Arbitration outcome counters kept by every [`Crossbar`].
+///
+/// `conflicts` counts candidates that lost an arbitration cycle to an older
+/// flit (the SPIDER age-based preemption); `lock_blocked` counts candidates
+/// turned away by a wormhole output lock; `offers_refused` counts flits an
+/// upstream sender had to hold because the VC FIFO was full (credit
+/// backpressure).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ArbiterStats {
+    /// Flits granted passage through the switch core.
+    pub grants: u64,
+    /// Candidates skipped because their input or output was already granted
+    /// this cycle to an older flit.
+    pub conflicts: u64,
+    /// Candidates ineligible because of a wormhole output lock (a head flit
+    /// facing a locked output, or a body flit whose lock is not yet placed).
+    pub lock_blocked: u64,
+    /// Flits refused at [`Crossbar::offer`] because the VC FIFO was full.
+    pub offers_refused: u64,
+}
+
+impl ArbiterStats {
+    /// Accumulates `other` into `self` (for summing across switches).
+    pub fn merge(&mut self, other: &ArbiterStats) {
+        self.grants += other.grants;
+        self.conflicts += other.conflicts;
+        self.lock_blocked += other.lock_blocked;
+        self.offers_refused += other.offers_refused;
+    }
+}
+
 /// A flit leaving the switch.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Exit {
@@ -63,8 +94,7 @@ pub struct Crossbar {
     locks: Vec<OutputLock>,
     buffer_flits: usize,
     core_cycles: Cycle,
-    /// Flits granted, for utilization reporting.
-    granted: u64,
+    stats: ArbiterStats,
 }
 
 impl Crossbar {
@@ -84,7 +114,7 @@ impl Crossbar {
             locks: vec![OutputLock::default(); n_out],
             buffer_flits,
             core_cycles: core_cycles as Cycle,
-            granted: 0,
+            stats: ArbiterStats::default(),
         }
     }
 
@@ -104,6 +134,7 @@ impl Crossbar {
     pub fn offer(&mut self, input: usize, vc: usize, flit: Flit) -> bool {
         let fifo = &mut self.inputs[input].vcs[vc].fifo;
         if fifo.len() >= self.buffer_flits {
+            self.stats.offers_refused += 1;
             return false;
         }
         fifo.push_back(flit);
@@ -117,7 +148,12 @@ impl Crossbar {
 
     /// Total flits granted so far.
     pub fn flits_granted(&self) -> u64 {
-        self.granted
+        self.stats.grants
+    }
+
+    /// Arbitration outcome counters.
+    pub fn stats(&self) -> &ArbiterStats {
+        &self.stats
     }
 
     /// Runs one arbitration cycle at time `now`; returns the flits that
@@ -151,6 +187,7 @@ impl Crossbar {
             let o = f.out_port as usize;
             debug_assert!(o < self.locks.len(), "flit requests nonexistent output");
             if in_used[i as usize] || out_used[o] {
+                self.stats.conflicts += 1;
                 continue;
             }
             let eligible = match self.locks[o].holder {
@@ -158,6 +195,7 @@ impl Crossbar {
                 Some(h) => h == (i, v) && !f.head,
             };
             if !eligible {
+                self.stats.lock_blocked += 1;
                 continue;
             }
             // Grant.
@@ -170,7 +208,7 @@ impl Crossbar {
             if flit.tail {
                 self.locks[o].holder = None;
             }
-            self.granted += 1;
+            self.stats.grants += 1;
             exits.push(Exit { out_port: f.out_port, at: now + self.core_cycles, flit });
         }
         exits
@@ -286,6 +324,36 @@ mod tests {
         let e = x.step(1);
         assert_eq!(e.len(), 1);
         assert_eq!(e[0].flit.msg, 2);
+    }
+
+    #[test]
+    fn arbiter_stats_count_outcomes() {
+        let mut x = paper_switch();
+        // Age conflict: two heads for the same output, same cycle.
+        x.offer(0, 0, Flit { msg: 1, head: true, tail: true, age: 0, out_port: 0 });
+        x.offer(1, 0, Flit { msg: 2, head: true, tail: true, age: 5, out_port: 0 });
+        x.step(0);
+        assert_eq!(x.stats().grants, 1);
+        assert_eq!(x.stats().conflicts, 1, "younger flit lost the arbitration");
+        // Wormhole lock block: a stalled multi-flit message holds output 3.
+        x.step(1); // drain msg 2
+        x.offer(2, 0, Flit { msg: 3, head: true, tail: false, age: 0, out_port: 3 });
+        x.step(2);
+        x.offer(3, 0, Flit { msg: 4, head: true, tail: true, age: 9, out_port: 3 });
+        x.step(3);
+        assert_eq!(x.stats().lock_blocked, 1, "head blocked by foreign lock");
+        // FIFO-full refusal.
+        let f = Flit { msg: 5, head: true, tail: false, age: 0, out_port: 1 };
+        for _ in 0..4 {
+            assert!(x.offer(4, 0, f));
+        }
+        assert!(!x.offer(4, 0, f));
+        assert_eq!(x.stats().offers_refused, 1);
+        // Merge sums fields.
+        let mut total = ArbiterStats::default();
+        total.merge(x.stats());
+        total.merge(x.stats());
+        assert_eq!(total.grants, 2 * x.stats().grants);
     }
 
     #[test]

@@ -11,7 +11,7 @@
 //! Port convention per switch (radix `d`): inputs/outputs `0..d` face the
 //! processors (down side), `d..2d` face the memories (up side).
 
-use crate::crossbar::{flits_of_message, Crossbar};
+use crate::crossbar::{flits_of_message, ArbiterStats, Crossbar};
 use crate::routes::{LinkId, Route};
 use crate::topology::{Bmin, SwitchId};
 use dresar_types::config::SwitchConfig;
@@ -329,6 +329,15 @@ impl FlitNetwork {
     /// All deliveries so far.
     pub fn deliveries(&self) -> &[Delivery] {
         &self.delivered
+    }
+
+    /// Arbitration counters summed over every switch in the network.
+    pub fn arbiter_stats(&self) -> ArbiterStats {
+        let mut total = ArbiterStats::default();
+        for sw in &self.switches {
+            total.merge(sw.stats());
+        }
+        total
     }
 }
 

@@ -117,6 +117,23 @@ impl HopNetwork {
         self.messages
     }
 
+    /// Total flits serialized across all links.
+    pub fn flits_moved(&self) -> u64 {
+        self.flits
+    }
+
+    /// Link bookings and total cycles messages waited for busy links,
+    /// summed over every link (the network's backpressure counters).
+    pub fn contention(&self) -> (u64, Cycle) {
+        let mut acq = 0;
+        let mut stall = 0;
+        for r in self.links.values() {
+            acq += r.acquisitions();
+            stall += r.stall_cycles();
+        }
+        (acq, stall)
+    }
+
     /// Per-link busy-cycle report, sorted by busiest first.
     pub fn utilization(&self) -> Vec<LinkUtilization> {
         let mut v: Vec<_> = self

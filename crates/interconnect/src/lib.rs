@@ -31,7 +31,7 @@ pub mod hop_model;
 pub mod routes;
 pub mod topology;
 
-pub use crossbar::{Crossbar, Flit};
+pub use crossbar::{ArbiterStats, Crossbar, Flit};
 pub use flit_net::{Delivery, FlitNetwork};
 pub use hop_model::{link_key, HopNetwork};
 pub use routes::{Hop, LinkId, Route};

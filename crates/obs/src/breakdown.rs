@@ -41,6 +41,16 @@ impl Default for PhaseSums {
     }
 }
 
+/// Inclusive value range of log2 bucket `k`: bucket 0 holds exactly 0,
+/// bucket `k >= 1` holds `[2^(k-1), 2^k - 1]`.
+fn bucket_bounds(k: usize) -> (f64, f64) {
+    if k == 0 {
+        (0.0, 0.0)
+    } else {
+        ((1u64 << (k - 1)) as f64, ((1u64 << k) - 1) as f64)
+    }
+}
+
 impl PhaseSums {
     fn record(&mut self, phases: [u64; 5], latency: u64) {
         self.count += 1;
@@ -50,6 +60,33 @@ impl PhaseSums {
         }
         let bucket = (u64::BITS - latency.leading_zeros()) as usize;
         self.hist[bucket.min(HIST_BUCKETS - 1)] += 1;
+    }
+
+    /// Estimated `p`-quantile latency (`0 < p <= 1`) from the log2
+    /// histogram, linearly interpolated inside the matched bucket's value
+    /// range. Exact whenever the matched bucket is single-valued (latencies
+    /// 0 and 1); otherwise the error is bounded by the bucket width.
+    /// Returns `None` for an empty histogram or `p` outside `(0, 1]`.
+    pub fn percentile(&self, p: f64) -> Option<f64> {
+        if self.count == 0 || !(p > 0.0 && p <= 1.0) {
+            return None;
+        }
+        let target = p * self.count as f64;
+        let mut cum = 0.0;
+        for (k, &c) in self.hist.iter().enumerate() {
+            if c == 0 {
+                continue;
+            }
+            if cum + c as f64 >= target {
+                let (lo, hi) = bucket_bounds(k);
+                let frac = (target - cum) / c as f64;
+                return Some(lo + frac * (hi - lo));
+            }
+            cum += c as f64;
+        }
+        // Float accumulation fell a hair short: clamp to the top bucket.
+        let last = self.hist.iter().rposition(|&c| c > 0)?;
+        Some(bucket_bounds(last).1)
     }
 }
 
@@ -65,6 +102,9 @@ impl ToJson for PhaseSums {
             .field("total_latency", self.total_latency)
             .field("phases", phases)
             .field("latency_hist_log2", self.hist[..last].to_vec())
+            .field("p50", self.percentile(0.50))
+            .field("p95", self.percentile(0.95))
+            .field("p99", self.percentile(0.99))
             .build()
     }
 }
@@ -358,6 +398,79 @@ mod tests {
         assert_eq!(s.hist[1], 1, "latency 1");
         assert_eq!(s.hist[2], 2, "latencies 2..4");
         assert_eq!(s.hist[11], 1, "latency 1024");
+    }
+
+    /// Percentiles are exact when every sample lands in a single-valued
+    /// bucket (latencies 0 and 1 have their own buckets).
+    #[test]
+    fn percentiles_exact_on_single_valued_buckets() {
+        let mut s = PhaseSums::default();
+        for _ in 0..100 {
+            s.record([0; 5], 0);
+        }
+        assert_eq!(s.percentile(0.50), Some(0.0));
+        assert_eq!(s.percentile(0.99), Some(0.0));
+
+        let mut s = PhaseSums::default();
+        for _ in 0..90 {
+            s.record([0; 5], 1);
+        }
+        for _ in 0..10 {
+            s.record([0; 5], 1024);
+        }
+        // p50 and p90 fall wholly inside the latency-1 bucket: exact.
+        assert_eq!(s.percentile(0.50), Some(1.0));
+        assert_eq!(s.percentile(0.90), Some(1.0));
+        // p95 falls in the [1024, 2047] bucket; the estimate must stay
+        // inside that bucket's value range.
+        let p95 = s.percentile(0.95).unwrap();
+        assert!((1024.0..=2047.0).contains(&p95), "p95 = {p95}");
+    }
+
+    /// On a distribution spread across one multi-valued bucket, the
+    /// interpolation error is bounded by the bucket width.
+    #[test]
+    fn percentile_interpolates_within_bucket() {
+        let mut s = PhaseSums::default();
+        // 50x latency 2 and 50x latency 3 share log2 bucket 2 ([2, 3]).
+        for _ in 0..50 {
+            s.record([0; 5], 2);
+        }
+        for _ in 0..50 {
+            s.record([0; 5], 3);
+        }
+        let p50 = s.percentile(0.50).unwrap();
+        assert!((p50 - 2.5).abs() < 1e-9, "midpoint of the [2,3] range, got {p50}");
+        let p99 = s.percentile(0.99).unwrap();
+        assert!((2.0..=3.0).contains(&p99));
+        // p = 1.0 reaches the bucket's upper edge.
+        assert_eq!(s.percentile(1.0), Some(3.0));
+    }
+
+    #[test]
+    fn percentile_edge_cases() {
+        let empty = PhaseSums::default();
+        assert_eq!(empty.percentile(0.5), None, "no samples");
+        let mut s = PhaseSums::default();
+        s.record([0; 5], 7);
+        assert_eq!(s.percentile(0.0), None, "p=0 rejected");
+        assert_eq!(s.percentile(1.5), None, "p>1 rejected");
+        // A single sample: any valid p lands in its bucket ([4, 7]).
+        let v = s.percentile(0.5).unwrap();
+        assert!((4.0..=7.0).contains(&v));
+    }
+
+    #[test]
+    fn json_includes_percentiles() {
+        let mut s = PhaseSums::default();
+        for _ in 0..10 {
+            s.record([0; 5], 1);
+        }
+        let j = s.to_json();
+        assert_eq!(j.get("p50").and_then(JsonValue::as_f64), Some(1.0));
+        assert_eq!(j.get("p99").and_then(JsonValue::as_f64), Some(1.0));
+        let empty = PhaseSums::default();
+        assert_eq!(empty.to_json().get("p50"), Some(&JsonValue::Null));
     }
 
     #[test]

@@ -1,0 +1,165 @@
+//! Host-side self-profiling: wall-clock per simulation phase, simulated
+//! throughput, and peak resident set size.
+//!
+//! Everything here measures the *host*, not the simulated machine, so none
+//! of it is deterministic and none of it may enter the
+//! [`crate::metrics::MetricsRegistry`] or any baseline comparison. The
+//! `bench_report` binary records a [`HostProfile`] alongside the
+//! deterministic counters so regressions in simulator *speed* are visible
+//! without contaminating the correctness gate.
+
+use dresar_types::{JsonValue, ToJson};
+use std::time::Instant;
+
+/// Wall-clock timing of one named phase.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PhaseTiming {
+    /// Phase label (e.g. `"build"`, `"run"`, `"report"`).
+    pub name: String,
+    /// Elapsed wall-clock seconds.
+    pub wall_seconds: f64,
+}
+
+/// A finished profile: per-phase timings plus process-wide peak RSS.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HostProfile {
+    /// Phases in the order they ran.
+    pub phases: Vec<PhaseTiming>,
+    /// Total wall-clock seconds from profiler creation to [`HostProfiler::finish`].
+    pub total_seconds: f64,
+    /// Peak resident set size in bytes (`VmHWM` from `/proc/self/status`);
+    /// `None` where the proc filesystem is unavailable.
+    pub peak_rss_bytes: Option<u64>,
+}
+
+impl HostProfile {
+    /// Simulated cycles per wall-clock second over the whole profile.
+    pub fn cycles_per_sec(&self, simulated_cycles: u64) -> f64 {
+        if self.total_seconds > 0.0 {
+            simulated_cycles as f64 / self.total_seconds
+        } else {
+            0.0
+        }
+    }
+}
+
+impl ToJson for HostProfile {
+    fn to_json(&self) -> JsonValue {
+        let phases: Vec<JsonValue> = self
+            .phases
+            .iter()
+            .map(|p| {
+                JsonValue::obj()
+                    .field("name", p.name.as_str())
+                    .field("wall_seconds", p.wall_seconds)
+                    .build()
+            })
+            .collect();
+        JsonValue::obj()
+            .field("phases", JsonValue::Arr(phases))
+            .field("total_seconds", self.total_seconds)
+            .field("peak_rss_bytes", self.peak_rss_bytes)
+            .build()
+    }
+}
+
+/// Accumulates phase timings; one instance per profiled run.
+#[derive(Debug)]
+pub struct HostProfiler {
+    started: Instant,
+    phases: Vec<PhaseTiming>,
+    current: Option<(String, Instant)>,
+}
+
+impl Default for HostProfiler {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl HostProfiler {
+    /// Starts the profiler (total clock begins now).
+    pub fn new() -> Self {
+        HostProfiler { started: Instant::now(), phases: Vec::new(), current: None }
+    }
+
+    /// Begins a named phase, closing the previous one if still open.
+    pub fn phase(&mut self, name: &str) {
+        self.close_current();
+        self.current = Some((name.to_string(), Instant::now()));
+    }
+
+    fn close_current(&mut self) {
+        if let Some((name, at)) = self.current.take() {
+            self.phases.push(PhaseTiming { name, wall_seconds: at.elapsed().as_secs_f64() });
+        }
+    }
+
+    /// Closes any open phase and returns the finished profile.
+    pub fn finish(mut self) -> HostProfile {
+        self.close_current();
+        HostProfile {
+            phases: self.phases,
+            total_seconds: self.started.elapsed().as_secs_f64(),
+            peak_rss_bytes: peak_rss_bytes(),
+        }
+    }
+}
+
+/// Peak resident set size of this process in bytes, from the `VmHWM` line
+/// of `/proc/self/status`. Returns `None` off Linux or when the read fails.
+pub fn peak_rss_bytes() -> Option<u64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    parse_vm_hwm(&status)
+}
+
+/// Parses the `VmHWM:   123456 kB` line out of a `/proc/<pid>/status` dump.
+fn parse_vm_hwm(status: &str) -> Option<u64> {
+    let line = status.lines().find(|l| l.starts_with("VmHWM:"))?;
+    let kb: u64 = line.split_whitespace().nth(1)?.parse().ok()?;
+    Some(kb * 1024)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn phases_accumulate_in_order() {
+        let mut p = HostProfiler::new();
+        p.phase("build");
+        p.phase("run"); // closes "build"
+        let prof = p.finish(); // closes "run"
+        let names: Vec<&str> = prof.phases.iter().map(|x| x.name.as_str()).collect();
+        assert_eq!(names, vec!["build", "run"]);
+        assert!(prof.phases.iter().all(|x| x.wall_seconds >= 0.0));
+        assert!(prof.total_seconds >= 0.0);
+    }
+
+    #[test]
+    fn parse_vm_hwm_extracts_kilobytes() {
+        let status = "Name:\tfoo\nVmPeak:\t  999 kB\nVmHWM:\t  123456 kB\nVmRSS:\t 10 kB\n";
+        assert_eq!(parse_vm_hwm(status), Some(123456 * 1024));
+        assert_eq!(parse_vm_hwm("Name:\tfoo\n"), None);
+    }
+
+    #[test]
+    fn cycles_per_sec_guards_zero_time() {
+        let prof = HostProfile { phases: vec![], total_seconds: 0.0, peak_rss_bytes: None };
+        assert_eq!(prof.cycles_per_sec(1000), 0.0);
+        let prof = HostProfile { phases: vec![], total_seconds: 2.0, peak_rss_bytes: None };
+        assert_eq!(prof.cycles_per_sec(1000), 500.0);
+    }
+
+    #[test]
+    fn profile_serializes_with_null_rss() {
+        let prof = HostProfile {
+            phases: vec![PhaseTiming { name: "run".into(), wall_seconds: 1.5 }],
+            total_seconds: 1.5,
+            peak_rss_bytes: None,
+        };
+        let dump = prof.to_json().dump();
+        assert!(dump.contains("\"peak_rss_bytes\":null"), "{dump}");
+        assert!(dump.contains("\"name\":\"run\""), "{dump}");
+    }
+}

@@ -25,6 +25,8 @@
 //! implementation and is what [`ObserverConfig`] enables from run options.
 
 pub mod breakdown;
+pub mod hostprof;
+pub mod metrics;
 pub mod sampler;
 pub mod trace;
 
@@ -33,6 +35,8 @@ use dresar_types::msg::Message;
 use dresar_types::{BlockAddr, Cycle, JsonValue, NodeId, ToJson};
 
 pub use breakdown::{LatencyBreakdown, LatencyRecorder, PhaseSums, PHASES};
+pub use hostprof::{HostProfile, HostProfiler, PhaseTiming};
+pub use metrics::{MetricDelta, MetricValue, MetricsRegistry};
 pub use sampler::{Sampler, TimeSeries, WindowSample};
 pub use trace::Tracer;
 

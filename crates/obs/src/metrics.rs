@@ -1,0 +1,293 @@
+//! Hierarchical component-metrics registry.
+//!
+//! Every hardware structure in the simulator keeps its own cheap counter
+//! struct (`SdStats`, `DirStats`, `HierarchyStats`, ...). This module gives
+//! those per-component numbers one deterministic, diffable home: a
+//! [`MetricsRegistry`] of flat dotted names (`sd.read_hits`,
+//! `engine.queue.peak_depth`) sorted lexicographically, each holding a
+//! [`MetricValue`] — a monotone counter, a gauge with a high-water mark, or
+//! a log2 histogram.
+//!
+//! Determinism is the design constraint: two same-seed simulator runs must
+//! produce byte-identical registries, so storage is a `BTreeMap` (sorted
+//! iteration), serialization goes through the workspace's ordered
+//! [`JsonValue`] writer, and nothing host-dependent (timings, RSS) is ever
+//! allowed in — host profiling lives in [`crate::hostprof`] and is excluded
+//! from baseline comparison. The registry is assembled *after* a run from
+//! the component stats structs; it adds zero work to simulation hot loops.
+
+use dresar_types::{FromJson, JsonError, JsonValue, ToJson};
+use std::collections::BTreeMap;
+
+/// One recorded metric.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MetricValue {
+    /// A monotone event count.
+    Counter(u64),
+    /// An instantaneous level plus its high-water mark.
+    Gauge {
+        /// Value at snapshot time.
+        current: u64,
+        /// Largest value observed over the run.
+        peak: u64,
+    },
+    /// A log2-bucketed histogram (bucket counts).
+    Hist(Vec<u64>),
+}
+
+/// A sorted map of dotted metric names to values.
+///
+/// Names use `component.sub.metric` convention, e.g. `sd.read_hits`,
+/// `home.peak_busy`, `net.link_stall_cycles`. Inserting an existing name
+/// overwrites it.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct MetricsRegistry {
+    metrics: BTreeMap<String, MetricValue>,
+}
+
+impl MetricsRegistry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records a counter.
+    pub fn counter(&mut self, name: &str, value: u64) {
+        self.metrics.insert(name.to_string(), MetricValue::Counter(value));
+    }
+
+    /// Records a gauge with its high-water mark.
+    pub fn gauge(&mut self, name: &str, current: u64, peak: u64) {
+        self.metrics.insert(name.to_string(), MetricValue::Gauge { current, peak });
+    }
+
+    /// Records a histogram (bucket counts).
+    pub fn hist(&mut self, name: &str, buckets: Vec<u64>) {
+        self.metrics.insert(name.to_string(), MetricValue::Hist(buckets));
+    }
+
+    /// Looks a metric up by name.
+    pub fn get(&self, name: &str) -> Option<&MetricValue> {
+        self.metrics.get(name)
+    }
+
+    /// Number of metrics recorded.
+    pub fn len(&self) -> usize {
+        self.metrics.len()
+    }
+
+    /// Whether the registry is empty.
+    pub fn is_empty(&self) -> bool {
+        self.metrics.is_empty()
+    }
+
+    /// Iterates metrics in lexicographic name order (deterministic).
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &MetricValue)> {
+        self.metrics.iter().map(|(k, v)| (k.as_str(), v))
+    }
+
+    /// Flattens every metric to named scalars, the form the baseline gate
+    /// compares: a counter contributes `name`; a gauge contributes
+    /// `name.current` and `name.peak`; a histogram contributes `name.total`
+    /// (its bucket sum — per-bucket drift without a total change is caught
+    /// by the byte-identity check on the full document, not the gate).
+    pub fn scalars(&self) -> Vec<(String, u64)> {
+        let mut out = Vec::with_capacity(self.metrics.len());
+        for (name, v) in &self.metrics {
+            match v {
+                MetricValue::Counter(c) => out.push((name.clone(), *c)),
+                MetricValue::Gauge { current, peak } => {
+                    out.push((format!("{name}.current"), *current));
+                    out.push((format!("{name}.peak"), *peak));
+                }
+                MetricValue::Hist(buckets) => {
+                    out.push((format!("{name}.total"), buckets.iter().sum()));
+                }
+            }
+        }
+        out
+    }
+
+    /// Scalar-by-scalar comparison against a baseline registry. Returns one
+    /// [`MetricDelta`] per differing (or added/removed) scalar, sorted by
+    /// name. An empty result means the registries agree exactly.
+    pub fn diff(&self, baseline: &MetricsRegistry) -> Vec<MetricDelta> {
+        let base: BTreeMap<String, u64> = baseline.scalars().into_iter().collect();
+        let cur: BTreeMap<String, u64> = self.scalars().into_iter().collect();
+        let mut out = Vec::new();
+        for (name, &b) in &base {
+            match cur.get(name) {
+                Some(&c) if c == b => {}
+                Some(&c) => out.push(MetricDelta {
+                    name: name.clone(),
+                    baseline: Some(b),
+                    current: Some(c),
+                }),
+                None => {
+                    out.push(MetricDelta { name: name.clone(), baseline: Some(b), current: None })
+                }
+            }
+        }
+        for (name, &c) in &cur {
+            if !base.contains_key(name) {
+                out.push(MetricDelta { name: name.clone(), baseline: None, current: Some(c) });
+            }
+        }
+        out.sort_by(|a, b| a.name.cmp(&b.name));
+        out
+    }
+}
+
+/// One scalar that differs between a registry and its baseline.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MetricDelta {
+    /// Flattened scalar name (see [`MetricsRegistry::scalars`]).
+    pub name: String,
+    /// Baseline value; `None` when the scalar is new.
+    pub baseline: Option<u64>,
+    /// Current value; `None` when the scalar disappeared.
+    pub current: Option<u64>,
+}
+
+impl MetricDelta {
+    /// Relative change `(current - baseline) / baseline`. Appearing or
+    /// disappearing scalars, and changes from a zero baseline, report
+    /// infinity — always past any finite tolerance.
+    pub fn rel_change(&self) -> f64 {
+        match (self.baseline, self.current) {
+            (Some(b), Some(c)) if b > 0 => (c as f64 - b as f64) / b as f64,
+            (Some(b), Some(c)) if b == c => 0.0,
+            _ => f64::INFINITY,
+        }
+    }
+}
+
+impl ToJson for MetricValue {
+    fn to_json(&self) -> JsonValue {
+        match self {
+            MetricValue::Counter(c) => JsonValue::Num(*c as f64),
+            MetricValue::Gauge { current, peak } => {
+                JsonValue::obj().field("current", *current).field("peak", *peak).build()
+            }
+            MetricValue::Hist(buckets) => {
+                JsonValue::Arr(buckets.iter().map(|&b| JsonValue::Num(b as f64)).collect())
+            }
+        }
+    }
+}
+
+impl FromJson for MetricValue {
+    fn from_json(v: &JsonValue) -> Result<Self, JsonError> {
+        match v {
+            JsonValue::Num(_) => {
+                Ok(MetricValue::Counter(v.as_u64().ok_or_else(|| {
+                    JsonError::new("counter metric must be a non-negative integer")
+                })?))
+            }
+            JsonValue::Obj(_) => Ok(MetricValue::Gauge {
+                current: JsonError::want_u64(v, "current")?,
+                peak: JsonError::want_u64(v, "peak")?,
+            }),
+            JsonValue::Arr(items) => {
+                let buckets = items
+                    .iter()
+                    .map(|b| {
+                        b.as_u64()
+                            .ok_or_else(|| JsonError::new("histogram bucket must be an integer"))
+                    })
+                    .collect::<Result<Vec<u64>, JsonError>>()?;
+                Ok(MetricValue::Hist(buckets))
+            }
+            _ => Err(JsonError::new("metric must be a number, object or array")),
+        }
+    }
+}
+
+impl ToJson for MetricsRegistry {
+    fn to_json(&self) -> JsonValue {
+        // BTreeMap iteration is sorted, so the document is deterministic.
+        JsonValue::Obj(self.metrics.iter().map(|(k, v)| (k.clone(), v.to_json())).collect())
+    }
+}
+
+impl FromJson for MetricsRegistry {
+    fn from_json(v: &JsonValue) -> Result<Self, JsonError> {
+        let JsonValue::Obj(fields) = v else {
+            return Err(JsonError::new("metrics registry must be an object"));
+        };
+        let mut metrics = BTreeMap::new();
+        for (k, val) in fields {
+            metrics.insert(k.clone(), MetricValue::from_json(val)?);
+        }
+        Ok(MetricsRegistry { metrics })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> MetricsRegistry {
+        let mut r = MetricsRegistry::new();
+        r.counter("sd.read_hits", 42);
+        r.gauge("home.busy", 0, 7);
+        r.hist("lat.hist", vec![0, 3, 5]);
+        r.counter("cache.fills", 9);
+        r
+    }
+
+    #[test]
+    fn iteration_is_sorted_by_name() {
+        let r = sample();
+        let names: Vec<&str> = r.iter().map(|(n, _)| n).collect();
+        assert_eq!(names, vec!["cache.fills", "home.busy", "lat.hist", "sd.read_hits"]);
+    }
+
+    #[test]
+    fn json_round_trip_is_exact() {
+        let r = sample();
+        let dumped = r.to_json().dump();
+        let back = MetricsRegistry::from_json(&JsonValue::parse(&dumped).unwrap()).unwrap();
+        assert_eq!(back, r);
+        assert_eq!(back.to_json().dump(), dumped, "byte-identical re-dump");
+    }
+
+    #[test]
+    fn scalars_flatten_gauges_and_hists() {
+        let s = sample().scalars();
+        assert!(s.contains(&("sd.read_hits".to_string(), 42)));
+        assert!(s.contains(&("home.busy.current".to_string(), 0)));
+        assert!(s.contains(&("home.busy.peak".to_string(), 7)));
+        assert!(s.contains(&("lat.hist.total".to_string(), 8)));
+    }
+
+    #[test]
+    fn diff_empty_for_identical_registries() {
+        assert!(sample().diff(&sample()).is_empty());
+    }
+
+    #[test]
+    fn diff_reports_changed_added_and_removed() {
+        let base = sample();
+        let mut cur = sample();
+        cur.counter("sd.read_hits", 50); // changed
+        cur.counter("new.metric", 1); // added
+        cur.metrics.remove("cache.fills"); // removed
+        let d = cur.diff(&base);
+        let names: Vec<&str> = d.iter().map(|x| x.name.as_str()).collect();
+        assert_eq!(names, vec!["cache.fills", "new.metric", "sd.read_hits"]);
+        let hit = d.iter().find(|x| x.name == "sd.read_hits").unwrap();
+        assert_eq!(hit.baseline, Some(42));
+        assert_eq!(hit.current, Some(50));
+        assert!((hit.rel_change() - (8.0 / 42.0)).abs() < 1e-12);
+        assert!(d.iter().find(|x| x.name == "cache.fills").unwrap().rel_change().is_infinite());
+    }
+
+    #[test]
+    fn zero_baseline_changes_are_infinite() {
+        let d = MetricDelta { name: "x".into(), baseline: Some(0), current: Some(3) };
+        assert!(d.rel_change().is_infinite());
+        let same = MetricDelta { name: "x".into(), baseline: Some(0), current: Some(0) };
+        assert_eq!(same.rel_change(), 0.0);
+    }
+}

@@ -216,4 +216,52 @@ mod tests {
         s.tick(7, 0);
         assert_eq!(s.finish().window, 1);
     }
+
+    #[test]
+    fn events_exactly_on_window_boundaries_fall_in_the_later_window() {
+        // Windows are half-open [i*w, (i+1)*w): cycle 100 belongs to
+        // window 1, not window 0.
+        let mut s = Sampler::new(100);
+        s.tick(99, 1);
+        s.tick(100, 2);
+        s.tick(200, 3);
+        let ts = s.finish();
+        assert_eq!(ts.windows.len(), 3);
+        assert_eq!(ts.windows[0].events, 1);
+        assert_eq!(ts.windows[1].events, 1);
+        assert_eq!(ts.windows[2].events, 1);
+    }
+
+    #[test]
+    fn busy_interval_ending_on_a_boundary_adds_nothing_past_it() {
+        let mut s = Sampler::new(100);
+        // [0, 100) is exactly one full window: nothing spills into window 1.
+        s.link_traverse(LinkKey(1), 0, 100, 1);
+        let ts = s.finish();
+        assert_eq!(ts.windows.len(), 1);
+        assert_eq!(ts.windows[0].link_busy, 100);
+    }
+
+    #[test]
+    fn empty_and_zero_length_intervals_record_nothing() {
+        let mut s = Sampler::new(100);
+        s.home_service(0, BlockAddr(0), 5, 50, 50); // zero-length busy
+        s.link_traverse(LinkKey(0), 80, 70, 1); // end before start
+        let ts = s.finish();
+        assert!(ts.windows.iter().all(|w| w.home_busy == 0 && w.link_busy == 0));
+    }
+
+    #[test]
+    fn windows_with_zero_completed_reads_still_serialize() {
+        // A run with traffic but no completed reads must produce windows
+        // whose reads_completed is 0, not drop the windows.
+        let mut s = Sampler::new(10);
+        s.tick(0, 1);
+        s.tick(25, 1);
+        let ts = s.finish();
+        assert_eq!(ts.windows.len(), 3);
+        assert!(ts.windows.iter().all(|w| w.reads_completed == 0));
+        let dump = ts.to_json().dump();
+        assert!(dump.contains("\"reads_completed\":0"), "{dump}");
+    }
 }

@@ -16,6 +16,16 @@
 use std::collections::BTreeMap;
 use std::fmt;
 
+/// Version stamp carried by every machine-readable JSON document the
+/// workspace emits (`--json` modes of the bench binaries, `BENCH_*.json`).
+/// Bump it whenever the shape of any emitted document changes so downstream
+/// tooling can detect incompatible formats instead of mis-parsing them.
+///
+/// History: 1 = PR 1 (probe/ablations/fig* documents, unversioned);
+/// 2 = PR 2 (adds `schema_version`, component metrics, percentiles, BENCH
+/// telemetry).
+pub const SCHEMA_VERSION: u32 = 2;
+
 /// A JSON document node.
 #[derive(Debug, Clone, PartialEq)]
 pub enum JsonValue {

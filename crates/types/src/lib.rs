@@ -37,7 +37,7 @@ pub mod sharers;
 
 pub use addr::{Addr, BlockAddr, NodeId};
 pub use config::{SystemConfig, TraceSimConfig};
-pub use json::{FromJson, JsonError, JsonValue, ToJson};
+pub use json::{FromJson, JsonError, JsonValue, ObjBuilder, ToJson, SCHEMA_VERSION};
 pub use msg::{Message, MsgType};
 pub use refstream::{MemRef, RefKind, StreamItem, Workload};
 pub use rng::SmallRng;
