@@ -31,8 +31,10 @@ fn bench_flit_network() {
     bench("flit_network/deliver_32_messages", || {
         let mut net = FlitNetwork::new(bmin, cfg);
         for p in 0..16u8 {
-            net.inject(p as u64, &routes::forward(&bmin, p, (p + 5) % 16), 1);
-            net.inject(100 + p as u64, &routes::backward(&bmin, (p + 5) % 16, p), 5);
+            net.inject(p as u64, &routes::forward(&bmin, p, (p + 5) % 16), 1)
+                .expect("fixed validation route");
+            net.inject(100 + p as u64, &routes::backward(&bmin, (p + 5) % 16, p), 5)
+                .expect("fixed validation route");
         }
         black_box(net.run_until_drained(100_000).len());
     });

@@ -24,9 +24,10 @@
 //! mode CI uses on pull requests).
 
 use dresar::TransientReadPolicy;
-use dresar_bench::{json_doc, run_one_registry, suite, Bench};
+use dresar_bench::{json_doc, run_one_faulted, run_one_registry, suite, Bench};
+use dresar_faults::FaultPlan;
 use dresar_interconnect::{routes, Bmin, FlitNetwork};
-use dresar_obs::{HostProfiler, MetricsRegistry};
+use dresar_obs::{HostProfiler, MetricValue, MetricsRegistry};
 use dresar_types::config::SystemConfig;
 use dresar_types::{FromJson, JsonValue, ToJson, SCHEMA_VERSION};
 use dresar_workloads::Scale;
@@ -81,15 +82,41 @@ struct RunResult {
 fn standard_runs(benches: &[Bench]) -> Vec<RunResult> {
     let mut runs = Vec::new();
     for b in benches {
+        let mut sd1024_cycles = 0u64;
         for (tag, sd) in [("base", None), ("sd1024", Some(1024))] {
-            runs.push(RunResult {
-                name: format!("{}.{}", b.label, tag),
-                metrics: run_one_registry(b, sd, TransientReadPolicy::Retry),
-            });
+            let metrics = run_one_registry(b, sd, TransientReadPolicy::Retry);
+            if tag == "sd1024" {
+                if let Some(MetricValue::Counter(c)) = metrics.get("sim.cycles") {
+                    sd1024_cycles = *c;
+                }
+            }
+            runs.push(RunResult { name: format!("{}.{}", b.label, tag), metrics });
+        }
+        if let Some(m) = sd_degraded_run(b, sd1024_cycles) {
+            runs.push(RunResult { name: format!("{}.sd-degraded", b.label), metrics: m });
         }
     }
     runs.push(RunResult { name: "xbar.validation".into(), metrics: crossbar_validation() });
     runs
+}
+
+/// Informational robustness run: the sd1024 configuration with the switch
+/// directories disabled half-way through (derived deterministically from
+/// the healthy run's cycle count), exercising the degraded home-directory
+/// fallback. The registry carries the fault/watchdog/coherence counters, so
+/// the regression gate also pins down the fault-injection schedule itself.
+fn sd_degraded_run(b: &Bench, sd1024_cycles: u64) -> Option<MetricsRegistry> {
+    if sd1024_cycles == 0 {
+        return None; // trace-driven workload: no fault machinery
+    }
+    let plan = FaultPlan { disable_at: (sd1024_cycles / 2).max(1), ..FaultPlan::default() };
+    let report = run_one_faulted(b, Some(1024), TransientReadPolicy::Retry, plan)?;
+    let mut m = report.metrics;
+    if let Some(c) = &report.coherence {
+        m.counter("coherence.ok", u64::from(c.ok()));
+        m.counter("coherence.blocks_checked", c.blocks_checked);
+    }
+    Some(m)
 }
 
 /// A deterministic flit-level batch through the full 16-node BMIN: 32
@@ -101,8 +128,10 @@ fn crossbar_validation() -> MetricsRegistry {
     let cfg = SystemConfig::paper_table2().switch;
     let mut net = FlitNetwork::new(bmin, cfg);
     for p in 0..16u8 {
-        net.inject(p as u64, &routes::forward(&bmin, p, (p + 5) % 16), 1);
-        net.inject(100 + p as u64, &routes::backward(&bmin, (p + 5) % 16, p), 5);
+        net.inject(p as u64, &routes::forward(&bmin, p, (p + 5) % 16), 1)
+            .expect("fixed validation route");
+        net.inject(100 + p as u64, &routes::backward(&bmin, (p + 5) % 16, p), 5)
+            .expect("fixed validation route");
     }
     let delivered = net.run_until_drained(100_000).len() as u64;
     let s = net.arbiter_stats();

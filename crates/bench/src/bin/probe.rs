@@ -7,13 +7,21 @@
 //! (execution-driven workloads only).
 
 use dresar::TransientReadPolicy;
-use dresar_bench::{json_doc, json_requested, run_one, run_one_observed, scale_from_args, suite};
+use dresar_bench::{
+    faults_from_args, json_doc, json_requested, run_one, run_one_faulted, run_one_observed,
+    scale_from_args, suite,
+};
+use dresar_faults::FaultPlan;
 use dresar_obs::ObserverConfig;
 use dresar_stats::{percent_of, percent_reduction};
 use dresar_types::{JsonValue, ToJson};
 
 fn main() {
     let scale = scale_from_args();
+    if let Some(plan) = faults_from_args() {
+        run_faulted(scale, plan);
+        return;
+    }
     if json_requested() {
         emit_json(scale);
         return;
@@ -55,6 +63,46 @@ fn main() {
             stall_red,
             cc_red,
             t0.elapsed().as_secs_f64(),
+        );
+    }
+}
+
+/// `--faults <plan>`: runs every execution-driven workload (sd1024) under
+/// the plan and prints what the injector did, the watchdog verdict, and the
+/// end-of-run coherence audit. With `--json`, emits one document instead.
+fn run_faulted(scale: dresar_workloads::Scale, plan: FaultPlan) {
+    let runs: Vec<_> = suite(scale)
+        .iter()
+        .filter_map(|b| {
+            run_one_faulted(b, Some(1024), TransientReadPolicy::Retry, plan).map(|r| (b.label, r))
+        })
+        .collect();
+    if json_requested() {
+        let workloads: Vec<JsonValue> = runs
+            .iter()
+            .map(|(label, r)| {
+                JsonValue::obj().field("label", *label).field("report", r.to_json()).build()
+            })
+            .collect();
+        let doc = json_doc("probe-faults")
+            .field("scale", format!("{scale:?}"))
+            .field("workloads", workloads)
+            .build();
+        println!("{}", doc.dump());
+        return;
+    }
+    println!("scale = {scale:?}  (fault-injected; sd1024)");
+    println!(
+        "{:8} {:>10} {:>8} {:>8} {:>8} {:>8} {:>10} {:>10}",
+        "workload", "cycles", "dropped", "retrans", "lost", "scrubbed", "watchdog", "coherence"
+    );
+    for (label, r) in &runs {
+        let f = r.faults.unwrap_or_default();
+        let wd = r.watchdog.as_ref().map_or("-", |w| w.kind.label());
+        let coh = r.coherence.as_ref().map_or("-", |c| if c.ok() { "ok" } else { "VIOLATED" });
+        println!(
+            "{:8} {:>10} {:>8} {:>8} {:>8} {:>8} {:>10} {:>10}",
+            label, r.cycles, f.dropped, f.retransmissions, f.lost, f.scrubbed, wd, coh
         );
     }
 }

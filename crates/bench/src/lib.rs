@@ -31,6 +31,7 @@ pub mod harness;
 
 use dresar::system::{RunOptions, System};
 use dresar::TransientReadPolicy;
+use dresar_faults::FaultPlan;
 use dresar_obs::{ObsReport, ObserverConfig};
 use dresar_stats::ReadStats;
 use dresar_trace_sim::TraceSimulator;
@@ -169,6 +170,53 @@ pub fn run_one_observed(
             )
         }
     }
+}
+
+/// Runs one execution-driven workload under a deterministic fault plan
+/// (switch-directory scrubs, eviction storms, disable windows, message
+/// drops — see [`FaultPlan::parse`]) and returns its full report. Returns
+/// `None` for trace-driven workloads: the constant-latency model has no
+/// message system to inject faults into.
+pub fn run_one_faulted(
+    bench: &Bench,
+    sd_entries: Option<u32>,
+    policy: TransientReadPolicy,
+    plan: FaultPlan,
+) -> Option<dresar::system::ExecutionReport> {
+    if bench.driver != Driver::Execution {
+        return None;
+    }
+    let mut cfg = SystemConfig::paper_table2();
+    cfg.switch_dir =
+        sd_entries.map(|entries| SwitchDirConfig { entries, ..SwitchDirConfig::paper_default() });
+    Some(System::new(cfg, &bench.workload).run(RunOptions {
+        transient_policy: policy,
+        faults: Some(plan),
+        watchdog: Some(dresar_faults::WatchdogConfig::default()),
+        verify_coherence: true,
+        ..RunOptions::default()
+    }))
+}
+
+/// Parses `--faults <spec>` from the CLI (`key=value` pairs, comma
+/// separated — e.g. `--faults seed=7,drop_ppm=2000,disable_at=50000`).
+/// Returns `None` when the flag is absent; exits with a message on a
+/// malformed spec so a typo'd schedule never silently runs fault-free.
+pub fn faults_from_args() -> Option<FaultPlan> {
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        if a == "--faults" {
+            let spec = it.next().unwrap_or_else(|| {
+                eprintln!("--faults needs a plan spec (key=value,...)");
+                std::process::exit(2);
+            });
+            return Some(FaultPlan::parse(&spec).unwrap_or_else(|e| {
+                eprintln!("bad fault plan '{spec}': {e}");
+                std::process::exit(2);
+            }));
+        }
+    }
+    None
 }
 
 /// Runs one workload and returns its deterministic component-metrics

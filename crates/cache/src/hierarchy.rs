@@ -235,6 +235,13 @@ impl CacheHierarchy {
         was_dirty
     }
 
+    /// Iterates every resident block with its coherence state. Inclusion
+    /// makes L2 authoritative, so this walks L2 only. Order follows the
+    /// array layout (deterministic for identical access histories).
+    pub fn resident_blocks(&self) -> impl Iterator<Item = (BlockAddr, LineState)> + '_ {
+        self.l2.resident_blocks()
+    }
+
     /// Authoritative state of a block (L1 dirtiness wins over L2's record).
     pub fn probe(&self, block: BlockAddr) -> Option<LineState> {
         match (self.l1.probe(block), self.l2.probe(block)) {

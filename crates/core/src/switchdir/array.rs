@@ -248,6 +248,86 @@ impl SdArray {
     pub fn transient_count(&self) -> usize {
         self.transients
     }
+
+    /// Reconstructs the block address of the way at index `i`.
+    fn block_of(&self, i: usize) -> BlockAddr {
+        BlockAddr((self.data[i].tag << self.set_shift) | (i / self.ways) as u64)
+    }
+
+    /// Iterates over all valid entries as `(block, view)` pairs, in array
+    /// order (deterministic). Used by the coherence checker and the fault
+    /// machinery.
+    pub fn entries(&self) -> impl Iterator<Item = (BlockAddr, SdEntryView)> + '_ {
+        (0..self.data.len()).filter(|&i| self.data[i].valid).map(|i| {
+            let w = &self.data[i];
+            (
+                self.block_of(i),
+                SdEntryView {
+                    state: w.state,
+                    owner: w.owner,
+                    first_requester: w.first_requester,
+                    sharers: w.sharers,
+                },
+            )
+        })
+    }
+
+    /// ECC-scrub fault: invalidates one MODIFIED entry chosen by `nonce`
+    /// (deterministic in the nonce and array contents). TRANSIENT entries
+    /// are never scrubbed — they pin in-flight protocol state the same way
+    /// a real scrub engine skips busy lines. Returns the victim block.
+    pub fn scrub_one(&mut self, nonce: u64) -> Option<BlockAddr> {
+        let modified: Vec<usize> = (0..self.data.len())
+            .filter(|&i| self.data[i].valid && self.data[i].state == SdState::Modified)
+            .collect();
+        if modified.is_empty() {
+            return None;
+        }
+        let i = modified[(nonce % modified.len() as u64) as usize];
+        let block = self.block_of(i);
+        self.data[i].valid = false;
+        self.valid -= 1;
+        Some(block)
+    }
+
+    /// Forced eviction storm: drops up to `n` MODIFIED entries starting at
+    /// a `nonce`-derived rotation of the array (deterministic). Returns how
+    /// many were dropped. TRANSIENT entries survive.
+    pub fn force_evict(&mut self, n: u32, nonce: u64) -> u32 {
+        if self.data.is_empty() || n == 0 {
+            return 0;
+        }
+        let len = self.data.len();
+        let start = (nonce % len as u64) as usize;
+        let mut dropped = 0u32;
+        for off in 0..len {
+            if dropped >= n {
+                break;
+            }
+            let i = (start + off) % len;
+            if self.data[i].valid && self.data[i].state == SdState::Modified {
+                self.data[i].valid = false;
+                self.valid -= 1;
+                dropped += 1;
+            }
+        }
+        dropped
+    }
+
+    /// Disable fault: drops every MODIFIED entry (they are pure hints;
+    /// TRANSIENT entries stay to drain their in-flight transfers). Returns
+    /// how many were dropped.
+    pub fn drop_modified(&mut self) -> u32 {
+        let mut dropped = 0u32;
+        for i in 0..self.data.len() {
+            if self.data[i].valid && self.data[i].state == SdState::Modified {
+                self.data[i].valid = false;
+                self.valid -= 1;
+                dropped += 1;
+            }
+        }
+        dropped
+    }
 }
 
 #[cfg(test)]
@@ -360,6 +440,48 @@ mod tests {
         assert_eq!(a.take_last_evicted(), Some((BlockAddr(0), SdState::Modified)));
         assert!(a.take_last_evicted().is_none(), "take clears the record");
         assert_eq!(a.occupancy(), 2);
+    }
+
+    #[test]
+    fn entries_iteration_reconstructs_blocks() {
+        let mut a = small();
+        a.insert_modified(BlockAddr(5), 3);
+        a.insert_modified(BlockAddr(9), 4);
+        a.make_transient(BlockAddr(9), 7);
+        let got: Vec<(BlockAddr, SdState)> = a.entries().map(|(b, e)| (b, e.state)).collect();
+        assert_eq!(got.len(), 2);
+        assert!(got.contains(&(BlockAddr(5), SdState::Modified)));
+        assert!(got.contains(&(BlockAddr(9), SdState::Transient)));
+    }
+
+    #[test]
+    fn scrub_skips_transients_and_is_deterministic() {
+        let mut a = small();
+        a.insert_modified(BlockAddr(0), 1);
+        a.make_transient(BlockAddr(0), 7);
+        assert_eq!(a.scrub_one(3), None, "only a TRANSIENT entry present");
+        a.insert_modified(BlockAddr(1), 2);
+        a.insert_modified(BlockAddr(2), 3);
+        let mut b = a.clone();
+        assert_eq!(a.scrub_one(11), b.scrub_one(11), "same nonce, same victim");
+        assert_eq!(a.occupancy(), 2);
+        assert_eq!(a.transient_count(), 1);
+    }
+
+    #[test]
+    fn force_evict_and_drop_modified_spare_transients() {
+        let mut a = small();
+        for blk in 0..6u64 {
+            a.insert_modified(BlockAddr(blk), 1);
+        }
+        a.make_transient(BlockAddr(0), 7);
+        assert_eq!(a.force_evict(2, 99), 2);
+        assert_eq!(a.occupancy(), 4);
+        assert_eq!(a.drop_modified(), 3);
+        assert_eq!(a.occupancy(), 1);
+        assert_eq!(a.peek(BlockAddr(0)).unwrap().state, SdState::Transient);
+        assert_eq!(a.transient_count(), 1);
+        assert_eq!(a.drop_modified(), 0);
     }
 
     /// The transient counter always equals the number of TRANSIENT

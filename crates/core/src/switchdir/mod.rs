@@ -90,6 +90,12 @@ pub struct SdStats {
     /// Installs skipped because every way of the set was pinned TRANSIENT
     /// or the pending buffer was full.
     pub inserts_blocked: u64,
+    /// Read hits that fell through to the home path because the §4.3
+    /// pending buffer was full. Dedicated (not folded into
+    /// `inserts_blocked`) so a full buffer is never a silent overflow:
+    /// flow control backs off via the home path and this counter records
+    /// every refusal.
+    pub pending_refused: u64,
     /// Reads served (MODIFIED hit, CtoC request generated).
     pub read_hits: u64,
     /// Reads sunk+NAK'd on TRANSIENT entries.
@@ -126,6 +132,7 @@ impl SdStats {
     pub fn merge(&mut self, other: &SdStats) {
         self.inserts += other.inserts;
         self.inserts_blocked += other.inserts_blocked;
+        self.pending_refused += other.pending_refused;
         self.read_hits += other.read_hits;
         self.transient_retries += other.transient_retries;
         self.readers_accumulated += other.readers_accumulated;
@@ -146,6 +153,7 @@ impl ToJson for SdStats {
         JsonValue::obj()
             .field("inserts", self.inserts)
             .field("inserts_blocked", self.inserts_blocked)
+            .field("pending_refused", self.pending_refused)
             .field("read_hits", self.read_hits)
             .field("transient_retries", self.transient_retries)
             .field("readers_accumulated", self.readers_accumulated)
@@ -167,6 +175,8 @@ impl FromJson for SdStats {
         Ok(SdStats {
             inserts: JsonError::want_u64(v, "inserts")?,
             inserts_blocked: JsonError::want_u64(v, "inserts_blocked")?,
+            // Tolerant: documents written before the counter existed.
+            pending_refused: v.get("pending_refused").and_then(JsonValue::as_u64).unwrap_or(0),
             read_hits: JsonError::want_u64(v, "read_hits")?,
             transient_retries: JsonError::want_u64(v, "transient_retries")?,
             readers_accumulated: JsonError::want_u64(v, "readers_accumulated")?,
@@ -189,6 +199,10 @@ pub struct SwitchDirectory {
     array: array::SdArray,
     policy: TransientReadPolicy,
     stats: SdStats,
+    /// Degraded mode (fault-injected whole-switch disable): no new entries
+    /// are installed and no reads are served; existing TRANSIENT entries
+    /// keep draining so in-flight transfers complete correctly.
+    disabled: bool,
 }
 
 impl SwitchDirectory {
@@ -199,7 +213,12 @@ impl SwitchDirectory {
 
     /// Builds a directory with an explicit TRANSIENT-read policy.
     pub fn with_policy(cfg: SwitchDirConfig, policy: TransientReadPolicy) -> Self {
-        SwitchDirectory { array: array::SdArray::new(cfg), policy, stats: SdStats::default() }
+        SwitchDirectory {
+            array: array::SdArray::new(cfg),
+            policy,
+            stats: SdStats::default(),
+            disabled: false,
+        }
     }
 
     /// Counters.
@@ -256,6 +275,11 @@ impl SwitchDirectory {
         let block = msg.block;
         match msg.kind {
             MsgType::WriteReply => {
+                if self.disabled {
+                    // Degraded mode: never install new hints; the reply
+                    // streams on to the writer untouched.
+                    return SnoopAction::Forward;
+                }
                 // Capture ownership as the reply streams toward the writer.
                 let owner = msg.requester;
                 if self.array.insert_modified(block, owner) {
@@ -392,7 +416,13 @@ impl SwitchDirectory {
                 None => SnoopAction::Forward,
             },
             MsgType::Retry => SnoopAction::Forward,
-            _ => unreachable!("filtered by switch_dir_relevant"),
+            other => {
+                // Guarded by `switch_dir_relevant` above; reaching this arm
+                // means the Table 1 filter and the FSM disagree. Forwarding
+                // untouched is always protocol-safe for a hint cache.
+                debug_assert!(false, "snooped irrelevant message {other:?}");
+                SnoopAction::Forward
+            }
         }
     }
 
@@ -427,7 +457,8 @@ impl SwitchDirectory {
                 } else {
                     // Pending buffer full: cannot track another transient
                     // block, fall through to the home path (§4.3 feedback).
-                    self.stats.inserts_blocked += 1;
+                    // Never a silent overflow: the refusal is counted.
+                    self.stats.pending_refused += 1;
                     probe.sd_event(t, loc, block, SdProbeEvent::InsertBlocked);
                     SnoopAction::Forward
                 }
@@ -466,6 +497,44 @@ impl SwitchDirectory {
     /// Number of valid entries in the array (O(1)).
     pub fn occupancy(&self) -> usize {
         self.array.occupancy()
+    }
+
+    /// Iterates over all valid entries as `(block, view)` pairs (array
+    /// order, deterministic). The coherence checker uses this to verify
+    /// SD contents against home-directory truth.
+    pub fn entries(&self) -> impl Iterator<Item = (BlockAddr, SdEntryView)> + '_ {
+        self.array.entries()
+    }
+
+    /// Whether the directory is in degraded (disabled) mode.
+    pub fn is_disabled(&self) -> bool {
+        self.disabled
+    }
+
+    /// Fault hook: enters or leaves degraded mode. Disabling drops every
+    /// MODIFIED hint immediately (they are pure hints, always safe to
+    /// lose) but keeps TRANSIENT entries so in-flight cache-to-cache
+    /// transfers drain through the normal copyback/writeback path.
+    /// Returns how many entries were dropped.
+    pub fn set_disabled(&mut self, disabled: bool) -> u32 {
+        self.disabled = disabled;
+        if disabled {
+            self.array.drop_modified()
+        } else {
+            0
+        }
+    }
+
+    /// Fault hook: ECC scrub pulse — invalidates one MODIFIED entry chosen
+    /// by `nonce`. Returns the victim block, if any entry was scrubbed.
+    pub fn scrub(&mut self, nonce: u64) -> Option<BlockAddr> {
+        self.array.scrub_one(nonce)
+    }
+
+    /// Fault hook: forced eviction storm — drops up to `n` MODIFIED
+    /// entries (nonce-rotated, deterministic). Returns how many dropped.
+    pub fn force_evict(&mut self, n: u32, nonce: u64) -> u32 {
+        self.array.force_evict(n, nonce)
     }
 }
 
@@ -669,7 +738,53 @@ mod tests {
         let a2 = sd.snoop(&mut msg(MsgType::ReadRequest, 2, 7));
         assert_eq!(a2, SnoopAction::Forward);
         assert_eq!(sd.transient_count(), 1);
-        assert_eq!(sd.stats().inserts_blocked, 1);
+        assert_eq!(sd.stats().pending_refused, 1, "refusal counted, never silent");
+        assert_eq!(sd.stats().inserts_blocked, 0, "install blocking is a separate counter");
+        // The refused read was forwarded to the home, so flow control is
+        // preserved; a third attempt counts again.
+        let a3 = sd.snoop(&mut msg(MsgType::ReadRequest, 2, 9));
+        assert_eq!(a3, SnoopAction::Forward);
+        assert_eq!(sd.stats().pending_refused, 2);
+    }
+
+    #[test]
+    fn disable_drops_hints_but_drains_transients() {
+        let mut sd = SwitchDirectory::new(cfg());
+        install(&mut sd, 1, 3);
+        install(&mut sd, 2, 4);
+        sd.snoop(&mut msg(MsgType::ReadRequest, 1, 7)); // block 1 -> TRANSIENT
+        assert_eq!(sd.set_disabled(true), 1, "only the MODIFIED hint dropped");
+        assert!(sd.is_disabled());
+        assert_eq!(sd.peek(BlockAddr(1)).unwrap().state, SdState::Transient);
+        assert!(sd.peek(BlockAddr(2)).is_none());
+        // No new installs while degraded.
+        install(&mut sd, 5, 9);
+        assert!(sd.peek(BlockAddr(5)).is_none());
+        // Reads fall through to the home path.
+        assert_eq!(sd.snoop(&mut msg(MsgType::ReadRequest, 5, 7)), SnoopAction::Forward);
+        // The in-flight transfer still completes through the copyback path.
+        let mut cb = msg(MsgType::CopyBack, 1, 3);
+        assert_eq!(sd.snoop(&mut cb), SnoopAction::Forward);
+        assert!(cb.carried_sharers.contains(7), "degraded switch still marks its copyback");
+        assert_eq!(sd.transient_count(), 0);
+        // Re-enable: installs work again.
+        assert_eq!(sd.set_disabled(false), 0);
+        install(&mut sd, 6, 2);
+        assert_eq!(sd.peek(BlockAddr(6)).unwrap().owner, 2);
+    }
+
+    #[test]
+    fn scrub_and_storm_hooks_count_against_occupancy() {
+        let mut sd = SwitchDirectory::new(cfg());
+        for blk in 0..6u64 {
+            install(&mut sd, blk, 1);
+        }
+        assert!(sd.scrub(42).is_some());
+        assert_eq!(sd.occupancy(), 5);
+        assert_eq!(sd.force_evict(3, 7), 3);
+        assert_eq!(sd.occupancy(), 2);
+        let listed: Vec<_> = sd.entries().collect();
+        assert_eq!(listed.len(), 2);
     }
 
     #[test]

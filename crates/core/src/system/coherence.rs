@@ -1,0 +1,265 @@
+//! End-of-run coherence invariant checker.
+//!
+//! The paper's safety argument is that switch directories are pure hint
+//! caches: losing, scrubbing or disabling them must never corrupt the
+//! protocol, because the home full-map directory stays authoritative. This
+//! module audits that claim after a run, fault-injected or not:
+//!
+//! 1. **Exclusive ownership** — at most one cache holds a block MODIFIED,
+//!    and when the home records `Modified(n)`, node `n` is that holder.
+//! 2. **Holder tracking** — every cached copy is covered by the home state
+//!    (the home's sharer vector may be a superset: clean copies evict
+//!    silently, but never the reverse).
+//! 3. **Hint soundness** — every MODIFIED switch-directory entry points at
+//!    the block's true current owner per the home directory.
+//! 4. **Quiescence** — after a clean drain no home entry is mid-transaction
+//!    and no switch-directory entry is TRANSIENT.
+//! 5. **Exact accounting** — every drained node executed exactly the
+//!    references its stream contains, faults or not.
+//!
+//! The checker also folds the final per-block machine state (home entry +
+//! cache holders, switch directories excluded since they are hints) into a
+//! deterministic digest, so tests can assert that a run degraded mid-flight
+//! (SD disabled) quiesces in the *same* coherence state as a base-machine
+//! run.
+
+use std::collections::BTreeMap;
+
+use dresar_cache::LineState;
+use dresar_directory::DirState;
+use dresar_types::{BlockAddr, JsonValue, NodeId, StreamItem, ToJson};
+
+use super::{Node, System};
+use crate::switchdir::SdState;
+
+/// One violated invariant.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CoherenceViolation {
+    /// Stable rule identifier (`exclusive-owner`, `holder-not-tracked`,
+    /// `sd-stale-hint`, `sd-transient-at-quiescence`,
+    /// `home-busy-at-quiescence`, `refs-mismatch`).
+    pub rule: &'static str,
+    /// Block concerned, when the rule is per-block.
+    pub block: Option<BlockAddr>,
+    /// Human-readable specifics.
+    pub detail: String,
+}
+
+impl ToJson for CoherenceViolation {
+    fn to_json(&self) -> JsonValue {
+        let mut b = JsonValue::obj().field("rule", self.rule);
+        if let Some(block) = self.block {
+            b = b.field("block", block.0);
+        }
+        b.field("detail", self.detail.as_str()).build()
+    }
+}
+
+/// Result of the end-of-run coherence audit.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct CoherenceOutcome {
+    /// Distinct blocks examined (union of home-tracked and cache-resident).
+    pub blocks_checked: u64,
+    /// Whether the run reached clean quiescence (all nodes drained, no
+    /// watchdog trip). Quiescence-only rules are skipped otherwise.
+    pub quiesced: bool,
+    /// Every violated invariant, in deterministic order.
+    pub violations: Vec<CoherenceViolation>,
+    /// FNV-1a digest of the final per-block coherence state (home entry +
+    /// sorted cache holders). Switch-directory contents are excluded: they
+    /// are hints, so a degraded run must digest identically to a base run.
+    pub digest: u64,
+}
+
+impl CoherenceOutcome {
+    /// Whether every checked invariant held.
+    pub fn ok(&self) -> bool {
+        self.violations.is_empty()
+    }
+}
+
+impl ToJson for CoherenceOutcome {
+    fn to_json(&self) -> JsonValue {
+        JsonValue::obj()
+            .field("blocks_checked", self.blocks_checked)
+            .field("quiesced", self.quiesced)
+            .field("ok", self.ok())
+            .field("violations", self.violations.clone())
+            .field("digest", self.digest)
+            .build()
+    }
+}
+
+/// Per-block view assembled from every structure that holds coherence
+/// state.
+#[derive(Default)]
+struct BlockView {
+    home: Option<(DirState, bool)>,
+    holders: Vec<(NodeId, LineState)>,
+    sd_modified: Vec<(usize, NodeId)>,
+    sd_transients: u64,
+}
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+fn fnv1a(hash: u64, bytes: &[u8]) -> u64 {
+    bytes.iter().fold(hash, |h, &b| (h ^ u64::from(b)).wrapping_mul(FNV_PRIME))
+}
+
+/// Audits the final machine state. Called by `System::build_report` when
+/// `RunOptions::verify_coherence` is set.
+pub(super) fn check(sys: &System) -> CoherenceOutcome {
+    let mut blocks: BTreeMap<u64, BlockView> = BTreeMap::new();
+    for h in &sys.homes {
+        for (block, state, busy) in h.blocks() {
+            blocks.entry(block.0).or_default().home = Some((state, busy));
+        }
+    }
+    for n in &sys.nodes {
+        for (block, state) in n.hier.resident_blocks() {
+            blocks.entry(block.0).or_default().holders.push((n.id, state));
+        }
+    }
+    for (i, sd) in sys.sdirs.iter().enumerate() {
+        let Some(sd) = sd else { continue };
+        for (block, e) in sd.entries() {
+            let v = blocks.entry(block.0).or_default();
+            match e.state {
+                SdState::Modified => v.sd_modified.push((i, e.owner)),
+                SdState::Transient => v.sd_transients += 1,
+            }
+        }
+    }
+
+    let quiesced =
+        sys.nodes.iter().all(Node::drained) && sys.watchdog.as_ref().is_none_or(|wd| !wd.tripped());
+    let mut out = CoherenceOutcome {
+        blocks_checked: blocks.len() as u64,
+        quiesced,
+        ..CoherenceOutcome::default()
+    };
+    let mut digest = FNV_OFFSET;
+
+    for (&addr, v) in &blocks {
+        let block = BlockAddr(addr);
+        let mut holders = v.holders.clone();
+        holders.sort_by_key(|&(n, _)| n);
+        let dirty: Vec<NodeId> =
+            holders.iter().filter(|&&(_, s)| s == LineState::Modified).map(|&(n, _)| n).collect();
+        let (home_state, home_busy) = v.home.unwrap_or((DirState::Uncached, false));
+
+        // 1. Exactly one MODIFIED holder, matching the home's record.
+        if dirty.len() > 1 {
+            out.violations.push(CoherenceViolation {
+                rule: "exclusive-owner",
+                block: Some(block),
+                detail: format!("{} caches hold the block MODIFIED: {dirty:?}", dirty.len()),
+            });
+        }
+        if quiesced {
+            if let DirState::Modified(owner) = home_state {
+                if dirty != [owner] {
+                    out.violations.push(CoherenceViolation {
+                        rule: "exclusive-owner",
+                        block: Some(block),
+                        detail: format!(
+                            "home records owner {owner} but MODIFIED holders are {dirty:?}"
+                        ),
+                    });
+                }
+            } else if let Some(&n) = dirty.first() {
+                out.violations.push(CoherenceViolation {
+                    rule: "exclusive-owner",
+                    block: Some(block),
+                    detail: format!("node {n} holds MODIFIED but home state is {home_state:?}"),
+                });
+            }
+
+            // 2. Every cached copy is covered by the home state.
+            for &(n, state) in &holders {
+                let covered = match home_state {
+                    DirState::Uncached => false,
+                    DirState::Shared(s) => state == LineState::Shared && s.contains(n),
+                    DirState::Modified(owner) => n == owner,
+                };
+                if !covered {
+                    out.violations.push(CoherenceViolation {
+                        rule: "holder-not-tracked",
+                        block: Some(block),
+                        detail: format!(
+                            "node {n} holds the block {state:?} but home records {home_state:?}"
+                        ),
+                    });
+                }
+            }
+
+            // 3. MODIFIED switch-directory hints point at the true owner.
+            for &(sw, hinted) in &v.sd_modified {
+                if home_state != DirState::Modified(hinted) {
+                    out.violations.push(CoherenceViolation {
+                        rule: "sd-stale-hint",
+                        block: Some(block),
+                        detail: format!(
+                            "switch {sw} hints owner {hinted} but home records {home_state:?}"
+                        ),
+                    });
+                }
+            }
+
+            // 4. Quiescence: nothing mid-transaction anywhere.
+            if v.sd_transients > 0 {
+                out.violations.push(CoherenceViolation {
+                    rule: "sd-transient-at-quiescence",
+                    block: Some(block),
+                    detail: format!("{} TRANSIENT switch entries remain", v.sd_transients),
+                });
+            }
+            if home_busy {
+                out.violations.push(CoherenceViolation {
+                    rule: "home-busy-at-quiescence",
+                    block: Some(block),
+                    detail: "home entry still mid-transaction".into(),
+                });
+            }
+        }
+
+        // Digest the block's final home + cache state (hints excluded).
+        digest = fnv1a(digest, &addr.to_le_bytes());
+        match home_state {
+            DirState::Uncached => digest = fnv1a(digest, b"U"),
+            DirState::Shared(s) => {
+                digest = fnv1a(digest, b"S");
+                digest = fnv1a(digest, &s.raw().to_le_bytes());
+            }
+            DirState::Modified(owner) => {
+                digest = fnv1a(digest, b"M");
+                digest = fnv1a(digest, &[owner]);
+            }
+        }
+        for &(n, state) in &holders {
+            digest = fnv1a(digest, &[n, if state == LineState::Modified { 2 } else { 1 }]);
+        }
+    }
+
+    // 5. Exact per-node reference accounting for drained nodes.
+    for n in &sys.nodes {
+        if !n.drained() {
+            continue;
+        }
+        let expected = n.items.iter().filter(|i| matches!(i, StreamItem::Ref(_))).count() as u64;
+        if n.refs_executed != expected {
+            out.violations.push(CoherenceViolation {
+                rule: "refs-mismatch",
+                block: None,
+                detail: format!(
+                    "node {} executed {} references, stream holds {expected}",
+                    n.id, n.refs_executed
+                ),
+            });
+        }
+    }
+
+    out.digest = digest;
+    out
+}

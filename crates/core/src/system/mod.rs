@@ -15,16 +15,22 @@
 //! The simulator is deterministic: event ties break by schedule order and
 //! no randomness is used outside workload generation.
 
+mod coherence;
 mod node;
 mod report;
 
-pub use node::{Mshr, MshrKind, Node, ProcState};
+pub use coherence::{CoherenceOutcome, CoherenceViolation};
+pub use node::{DeferredIntervention, Mshr, MshrKind, Node, ProcState};
 pub use report::ExecutionReport;
 
 use crate::switchdir::{GenMsg, SnoopAction, SwitchDirectory, TransientReadPolicy};
 use dresar_cache::{AccessOutcome, CacheHierarchy, Eviction, LineState};
 use dresar_directory::{DirAction, HomeDirectory, QueuedReq, ReqKind};
 use dresar_engine::{BankedResource, EventQueue, Resource};
+use dresar_faults::{
+    FaultPlan, FaultSession, LaunchVerdict, SimError, StuckMsg, Watchdog, WatchdogConfig,
+    WatchdogKind,
+};
 use dresar_interconnect::routes::{self, Route};
 use dresar_interconnect::{Bmin, HopNetwork, SwitchId};
 use dresar_obs::{
@@ -49,6 +55,16 @@ pub struct RunOptions {
     /// Observers to attach (latency breakdown, time series, trace). All off
     /// by default; the run is uninstrumented unless something is enabled.
     pub observers: ObserverConfig,
+    /// Deterministic fault-injection plan. `None` (and an inert
+    /// [`FaultPlan::default`]) run fault-free.
+    pub faults: Option<FaultPlan>,
+    /// Coherence watchdog. When set, livelock / quiescence failures /
+    /// budget overruns produce a structured [`dresar_faults::WatchdogReport`]
+    /// in the [`ExecutionReport`] instead of a panic or a hang.
+    pub watchdog: Option<WatchdogConfig>,
+    /// Run the end-of-run coherence invariant checker and attach its
+    /// [`CoherenceOutcome`] to the report.
+    pub verify_coherence: bool,
 }
 
 impl Default for RunOptions {
@@ -58,6 +74,9 @@ impl Default for RunOptions {
             collect_histogram: false,
             transient_policy: TransientReadPolicy::Retry,
             observers: ObserverConfig::default(),
+            faults: None,
+            watchdog: None,
+            verify_coherence: false,
         }
     }
 }
@@ -81,6 +100,13 @@ enum Ev {
         node: NodeId,
         /// Block of the NAK'd transaction.
         block: BlockAddr,
+    },
+    /// A dropped message retransmits from its source (fault injection).
+    Relaunch {
+        /// The message and its route, re-entering at hop 0.
+        flight: Box<InFlight>,
+        /// Retransmission attempt number (1 = first retry).
+        attempt: u32,
     },
 }
 
@@ -115,6 +141,10 @@ pub struct System {
     writebacks: u64,
     histogram: Option<BlockHistogram>,
     end_time: Cycle,
+    faults: Option<FaultSession>,
+    watchdog: Option<Watchdog>,
+    sim_errors: Vec<SimError>,
+    lost_log: Vec<String>,
 }
 
 impl System {
@@ -160,6 +190,10 @@ impl System {
             writebacks: 0,
             histogram: None,
             end_time: 0,
+            faults: None,
+            watchdog: None,
+            sim_errors: Vec::new(),
+            lost_log: Vec::new(),
             cfg,
         }
     }
@@ -208,18 +242,53 @@ impl System {
                 }
             }
         }
+        if let Some(plan) = opts.faults.filter(FaultPlan::is_active) {
+            self.faults = Some(FaultSession::new(plan));
+        }
+        self.watchdog = opts.watchdog.map(Watchdog::new);
         for p in 0..self.cfg.nodes {
             self.queue.schedule_at(0, Ev::Proc(p as NodeId));
         }
         while let Some((t, ev)) = self.queue.pop() {
-            assert!(
-                t <= opts.max_cycles,
-                "simulation exceeded {} cycles: livelock or runaway workload \
-                 (workload={}, pending events={})",
-                opts.max_cycles,
-                self.workload,
-                self.queue.len()
-            );
+            if t > opts.max_cycles {
+                if self.watchdog.is_some() {
+                    let lineage = self.stuck_lineage();
+                    let detail = format!(
+                        "exceeded max_cycles={} (workload={}, pending events={}, lost={:?})",
+                        opts.max_cycles,
+                        self.workload,
+                        self.queue.len(),
+                        self.lost_log
+                    );
+                    if let Some(wd) = self.watchdog.as_mut() {
+                        wd.trip(WatchdogKind::BudgetExceeded, t, lineage, detail);
+                    }
+                    break;
+                }
+                panic!(
+                    "simulation exceeded {} cycles: livelock or runaway workload \
+                     (workload={}, pending events={})",
+                    opts.max_cycles,
+                    self.workload,
+                    self.queue.len()
+                );
+            }
+            if self.watchdog.as_ref().is_some_and(|wd| wd.check_livelock(t)) {
+                let lineage = self.stuck_lineage();
+                let detail = format!(
+                    "no forward progress (workload={}, pending events={}, lost={:?})",
+                    self.workload,
+                    self.queue.len(),
+                    self.lost_log
+                );
+                if let Some(wd) = self.watchdog.as_mut() {
+                    wd.trip(WatchdogKind::Livelock, t, lineage, detail);
+                }
+                break;
+            }
+            if self.faults.is_some() {
+                self.apply_fault_epochs(t, probe);
+            }
             self.end_time = self.end_time.max(t);
             probe.tick(t, self.queue.len());
             match ev {
@@ -227,22 +296,117 @@ impl System {
                 Ev::Msg(infl) => self.on_msg(*infl, t, probe),
                 Ev::HomeExec { home, msg } => self.on_home_exec(home, *msg, t, probe),
                 Ev::Retry { node, block } => self.on_retry(node, block, t, probe),
+                Ev::Relaunch { flight, attempt } => {
+                    let InFlight { msg, route, .. } = *flight;
+                    self.launch_attempt(msg, route, t, attempt, probe);
+                }
             }
         }
-        for n in &self.nodes {
-            assert!(
-                n.drained(),
-                "protocol deadlock: node {} stuck in {:?} with {} MSHRs (workload={})",
-                n.id,
-                n.state,
-                n.mshrs.len(),
-                self.workload
-            );
+        let tripped = self.watchdog.as_ref().is_some_and(Watchdog::tripped);
+        if !tripped {
+            let stuck: Vec<&Node> = self.nodes.iter().filter(|n| !n.drained()).collect();
+            if let Some(n) = stuck.first() {
+                if self.watchdog.is_some() {
+                    let at = self.end_time;
+                    let lineage = self.stuck_lineage();
+                    let detail = format!(
+                        "event queue drained with {} undrained node(s) (workload={}, lost={:?})",
+                        stuck.len(),
+                        self.workload,
+                        self.lost_log
+                    );
+                    if let Some(wd) = self.watchdog.as_mut() {
+                        wd.trip(WatchdogKind::QuiescenceFailure, at, lineage, detail);
+                    }
+                } else {
+                    panic!(
+                        "protocol deadlock: node {} stuck in {:?} with {} MSHRs (workload={})",
+                        n.id,
+                        n.state,
+                        n.mshrs.len(),
+                        self.workload
+                    );
+                }
+            }
         }
-        self.build_report()
+        self.build_report(opts.verify_coherence)
     }
 
-    fn build_report(mut self) -> ExecutionReport {
+    /// Lineage of every unfinished transaction, sorted for determinism
+    /// (MSHR maps iterate in arbitrary order).
+    fn stuck_lineage(&self) -> Vec<StuckMsg> {
+        let mut lineage = Vec::new();
+        for n in &self.nodes {
+            for (&block, m) in &n.mshrs {
+                lineage.push(StuckMsg {
+                    node: n.id,
+                    block,
+                    kind: match m.kind {
+                        MshrKind::Read => "read",
+                        MshrKind::Write => "write",
+                    },
+                    issued_at: m.issued_at,
+                    retry_pending: m.retry_pending,
+                });
+            }
+        }
+        lineage.sort_by_key(|s| (s.node, s.block.0));
+        lineage
+    }
+
+    /// Fires any fault epochs (ECC scrub pulses, the eviction storm, the
+    /// whole-switch disable/enable latches) that became due at `t`.
+    fn apply_fault_epochs<P: Probe>(&mut self, t: Cycle, _probe: &mut P) {
+        let Some(fs) = self.faults.as_mut() else { return };
+        let scrubs = fs.due_scrubs(t);
+        let storm = fs.storm_due(t);
+        let disable = fs.disable_due(t);
+        let enable = fs.enable_due(t);
+        let mut scrubbed = 0u64;
+        let mut storm_evicted = 0u64;
+        for epoch in scrubs {
+            let nonce_of = |sw: u64| self.faults.as_ref().map(|f| f.scrub_nonce(epoch, sw));
+            for i in 0..self.sdirs.len() {
+                let Some(nonce) = nonce_of(i as u64) else { continue };
+                if let Some(sd) = self.sdirs[i].as_mut() {
+                    if sd.scrub(nonce).is_some() {
+                        scrubbed += 1;
+                    }
+                }
+            }
+        }
+        if let Some(n) = storm {
+            for i in 0..self.sdirs.len() {
+                let nonce =
+                    self.faults.as_ref().map(|f| f.scrub_nonce(u64::MAX, i as u64)).unwrap_or(0);
+                if let Some(sd) = self.sdirs[i].as_mut() {
+                    storm_evicted += u64::from(sd.force_evict(n, nonce));
+                }
+            }
+        }
+        if disable {
+            for sd in self.sdirs.iter_mut().flatten() {
+                sd.set_disabled(true);
+            }
+        }
+        if enable {
+            for sd in self.sdirs.iter_mut().flatten() {
+                sd.set_disabled(false);
+            }
+        }
+        if let Some(fs) = self.faults.as_mut() {
+            fs.stats.scrubbed += scrubbed;
+            fs.stats.storm_evicted += storm_evicted;
+            if disable {
+                fs.stats.sd_disables += 1;
+            }
+            if enable {
+                fs.stats.sd_enables += 1;
+            }
+        }
+    }
+
+    fn build_report(mut self, verify_coherence: bool) -> ExecutionReport {
         let mut r = ExecutionReport {
             workload: std::mem::take(&mut self.workload),
             cycles: self.end_time,
@@ -261,7 +425,13 @@ impl System {
         for s in self.sdirs.iter().flatten() {
             r.sd.merge(&s.stats());
         }
+        if verify_coherence {
+            r.coherence = Some(coherence::check(&self));
+        }
         r.metrics = self.snapshot_metrics(&r);
+        r.faults = self.faults.as_ref().map(|fs| fs.stats);
+        r.sim_errors = self.sim_errors.iter().map(SimError::to_string).collect();
+        r.watchdog = self.watchdog.take().and_then(Watchdog::into_report);
         r
     }
 
@@ -366,6 +536,26 @@ impl System {
         m.counter("net.link_stall_cycles", link_stall);
         m.counter("net.writebacks", self.writebacks);
 
+        // Fault injection and robustness (present only when active, so
+        // fault-free telemetry is unchanged byte-for-byte).
+        if let Some(fs) = &self.faults {
+            m.counter("faults.dropped", fs.stats.dropped);
+            m.counter("faults.retransmissions", fs.stats.retransmissions);
+            m.counter("faults.lost", fs.stats.lost);
+            m.counter("faults.scrubbed", fs.stats.scrubbed);
+            m.counter("faults.storm_evicted", fs.stats.storm_evicted);
+            m.counter("faults.sd_disables", fs.stats.sd_disables);
+            m.counter("faults.sd_enables", fs.stats.sd_enables);
+        }
+        if let Some(wd) = self.watchdog.as_ref().and_then(Watchdog::report) {
+            m.counter("watchdog.tripped", 1);
+            m.counter("watchdog.at", wd.at);
+            m.counter("watchdog.stuck_transactions", wd.lineage.len() as u64);
+        }
+        if !self.sim_errors.is_empty() {
+            m.counter("errors.sim", self.sim_errors.len() as u64);
+        }
+
         m
     }
 
@@ -432,6 +622,7 @@ impl System {
                                         then_write: false,
                                         inval_pending: false,
                                         retry_pending: false,
+                                        deferred_ctoc: None,
                                     },
                                 );
                                 probe.read_issue(p, block, t, t_miss);
@@ -473,6 +664,7 @@ impl System {
                                             then_write: false,
                                             inval_pending: false,
                                             retry_pending: false,
+                                            deferred_ctoc: None,
                                         },
                                     );
                                     node.pc += 1;
@@ -538,7 +730,44 @@ impl System {
     }
 
     fn launch<P: Probe>(&mut self, msg: Message, route: Route, t: Cycle, probe: &mut P) {
+        self.launch_attempt(msg, route, t, 0, probe);
+    }
+
+    /// Launches (or retransmits) a message. With fault injection active the
+    /// link may drop it: the sender's interface retries after exponential
+    /// backoff until [`FaultPlan::max_retries`], then the message is
+    /// permanently lost (the watchdog's problem).
+    fn launch_attempt<P: Probe>(
+        &mut self,
+        msg: Message,
+        route: Route,
+        t: Cycle,
+        attempt: u32,
+        probe: &mut P,
+    ) {
         debug_assert!(route.well_formed());
+        if let Some(fs) = self.faults.as_mut() {
+            match fs.on_launch(msg.id, msg.kind, attempt) {
+                LaunchVerdict::Deliver => {}
+                LaunchVerdict::DropRetry { backoff } => {
+                    self.queue.schedule_at(
+                        t + backoff,
+                        Ev::Relaunch {
+                            flight: Box::new(InFlight { msg, route, hop: 0 }),
+                            attempt: attempt + 1,
+                        },
+                    );
+                    return;
+                }
+                LaunchVerdict::Lost => {
+                    self.lost_log.push(format!(
+                        "{:?} msg {} for block {:#x} (attempt {attempt})",
+                        msg.kind, msg.id, msg.block.0
+                    ));
+                    return;
+                }
+            }
+        }
         let flits = self.flits(&msg);
         probe.msg_send(t, &msg);
         let arrive = self.net.traverse_link_probed(route.links[0], t, flits, probe);
@@ -553,6 +782,11 @@ impl System {
         t: Cycle,
         probe: &mut P,
     ) {
+        // A newly issued (or re-issued) transaction is forward progress:
+        // distinguishes a node computing locally from a livelocked one.
+        if let Some(wd) = self.watchdog.as_mut() {
+            wd.progress(t);
+        }
         let home = self.map.home_of_block(block);
         let msg =
             Message::new(self.next_id(), kind, block, Endpoint::Proc(p), Endpoint::Mem(home), p, t);
@@ -567,7 +801,13 @@ impl System {
         };
         let route = match msg.dst {
             Endpoint::Mem(h) => routes::forward(&self.bmin, src, h),
-            Endpoint::Proc(q) => routes::proc_to_proc(&self.bmin, src, q, msg.block.0),
+            Endpoint::Proc(q) => match routes::proc_to_proc(&self.bmin, src, q, msg.block.0) {
+                Ok(r) => r,
+                Err(e) => {
+                    self.sim_errors.push(e);
+                    return;
+                }
+            },
             Endpoint::Switch { .. } => unreachable!("messages never target switches"),
         };
         self.launch(msg, route, t, probe);
@@ -621,7 +861,13 @@ impl System {
         // Targets of CtoC requests and data replies are always down-
         // reachable (placement invariant); NAKs to foreign CtoC requesters
         // may need to ascend and turn around.
-        let route = routes::from_switch_to_proc_via(&self.bmin, sw, to, orig.block.0);
+        let route = match routes::from_switch_to_proc_via(&self.bmin, sw, to, orig.block.0) {
+            Ok(r) => r,
+            Err(e) => {
+                self.sim_errors.push(e);
+                return;
+            }
+        };
         // Generation overlaps the switch's own pipeline: one core delay.
         let depart = t + self.net.core_delay();
         self.launch(msg, route, depart, probe);
@@ -842,7 +1088,7 @@ impl System {
                 );
                 self.send_from_mem(msg, t, probe);
             }
-            DirAction::WriteReplyGrant { to } => {
+            DirAction::WriteReplyGrant { to, seq } => {
                 let msg = Message::new(
                     self.next_id(),
                     MsgType::WriteReply,
@@ -851,10 +1097,11 @@ impl System {
                     Endpoint::Proc(to),
                     to,
                     t,
-                );
+                )
+                .with_owner_seq(seq);
                 self.send_from_mem(msg, t, probe);
             }
-            DirAction::ForwardCtoC { owner, requester, write_intent } => {
+            DirAction::ForwardCtoC { owner, requester, write_intent, owner_seq } => {
                 let mut msg = Message::new(
                     self.next_id(),
                     MsgType::CtoCRequest,
@@ -864,7 +1111,8 @@ impl System {
                     requester,
                     t,
                 )
-                .with_owner(owner);
+                .with_owner(owner)
+                .with_owner_seq(owner_seq);
                 if write_intent {
                     msg = msg.with_write_intent();
                 }
@@ -954,13 +1202,30 @@ impl System {
         probe: &mut P,
     ) {
         let block = msg.block;
+        if let Some(wd) = self.watchdog.as_mut() {
+            wd.progress(t);
+        }
+        let Some(m) = self.nodes[p as usize].mshrs.remove(&block) else {
+            // Duplicate reply with no transaction waiting (NAK'd then served
+            // twice, or delayed by fault retransmission). An ownership grant
+            // must still install: the home has recorded this node as owner
+            // and will direct the next intervention here. A duplicate Shared
+            // fill is dropped — installing one that was delayed past a later
+            // Invalidate would resurrect a line the home no longer tracks.
+            if state == LineState::Modified {
+                self.nodes[p as usize].owner_seq.insert(block, msg.owner_seq);
+                let evictions = self.nodes[p as usize].hier.fill(block, state);
+                self.emit_evictions(p, evictions, t, probe);
+            }
+            return;
+        };
+        if state == LineState::Modified {
+            self.nodes[p as usize].owner_seq.insert(block, msg.owner_seq);
+        }
         let evictions = self.nodes[p as usize].hier.fill(block, state);
         self.emit_evictions(p, evictions, t, probe);
 
         let node = &mut self.nodes[p as usize];
-        let Some(m) = node.mshrs.remove(&block) else {
-            return; // Late duplicate (NAK'd then served twice): fill only.
-        };
         match m.kind {
             MshrKind::Read => {
                 if let Some(class) = class {
@@ -983,6 +1248,7 @@ impl System {
                             then_write: false,
                             inval_pending: m.inval_pending,
                             retry_pending: false,
+                            deferred_ctoc: None,
                         },
                     );
                     self.send_request(p, block, MsgType::WriteRequest, t, probe);
@@ -1028,6 +1294,22 @@ impl System {
             node.local_time = node.local_time.max(t);
             self.queue.schedule_at(t, Ev::Proc(p));
         }
+        if let Some(d) = m.deferred_ctoc {
+            debug_assert_eq!(m.kind, MshrKind::Write);
+            let t_cache = t + self.cfg.l2.access_cycles as Cycle;
+            if d.owner_seq == msg.owner_seq {
+                // The intervention overtook this very grant in flight; the
+                // home is still busy waiting for our copyback. Serve it now
+                // that the line is installed (the granted write retired
+                // above).
+                self.serve_intervention(p, block, d, t_cache, probe);
+            } else {
+                // The deferred intervention targeted a different ownership
+                // instance: the home cancelled that transaction while the
+                // (retransmitted) intervention was in flight. NAK it.
+                self.nak_intervention(p, block, &d, t_cache, probe);
+            }
+        }
     }
 
     fn emit_evictions<P: Probe>(
@@ -1061,63 +1343,129 @@ impl System {
         let block = msg.block;
         let t_cache = t + self.cfg.l2.access_cycles as Cycle;
         let holds_dirty = self.nodes[p as usize].hier.probe(block) == Some(LineState::Modified);
+        let d = DeferredIntervention {
+            requester: msg.requester,
+            write_intent: msg.write_intent,
+            switch_generated: msg.switch_generated,
+            issued_at: msg.issued_at,
+            owner_seq: msg.owner_seq,
+        };
         if holds_dirty {
-            if msg.write_intent {
-                self.nodes[p as usize].hier.invalidate(block);
+            // Home-generated interventions name the ownership instance they
+            // target; serve only if that is the instance this cache holds.
+            // A mismatch means the home cancelled the transaction after the
+            // (retransmitted) intervention departed — serving it would
+            // transfer ownership behind the home's back. Switch-generated
+            // interventions carry no sequence (seq 0): they are read-intent
+            // only and any dirty holder can safely service them.
+            let held = self.nodes[p as usize].owner_seq.get(&block).copied().unwrap_or(0);
+            if d.switch_generated || d.owner_seq == held {
+                self.serve_intervention(p, block, d, t_cache, probe);
             } else {
-                self.nodes[p as usize].hier.downgrade(block);
-                // The owner cache is the service point of a read CtoC: the
-                // data departs toward the requester now.
-                probe.read_service_done(msg.requester, block, t_cache);
+                self.nak_intervention(p, block, &d, t_cache, probe);
             }
-            // Data straight to the requester...
-            let mut data = Message::new(
-                self.next_id(),
-                MsgType::CtoCData,
-                block,
-                Endpoint::Proc(p),
-                Endpoint::Proc(msg.requester),
-                msg.requester,
-                msg.issued_at,
-            );
-            data.switch_generated = msg.switch_generated;
-            if msg.write_intent {
-                data = data.with_write_intent();
-            }
-            self.send_from_proc(data, t_cache, probe);
-            // ...and the copyback toward the home to update memory (and be
-            // marked by any TRANSIENT switch entries on the way).
-            let home = self.map.home_of_block(block);
-            let mut cb = Message::new(
-                self.next_id(),
-                MsgType::CopyBack,
-                block,
-                Endpoint::Proc(p),
-                Endpoint::Mem(home),
-                msg.requester,
-                msg.issued_at,
-            );
-            cb.switch_generated = msg.switch_generated;
-            if msg.write_intent {
-                cb = cb.with_write_intent();
-            }
-            self.send_from_proc(cb, t_cache, probe);
-        } else {
-            // Race: the block left this cache (eviction writeback or a
-            // concurrent transfer). NAK the requester; home-side completion
-            // is handled by the writeback/copyback already in flight.
-            let mut nak = Message::new(
-                self.next_id(),
-                MsgType::Retry,
-                block,
-                Endpoint::Proc(p),
-                Endpoint::Proc(msg.requester),
-                msg.requester,
-                msg.issued_at,
-            );
-            nak.switch_generated = msg.switch_generated;
-            self.send_from_proc(nak, t_cache, probe);
+            return;
         }
+        if !d.switch_generated {
+            if let Some(m) = self.nodes[p as usize].mshrs.get_mut(&block) {
+                if m.kind == MshrKind::Write && m.deferred_ctoc.is_none() {
+                    // The intervention overtook this node's own ownership
+                    // grant (retransmission reorders the home's WriteReply
+                    // past the intervention it sends for the next writer).
+                    // The home is busy until our copyback arrives and the
+                    // requester's retries will park behind it, so a NAK
+                    // would wedge the block forever: serve the intervention
+                    // when the fill lands — if it still names the instance
+                    // the fill installs.
+                    m.deferred_ctoc = Some(d);
+                    return;
+                }
+            }
+        }
+        // Race: the block left this cache (eviction writeback or a
+        // concurrent transfer). NAK the requester; home-side completion
+        // is handled by the writeback/copyback already in flight.
+        self.nak_intervention(p, block, &d, t_cache, probe);
+    }
+
+    /// Rejects a CtoC intervention: tells the requester to retry. Harmless
+    /// even when the requester's transaction has already been resolved some
+    /// other way (the NAK finds no MSHR and is dropped).
+    fn nak_intervention<P: Probe>(
+        &mut self,
+        p: NodeId,
+        block: BlockAddr,
+        d: &DeferredIntervention,
+        t_cache: Cycle,
+        probe: &mut P,
+    ) {
+        let mut nak = Message::new(
+            self.next_id(),
+            MsgType::Retry,
+            block,
+            Endpoint::Proc(p),
+            Endpoint::Proc(d.requester),
+            d.requester,
+            d.issued_at,
+        );
+        nak.switch_generated = d.switch_generated;
+        self.send_from_proc(nak, t_cache, probe);
+    }
+
+    /// Serves a CtoC intervention at owner `p`, which holds the block
+    /// dirty: downgrade or relinquish the line, send the data straight to
+    /// the requester and the copyback toward the home.
+    fn serve_intervention<P: Probe>(
+        &mut self,
+        p: NodeId,
+        block: BlockAddr,
+        d: DeferredIntervention,
+        t_cache: Cycle,
+        probe: &mut P,
+    ) {
+        if d.write_intent {
+            self.nodes[p as usize].hier.invalidate(block);
+        } else {
+            self.nodes[p as usize].hier.downgrade(block);
+            // The owner cache is the service point of a read CtoC: the
+            // data departs toward the requester now.
+            probe.read_service_done(d.requester, block, t_cache);
+        }
+        // Data straight to the requester...
+        let mut data = Message::new(
+            self.next_id(),
+            MsgType::CtoCData,
+            block,
+            Endpoint::Proc(p),
+            Endpoint::Proc(d.requester),
+            d.requester,
+            d.issued_at,
+        );
+        data.switch_generated = d.switch_generated;
+        if d.write_intent {
+            // Ownership grant: the home will bump its sequence to exactly
+            // this value when the copyback below lands (its sequence is
+            // frozen at `d.owner_seq` while the transaction is busy).
+            data = data.with_write_intent().with_owner_seq(d.owner_seq + 1);
+        }
+        self.send_from_proc(data, t_cache, probe);
+        // ...and the copyback toward the home to update memory (and be
+        // marked by any TRANSIENT switch entries on the way).
+        let home = self.map.home_of_block(block);
+        let mut cb = Message::new(
+            self.next_id(),
+            MsgType::CopyBack,
+            block,
+            Endpoint::Proc(p),
+            Endpoint::Mem(home),
+            d.requester,
+            d.issued_at,
+        );
+        cb.switch_generated = d.switch_generated;
+        if d.write_intent {
+            cb = cb.with_write_intent();
+        }
+        self.send_from_proc(cb, t_cache, probe);
     }
 
     fn on_invalidate<P: Probe>(&mut self, p: NodeId, msg: Message, t: Cycle, probe: &mut P) {

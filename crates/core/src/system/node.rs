@@ -32,6 +32,29 @@ pub enum MshrKind {
     Write,
 }
 
+/// A CtoC intervention that reached the (future) owner before its
+/// ownership grant did. Message retransmission can reorder the home's
+/// `WriteReply` past the intervention it sends for the *next* writer; the
+/// grantee must serve the intervention once its fill lands — NAKing would
+/// leave the home busy waiting for a copyback nobody is going to send.
+#[derive(Debug, Clone, Copy)]
+pub struct DeferredIntervention {
+    /// Processor the data (or ownership) goes to.
+    pub requester: NodeId,
+    /// Ownership transfer (write-triggered) rather than a downgrade.
+    pub write_intent: bool,
+    /// The intervention came from a switch directory.
+    pub switch_generated: bool,
+    /// Original issue cycle, carried for latency accounting.
+    pub issued_at: Cycle,
+    /// Sequence of the ownership instance the home intervened. Replay
+    /// serves only if the fill installed exactly that instance — otherwise
+    /// the home cancelled the transaction while the intervention was in
+    /// flight (a retransmitted zombie) and serving it would hand ownership
+    /// to a node the home no longer tracks.
+    pub owner_seq: u64,
+}
+
 /// A miss-status holding register: one outstanding transaction per block.
 #[derive(Debug, Clone, Copy)]
 pub struct Mshr {
@@ -47,6 +70,9 @@ pub struct Mshr {
     pub inval_pending: bool,
     /// A retry event is already scheduled (debounces NAK storms).
     pub retry_pending: bool,
+    /// An intervention overtook the ownership grant: serve it after the
+    /// fill (only ever set on `MshrKind::Write`).
+    pub deferred_ctoc: Option<DeferredIntervention>,
 }
 
 /// One node's processor-side state.
@@ -64,6 +90,11 @@ pub struct Node {
     pub state: ProcState,
     /// Outstanding transactions by block.
     pub mshrs: HashMap<BlockAddr, Mshr>,
+    /// Sequence number of the ownership instance last installed Modified,
+    /// per block (from the grant's `owner_seq`). Consulted only while the
+    /// line is dirty, to validate incoming interventions; stale entries for
+    /// relinquished blocks are harmless and overwritten by the next grant.
+    pub owner_seq: HashMap<BlockAddr, u64>,
     /// Outstanding write transactions (write-buffer occupancy).
     pub writes_inflight: u32,
     /// Read statistics for this node.
@@ -87,6 +118,7 @@ impl Node {
             pc: 0,
             state: ProcState::Ready,
             mshrs: HashMap::new(),
+            owner_seq: HashMap::new(),
             writes_inflight: 0,
             reads: ReadStats::default(),
             stall_since: 0,

@@ -1,11 +1,13 @@
 //! Aggregated results of one execution-driven simulation run.
 
 use dresar_directory::DirStats;
+use dresar_faults::{FaultStats, WatchdogReport};
 use dresar_obs::{MetricsRegistry, ObsReport};
 use dresar_stats::ReadStats;
 use dresar_types::{Cycle, FromJson, JsonError, JsonValue, ToJson};
 
 use crate::switchdir::SdStats;
+use crate::system::CoherenceOutcome;
 
 /// Everything the evaluation figures need from one run.
 #[derive(Debug, Clone, Default)]
@@ -39,6 +41,16 @@ pub struct ExecutionReport {
     /// each structure's counters. Always populated by the simulator; the
     /// `bench_report` regression gate diffs it against a baseline.
     pub metrics: MetricsRegistry,
+    /// What the fault injector actually did, when a fault plan was active.
+    pub faults: Option<FaultStats>,
+    /// The coherence watchdog's verdict, when it tripped.
+    pub watchdog: Option<WatchdogReport>,
+    /// End-of-run coherence audit, when
+    /// [`crate::system::RunOptions::verify_coherence`] was set.
+    pub coherence: Option<CoherenceOutcome>,
+    /// Recoverable simulation errors recorded along the way (failed route
+    /// construction and the like). Empty on healthy runs.
+    pub sim_errors: Vec<String>,
 }
 
 impl ExecutionReport {
@@ -88,6 +100,18 @@ impl ToJson for ExecutionReport {
         if !self.metrics.is_empty() {
             b = b.field("metrics", self.metrics.to_json());
         }
+        if let Some(f) = &self.faults {
+            b = b.field("faults", f.to_json());
+        }
+        if let Some(w) = &self.watchdog {
+            b = b.field("watchdog", w.to_json());
+        }
+        if let Some(c) = &self.coherence {
+            b = b.field("coherence", c.to_json());
+        }
+        if !self.sim_errors.is_empty() {
+            b = b.field("sim_errors", self.sim_errors.clone());
+        }
         b.build()
     }
 }
@@ -116,6 +140,15 @@ impl FromJson for ExecutionReport {
             histogram: None,
             obs: None,
             metrics,
+            faults: None,
+            watchdog: None,
+            coherence: None,
+            sim_errors: match v.get("sim_errors") {
+                Some(JsonValue::Arr(items)) => {
+                    items.iter().filter_map(|e| e.as_str().map(str::to_string)).collect()
+                }
+                _ => Vec::new(),
+            },
         })
     }
 }

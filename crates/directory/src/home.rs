@@ -70,6 +70,8 @@ pub enum DirAction {
     WriteReplyGrant {
         /// Destination processor.
         to: NodeId,
+        /// Sequence number of the granted ownership instance.
+        seq: u64,
     },
     /// Forward a `CtoCRequest` intervention to the owner.
     ForwardCtoC {
@@ -79,6 +81,8 @@ pub enum DirAction {
         requester: NodeId,
         /// `true` when the intervention transfers ownership (write).
         write_intent: bool,
+        /// Sequence of the owner's ownership instance being intervened.
+        owner_seq: u64,
     },
     /// Send `Invalidate`s to `targets`; ownership will be granted to
     /// `writer` once all acks return.
@@ -112,11 +116,16 @@ struct BlockEntry {
     state: DirState,
     busy: Option<Busy>,
     pending: VecDeque<QueuedReq>,
+    /// Ownership-instance sequence: bumped on every transition into
+    /// `Modified`. Grants and forwarded interventions carry it so owners
+    /// can reject interventions for an instance they no longer hold (a
+    /// retransmitted intervention can outlive its transaction).
+    seq: u64,
 }
 
 impl BlockEntry {
     fn stable_uncached() -> Self {
-        BlockEntry { state: DirState::Uncached, busy: None, pending: VecDeque::new() }
+        BlockEntry { state: DirState::Uncached, busy: None, pending: VecDeque::new(), seq: 0 }
     }
 
     fn is_quiescent(&self) -> bool {
@@ -265,6 +274,13 @@ impl HomeDirectory {
         self.blocks.get(&block).is_some_and(|e| e.busy.is_some())
     }
 
+    /// Iterates every tracked block with its stable state and whether a
+    /// transaction is mid-flight. Order is arbitrary (hash map); callers
+    /// needing determinism must sort.
+    pub fn blocks(&self) -> impl Iterator<Item = (BlockAddr, DirState, bool)> + '_ {
+        self.blocks.iter().map(|(&b, e)| (b, e.state, e.busy.is_some()))
+    }
+
     /// Counters.
     pub fn stats(&self) -> DirStats {
         self.stats
@@ -342,8 +358,14 @@ impl HomeDirectory {
             }
             DirState::Modified(owner) => {
                 e.busy = Some(Busy::CtoC { owner, requester, write_intent: false });
+                let act = DirAction::ForwardCtoC {
+                    owner,
+                    requester,
+                    write_intent: false,
+                    owner_seq: e.seq,
+                };
                 self.stats.reads_ctoc += 1;
-                DirAction::ForwardCtoC { owner, requester, write_intent: false }
+                act
             }
         }
     }
@@ -365,7 +387,8 @@ impl HomeDirectory {
         match e.state {
             DirState::Uncached => {
                 e.state = DirState::Modified(requester);
-                DirAction::WriteReplyGrant { to: requester }
+                e.seq += 1;
+                DirAction::WriteReplyGrant { to: requester, seq: e.seq }
             }
             DirState::Shared(set) => {
                 let targets = {
@@ -375,7 +398,8 @@ impl HomeDirectory {
                 };
                 if targets.is_empty() {
                     e.state = DirState::Modified(requester);
-                    DirAction::WriteReplyGrant { to: requester }
+                    e.seq += 1;
+                    DirAction::WriteReplyGrant { to: requester, seq: e.seq }
                 } else {
                     e.busy =
                         Some(Busy::Inval { writer: requester, acks_left: targets.len() as u32 });
@@ -391,8 +415,14 @@ impl HomeDirectory {
             }
             DirState::Modified(owner) => {
                 e.busy = Some(Busy::CtoC { owner, requester, write_intent: true });
+                let act = DirAction::ForwardCtoC {
+                    owner,
+                    requester,
+                    write_intent: true,
+                    owner_seq: e.seq,
+                };
                 self.stats.writes_ctoc += 1;
-                DirAction::ForwardCtoC { owner, requester, write_intent: true }
+                act
             }
         }
     }
@@ -415,8 +445,12 @@ impl HomeDirectory {
                 if acks_left == 1 {
                     e.busy = None;
                     e.state = DirState::Modified(writer);
+                    e.seq += 1;
                     let replay = std::mem::take(&mut e.pending).into_iter().collect();
-                    Completion { actions: vec![DirAction::WriteReplyGrant { to: writer }], replay }
+                    Completion {
+                        actions: vec![DirAction::WriteReplyGrant { to: writer, seq: e.seq }],
+                        replay,
+                    }
                 } else {
                     e.busy = Some(Busy::Inval { writer, acks_left: acks_left - 1 });
                     Completion::default()
@@ -455,8 +489,11 @@ impl HomeDirectory {
             Some(Busy::CtoC { owner, requester, write_intent }) if owner == from => {
                 e.busy = None;
                 if write_intent && carried.is_empty() {
-                    // Ownership transfer completed owner -> requester.
+                    // Ownership transfer completed owner -> requester. The
+                    // bumped seq matches the one `serve_intervention` stamped
+                    // on the CtoCData grant (intervened seq + 1).
                     e.state = DirState::Modified(requester);
+                    e.seq += 1;
                     let replay = std::mem::take(&mut e.pending).into_iter().collect();
                     return Completion { actions: vec![], replay };
                 }
@@ -475,9 +512,10 @@ impl HomeDirectory {
                     };
                     if targets.is_empty() {
                         e.state = DirState::Modified(requester);
+                        e.seq += 1;
                         let replay = std::mem::take(&mut e.pending).into_iter().collect();
                         return Completion {
-                            actions: vec![DirAction::WriteReplyGrant { to: requester }],
+                            actions: vec![DirAction::WriteReplyGrant { to: requester, seq: e.seq }],
                             replay,
                         };
                     }
@@ -550,9 +588,10 @@ impl HomeDirectory {
                     let targets = carried;
                     if targets.is_empty() {
                         e.state = DirState::Modified(requester);
+                        e.seq += 1;
                         let replay = std::mem::take(&mut e.pending).into_iter().collect();
                         return Completion {
-                            actions: vec![DirAction::WriteReplyGrant { to: requester }],
+                            actions: vec![DirAction::WriteReplyGrant { to: requester, seq: e.seq }],
                             replay,
                         };
                     }
@@ -718,7 +757,7 @@ impl HomeDirectory {
                 e.pending.clear();
             }
             Entry::Vacant(v) => {
-                v.insert(BlockEntry { state, busy: None, pending: VecDeque::new() });
+                v.insert(BlockEntry { state, busy: None, pending: VecDeque::new(), seq: 0 });
             }
         }
     }
@@ -755,7 +794,7 @@ mod tests {
     #[test]
     fn cold_write_grants_ownership() {
         let mut d = HomeDirectory::default();
-        assert_eq!(d.handle_write(B, 5), DirAction::WriteReplyGrant { to: 5 });
+        assert_eq!(d.handle_write(B, 5), DirAction::WriteReplyGrant { to: 5, seq: 1 });
         assert_eq!(d.state(B), DirState::Modified(5));
     }
 
@@ -772,7 +811,7 @@ mod tests {
         assert_eq!(d.handle_inval_ack(B), Completion::default());
         // Second ack: grant.
         let c = d.handle_inval_ack(B);
-        assert_eq!(c.actions, vec![DirAction::WriteReplyGrant { to: 3 }]);
+        assert_eq!(c.actions, vec![DirAction::WriteReplyGrant { to: 3, seq: 1 }]);
         assert_eq!(d.state(B), DirState::Modified(3));
         assert!(!d.is_busy(B));
     }
@@ -782,7 +821,7 @@ mod tests {
         let mut d = HomeDirectory::default();
         d.handle_read(B, 1);
         // Upgrade by the only sharer: immediate grant.
-        assert_eq!(d.handle_write(B, 1), DirAction::WriteReplyGrant { to: 1 });
+        assert_eq!(d.handle_write(B, 1), DirAction::WriteReplyGrant { to: 1, seq: 1 });
         assert_eq!(d.state(B), DirState::Modified(1));
     }
 
@@ -791,7 +830,10 @@ mod tests {
         let mut d = HomeDirectory::default();
         d.handle_write(B, 7);
         let act = d.handle_read(B, 2);
-        assert_eq!(act, DirAction::ForwardCtoC { owner: 7, requester: 2, write_intent: false });
+        assert_eq!(
+            act,
+            DirAction::ForwardCtoC { owner: 7, requester: 2, write_intent: false, owner_seq: 1 }
+        );
         assert_eq!(d.stats().reads_ctoc, 1);
         let c = d.handle_copyback(B, 7, SharerSet::EMPTY);
         assert_eq!(c.actions, vec![DirAction::ReadReplyClean { to: 2 }]);
@@ -804,7 +846,10 @@ mod tests {
         let mut d = HomeDirectory::default();
         d.handle_write(B, 7);
         let act = d.handle_write(B, 2);
-        assert_eq!(act, DirAction::ForwardCtoC { owner: 7, requester: 2, write_intent: true });
+        assert_eq!(
+            act,
+            DirAction::ForwardCtoC { owner: 7, requester: 2, write_intent: true, owner_seq: 1 }
+        );
         let c = d.handle_copyback(B, 7, SharerSet::EMPTY);
         assert!(c.actions.is_empty(), "ownership transfer needs no home reply");
         assert_eq!(d.state(B), DirState::Modified(2));
@@ -869,7 +914,7 @@ mod tests {
         d.handle_write(B, 7);
         d.handle_write(B, 2); // busy CtoC (write intent)
         let c = d.handle_writeback(B, 7, SharerSet::EMPTY);
-        assert_eq!(c.actions, vec![DirAction::WriteReplyGrant { to: 2 }]);
+        assert_eq!(c.actions, vec![DirAction::WriteReplyGrant { to: 2, seq: 2 }]);
         assert_eq!(d.state(B), DirState::Modified(2));
     }
 
@@ -909,7 +954,7 @@ mod tests {
         assert_eq!(c.actions, vec![DirAction::Invalidate { targets: expected, writer: 2 }]);
         d.handle_inval_ack(B);
         let c = d.handle_inval_ack(B);
-        assert_eq!(c.actions, vec![DirAction::WriteReplyGrant { to: 2 }]);
+        assert_eq!(c.actions, vec![DirAction::WriteReplyGrant { to: 2, seq: 2 }]);
         assert_eq!(d.state(B), DirState::Modified(2));
     }
 

@@ -14,6 +14,7 @@
 use crate::crossbar::{flits_of_message, ArbiterStats, Crossbar};
 use crate::routes::{LinkId, Route};
 use crate::topology::{Bmin, SwitchId};
+use dresar_faults::SimError;
 use dresar_types::config::SwitchConfig;
 use dresar_types::Cycle;
 use std::collections::{HashMap, VecDeque};
@@ -139,26 +140,26 @@ impl FlitNetwork {
         }
     }
 
-    /// Output port on `sw` that drives `link`.
-    fn out_port_for(&self, sw: SwitchId, link: LinkId) -> u8 {
+    /// Output port on `sw` that drives `link`, or `None` for injection
+    /// links (which have no switch driver — a route asking for one is
+    /// malformed and rejected by [`FlitNetwork::inject`]).
+    fn out_port_for(&self, sw: SwitchId, link: LinkId) -> Option<u8> {
         let d = self.bmin.radix();
         match link {
-            LinkId::MemUp(m) => (d + m as usize % d) as u8,
-            LinkId::ProcDown(p) => (p as usize % d) as u8,
+            LinkId::MemUp(m) => Some((d + m as usize % d) as u8),
+            LinkId::ProcDown(p) => Some((p as usize % d) as u8),
             LinkId::Up { port, .. } => {
                 debug_assert!(self.sink_is_above(sw, link));
-                (d + port as usize) as u8
+                Some((d + port as usize) as u8)
             }
             LinkId::Down { lower, .. } => {
                 // Driven by the upper switch's down output toward `lower`:
                 // port = last digit of the lower switch's p-part.
                 let k = (sw.stage - 1) as usize;
                 let p_part = lower as usize / d.pow(k as u32);
-                (p_part % d) as u8
+                Some((p_part % d) as u8)
             }
-            LinkId::ProcUp(_) | LinkId::MemDown(_) => {
-                unreachable!("injection links have no driver")
-            }
+            LinkId::ProcUp(_) | LinkId::MemDown(_) => None,
         }
     }
 
@@ -168,14 +169,27 @@ impl FlitNetwork {
 
     /// Injects a message: `flits` flits following `route`, entering the
     /// network on `route.links[0]` (which must be an injection link).
-    pub fn inject(&mut self, msg: u64, route: &Route, flits: u32) {
-        assert!(route.well_formed(), "malformed route");
+    ///
+    /// A route that is not well-formed, or whose interior asks a switch to
+    /// drive an injection link, is rejected without mutating the network.
+    pub fn inject(&mut self, msg: u64, route: &Route, flits: u32) -> Result<(), SimError> {
+        if !route.well_formed() {
+            return Err(SimError::Network {
+                context: "inject",
+                detail: format!("malformed route for message {msg}"),
+            });
+        }
         let mut out_ports = HashMap::with_capacity(route.switches.len());
         for (i, &sw) in route.switches.iter().enumerate() {
             let next_link = route.links[i + 1];
-            out_ports.insert(self.linear(sw), self.out_port_for(sw, next_link));
+            let port = self.out_port_for(sw, next_link).ok_or_else(|| SimError::Network {
+                context: "inject",
+                detail: format!(
+                    "route for message {msg} asks switch {sw:?} to drive injection link {next_link:?}"
+                ),
+            })?;
+            out_ports.insert(self.linear(sw), port);
         }
-        self.routes.insert(msg, MsgRoute { out_ports });
 
         // First out-port: at the first switch (or directly the endpoint for
         // degenerate single-link routes — only possible for switch-origin
@@ -183,13 +197,15 @@ impl FlitNetwork {
         let first_port = route
             .switches
             .first()
-            .map(|&sw| *self.routes[&msg].out_ports.get(&self.linear(sw)).unwrap())
+            .and_then(|&sw| out_ports.get(&self.linear(sw)).copied())
             .unwrap_or(0);
+        self.routes.insert(msg, MsgRoute { out_ports });
         let now = self.now;
         let pipe = self.pipes.entry(route.links[0]).or_default();
         for f in flits_of_message(msg, flits, self.now, first_port) {
             pipe.waiting.push_back((now, f));
         }
+        Ok(())
     }
 
     /// Advances one cycle; returns deliveries completed this cycle.
@@ -203,15 +219,16 @@ impl FlitNetwork {
         for &link in &links {
             let sink = self.sink_of(link);
             loop {
-                let pipe = self.pipes.get_mut(&link).unwrap();
-                match pipe.arriving.front() {
-                    Some(&(at, _)) if at <= now => {}
-                    _ => break,
+                let front = self.pipes.get(&link).and_then(|p| p.arriving.front().copied());
+                let Some((at, f)) = front else { break };
+                if at > now {
+                    break;
                 }
-                let (at, f) = *pipe.arriving.front().unwrap();
                 match sink {
                     LinkSink::Endpoint => {
-                        pipe.arriving.pop_front();
+                        if let Some(pipe) = self.pipes.get_mut(&link) {
+                            pipe.arriving.pop_front();
+                        }
                         if f.tail {
                             done.push(Delivery { msg: f.msg, at, endpoint: link });
                         }
@@ -227,7 +244,9 @@ impl FlitNetwork {
                             }
                         }
                         if self.switches[idx].offer(input, vc, f2) {
-                            self.pipes.get_mut(&link).unwrap().arriving.pop_front();
+                            if let Some(pipe) = self.pipes.get_mut(&link) {
+                                pipe.arriving.pop_front();
+                            }
                         } else {
                             break; // FIFO full: back-pressure, retry next cycle.
                         }
@@ -251,7 +270,7 @@ impl FlitNetwork {
                         .any(|v| self.switches[idx].free_space(input, v) > 0)
                 }
             };
-            let pipe = self.pipes.get_mut(&link).unwrap();
+            let Some(pipe) = self.pipes.get_mut(&link) else { continue };
             if now < pipe.next_send || !credit {
                 continue;
             }
@@ -259,7 +278,7 @@ impl FlitNetwork {
                 Some(&(avail, _)) if avail <= now => {}
                 _ => continue,
             }
-            let (_, f) = pipe.waiting.pop_front().unwrap();
+            let Some((_, f)) = pipe.waiting.pop_front() else { continue };
             pipe.next_send = now + lcpf;
             pipe.arriving.push_back((now + lcpf, f));
         }
@@ -356,7 +375,7 @@ mod tests {
         let mut n = net();
         let bmin = Bmin::new(16, 4);
         let r = routes::forward(&bmin, 3, 12);
-        n.inject(1, &r, 1);
+        n.inject(1, &r, 1).unwrap();
         let d = n.run_until_drained(10_000);
         assert_eq!(d.len(), 1);
         assert_eq!(d[0].msg, 1);
@@ -370,7 +389,7 @@ mod tests {
         let mut n = net();
         let bmin = Bmin::new(16, 4);
         let r = routes::backward(&bmin, 12, 3);
-        n.inject(2, &r, 5);
+        n.inject(2, &r, 5).unwrap();
         let d = n.run_until_drained(10_000);
         assert_eq!(d.len(), 1);
         assert_eq!(d[0].endpoint, LinkId::ProcDown(3));
@@ -382,8 +401,8 @@ mod tests {
     fn proc_to_proc_turnaround_delivers() {
         let mut n = net();
         let bmin = Bmin::new(16, 4);
-        let r = routes::proc_to_proc(&bmin, 1, 9, 0);
-        n.inject(3, &r, 5);
+        let r = routes::proc_to_proc(&bmin, 1, 9, 0).unwrap();
+        n.inject(3, &r, 5).unwrap();
         let d = n.run_until_drained(10_000);
         assert_eq!(d.len(), 1);
         assert_eq!(d[0].endpoint, LinkId::ProcDown(9));
@@ -396,7 +415,7 @@ mod tests {
         let mut id = 0u64;
         for p in 0..16u8 {
             for m in 0..16u8 {
-                n.inject(id, &routes::forward(&bmin, p, m), 1);
+                n.inject(id, &routes::forward(&bmin, p, m), 1).unwrap();
                 id += 1;
             }
         }
@@ -411,7 +430,7 @@ mod tests {
         // ejection link.
         let mut n = net();
         for p in 0..4u8 {
-            n.inject(p as u64, &routes::forward(&bmin, p, 12), 5);
+            n.inject(p as u64, &routes::forward(&bmin, p, 12), 5).unwrap();
         }
         let d = n.run_until_drained(100_000);
         assert_eq!(d.len(), 4);
@@ -434,7 +453,7 @@ mod tests {
         let bmin = Bmin::new(16, 2);
         let mut n = FlitNetwork::new(bmin, SystemConfig::paper_table2().switch);
         for p in 0..16u8 {
-            n.inject(p as u64, &routes::forward(&bmin, p, 15 - p), 1);
+            n.inject(p as u64, &routes::forward(&bmin, p, 15 - p), 1).unwrap();
         }
         let d = n.run_until_drained(100_000);
         assert_eq!(d.len(), 16);

@@ -14,6 +14,7 @@
 //! possibility of deadlocks").
 
 use crate::topology::{Bmin, SwitchId};
+use dresar_faults::SimError;
 use dresar_types::NodeId;
 
 /// A directed physical link.
@@ -132,10 +133,21 @@ pub fn backward(bmin: &Bmin, m: NodeId, p: NodeId) -> Route {
 /// owner NAKs): up the forward links to the lowest common turnaround
 /// switch, then down the backward links. `tiebreak` (typically a block
 /// hash) picks among the equivalent turnaround switches.
-pub fn proc_to_proc(bmin: &Bmin, a: NodeId, b: NodeId, tiebreak: u64) -> Route {
+///
+/// The turnaround switch covers both endpoints by construction, so a
+/// healthy topology never returns `Err`; the error is typed (rather than a
+/// panic) so the system simulator can surface it through
+/// `ExecutionReport::sim_errors` and keep running.
+pub fn proc_to_proc(bmin: &Bmin, a: NodeId, b: NodeId, tiebreak: u64) -> Result<Route, SimError> {
     let turn = bmin.turnaround_switch(a, b, tiebreak);
-    let up = bmin.up_path(a, turn).expect("turnaround switch reaches its own source");
-    let down = bmin.down_path(turn, b).expect("turnaround switch reaches the destination");
+    let up = bmin.up_path(a, turn).ok_or_else(|| SimError::Route {
+        context: "proc_to_proc",
+        detail: format!("turnaround switch {turn:?} does not reach its source proc {a}"),
+    })?;
+    let down = bmin.down_path(turn, b).ok_or_else(|| SimError::Route {
+        context: "proc_to_proc",
+        detail: format!("turnaround switch {turn:?} does not reach destination proc {b}"),
+    })?;
 
     let mut switches = Vec::with_capacity(up.len() + 1 + down.len());
     switches.extend_from_slice(&up);
@@ -152,7 +164,7 @@ pub fn proc_to_proc(bmin: &Bmin, a: NodeId, b: NodeId, tiebreak: u64) -> Route {
         }
     }
     links.push(LinkId::ProcDown(b));
-    Route { switches, links }
+    Ok(Route { switches, links })
 }
 
 /// Builds the route for a message *originated by* switch `sw` (a CtoC
@@ -180,9 +192,21 @@ pub fn from_switch_to_proc(bmin: &Bmin, sw: SwitchId, p: NodeId) -> Option<Route
 /// TRANSIENT entry names a requester that may live under a different
 /// subtree than the message's down-path). `tiebreak` picks among the
 /// equivalent turnaround switches.
-pub fn from_switch_to_proc_via(bmin: &Bmin, sw: SwitchId, p: NodeId, tiebreak: u64) -> Route {
+///
+/// Like [`proc_to_proc`], failure is impossible on a healthy topology; a
+/// typed [`SimError`] (instead of a panic) lets fault-injected runs record
+/// the anomaly and continue.
+pub fn from_switch_to_proc_via(
+    bmin: &Bmin,
+    sw: SwitchId,
+    p: NodeId,
+    tiebreak: u64,
+) -> Result<Route, SimError> {
     if bmin.reaches_down(sw, p) {
-        return from_switch_to_proc(bmin, sw, p).expect("reaches_down checked");
+        return from_switch_to_proc(bmin, sw, p).ok_or_else(|| SimError::Route {
+            context: "from_switch_to_proc_via",
+            detail: format!("switch {sw:?} claims to reach proc {p} but has no down-path"),
+        });
     }
     let d = bmin.radix();
     let k = sw.stage as usize;
@@ -190,6 +214,8 @@ pub fn from_switch_to_proc_via(bmin: &Bmin, sw: SwitchId, p: NodeId, tiebreak: u
     // whose subtree also covers `p`.
     let rep_p = (sw.index as usize / d.pow(k as u32)) * d.pow((k + 1) as u32);
     let turn_k = bmin.turnaround_stage(rep_p as NodeId, p);
+    // True invariant: not down-reachable implies a strictly higher
+    // turnaround stage. A violation is a topology bug, not a fault.
     debug_assert!(turn_k > k, "not down-reachable yet same/lower turnaround stage");
 
     // Ascend hop by hop: each up-hop drops the last p-digit and appends a
@@ -209,14 +235,17 @@ pub fn from_switch_to_proc_via(bmin: &Bmin, sw: SwitchId, p: NodeId, tiebreak: u
         switches.push(next);
         prev = next;
     }
-    let below = bmin.down_path(prev, p).expect("turnaround stage covers the target");
+    let below = bmin.down_path(prev, p).ok_or_else(|| SimError::Route {
+        context: "from_switch_to_proc_via",
+        detail: format!("turnaround switch {prev:?} does not cover target proc {p}"),
+    })?;
     for &next in &below {
         links.push(link_between(bmin, next, prev, false));
         prev = next;
     }
     switches.extend_from_slice(&below);
     links.push(LinkId::ProcDown(p));
-    Route { switches, links }
+    Ok(Route { switches, links })
 }
 
 #[cfg(test)]
@@ -260,7 +289,7 @@ mod tests {
 
     #[test]
     fn proc_to_proc_same_quad_turns_at_stage0() {
-        let r = proc_to_proc(&b16(), 1, 2, 0);
+        let r = proc_to_proc(&b16(), 1, 2, 0).unwrap();
         assert!(r.well_formed());
         assert_eq!(r.switch_hops(), 1);
         assert_eq!(r.switches[0].stage, 0);
@@ -269,7 +298,7 @@ mod tests {
 
     #[test]
     fn proc_to_proc_cross_quad_turns_at_top() {
-        let r = proc_to_proc(&b16(), 1, 9, 7);
+        let r = proc_to_proc(&b16(), 1, 9, 7).unwrap();
         assert!(r.well_formed());
         assert_eq!(r.switch_hops(), 3); // up stage0, turn stage1, down stage0
         assert_eq!(r.switches[1].stage, 1);
@@ -308,7 +337,10 @@ mod tests {
     fn via_route_matches_direct_when_reachable() {
         let b = b16();
         let sw = b.switch_on_path(6, 9, 1);
-        assert_eq!(from_switch_to_proc_via(&b, sw, 6, 3), from_switch_to_proc(&b, sw, 6).unwrap());
+        assert_eq!(
+            from_switch_to_proc_via(&b, sw, 6, 3).unwrap(),
+            from_switch_to_proc(&b, sw, 6).unwrap()
+        );
     }
 
     #[test]
@@ -317,7 +349,7 @@ mod tests {
         // Stage-0 switch of quad 0 must reach processor 12 by turning
         // around at the top stage.
         let sw = b.switch_on_path(0, 9, 0);
-        let r = from_switch_to_proc_via(&b, sw, 12, 5);
+        let r = from_switch_to_proc_via(&b, sw, 12, 5).unwrap();
         assert!(r.well_formed());
         assert!(matches!(r.links[0], LinkId::Up { .. }), "must ascend first");
         assert_eq!(*r.links.last().unwrap(), LinkId::ProcDown(12));
@@ -336,7 +368,7 @@ mod tests {
                     for target in 0u8..16 {
                         for tb in [0u64, 1, 5, 63, 255] {
                             for sw in bmin.path_switches(o, h) {
-                                let r = from_switch_to_proc_via(&bmin, sw, target, tb);
+                                let r = from_switch_to_proc_via(&bmin, sw, target, tb).unwrap();
                                 assert!(r.well_formed(), "o={o} h={h} t={target} tb={tb}");
                                 assert_eq!(*r.links.last().unwrap(), LinkId::ProcDown(target));
                                 for w in r.switches.windows(2) {
@@ -368,7 +400,7 @@ mod tests {
                         for r in [
                             forward(&bmin, p, m),
                             backward(&bmin, m, p),
-                            proc_to_proc(&bmin, p, m, tb),
+                            proc_to_proc(&bmin, p, m, tb).unwrap(),
                         ] {
                             assert!(r.well_formed(), "p={p} m={m} tb={tb}");
                             for w in r.switches.windows(2) {

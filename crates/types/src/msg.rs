@@ -123,6 +123,44 @@ impl MsgType {
                 | MsgType::InvalAck
         )
     }
+
+    /// Stable name, the inverse of [`MsgType::parse`].
+    pub fn label(self) -> &'static str {
+        match self {
+            MsgType::ReadRequest => "ReadRequest",
+            MsgType::WriteRequest => "WriteRequest",
+            MsgType::WriteReply => "WriteReply",
+            MsgType::CtoCRequest => "CtoCRequest",
+            MsgType::CopyBack => "CopyBack",
+            MsgType::WriteBack => "WriteBack",
+            MsgType::Retry => "Retry",
+            MsgType::ReadReply => "ReadReply",
+            MsgType::CtoCData => "CtoCData",
+            MsgType::Invalidate => "Invalidate",
+            MsgType::InvalAck => "InvalAck",
+            MsgType::WriteBackAck => "WriteBackAck",
+        }
+    }
+
+    /// Parses a message-type name as produced by [`MsgType::label`] (used
+    /// by the `--faults` plan parser).
+    pub fn parse(name: &str) -> Option<MsgType> {
+        Some(match name {
+            "ReadRequest" => MsgType::ReadRequest,
+            "WriteRequest" => MsgType::WriteRequest,
+            "WriteReply" => MsgType::WriteReply,
+            "CtoCRequest" => MsgType::CtoCRequest,
+            "CopyBack" => MsgType::CopyBack,
+            "WriteBack" => MsgType::WriteBack,
+            "Retry" => MsgType::Retry,
+            "ReadReply" => MsgType::ReadReply,
+            "CtoCData" => MsgType::CtoCData,
+            "Invalidate" => MsgType::Invalidate,
+            "InvalAck" => MsgType::InvalAck,
+            "WriteBackAck" => MsgType::WriteBackAck,
+            _ => return None,
+        })
+    }
 }
 
 /// A coherence message in flight.
@@ -162,6 +200,14 @@ pub struct Message {
     /// Cycle at which the *transaction* (not this hop) was issued; used for
     /// read-latency accounting.
     pub issued_at: Cycle,
+    /// Ownership-instance sequence number, stamped by the home directory.
+    /// On ownership grants (`WriteReply`, write-intent `CtoCData`): the
+    /// sequence of the granted instance. On home-generated `CtoCRequest`s:
+    /// the sequence of the ownership instance being intervened, letting the
+    /// owner reject interventions for an instance it no longer (or does not
+    /// yet) hold — message retransmission can deliver an intervention the
+    /// home has since cancelled. Zero on all other messages.
+    pub owner_seq: u64,
 }
 
 impl Message {
@@ -203,7 +249,14 @@ impl Message {
             write_intent: false,
             carried_sharers: SharerSet::EMPTY,
             issued_at,
+            owner_seq: 0,
         }
+    }
+
+    /// Sets the ownership-instance sequence number.
+    pub fn with_owner_seq(mut self, seq: u64) -> Self {
+        self.owner_seq = seq;
+        self
     }
 
     /// Sets the write-intent flag.

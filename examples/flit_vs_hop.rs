@@ -23,8 +23,8 @@ fn main() {
         let req = routes::forward(&bmin, p, m);
         let rep = routes::backward(&bmin, m, p);
 
-        flit.inject(id, &req, 1);
-        flit.inject(id + 100, &rep, 5);
+        flit.inject(id, &req, 1).expect("route fits the network");
+        flit.inject(id + 100, &rep, 5).expect("route fits the network");
 
         // Hop model: walk the same routes.
         for (route, flits) in [(&req, 1u32), (&rep, 5u32)] {

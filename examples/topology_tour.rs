@@ -32,7 +32,7 @@ fn main() {
     }
 
     // Cache-to-cache data from processor 6 to processor 13 turns around.
-    let p2p = routes::proc_to_proc(&bmin, 6, 13, 0);
+    let p2p = routes::proc_to_proc(&bmin, 6, 13, 0).expect("fixed demonstration route");
     println!("\nprocessor-to-processor route P6 -> P13 (turnaround):");
     for hop in p2p.hops() {
         match hop.switch {

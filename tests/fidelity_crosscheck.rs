@@ -23,7 +23,7 @@ fn uncontended_latencies_agree_exactly() {
     for (p, m, flits) in [(0u8, 15u8, 1u32), (3, 9, 5), (12, 0, 5), (7, 7, 1)] {
         let route = routes::forward(&bmin, p, m);
         let mut flit = FlitNetwork::new(bmin, cfg);
-        flit.inject(1, &route, flits);
+        flit.inject(1, &route, flits).expect("route fits the network");
         let d = flit.run_until_drained(100_000);
         assert_eq!(d.len(), 1);
 
@@ -49,7 +49,7 @@ fn light_load_batch_agrees_within_tolerance() {
     for p in 0..16u8 {
         let m = (p + 3) % 16;
         let route = routes::forward(&bmin, p, m);
-        flit.inject(p as u64, &route, 5);
+        flit.inject(p as u64, &route, 5).expect("route fits the network");
         hop_total += hop_latency(&mut hop, &route, 5, 0);
     }
     let d = flit.run_until_drained(1_000_000);
@@ -75,7 +75,7 @@ fn contention_appears_in_both_models() {
     let mut hop_last = 0u64;
     for p in 0..4u8 {
         let route = routes::forward(&bmin, p, 8);
-        flit.inject(p as u64, &route, 5);
+        flit.inject(p as u64, &route, 5).expect("route fits the network");
         hop_last = hop_last.max(hop_latency(&mut hop, &route, 5, 0));
     }
     let d = flit.run_until_drained(1_000_000);

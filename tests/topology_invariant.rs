@@ -65,7 +65,7 @@ fn route_lengths_minimal() {
             for b in 0..bmin.nodes() as u8 {
                 assert_eq!(routes::forward(&bmin, a, b).switch_hops(), bmin.stages());
                 assert_eq!(routes::backward(&bmin, b, a).switch_hops(), bmin.stages());
-                let p2p = routes::proc_to_proc(&bmin, a, b, 0);
+                let p2p = routes::proc_to_proc(&bmin, a, b, 0).expect("minimal-topology route");
                 let t = bmin.turnaround_stage(a, b);
                 assert_eq!(p2p.switch_hops(), 2 * t + 1, "{bmin:?}: a={a} b={b}");
             }
@@ -86,7 +86,10 @@ fn via_routes_universal() {
                 for target in 0..n {
                     for tb in [0u64, 3, 511] {
                         for &sw in &path {
-                            let r = routes::from_switch_to_proc_via(&bmin, sw, target, tb);
+                            let r = routes::from_switch_to_proc_via(&bmin, sw, target, tb)
+                                .unwrap_or_else(|e| {
+                                    panic!("{bmin:?}: sw={sw:?} target={target} tb={tb}: {e}")
+                                });
                             assert!(r.well_formed(), "{bmin:?}: sw={sw:?} target={target} tb={tb}");
                         }
                     }
