@@ -5,7 +5,7 @@
 //! Usage: `all_figures [tiny|reduced|paper]` (default `reduced`).
 
 use dresar::TransientReadPolicy;
-use dresar_bench::{full_sweep, run_one, scale_from_args, suite, Sweep};
+use dresar_bench::{full_sweep, par_map, run_one, scale_from_args, suite, Sweep};
 use dresar_stats::percent_reduction;
 use dresar_trace_sim::TraceSimulator;
 use dresar_types::config::TraceSimConfig;
@@ -28,8 +28,9 @@ fn main() {
     println!("| workload | read misses | clean % | dirty CtoC % |");
     println!("|----------|------------:|--------:|-------------:|");
     let benches = suite(scale);
-    for b in &benches {
-        let m = run_one(b, None, TransientReadPolicy::Retry);
+    // Base runs shard across cores; rows print in suite order.
+    let fig1 = par_map(&benches, |b| run_one(b, None, TransientReadPolicy::Retry));
+    for (b, m) in benches.iter().zip(&fig1) {
         let total = m.reads.total().max(1) as f64;
         println!(
             "| {} | {} | {:.1} | {:.1} |",

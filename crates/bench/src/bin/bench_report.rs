@@ -23,12 +23,9 @@
 //! unless `--informational` downgrades the gate to reporting only (the
 //! mode CI uses on pull requests).
 
-use dresar::TransientReadPolicy;
-use dresar_bench::{json_doc, run_one_faulted, run_one_registry, suite, Bench};
-use dresar_faults::FaultPlan;
-use dresar_interconnect::{routes, Bmin, FlitNetwork};
-use dresar_obs::{HostProfiler, MetricValue, MetricsRegistry};
-use dresar_types::config::SystemConfig;
+use dresar_bench::sweep::{standard_runs, RunResult, SweepRunner};
+use dresar_bench::{json_doc, suite};
+use dresar_obs::{HostProfiler, MetricsRegistry};
 use dresar_types::{FromJson, JsonValue, ToJson, SCHEMA_VERSION};
 use dresar_workloads::Scale;
 use std::process::ExitCode;
@@ -69,80 +66,6 @@ fn parse_args() -> Result<Args, String> {
         }
     }
     Ok(args)
-}
-
-/// One named deterministic run in the document.
-struct RunResult {
-    name: String,
-    metrics: MetricsRegistry,
-}
-
-/// The standard run set: every suite workload at base and 1K-entry switch
-/// directory, plus the crossbar validation batch.
-fn standard_runs(benches: &[Bench]) -> Vec<RunResult> {
-    let mut runs = Vec::new();
-    for b in benches {
-        let mut sd1024_cycles = 0u64;
-        for (tag, sd) in [("base", None), ("sd1024", Some(1024))] {
-            let metrics = run_one_registry(b, sd, TransientReadPolicy::Retry);
-            if tag == "sd1024" {
-                if let Some(MetricValue::Counter(c)) = metrics.get("sim.cycles") {
-                    sd1024_cycles = *c;
-                }
-            }
-            runs.push(RunResult { name: format!("{}.{}", b.label, tag), metrics });
-        }
-        if let Some(m) = sd_degraded_run(b, sd1024_cycles) {
-            runs.push(RunResult { name: format!("{}.sd-degraded", b.label), metrics: m });
-        }
-    }
-    runs.push(RunResult { name: "xbar.validation".into(), metrics: crossbar_validation() });
-    runs
-}
-
-/// Informational robustness run: the sd1024 configuration with the switch
-/// directories disabled half-way through (derived deterministically from
-/// the healthy run's cycle count), exercising the degraded home-directory
-/// fallback. The registry carries the fault/watchdog/coherence counters, so
-/// the regression gate also pins down the fault-injection schedule itself.
-fn sd_degraded_run(b: &Bench, sd1024_cycles: u64) -> Option<MetricsRegistry> {
-    if sd1024_cycles == 0 {
-        return None; // trace-driven workload: no fault machinery
-    }
-    let plan = FaultPlan { disable_at: (sd1024_cycles / 2).max(1), ..FaultPlan::default() };
-    let report = run_one_faulted(b, Some(1024), TransientReadPolicy::Retry, plan)?;
-    let mut m = report.metrics;
-    if let Some(c) = &report.coherence {
-        m.counter("coherence.ok", u64::from(c.ok()));
-        m.counter("coherence.blocks_checked", c.blocks_checked);
-    }
-    Some(m)
-}
-
-/// A deterministic flit-level batch through the full 16-node BMIN: 32
-/// messages on fixed routes, run to drain. This is the one place the
-/// cycle-accurate [`FlitNetwork`] arbitration counters surface in telemetry
-/// (the execution-driven system uses the analytical hop model instead).
-fn crossbar_validation() -> MetricsRegistry {
-    let bmin = Bmin::new(16, 4);
-    let cfg = SystemConfig::paper_table2().switch;
-    let mut net = FlitNetwork::new(bmin, cfg);
-    for p in 0..16u8 {
-        net.inject(p as u64, &routes::forward(&bmin, p, (p + 5) % 16), 1)
-            .expect("fixed validation route");
-        net.inject(100 + p as u64, &routes::backward(&bmin, (p + 5) % 16, p), 5)
-            .expect("fixed validation route");
-    }
-    let delivered = net.run_until_drained(100_000).len() as u64;
-    let s = net.arbiter_stats();
-    let mut m = MetricsRegistry::new();
-    m.counter("xbar.deliveries", delivered);
-    m.counter("xbar.cycles", net.now());
-    m.counter("xbar.grants", s.grants);
-    m.counter("xbar.conflicts", s.conflicts);
-    m.counter("xbar.lock_blocked", s.lock_blocked);
-    m.counter("xbar.offers_refused", s.offers_refused);
-    m
 }
 
 fn total_sim_cycles(runs: &[RunResult]) -> u64 {
@@ -233,13 +156,14 @@ fn main() -> ExitCode {
     };
 
     let mut prof = HostProfiler::new();
-    prof.phase("suite");
+    prof.phase("sweep");
     let benches = suite(args.scale);
-    let mut runs = standard_runs(&benches);
-    prof.phase("crossbar");
-    // standard_runs already includes the crossbar batch; the phase split
-    // exists so a second timed pass attributes suite vs network cost.
-    runs.sort_by(|a, b| a.name.cmp(&b.name));
+    // Shards workload chains across cores; the run list is sorted by name
+    // so the document is byte-identical to a serial execution.
+    let (runs, timings) = standard_runs(&benches, SweepRunner::from_env());
+    for t in &timings {
+        prof.run_timing(&t.name, t.wall_seconds);
+    }
     prof.phase("report");
     let sim_cycles = total_sim_cycles(&runs);
 

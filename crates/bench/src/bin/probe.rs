@@ -8,8 +8,8 @@
 
 use dresar::TransientReadPolicy;
 use dresar_bench::{
-    faults_from_args, json_doc, json_requested, run_one, run_one_faulted, run_one_observed,
-    scale_from_args, suite,
+    faults_from_args, json_doc, json_requested, par_map, run_one, run_one_faulted,
+    run_one_observed, scale_from_args, suite,
 };
 use dresar_faults::FaultPlan;
 use dresar_obs::ObserverConfig;
@@ -40,10 +40,16 @@ fn main() {
         "exec_red%",
         "stall_red%"
     );
-    for b in suite(scale) {
+    // Workloads shard across cores; results print in suite order, so the
+    // table is identical to a serial run.
+    let benches = suite(scale);
+    let pairs = par_map(&benches, |b| {
         let t0 = std::time::Instant::now();
-        let base = run_one(&b, None, TransientReadPolicy::Retry);
-        let with = run_one(&b, Some(1024), TransientReadPolicy::Retry);
+        let base = run_one(b, None, TransientReadPolicy::Retry);
+        let with = run_one(b, Some(1024), TransientReadPolicy::Retry);
+        (base, with, t0.elapsed().as_secs_f64())
+    });
+    for (b, (base, with, seconds)) in benches.iter().zip(pairs) {
         let dirty_pct = 100.0 * base.reads.dirty_fraction();
         let sd_serve_pct = percent_of(with.reads.ctoc_switch as f64, with.reads.dirty() as f64);
         let exec_red = percent_reduction(base.exec(), with.exec());
@@ -62,7 +68,7 @@ fn main() {
             exec_red,
             stall_red,
             cc_red,
-            t0.elapsed().as_secs_f64(),
+            seconds,
         );
     }
 }
@@ -71,12 +77,13 @@ fn main() {
 /// the plan and prints what the injector did, the watchdog verdict, and the
 /// end-of-run coherence audit. With `--json`, emits one document instead.
 fn run_faulted(scale: dresar_workloads::Scale, plan: FaultPlan) {
-    let runs: Vec<_> = suite(scale)
-        .iter()
-        .filter_map(|b| {
-            run_one_faulted(b, Some(1024), TransientReadPolicy::Retry, plan).map(|r| (b.label, r))
-        })
-        .collect();
+    let benches = suite(scale);
+    let runs: Vec<_> = par_map(&benches, |b| {
+        run_one_faulted(b, Some(1024), TransientReadPolicy::Retry, plan).map(|r| (b.label, r))
+    })
+    .into_iter()
+    .flatten()
+    .collect();
     if json_requested() {
         let workloads: Vec<JsonValue> = runs
             .iter()
@@ -109,43 +116,38 @@ fn run_faulted(scale: dresar_workloads::Scale, plan: FaultPlan) {
 
 fn emit_json(scale: dresar_workloads::Scale) {
     let observers = ObserverConfig { latency_breakdown: true, ..Default::default() };
-    let workloads: Vec<JsonValue> = suite(scale)
-        .iter()
-        .map(|b| {
-            let (base, base_obs) = run_one_observed(b, None, TransientReadPolicy::Retry, observers);
-            let (with, with_obs) =
-                run_one_observed(b, Some(1024), TransientReadPolicy::Retry, observers);
-            let mut w = JsonValue::obj()
-                .field("label", b.label)
-                .field("base", base.to_json())
-                .field("with_sd", with.to_json())
-                .field(
-                    "reductions",
-                    JsonValue::obj()
-                        .field(
-                            "home_ctoc_pct",
-                            percent_reduction(base.home_ctoc(), with.home_ctoc()),
-                        )
-                        .field(
-                            "avg_read_latency_pct",
-                            percent_reduction(base.avg_read_latency(), with.avg_read_latency()),
-                        )
-                        .field(
-                            "read_stall_pct",
-                            percent_reduction(base.read_stall(), with.read_stall()),
-                        )
-                        .field("exec_pct", percent_reduction(base.exec(), with.exec()))
-                        .build(),
-                );
-            if let Some(bd) = base_obs.and_then(|o| o.breakdown) {
-                w = w.field("base_breakdown", bd.to_json());
-            }
-            if let Some(bd) = with_obs.and_then(|o| o.breakdown) {
-                w = w.field("with_sd_breakdown", bd.to_json());
-            }
-            w.build()
-        })
-        .collect();
+    let benches = suite(scale);
+    let workloads: Vec<JsonValue> = par_map(&benches, |b| {
+        let (base, base_obs) = run_one_observed(b, None, TransientReadPolicy::Retry, observers);
+        let (with, with_obs) =
+            run_one_observed(b, Some(1024), TransientReadPolicy::Retry, observers);
+        let mut w = JsonValue::obj()
+            .field("label", b.label)
+            .field("base", base.to_json())
+            .field("with_sd", with.to_json())
+            .field(
+                "reductions",
+                JsonValue::obj()
+                    .field("home_ctoc_pct", percent_reduction(base.home_ctoc(), with.home_ctoc()))
+                    .field(
+                        "avg_read_latency_pct",
+                        percent_reduction(base.avg_read_latency(), with.avg_read_latency()),
+                    )
+                    .field(
+                        "read_stall_pct",
+                        percent_reduction(base.read_stall(), with.read_stall()),
+                    )
+                    .field("exec_pct", percent_reduction(base.exec(), with.exec()))
+                    .build(),
+            );
+        if let Some(bd) = base_obs.and_then(|o| o.breakdown) {
+            w = w.field("base_breakdown", bd.to_json());
+        }
+        if let Some(bd) = with_obs.and_then(|o| o.breakdown) {
+            w = w.field("with_sd_breakdown", bd.to_json());
+        }
+        w.build()
+    });
     let doc = json_doc("probe")
         .field("scale", format!("{scale:?}"))
         .field("workloads", workloads)

@@ -28,6 +28,7 @@
 //! stdout (see the README's "Observability" section).
 
 pub mod harness;
+pub mod sweep;
 
 use dresar::system::{RunOptions, System};
 use dresar::TransientReadPolicy;
@@ -281,13 +282,15 @@ pub struct Sweep {
 }
 
 /// Order-preserving parallel map over a shared worker pool (one thread per
-/// available core, work handed out through an atomic cursor).
+/// available core unless `DRESAR_SWEEP_THREADS` overrides — see
+/// [`sweep::thread_count`] — with work handed out through an atomic
+/// cursor).
 pub fn par_map<T: Sync, R: Send>(items: &[T], f: impl Fn(&T) -> R + Sync) -> Vec<R> {
     let n = items.len();
-    if n <= 1 {
+    let workers = sweep::thread_count().min(n);
+    if n <= 1 || workers <= 1 {
         return items.iter().map(&f).collect();
     }
-    let workers = std::thread::available_parallelism().map(|c| c.get()).unwrap_or(4).min(n);
     let cursor = AtomicUsize::new(0);
     let mut results: Vec<Option<R>> = (0..n).map(|_| None).collect();
     std::thread::scope(|s| {

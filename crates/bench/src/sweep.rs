@@ -1,0 +1,265 @@
+//! Deterministic parallel sweep execution.
+//!
+//! Every run in the evaluation suite is independent — each builds its own
+//! [`dresar::system::System`] (or trace simulator) from a config and a
+//! workload — so the suite shards across cores. The contract that makes
+//! this safe to put under the regression gate: **output is byte-identical
+//! to a serial execution**. The runner guarantees it structurally:
+//!
+//! * jobs are closures with no shared mutable state (each constructs its
+//!   simulator inside the worker thread);
+//! * results land in a slot table indexed by submission order, so assembly
+//!   never observes completion order;
+//! * anything order-dependent downstream (the `runs` array of
+//!   `BENCH_dresar.json`) is sorted by run name, same as the serial path.
+//!
+//! Thread count comes from `DRESAR_SWEEP_THREADS` (0 or unset → one per
+//! available core); `DRESAR_SWEEP_THREADS=1` forces serial execution,
+//! which CI uses on one leg of the identity check.
+
+use crate::{run_one_faulted, run_one_registry, Bench};
+use dresar::TransientReadPolicy;
+use dresar_faults::FaultPlan;
+use dresar_interconnect::{routes, Bmin, FlitNetwork};
+use dresar_obs::{MetricValue, MetricsRegistry, RunTiming};
+use dresar_types::config::SystemConfig;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+
+/// A boxed sweep job: runs once on a worker thread, yielding `R`.
+pub type Job<'a, R> = Box<dyn FnOnce() -> R + Send + 'a>;
+
+/// One named deterministic run in a `bench_report` document.
+pub struct RunResult {
+    /// Run name, `<workload>.<config>` (e.g. `"FFT.sd1024"`).
+    pub name: String,
+    /// The run's deterministic component-metrics registry.
+    pub metrics: MetricsRegistry,
+}
+
+/// Sweep thread count: `DRESAR_SWEEP_THREADS` if set and nonzero, else one
+/// per available core.
+pub fn thread_count() -> usize {
+    match std::env::var("DRESAR_SWEEP_THREADS").ok().and_then(|v| v.parse::<usize>().ok()) {
+        Some(n) if n > 0 => n,
+        _ => std::thread::available_parallelism().map(|c| c.get()).unwrap_or(4),
+    }
+}
+
+/// Runs independent jobs across a worker pool, returning results in
+/// submission order regardless of completion order.
+#[derive(Debug, Clone, Copy)]
+pub struct SweepRunner {
+    threads: usize,
+}
+
+impl SweepRunner {
+    /// Runner sized by [`thread_count`] (env override, else core count).
+    pub fn from_env() -> Self {
+        SweepRunner { threads: thread_count() }
+    }
+
+    /// Runner that executes jobs one after another on the calling thread.
+    pub fn serial() -> Self {
+        SweepRunner { threads: 1 }
+    }
+
+    /// Runner with an explicit worker count (clamped to at least 1).
+    pub fn with_threads(threads: usize) -> Self {
+        SweepRunner { threads: threads.max(1) }
+    }
+
+    /// Executes `jobs`, returning the `i`-th job's result at index `i`.
+    ///
+    /// # Panics
+    /// Propagates a panic from any job after all workers stop.
+    pub fn run_jobs<'a, R: Send>(&self, jobs: Vec<Job<'a, R>>) -> Vec<R> {
+        let n = jobs.len();
+        if self.threads <= 1 || n <= 1 {
+            return jobs.into_iter().map(|j| j()).collect();
+        }
+        let workers = self.threads.min(n);
+        // FnOnce must be moved out to call; parking each job in its own
+        // mutex slot lets borrowing worker threads claim them one by one.
+        let slots: Vec<Mutex<Option<Job<'a, R>>>> =
+            jobs.into_iter().map(|j| Mutex::new(Some(j))).collect();
+        let cursor = AtomicUsize::new(0);
+        let mut results: Vec<Option<R>> = (0..n).map(|_| None).collect();
+        std::thread::scope(|s| {
+            let handles: Vec<_> = (0..workers)
+                .map(|_| {
+                    let slots = &slots;
+                    let cursor = &cursor;
+                    s.spawn(move || {
+                        let mut done = Vec::new();
+                        loop {
+                            let i = cursor.fetch_add(1, Ordering::Relaxed);
+                            if i >= n {
+                                return done;
+                            }
+                            let job = slots[i]
+                                .lock()
+                                .expect("sweep job slot poisoned")
+                                .take()
+                                .expect("sweep job claimed twice");
+                            done.push((i, job()));
+                        }
+                    })
+                })
+                .collect();
+            for h in handles {
+                for (i, r) in h.join().expect("sweep worker panicked") {
+                    results[i] = Some(r);
+                }
+            }
+        });
+        results.into_iter().map(|r| r.expect("sweep job produced no result")).collect()
+    }
+}
+
+/// The standard `bench_report` run set, executed through `runner`: every
+/// suite workload at base and 1K-entry switch directory, the degraded-SD
+/// robustness run, and the crossbar validation batch. Returns the runs
+/// sorted by name plus the per-run host wall-clock breakdown (timings are
+/// in job-submission order; their names are deterministic, the seconds are
+/// host measurements).
+pub fn standard_runs(benches: &[Bench], runner: SweepRunner) -> (Vec<RunResult>, Vec<RunTiming>) {
+    // One job per workload chain: the degraded run's fault schedule is
+    // derived from the sd1024 cycle count, so the three runs of one
+    // workload are sequential by construction; distinct workloads shard.
+    let mut jobs: Vec<Job<'_, Vec<(RunResult, f64)>>> = Vec::new();
+    for b in benches {
+        jobs.push(Box::new(move || workload_chain(b)));
+    }
+    jobs.push(Box::new(|| {
+        let t0 = Instant::now();
+        let metrics = crossbar_validation();
+        vec![(RunResult { name: "xbar.validation".into(), metrics }, t0.elapsed().as_secs_f64())]
+    }));
+    let mut runs = Vec::new();
+    let mut timings = Vec::new();
+    for chain in runner.run_jobs(jobs) {
+        for (run, seconds) in chain {
+            timings.push(RunTiming { name: run.name.clone(), wall_seconds: seconds });
+            runs.push(run);
+        }
+    }
+    runs.sort_by(|a, b| a.name.cmp(&b.name));
+    (runs, timings)
+}
+
+/// One workload's sequential run chain: base, sd1024, then the degraded-SD
+/// run whose fault point derives from the sd1024 cycle count.
+fn workload_chain(b: &Bench) -> Vec<(RunResult, f64)> {
+    let mut out = Vec::new();
+    let mut sd1024_cycles = 0u64;
+    for (tag, sd) in [("base", None), ("sd1024", Some(1024))] {
+        let t0 = Instant::now();
+        let metrics = run_one_registry(b, sd, TransientReadPolicy::Retry);
+        let seconds = t0.elapsed().as_secs_f64();
+        if tag == "sd1024" {
+            if let Some(MetricValue::Counter(c)) = metrics.get("sim.cycles") {
+                sd1024_cycles = *c;
+            }
+        }
+        out.push((RunResult { name: format!("{}.{}", b.label, tag), metrics }, seconds));
+    }
+    let t0 = Instant::now();
+    if let Some(m) = sd_degraded_run(b, sd1024_cycles) {
+        out.push((
+            RunResult { name: format!("{}.sd-degraded", b.label), metrics: m },
+            t0.elapsed().as_secs_f64(),
+        ));
+    }
+    out
+}
+
+/// Informational robustness run: the sd1024 configuration with the switch
+/// directories disabled half-way through (derived deterministically from
+/// the healthy run's cycle count), exercising the degraded home-directory
+/// fallback. The registry carries the fault/watchdog/coherence counters, so
+/// the regression gate also pins down the fault-injection schedule itself.
+pub fn sd_degraded_run(b: &Bench, sd1024_cycles: u64) -> Option<MetricsRegistry> {
+    if sd1024_cycles == 0 {
+        return None; // trace-driven workload: no fault machinery
+    }
+    let plan = FaultPlan { disable_at: (sd1024_cycles / 2).max(1), ..FaultPlan::default() };
+    let report = run_one_faulted(b, Some(1024), TransientReadPolicy::Retry, plan)?;
+    let mut m = report.metrics;
+    if let Some(c) = &report.coherence {
+        m.counter("coherence.ok", u64::from(c.ok()));
+        m.counter("coherence.blocks_checked", c.blocks_checked);
+    }
+    Some(m)
+}
+
+/// A deterministic flit-level batch through the full 16-node BMIN: 32
+/// messages on fixed routes, run to drain. This is the one place the
+/// cycle-accurate [`FlitNetwork`] arbitration counters surface in telemetry
+/// (the execution-driven system uses the analytical hop model instead).
+pub fn crossbar_validation() -> MetricsRegistry {
+    let bmin = Bmin::new(16, 4);
+    let cfg = SystemConfig::paper_table2().switch;
+    let mut net = FlitNetwork::new(bmin, cfg);
+    for p in 0..16u8 {
+        net.inject(p as u64, &routes::forward(&bmin, p, (p + 5) % 16), 1)
+            .expect("fixed validation route");
+        net.inject(100 + p as u64, &routes::backward(&bmin, (p + 5) % 16, p), 5)
+            .expect("fixed validation route");
+    }
+    let delivered = net.run_until_drained(100_000).len() as u64;
+    let s = net.arbiter_stats();
+    let mut m = MetricsRegistry::new();
+    m.counter("xbar.deliveries", delivered);
+    m.counter("xbar.cycles", net.now());
+    m.counter("xbar.grants", s.grants);
+    m.counter("xbar.conflicts", s.conflicts);
+    m.counter("xbar.lock_blocked", s.lock_blocked);
+    m.counter("xbar.offers_refused", s.offers_refused);
+    m
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn run_jobs_preserves_submission_order() {
+        let jobs: Vec<Job<'static, usize>> = (0..32)
+            .map(|i| {
+                let b: Job<'static, usize> = Box::new(move || {
+                    // Stagger so late submissions often finish first.
+                    std::thread::sleep(std::time::Duration::from_micros((32 - i) * 50));
+                    i as usize
+                });
+                b
+            })
+            .collect();
+        let out = SweepRunner::with_threads(8).run_jobs(jobs);
+        assert_eq!(out, (0..32).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn serial_runner_matches_parallel_runner() {
+        let mk = || -> Vec<Job<'static, u64>> {
+            (0..10u64)
+                .map(|i| {
+                    let b: Job<'static, u64> = Box::new(move || i * i + 7);
+                    b
+                })
+                .collect()
+        };
+        assert_eq!(
+            SweepRunner::serial().run_jobs(mk()),
+            SweepRunner::with_threads(4).run_jobs(mk())
+        );
+    }
+
+    #[test]
+    fn crossbar_validation_is_deterministic() {
+        let a = crossbar_validation();
+        let b = crossbar_validation();
+        assert_eq!(a.scalars(), b.scalars());
+    }
+}

@@ -41,6 +41,7 @@ use dresar_types::addr::AddressMap;
 use dresar_types::config::SystemConfig;
 use dresar_types::msg::{Endpoint, Message, MsgType};
 use dresar_types::{BlockAddr, Cycle, NodeId, RefKind, SharerSet, StreamItem, Workload};
+use std::rc::Rc;
 
 /// Options for one run.
 #[derive(Debug, Clone, Copy)]
@@ -110,9 +111,14 @@ enum Ev {
     },
 }
 
+/// A message in transit. The route is shared (`Rc`): static
+/// forward/backward routes come from the tables precomputed in
+/// [`System::new`], so the send path clones a pointer instead of two
+/// `Vec`s. A `System` is single-threaded by construction (one per run;
+/// sweeps parallelise across systems), so `Rc` is sufficient.
 struct InFlight {
     msg: Message,
-    route: Route,
+    route: Rc<Route>,
     hop: usize,
 }
 
@@ -135,6 +141,10 @@ pub struct System {
     dram: Vec<BankedResource>,
     sdirs: Vec<Option<SwitchDirectory>>,
     queue: EventQueue<Ev>,
+    /// Precomputed proc->mem routes, indexed `p * nodes + home`.
+    fwd_routes: Vec<Rc<Route>>,
+    /// Precomputed mem->proc routes, indexed `home * nodes + p`.
+    bwd_routes: Vec<Rc<Route>>,
     msg_seq: u64,
     barrier: BarrierState,
     workload: String,
@@ -172,10 +182,21 @@ impl System {
             .collect();
         let sdirs =
             (0..bmin.total_switches()).map(|_| cfg.switch_dir.map(SwitchDirectory::new)).collect();
+        // Static routes are a function of (endpoint pair) only; computing
+        // the full n*n tables once keeps route construction off the
+        // per-message hot path.
+        let mut fwd_routes = Vec::with_capacity(cfg.nodes * cfg.nodes);
+        let mut bwd_routes = Vec::with_capacity(cfg.nodes * cfg.nodes);
+        for a in 0..cfg.nodes {
+            for b in 0..cfg.nodes {
+                fwd_routes.push(Rc::new(routes::forward(&bmin, a as NodeId, b as NodeId)));
+                bwd_routes.push(Rc::new(routes::backward(&bmin, a as NodeId, b as NodeId)));
+            }
+        }
         System {
             map,
             bmin,
-            net: HopNetwork::new(cfg.switch),
+            net: HopNetwork::new(cfg.switch, cfg.nodes),
             nodes,
             homes: (0..cfg.nodes).map(|_| HomeDirectory::new(8)).collect(),
             home_ctrl: vec![Resource::new(); cfg.nodes],
@@ -184,6 +205,8 @@ impl System {
                 .collect(),
             sdirs,
             queue: EventQueue::new(),
+            fwd_routes,
+            bwd_routes,
             msg_seq: 0,
             barrier: BarrierState::default(),
             workload: workload.name.clone(),
@@ -205,6 +228,16 @@ impl System {
     fn next_id(&mut self) -> u64 {
         self.msg_seq += 1;
         self.msg_seq
+    }
+
+    #[inline]
+    fn fwd_route(&self, p: NodeId, home: NodeId) -> Rc<Route> {
+        Rc::clone(&self.fwd_routes[p as usize * self.cfg.nodes + home as usize])
+    }
+
+    #[inline]
+    fn bwd_route(&self, home: NodeId, p: NodeId) -> Rc<Route> {
+        Rc::clone(&self.bwd_routes[home as usize * self.cfg.nodes + p as usize])
     }
 
     /// Runs the simulation to completion and returns the report.
@@ -293,7 +326,7 @@ impl System {
             probe.tick(t, self.queue.len());
             match ev {
                 Ev::Proc(p) => self.on_proc(p, t, probe),
-                Ev::Msg(infl) => self.on_msg(*infl, t, probe),
+                Ev::Msg(infl) => self.on_msg(infl, t, probe),
                 Ev::HomeExec { home, msg } => self.on_home_exec(home, *msg, t, probe),
                 Ev::Retry { node, block } => self.on_retry(node, block, t, probe),
                 Ev::Relaunch { flight, attempt } => {
@@ -438,7 +471,10 @@ impl System {
     /// Assembles the deterministic component-metrics registry from every
     /// structure's counters. Runs once, after the simulation, so it costs
     /// the hot loops nothing. Names follow `component.sub.metric`; merge
-    /// semantics are sum for counts and max-across-instances for peaks.
+    /// semantics are sum for counts and max-across-instances for gauges —
+    /// both the `current` and `peak` side, so every gauge satisfies
+    /// `current <= peak` (mixing scopes is how `sd.occupancy` once reported
+    /// a current above its own high-water mark).
     fn snapshot_metrics(&self, r: &ExecutionReport) -> dresar_obs::MetricsRegistry {
         let mut m = dresar_obs::MetricsRegistry::new();
 
@@ -484,8 +520,15 @@ impl System {
         m.counter("home.naks", r.dir.naks);
         m.counter("home.queued", r.dir.queued);
         m.counter("home.marked_completions", r.dir.marked_completions);
-        m.gauge("home.busy", 0, r.dir.peak_busy);
-        m.gauge("home.pending", 0, r.dir.peak_pending);
+        // Per-instance scope on both sides: `current` is the busiest single
+        // home's end-of-run occupancy and `peak` the busiest single home's
+        // high-water mark, so `current <= peak` holds by construction. A
+        // quiesced run reports zero; residual busy/pending entries cross-
+        // check the coherence audit's quiescence verdict.
+        let home_busy = self.homes.iter().map(HomeDirectory::busy_now).max().unwrap_or(0);
+        let home_pending = self.homes.iter().map(HomeDirectory::pending_now).max().unwrap_or(0);
+        m.gauge("home.busy", home_busy, r.dir.peak_busy);
+        m.gauge("home.pending", home_pending, r.dir.peak_pending);
 
         // Home controller + DRAM banks as contended resources.
         let (mut ctrl_acq, mut ctrl_stall, mut ctrl_busy) = (0u64, 0u64, 0u64);
@@ -509,9 +552,14 @@ impl System {
 
         // Switch directories (present only when configured).
         if self.sdirs.iter().any(Option::is_some) {
-            let occupancy: u64 = self.sdirs.iter().flatten().map(|s| s.occupancy() as u64).sum();
+            // Per-instance scope, matching `SdStats::merge` (peaks are the
+            // busiest *single* switch's high-water mark): `current` must use
+            // the same aggregation or it can exceed its own peak, as the
+            // committed telemetry once did by summing across switches.
+            let occupancy: u64 =
+                self.sdirs.iter().flatten().map(|s| s.occupancy() as u64).max().unwrap_or(0);
             let transients: u64 =
-                self.sdirs.iter().flatten().map(|s| s.transient_count() as u64).sum();
+                self.sdirs.iter().flatten().map(|s| s.transient_count() as u64).max().unwrap_or(0);
             m.counter("sd.snoops", r.sd.snoops);
             m.counter("sd.inserts", r.sd.inserts);
             m.counter("sd.inserts_blocked", r.sd.inserts_blocked);
@@ -729,7 +777,7 @@ impl System {
         msg.flits(self.cfg.l2.line_bytes, self.cfg.switch.flit_bytes)
     }
 
-    fn launch<P: Probe>(&mut self, msg: Message, route: Route, t: Cycle, probe: &mut P) {
+    fn launch<P: Probe>(&mut self, msg: Message, route: Rc<Route>, t: Cycle, probe: &mut P) {
         self.launch_attempt(msg, route, t, 0, probe);
     }
 
@@ -740,7 +788,7 @@ impl System {
     fn launch_attempt<P: Probe>(
         &mut self,
         msg: Message,
-        route: Route,
+        route: Rc<Route>,
         t: Cycle,
         attempt: u32,
         probe: &mut P,
@@ -790,7 +838,7 @@ impl System {
         let home = self.map.home_of_block(block);
         let msg =
             Message::new(self.next_id(), kind, block, Endpoint::Proc(p), Endpoint::Mem(home), p, t);
-        let route = routes::forward(&self.bmin, p, home);
+        let route = self.fwd_route(p, home);
         self.launch(msg, route, t, probe);
     }
 
@@ -800,9 +848,9 @@ impl System {
             _ => unreachable!("send_from_proc with non-proc source"),
         };
         let route = match msg.dst {
-            Endpoint::Mem(h) => routes::forward(&self.bmin, src, h),
+            Endpoint::Mem(h) => self.fwd_route(src, h),
             Endpoint::Proc(q) => match routes::proc_to_proc(&self.bmin, src, q, msg.block.0) {
-                Ok(r) => r,
+                Ok(r) => Rc::new(r),
                 Err(e) => {
                     self.sim_errors.push(e);
                     return;
@@ -822,7 +870,7 @@ impl System {
             Endpoint::Proc(p) => p,
             _ => unreachable!("memory only sends to processors"),
         };
-        let route = routes::backward(&self.bmin, src, dst);
+        let route = self.bwd_route(src, dst);
         self.launch(msg, route, t, probe);
     }
 
@@ -862,7 +910,7 @@ impl System {
         // reachable (placement invariant); NAKs to foreign CtoC requesters
         // may need to ascend and turn around.
         let route = match routes::from_switch_to_proc_via(&self.bmin, sw, to, orig.block.0) {
-            Ok(r) => r,
+            Ok(r) => Rc::new(r),
             Err(e) => {
                 self.sim_errors.push(e);
                 return;
@@ -877,16 +925,16 @@ impl System {
         SwitchLoc { stage: sw.stage, index: sw.index, linear: self.linear(sw) as u16 }
     }
 
-    fn on_msg<P: Probe>(&mut self, infl: InFlight, t: Cycle, probe: &mut P) {
-        let InFlight { mut msg, route, hop } = infl;
-        if hop < route.switches.len() {
-            let sw = route.switches[hop];
+    fn on_msg<P: Probe>(&mut self, mut infl: Box<InFlight>, t: Cycle, probe: &mut P) {
+        let hop = infl.hop;
+        if hop < infl.route.switches.len() {
+            let sw = infl.route.switches[hop];
             let idx = self.linear(sw);
             let loc = self.switch_loc(sw);
-            probe.msg_hop(t, &msg, loc);
+            probe.msg_hop(t, &infl.msg, loc);
             let action = match self.sdirs[idx].as_mut() {
                 Some(sd) => {
-                    let action = sd.snoop_probed(&mut msg, loc, t, probe);
+                    let action = sd.snoop_probed(&mut infl.msg, loc, t, probe);
                     let sd = self.sdirs[idx].as_ref().unwrap();
                     probe.sd_occupancy(t, loc, sd.occupancy(), sd.transient_count());
                     action
@@ -895,7 +943,7 @@ impl System {
             };
             // A sunk ReadRequest reached its service point at this switch:
             // either an SD hit (CtoC generated) or an accumulated wait.
-            if msg.kind == MsgType::ReadRequest
+            if infl.msg.kind == MsgType::ReadRequest
                 && matches!(action, SnoopAction::Sink | SnoopAction::SinkSend(_))
             {
                 let is_service = match &action {
@@ -907,32 +955,33 @@ impl System {
                 };
                 if is_service {
                     probe.read_service_arrive(
-                        msg.requester,
-                        msg.block,
+                        infl.msg.requester,
+                        infl.msg.block,
                         ServicePoint::Switch(loc),
                         t,
                     );
                 }
             }
             match action {
-                SnoopAction::Forward => self.forward_hop(msg, route, hop, t, probe),
-                SnoopAction::Sink => probe.msg_sink(t, &msg, loc),
+                SnoopAction::Forward => self.forward_hop(infl, t, probe),
+                SnoopAction::Sink => probe.msg_sink(t, &infl.msg, loc),
                 SnoopAction::SinkSend(gen) => {
-                    probe.msg_sink(t, &msg, loc);
+                    probe.msg_sink(t, &infl.msg, loc);
                     for g in gen {
-                        self.send_from_switch(sw, g, &msg, t, probe);
+                        self.send_from_switch(sw, g, &infl.msg, t, probe);
                     }
                 }
                 SnoopAction::ForwardSend(gen) => {
                     for g in gen {
-                        self.send_from_switch(sw, g, &msg, t, probe);
+                        self.send_from_switch(sw, g, &infl.msg, t, probe);
                     }
-                    self.forward_hop(msg, route, hop, t, probe);
+                    self.forward_hop(infl, t, probe);
                 }
             }
         } else {
             // Endpoint delivery: the header arrived at `t`; data-bearing
             // messages complete after the tail.
+            let InFlight { msg, .. } = *infl;
             let flits = self.flits(&msg);
             let t_full = t + self.net.tail_lag(flits);
             probe.msg_deliver(t_full, &msg);
@@ -944,18 +993,15 @@ impl System {
         }
     }
 
-    fn forward_hop<P: Probe>(
-        &mut self,
-        msg: Message,
-        route: Route,
-        hop: usize,
-        t: Cycle,
-        probe: &mut P,
-    ) {
-        let flits = self.flits(&msg);
+    /// Advances `infl` one hop, reusing its allocation: the box travels
+    /// through the event queue unchanged, only `hop` advances.
+    fn forward_hop<P: Probe>(&mut self, mut infl: Box<InFlight>, t: Cycle, probe: &mut P) {
+        let flits = self.flits(&infl.msg);
         let depart = t + self.net.core_delay();
-        let arrive = self.net.traverse_link_probed(route.links[hop + 1], depart, flits, probe);
-        self.queue.schedule_at(arrive, Ev::Msg(Box::new(InFlight { msg, route, hop: hop + 1 })));
+        let arrive =
+            self.net.traverse_link_probed(infl.route.links[infl.hop + 1], depart, flits, probe);
+        infl.hop += 1;
+        self.queue.schedule_at(arrive, Ev::Msg(infl));
     }
 
     // ------------------------------------------------------------------

@@ -2,8 +2,7 @@
 
 use dresar_cache::CacheHierarchy;
 use dresar_stats::ReadStats;
-use dresar_types::{BlockAddr, Cycle, NodeId, StreamItem};
-use std::collections::HashMap;
+use dresar_types::{BlockAddr, Cycle, FastMap, NodeId, StreamItem};
 
 /// What the processor core is doing.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -89,12 +88,12 @@ pub struct Node {
     /// Core state.
     pub state: ProcState,
     /// Outstanding transactions by block.
-    pub mshrs: HashMap<BlockAddr, Mshr>,
+    pub mshrs: FastMap<BlockAddr, Mshr>,
     /// Sequence number of the ownership instance last installed Modified,
     /// per block (from the grant's `owner_seq`). Consulted only while the
     /// line is dirty, to validate incoming interventions; stale entries for
     /// relinquished blocks are harmless and overwritten by the next grant.
-    pub owner_seq: HashMap<BlockAddr, u64>,
+    pub owner_seq: FastMap<BlockAddr, u64>,
     /// Outstanding write transactions (write-buffer occupancy).
     pub writes_inflight: u32,
     /// Read statistics for this node.
@@ -117,8 +116,8 @@ impl Node {
             items,
             pc: 0,
             state: ProcState::Ready,
-            mshrs: HashMap::new(),
-            owner_seq: HashMap::new(),
+            mshrs: FastMap::default(),
+            owner_seq: FastMap::default(),
             writes_inflight: 0,
             reads: ReadStats::default(),
             stall_since: 0,

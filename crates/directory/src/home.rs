@@ -14,9 +14,11 @@
 //! pids that the home folds into the vector at completion time.
 
 use dresar_obs::{DirStateKind, HomeReq, HomeTransition, Probe};
-use dresar_types::{BlockAddr, Cycle, FromJson, JsonError, JsonValue, NodeId, SharerSet, ToJson};
+use dresar_types::{
+    BlockAddr, Cycle, FastMap, FromJson, JsonError, JsonValue, NodeId, SharerSet, ToJson,
+};
 use std::collections::hash_map::Entry;
-use std::collections::{HashMap, VecDeque};
+use std::collections::VecDeque;
 
 fn kind_of(state: DirState) -> DirStateKind {
     match state {
@@ -223,7 +225,7 @@ impl FromJson for DirStats {
 /// The full-map directory for the blocks homed at one node.
 #[derive(Debug, Clone)]
 pub struct HomeDirectory {
-    blocks: HashMap<BlockAddr, BlockEntry>,
+    blocks: FastMap<BlockAddr, BlockEntry>,
     pending_limit: usize,
     stats: DirStats,
     /// Blocks currently mid-transaction (feeds `stats.peak_busy`).
@@ -255,7 +257,7 @@ impl HomeDirectory {
     /// Creates a directory with the given per-block pending-queue bound.
     pub fn new(pending_limit: usize) -> Self {
         HomeDirectory {
-            blocks: HashMap::new(),
+            blocks: FastMap::default(),
             pending_limit,
             stats: DirStats::default(),
             busy_now: 0,
@@ -284,6 +286,18 @@ impl HomeDirectory {
     /// Counters.
     pub fn stats(&self) -> DirStats {
         self.stats
+    }
+
+    /// Blocks currently mid-transaction (the live value behind
+    /// [`DirStats::peak_busy`]); zero after a quiesced run.
+    pub fn busy_now(&self) -> u64 {
+        self.busy_now
+    }
+
+    /// Requests currently parked across all pending queues (the live value
+    /// behind [`DirStats::peak_pending`]); zero after a quiesced run.
+    pub fn pending_now(&self) -> u64 {
+        self.pending_now
     }
 
     fn entry(&mut self, block: BlockAddr) -> &mut BlockEntry {

@@ -95,6 +95,9 @@ pub struct Crossbar {
     buffer_flits: usize,
     core_cycles: Cycle,
     stats: ArbiterStats,
+    /// Arbitration candidate scratch, reused across [`Crossbar::step`]
+    /// calls so the per-cycle inner loop allocates nothing.
+    cands: Vec<(Cycle, u16, u16, Flit)>,
 }
 
 impl Crossbar {
@@ -109,12 +112,15 @@ impl Crossbar {
         core_cycles: u32,
     ) -> Self {
         assert!(n_in > 0 && n_out > 0 && vcs > 0 && buffer_flits > 0);
+        // The grant trackers below are u64 bitmasks (one bit per port).
+        assert!(n_in <= 64 && n_out <= 64, "crossbar ports limited to 64");
         Crossbar {
             inputs: vec![InputBlock { vcs: vec![Vc::default(); vcs] }; n_in],
             locks: vec![OutputLock::default(); n_out],
             buffer_flits,
             core_cycles: core_cycles as Cycle,
             stats: ArbiterStats::default(),
+            cands: Vec::new(),
         }
     }
 
@@ -168,25 +174,40 @@ impl Crossbar {
     ///   fixed priority that keeps the model deterministic);
     /// * a granted head flit locks its output; a granted tail releases it.
     pub fn step(&mut self, now: Cycle) -> Vec<Exit> {
-        // Gather candidates: (age, input, vc, flit).
-        let mut cands: Vec<(Cycle, u16, u16, Flit)> = Vec::new();
+        let mut exits = Vec::new();
+        self.step_into(now, &mut exits);
+        exits
+    }
+
+    /// [`Crossbar::step`] appending into a caller-owned buffer, so a
+    /// network stepping many switches every cycle reuses one allocation.
+    /// The buffer is *not* cleared: exits append after existing contents.
+    pub fn step_into(&mut self, now: Cycle, exits: &mut Vec<Exit>) {
+        // Gather candidates (age, input, vc, flit) into the reusable
+        // scratch; fast-out when the switch is idle.
+        self.cands.clear();
         for (i, ib) in self.inputs.iter().enumerate() {
             for (v, vc) in ib.vcs.iter().enumerate() {
                 if let Some(&f) = vc.fifo.front() {
-                    cands.push((f.age, i as u16, v as u16, f));
+                    self.cands.push((f.age, i as u16, v as u16, f));
                 }
             }
         }
-        cands.sort_unstable_by_key(|&(age, i, v, _)| (age, i, v));
+        if self.cands.is_empty() {
+            return;
+        }
+        self.cands.sort_unstable_by_key(|&(age, i, v, _)| (age, i, v));
 
-        let mut out_used = vec![false; self.locks.len()];
-        let mut in_used = vec![false; self.inputs.len()];
-        let mut exits = Vec::new();
+        // One grant per input and per output, tracked branch-free in
+        // per-port bitmasks (ports are bounded to 64 at construction).
+        let mut out_used = 0u64;
+        let mut in_used = 0u64;
 
-        for (_, i, v, f) in cands {
+        for c in 0..self.cands.len() {
+            let (_, i, v, f) = self.cands[c];
             let o = f.out_port as usize;
             debug_assert!(o < self.locks.len(), "flit requests nonexistent output");
-            if in_used[i as usize] || out_used[o] {
+            if (in_used >> i) & 1 != 0 || (out_used >> o) & 1 != 0 {
                 self.stats.conflicts += 1;
                 continue;
             }
@@ -199,8 +220,8 @@ impl Crossbar {
                 continue;
             }
             // Grant.
-            in_used[i as usize] = true;
-            out_used[o] = true;
+            in_used |= 1 << i;
+            out_used |= 1 << o;
             let flit = self.inputs[i as usize].vcs[v as usize].fifo.pop_front().expect("candidate");
             if flit.head && !flit.tail {
                 self.locks[o].holder = Some((i, v));
@@ -211,7 +232,6 @@ impl Crossbar {
             self.stats.grants += 1;
             exits.push(Exit { out_port: f.out_port, at: now + self.core_cycles, flit });
         }
-        exits
     }
 }
 

@@ -11,13 +11,14 @@
 //! Port convention per switch (radix `d`): inputs/outputs `0..d` face the
 //! processors (down side), `d..2d` face the memories (up side).
 
-use crate::crossbar::{flits_of_message, ArbiterStats, Crossbar};
+use crate::crossbar::{flits_of_message, ArbiterStats, Crossbar, Exit};
+use crate::link_index::LinkIndexer;
 use crate::routes::{LinkId, Route};
 use crate::topology::{Bmin, SwitchId};
 use dresar_faults::SimError;
 use dresar_types::config::SwitchConfig;
-use dresar_types::Cycle;
-use std::collections::{HashMap, VecDeque};
+use dresar_types::{Cycle, FastMap};
+use std::collections::VecDeque;
 
 /// A completed message delivery.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -49,11 +50,19 @@ struct LinkPipe {
     next_send: Cycle,
 }
 
-/// Per-message routing state: output port at each switch (by linear switch
-/// index) and total flits.
+/// Per-message routing state: output port at each switch on the path, as
+/// `(linear switch index, out port)` pairs in path order. Routes are at
+/// most a handful of hops, so a linear scan beats any map.
 #[derive(Debug)]
 struct MsgRoute {
-    out_ports: HashMap<usize, u8>,
+    out_ports: Vec<(u16, u8)>,
+}
+
+impl MsgRoute {
+    #[inline]
+    fn out_port_at(&self, switch_idx: usize) -> Option<u8> {
+        self.out_ports.iter().find(|&&(s, _)| s as usize == switch_idx).map(|&(_, p)| p)
+    }
 }
 
 /// The flit-level network.
@@ -62,10 +71,18 @@ pub struct FlitNetwork {
     bmin: Bmin,
     cfg: SwitchConfig,
     switches: Vec<Crossbar>,
-    pipes: HashMap<LinkId, LinkPipe>,
-    routes: HashMap<u64, MsgRoute>,
+    /// Link pipes in a dense table (see [`LinkIndexer`]); `step` walks
+    /// `active` — the links touched so far, in deterministic first-touch
+    /// order — instead of collecting map keys every cycle.
+    indexer: LinkIndexer,
+    pipes: Vec<LinkPipe>,
+    active: Vec<u32>,
+    is_active: Vec<bool>,
+    routes: FastMap<u64, MsgRoute>,
     now: Cycle,
     delivered: Vec<Delivery>,
+    /// Scratch for per-switch arbitration exits, reused every cycle.
+    exits_scratch: Vec<Exit>,
 }
 
 impl FlitNetwork {
@@ -84,15 +101,32 @@ impl FlitNetwork {
                 )
             })
             .collect();
+        let indexer = LinkIndexer::new(&bmin);
         FlitNetwork {
             bmin,
             cfg,
             switches,
-            pipes: HashMap::new(),
-            routes: HashMap::new(),
+            indexer,
+            pipes: (0..indexer.len()).map(|_| LinkPipe::default()).collect(),
+            active: Vec::new(),
+            is_active: vec![false; indexer.len()],
+            routes: FastMap::default(),
             now: 0,
             delivered: Vec::new(),
+            exits_scratch: Vec::new(),
         }
+    }
+
+    /// Dense pipe slot for `link`, recording first touches in `active` so
+    /// the step loop visits exactly the links ever used.
+    #[inline]
+    fn pipe_mut(&mut self, link: LinkId) -> &mut LinkPipe {
+        let i = self.indexer.index(link);
+        if !self.is_active[i] {
+            self.is_active[i] = true;
+            self.active.push(i as u32);
+        }
+        &mut self.pipes[i]
     }
 
     /// Current cycle.
@@ -179,7 +213,7 @@ impl FlitNetwork {
                 detail: format!("malformed route for message {msg}"),
             });
         }
-        let mut out_ports = HashMap::with_capacity(route.switches.len());
+        let mut out_ports = Vec::with_capacity(route.switches.len());
         for (i, &sw) in route.switches.iter().enumerate() {
             let next_link = route.links[i + 1];
             let port = self.out_port_for(sw, next_link).ok_or_else(|| SimError::Network {
@@ -188,21 +222,19 @@ impl FlitNetwork {
                     "route for message {msg} asks switch {sw:?} to drive injection link {next_link:?}"
                 ),
             })?;
-            out_ports.insert(self.linear(sw), port);
+            out_ports.push((self.linear(sw) as u16, port));
         }
+        let mroute = MsgRoute { out_ports };
 
         // First out-port: at the first switch (or directly the endpoint for
         // degenerate single-link routes — only possible for switch-origin
         // routes, which we inject at their first link too).
-        let first_port = route
-            .switches
-            .first()
-            .and_then(|&sw| out_ports.get(&self.linear(sw)).copied())
-            .unwrap_or(0);
-        self.routes.insert(msg, MsgRoute { out_ports });
+        let first_port =
+            route.switches.first().and_then(|&sw| mroute.out_port_at(self.linear(sw))).unwrap_or(0);
+        self.routes.insert(msg, mroute);
         let now = self.now;
-        let pipe = self.pipes.entry(route.links[0]).or_default();
-        for f in flits_of_message(msg, flits, self.now, first_port) {
+        let pipe = self.pipe_mut(route.links[0]);
+        for f in flits_of_message(msg, flits, now, first_port) {
             pipe.waiting.push_back((now, f));
         }
         Ok(())
@@ -213,22 +245,23 @@ impl FlitNetwork {
         let now = self.now;
         let lcpf = self.cfg.link_cycles_per_flit as Cycle;
 
-        // 1a. Deliver flits whose transmission completed this cycle.
-        let links: Vec<LinkId> = self.pipes.keys().copied().collect();
+        // 1a. Deliver flits whose transmission completed this cycle. The
+        //     `active` list is the set of links ever touched, in first-
+        //     touch order — no per-cycle key collection, no map iteration.
         let mut done = Vec::new();
-        for &link in &links {
+        for a in 0..self.active.len() {
+            let li = self.active[a] as usize;
+            let link = self.indexer.link(li);
             let sink = self.sink_of(link);
             loop {
-                let front = self.pipes.get(&link).and_then(|p| p.arriving.front().copied());
+                let front = self.pipes[li].arriving.front().copied();
                 let Some((at, f)) = front else { break };
                 if at > now {
                     break;
                 }
                 match sink {
                     LinkSink::Endpoint => {
-                        if let Some(pipe) = self.pipes.get_mut(&link) {
-                            pipe.arriving.pop_front();
-                        }
+                        self.pipes[li].arriving.pop_front();
                         if f.tail {
                             done.push(Delivery { msg: f.msg, at, endpoint: link });
                         }
@@ -239,14 +272,12 @@ impl FlitNetwork {
                         // enters.
                         let mut f2 = f;
                         if let Some(r) = self.routes.get(&f.msg) {
-                            if let Some(&p) = r.out_ports.get(&idx) {
+                            if let Some(p) = r.out_port_at(idx) {
                                 f2.out_port = p;
                             }
                         }
                         if self.switches[idx].offer(input, vc, f2) {
-                            if let Some(pipe) = self.pipes.get_mut(&link) {
-                                pipe.arriving.pop_front();
-                            }
+                            self.pipes[li].arriving.pop_front();
                         } else {
                             break; // FIFO full: back-pressure, retry next cycle.
                         }
@@ -257,7 +288,9 @@ impl FlitNetwork {
 
         // 1b. Start new transmissions: one flit per `lcpf` cycles, subject
         //     to downstream FIFO credit.
-        for &link in &links {
+        for a in 0..self.active.len() {
+            let li = self.active[a] as usize;
+            let link = self.indexer.link(li);
             let sink = self.sink_of(link);
             let credit = match sink {
                 LinkSink::Endpoint => true,
@@ -270,7 +303,7 @@ impl FlitNetwork {
                         .any(|v| self.switches[idx].free_space(input, v) > 0)
                 }
             };
-            let Some(pipe) = self.pipes.get_mut(&link) else { continue };
+            let pipe = &mut self.pipes[li];
             if now < pipe.next_send || !credit {
                 continue;
             }
@@ -284,8 +317,11 @@ impl FlitNetwork {
         }
 
         // 2. Switches arbitrate; exits enter their outgoing link pipes.
+        //    The exits buffer is reused across switches and cycles.
+        let mut exits = std::mem::take(&mut self.exits_scratch);
         for idx in 0..self.switches.len() {
-            let exits = self.switches[idx].step(now);
+            exits.clear();
+            self.switches[idx].step_into(now, &mut exits);
             if exits.is_empty() {
                 continue;
             }
@@ -293,11 +329,12 @@ impl FlitNetwork {
                 stage: (idx / self.bmin.switches_per_stage()) as u8,
                 index: (idx % self.bmin.switches_per_stage()) as u16,
             };
-            for e in exits {
-                let link = self.link_of_output(sw, e.out_port);
-                self.pipes.entry(link).or_default().waiting.push_back((e.at, e.flit));
+            for &Exit { out_port, at, flit } in &exits {
+                let link = self.link_of_output(sw, out_port);
+                self.pipe_mut(link).waiting.push_back((at, flit));
             }
         }
+        self.exits_scratch = exits;
 
         self.now += 1;
         self.delivered.extend(done.iter().copied());

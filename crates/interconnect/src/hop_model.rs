@@ -11,12 +11,12 @@
 //! The flit-level model in [`crate::flit_net`] cross-checks this
 //! approximation on small batches (see `tests/fidelity_crosscheck.rs`).
 
+use crate::link_index::LinkIndexer;
 use crate::routes::LinkId;
 use dresar_engine::Resource;
 use dresar_obs::{LinkKey, Probe};
 use dresar_types::config::SwitchConfig;
 use dresar_types::Cycle;
-use std::collections::HashMap;
 
 /// Packs a [`LinkId`] into the flat [`LinkKey`] the observability layer
 /// uses: a variant tag in bits 32.. and the variant's fields below.
@@ -46,19 +46,24 @@ pub struct LinkUtilization {
     pub busy_cycles: Cycle,
 }
 
-/// The hop-level network state: one [`Resource`] per directed link.
+/// The hop-level network state: one [`Resource`] per directed link, in a
+/// flat table indexed by [`LinkIndexer`] — every message hop books a link,
+/// so the lookup sits on the event loop's hottest path and must not hash.
 #[derive(Debug)]
 pub struct HopNetwork {
     cfg: SwitchConfig,
-    links: HashMap<LinkId, Resource>,
+    index: LinkIndexer,
+    links: Vec<Resource>,
     messages: u64,
     flits: u64,
 }
 
 impl HopNetwork {
-    /// Creates an uncontended network with the given switch parameters.
-    pub fn new(cfg: SwitchConfig) -> Self {
-        HopNetwork { cfg, links: HashMap::new(), messages: 0, flits: 0 }
+    /// Creates an uncontended network with the given switch parameters for
+    /// a BMIN of `nodes` endpoints (radix comes from `cfg`).
+    pub fn new(cfg: SwitchConfig, nodes: usize) -> Self {
+        let index = LinkIndexer::from_shape(nodes, cfg.radix as usize);
+        HopNetwork { cfg, index, links: vec![Resource::new(); index.len()], messages: 0, flits: 0 }
     }
 
     /// Switch-core traversal delay in cycles.
@@ -81,7 +86,7 @@ impl HopNetwork {
     /// The link stays busy for the full serialization time.
     pub fn traverse_link(&mut self, link: LinkId, now: Cycle, flits: u32) -> Cycle {
         let duration = flits as Cycle * self.flit_time();
-        let start = self.links.entry(link).or_default().acquire(now, duration);
+        let start = self.links[self.index.index(link)].acquire(now, duration);
         self.messages += 1;
         self.flits += flits as u64;
         start + self.flit_time()
@@ -109,7 +114,7 @@ impl HopNetwork {
 
     /// Cycle at which `link` would next be free (no booking).
     pub fn link_free_at(&self, link: LinkId) -> Cycle {
-        self.links.get(&link).map(Resource::free_at).unwrap_or(0)
+        self.links[self.index.index(link)].free_at()
     }
 
     /// Total messages moved (hop count).
@@ -127,19 +132,25 @@ impl HopNetwork {
     pub fn contention(&self) -> (u64, Cycle) {
         let mut acq = 0;
         let mut stall = 0;
-        for r in self.links.values() {
+        for r in &self.links {
             acq += r.acquisitions();
             stall += r.stall_cycles();
         }
         (acq, stall)
     }
 
-    /// Per-link busy-cycle report, sorted by busiest first.
+    /// Per-link busy-cycle report for every link ever booked, sorted by
+    /// busiest first.
     pub fn utilization(&self) -> Vec<LinkUtilization> {
         let mut v: Vec<_> = self
             .links
             .iter()
-            .map(|(&link, r)| LinkUtilization { link, busy_cycles: r.occupied_cycles() })
+            .enumerate()
+            .filter(|(_, r)| r.acquisitions() > 0)
+            .map(|(i, r)| LinkUtilization {
+                link: self.index.link(i),
+                busy_cycles: r.occupied_cycles(),
+            })
             .collect();
         v.sort_unstable_by_key(|u| std::cmp::Reverse(u.busy_cycles));
         v
@@ -161,7 +172,7 @@ mod tests {
     use dresar_types::config::SystemConfig;
 
     fn net() -> HopNetwork {
-        HopNetwork::new(SystemConfig::paper_table2().switch)
+        HopNetwork::new(SystemConfig::paper_table2().switch, 16)
     }
 
     #[test]

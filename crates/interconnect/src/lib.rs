@@ -28,11 +28,13 @@
 pub mod crossbar;
 pub mod flit_net;
 pub mod hop_model;
+pub mod link_index;
 pub mod routes;
 pub mod topology;
 
 pub use crossbar::{ArbiterStats, Crossbar, Flit};
 pub use flit_net::{Delivery, FlitNetwork};
 pub use hop_model::{link_key, HopNetwork};
+pub use link_index::LinkIndexer;
 pub use routes::{Hop, LinkId, Route};
 pub use topology::{Bmin, SwitchId};

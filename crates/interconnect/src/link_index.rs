@@ -1,0 +1,162 @@
+//! Dense integer indexing of [`LinkId`]s for a fixed BMIN shape.
+//!
+//! The hop-level model books a [`dresar_engine::Resource`] per directed
+//! link on *every* message hop, and the flit-level network walks its link
+//! pipes every cycle. Keying those structures by `HashMap<LinkId, _>` puts
+//! a hash + probe on the innermost simulation loops; a BMIN's link set is
+//! small and fixed (`4n` endpoint links plus `2n` inter-stage links per
+//! stage boundary), so each link maps to a dense index computed with two
+//! multiplies and the containers become flat `Vec`s.
+//!
+//! Layout, for `n` nodes, radix `d`, `s` stages:
+//!
+//! | range                          | links                       |
+//! |--------------------------------|-----------------------------|
+//! | `0 .. n`                       | `ProcUp(p)`                 |
+//! | `n .. 2n`                      | `ProcDown(p)`               |
+//! | `2n .. 3n`                     | `MemUp(m)`                  |
+//! | `3n .. 4n`                     | `MemDown(m)`                |
+//! | `4n + stage*n + lower*d + port`        | `Up { stage, lower, port }`   |
+//! | `4n + (s-1)*n + stage*n + lower*d + port` | `Down { stage, lower, port }` |
+//!
+//! Inter-stage links exist for `stage in 0..s-1`; `lower` ranges over the
+//! `n/d` switches of that stage and `port` over `d`, so each directed
+//! stage boundary contributes exactly `n` links.
+
+use crate::routes::LinkId;
+use crate::topology::Bmin;
+
+/// Bijection between the [`LinkId`]s of one BMIN shape and `0..len()`.
+#[derive(Debug, Clone, Copy)]
+pub struct LinkIndexer {
+    n: usize,
+    d: usize,
+    stages: usize,
+}
+
+impl LinkIndexer {
+    /// Indexer for `bmin`'s link set.
+    pub fn new(bmin: &Bmin) -> Self {
+        LinkIndexer { n: bmin.nodes(), d: bmin.radix(), stages: bmin.stages() }
+    }
+
+    /// Indexer from raw shape parameters (`nodes` a power of `radix`).
+    pub fn from_shape(nodes: usize, radix: usize) -> Self {
+        let mut stages = 1usize;
+        let mut span = radix;
+        while span < nodes {
+            span *= radix;
+            stages += 1;
+        }
+        LinkIndexer { n: nodes, d: radix, stages }
+    }
+
+    /// Total number of distinct links (the exclusive index bound).
+    pub fn len(&self) -> usize {
+        4 * self.n + 2 * (self.stages - 1) * self.n
+    }
+
+    /// Whether the shape has no links (never true for a valid BMIN).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Dense index of `link`.
+    #[inline]
+    pub fn index(&self, link: LinkId) -> usize {
+        let n = self.n;
+        match link {
+            LinkId::ProcUp(p) => p as usize,
+            LinkId::ProcDown(p) => n + p as usize,
+            LinkId::MemUp(m) => 2 * n + m as usize,
+            LinkId::MemDown(m) => 3 * n + m as usize,
+            LinkId::Up { stage, lower, port } => {
+                4 * n + stage as usize * n + lower as usize * self.d + port as usize
+            }
+            LinkId::Down { stage, lower, port } => {
+                4 * n
+                    + (self.stages - 1) * n
+                    + stage as usize * n
+                    + lower as usize * self.d
+                    + port as usize
+            }
+        }
+    }
+
+    /// Inverse of [`LinkIndexer::index`].
+    pub fn link(&self, idx: usize) -> LinkId {
+        let n = self.n;
+        match idx / n {
+            0 => LinkId::ProcUp(idx as u8),
+            1 => LinkId::ProcDown((idx - n) as u8),
+            2 => LinkId::MemUp((idx - 2 * n) as u8),
+            3 => LinkId::MemDown((idx - 3 * n) as u8),
+            _ => {
+                let rel = idx - 4 * n;
+                let up = rel < (self.stages - 1) * n;
+                let rel = if up { rel } else { rel - (self.stages - 1) * n };
+                let stage = (rel / n) as u8;
+                let within = rel % n;
+                let lower = (within / self.d) as u16;
+                let port = (within % self.d) as u8;
+                if up {
+                    LinkId::Up { stage, lower, port }
+                } else {
+                    LinkId::Down { stage, lower, port }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn all_links(ix: &LinkIndexer, n: usize, d: usize, stages: usize) -> Vec<LinkId> {
+        let mut v = Vec::with_capacity(ix.len());
+        for p in 0..n as u8 {
+            v.push(LinkId::ProcUp(p));
+            v.push(LinkId::ProcDown(p));
+            v.push(LinkId::MemUp(p));
+            v.push(LinkId::MemDown(p));
+        }
+        for stage in 0..(stages - 1) as u8 {
+            for lower in 0..(n / d) as u16 {
+                for port in 0..d as u8 {
+                    v.push(LinkId::Up { stage, lower, port });
+                    v.push(LinkId::Down { stage, lower, port });
+                }
+            }
+        }
+        v
+    }
+
+    #[test]
+    fn index_is_a_bijection() {
+        for (n, d) in [(16usize, 4usize), (16, 2), (4, 2), (4, 4)] {
+            let ix = LinkIndexer::from_shape(n, d);
+            let links = all_links(&ix, n, d, ix.stages);
+            assert_eq!(links.len(), ix.len(), "n={n} d={d}");
+            let mut seen = vec![false; ix.len()];
+            for l in links {
+                let i = ix.index(l);
+                assert!(i < ix.len(), "{l:?} out of range");
+                assert!(!seen[i], "collision at {l:?}");
+                seen[i] = true;
+                assert_eq!(ix.link(i), l, "inverse mismatch at {i}");
+            }
+            assert!(seen.iter().all(|&s| s));
+        }
+    }
+
+    #[test]
+    fn matches_bmin_shape() {
+        let bmin = Bmin::new(16, 4);
+        let a = LinkIndexer::new(&bmin);
+        let b = LinkIndexer::from_shape(16, 4);
+        assert_eq!(a.len(), b.len());
+        assert_eq!(a.stages, 2);
+        assert_eq!(a.len(), 4 * 16 + 2 * 16);
+    }
+}

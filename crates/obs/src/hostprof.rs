@@ -20,11 +20,25 @@ pub struct PhaseTiming {
     pub wall_seconds: f64,
 }
 
+/// Wall-clock timing of one named simulation run inside a phase. Unlike
+/// [`PhaseTiming`], runs may execute concurrently: with a parallel sweep
+/// the per-run seconds can sum to more than the enclosing phase.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunTiming {
+    /// Run label (e.g. `"FFT.sd1024"`).
+    pub name: String,
+    /// Elapsed wall-clock seconds for this run on its worker thread.
+    pub wall_seconds: f64,
+}
+
 /// A finished profile: per-phase timings plus process-wide peak RSS.
 #[derive(Debug, Clone, PartialEq)]
 pub struct HostProfile {
     /// Phases in the order they ran.
     pub phases: Vec<PhaseTiming>,
+    /// Per-run wall-clock breakdown (empty when the caller profiles only
+    /// at phase granularity).
+    pub runs: Vec<RunTiming>,
     /// Total wall-clock seconds from profiler creation to [`HostProfiler::finish`].
     pub total_seconds: f64,
     /// Peak resident set size in bytes (`VmHWM` from `/proc/self/status`);
@@ -55,8 +69,19 @@ impl ToJson for HostProfile {
                     .build()
             })
             .collect();
+        let runs: Vec<JsonValue> = self
+            .runs
+            .iter()
+            .map(|r| {
+                JsonValue::obj()
+                    .field("name", r.name.as_str())
+                    .field("wall_seconds", r.wall_seconds)
+                    .build()
+            })
+            .collect();
         JsonValue::obj()
             .field("phases", JsonValue::Arr(phases))
+            .field("runs", JsonValue::Arr(runs))
             .field("total_seconds", self.total_seconds)
             .field("peak_rss_bytes", self.peak_rss_bytes)
             .build()
@@ -68,6 +93,7 @@ impl ToJson for HostProfile {
 pub struct HostProfiler {
     started: Instant,
     phases: Vec<PhaseTiming>,
+    runs: Vec<RunTiming>,
     current: Option<(String, Instant)>,
 }
 
@@ -80,7 +106,18 @@ impl Default for HostProfiler {
 impl HostProfiler {
     /// Starts the profiler (total clock begins now).
     pub fn new() -> Self {
-        HostProfiler { started: Instant::now(), phases: Vec::new(), current: None }
+        HostProfiler {
+            started: Instant::now(),
+            phases: Vec::new(),
+            runs: Vec::new(),
+            current: None,
+        }
+    }
+
+    /// Records one named run's wall-clock seconds (measured by the caller,
+    /// e.g. on a sweep worker thread).
+    pub fn run_timing(&mut self, name: &str, wall_seconds: f64) {
+        self.runs.push(RunTiming { name: name.to_string(), wall_seconds });
     }
 
     /// Begins a named phase, closing the previous one if still open.
@@ -100,6 +137,7 @@ impl HostProfiler {
         self.close_current();
         HostProfile {
             phases: self.phases,
+            runs: self.runs,
             total_seconds: self.started.elapsed().as_secs_f64(),
             peak_rss_bytes: peak_rss_bytes(),
         }
@@ -145,9 +183,11 @@ mod tests {
 
     #[test]
     fn cycles_per_sec_guards_zero_time() {
-        let prof = HostProfile { phases: vec![], total_seconds: 0.0, peak_rss_bytes: None };
+        let prof =
+            HostProfile { phases: vec![], runs: vec![], total_seconds: 0.0, peak_rss_bytes: None };
         assert_eq!(prof.cycles_per_sec(1000), 0.0);
-        let prof = HostProfile { phases: vec![], total_seconds: 2.0, peak_rss_bytes: None };
+        let prof =
+            HostProfile { phases: vec![], runs: vec![], total_seconds: 2.0, peak_rss_bytes: None };
         assert_eq!(prof.cycles_per_sec(1000), 500.0);
     }
 
@@ -155,11 +195,13 @@ mod tests {
     fn profile_serializes_with_null_rss() {
         let prof = HostProfile {
             phases: vec![PhaseTiming { name: "run".into(), wall_seconds: 1.5 }],
+            runs: vec![RunTiming { name: "FFT.base".into(), wall_seconds: 1.0 }],
             total_seconds: 1.5,
             peak_rss_bytes: None,
         };
         let dump = prof.to_json().dump();
         assert!(dump.contains("\"peak_rss_bytes\":null"), "{dump}");
         assert!(dump.contains("\"name\":\"run\""), "{dump}");
+        assert!(dump.contains("\"name\":\"FFT.base\""), "{dump}");
     }
 }

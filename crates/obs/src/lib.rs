@@ -35,7 +35,7 @@ use dresar_types::msg::Message;
 use dresar_types::{BlockAddr, Cycle, JsonValue, NodeId, ToJson};
 
 pub use breakdown::{LatencyBreakdown, LatencyRecorder, PhaseSums, PHASES};
-pub use hostprof::{HostProfile, HostProfiler, PhaseTiming};
+pub use hostprof::{HostProfile, HostProfiler, PhaseTiming, RunTiming};
 pub use metrics::{MetricDelta, MetricValue, MetricsRegistry};
 pub use sampler::{Sampler, TimeSeries, WindowSample};
 pub use trace::Tracer;

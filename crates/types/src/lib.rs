@@ -29,6 +29,7 @@
 
 pub mod addr;
 pub mod config;
+pub mod fasthash;
 pub mod json;
 pub mod msg;
 pub mod refstream;
@@ -37,6 +38,7 @@ pub mod sharers;
 
 pub use addr::{Addr, BlockAddr, NodeId};
 pub use config::{SystemConfig, TraceSimConfig};
+pub use fasthash::{FastBuildHasher, FastHasher, FastMap, FastSet};
 pub use json::{FromJson, JsonError, JsonValue, ObjBuilder, ToJson, SCHEMA_VERSION};
 pub use msg::{Message, MsgType};
 pub use refstream::{MemRef, RefKind, StreamItem, Workload};

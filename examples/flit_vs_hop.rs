@@ -14,7 +14,7 @@ fn main() {
     // A batch of requests: every processor sends a 1-flit read request to
     // a rotating memory, plus a 5-flit reply coming back.
     let mut flit = FlitNetwork::new(bmin, cfg);
-    let mut hop = HopNetwork::new(cfg);
+    let mut hop = HopNetwork::new(cfg, 16);
 
     let mut hop_latencies = Vec::new();
     for (id, p) in (0..16u8).enumerate() {

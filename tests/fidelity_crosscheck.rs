@@ -27,7 +27,7 @@ fn uncontended_latencies_agree_exactly() {
         let d = flit.run_until_drained(100_000);
         assert_eq!(d.len(), 1);
 
-        let mut hop = HopNetwork::new(cfg);
+        let mut hop = HopNetwork::new(cfg, 16);
         let expect = hop_latency(&mut hop, &route, flits, 0);
         let got = d[0].at;
         let err = got.abs_diff(expect);
@@ -43,7 +43,7 @@ fn light_load_batch_agrees_within_tolerance() {
     let bmin = Bmin::new(16, 4);
     let cfg = SystemConfig::paper_table2().switch;
     let mut flit = FlitNetwork::new(bmin, cfg);
-    let mut hop = HopNetwork::new(cfg);
+    let mut hop = HopNetwork::new(cfg, 16);
 
     let mut hop_total = 0u64;
     for p in 0..16u8 {
@@ -71,7 +71,7 @@ fn contention_appears_in_both_models() {
     let cfg = SystemConfig::paper_table2().switch;
 
     let mut flit = FlitNetwork::new(bmin, cfg);
-    let mut hop = HopNetwork::new(cfg);
+    let mut hop = HopNetwork::new(cfg, 16);
     let mut hop_last = 0u64;
     for p in 0..4u8 {
         let route = routes::forward(&bmin, p, 8);
@@ -82,7 +82,7 @@ fn contention_appears_in_both_models() {
     let flit_last = d.iter().map(|x| x.at).max().unwrap();
 
     // Uncontended single-message time for comparison.
-    let mut solo_hop = HopNetwork::new(cfg);
+    let mut solo_hop = HopNetwork::new(cfg, 16);
     let solo = hop_latency(&mut solo_hop, &routes::forward(&bmin, 0, 8), 5, 0);
 
     assert!(flit_last > solo + 20, "flit model must show queueing ({flit_last} vs solo {solo})");

@@ -1,0 +1,105 @@
+//! Tier-1 guarantees for the parallel sweep harness and the metric
+//! gauges it reports.
+//!
+//! 1. The parallel sweep's output is **byte-identical** to a serial
+//!    execution — the property that lets `BENCH_dresar.json` stay under an
+//!    exact-match regression gate while being produced on however many
+//!    cores the host has.
+//! 2. Every gauge in every produced registry satisfies `current <= peak`.
+//!    Both sides now use the same merge scope (max across instances); a
+//!    summed current against a maxed peak once let `current > peak` into
+//!    committed telemetry.
+//! 3. Writebacks cross-check: a capacity-exceeding workload produces
+//!    writebacks, and the cache-side and network-side counts agree. (At
+//!    `Scale::Tiny` the per-node footprint fits in the 128 KB L2, so the
+//!    committed baseline legitimately reports zero.)
+
+use dresar_bench::suite;
+use dresar_bench::sweep::{standard_runs, SweepRunner};
+use dresar_obs::MetricValue;
+use dresar_types::{JsonValue, ToJson};
+use dresar_workloads::Scale;
+
+fn runs_doc(runner: SweepRunner) -> String {
+    let benches = suite(Scale::Tiny);
+    let (runs, _timings) = standard_runs(&benches, runner);
+    let arr: Vec<JsonValue> = runs
+        .iter()
+        .map(|r| {
+            JsonValue::obj()
+                .field("name", r.name.as_str())
+                .field("metrics", r.metrics.to_json())
+                .build()
+        })
+        .collect();
+    JsonValue::Arr(arr).dump()
+}
+
+#[test]
+fn parallel_sweep_is_byte_identical_to_serial() {
+    let serial = runs_doc(SweepRunner::serial());
+    let parallel = runs_doc(SweepRunner::with_threads(4));
+    assert_eq!(serial, parallel, "parallel sweep output diverged from serial");
+    // The degraded runs depend on the sd1024 cycle counts, so a real
+    // document came out of both paths, not two identical empties.
+    assert!(serial.contains("FFT.sd-degraded"), "expected full run set, got: {serial}");
+}
+
+#[test]
+fn every_gauge_reports_current_at_most_peak() {
+    let benches = suite(Scale::Tiny);
+    let (runs, _) = standard_runs(&benches, SweepRunner::from_env());
+    let mut gauges = 0usize;
+    for r in &runs {
+        for (name, v) in r.metrics.iter() {
+            if let MetricValue::Gauge { current, peak } = v {
+                gauges += 1;
+                assert!(
+                    current <= peak,
+                    "{}/{name}: gauge current {current} > peak {peak}",
+                    r.name
+                );
+            }
+        }
+    }
+    assert!(gauges > 0, "expected gauges in the standard run set");
+}
+
+#[test]
+fn capacity_pressure_produces_matching_writeback_counts() {
+    use dresar::system::{RunOptions, System};
+    use dresar_types::config::SystemConfig;
+    use dresar_types::{StreamItem, Workload};
+
+    // Shrink the caches so each stream's footprint exceeds its L2 (4x as
+    // many distinct lines as the cache holds).
+    let mut cfg = SystemConfig::paper_table2();
+    cfg.l1.size_bytes = 1024;
+    cfg.l2.size_bytes = 2048;
+    cfg.switch_dir = None;
+    let line = cfg.l2.line_bytes;
+    let lines = cfg.l2.size_bytes / cfg.l2.line_bytes;
+    let streams: Vec<Vec<StreamItem>> = (0..4u64)
+        .map(|p| (0..4 * lines).map(|i| StreamItem::write(p * 0x10_0000 + i * line, 1)).collect())
+        .collect();
+    let w = Workload { name: "capacity".into(), streams };
+    let report = System::new(cfg, &w).run(RunOptions::default());
+    let cache_wb = report
+        .metrics
+        .get("cache.writebacks")
+        .and_then(|v| match v {
+            MetricValue::Counter(c) => Some(*c),
+            _ => None,
+        })
+        .expect("cache.writebacks counter");
+    let net_wb = report
+        .metrics
+        .get("net.writebacks")
+        .and_then(|v| match v {
+            MetricValue::Counter(c) => Some(*c),
+            _ => None,
+        })
+        .expect("net.writebacks counter");
+    assert!(cache_wb > 0, "capacity-exceeding workload produced no writebacks");
+    assert_eq!(cache_wb, net_wb, "cache evictions and writeback messages disagree");
+}
