@@ -70,6 +70,12 @@ impl SweepRunner {
         SweepRunner { threads: threads.max(1) }
     }
 
+    /// This runner's worker count (what [`ServicePool::start`] sizes its
+    /// persistent pool by).
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
     /// Executes `jobs`, returning the `i`-th job's result at index `i`.
     ///
     /// # Panics
@@ -220,6 +226,180 @@ pub fn crossbar_validation() -> MetricsRegistry {
     m
 }
 
+/// Why [`ServicePool::try_submit`] refused a job.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SubmitError {
+    /// The bounded admission queue is at capacity: shed the request.
+    QueueFull {
+        /// The configured queue bound the submission ran into.
+        queue_depth: usize,
+    },
+    /// The pool is draining for shutdown and accepts no new work.
+    ShuttingDown,
+}
+
+/// A persistent, bounded worker pool: the serving counterpart of the
+/// batch-oriented [`SweepRunner`].
+///
+/// Where `run_jobs` executes one closed batch and returns, a long-lived
+/// service needs *admission control*: a fixed-depth queue whose overflow is
+/// reported to the caller (so the server can shed load with a structured
+/// error instead of buffering unboundedly) and a graceful drain that
+/// finishes queued work before the workers exit. The pool is sized by a
+/// [`SweepRunner`] (so `DRESAR_SWEEP_THREADS` governs serving concurrency
+/// exactly like sweep concurrency) and runs the same boxed-job shape.
+///
+/// `pause`/`resume` gate the workers without touching the queue — tests use
+/// this to hold jobs queued while concurrent requests pile up, making
+/// coalescing and shedding assertions deterministic instead of racy.
+#[derive(Debug)]
+pub struct ServicePool {
+    inner: std::sync::Arc<PoolShared>,
+    workers: Mutex<Vec<std::thread::JoinHandle<()>>>,
+}
+
+#[derive(Debug)]
+struct PoolShared {
+    state: Mutex<PoolState>,
+    /// Workers wait here for jobs (or for a resume/drain signal).
+    takeable: std::sync::Condvar,
+    /// `drain` waits here for the queue to empty and workers to go idle.
+    drained: std::sync::Condvar,
+    queue_depth: usize,
+}
+
+#[derive(Default)]
+struct PoolState {
+    queue: std::collections::VecDeque<Box<dyn FnOnce() + Send>>,
+    paused: bool,
+    stopping: bool,
+    /// Jobs currently executing on a worker.
+    active: usize,
+    /// High-water mark of queued-plus-active jobs.
+    peak_depth: u64,
+    /// Total jobs accepted over the pool's lifetime.
+    scheduled: u64,
+}
+
+impl std::fmt::Debug for PoolState {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PoolState")
+            .field("queued", &self.queue.len())
+            .field("paused", &self.paused)
+            .field("stopping", &self.stopping)
+            .field("active", &self.active)
+            .field("peak_depth", &self.peak_depth)
+            .field("scheduled", &self.scheduled)
+            .finish()
+    }
+}
+
+impl ServicePool {
+    /// Starts `runner.threads()` workers servicing a queue bounded at
+    /// `queue_depth` jobs (clamped to at least 1). With `paused` the
+    /// workers idle until [`ServicePool::resume`]; submissions still queue.
+    pub fn start(runner: SweepRunner, queue_depth: usize, paused: bool) -> Self {
+        let inner = std::sync::Arc::new(PoolShared {
+            state: Mutex::new(PoolState { paused, ..PoolState::default() }),
+            takeable: std::sync::Condvar::new(),
+            drained: std::sync::Condvar::new(),
+            queue_depth: queue_depth.max(1),
+        });
+        let workers = (0..runner.threads())
+            .map(|_| {
+                let shared = std::sync::Arc::clone(&inner);
+                std::thread::spawn(move || worker_loop(&shared))
+            })
+            .collect();
+        ServicePool { inner, workers: Mutex::new(workers) }
+    }
+
+    /// Queues one job, or reports why it cannot be accepted. Never blocks.
+    pub fn try_submit(&self, job: Box<dyn FnOnce() + Send>) -> Result<(), SubmitError> {
+        let mut st = self.inner.state.lock().expect("service pool poisoned");
+        if st.stopping {
+            return Err(SubmitError::ShuttingDown);
+        }
+        if st.queue.len() >= self.inner.queue_depth {
+            return Err(SubmitError::QueueFull { queue_depth: self.inner.queue_depth });
+        }
+        st.queue.push_back(job);
+        st.scheduled += 1;
+        st.peak_depth = st.peak_depth.max((st.queue.len() + st.active) as u64);
+        drop(st);
+        self.inner.takeable.notify_one();
+        Ok(())
+    }
+
+    /// Holds workers idle after their current job; queued jobs stay queued.
+    pub fn pause(&self) {
+        self.inner.state.lock().expect("service pool poisoned").paused = true;
+    }
+
+    /// Releases paused workers.
+    pub fn resume(&self) {
+        self.inner.state.lock().expect("service pool poisoned").paused = false;
+        self.inner.takeable.notify_all();
+    }
+
+    /// `(queued + active, peak, scheduled)` — the admission gauges the
+    /// server exports as `serve.queue_depth` and `serve.scheduled`.
+    pub fn depth(&self) -> (u64, u64, u64) {
+        let st = self.inner.state.lock().expect("service pool poisoned");
+        ((st.queue.len() + st.active) as u64, st.peak_depth, st.scheduled)
+    }
+
+    /// Graceful drain: stops admissions, runs every queued job to
+    /// completion (resuming paused workers), then joins the workers.
+    pub fn drain(&self) {
+        {
+            let mut st = self.inner.state.lock().expect("service pool poisoned");
+            st.stopping = true;
+            st.paused = false;
+        }
+        self.inner.takeable.notify_all();
+        let mut st = self.inner.state.lock().expect("service pool poisoned");
+        while !st.queue.is_empty() || st.active > 0 {
+            st = self.inner.drained.wait(st).expect("service pool poisoned");
+        }
+        drop(st);
+        for w in self.workers.lock().expect("service pool poisoned").drain(..) {
+            w.join().expect("service pool worker panicked");
+        }
+    }
+}
+
+fn worker_loop(shared: &PoolShared) {
+    loop {
+        let job = {
+            let mut st = shared.state.lock().expect("service pool poisoned");
+            loop {
+                if !st.paused {
+                    if let Some(job) = st.queue.pop_front() {
+                        st.active += 1;
+                        break job;
+                    }
+                    if st.stopping {
+                        return;
+                    }
+                } else if st.stopping {
+                    // Drain resumes before stopping; a paused stop still
+                    // exits once the queue has been run down.
+                    st.paused = false;
+                    continue;
+                }
+                st = shared.takeable.wait(st).expect("service pool poisoned");
+            }
+        };
+        job();
+        let mut st = shared.state.lock().expect("service pool poisoned");
+        st.active -= 1;
+        if st.queue.is_empty() && st.active == 0 {
+            shared.drained.notify_all();
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -254,6 +434,47 @@ mod tests {
             SweepRunner::serial().run_jobs(mk()),
             SweepRunner::with_threads(4).run_jobs(mk())
         );
+    }
+
+    #[test]
+    fn service_pool_runs_jobs_and_drains() {
+        use std::sync::atomic::AtomicU64;
+        // Bound >= submission count: workers may drain slower than this
+        // loop submits, and every job must be accepted for the sum check.
+        let pool = ServicePool::start(SweepRunner::with_threads(4), 100, false);
+        let sum = std::sync::Arc::new(AtomicU64::new(0));
+        for i in 1..=100u64 {
+            let sum = std::sync::Arc::clone(&sum);
+            pool.try_submit(Box::new(move || {
+                sum.fetch_add(i, Ordering::Relaxed);
+            }))
+            .expect("queue has room");
+        }
+        pool.drain();
+        assert_eq!(sum.load(Ordering::Relaxed), 5050);
+        let (_, peak, scheduled) = pool.depth();
+        assert_eq!(scheduled, 100);
+        assert!(peak >= 1);
+    }
+
+    #[test]
+    fn service_pool_sheds_at_the_queue_bound_and_recovers() {
+        // Paused workers: submissions queue but never start, so the bound
+        // is hit deterministically.
+        let pool = ServicePool::start(SweepRunner::with_threads(2), 2, true);
+        pool.try_submit(Box::new(|| {})).unwrap();
+        pool.try_submit(Box::new(|| {})).unwrap();
+        assert_eq!(
+            pool.try_submit(Box::new(|| {})),
+            Err(SubmitError::QueueFull { queue_depth: 2 })
+        );
+        let (depth, peak, _) = pool.depth();
+        assert_eq!(depth, 2);
+        assert_eq!(peak, 2);
+        // Drain resumes the paused workers, runs the queue down, and the
+        // pool then refuses new work as shutting down.
+        pool.drain();
+        assert_eq!(pool.try_submit(Box::new(|| {})), Err(SubmitError::ShuttingDown));
     }
 
     #[test]

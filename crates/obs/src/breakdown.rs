@@ -51,6 +51,45 @@ fn bucket_bounds(k: usize) -> (f64, f64) {
     }
 }
 
+/// Estimated `p`-quantile (`0 < p <= 1`) of a log2-bucketed histogram laid
+/// out like [`PhaseSums::hist`] (bucket 0 holds value 0, bucket `k` holds
+/// `[2^(k-1), 2^k)`), linearly interpolated inside the matched bucket's
+/// value range. Exact whenever the matched bucket is single-valued (values
+/// 0 and 1); otherwise the error is bounded by the bucket width. Returns
+/// `None` for an empty histogram or `p` outside `(0, 1]`.
+///
+/// Shared by the per-phase latency breakdown and the serving layer's
+/// service-time reporting, so every p50/p95/p99 in the workspace means the
+/// same thing.
+pub fn log2_percentile(hist: &[u64], p: f64) -> Option<f64> {
+    let count: u64 = hist.iter().sum();
+    if count == 0 || !(p > 0.0 && p <= 1.0) {
+        return None;
+    }
+    let target = p * count as f64;
+    let mut cum = 0.0;
+    for (k, &c) in hist.iter().enumerate() {
+        if c == 0 {
+            continue;
+        }
+        if cum + c as f64 >= target {
+            let (lo, hi) = bucket_bounds(k);
+            let frac = (target - cum) / c as f64;
+            return Some(lo + frac * (hi - lo));
+        }
+        cum += c as f64;
+    }
+    // Float accumulation fell a hair short: clamp to the top bucket.
+    let last = hist.iter().rposition(|&c| c > 0)?;
+    Some(bucket_bounds(last).1)
+}
+
+/// Log2 bucket index for one recorded value, matching the
+/// [`log2_percentile`] layout, clamped into `buckets`-wide histograms.
+pub fn log2_bucket(value: u64, buckets: usize) -> usize {
+    ((u64::BITS - value.leading_zeros()) as usize).min(buckets - 1)
+}
+
 impl PhaseSums {
     fn record(&mut self, phases: [u64; 5], latency: u64) {
         self.count += 1;
@@ -58,35 +97,13 @@ impl PhaseSums {
         for (acc, p) in self.phases.iter_mut().zip(phases) {
             *acc += p;
         }
-        let bucket = (u64::BITS - latency.leading_zeros()) as usize;
-        self.hist[bucket.min(HIST_BUCKETS - 1)] += 1;
+        self.hist[log2_bucket(latency, HIST_BUCKETS)] += 1;
     }
 
     /// Estimated `p`-quantile latency (`0 < p <= 1`) from the log2
-    /// histogram, linearly interpolated inside the matched bucket's value
-    /// range. Exact whenever the matched bucket is single-valued (latencies
-    /// 0 and 1); otherwise the error is bounded by the bucket width.
-    /// Returns `None` for an empty histogram or `p` outside `(0, 1]`.
+    /// histogram — see [`log2_percentile`] for the interpolation contract.
     pub fn percentile(&self, p: f64) -> Option<f64> {
-        if self.count == 0 || !(p > 0.0 && p <= 1.0) {
-            return None;
-        }
-        let target = p * self.count as f64;
-        let mut cum = 0.0;
-        for (k, &c) in self.hist.iter().enumerate() {
-            if c == 0 {
-                continue;
-            }
-            if cum + c as f64 >= target {
-                let (lo, hi) = bucket_bounds(k);
-                let frac = (target - cum) / c as f64;
-                return Some(lo + frac * (hi - lo));
-            }
-            cum += c as f64;
-        }
-        // Float accumulation fell a hair short: clamp to the top bucket.
-        let last = self.hist.iter().rposition(|&c| c > 0)?;
-        Some(bucket_bounds(last).1)
+        log2_percentile(&self.hist, p)
     }
 }
 

@@ -34,7 +34,9 @@ use dresar_stats::ReadClass;
 use dresar_types::msg::Message;
 use dresar_types::{BlockAddr, Cycle, JsonValue, NodeId, ToJson};
 
-pub use breakdown::{LatencyBreakdown, LatencyRecorder, PhaseSums, PHASES};
+pub use breakdown::{
+    log2_bucket, log2_percentile, LatencyBreakdown, LatencyRecorder, PhaseSums, PHASES,
+};
 pub use hostprof::{HostProfile, HostProfiler, PhaseTiming, RunTiming};
 pub use metrics::{MetricDelta, MetricValue, MetricsRegistry};
 pub use sampler::{Sampler, TimeSeries, WindowSample};

@@ -1,0 +1,93 @@
+//! `dresar_client` — load generator and admin client for `dresar-serve`.
+//!
+//! ```text
+//! dresar_client [--addr HOST:PORT] [--requests N] [--concurrency N] [--json]
+//! dresar_client [--addr HOST:PORT] --shutdown
+//! ```
+//!
+//! Drives the default request mix (distinct + repeated specs, so the run
+//! exercises executions, cache hits and coalescing together) and prints the
+//! per-status counts plus p50/p95/p99 service times. `--json` emits the
+//! machine-readable report document on stdout; `--shutdown` instead asks
+//! the server to drain and exit.
+
+use dresar_server::client::{default_mix, http_request, run_load, LoadOptions};
+use dresar_types::ToJson;
+
+fn main() {
+    let mut addr = "127.0.0.1:8757".to_string();
+    let mut opts = LoadOptions::default();
+    let mut json = false;
+    let mut shutdown = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut take = |name: &str| {
+            args.next().unwrap_or_else(|| {
+                eprintln!("error: {name} needs a value");
+                std::process::exit(2);
+            })
+        };
+        match arg.as_str() {
+            "--addr" => addr = take("--addr"),
+            "--requests" => opts.total = parse_num(&take("--requests"), "--requests"),
+            "--concurrency" => {
+                opts.concurrency = parse_num(&take("--concurrency"), "--concurrency")
+            }
+            "--json" => json = true,
+            "--shutdown" => shutdown = true,
+            "--help" | "-h" => {
+                println!(
+                    "usage: dresar_client [--addr HOST:PORT] [--requests N] [--concurrency N] \
+                     [--json] | --shutdown"
+                );
+                return;
+            }
+            other => {
+                eprintln!("error: unknown flag '{other}' (try --help)");
+                std::process::exit(2);
+            }
+        }
+    }
+    if shutdown {
+        match http_request(&addr, "POST", "/shutdown", "") {
+            Ok(resp) => eprintln!("shutdown requested: HTTP {}", resp.status),
+            Err(e) => {
+                eprintln!("error: shutdown request to {addr} failed: {e}");
+                std::process::exit(1);
+            }
+        }
+        return;
+    }
+    let report = run_load(&addr, &default_mix(), &opts);
+    if json {
+        let doc = dresar_bench::json_doc("dresar-client")
+            .field("addr", addr.as_str())
+            .field("report", report.to_json())
+            .build();
+        println!("{}", doc.dump());
+    } else {
+        eprintln!(
+            "{} requests ({} transport errors) against {addr}",
+            report.total, report.transport_errors
+        );
+        for (status, count) in &report.by_status {
+            eprintln!("  HTTP {status}: {count}");
+        }
+        for p in [50.0, 95.0, 99.0] {
+            match report.percentile_us(p) {
+                Some(us) => eprintln!("  p{p:.0}: {us:.0} us"),
+                None => eprintln!("  p{p:.0}: n/a"),
+            }
+        }
+    }
+    if report.transport_errors > 0 {
+        std::process::exit(1);
+    }
+}
+
+fn parse_num(value: &str, flag: &str) -> usize {
+    value.parse().unwrap_or_else(|_| {
+        eprintln!("error: {flag} wants a non-negative integer, got '{value}'");
+        std::process::exit(2);
+    })
+}

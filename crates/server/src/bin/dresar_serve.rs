@@ -1,0 +1,60 @@
+//! `dresar_serve` — run the DReSAR simulation service.
+//!
+//! ```text
+//! dresar_serve [--addr HOST:PORT] [--queue-depth N] [--workers N] [--cache N]
+//! ```
+//!
+//! Serves until a client sends `POST /shutdown`, then drains queued
+//! executions and exits. Defaults: addr 127.0.0.1:8757, queue depth 64,
+//! workers sized from `DRESAR_SWEEP_THREADS` (else one per core), cache of
+//! 128 results.
+
+use dresar_server::serve::{Server, ServerConfig};
+
+fn main() {
+    let mut addr = "127.0.0.1:8757".to_string();
+    let mut cfg = ServerConfig::default();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut take = |name: &str| {
+            args.next().unwrap_or_else(|| {
+                eprintln!("error: {name} needs a value");
+                std::process::exit(2);
+            })
+        };
+        match arg.as_str() {
+            "--addr" => addr = take("--addr"),
+            "--queue-depth" => cfg.queue_depth = parse_num(&take("--queue-depth"), "--queue-depth"),
+            "--workers" => cfg.workers = parse_num(&take("--workers"), "--workers"),
+            "--cache" => cfg.cache_entries = parse_num(&take("--cache"), "--cache"),
+            "--help" | "-h" => {
+                println!(
+                    "usage: dresar_serve [--addr HOST:PORT] [--queue-depth N] [--workers N] \
+                     [--cache N]"
+                );
+                return;
+            }
+            other => {
+                eprintln!("error: unknown flag '{other}' (try --help)");
+                std::process::exit(2);
+            }
+        }
+    }
+    let server = match Server::start(&addr, cfg) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("error: cannot bind {addr}: {e}");
+            std::process::exit(1);
+        }
+    };
+    eprintln!("dresar-serve listening on {} (POST /shutdown to stop)", server.local_addr());
+    server.join();
+    eprintln!("dresar-serve drained and stopped");
+}
+
+fn parse_num(value: &str, flag: &str) -> usize {
+    value.parse().unwrap_or_else(|_| {
+        eprintln!("error: {flag} wants a non-negative integer, got '{value}'");
+        std::process::exit(2);
+    })
+}

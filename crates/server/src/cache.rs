@@ -1,0 +1,147 @@
+//! Bounded, content-addressed result cache.
+//!
+//! Keys are [`dresar_types::RunSpec`] digests; values are complete,
+//! already-serialized response bodies behind `Arc` (so one cached body is
+//! shared by every concurrent response writing it out). Determinism makes
+//! the cache *sound*, not merely probably-fine: the simulator guarantees
+//! equal specs produce byte-identical reports, so a hit is
+//! indistinguishable from a re-run and never needs invalidation.
+//!
+//! Eviction is least-recently-used, tracked with a monotone use-stamp per
+//! entry. The victim scan is linear in the entry count, which is the right
+//! trade at serving cache sizes (the paper's whole Figures 8–11 lattice is
+//! seven workloads x five configurations): no linked-list bookkeeping on
+//! the hit path, and the map stays a plain deterministic [`FastMap`].
+
+use dresar_types::FastMap;
+use std::sync::Arc;
+
+/// A bounded LRU map from run digest to served body.
+#[derive(Debug)]
+pub struct ResultCache {
+    entries: FastMap<u64, CacheEntry>,
+    capacity: usize,
+    clock: u64,
+    hits: u64,
+    misses: u64,
+    evictions: u64,
+}
+
+#[derive(Debug)]
+struct CacheEntry {
+    body: Arc<String>,
+    last_used: u64,
+}
+
+impl ResultCache {
+    /// A cache holding at most `capacity` results (clamped to at least 1).
+    pub fn new(capacity: usize) -> Self {
+        ResultCache {
+            entries: FastMap::default(),
+            capacity: capacity.max(1),
+            clock: 0,
+            hits: 0,
+            misses: 0,
+            evictions: 0,
+        }
+    }
+
+    /// Looks a digest up, refreshing its recency on a hit.
+    pub fn get(&mut self, digest: u64) -> Option<Arc<String>> {
+        self.clock += 1;
+        let clock = self.clock;
+        match self.entries.get_mut(&digest) {
+            Some(e) => {
+                e.last_used = clock;
+                self.hits += 1;
+                Some(Arc::clone(&e.body))
+            }
+            None => {
+                self.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Inserts a freshly computed body, evicting the least-recently-used
+    /// entry if the cache is full.
+    pub fn insert(&mut self, digest: u64, body: Arc<String>) {
+        self.clock += 1;
+        if self.entries.len() >= self.capacity && !self.entries.contains_key(&digest) {
+            if let Some(&victim) =
+                self.entries.iter().min_by_key(|(_, e)| e.last_used).map(|(k, _)| k)
+            {
+                self.entries.remove(&victim);
+                self.evictions += 1;
+            }
+        }
+        self.entries.insert(digest, CacheEntry { body, last_used: self.clock });
+    }
+
+    /// Number of cached results.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// `(hits, misses, evictions)` counters since construction.
+    pub fn stats(&self) -> (u64, u64, u64) {
+        (self.hits, self.misses, self.evictions)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn body(s: &str) -> Arc<String> {
+        Arc::new(s.to_string())
+    }
+
+    #[test]
+    fn hit_returns_the_inserted_body() {
+        let mut c = ResultCache::new(4);
+        assert!(c.get(1).is_none());
+        c.insert(1, body("one"));
+        assert_eq!(c.get(1).unwrap().as_str(), "one");
+        assert_eq!(c.stats(), (1, 1, 0));
+    }
+
+    #[test]
+    fn eviction_removes_the_least_recently_used() {
+        let mut c = ResultCache::new(2);
+        c.insert(1, body("a"));
+        c.insert(2, body("b"));
+        assert!(c.get(1).is_some()); // 1 is now more recent than 2
+        c.insert(3, body("c")); // evicts 2
+        assert_eq!(c.len(), 2);
+        assert!(c.get(2).is_none(), "LRU entry 2 must be the victim");
+        assert!(c.get(1).is_some());
+        assert!(c.get(3).is_some());
+        assert_eq!(c.stats().2, 1);
+    }
+
+    #[test]
+    fn reinserting_an_existing_digest_does_not_evict() {
+        let mut c = ResultCache::new(2);
+        c.insert(1, body("a"));
+        c.insert(2, body("b"));
+        c.insert(1, body("a2"));
+        assert_eq!(c.len(), 2);
+        assert_eq!(c.get(1).unwrap().as_str(), "a2");
+        assert!(c.get(2).is_some());
+        assert_eq!(c.stats().2, 0);
+    }
+
+    #[test]
+    fn zero_capacity_clamps_to_one() {
+        let mut c = ResultCache::new(0);
+        c.insert(1, body("a"));
+        c.insert(2, body("b"));
+        assert_eq!(c.len(), 1);
+    }
+}

@@ -1,0 +1,210 @@
+//! Minimal HTTP client + load generator for `dresar-serve`.
+//!
+//! The client speaks the same one-request-per-connection HTTP/1.1 subset
+//! the server does: it writes one request, half-closes, and reads to EOF
+//! (sound because every server response carries `Connection: close`). The
+//! load generator drives a fixed request mix from a configurable number of
+//! concurrent connections and reports per-status counts plus service-time
+//! percentiles from the workspace's log2 histogram
+//! ([`dresar_obs::log2_percentile`]), the same estimator the latency
+//! breakdowns use.
+
+use dresar_obs::{log2_bucket, log2_percentile};
+use dresar_types::{JsonValue, ToJson};
+use std::collections::BTreeMap;
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+/// Buckets in the client-side latency histogram (microseconds).
+const CLIENT_HIST_BUCKETS: usize = 40;
+
+/// One parsed response.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HttpResponse {
+    /// HTTP status code.
+    pub status: u16,
+    /// Response body (the server always sends JSON).
+    pub body: String,
+}
+
+/// Issues one HTTP request to `addr` and reads the full response.
+pub fn http_request(
+    addr: &str,
+    method: &str,
+    path: &str,
+    body: &str,
+) -> std::io::Result<HttpResponse> {
+    let mut stream = TcpStream::connect(addr)?;
+    let head = format!(
+        "{method} {path} HTTP/1.1\r\nHost: {addr}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        body.len()
+    );
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(body.as_bytes())?;
+    stream.flush()?;
+    stream.shutdown(std::net::Shutdown::Write)?;
+    let mut raw = Vec::new();
+    stream.read_to_end(&mut raw)?;
+    parse_response(&raw)
+}
+
+fn parse_response(raw: &[u8]) -> std::io::Result<HttpResponse> {
+    let bad = |msg: &str| std::io::Error::new(std::io::ErrorKind::InvalidData, msg.to_string());
+    let head_end = raw
+        .windows(4)
+        .position(|w| w == b"\r\n\r\n")
+        .ok_or_else(|| bad("response has no header terminator"))?;
+    let head =
+        std::str::from_utf8(&raw[..head_end]).map_err(|_| bad("response head is not UTF-8"))?;
+    let status_line = head.split("\r\n").next().unwrap_or("");
+    let status = status_line
+        .split_ascii_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse::<u16>().ok())
+        .ok_or_else(|| bad("malformed status line"))?;
+    let body = String::from_utf8(raw[head_end + 4..].to_vec())
+        .map_err(|_| bad("response body is not UTF-8"))?;
+    Ok(HttpResponse { status, body })
+}
+
+/// Posts one run-spec body to `/run`.
+pub fn post_run(addr: &str, spec_json: &str) -> std::io::Result<HttpResponse> {
+    http_request(addr, "POST", "/run", spec_json)
+}
+
+/// The default load mix: a handful of distinct tiny-scale specs (several
+/// workloads, two SD sizes) plus a repeated one, so a run exercises cache
+/// hits, coalescing and distinct executions all at once.
+pub fn default_mix() -> Vec<String> {
+    vec![
+        r#"{"workload":"FFT","scale":"tiny","nodes":16,"sd_entries":1024,"seed":7}"#.to_string(),
+        r#"{"workload":"FFT","scale":"tiny","nodes":16,"sd_entries":1024,"seed":7}"#.to_string(),
+        r#"{"workload":"TC","scale":"tiny","nodes":16,"sd_entries":1024,"seed":7}"#.to_string(),
+        r#"{"workload":"SOR","scale":"tiny","nodes":16,"sd_entries":256,"seed":7}"#.to_string(),
+        r#"{"workload":"TPC-C","scale":"tiny","nodes":16,"sd_entries":1024,"seed":7}"#.to_string(),
+    ]
+}
+
+/// Load-generation parameters.
+#[derive(Debug, Clone)]
+pub struct LoadOptions {
+    /// Total requests to issue.
+    pub total: usize,
+    /// Concurrent client connections.
+    pub concurrency: usize,
+}
+
+impl Default for LoadOptions {
+    fn default() -> Self {
+        LoadOptions { total: 32, concurrency: 4 }
+    }
+}
+
+/// Aggregate result of one load run.
+#[derive(Debug, Clone, Default)]
+pub struct LoadReport {
+    /// Requests issued.
+    pub total: u64,
+    /// Transport-level failures (connect/read errors, not HTTP errors).
+    pub transport_errors: u64,
+    /// Completed responses per HTTP status code.
+    pub by_status: BTreeMap<u64, u64>,
+    /// Log2 histogram of request service times, microseconds.
+    pub service_us_hist: Vec<u64>,
+}
+
+impl LoadReport {
+    /// The `p`-th percentile (0..=100) service time in microseconds.
+    pub fn percentile_us(&self, p: f64) -> Option<f64> {
+        log2_percentile(&self.service_us_hist, p / 100.0)
+    }
+}
+
+impl ToJson for LoadReport {
+    fn to_json(&self) -> JsonValue {
+        JsonValue::obj()
+            .field("total", self.total)
+            .field("transport_errors", self.transport_errors)
+            .field("by_status", self.by_status.clone())
+            .field("p50_us", self.percentile_us(50.0))
+            .field("p95_us", self.percentile_us(95.0))
+            .field("p99_us", self.percentile_us(99.0))
+            .field("service_us_hist", self.service_us_hist.clone())
+            .build()
+    }
+}
+
+/// Drives `opts.total` requests (round-robin over `mix`) from
+/// `opts.concurrency` threads and aggregates statuses and latencies.
+pub fn run_load(addr: &str, mix: &[String], opts: &LoadOptions) -> LoadReport {
+    let report = Arc::new(Mutex::new(LoadReport {
+        service_us_hist: vec![0; CLIENT_HIST_BUCKETS],
+        ..LoadReport::default()
+    }));
+    let mix: Arc<Vec<String>> = Arc::new(mix.to_vec());
+    let addr = addr.to_string();
+    let workers = opts.concurrency.max(1);
+    let handles: Vec<_> = (0..workers)
+        .map(|w| {
+            let report = Arc::clone(&report);
+            let mix = Arc::clone(&mix);
+            let addr = addr.clone();
+            let total = opts.total;
+            std::thread::spawn(move || {
+                let mut i = w;
+                while i < total {
+                    let spec = &mix[i % mix.len()];
+                    let t0 = Instant::now();
+                    let outcome = post_run(&addr, spec);
+                    let us = t0.elapsed().as_micros().min(u128::from(u64::MAX)) as u64;
+                    let mut r = report.lock().expect("load report poisoned");
+                    r.total += 1;
+                    match outcome {
+                        Ok(resp) => {
+                            *r.by_status.entry(u64::from(resp.status)).or_insert(0) += 1;
+                            r.service_us_hist[log2_bucket(us, CLIENT_HIST_BUCKETS)] += 1;
+                        }
+                        Err(_) => r.transport_errors += 1,
+                    }
+                    drop(r);
+                    i += workers;
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().expect("load worker panicked");
+    }
+    Arc::try_unwrap(report).expect("workers joined").into_inner().expect("load report poisoned")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn response_parsing_splits_status_and_body() {
+        let raw = b"HTTP/1.1 429 Too Many Requests\r\nContent-Length: 2\r\n\r\n{}";
+        let resp = parse_response(raw).unwrap();
+        assert_eq!(resp.status, 429);
+        assert_eq!(resp.body, "{}");
+    }
+
+    #[test]
+    fn malformed_responses_are_io_errors() {
+        assert!(parse_response(b"no terminator").is_err());
+        assert!(parse_response(b"HTTP/1.1 nope\r\n\r\n").is_err());
+    }
+
+    #[test]
+    fn load_report_percentiles_come_from_the_hist() {
+        let mut r = LoadReport { service_us_hist: vec![0; 8], ..LoadReport::default() };
+        r.service_us_hist[3] = 10; // [4, 8) us
+        let p50 = r.percentile_us(50.0).unwrap();
+        assert!((4.0..8.0).contains(&p50), "p50 {p50} outside bucket bounds");
+        let json = r.to_json();
+        assert!(json.get("p99_us").is_some());
+    }
+}

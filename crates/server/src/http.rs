@@ -1,0 +1,214 @@
+//! Hand-rolled HTTP/1.1 framing over `std::net` streams.
+//!
+//! The service speaks the smallest useful subset of HTTP/1.1: one request
+//! per connection (`Connection: close` on every response), `Content-Length`
+//! bodies only, JSON in both directions. Matching the workspace's
+//! hand-rolled JSON layer, this keeps the server dependency-free and the
+//! framing fully auditable; load generators, `curl` and browsers all speak
+//! it.
+//!
+//! Malformed framing never drops a connection silently: every parse
+//! failure maps to a [`ServeError`] the caller serves as a structured JSON
+//! error document, including the truncated-body case (a client that
+//! promises `Content-Length: n` and closes early gets a `truncated_body`
+//! error, not a hang — reads are capped by [`READ_TIMEOUT`]).
+
+use crate::error::ServeError;
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+/// Maximum accepted header block, bytes.
+pub const MAX_HEAD_BYTES: usize = 16 * 1024;
+/// Maximum accepted request body, bytes.
+pub const MAX_BODY_BYTES: usize = 256 * 1024;
+/// Socket read timeout: bounds how long a stalled client can hold a
+/// connection thread while the server waits for promised bytes.
+pub const READ_TIMEOUT: Duration = Duration::from_secs(10);
+
+/// One parsed request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Request {
+    /// Request method (`GET`, `POST`, ...), uppercased by the client.
+    pub method: String,
+    /// Request path including any query string, e.g. `/run`.
+    pub path: String,
+    /// Decoded body (empty when the request carried none).
+    pub body: String,
+}
+
+/// Reads and parses one HTTP/1.1 request from the stream.
+pub fn read_request(stream: &mut TcpStream) -> Result<Request, ServeError> {
+    stream.set_read_timeout(Some(READ_TIMEOUT)).ok();
+    let mut buf: Vec<u8> = Vec::with_capacity(1024);
+    let head_end = loop {
+        if let Some(pos) = find_head_end(&buf) {
+            break pos;
+        }
+        if buf.len() > MAX_HEAD_BYTES {
+            return Err(ServeError::BadRequest(format!(
+                "header block exceeds {MAX_HEAD_BYTES} bytes"
+            )));
+        }
+        let mut chunk = [0u8; 4096];
+        let n = stream
+            .read(&mut chunk)
+            .map_err(|e| ServeError::BadRequest(format!("read failed: {e}")))?;
+        if n == 0 {
+            if buf.is_empty() {
+                return Err(ServeError::BadRequest("empty request".into()));
+            }
+            return Err(ServeError::BadRequest("connection closed mid-header".into()));
+        }
+        buf.extend_from_slice(&chunk[..n]);
+    };
+    let head = std::str::from_utf8(&buf[..head_end])
+        .map_err(|_| ServeError::BadRequest("header block is not UTF-8".into()))?;
+    let mut lines = head.split("\r\n");
+    let request_line = lines.next().unwrap_or("");
+    let mut parts = request_line.split_ascii_whitespace();
+    let (method, path, version) = match (parts.next(), parts.next(), parts.next()) {
+        (Some(m), Some(p), Some(v)) => (m.to_string(), p.to_string(), v),
+        _ => {
+            return Err(ServeError::BadRequest(format!("malformed request line '{request_line}'")))
+        }
+    };
+    if !version.starts_with("HTTP/1.") {
+        return Err(ServeError::BadRequest(format!("unsupported protocol '{version}'")));
+    }
+    let mut content_length = 0usize;
+    for line in lines {
+        if let Some((name, value)) = line.split_once(':') {
+            if name.eq_ignore_ascii_case("content-length") {
+                content_length = value.trim().parse().map_err(|_| {
+                    ServeError::BadRequest(format!("bad Content-Length '{}'", value.trim()))
+                })?;
+            }
+        }
+    }
+    if content_length > MAX_BODY_BYTES {
+        return Err(ServeError::BodyTooLarge(MAX_BODY_BYTES));
+    }
+    let mut body = buf[head_end + 4..].to_vec();
+    while body.len() < content_length {
+        let mut chunk = [0u8; 4096];
+        let n = stream
+            .read(&mut chunk)
+            .map_err(|_| ServeError::TruncatedBody { expected: content_length, got: body.len() })?;
+        if n == 0 {
+            return Err(ServeError::TruncatedBody { expected: content_length, got: body.len() });
+        }
+        body.extend_from_slice(&chunk[..n]);
+    }
+    body.truncate(content_length);
+    let body = String::from_utf8(body)
+        .map_err(|_| ServeError::BadRequest("request body is not UTF-8".into()))?;
+    Ok(Request { method, path, body })
+}
+
+fn find_head_end(buf: &[u8]) -> Option<usize> {
+    buf.windows(4).position(|w| w == b"\r\n\r\n")
+}
+
+/// Writes one JSON response and flushes. Every response closes the
+/// connection (`Connection: close`), which is also what makes the client's
+/// read-to-EOF framing sound.
+pub fn write_response(stream: &mut TcpStream, status: u16, body: &str) -> std::io::Result<()> {
+    let head = format!(
+        "HTTP/1.1 {status} {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        reason(status),
+        body.len()
+    );
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(body.as_bytes())?;
+    stream.flush()
+}
+
+/// Canonical reason phrases for the statuses the server emits.
+pub fn reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        413 => "Payload Too Large",
+        429 => "Too Many Requests",
+        500 => "Internal Server Error",
+        503 => "Service Unavailable",
+        _ => "Unknown",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::{TcpListener, TcpStream};
+
+    /// Runs the request parser against raw bytes pushed through a real
+    /// socket pair (half-closed after writing, like a misbehaving client).
+    fn parse_raw(raw: &[u8]) -> Result<Request, ServeError> {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let raw = raw.to_vec();
+        let writer = std::thread::spawn(move || {
+            let mut s = TcpStream::connect(addr).unwrap();
+            s.write_all(&raw).unwrap();
+            s.shutdown(std::net::Shutdown::Write).unwrap();
+            // Hold the socket open until the parser is done with it.
+            let mut sink = Vec::new();
+            let _ = s.read_to_end(&mut sink);
+        });
+        let (mut stream, _) = listener.accept().unwrap();
+        let out = read_request(&mut stream);
+        let _ = write_response(&mut stream, 200, "{}");
+        // Close our end so the writer's read-to-EOF returns before join.
+        drop(stream);
+        writer.join().unwrap();
+        out
+    }
+
+    #[test]
+    fn parses_a_post_with_body() {
+        let req = parse_raw(
+            b"POST /run HTTP/1.1\r\nHost: x\r\nContent-Length: 18\r\n\r\n{\"workload\":\"FFT\"}",
+        )
+        .unwrap();
+        assert_eq!(req.method, "POST");
+        assert_eq!(req.path, "/run");
+        assert_eq!(req.body, "{\"workload\":\"FFT\"}");
+    }
+
+    #[test]
+    fn parses_a_get_without_body() {
+        let req = parse_raw(b"GET /healthz HTTP/1.1\r\n\r\n").unwrap();
+        assert_eq!(req.method, "GET");
+        assert_eq!(req.path, "/healthz");
+        assert!(req.body.is_empty());
+    }
+
+    #[test]
+    fn truncated_body_is_a_distinct_error() {
+        let err =
+            parse_raw(b"POST /run HTTP/1.1\r\nContent-Length: 100\r\n\r\n{\"wor").unwrap_err();
+        assert_eq!(err.code(), "truncated_body");
+        assert_eq!(err, ServeError::TruncatedBody { expected: 100, got: 5 });
+    }
+
+    #[test]
+    fn malformed_framing_is_rejected_with_bad_request() {
+        assert_eq!(parse_raw(b"NONSENSE\r\n\r\n").unwrap_err().code(), "bad_request");
+        assert_eq!(parse_raw(b"GET / SPDY/9\r\n\r\n").unwrap_err().code(), "bad_request");
+        assert_eq!(
+            parse_raw(b"POST /run HTTP/1.1\r\nContent-Length: nope\r\n\r\n").unwrap_err().code(),
+            "bad_request"
+        );
+    }
+
+    #[test]
+    fn oversized_bodies_are_refused() {
+        let raw = format!("POST /run HTTP/1.1\r\nContent-Length: {}\r\n\r\n", MAX_BODY_BYTES + 1);
+        let err = parse_raw(raw.as_bytes()).unwrap_err();
+        assert_eq!(err.code(), "body_too_large");
+        assert_eq!(err.status(), 413);
+    }
+}

@@ -1,0 +1,438 @@
+//! The `dresar-serve` server: accept loop, request routing, and the three
+//! serving mechanisms — content-addressed caching, in-flight coalescing,
+//! and bounded admission.
+//!
+//! A `POST /run` request travels:
+//!
+//! 1. **Validate** — before touching any shared state; malformed requests
+//!    cost one parse, never a queue slot.
+//! 2. **Cache** — the spec's canonical digest indexes the bounded LRU
+//!    [`ResultCache`]. A hit serves the stored body; determinism makes it
+//!    byte-identical to a fresh run.
+//! 3. **Coalesce** — misses consult the in-flight table. If an execution
+//!    for the same digest is already queued or running, the request
+//!    *attaches* to it (one engine execution, N responses) instead of
+//!    re-running. The table entry is created before the job is submitted,
+//!    under the same lock admission runs under, so there is no window in
+//!    which two leaders can start for one digest.
+//! 4. **Admit** — new digests are submitted to the bounded
+//!    [`ServicePool`]. A full queue sheds the request with a structured
+//!    429 `overloaded` error — published to the in-flight entry too, so
+//!    any follower that attached in the same instant also gets the error
+//!    instead of waiting forever.
+//!
+//! `GET /metrics` exposes the serving counters (`serve.cache_hits`,
+//! `serve.coalesced`, `serve.shed`, `serve.queue_depth`, ...) as a
+//! [`MetricsRegistry`] document plus a host section (uptime, peak RSS) in
+//! the `hostprof` spirit: host numbers are informational and never
+//! deterministic. `GET /healthz` answers liveness; `POST /shutdown`
+//! triggers a graceful drain (stop admissions, finish queued work, join
+//! workers).
+
+use crate::cache::ResultCache;
+use crate::error::ServeError;
+use crate::http::{read_request, write_response, Request};
+use crate::run::{validate, ValidatedSpec};
+use dresar_bench::sweep::{ServicePool, SubmitError, SweepRunner};
+use dresar_obs::{hostprof, log2_bucket, MetricsRegistry};
+use dresar_types::{FastMap, FromJson, JsonValue, RunSpec, ToJson};
+use std::net::{TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+/// Number of log2 buckets in the service-time histogram (microseconds).
+const SERVICE_HIST_BUCKETS: usize = 40;
+
+/// How long a request waits for its (possibly coalesced) execution before
+/// reporting an internal timeout. Generous: tier-1 runs tiny workloads in
+/// debug builds.
+const RESULT_WAIT_TIMEOUT: Duration = Duration::from_secs(600);
+
+/// Server construction parameters.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Bounded admission queue depth; submissions beyond it are shed.
+    pub queue_depth: usize,
+    /// Engine worker threads; 0 sizes by [`SweepRunner::from_env`]
+    /// (`DRESAR_SWEEP_THREADS`, else one per core).
+    pub workers: usize,
+    /// Result-cache capacity in entries.
+    pub cache_entries: usize,
+    /// Start with the engine workers paused (requests queue and coalesce
+    /// but nothing executes until [`Server::resume_workers`]). Tests use
+    /// this to make concurrency assertions deterministic.
+    pub start_paused: bool,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig { queue_depth: 64, workers: 0, cache_entries: 128, start_paused: false }
+    }
+}
+
+/// One in-flight execution that any number of same-digest requests await.
+#[derive(Debug, Default)]
+struct InFlight {
+    result: Mutex<Option<Result<Arc<String>, ServeError>>>,
+    ready: Condvar,
+}
+
+impl InFlight {
+    fn publish(&self, result: Result<Arc<String>, ServeError>) {
+        *self.result.lock().expect("in-flight result poisoned") = Some(result);
+        self.ready.notify_all();
+    }
+
+    fn wait(&self) -> Result<Arc<String>, ServeError> {
+        let mut slot = self.result.lock().expect("in-flight result poisoned");
+        let deadline = Instant::now() + RESULT_WAIT_TIMEOUT;
+        while slot.is_none() {
+            let left = deadline.saturating_duration_since(Instant::now());
+            if left.is_zero() {
+                return Err(ServeError::Internal("timed out waiting for execution".into()));
+            }
+            let (guard, _) = self.ready.wait_timeout(slot, left).expect("in-flight poisoned");
+            slot = guard;
+        }
+        slot.as_ref().expect("checked above").clone()
+    }
+}
+
+/// Serving counters, all monotone and lock-free on the request path.
+#[derive(Debug)]
+struct ServeMetrics {
+    requests: AtomicU64,
+    run_requests: AtomicU64,
+    cache_hits: AtomicU64,
+    coalesced: AtomicU64,
+    shed: AtomicU64,
+    executions: AtomicU64,
+    errors: AtomicU64,
+    inflight_peak: AtomicU64,
+    service_us_hist: Mutex<[u64; SERVICE_HIST_BUCKETS]>,
+}
+
+impl Default for ServeMetrics {
+    fn default() -> Self {
+        ServeMetrics {
+            requests: AtomicU64::new(0),
+            run_requests: AtomicU64::new(0),
+            cache_hits: AtomicU64::new(0),
+            coalesced: AtomicU64::new(0),
+            shed: AtomicU64::new(0),
+            executions: AtomicU64::new(0),
+            errors: AtomicU64::new(0),
+            inflight_peak: AtomicU64::new(0),
+            service_us_hist: Mutex::new([0; SERVICE_HIST_BUCKETS]),
+        }
+    }
+}
+
+struct Shared {
+    pool: ServicePool,
+    cache: Mutex<ResultCache>,
+    inflight: Mutex<FastMap<u64, Arc<InFlight>>>,
+    metrics: ServeMetrics,
+    shutting_down: AtomicBool,
+    started: Instant,
+}
+
+/// A running `dresar-serve` instance. Construct with [`Server::start`];
+/// stop with [`Server::shutdown`] (graceful drain) or by `POST /shutdown`
+/// plus [`Server::join`].
+pub struct Server {
+    shared: Arc<Shared>,
+    addr: std::net::SocketAddr,
+    acceptor: Option<std::thread::JoinHandle<()>>,
+    conns: Arc<Mutex<Vec<std::thread::JoinHandle<()>>>>,
+}
+
+impl Server {
+    /// Binds `addr` (use port 0 for an ephemeral port) and starts serving.
+    pub fn start(addr: &str, cfg: ServerConfig) -> std::io::Result<Server> {
+        let listener = TcpListener::bind(addr)?;
+        let local = listener.local_addr()?;
+        // Nonblocking accept + short sleep: lets the acceptor observe the
+        // shutdown flag without platform-specific signal machinery.
+        listener.set_nonblocking(true)?;
+        let runner = if cfg.workers == 0 {
+            SweepRunner::from_env()
+        } else {
+            SweepRunner::with_threads(cfg.workers)
+        };
+        let shared = Arc::new(Shared {
+            pool: ServicePool::start(runner, cfg.queue_depth, cfg.start_paused),
+            cache: Mutex::new(ResultCache::new(cfg.cache_entries)),
+            inflight: Mutex::new(FastMap::default()),
+            metrics: ServeMetrics::default(),
+            shutting_down: AtomicBool::new(false),
+            started: Instant::now(),
+        });
+        let conns: Arc<Mutex<Vec<std::thread::JoinHandle<()>>>> = Arc::default();
+        let acceptor = {
+            let shared = Arc::clone(&shared);
+            let conns = Arc::clone(&conns);
+            std::thread::spawn(move || accept_loop(&listener, &shared, &conns))
+        };
+        Ok(Server { shared, addr: local, acceptor: Some(acceptor), conns })
+    }
+
+    /// The bound address (resolves ephemeral ports).
+    pub fn local_addr(&self) -> std::net::SocketAddr {
+        self.addr
+    }
+
+    /// Releases engine workers started paused (see
+    /// [`ServerConfig::start_paused`]).
+    pub fn resume_workers(&self) {
+        self.shared.pool.resume();
+    }
+
+    /// A point-in-time snapshot of the serving metrics (same registry the
+    /// `/metrics` endpoint serves).
+    pub fn metrics(&self) -> MetricsRegistry {
+        snapshot(&self.shared)
+    }
+
+    /// Graceful shutdown: stop accepting, drain queued executions, join
+    /// every thread. Idempotent with a prior `POST /shutdown`.
+    pub fn shutdown(mut self) {
+        self.shared.shutting_down.store(true, Ordering::SeqCst);
+        self.join_inner();
+    }
+
+    /// Blocks until the server shuts down (via [`Server::shutdown`] from
+    /// another handle is impossible — `self` is owned — so in practice:
+    /// until a client `POST /shutdown` arrives), then drains.
+    pub fn join(mut self) {
+        self.join_inner();
+    }
+
+    fn join_inner(&mut self) {
+        if let Some(a) = self.acceptor.take() {
+            a.join().expect("acceptor panicked");
+        }
+        // New connections are no longer accepted; finish the ones in
+        // flight (their queued executions run to completion in drain).
+        self.shared.pool.drain();
+        let handles: Vec<_> =
+            std::mem::take(&mut *self.conns.lock().expect("conn registry poisoned"));
+        for h in handles {
+            h.join().expect("connection handler panicked");
+        }
+    }
+}
+
+fn accept_loop(
+    listener: &TcpListener,
+    shared: &Arc<Shared>,
+    conns: &Arc<Mutex<Vec<std::thread::JoinHandle<()>>>>,
+) {
+    while !shared.shutting_down.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                let shared = Arc::clone(shared);
+                let handle = std::thread::spawn(move || handle_conn(stream, &shared));
+                let mut reg = conns.lock().expect("conn registry poisoned");
+                // Opportunistically reap finished handlers so the registry
+                // does not grow with total connections served.
+                reg.retain(|h| !h.is_finished());
+                reg.push(handle);
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(10));
+            }
+            Err(_) => std::thread::sleep(Duration::from_millis(10)),
+        }
+    }
+}
+
+fn handle_conn(mut stream: TcpStream, shared: &Arc<Shared>) {
+    shared.metrics.requests.fetch_add(1, Ordering::Relaxed);
+    let request = match read_request(&mut stream) {
+        Ok(r) => r,
+        Err(e) => {
+            shared.metrics.errors.fetch_add(1, Ordering::Relaxed);
+            let _ = write_response(&mut stream, e.status(), &e.body());
+            return;
+        }
+    };
+    let outcome = route(&request, shared);
+    match outcome {
+        Ok((status, body)) => {
+            let _ = write_response(&mut stream, status, &body);
+        }
+        Err(e) => {
+            shared.metrics.errors.fetch_add(1, Ordering::Relaxed);
+            let _ = write_response(&mut stream, e.status(), &e.body());
+        }
+    }
+}
+
+fn route(request: &Request, shared: &Arc<Shared>) -> Result<(u16, String), ServeError> {
+    match (request.method.as_str(), request.path.as_str()) {
+        ("GET", "/healthz") => Ok((200, healthz_body(shared))),
+        ("GET", "/metrics") => Ok((200, metrics_body(shared))),
+        ("POST", "/run") => {
+            if shared.shutting_down.load(Ordering::SeqCst) {
+                return Err(ServeError::ShuttingDown);
+            }
+            let t0 = Instant::now();
+            let out = serve_run(&request.body, shared);
+            record_service_time(shared, t0.elapsed());
+            out.map(|body| (200, body))
+        }
+        ("POST", "/shutdown") => {
+            shared.shutting_down.store(true, Ordering::SeqCst);
+            Ok((200, "{\"draining\":true}\n".to_string()))
+        }
+        ("GET" | "POST", _) => {
+            Err(ServeError::NotFound(format!("no route for '{}'", request.path)))
+        }
+        (m, _) => Err(ServeError::MethodNotAllowed(format!("method '{m}' not supported"))),
+    }
+}
+
+/// The `/run` pipeline: parse, validate, cache, coalesce, admit, wait.
+fn serve_run(body: &str, shared: &Arc<Shared>) -> Result<String, ServeError> {
+    shared.metrics.run_requests.fetch_add(1, Ordering::Relaxed);
+    let spec = parse_spec(body)?;
+    let validated = validate(&spec)?;
+    let digest = spec.digest();
+
+    if let Some(cached) = shared.cache.lock().expect("cache poisoned").get(digest) {
+        shared.metrics.cache_hits.fetch_add(1, Ordering::Relaxed);
+        return Ok((*cached).clone());
+    }
+
+    let flight = attach_or_lead(digest, validated, shared)?;
+    flight.wait().map(|arc| (*arc).clone())
+}
+
+/// Joins the in-flight execution for `digest`, creating and admitting it
+/// if this request is the first (the "leader"). Holding the in-flight lock
+/// across admission closes both races: two leaders for one digest, and a
+/// follower attaching to an entry that was shed between insert and submit.
+fn attach_or_lead(
+    digest: u64,
+    validated: ValidatedSpec,
+    shared: &Arc<Shared>,
+) -> Result<Arc<InFlight>, ServeError> {
+    let mut inflight = shared.inflight.lock().expect("in-flight table poisoned");
+    if let Some(existing) = inflight.get(&digest) {
+        shared.metrics.coalesced.fetch_add(1, Ordering::Relaxed);
+        return Ok(Arc::clone(existing));
+    }
+    let flight = Arc::new(InFlight::default());
+    inflight.insert(digest, Arc::clone(&flight));
+    let peak = inflight.len() as u64;
+    shared.metrics.inflight_peak.fetch_max(peak, Ordering::Relaxed);
+
+    let job = {
+        let shared = Arc::clone(shared);
+        let flight = Arc::clone(&flight);
+        Box::new(move || {
+            shared.metrics.executions.fetch_add(1, Ordering::Relaxed);
+            let result = validated.execute().map(Arc::new);
+            if let Ok(body) = &result {
+                shared.cache.lock().expect("cache poisoned").insert(digest, Arc::clone(body));
+            }
+            // Unregister before publishing: a request arriving after this
+            // point must hit the cache (or start a fresh run), never attach
+            // to a completed flight.
+            shared.inflight.lock().expect("in-flight table poisoned").remove(&digest);
+            flight.publish(result);
+        })
+    };
+    match shared.pool.try_submit(job) {
+        Ok(()) => Ok(flight),
+        Err(submit_err) => {
+            inflight.remove(&digest);
+            let err = match submit_err {
+                SubmitError::QueueFull { queue_depth } => ServeError::Overloaded { queue_depth },
+                SubmitError::ShuttingDown => ServeError::ShuttingDown,
+            };
+            shared.metrics.shed.fetch_add(1, Ordering::Relaxed);
+            // Any follower that attached before this lock was taken gets
+            // the same structured error instead of waiting forever.
+            flight.publish(Err(err.clone()));
+            Err(err)
+        }
+    }
+}
+
+fn parse_spec(body: &str) -> Result<RunSpec, ServeError> {
+    let json = JsonValue::parse(body)
+        .map_err(|e| ServeError::BadJson(format!("request body is not JSON: {e}")))?;
+    RunSpec::from_json(&json).map_err(|e| {
+        if e.msg.starts_with("unknown field") {
+            ServeError::UnknownField(e.msg)
+        } else {
+            ServeError::BadField(e.msg)
+        }
+    })
+}
+
+fn record_service_time(shared: &Shared, elapsed: Duration) {
+    let us = elapsed.as_micros().min(u128::from(u64::MAX)) as u64;
+    let mut hist = shared.metrics.service_us_hist.lock().expect("service hist poisoned");
+    hist[log2_bucket(us, SERVICE_HIST_BUCKETS)] += 1;
+}
+
+/// Assembles the serving registry: every admission/coalescing/cache
+/// counter plus the pool's queue gauges. Purely monotone counters and
+/// gauges — host wall-clock lives in the separate `host` section.
+fn snapshot(shared: &Shared) -> MetricsRegistry {
+    let m = &shared.metrics;
+    let mut reg = MetricsRegistry::new();
+    reg.counter("serve.requests", m.requests.load(Ordering::Relaxed));
+    reg.counter("serve.run_requests", m.run_requests.load(Ordering::Relaxed));
+    reg.counter("serve.cache_hits", m.cache_hits.load(Ordering::Relaxed));
+    reg.counter("serve.coalesced", m.coalesced.load(Ordering::Relaxed));
+    reg.counter("serve.shed", m.shed.load(Ordering::Relaxed));
+    reg.counter("serve.executions", m.executions.load(Ordering::Relaxed));
+    reg.counter("serve.errors", m.errors.load(Ordering::Relaxed));
+    {
+        let cache = shared.cache.lock().expect("cache poisoned");
+        let (hits, misses, evictions) = cache.stats();
+        reg.counter("serve.cache_lookup_hits", hits);
+        reg.counter("serve.cache_lookup_misses", misses);
+        reg.counter("serve.cache_evictions", evictions);
+        reg.gauge("serve.cache_entries", cache.len() as u64, cache.len() as u64);
+    }
+    let (depth, peak, scheduled) = shared.pool.depth();
+    reg.gauge("serve.queue_depth", depth, peak);
+    reg.counter("serve.scheduled", scheduled);
+    let inflight_now = shared.inflight.lock().expect("in-flight table poisoned").len() as u64;
+    reg.gauge("serve.inflight", inflight_now, m.inflight_peak.load(Ordering::Relaxed));
+    let hist = m.service_us_hist.lock().expect("service hist poisoned");
+    let last = hist.iter().rposition(|&c| c > 0).map_or(0, |i| i + 1);
+    reg.hist("serve.service_us_log2", hist[..last].to_vec());
+    reg
+}
+
+fn metrics_body(shared: &Shared) -> String {
+    let host = JsonValue::obj()
+        .field("uptime_seconds", shared.started.elapsed().as_secs_f64())
+        .field("peak_rss_bytes", hostprof::peak_rss_bytes())
+        .build();
+    let mut text = dresar_bench::json_doc("dresar-serve")
+        .field("metrics", snapshot(shared).to_json())
+        .field("host", host)
+        .build()
+        .dump();
+    text.push('\n');
+    text
+}
+
+fn healthz_body(shared: &Shared) -> String {
+    let mut text = JsonValue::obj()
+        .field("ok", true)
+        .field("tool", "dresar-serve")
+        .field("shutting_down", shared.shutting_down.load(Ordering::SeqCst))
+        .build()
+        .dump();
+    text.push('\n');
+    text
+}

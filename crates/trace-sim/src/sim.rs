@@ -53,6 +53,27 @@ impl TraceReport {
     }
 }
 
+impl dresar_types::ToJson for TraceReport {
+    /// Machine-readable document mirroring `ExecutionReport`'s shape where
+    /// the two overlap (workload/reads/dir/sd plus derived latencies), so
+    /// serving clients can treat either driver's response uniformly. The
+    /// per-block histogram is not serialized (same as `ExecutionReport`,
+    /// whose JSON form omits it).
+    fn to_json(&self) -> dresar_types::JsonValue {
+        dresar_types::JsonValue::obj()
+            .field("workload", self.workload.as_str())
+            .field("exec_cycles", self.exec_cycles)
+            .field("reads", self.reads.to_json())
+            .field("read_hits", self.read_hits)
+            .field("writes", self.writes)
+            .field("dir", self.dir.to_json())
+            .field("sd", self.sd.to_json())
+            .field("avg_read_latency", self.avg_read_latency())
+            .field("dirty_read_fraction", self.reads.dirty_fraction())
+            .build()
+    }
+}
+
 /// The trace-driven simulator.
 pub struct TraceSimulator {
     cfg: TraceSimConfig,

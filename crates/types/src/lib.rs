@@ -24,6 +24,8 @@
 //!   [`ToJson`]/[`FromJson`] traits behind the `--json` telemetry surface.
 //! * [`rng`] — the small seeded deterministic RNG the workload generators
 //!   and randomized tests draw from.
+//! * [`runspec`] — the canonical run-request struct ([`RunSpec`]) and its
+//!   stable FNV-1a content digest, the serving layer's cache key.
 
 #![warn(missing_docs)]
 
@@ -34,6 +36,7 @@ pub mod json;
 pub mod msg;
 pub mod refstream;
 pub mod rng;
+pub mod runspec;
 pub mod sharers;
 
 pub use addr::{Addr, BlockAddr, NodeId};
@@ -43,6 +46,7 @@ pub use json::{FromJson, JsonError, JsonValue, ObjBuilder, ToJson, SCHEMA_VERSIO
 pub use msg::{Message, MsgType};
 pub use refstream::{MemRef, RefKind, StreamItem, Workload};
 pub use rng::SmallRng;
+pub use runspec::RunSpec;
 pub use sharers::SharerSet;
 
 /// Simulation time, in cycles of the 200 MHz clock shared by the processor

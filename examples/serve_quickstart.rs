@@ -1,0 +1,60 @@
+//! Serving quickstart: boot an in-process `dresar-serve` instance, run a
+//! spec cold, run it again warm (cache hit, byte-identical), run it from
+//! four concurrent clients (coalesced into zero new executions once
+//! cached — so this uses a fresh spec to show coalescing), and read the
+//! serving metrics back.
+//!
+//! Run with: `cargo run --release --example serve_quickstart`
+
+use dresar_server::client::{http_request, post_run};
+use dresar_server::serve::{Server, ServerConfig};
+use dresar_types::JsonValue;
+
+fn main() {
+    let server =
+        Server::start("127.0.0.1:0", ServerConfig::default()).expect("bind an ephemeral port");
+    let addr = server.local_addr().to_string();
+    println!("dresar-serve listening on {addr}");
+
+    // Cold run: executes on the engine pool.
+    let spec = r#"{"workload":"FFT","scale":"tiny","nodes":16,"sd_entries":1024,"seed":7}"#;
+    let cold = post_run(&addr, spec).expect("cold request");
+    let digest = JsonValue::parse(&cold.body)
+        .ok()
+        .and_then(|d| d.get("digest").and_then(JsonValue::as_str).map(String::from))
+        .unwrap_or_default();
+    println!("cold run: HTTP {} ({} bytes, digest {digest})", cold.status, cold.body.len());
+
+    // Warm run: served from the content-addressed cache, byte-identical.
+    let warm = post_run(&addr, spec).expect("warm request");
+    println!("warm run: HTTP {} (byte-identical to cold: {})", warm.status, warm.body == cold.body);
+
+    // Concurrent identical requests for a spec nobody has run yet: they
+    // coalesce onto one engine execution.
+    let fresh = r#"{"workload":"TC","scale":"tiny","nodes":16,"sd_entries":1024,"seed":7}"#;
+    let clients: Vec<_> = (0..4)
+        .map(|_| {
+            let addr = addr.clone();
+            std::thread::spawn(move || post_run(&addr, fresh).expect("concurrent request"))
+        })
+        .collect();
+    for (i, c) in clients.into_iter().enumerate() {
+        let resp = c.join().expect("client thread");
+        println!("concurrent client {i}: HTTP {}", resp.status);
+    }
+
+    // A malformed request costs a structured error, never a queue slot.
+    let bad = post_run(&addr, r#"{"workload":"FFT","sd_entries":100}"#).expect("bad request");
+    println!("invalid sd size: HTTP {} -> {}", bad.status, bad.body.trim_end());
+
+    let metrics = http_request(&addr, "GET", "/metrics", "").expect("metrics");
+    let doc = JsonValue::parse(&metrics.body).expect("metrics JSON");
+    let m = doc.get("metrics").expect("metrics section");
+    for name in ["serve.run_requests", "serve.executions", "serve.cache_hits", "serve.coalesced"] {
+        let v = m.get(name).and_then(JsonValue::as_u64).unwrap_or(0);
+        println!("{name} = {v}");
+    }
+
+    server.shutdown();
+    println!("server drained cleanly");
+}

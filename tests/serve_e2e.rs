@@ -1,0 +1,210 @@
+//! End-to-end tests for the `dresar-serve` service: real sockets, real
+//! engine executions, and the three serving mechanisms proven over the
+//! wire — content-addressed caching (cold vs warm, byte-identical),
+//! request coalescing (N identical concurrent requests, one execution),
+//! and bounded admission (structured 429 shed, server healthy after).
+//!
+//! Concurrency assertions are made deterministic, not timing-dependent, by
+//! starting the engine workers paused: requests pile up, the test polls the
+//! server's own metrics until every request has registered, and only then
+//! releases the workers.
+
+use dresar_obs::{MetricValue, MetricsRegistry};
+use dresar_server::client::{http_request, post_run};
+use dresar_server::serve::{Server, ServerConfig};
+use dresar_types::JsonValue;
+use std::io::{Read, Write};
+use std::time::{Duration, Instant};
+
+const FFT_SPEC: &str = r#"{"workload":"FFT","scale":"tiny","nodes":16,"sd_entries":256,"seed":7}"#;
+
+fn counter(reg: &MetricsRegistry, name: &str) -> u64 {
+    match reg.get(name) {
+        Some(MetricValue::Counter(c)) => *c,
+        other => panic!("metric {name} missing or not a counter: {other:?}"),
+    }
+}
+
+/// Polls the server's metrics until `cond` holds (or panics after 30s).
+fn wait_until(server: &Server, what: &str, cond: impl Fn(&MetricsRegistry) -> bool) {
+    let deadline = Instant::now() + Duration::from_secs(30);
+    loop {
+        if cond(&server.metrics()) {
+            return;
+        }
+        assert!(Instant::now() < deadline, "timed out waiting for: {what}");
+        std::thread::sleep(Duration::from_millis(10));
+    }
+}
+
+fn error_code(body: &str) -> String {
+    let doc = JsonValue::parse(body).expect("error body is JSON");
+    doc.get("error")
+        .and_then(|e| e.get("code"))
+        .and_then(JsonValue::as_str)
+        .expect("error body has error.code")
+        .to_string()
+}
+
+#[test]
+fn cold_then_warm_request_hits_the_cache_byte_identically() {
+    let server = Server::start("127.0.0.1:0", ServerConfig::default()).unwrap();
+    let addr = server.local_addr().to_string();
+
+    let cold = post_run(&addr, FFT_SPEC).unwrap();
+    assert_eq!(cold.status, 200, "cold run failed: {}", cold.body);
+    let warm = post_run(&addr, FFT_SPEC).unwrap();
+    assert_eq!(warm.status, 200);
+    assert_eq!(cold.body, warm.body, "warm body must be byte-identical to the cold run");
+
+    let reg = server.metrics();
+    assert_eq!(counter(&reg, "serve.executions"), 1, "warm request must not re-execute");
+    assert!(counter(&reg, "serve.cache_hits") >= 1);
+    let doc = JsonValue::parse(&cold.body).unwrap();
+    assert!(doc.get("report").and_then(|r| r.get("cycles")).is_some());
+    server.shutdown();
+}
+
+#[test]
+fn concurrent_identical_requests_coalesce_into_one_execution() {
+    let cfg = ServerConfig { queue_depth: 8, workers: 2, start_paused: true, ..Default::default() };
+    let server = Server::start("127.0.0.1:0", cfg).unwrap();
+    let addr = server.local_addr().to_string();
+
+    // Four identical requests plus two distinct ones, all while the
+    // workers are paused — nothing can execute or hit the cache yet.
+    let identical: Vec<_> = (0..4)
+        .map(|_| {
+            let addr = addr.clone();
+            std::thread::spawn(move || post_run(&addr, FFT_SPEC).unwrap())
+        })
+        .collect();
+    let distinct: Vec<_> = [1u64, 2]
+        .iter()
+        .map(|seed| {
+            let addr = addr.clone();
+            let spec = format!(
+                r#"{{"workload":"TC","scale":"tiny","nodes":16,"sd_entries":256,"seed":{seed}}}"#
+            );
+            std::thread::spawn(move || post_run(&addr, &spec).unwrap())
+        })
+        .collect();
+
+    // All six must be registered — 3 leaders queued, 3 followers attached
+    // to the FFT leader — before the engine is released.
+    wait_until(&server, "6 requests registered, 3 coalesced", |reg| {
+        counter(reg, "serve.run_requests") == 6
+            && counter(reg, "serve.coalesced") == 3
+            && counter(reg, "serve.scheduled") == 3
+    });
+    server.resume_workers();
+
+    let fft_bodies: Vec<String> = identical
+        .into_iter()
+        .map(|h| {
+            let resp = h.join().unwrap();
+            assert_eq!(resp.status, 200, "coalesced request failed: {}", resp.body);
+            resp.body
+        })
+        .collect();
+    for body in &fft_bodies[1..] {
+        assert_eq!(body, &fft_bodies[0], "coalesced responses must be byte-identical");
+    }
+    for h in distinct {
+        let resp = h.join().unwrap();
+        assert_eq!(resp.status, 200, "distinct request failed: {}", resp.body);
+    }
+
+    let reg = server.metrics();
+    assert_eq!(counter(&reg, "serve.executions"), 3, "4 identical + 2 distinct = 3 executions");
+    assert_eq!(counter(&reg, "serve.coalesced"), 3);
+    server.shutdown();
+}
+
+#[test]
+fn full_queue_sheds_with_structured_429_and_recovers() {
+    let cfg = ServerConfig { queue_depth: 1, workers: 1, start_paused: true, ..Default::default() };
+    let server = Server::start("127.0.0.1:0", cfg).unwrap();
+    let addr = server.local_addr().to_string();
+
+    // Fill the single queue slot with a request the paused worker cannot
+    // drain.
+    let occupant = {
+        let addr = addr.clone();
+        std::thread::spawn(move || post_run(&addr, FFT_SPEC).unwrap())
+    };
+    wait_until(&server, "occupant queued", |reg| counter(reg, "serve.scheduled") == 1);
+
+    // A distinct request now has nowhere to go: structured shed.
+    let shed_spec = r#"{"workload":"SOR","scale":"tiny","nodes":16,"sd_entries":256,"seed":9}"#;
+    let shed = post_run(&addr, shed_spec).unwrap();
+    assert_eq!(shed.status, 429, "full queue must shed: {}", shed.body);
+    assert_eq!(error_code(&shed.body), "overloaded");
+    assert!(counter(&server.metrics(), "serve.shed") >= 1);
+
+    // Release the engine: the occupant completes, and the server keeps
+    // serving new work after having shed.
+    server.resume_workers();
+    let resp = occupant.join().unwrap();
+    assert_eq!(resp.status, 200, "queued request failed: {}", resp.body);
+    let retry = post_run(&addr, shed_spec).unwrap();
+    assert_eq!(retry.status, 200, "server must recover after shedding: {}", retry.body);
+    server.shutdown();
+}
+
+#[test]
+fn malformed_requests_get_distinct_machine_readable_errors() {
+    let server = Server::start("127.0.0.1:0", ServerConfig::default()).unwrap();
+    let addr = server.local_addr().to_string();
+
+    let cases: [(&str, &str); 4] = [
+        ("{not json", "bad_json"),
+        (r#"{"workload":"FFT","entires":512}"#, "unknown_field"),
+        (r#"{"workload":"FFT","sd_entries":100}"#, "bad_sd_size"),
+        (r#"{"workload":"FFT","nodes":12}"#, "bad_topology"),
+    ];
+    for (body, code) in cases {
+        let resp = post_run(&addr, body).unwrap();
+        assert_eq!(resp.status, 400, "{code}: {}", resp.body);
+        assert_eq!(error_code(&resp.body), code);
+    }
+
+    // A client that promises more bytes than it sends gets the dedicated
+    // truncated-body error, not a hang or a generic failure.
+    let mut raw = std::net::TcpStream::connect(&addr).unwrap();
+    raw.write_all(b"POST /run HTTP/1.1\r\nContent-Length: 50\r\n\r\n{\"work").unwrap();
+    raw.shutdown(std::net::Shutdown::Write).unwrap();
+    let mut resp = String::new();
+    raw.read_to_string(&mut resp).unwrap();
+    assert!(resp.starts_with("HTTP/1.1 400"), "truncated body response: {resp}");
+    let body = resp.split("\r\n\r\n").nth(1).unwrap_or("");
+    assert_eq!(error_code(body), "truncated_body");
+
+    let resp = http_request(&addr, "GET", "/nowhere", "").unwrap();
+    assert_eq!(resp.status, 404);
+    assert_eq!(error_code(&resp.body), "not_found");
+    server.shutdown();
+}
+
+#[test]
+fn health_and_metrics_endpoints_serve_json() {
+    let server = Server::start("127.0.0.1:0", ServerConfig::default()).unwrap();
+    let addr = server.local_addr().to_string();
+
+    let health = http_request(&addr, "GET", "/healthz", "").unwrap();
+    assert_eq!(health.status, 200);
+    let doc = JsonValue::parse(&health.body).unwrap();
+    assert_eq!(doc.get("ok").and_then(JsonValue::as_bool), Some(true));
+
+    let run = post_run(&addr, FFT_SPEC).unwrap();
+    assert_eq!(run.status, 200, "{}", run.body);
+
+    let metrics = http_request(&addr, "GET", "/metrics", "").unwrap();
+    assert_eq!(metrics.status, 200);
+    let doc = JsonValue::parse(&metrics.body).unwrap();
+    let m = doc.get("metrics").expect("metrics section");
+    assert!(m.get("serve.run_requests").is_some());
+    assert!(m.get("serve.executions").is_some());
+    assert!(doc.get("host").and_then(|h| h.get("uptime_seconds")).is_some());
+    server.shutdown();
+}
