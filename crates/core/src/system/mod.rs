@@ -53,8 +53,12 @@ pub struct RunOptions {
     pub collect_histogram: bool,
     /// TRANSIENT-read policy for the switch directories.
     pub transient_policy: TransientReadPolicy,
-    /// Observers to attach (latency breakdown, time series, trace). All off
-    /// by default; the run is uninstrumented unless something is enabled.
+    /// Observers to attach (latency breakdown, time series, trace, flight
+    /// recorder). By default only the bounded flight recorder is on — it is
+    /// the always-on black box, surfaced in the report only when the run is
+    /// anomalous (watchdog trip, coherence failure, lost messages or sim
+    /// errors). Pass `ObserverConfig::default()` explicitly for a fully
+    /// uninstrumented run.
     pub observers: ObserverConfig,
     /// Deterministic fault-injection plan. `None` (and an inert
     /// [`FaultPlan::default`]) run fault-free.
@@ -74,7 +78,10 @@ impl Default for RunOptions {
             max_cycles: 1 << 40,
             collect_histogram: false,
             transient_policy: TransientReadPolicy::Retry,
-            observers: ObserverConfig::default(),
+            observers: ObserverConfig {
+                flight: Some(dresar_obs::DEFAULT_FLIGHT_CAPACITY),
+                ..ObserverConfig::default()
+            },
             faults: None,
             watchdog: None,
             verify_coherence: false,
@@ -146,6 +153,10 @@ pub struct System {
     /// Precomputed mem->proc routes, indexed `home * nodes + p`.
     bwd_routes: Vec<Rc<Route>>,
     msg_seq: u64,
+    /// Transaction ids: one per tracked miss, stable across retries,
+    /// coalesced upgrades and cache-to-cache forwards. Distinct from
+    /// `msg_seq` so message retransmission never perturbs the causal ids.
+    txn_seq: u64,
     barrier: BarrierState,
     workload: String,
     writebacks: u64,
@@ -208,6 +219,7 @@ impl System {
             fwd_routes,
             bwd_routes,
             msg_seq: 0,
+            txn_seq: 0,
             barrier: BarrierState::default(),
             workload: workload.name.clone(),
             writebacks: 0,
@@ -228,6 +240,16 @@ impl System {
     fn next_id(&mut self) -> u64 {
         self.msg_seq += 1;
         self.msg_seq
+    }
+
+    fn next_txn(&mut self) -> u64 {
+        self.txn_seq += 1;
+        self.txn_seq
+    }
+
+    /// Transaction id of `p`'s outstanding miss on `block` (0 if none).
+    fn txn_of(&self, p: NodeId, block: BlockAddr) -> u64 {
+        self.nodes[p as usize].mshrs.get(&block).map_or(0, |m| m.txn)
     }
 
     #[inline]
@@ -251,7 +273,20 @@ impl System {
                 MachineShape { nodes: self.cfg.nodes, switches: self.bmin.total_switches() };
             let mut set = ObserverSet::new(opts.observers, shape);
             let mut report = self.run_probed(opts, &mut set);
-            report.obs = Some(set.finish());
+            let mut obs = set.finish();
+            // The flight recorder is a black box: it records always but
+            // its dump only surfaces when the run is anomalous, so healthy
+            // reports stay byte-identical with or without it.
+            let anomalous = report.watchdog.is_some()
+                || report.coherence.as_ref().is_some_and(|c| !c.ok())
+                || report.faults.is_some_and(|f| f.lost > 0)
+                || !report.sim_errors.is_empty();
+            if !anomalous {
+                obs.flight = None;
+            }
+            if !obs.is_empty() {
+                report.obs = Some(obs);
+            }
             report
         } else {
             self.run_probed(opts, &mut NullProbe)
@@ -662,7 +697,8 @@ impl System {
                                     // re-executed read will hit.
                                     return;
                                 }
-                                node.mshrs.insert(
+                                let txn = self.next_txn();
+                                self.nodes[p as usize].mshrs.insert(
                                     block,
                                     Mshr {
                                         kind: MshrKind::Read,
@@ -671,9 +707,10 @@ impl System {
                                         inval_pending: false,
                                         retry_pending: false,
                                         deferred_ctoc: None,
+                                        txn,
                                     },
                                 );
-                                probe.read_issue(p, block, t, t_miss);
+                                probe.read_issue(p, block, t, t_miss, txn);
                                 self.send_request(p, block, MsgType::ReadRequest, t_miss, probe);
                                 return;
                             }
@@ -704,7 +741,10 @@ impl System {
                                     return;
                                 } else {
                                     node.writes_inflight += 1;
-                                    node.mshrs.insert(
+                                    node.pc += 1;
+                                    node.refs_executed += 1;
+                                    let txn = self.next_txn();
+                                    self.nodes[p as usize].mshrs.insert(
                                         block,
                                         Mshr {
                                             kind: MshrKind::Write,
@@ -713,10 +753,9 @@ impl System {
                                             inval_pending: false,
                                             retry_pending: false,
                                             deferred_ctoc: None,
+                                            txn,
                                         },
                                     );
-                                    node.pc += 1;
-                                    node.refs_executed += 1;
                                     self.send_request(
                                         p,
                                         block,
@@ -761,7 +800,7 @@ impl System {
         node.reads.retries += 1;
         let kind = match m.kind {
             MshrKind::Read => {
-                probe.read_retry(p, block, t);
+                probe.read_retry(p, block, t, m.txn);
                 MsgType::ReadRequest
             }
             MshrKind::Write => MsgType::WriteRequest,
@@ -836,8 +875,10 @@ impl System {
             wd.progress(t);
         }
         let home = self.map.home_of_block(block);
+        let txn = self.txn_of(p, block);
         let msg =
-            Message::new(self.next_id(), kind, block, Endpoint::Proc(p), Endpoint::Mem(home), p, t);
+            Message::new(self.next_id(), kind, block, Endpoint::Proc(p), Endpoint::Mem(home), p, t)
+                .with_txn(txn);
         let route = self.fwd_route(p, home);
         self.launch(msg, route, t, probe);
     }
@@ -902,7 +943,8 @@ impl System {
             requester,
             orig.issued_at,
         )
-        .from_switch();
+        .from_switch()
+        .with_txn(orig.txn);
         if let (MsgType::CtoCRequest, Some(_)) = (kind, owner) {
             msg.owner = Some(to);
         }
@@ -959,6 +1001,7 @@ impl System {
                         infl.msg.block,
                         ServicePoint::Switch(loc),
                         t,
+                        infl.msg.txn,
                     );
                 }
             }
@@ -1023,7 +1066,7 @@ impl System {
         };
         probe.home_service(h, msg.block, t, start, done);
         if msg.kind == MsgType::ReadRequest {
-            probe.read_service_arrive(msg.requester, msg.block, ServicePoint::Home(h), t);
+            probe.read_service_arrive(msg.requester, msg.block, ServicePoint::Home(h), t, msg.txn);
         }
         self.queue.schedule_at(done, Ev::HomeExec { home: h, msg: Box::new(msg) });
     }
@@ -1122,7 +1165,8 @@ impl System {
     ) {
         match act {
             DirAction::ReadReplyClean { to } => {
-                probe.read_service_done(to, block, t);
+                let txn = self.txn_of(to, block);
+                probe.read_service_done(to, block, t, txn);
                 let msg = Message::new(
                     self.next_id(),
                     MsgType::ReadReply,
@@ -1131,7 +1175,8 @@ impl System {
                     Endpoint::Proc(to),
                     to,
                     t,
-                );
+                )
+                .with_txn(txn);
                 self.send_from_mem(msg, t, probe);
             }
             DirAction::WriteReplyGrant { to, seq } => {
@@ -1144,7 +1189,8 @@ impl System {
                     to,
                     t,
                 )
-                .with_owner_seq(seq);
+                .with_owner_seq(seq)
+                .with_txn(self.txn_of(to, block));
                 self.send_from_mem(msg, t, probe);
             }
             DirAction::ForwardCtoC { owner, requester, write_intent, owner_seq } => {
@@ -1158,13 +1204,17 @@ impl System {
                     t,
                 )
                 .with_owner(owner)
-                .with_owner_seq(owner_seq);
+                .with_owner_seq(owner_seq)
+                .with_txn(self.txn_of(requester, block));
                 if write_intent {
                     msg = msg.with_write_intent();
                 }
                 self.send_from_mem(msg, t, probe);
             }
-            DirAction::Invalidate { targets, writer: _ } => {
+            DirAction::Invalidate { targets, writer } => {
+                // Invalidations serve the writer's transaction: they fan
+                // out of it and their acks converge back into it.
+                let txn = self.txn_of(writer, block);
                 for target in targets.iter() {
                     let msg = Message::new(
                         self.next_id(),
@@ -1174,7 +1224,8 @@ impl System {
                         Endpoint::Proc(target),
                         target,
                         t,
-                    );
+                    )
+                    .with_txn(txn);
                     self.send_from_mem(msg, t, probe);
                 }
             }
@@ -1187,7 +1238,8 @@ impl System {
                     Endpoint::Proc(to),
                     to,
                     t,
-                );
+                )
+                .with_txn(self.txn_of(to, block));
                 self.send_from_mem(msg, t, probe);
             }
             DirAction::Queued => {}
@@ -1277,7 +1329,7 @@ impl System {
                 if let Some(class) = class {
                     let latency = t.saturating_sub(m.issued_at);
                     node.reads.record(class, latency);
-                    probe.read_complete(p, block, class, latency, t);
+                    probe.read_complete(p, block, class, latency, t, m.txn);
                     if let Some(h) = self.histogram.as_mut() {
                         h.record_miss(block, class != ReadClass::CleanMemory);
                     }
@@ -1295,6 +1347,9 @@ impl System {
                             inval_pending: m.inval_pending,
                             retry_pending: false,
                             deferred_ctoc: None,
+                            // The upgrade continues the read's transaction:
+                            // one miss, one causal tree.
+                            txn: m.txn,
                         },
                     );
                     self.send_request(p, block, MsgType::WriteRequest, t, probe);
@@ -1395,6 +1450,7 @@ impl System {
             switch_generated: msg.switch_generated,
             issued_at: msg.issued_at,
             owner_seq: msg.owner_seq,
+            txn: msg.txn,
         };
         if holds_dirty {
             // Home-generated interventions name the ownership instance they
@@ -1453,7 +1509,8 @@ impl System {
             Endpoint::Proc(d.requester),
             d.requester,
             d.issued_at,
-        );
+        )
+        .with_txn(d.txn);
         nak.switch_generated = d.switch_generated;
         self.send_from_proc(nak, t_cache, probe);
     }
@@ -1475,7 +1532,7 @@ impl System {
             self.nodes[p as usize].hier.downgrade(block);
             // The owner cache is the service point of a read CtoC: the
             // data departs toward the requester now.
-            probe.read_service_done(d.requester, block, t_cache);
+            probe.read_service_done(d.requester, block, t_cache, d.txn);
         }
         // Data straight to the requester...
         let mut data = Message::new(
@@ -1486,7 +1543,8 @@ impl System {
             Endpoint::Proc(d.requester),
             d.requester,
             d.issued_at,
-        );
+        )
+        .with_txn(d.txn);
         data.switch_generated = d.switch_generated;
         if d.write_intent {
             // Ownership grant: the home will bump its sequence to exactly
@@ -1506,7 +1564,8 @@ impl System {
             Endpoint::Mem(home),
             d.requester,
             d.issued_at,
-        );
+        )
+        .with_txn(d.txn);
         cb.switch_generated = d.switch_generated;
         if d.write_intent {
             cb = cb.with_write_intent();
@@ -1536,7 +1595,8 @@ impl System {
             Endpoint::Mem(home),
             p,
             t,
-        );
+        )
+        .with_txn(msg.txn);
         self.send_from_proc(ack, t + 1, probe);
     }
 

@@ -46,6 +46,9 @@ pub struct DeferredIntervention {
     pub switch_generated: bool,
     /// Original issue cycle, carried for latency accounting.
     pub issued_at: Cycle,
+    /// Transaction id of the requester's miss, carried so the deferred
+    /// reply joins the same causal tree as the intervention that seeded it.
+    pub txn: u64,
     /// Sequence of the ownership instance the home intervened. Replay
     /// serves only if the fill installed exactly that instance — otherwise
     /// the home cancelled the transaction while the intervention was in
@@ -61,6 +64,9 @@ pub struct Mshr {
     pub kind: MshrKind,
     /// Cycle the transaction was first issued (latency accounting).
     pub issued_at: Cycle,
+    /// Transaction id: stable across retries and coalesced upgrades, stamped
+    /// on every message sent on this miss's behalf.
+    pub txn: u64,
     /// A write arrived while a read was outstanding: upgrade ownership as
     /// soon as the read data lands.
     pub then_write: bool,

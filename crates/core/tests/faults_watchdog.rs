@@ -7,7 +7,7 @@ use dresar::system::{RunOptions, System};
 use dresar_faults::{FaultPlan, WatchdogConfig, WatchdogKind};
 use dresar_types::config::{SwitchDirConfig, SystemConfig};
 use dresar_types::msg::MsgType;
-use dresar_types::{StreamItem, Workload};
+use dresar_types::{StreamItem, ToJson, Workload};
 
 fn cfg() -> SystemConfig {
     let mut cfg = SystemConfig::paper_table2();
@@ -105,6 +105,49 @@ fn budget_overrun_reports_instead_of_panicking() {
     let report = r.watchdog.expect("overrunning the budget must produce a report");
     assert_eq!(report.kind, WatchdogKind::BudgetExceeded);
     assert!(report.at <= 110, "tripped late: {}", report.at);
+}
+
+#[test]
+fn watchdog_trip_attaches_a_deterministic_flight_dump() {
+    // The default RunOptions keep the flight recorder armed; tripping the
+    // watchdog must surface its dump, and replaying the identical run must
+    // reproduce it byte for byte.
+    let plan =
+        FaultPlan { lose_kind: Some(MsgType::WriteReply), lose_nth: 1, ..FaultPlan::default() };
+    let opts = RunOptions {
+        max_cycles: 500_000_000,
+        faults: Some(plan),
+        watchdog: Some(WatchdogConfig { progress_budget: 50_000 }),
+        ..Default::default()
+    };
+    let a = System::new(cfg(), &one_write_workload()).run(opts);
+    let b = System::new(cfg(), &one_write_workload()).run(opts);
+    assert!(a.watchdog.is_some(), "scenario must trip the watchdog");
+    let fa = a
+        .obs
+        .as_ref()
+        .and_then(|o| o.flight.as_ref())
+        .expect("a tripped run must attach the flight dump");
+    assert!(!fa.is_empty(), "the black box must hold the lead-up to the trip");
+    let fb = b
+        .obs
+        .as_ref()
+        .and_then(|o| o.flight.as_ref())
+        .expect("the deterministic replay must attach a dump too");
+    assert_eq!(fa.to_json().dump(), fb.to_json().dump(), "dumps must be byte-identical");
+}
+
+#[test]
+fn healthy_run_keeps_the_flight_dump_out_of_the_report() {
+    // The recorder runs on every default run, but a clean report must look
+    // exactly as it did before the recorder existed.
+    let r = System::new(cfg(), &sharing_workload()).run(RunOptions {
+        max_cycles: 500_000_000,
+        verify_coherence: true,
+        ..Default::default()
+    });
+    assert!(r.coherence.as_ref().expect("requested").ok());
+    assert!(r.obs.is_none(), "healthy runs must not grow an obs payload");
 }
 
 #[test]

@@ -234,7 +234,7 @@ impl LatencyRecorder {
 }
 
 impl Probe for LatencyRecorder {
-    fn read_issue(&mut self, node: NodeId, block: BlockAddr, t0: Cycle, inject: Cycle) {
+    fn read_issue(&mut self, node: NodeId, block: BlockAddr, t0: Cycle, inject: Cycle, _txn: u64) {
         self.open.insert(
             (node, block.0),
             OpenRead {
@@ -249,7 +249,7 @@ impl Probe for LatencyRecorder {
         );
     }
 
-    fn read_retry(&mut self, node: NodeId, block: BlockAddr, t: Cycle) {
+    fn read_retry(&mut self, node: NodeId, block: BlockAddr, t: Cycle, _txn: u64) {
         if let Some(r) = self.open.get_mut(&(node, block.0)) {
             r.attempt = t.max(r.attempt);
             r.svc_arrive = None;
@@ -259,7 +259,14 @@ impl Probe for LatencyRecorder {
         }
     }
 
-    fn read_service_arrive(&mut self, node: NodeId, block: BlockAddr, at: ServicePoint, t: Cycle) {
+    fn read_service_arrive(
+        &mut self,
+        node: NodeId,
+        block: BlockAddr,
+        at: ServicePoint,
+        t: Cycle,
+        _txn: u64,
+    ) {
         if let Some(r) = self.open.get_mut(&(node, block.0)) {
             if t >= r.attempt && r.svc_arrive.is_none() {
                 r.svc_arrive = Some(t);
@@ -271,7 +278,7 @@ impl Probe for LatencyRecorder {
         }
     }
 
-    fn read_service_done(&mut self, node: NodeId, block: BlockAddr, t: Cycle) {
+    fn read_service_done(&mut self, node: NodeId, block: BlockAddr, t: Cycle, _txn: u64) {
         if let Some(r) = self.open.get_mut(&(node, block.0)) {
             if let Some(a) = r.svc_arrive {
                 if t >= a && r.svc_done.is_none() {
@@ -288,6 +295,7 @@ impl Probe for LatencyRecorder {
         class: ReadClass,
         latency: Cycle,
         t: Cycle,
+        _txn: u64,
     ) {
         let Some(r) = self.open.remove(&(node, block.0)) else {
             return;
@@ -351,10 +359,10 @@ mod tests {
     #[test]
     fn simple_read_phases_telescope() {
         let mut r = LatencyRecorder::new(shape());
-        r.read_issue(1, B, 100, 110);
-        r.read_service_arrive(1, B, ServicePoint::Home(2), 150);
-        r.read_service_done(1, B, 190);
-        r.read_complete(1, B, ReadClass::CleanMemory, 140, 240);
+        r.read_issue(1, B, 100, 110, 1);
+        r.read_service_arrive(1, B, ServicePoint::Home(2), 150, 1);
+        r.read_service_done(1, B, 190, 1);
+        r.read_complete(1, B, ReadClass::CleanMemory, 140, 240, 1);
         let out = r.finish();
         let c = out.classes[0];
         assert_eq!(c.count, 1);
@@ -367,13 +375,13 @@ mod tests {
     #[test]
     fn retry_resets_service_milestones() {
         let mut r = LatencyRecorder::new(shape());
-        r.read_issue(0, B, 0, 10);
-        r.read_service_arrive(0, B, ServicePoint::Home(1), 40);
+        r.read_issue(0, B, 0, 10, 1);
+        r.read_service_arrive(0, B, ServicePoint::Home(1), 40, 1);
         // NAK'd; reissued at 100.
-        r.read_retry(0, B, 100);
-        r.read_service_arrive(0, B, ServicePoint::Home(1), 130);
-        r.read_service_done(0, B, 160);
-        r.read_complete(0, B, ReadClass::CleanMemory, 200, 200);
+        r.read_retry(0, B, 100, 1);
+        r.read_service_arrive(0, B, ServicePoint::Home(1), 130, 1);
+        r.read_service_done(0, B, 160, 1);
+        r.read_complete(0, B, ReadClass::CleanMemory, 200, 200, 1);
         let out = r.finish();
         let c = out.classes[0];
         assert_eq!(c.phases, [10, 90, 30, 30, 40]);
@@ -384,10 +392,10 @@ mod tests {
     #[test]
     fn switch_sink_counts_per_switch_and_has_no_service_phase() {
         let mut r = LatencyRecorder::new(shape());
-        r.read_issue(3, B, 0, 5);
+        r.read_issue(3, B, 0, 5, 1);
         let loc = SwitchLoc { stage: 1, index: 0, linear: 2 };
-        r.read_service_arrive(3, B, ServicePoint::Switch(loc), 25);
-        r.read_complete(3, B, ReadClass::DirtyCtoCSwitch, 65, 65);
+        r.read_service_arrive(3, B, ServicePoint::Switch(loc), 25, 1);
+        r.read_complete(3, B, ReadClass::DirtyCtoCSwitch, 65, 65, 1);
         let out = r.finish();
         let c = out.classes[2];
         assert_eq!(c.phases, [5, 0, 20, 0, 40]);
@@ -397,7 +405,7 @@ mod tests {
     #[test]
     fn unfinished_reads_are_counted() {
         let mut r = LatencyRecorder::new(shape());
-        r.read_issue(0, B, 0, 5);
+        r.read_issue(0, B, 0, 5, 1);
         let out = r.finish();
         assert_eq!(out.unfinished, 1);
         assert_eq!(out.total_reads(), 0);
@@ -493,10 +501,10 @@ mod tests {
     #[test]
     fn json_shape_is_stable() {
         let mut r = LatencyRecorder::new(shape());
-        r.read_issue(1, B, 0, 10);
-        r.read_service_arrive(1, B, ServicePoint::Home(0), 20);
-        r.read_service_done(1, B, 30);
-        r.read_complete(1, B, ReadClass::CleanMemory, 50, 50);
+        r.read_issue(1, B, 0, 10, 1);
+        r.read_service_arrive(1, B, ServicePoint::Home(0), 20, 1);
+        r.read_service_done(1, B, 30, 1);
+        r.read_complete(1, B, ReadClass::CleanMemory, 50, 50, 1);
         let j = r.finish().to_json();
         let classes = j.get("classes").expect("classes present");
         let clean = classes.get("clean_memory").expect("class key");

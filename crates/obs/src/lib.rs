@@ -9,7 +9,7 @@
 //! run instrumented with [`NullProbe`] monomorphizes to exactly the
 //! uninstrumented code — observability is free when it is off.
 //!
-//! Three observers implement `Probe`:
+//! Four observers implement `Probe`:
 //!
 //! * [`breakdown::LatencyRecorder`] — decomposes every read miss into
 //!   per-phase cycle counts (L2 detect, retry wait, request network, home
@@ -19,14 +19,19 @@
 //!   depth, home-controller busy cycles, link busy cycles, switch-directory
 //!   occupancy and eviction/NAK rates;
 //! * [`trace::Tracer`] — a Chrome `about:tracing` / Perfetto compatible
-//!   trace-event JSON stream of message and transaction lifecycles.
+//!   trace-event JSON stream of message and transaction lifecycles, with
+//!   flow events stitching each transaction into a causal tree;
+//! * [`recorder::FlightRecorder`] — a bounded ring of compact event
+//!   records, cheap enough to leave on for every run and dumped post
+//!   mortem when a watchdog, audit or fault anomaly fires.
 //!
-//! [`ObserverSet`] bundles any subset of the three behind one `Probe`
+//! [`ObserverSet`] bundles any subset of the four behind one `Probe`
 //! implementation and is what [`ObserverConfig`] enables from run options.
 
 pub mod breakdown;
 pub mod hostprof;
 pub mod metrics;
+pub mod recorder;
 pub mod sampler;
 pub mod trace;
 
@@ -39,6 +44,7 @@ pub use breakdown::{
 };
 pub use hostprof::{HostProfile, HostProfiler, PhaseTiming, RunTiming};
 pub use metrics::{MetricDelta, MetricValue, MetricsRegistry};
+pub use recorder::{FlightDump, FlightRecorder, DEFAULT_FLIGHT_CAPACITY};
 pub use sampler::{Sampler, TimeSeries, WindowSample};
 pub use trace::Tracer;
 
@@ -262,21 +268,31 @@ pub trait Probe {
     fn link_traverse(&mut self, link: LinkKey, start: Cycle, end: Cycle, flits: u32) {}
 
     /// A read miss left the processor: stall began at `t0`, the request
-    /// enters the network at `inject` (after L2 miss detection).
+    /// enters the network at `inject` (after L2 miss detection). `txn` is
+    /// the stable transaction id every message sent on this miss's behalf
+    /// carries, linking all lifecycle events into one causal tree.
     #[inline]
-    fn read_issue(&mut self, node: NodeId, block: BlockAddr, t0: Cycle, inject: Cycle) {}
+    fn read_issue(&mut self, node: NodeId, block: BlockAddr, t0: Cycle, inject: Cycle, txn: u64) {}
 
     /// A NAK'd read re-issued at `t`.
     #[inline]
-    fn read_retry(&mut self, node: NodeId, block: BlockAddr, t: Cycle) {}
+    fn read_retry(&mut self, node: NodeId, block: BlockAddr, t: Cycle, txn: u64) {}
 
     /// The read reached its service point (home arrival or SD sink).
     #[inline]
-    fn read_service_arrive(&mut self, node: NodeId, block: BlockAddr, at: ServicePoint, t: Cycle) {}
+    fn read_service_arrive(
+        &mut self,
+        node: NodeId,
+        block: BlockAddr,
+        at: ServicePoint,
+        t: Cycle,
+        txn: u64,
+    ) {
+    }
 
     /// The service point finished and the reply/intervention departed.
     #[inline]
-    fn read_service_done(&mut self, node: NodeId, block: BlockAddr, t: Cycle) {}
+    fn read_service_done(&mut self, node: NodeId, block: BlockAddr, t: Cycle, txn: u64) {}
 
     /// The read miss completed with `latency` cycles issue-to-data.
     #[inline]
@@ -287,6 +303,7 @@ pub trait Probe {
         class: ReadClass,
         latency: Cycle,
         t: Cycle,
+        txn: u64,
     ) {
     }
 }
@@ -307,17 +324,28 @@ pub struct ObserverConfig {
     pub timeseries_window: Option<Cycle>,
     /// Emit a Chrome trace-event JSON stream.
     pub trace: bool,
+    /// Keep a flight-recorder ring of the last N event records for
+    /// postmortem dumps.
+    pub flight: Option<usize>,
 }
 
 impl ObserverConfig {
     /// Whether any observer is on.
     pub fn enabled(&self) -> bool {
-        self.latency_breakdown || self.timeseries_window.is_some() || self.trace
+        self.latency_breakdown
+            || self.timeseries_window.is_some()
+            || self.trace
+            || self.flight.is_some()
     }
 
     /// Everything on, with the given sampling window.
     pub fn all(window: Cycle) -> Self {
-        ObserverConfig { latency_breakdown: true, timeseries_window: Some(window), trace: true }
+        ObserverConfig {
+            latency_breakdown: true,
+            timeseries_window: Some(window),
+            trace: true,
+            flight: Some(DEFAULT_FLIGHT_CAPACITY),
+        }
     }
 }
 
@@ -340,6 +368,18 @@ pub struct ObsReport {
     pub timeseries: Option<TimeSeries>,
     /// Chrome trace-event JSON document, if traced.
     pub trace: Option<String>,
+    /// Flight-recorder dump, if attached (anomalous runs only).
+    pub flight: Option<FlightDump>,
+}
+
+impl ObsReport {
+    /// Whether every observer payload is absent.
+    pub fn is_empty(&self) -> bool {
+        self.breakdown.is_none()
+            && self.timeseries.is_none()
+            && self.trace.is_none()
+            && self.flight.is_none()
+    }
 }
 
 impl ToJson for ObsReport {
@@ -354,6 +394,9 @@ impl ToJson for ObsReport {
         if let Some(tr) = &self.trace {
             b = b.field("trace_events", JsonValue::Str(tr.clone()));
         }
+        if let Some(fl) = &self.flight {
+            b = b.field("flight", fl.to_json());
+        }
         b.build()
     }
 }
@@ -364,6 +407,7 @@ pub struct ObserverSet {
     recorder: Option<LatencyRecorder>,
     sampler: Option<Sampler>,
     tracer: Option<Tracer>,
+    flight: Option<FlightRecorder>,
 }
 
 impl ObserverSet {
@@ -373,6 +417,7 @@ impl ObserverSet {
             recorder: cfg.latency_breakdown.then(|| LatencyRecorder::new(shape)),
             sampler: cfg.timeseries_window.map(Sampler::new),
             tracer: cfg.trace.then(Tracer::new),
+            flight: cfg.flight.map(FlightRecorder::new),
         }
     }
 
@@ -382,6 +427,7 @@ impl ObserverSet {
             breakdown: self.recorder.map(LatencyRecorder::finish),
             timeseries: self.sampler.map(Sampler::finish),
             trace: self.tracer.map(Tracer::finish),
+            flight: self.flight.map(FlightRecorder::finish),
         }
     }
 }
@@ -396,6 +442,9 @@ macro_rules! fan_out {
         }
         if let Some(t) = $self.tracer.as_mut() {
             t.$m($($a),*);
+        }
+        if let Some(f) = $self.flight.as_mut() {
+            f.$m($($a),*);
         }
     };
 }
@@ -441,17 +490,24 @@ impl Probe for ObserverSet {
     fn link_traverse(&mut self, link: LinkKey, start: Cycle, end: Cycle, flits: u32) {
         fan_out!(self, link_traverse(link, start, end, flits));
     }
-    fn read_issue(&mut self, node: NodeId, block: BlockAddr, t0: Cycle, inject: Cycle) {
-        fan_out!(self, read_issue(node, block, t0, inject));
+    fn read_issue(&mut self, node: NodeId, block: BlockAddr, t0: Cycle, inject: Cycle, txn: u64) {
+        fan_out!(self, read_issue(node, block, t0, inject, txn));
     }
-    fn read_retry(&mut self, node: NodeId, block: BlockAddr, t: Cycle) {
-        fan_out!(self, read_retry(node, block, t));
+    fn read_retry(&mut self, node: NodeId, block: BlockAddr, t: Cycle, txn: u64) {
+        fan_out!(self, read_retry(node, block, t, txn));
     }
-    fn read_service_arrive(&mut self, node: NodeId, block: BlockAddr, at: ServicePoint, t: Cycle) {
-        fan_out!(self, read_service_arrive(node, block, at, t));
+    fn read_service_arrive(
+        &mut self,
+        node: NodeId,
+        block: BlockAddr,
+        at: ServicePoint,
+        t: Cycle,
+        txn: u64,
+    ) {
+        fan_out!(self, read_service_arrive(node, block, at, t, txn));
     }
-    fn read_service_done(&mut self, node: NodeId, block: BlockAddr, t: Cycle) {
-        fan_out!(self, read_service_done(node, block, t));
+    fn read_service_done(&mut self, node: NodeId, block: BlockAddr, t: Cycle, txn: u64) {
+        fan_out!(self, read_service_done(node, block, t, txn));
     }
     fn read_complete(
         &mut self,
@@ -460,8 +516,9 @@ impl Probe for ObserverSet {
         class: ReadClass,
         latency: Cycle,
         t: Cycle,
+        txn: u64,
     ) {
-        fan_out!(self, read_complete(node, block, class, latency, t));
+        fan_out!(self, read_complete(node, block, class, latency, t, txn));
     }
 }
 
@@ -493,6 +550,7 @@ mod tests {
         assert!(ObserverConfig { latency_breakdown: true, ..Default::default() }.enabled());
         assert!(ObserverConfig { timeseries_window: Some(64), ..Default::default() }.enabled());
         assert!(ObserverConfig { trace: true, ..Default::default() }.enabled());
+        assert!(ObserverConfig { flight: Some(1024), ..Default::default() }.enabled());
         assert!(ObserverConfig::all(128).enabled());
     }
 
@@ -507,6 +565,9 @@ mod tests {
         assert!(report.breakdown.is_some());
         assert!(report.timeseries.is_none());
         assert!(report.trace.is_none());
+        assert!(report.flight.is_none());
+        assert!(!report.is_empty());
+        assert!(ObsReport::default().is_empty());
     }
 
     #[test]

@@ -108,6 +108,47 @@ impl MetricsRegistry {
         out
     }
 
+    /// Renders the registry in Prometheus text exposition format (0.0.4).
+    ///
+    /// Dotted names flatten to underscores. Counters emit one `counter`
+    /// sample; gauges emit the current level plus a `<name>_peak` gauge;
+    /// log2 histograms emit cumulative `histogram` buckets whose `le`
+    /// bounds are each bucket's inclusive upper value (`0, 1, 3, 7, ...,
+    /// 2^k - 1`) plus `+Inf` and a `<name>_count` total. Output is
+    /// deterministic: sorted names, integer samples only.
+    pub fn to_prometheus(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        for (name, v) in &self.metrics {
+            let flat = name.replace('.', "_");
+            match v {
+                MetricValue::Counter(c) => {
+                    let _ = writeln!(out, "# TYPE {flat} counter\n{flat} {c}");
+                }
+                MetricValue::Gauge { current, peak } => {
+                    let _ = writeln!(out, "# TYPE {flat} gauge\n{flat} {current}");
+                    let _ = writeln!(out, "# TYPE {flat}_peak gauge\n{flat}_peak {peak}");
+                }
+                MetricValue::Hist(buckets) => {
+                    let _ = writeln!(out, "# TYPE {flat} histogram");
+                    let mut cum = 0u64;
+                    for (k, &c) in buckets.iter().enumerate() {
+                        cum += c;
+                        let le = match k {
+                            0 => 0,
+                            1..=63 => (1u64 << k) - 1,
+                            _ => u64::MAX,
+                        };
+                        let _ = writeln!(out, "{flat}_bucket{{le=\"{le}\"}} {cum}");
+                    }
+                    let _ = writeln!(out, "{flat}_bucket{{le=\"+Inf\"}} {cum}");
+                    let _ = writeln!(out, "{flat}_count {cum}");
+                }
+            }
+        }
+        out
+    }
+
     /// Scalar-by-scalar comparison against a baseline registry. Returns one
     /// [`MetricDelta`] per differing (or added/removed) scalar, sorted by
     /// name. An empty result means the registries agree exactly.
@@ -281,6 +322,33 @@ mod tests {
         assert_eq!(hit.current, Some(50));
         assert!((hit.rel_change() - (8.0 / 42.0)).abs() < 1e-12);
         assert!(d.iter().find(|x| x.name == "cache.fills").unwrap().rel_change().is_infinite());
+    }
+
+    #[test]
+    fn prometheus_exposition_covers_every_metric_kind() {
+        let text = sample().to_prometheus();
+        // Counter: one sample, dotted name flattened.
+        assert!(text.contains("# TYPE sd_read_hits counter\nsd_read_hits 42\n"), "{text}");
+        // Gauge: current level plus the peak companion.
+        assert!(text.contains("# TYPE home_busy gauge\nhome_busy 0\n"), "{text}");
+        assert!(text.contains("# TYPE home_busy_peak gauge\nhome_busy_peak 7\n"), "{text}");
+        // Histogram [0, 3, 5]: cumulative buckets at le 0, 1, +Inf and a count.
+        assert!(text.contains("# TYPE lat_hist histogram"), "{text}");
+        assert!(text.contains("lat_hist_bucket{le=\"0\"} 0\n"), "{text}");
+        assert!(text.contains("lat_hist_bucket{le=\"1\"} 3\n"), "{text}");
+        assert!(text.contains("lat_hist_bucket{le=\"3\"} 8\n"), "{text}");
+        assert!(text.contains("lat_hist_bucket{le=\"+Inf\"} 8\n"), "{text}");
+        assert!(text.contains("lat_hist_count 8\n"), "{text}");
+    }
+
+    #[test]
+    fn prometheus_output_is_deterministic_and_sorted() {
+        let a = sample().to_prometheus();
+        let b = sample().to_prometheus();
+        assert_eq!(a, b);
+        let cache_pos = a.find("cache_fills").unwrap();
+        let sd_pos = a.find("sd_read_hits").unwrap();
+        assert!(cache_pos < sd_pos, "sorted emission order");
     }
 
     #[test]

@@ -165,6 +165,7 @@ impl Probe for Sampler {
         _class: ReadClass,
         _latency: Cycle,
         t: Cycle,
+        _txn: u64,
     ) {
         self.at(t).reads_completed += 1;
     }

@@ -9,6 +9,13 @@
 //! transitions and NAKs are instant events; home service occupancy is a
 //! complete (`ph: "X"`) slice.
 //!
+//! Read-miss spans are keyed by the *transaction id* the simulator stamps
+//! on every message sent on a miss's behalf, and each span is stitched to
+//! its service point by Perfetto flow events (`ph: "s"`/`"t"`/`"f"`): an
+//! arrow leaves the issuing processor, steps through the home directory or
+//! the switch directory that sank the read, and lands back on the
+//! processor at completion — one causal tree per miss, across pids.
+//!
 //! Timestamps are simulation cycles written as integer `ts` values. The
 //! output is fully deterministic: two identical runs produce byte-identical
 //! documents (asserted by the tier-1 observability tests).
@@ -60,6 +67,15 @@ impl Tracer {
         ));
     }
 
+    /// One flow event (`ph` is `"s"`, `"t"` or `"f"`) on the given track,
+    /// keyed by the transaction id so Perfetto draws the causal arrows.
+    fn flow(&mut self, ph: char, id: u64, pid: u32, tid: u64, ts: Cycle) {
+        let bind = if ph == 'f' { ",\"bp\":\"e\"" } else { "" };
+        self.events.push(format!(
+            "{{\"name\":\"txn\",\"cat\":\"txn\",\"ph\":\"{ph}\",\"id\":{id},\"pid\":{pid},\"tid\":{tid},\"ts\":{ts}{bind}}}"
+        ));
+    }
+
     /// Finalizes into one JSON document (an array, one event per line).
     pub fn finish(self) -> String {
         let mut out = String::from("[\n");
@@ -77,7 +93,10 @@ impl Probe for Tracer {
             pid,
             tid,
             t,
-            format!("\"block\":{},\"msg\":{},\"req\":{}", msg.block.0, msg.id, msg.requester),
+            format!(
+                "\"block\":{},\"msg\":{},\"req\":{},\"txn\":{}",
+                msg.block.0, msg.id, msg.requester, msg.txn
+            ),
         );
     }
 
@@ -87,7 +106,7 @@ impl Probe for Tracer {
             PID_SWITCH,
             sw.linear as u64,
             t,
-            format!("\"block\":{},\"msg\":{}", msg.block.0, msg.id),
+            format!("\"block\":{},\"msg\":{},\"txn\":{}", msg.block.0, msg.id, msg.txn),
         );
     }
 
@@ -98,7 +117,7 @@ impl Probe for Tracer {
             pid,
             tid,
             t,
-            format!("\"block\":{},\"msg\":{}", msg.block.0, msg.id),
+            format!("\"block\":{},\"msg\":{},\"txn\":{}", msg.block.0, msg.id, msg.txn),
         );
     }
 
@@ -144,21 +163,41 @@ impl Probe for Tracer {
         self.instant("nak", PID_PROC, node as u64, t, format!("\"block\":{}", block.0));
     }
 
-    fn read_issue(&mut self, node: NodeId, block: BlockAddr, t0: Cycle, _inject: Cycle) {
-        self.next_span += 1;
-        let id = self.next_span;
+    fn read_issue(&mut self, node: NodeId, block: BlockAddr, t0: Cycle, _inject: Cycle, txn: u64) {
+        // The simulator stamps every real miss with a nonzero txn; the
+        // counter fallback keeps hand-driven streams (unit tests) working.
+        let id = if txn != 0 {
+            txn
+        } else {
+            self.next_span += 1;
+            self.next_span
+        };
         self.open_reads.insert((node, block.0), id);
         self.events.push(format!(
-            "{{\"name\":\"read_miss\",\"cat\":\"read\",\"ph\":\"b\",\"id\":{id},\"pid\":{PID_PROC},\"tid\":{node},\"ts\":{t0},\"args\":{{\"block\":{}}}}}",
+            "{{\"name\":\"read_miss\",\"cat\":\"read\",\"ph\":\"b\",\"id\":{id},\"pid\":{PID_PROC},\"tid\":{node},\"ts\":{t0},\"args\":{{\"block\":{},\"txn\":{txn}}}}}",
             block.0
         ));
+        self.flow('s', id, PID_PROC, node as u64, t0);
     }
 
-    fn read_retry(&mut self, node: NodeId, block: BlockAddr, t: Cycle) {
-        self.instant("read_retry", PID_PROC, node as u64, t, format!("\"block\":{}", block.0));
+    fn read_retry(&mut self, node: NodeId, block: BlockAddr, t: Cycle, txn: u64) {
+        self.instant(
+            "read_retry",
+            PID_PROC,
+            node as u64,
+            t,
+            format!("\"block\":{},\"txn\":{txn}", block.0),
+        );
     }
 
-    fn read_service_arrive(&mut self, node: NodeId, block: BlockAddr, at: ServicePoint, t: Cycle) {
+    fn read_service_arrive(
+        &mut self,
+        node: NodeId,
+        block: BlockAddr,
+        at: ServicePoint,
+        t: Cycle,
+        txn: u64,
+    ) {
         let (where_, tid) = match at {
             ServicePoint::Home(h) => ("home", h as u64),
             ServicePoint::Switch(sw) => ("switch", sw.linear as u64),
@@ -169,8 +208,11 @@ impl Probe for Tracer {
             pid,
             tid,
             t,
-            format!("\"block\":{},\"node\":{node},\"at\":\"{where_}\"", block.0),
+            format!("\"block\":{},\"node\":{node},\"at\":\"{where_}\",\"txn\":{txn}", block.0),
         );
+        if let Some(&id) = self.open_reads.get(&(node, block.0)) {
+            self.flow('t', id, pid, tid, t);
+        }
     }
 
     fn read_complete(
@@ -180,15 +222,17 @@ impl Probe for Tracer {
         class: ReadClass,
         latency: Cycle,
         t: Cycle,
+        txn: u64,
     ) {
         let Some(id) = self.open_reads.remove(&(node, block.0)) else {
             return;
         };
         self.events.push(format!(
-            "{{\"name\":\"read_miss\",\"cat\":\"read\",\"ph\":\"e\",\"id\":{id},\"pid\":{PID_PROC},\"tid\":{node},\"ts\":{t},\"args\":{{\"block\":{},\"class\":\"{}\",\"latency\":{latency}}}}}",
+            "{{\"name\":\"read_miss\",\"cat\":\"read\",\"ph\":\"e\",\"id\":{id},\"pid\":{PID_PROC},\"tid\":{node},\"ts\":{t},\"args\":{{\"block\":{},\"class\":\"{}\",\"latency\":{latency},\"txn\":{txn}}}}}",
             block.0,
             CLASS_LABELS[class_index(class)]
         ));
+        self.flow('f', id, PID_PROC, node as u64, t);
     }
 }
 
@@ -200,10 +244,10 @@ mod tests {
     #[test]
     fn trace_is_valid_json_with_required_keys() {
         let mut t = Tracer::new();
-        t.read_issue(1, BlockAddr(5), 10, 15);
-        t.read_service_arrive(1, BlockAddr(5), ServicePoint::Home(0), 40);
+        t.read_issue(1, BlockAddr(5), 10, 15, 7);
+        t.read_service_arrive(1, BlockAddr(5), ServicePoint::Home(0), 40, 7);
         t.home_service(0, BlockAddr(5), 40, 42, 90);
-        t.read_complete(1, BlockAddr(5), ReadClass::CleanMemory, 100, 110);
+        t.read_complete(1, BlockAddr(5), ReadClass::CleanMemory, 100, 110, 7);
         let doc = t.finish();
         let parsed = JsonValue::parse(&doc).expect("trace parses as JSON");
         let events = parsed.as_arr().expect("array form");
@@ -218,8 +262,8 @@ mod tests {
     #[test]
     fn async_span_ids_pair_up() {
         let mut t = Tracer::new();
-        t.read_issue(2, BlockAddr(9), 0, 5);
-        t.read_complete(2, BlockAddr(9), ReadClass::DirtyCtoCSwitch, 50, 50);
+        t.read_issue(2, BlockAddr(9), 0, 5, 31);
+        t.read_complete(2, BlockAddr(9), ReadClass::DirtyCtoCSwitch, 50, 50, 31);
         let doc = t.finish();
         let parsed = JsonValue::parse(&doc).unwrap();
         let events = parsed.as_arr().unwrap();
@@ -230,10 +274,43 @@ mod tests {
             b.get("id").and_then(JsonValue::as_u64),
             e.get("id").and_then(JsonValue::as_u64)
         );
+        assert_eq!(b.get("id").and_then(JsonValue::as_u64), Some(31), "span id is the txn id");
         assert_eq!(
             e.get("args").and_then(|a| a.get("class")).and_then(JsonValue::as_str),
             Some("dirty_ctoc_switch")
         );
+    }
+
+    #[test]
+    fn flow_events_stitch_issue_service_and_complete_by_txn() {
+        let mut t = Tracer::new();
+        let sw = SwitchLoc { stage: 1, index: 2, linear: 6 };
+        t.read_issue(4, BlockAddr(3), 0, 2, 55);
+        t.read_service_arrive(4, BlockAddr(3), ServicePoint::Switch(sw), 20, 55);
+        t.read_complete(4, BlockAddr(3), ReadClass::DirtyCtoCSwitch, 44, 44, 55);
+        let doc = t.finish();
+        let parsed = JsonValue::parse(&doc).unwrap();
+        let events = parsed.as_arr().unwrap();
+        let flow_ph = |ph: &str| {
+            events
+                .iter()
+                .find(|e| {
+                    e.get("cat").and_then(JsonValue::as_str) == Some("txn")
+                        && e.get("ph").and_then(JsonValue::as_str) == Some(ph)
+                })
+                .unwrap_or_else(|| panic!("missing flow event ph={ph}"))
+        };
+        let (s, step, f) = (flow_ph("s"), flow_ph("t"), flow_ph("f"));
+        for ev in [s, step, f] {
+            assert_eq!(ev.get("id").and_then(JsonValue::as_u64), Some(55));
+        }
+        // The arrow starts on the processor, steps through the switch
+        // track, and finishes back on the processor.
+        assert_eq!(s.get("pid").and_then(JsonValue::as_u64), Some(0));
+        assert_eq!(step.get("pid").and_then(JsonValue::as_u64), Some(2));
+        assert_eq!(step.get("tid").and_then(JsonValue::as_u64), Some(6));
+        assert_eq!(f.get("pid").and_then(JsonValue::as_u64), Some(0));
+        assert_eq!(f.get("bp").and_then(JsonValue::as_str), Some("e"));
     }
 
     #[test]
@@ -261,7 +338,7 @@ mod tests {
     #[test]
     fn complete_without_issue_is_ignored() {
         let mut t = Tracer::new();
-        t.read_complete(0, BlockAddr(1), ReadClass::CleanMemory, 10, 10);
+        t.read_complete(0, BlockAddr(1), ReadClass::CleanMemory, 10, 10, 0);
         let doc = t.finish();
         assert!(!doc.contains("\"ph\":\"e\""));
     }

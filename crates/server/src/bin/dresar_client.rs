@@ -67,17 +67,28 @@ fn main() {
         println!("{}", doc.dump());
     } else {
         eprintln!(
-            "{} requests ({} transport errors) against {addr}",
-            report.total, report.transport_errors
+            "{} requests ({} transport errors, {} cache hits) against {addr}",
+            report.total, report.transport_errors, report.cache_hits
         );
         for (status, count) in &report.by_status {
             eprintln!("  HTTP {status}: {count}");
         }
+        // End-to-end latency, then the server-reported split for fresh
+        // executions: time spent waiting in the admission queue vs time
+        // actually simulating. A queue-dominated profile means the server
+        // needs more workers; an execute-dominated one means the specs are
+        // simply expensive.
+        let fmt = |v: Option<f64>| match v {
+            Some(us) => format!("{us:.0} us"),
+            None => "n/a".to_string(),
+        };
         for p in [50.0, 95.0, 99.0] {
-            match report.percentile_us(p) {
-                Some(us) => eprintln!("  p{p:.0}: {us:.0} us"),
-                None => eprintln!("  p{p:.0}: n/a"),
-            }
+            eprintln!(
+                "  p{p:.0}: {} (queue {}, execute {})",
+                fmt(report.percentile_us(p)),
+                fmt(report.queue_percentile_us(p)),
+                fmt(report.exec_percentile_us(p))
+            );
         }
     }
     if report.transport_errors > 0 {

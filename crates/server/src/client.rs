@@ -25,8 +25,22 @@ const CLIENT_HIST_BUCKETS: usize = 40;
 pub struct HttpResponse {
     /// HTTP status code.
     pub status: u16,
+    /// Header fields in arrival order, names as sent (values trimmed).
+    pub headers: Vec<(String, String)>,
     /// Response body (the server always sends JSON).
     pub body: String,
+}
+
+impl HttpResponse {
+    /// First header with the given name, matched case-insensitively.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers.iter().find(|(n, _)| n.eq_ignore_ascii_case(name)).map(|(_, v)| v.as_str())
+    }
+
+    /// A numeric header (the server's `X-Dresar-*-Us` timing fields).
+    pub fn header_u64(&self, name: &str) -> Option<u64> {
+        self.header(name).and_then(|v| v.parse().ok())
+    }
 }
 
 /// Issues one HTTP request to `addr` and reads the full response.
@@ -36,11 +50,31 @@ pub fn http_request(
     path: &str,
     body: &str,
 ) -> std::io::Result<HttpResponse> {
+    http_request_with(addr, method, path, &[], body)
+}
+
+/// [`http_request`] with extra request header fields (each written
+/// verbatim as `Name: value`) — how a caller asks for a traced run
+/// (`X-Dresar-Trace`) or Prometheus metrics (`Accept: text/plain`).
+pub fn http_request_with(
+    addr: &str,
+    method: &str,
+    path: &str,
+    extra_headers: &[(&str, &str)],
+    body: &str,
+) -> std::io::Result<HttpResponse> {
     let mut stream = TcpStream::connect(addr)?;
-    let head = format!(
-        "{method} {path} HTTP/1.1\r\nHost: {addr}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+    let mut head = format!(
+        "{method} {path} HTTP/1.1\r\nHost: {addr}\r\nContent-Type: application/json\r\nContent-Length: {}\r\n",
         body.len()
     );
+    for (name, value) in extra_headers {
+        head.push_str(name);
+        head.push_str(": ");
+        head.push_str(value);
+        head.push_str("\r\n");
+    }
+    head.push_str("Connection: close\r\n\r\n");
     stream.write_all(head.as_bytes())?;
     stream.write_all(body.as_bytes())?;
     stream.flush()?;
@@ -58,15 +92,20 @@ fn parse_response(raw: &[u8]) -> std::io::Result<HttpResponse> {
         .ok_or_else(|| bad("response has no header terminator"))?;
     let head =
         std::str::from_utf8(&raw[..head_end]).map_err(|_| bad("response head is not UTF-8"))?;
-    let status_line = head.split("\r\n").next().unwrap_or("");
+    let mut lines = head.split("\r\n");
+    let status_line = lines.next().unwrap_or("");
     let status = status_line
         .split_ascii_whitespace()
         .nth(1)
         .and_then(|s| s.parse::<u16>().ok())
         .ok_or_else(|| bad("malformed status line"))?;
+    let headers = lines
+        .filter_map(|line| line.split_once(':'))
+        .map(|(n, v)| (n.to_string(), v.trim().to_string()))
+        .collect();
     let body = String::from_utf8(raw[head_end + 4..].to_vec())
         .map_err(|_| bad("response body is not UTF-8"))?;
-    Ok(HttpResponse { status, body })
+    Ok(HttpResponse { status, headers, body })
 }
 
 /// Posts one run-spec body to `/run`.
@@ -111,14 +150,32 @@ pub struct LoadReport {
     pub transport_errors: u64,
     /// Completed responses per HTTP status code.
     pub by_status: BTreeMap<u64, u64>,
+    /// Responses served from the cache (`X-Dresar-Cache: hit`).
+    pub cache_hits: u64,
     /// Log2 histogram of request service times, microseconds.
     pub service_us_hist: Vec<u64>,
+    /// Log2 histogram of server-reported queue waits, microseconds. Only
+    /// fresh executions report one, so the hist counts fewer samples than
+    /// `service_us_hist` whenever the cache or coalescing served requests.
+    pub queue_us_hist: Vec<u64>,
+    /// Log2 histogram of server-reported execution times, microseconds.
+    pub exec_us_hist: Vec<u64>,
 }
 
 impl LoadReport {
     /// The `p`-th percentile (0..=100) service time in microseconds.
     pub fn percentile_us(&self, p: f64) -> Option<f64> {
         log2_percentile(&self.service_us_hist, p / 100.0)
+    }
+
+    /// The `p`-th percentile server-side queue wait, microseconds.
+    pub fn queue_percentile_us(&self, p: f64) -> Option<f64> {
+        log2_percentile(&self.queue_us_hist, p / 100.0)
+    }
+
+    /// The `p`-th percentile server-side execution time, microseconds.
+    pub fn exec_percentile_us(&self, p: f64) -> Option<f64> {
+        log2_percentile(&self.exec_us_hist, p / 100.0)
     }
 }
 
@@ -128,10 +185,19 @@ impl ToJson for LoadReport {
             .field("total", self.total)
             .field("transport_errors", self.transport_errors)
             .field("by_status", self.by_status.clone())
+            .field("cache_hits", self.cache_hits)
             .field("p50_us", self.percentile_us(50.0))
             .field("p95_us", self.percentile_us(95.0))
             .field("p99_us", self.percentile_us(99.0))
+            .field("queue_p50_us", self.queue_percentile_us(50.0))
+            .field("queue_p95_us", self.queue_percentile_us(95.0))
+            .field("queue_p99_us", self.queue_percentile_us(99.0))
+            .field("exec_p50_us", self.exec_percentile_us(50.0))
+            .field("exec_p95_us", self.exec_percentile_us(95.0))
+            .field("exec_p99_us", self.exec_percentile_us(99.0))
             .field("service_us_hist", self.service_us_hist.clone())
+            .field("queue_us_hist", self.queue_us_hist.clone())
+            .field("exec_us_hist", self.exec_us_hist.clone())
             .build()
     }
 }
@@ -141,6 +207,8 @@ impl ToJson for LoadReport {
 pub fn run_load(addr: &str, mix: &[String], opts: &LoadOptions) -> LoadReport {
     let report = Arc::new(Mutex::new(LoadReport {
         service_us_hist: vec![0; CLIENT_HIST_BUCKETS],
+        queue_us_hist: vec![0; CLIENT_HIST_BUCKETS],
+        exec_us_hist: vec![0; CLIENT_HIST_BUCKETS],
         ..LoadReport::default()
     }));
     let mix: Arc<Vec<String>> = Arc::new(mix.to_vec());
@@ -165,6 +233,15 @@ pub fn run_load(addr: &str, mix: &[String], opts: &LoadOptions) -> LoadReport {
                         Ok(resp) => {
                             *r.by_status.entry(u64::from(resp.status)).or_insert(0) += 1;
                             r.service_us_hist[log2_bucket(us, CLIENT_HIST_BUCKETS)] += 1;
+                            if resp.header("x-dresar-cache") == Some("hit") {
+                                r.cache_hits += 1;
+                            }
+                            if let Some(q) = resp.header_u64("x-dresar-queue-us") {
+                                r.queue_us_hist[log2_bucket(q, CLIENT_HIST_BUCKETS)] += 1;
+                            }
+                            if let Some(e) = resp.header_u64("x-dresar-exec-us") {
+                                r.exec_us_hist[log2_bucket(e, CLIENT_HIST_BUCKETS)] += 1;
+                            }
                         }
                         Err(_) => r.transport_errors += 1,
                     }
@@ -190,6 +267,15 @@ mod tests {
         let resp = parse_response(raw).unwrap();
         assert_eq!(resp.status, 429);
         assert_eq!(resp.body, "{}");
+    }
+
+    #[test]
+    fn response_headers_are_captured_and_parsed() {
+        let raw = b"HTTP/1.1 200 OK\r\nX-Dresar-Queue-Us: 42\r\nX-Dresar-Cache: miss\r\n\r\n{}";
+        let resp = parse_response(raw).unwrap();
+        assert_eq!(resp.header("x-dresar-cache"), Some("miss"));
+        assert_eq!(resp.header_u64("X-DRESAR-QUEUE-US"), Some(42));
+        assert_eq!(resp.header_u64("x-dresar-exec-us"), None);
     }
 
     #[test]

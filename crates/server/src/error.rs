@@ -60,6 +60,8 @@ pub enum ServeError {
         /// The queue bound that was hit.
         queue_depth: usize,
     },
+    /// `GET /debug/flight` before any anomalous run deposited a dump.
+    FlightUnavailable,
     /// The server is draining for shutdown.
     ShuttingDown,
     /// The simulation failed internally (reported, never a crash).
@@ -85,6 +87,7 @@ impl ServeError {
             ServeError::NotFound(_) => "not_found",
             ServeError::MethodNotAllowed(_) => "method_not_allowed",
             ServeError::Overloaded { .. } => "overloaded",
+            ServeError::FlightUnavailable => "no_flight_dump",
             ServeError::ShuttingDown => "shutting_down",
             ServeError::Internal(_) => "internal",
         }
@@ -93,7 +96,7 @@ impl ServeError {
     /// The HTTP status the error is served with.
     pub fn status(&self) -> u16 {
         match self {
-            ServeError::NotFound(_) => 404,
+            ServeError::NotFound(_) | ServeError::FlightUnavailable => 404,
             ServeError::MethodNotAllowed(_) => 405,
             ServeError::BodyTooLarge(_) => 413,
             ServeError::Overloaded { .. } => 429,
@@ -127,6 +130,9 @@ impl ServeError {
             }
             ServeError::Overloaded { queue_depth } => {
                 format!("admission queue full (bound {queue_depth}); request shed, retry later")
+            }
+            ServeError::FlightUnavailable => {
+                "no flight-recorder dump recorded yet (no anomalous run has completed)".to_string()
             }
             ServeError::ShuttingDown => "server is draining for shutdown".to_string(),
         }
@@ -190,6 +196,7 @@ mod tests {
             ServeError::NotFound(String::new()),
             ServeError::MethodNotAllowed(String::new()),
             ServeError::Overloaded { queue_depth: 1 },
+            ServeError::FlightUnavailable,
             ServeError::ShuttingDown,
             ServeError::Internal(String::new()),
         ];

@@ -33,8 +33,25 @@ pub struct Request {
     pub method: String,
     /// Request path including any query string, e.g. `/run`.
     pub path: String,
+    /// Header fields in arrival order, names as sent (values trimmed).
+    pub headers: Vec<(String, String)>,
     /// Decoded body (empty when the request carried none).
     pub body: String,
+}
+
+impl Request {
+    /// First header with the given name, matched case-insensitively.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers.iter().find(|(n, _)| n.eq_ignore_ascii_case(name)).map(|(_, v)| v.as_str())
+    }
+
+    /// The path with any query string stripped, and the query itself.
+    pub fn route(&self) -> (&str, &str) {
+        match self.path.split_once('?') {
+            Some((p, q)) => (p, q),
+            None => (self.path.as_str(), ""),
+        }
+    }
 }
 
 /// Reads and parses one HTTP/1.1 request from the stream.
@@ -77,6 +94,7 @@ pub fn read_request(stream: &mut TcpStream) -> Result<Request, ServeError> {
         return Err(ServeError::BadRequest(format!("unsupported protocol '{version}'")));
     }
     let mut content_length = 0usize;
+    let mut headers = Vec::new();
     for line in lines {
         if let Some((name, value)) = line.split_once(':') {
             if name.eq_ignore_ascii_case("content-length") {
@@ -84,6 +102,7 @@ pub fn read_request(stream: &mut TcpStream) -> Result<Request, ServeError> {
                     ServeError::BadRequest(format!("bad Content-Length '{}'", value.trim()))
                 })?;
             }
+            headers.push((name.to_string(), value.trim().to_string()));
         }
     }
     if content_length > MAX_BODY_BYTES {
@@ -103,7 +122,7 @@ pub fn read_request(stream: &mut TcpStream) -> Result<Request, ServeError> {
     body.truncate(content_length);
     let body = String::from_utf8(body)
         .map_err(|_| ServeError::BadRequest("request body is not UTF-8".into()))?;
-    Ok(Request { method, path, body })
+    Ok(Request { method, path, headers, body })
 }
 
 fn find_head_end(buf: &[u8]) -> Option<usize> {
@@ -114,11 +133,30 @@ fn find_head_end(buf: &[u8]) -> Option<usize> {
 /// connection (`Connection: close`), which is also what makes the client's
 /// read-to-EOF framing sound.
 pub fn write_response(stream: &mut TcpStream, status: u16, body: &str) -> std::io::Result<()> {
-    let head = format!(
-        "HTTP/1.1 {status} {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+    write_response_with(stream, status, "application/json", &[], body)
+}
+
+/// [`write_response`] with an explicit content type and extra header
+/// fields (each written verbatim as `Name: value`).
+pub fn write_response_with(
+    stream: &mut TcpStream,
+    status: u16,
+    content_type: &str,
+    extra_headers: &[(&str, String)],
+    body: &str,
+) -> std::io::Result<()> {
+    let mut head = format!(
+        "HTTP/1.1 {status} {}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\n",
         reason(status),
         body.len()
     );
+    for (name, value) in extra_headers {
+        head.push_str(name);
+        head.push_str(": ");
+        head.push_str(value);
+        head.push_str("\r\n");
+    }
+    head.push_str("Connection: close\r\n\r\n");
     stream.write_all(head.as_bytes())?;
     stream.write_all(body.as_bytes())?;
     stream.flush()
@@ -202,6 +240,25 @@ mod tests {
             parse_raw(b"POST /run HTTP/1.1\r\nContent-Length: nope\r\n\r\n").unwrap_err().code(),
             "bad_request"
         );
+    }
+
+    #[test]
+    fn headers_are_captured_and_matched_case_insensitively() {
+        let req = parse_raw(
+            b"POST /run HTTP/1.1\r\nX-Dresar-Trace: abc123\r\nContent-Length: 2\r\n\r\n{}",
+        )
+        .unwrap();
+        assert_eq!(req.header("x-dresar-trace"), Some("abc123"));
+        assert_eq!(req.header("X-DRESAR-TRACE"), Some("abc123"));
+        assert_eq!(req.header("x-missing"), None);
+    }
+
+    #[test]
+    fn route_splits_path_and_query() {
+        let req = parse_raw(b"GET /metrics?format=prom HTTP/1.1\r\n\r\n").unwrap();
+        assert_eq!(req.route(), ("/metrics", "format=prom"));
+        let bare = parse_raw(b"GET /metrics HTTP/1.1\r\n\r\n").unwrap();
+        assert_eq!(bare.route(), ("/metrics", ""));
     }
 
     #[test]

@@ -143,7 +143,17 @@ impl ValidatedSpec {
     /// (trailing newline included). Deterministic: equal specs produce
     /// byte-identical bodies.
     pub fn execute(&self) -> Result<String, ServeError> {
+        self.execute_full(false).map(|out| out.body)
+    }
+
+    /// [`ValidatedSpec::execute`] plus the observability side channels:
+    /// the flight-recorder dump when the run was anomalous, and — when
+    /// `traced` — the simulator's Chrome-trace document, pulled out of the
+    /// report so the body itself stays identical to an untraced run.
+    pub fn execute_full(&self, traced: bool) -> Result<ExecOutput, ServeError> {
         let workload = self.workload();
+        let mut flight = None;
+        let mut trace = None;
         let (driver, report_json) = if self.kind.is_trace_driven() {
             let mut cfg = TraceSimConfig::paper_table3();
             cfg.nodes = self.spec.nodes as usize;
@@ -154,14 +164,22 @@ impl ValidatedSpec {
             let mut cfg = SystemConfig::paper_table2();
             cfg.nodes = self.spec.nodes as usize;
             cfg.switch_dir = self.sd;
-            let options = RunOptions {
+            let mut options = RunOptions {
                 transient_policy: TransientReadPolicy::Retry,
                 faults: self.faults,
                 watchdog: self.faults.as_ref().map(|_| WatchdogConfig::default()),
                 verify_coherence: self.faults.is_some(),
                 ..RunOptions::default()
             };
-            let report = System::new(cfg, &workload).run(options);
+            options.observers.trace = traced;
+            let mut report = System::new(cfg, &workload).run(options);
+            if let Some(obs) = report.obs.as_mut() {
+                flight = obs.flight.as_ref().map(|f| f.to_json().dump());
+                trace = obs.trace.take();
+                if obs.is_empty() {
+                    report.obs = None;
+                }
+            }
             ("execution", report.to_json())
         };
         let mut body = dresar_bench::json_doc("dresar-serve")
@@ -172,8 +190,22 @@ impl ValidatedSpec {
             .build()
             .dump();
         body.push('\n');
-        Ok(body)
+        Ok(ExecOutput { body, flight, trace })
     }
+}
+
+/// Everything one execution yields beyond its serialized body.
+#[derive(Debug, Clone)]
+pub struct ExecOutput {
+    /// The complete response body (trailing newline included).
+    pub body: String,
+    /// Serialized flight-recorder dump, present when the run was anomalous
+    /// (watchdog trip, coherence failure, lost messages, sim errors).
+    pub flight: Option<String>,
+    /// The simulator's Chrome-trace event document, present when tracing
+    /// was requested (execution-driven workloads only — the trace-driven
+    /// model has no message system to trace).
+    pub trace: Option<String>,
 }
 
 #[cfg(test)]

@@ -31,11 +31,12 @@
 
 use crate::cache::ResultCache;
 use crate::error::ServeError;
-use crate::http::{read_request, write_response, Request};
-use crate::run::{validate, ValidatedSpec};
+use crate::http::{read_request, write_response, write_response_with, Request};
+use crate::run::{validate, ExecOutput, ValidatedSpec};
 use dresar_bench::sweep::{ServicePool, SubmitError, SweepRunner};
 use dresar_obs::{hostprof, log2_bucket, MetricsRegistry};
 use dresar_types::{FastMap, FromJson, JsonValue, RunSpec, ToJson};
+use std::collections::BTreeMap;
 use std::net::{TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
@@ -43,6 +44,16 @@ use std::time::{Duration, Instant};
 
 /// Number of log2 buckets in the service-time histogram (microseconds).
 const SERVICE_HIST_BUCKETS: usize = 40;
+
+/// Cap on distinct per-digest latency histograms kept in `/metrics`;
+/// beyond it new digests fold into the global histogram only (bounds the
+/// registry against digest churn).
+const MAX_DIGEST_HISTS: usize = 64;
+
+/// The `pid` server request spans use in merged Perfetto documents —
+/// far from the simulator's pids 0..2, so the serving timeline renders as
+/// its own process.
+const PID_SERVER: u32 = 100;
 
 /// How long a request waits for its (possibly coalesced) execution before
 /// reporting an internal timeout. Generous: tier-1 runs tiny workloads in
@@ -71,20 +82,37 @@ impl Default for ServerConfig {
     }
 }
 
-/// One in-flight execution that any number of same-digest requests await.
-#[derive(Debug, Default)]
-struct InFlight {
-    result: Mutex<Option<Result<Arc<String>, ServeError>>>,
+/// A finished execution as published to waiting requests: the shared body
+/// plus the phase timings every attached request reports.
+#[derive(Debug, Clone)]
+struct RunOutcome {
+    body: Arc<String>,
+    /// Microseconds the job waited in the admission queue.
+    queue_us: u64,
+    /// Microseconds the engine execution (and serialization) took.
+    exec_us: u64,
+}
+
+/// One pending result that any number of requests await.
+#[derive(Debug)]
+struct Flight<T> {
+    result: Mutex<Option<Result<T, ServeError>>>,
     ready: Condvar,
 }
 
-impl InFlight {
-    fn publish(&self, result: Result<Arc<String>, ServeError>) {
+impl<T> Default for Flight<T> {
+    fn default() -> Self {
+        Flight { result: Mutex::new(None), ready: Condvar::new() }
+    }
+}
+
+impl<T: Clone> Flight<T> {
+    fn publish(&self, result: Result<T, ServeError>) {
         *self.result.lock().expect("in-flight result poisoned") = Some(result);
         self.ready.notify_all();
     }
 
-    fn wait(&self) -> Result<Arc<String>, ServeError> {
+    fn wait(&self) -> Result<T, ServeError> {
         let mut slot = self.result.lock().expect("in-flight result poisoned");
         let deadline = Instant::now() + RESULT_WAIT_TIMEOUT;
         while slot.is_none() {
@@ -99,6 +127,9 @@ impl InFlight {
     }
 }
 
+/// One in-flight coalesced execution that same-digest requests share.
+type InFlight = Flight<RunOutcome>;
+
 /// Serving counters, all monotone and lock-free on the request path.
 #[derive(Debug)]
 struct ServeMetrics {
@@ -111,6 +142,9 @@ struct ServeMetrics {
     errors: AtomicU64,
     inflight_peak: AtomicU64,
     service_us_hist: Mutex<[u64; SERVICE_HIST_BUCKETS]>,
+    /// Per-digest service-time histograms (bounded at
+    /// [`MAX_DIGEST_HISTS`]); `BTreeMap` so `/metrics` emission is sorted.
+    digest_us_hists: Mutex<BTreeMap<u64, [u64; SERVICE_HIST_BUCKETS]>>,
 }
 
 impl Default for ServeMetrics {
@@ -125,6 +159,7 @@ impl Default for ServeMetrics {
             errors: AtomicU64::new(0),
             inflight_peak: AtomicU64::new(0),
             service_us_hist: Mutex::new([0; SERVICE_HIST_BUCKETS]),
+            digest_us_hists: Mutex::new(BTreeMap::new()),
         }
     }
 }
@@ -136,6 +171,9 @@ struct Shared {
     metrics: ServeMetrics,
     shutting_down: AtomicBool,
     started: Instant,
+    /// Most recent flight-recorder dump deposited by an anomalous run,
+    /// served verbatim by `GET /debug/flight`.
+    last_flight: Mutex<Option<Arc<String>>>,
 }
 
 /// A running `dresar-serve` instance. Construct with [`Server::start`];
@@ -168,6 +206,7 @@ impl Server {
             metrics: ServeMetrics::default(),
             shutting_down: AtomicBool::new(false),
             started: Instant::now(),
+            last_flight: Mutex::new(None),
         });
         let conns: Arc<Mutex<Vec<std::thread::JoinHandle<()>>>> = Arc::default();
         let acceptor = {
@@ -248,6 +287,20 @@ fn accept_loop(
     }
 }
 
+/// One routed response: status, content type, extra headers, body.
+struct Reply {
+    status: u16,
+    content_type: &'static str,
+    headers: Vec<(&'static str, String)>,
+    body: String,
+}
+
+impl Reply {
+    fn json(status: u16, body: String) -> Reply {
+        Reply { status, content_type: "application/json", headers: Vec::new(), body }
+    }
+}
+
 fn handle_conn(mut stream: TcpStream, shared: &Arc<Shared>) {
     shared.metrics.requests.fetch_add(1, Ordering::Relaxed);
     let request = match read_request(&mut stream) {
@@ -258,10 +311,15 @@ fn handle_conn(mut stream: TcpStream, shared: &Arc<Shared>) {
             return;
         }
     };
-    let outcome = route(&request, shared);
-    match outcome {
-        Ok((status, body)) => {
-            let _ = write_response(&mut stream, status, &body);
+    match route(&request, shared) {
+        Ok(reply) => {
+            let _ = write_response_with(
+                &mut stream,
+                reply.status,
+                reply.content_type,
+                &reply.headers,
+                &reply.body,
+            );
         }
         Err(e) => {
             shared.metrics.errors.fetch_add(1, Ordering::Relaxed);
@@ -270,22 +328,61 @@ fn handle_conn(mut stream: TcpStream, shared: &Arc<Shared>) {
     }
 }
 
-fn route(request: &Request, shared: &Arc<Shared>) -> Result<(u16, String), ServeError> {
-    match (request.method.as_str(), request.path.as_str()) {
-        ("GET", "/healthz") => Ok((200, healthz_body(shared))),
-        ("GET", "/metrics") => Ok((200, metrics_body(shared))),
+fn route(request: &Request, shared: &Arc<Shared>) -> Result<Reply, ServeError> {
+    let (path, query) = request.route();
+    match (request.method.as_str(), path) {
+        ("GET", "/healthz") => Ok(Reply::json(200, healthz_body(shared))),
+        ("GET", "/metrics") => {
+            // Content negotiation: Prometheus text exposition on
+            // `?format=prom` or an Accept preferring text/plain; the
+            // JSON document otherwise.
+            let wants_prom = query.split('&').any(|kv| kv == "format=prom")
+                || request.header("accept").is_some_and(|a| a.contains("text/plain"));
+            if wants_prom {
+                Ok(Reply {
+                    status: 200,
+                    content_type: "text/plain; version=0.0.4",
+                    headers: Vec::new(),
+                    body: snapshot(shared).to_prometheus(),
+                })
+            } else {
+                Ok(Reply::json(200, metrics_body(shared)))
+            }
+        }
+        ("GET", "/debug/flight") => {
+            let dump = shared.last_flight.lock().expect("flight slot poisoned").clone();
+            match dump {
+                Some(body) => Ok(Reply::json(200, (*body).clone())),
+                None => Err(ServeError::FlightUnavailable),
+            }
+        }
         ("POST", "/run") => {
             if shared.shutting_down.load(Ordering::SeqCst) {
                 return Err(ServeError::ShuttingDown);
             }
+            if let Some(trace_id) = request.header("x-dresar-trace") {
+                let trace_id = trace_id.to_string();
+                return serve_run_traced(&request.body, &trace_id, shared);
+            }
             let t0 = Instant::now();
             let out = serve_run(&request.body, shared);
-            record_service_time(shared, t0.elapsed());
-            out.map(|body| (200, body))
+            out.map(|(served, digest)| {
+                record_service_time(shared, digest, t0.elapsed());
+                let mut reply = Reply::json(200, served.body);
+                reply.headers = match served.source {
+                    RunSource::Cache => vec![("X-Dresar-Cache", "hit".to_string())],
+                    RunSource::Executed { queue_us, exec_us } => vec![
+                        ("X-Dresar-Cache", "miss".to_string()),
+                        ("X-Dresar-Queue-Us", queue_us.to_string()),
+                        ("X-Dresar-Exec-Us", exec_us.to_string()),
+                    ],
+                };
+                reply
+            })
         }
         ("POST", "/shutdown") => {
             shared.shutting_down.store(true, Ordering::SeqCst);
-            Ok((200, "{\"draining\":true}\n".to_string()))
+            Ok(Reply::json(200, "{\"draining\":true}\n".to_string()))
         }
         ("GET" | "POST", _) => {
             Err(ServeError::NotFound(format!("no route for '{}'", request.path)))
@@ -294,8 +391,25 @@ fn route(request: &Request, shared: &Arc<Shared>) -> Result<(u16, String), Serve
     }
 }
 
+/// Where a `/run` body came from, with phase timings when it was executed
+/// (coalesced followers report the shared execution's timings).
+enum RunSource {
+    Cache,
+    Executed {
+        /// Microseconds the execution waited in the admission queue.
+        queue_us: u64,
+        /// Microseconds the engine run and serialization took.
+        exec_us: u64,
+    },
+}
+
+struct ServedRun {
+    body: String,
+    source: RunSource,
+}
+
 /// The `/run` pipeline: parse, validate, cache, coalesce, admit, wait.
-fn serve_run(body: &str, shared: &Arc<Shared>) -> Result<String, ServeError> {
+fn serve_run(body: &str, shared: &Arc<Shared>) -> Result<(ServedRun, u64), ServeError> {
     shared.metrics.run_requests.fetch_add(1, Ordering::Relaxed);
     let spec = parse_spec(body)?;
     let validated = validate(&spec)?;
@@ -303,11 +417,18 @@ fn serve_run(body: &str, shared: &Arc<Shared>) -> Result<String, ServeError> {
 
     if let Some(cached) = shared.cache.lock().expect("cache poisoned").get(digest) {
         shared.metrics.cache_hits.fetch_add(1, Ordering::Relaxed);
-        return Ok((*cached).clone());
+        return Ok((ServedRun { body: (*cached).clone(), source: RunSource::Cache }, digest));
     }
 
     let flight = attach_or_lead(digest, validated, shared)?;
-    flight.wait().map(|arc| (*arc).clone())
+    let outcome = flight.wait()?;
+    Ok((
+        ServedRun {
+            body: (*outcome.body).clone(),
+            source: RunSource::Executed { queue_us: outcome.queue_us, exec_us: outcome.exec_us },
+        },
+        digest,
+    ))
 }
 
 /// Joins the in-flight execution for `digest`, creating and admitting it
@@ -332,11 +453,23 @@ fn attach_or_lead(
     let job = {
         let shared = Arc::clone(shared);
         let flight = Arc::clone(&flight);
+        let submitted = Instant::now();
         Box::new(move || {
+            let queue_us = us(submitted.elapsed());
             shared.metrics.executions.fetch_add(1, Ordering::Relaxed);
-            let result = validated.execute().map(Arc::new);
-            if let Ok(body) = &result {
-                shared.cache.lock().expect("cache poisoned").insert(digest, Arc::clone(body));
+            let t_exec = Instant::now();
+            let result = validated.execute_full(false);
+            let exec_us = us(t_exec.elapsed());
+            let result = result.map(|out| {
+                deposit_flight(&shared, out.flight.as_deref());
+                RunOutcome { body: Arc::new(out.body), queue_us, exec_us }
+            });
+            if let Ok(outcome) = &result {
+                shared
+                    .cache
+                    .lock()
+                    .expect("cache poisoned")
+                    .insert(digest, Arc::clone(&outcome.body));
             }
             // Unregister before publishing: a request arriving after this
             // point must hit the cache (or start a fresh run), never attach
@@ -362,6 +495,132 @@ fn attach_or_lead(
     }
 }
 
+/// The traced `/run` pipeline (`X-Dresar-Trace` header). Admission runs
+/// the same phases — parse/validate, cache lookup, bounded queue — but the
+/// execution is instrumented and never shared: the cache verdict is
+/// recorded yet bypassed and the run does not register in the in-flight
+/// table, because the merged-trace response is request-specific. The body
+/// is one Chrome-trace/Perfetto document: server request spans (pid
+/// [`PID_SERVER`]) plus the simulator's causal spans, linked by the trace
+/// id and spec digest carried in every server span's args.
+fn serve_run_traced(body: &str, trace_id: &str, shared: &Arc<Shared>) -> Result<Reply, ServeError> {
+    let t0 = Instant::now();
+    shared.metrics.run_requests.fetch_add(1, Ordering::Relaxed);
+    let spec = parse_spec(body)?;
+    let validated = validate(&spec)?;
+    let digest = spec.digest();
+    let digest_hex = spec.digest_hex();
+    let admit_end = us(t0.elapsed());
+
+    let cache_hit = shared.cache.lock().expect("cache poisoned").get(digest).is_some();
+    let cache_end = us(t0.elapsed());
+
+    // Real queue wait: the instrumented run goes through the same bounded
+    // admission as every other execution.
+    let flight: Arc<Flight<(ExecOutput, u64, u64)>> = Arc::default();
+    let submit_off = us(t0.elapsed());
+    let job = {
+        let shared = Arc::clone(shared);
+        let flight = Arc::clone(&flight);
+        let submitted = Instant::now();
+        Box::new(move || {
+            let queue_us = us(submitted.elapsed());
+            shared.metrics.executions.fetch_add(1, Ordering::Relaxed);
+            let t_exec = Instant::now();
+            let result = validated.execute_full(true);
+            let exec_us = us(t_exec.elapsed());
+            let result = result.map(|out| {
+                deposit_flight(&shared, out.flight.as_deref());
+                (out, queue_us, exec_us)
+            });
+            flight.publish(result);
+        })
+    };
+    if let Err(submit_err) = shared.pool.try_submit(job) {
+        shared.metrics.shed.fetch_add(1, Ordering::Relaxed);
+        return Err(match submit_err {
+            SubmitError::QueueFull { queue_depth } => ServeError::Overloaded { queue_depth },
+            SubmitError::ShuttingDown => ServeError::ShuttingDown,
+        });
+    }
+    let (out, queue_us, exec_us) = flight.wait()?;
+
+    let ser_off = us(t0.elapsed());
+    let sim_events = out.trace.as_deref().map(trace_inner).unwrap_or_default();
+    let serialize_us = us(t0.elapsed()).saturating_sub(ser_off);
+
+    let tid_json = JsonValue::Str(trace_id.to_string()).dump();
+    let span_args = format!("\"trace_id\":{tid_json},\"digest\":\"{digest_hex}\"");
+    let mut events: Vec<String> = vec![
+        format!(
+            "{{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":{PID_SERVER},\
+             \"args\":{{\"name\":\"dresar-serve\"}}}}"
+        ),
+        format!(
+            "{{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":{PID_SERVER},\"tid\":1,\
+             \"args\":{{\"name\":\"request\"}}}}"
+        ),
+    ];
+    let phases: [(&str, u64, u64); 5] = [
+        ("admission", 0, admit_end),
+        ("cache_lookup", admit_end, cache_end.saturating_sub(admit_end)),
+        ("queue_wait", submit_off, queue_us),
+        ("execute", submit_off + queue_us, exec_us),
+        ("serialize", ser_off, serialize_us),
+    ];
+    for (name, ts, dur) in phases {
+        events.push(format!(
+            "{{\"name\":\"{name}\",\"cat\":\"serve\",\"ph\":\"X\",\"pid\":{PID_SERVER},\
+             \"tid\":1,\"ts\":{ts},\"dur\":{dur},\"args\":{{{span_args}}}}}"
+        ));
+    }
+    let phase_json = JsonValue::obj()
+        .field("admission_us", admit_end)
+        .field("cache_lookup_us", cache_end.saturating_sub(admit_end))
+        .field("queue_wait_us", queue_us)
+        .field("execute_us", exec_us)
+        .field("serialize_us", serialize_us)
+        .build();
+    let meta = JsonValue::obj()
+        .field("tool", "dresar-serve")
+        .field("trace_id", trace_id)
+        .field("digest", digest_hex.as_str())
+        .field("cache_hit_bypassed", cache_hit)
+        .field("sim_trace", out.trace.is_some())
+        .field("phases_us", phase_json)
+        .build();
+
+    let mut doc = String::from("{\"traceEvents\":[\n");
+    doc.push_str(&events.join(",\n"));
+    if !sim_events.is_empty() {
+        doc.push_str(",\n");
+        doc.push_str(sim_events);
+    }
+    doc.push_str("\n],\n\"dresar\":");
+    doc.push_str(&meta.dump());
+    doc.push_str("}\n");
+
+    record_service_time(shared, digest, t0.elapsed());
+    Ok(Reply {
+        status: 200,
+        content_type: "application/json",
+        headers: vec![
+            ("X-Dresar-Trace", trace_id.to_string()),
+            ("X-Dresar-Queue-Us", queue_us.to_string()),
+            ("X-Dresar-Exec-Us", exec_us.to_string()),
+        ],
+        body: doc,
+    })
+}
+
+/// The event lines of a Tracer document (strips the enclosing JSON array
+/// brackets so the events splice into a larger `traceEvents` array).
+fn trace_inner(doc: &str) -> &str {
+    let inner = doc.strip_prefix("[\n").unwrap_or(doc);
+    let inner = inner.strip_suffix("\n]\n").unwrap_or(inner);
+    inner.trim_matches('\n')
+}
+
 fn parse_spec(body: &str) -> Result<RunSpec, ServeError> {
     let json = JsonValue::parse(body)
         .map_err(|e| ServeError::BadJson(format!("request body is not JSON: {e}")))?;
@@ -374,10 +633,25 @@ fn parse_spec(body: &str) -> Result<RunSpec, ServeError> {
     })
 }
 
-fn record_service_time(shared: &Shared, elapsed: Duration) {
-    let us = elapsed.as_micros().min(u128::from(u64::MAX)) as u64;
-    let mut hist = shared.metrics.service_us_hist.lock().expect("service hist poisoned");
-    hist[log2_bucket(us, SERVICE_HIST_BUCKETS)] += 1;
+fn us(elapsed: Duration) -> u64 {
+    elapsed.as_micros().min(u128::from(u64::MAX)) as u64
+}
+
+/// Deposits an anomalous run's flight dump into the `/debug/flight` slot.
+fn deposit_flight(shared: &Shared, flight: Option<&str>) {
+    if let Some(dump) = flight {
+        *shared.last_flight.lock().expect("flight slot poisoned") =
+            Some(Arc::new(dump.to_string()));
+    }
+}
+
+fn record_service_time(shared: &Shared, digest: u64, elapsed: Duration) {
+    let bucket = log2_bucket(us(elapsed), SERVICE_HIST_BUCKETS);
+    shared.metrics.service_us_hist.lock().expect("service hist poisoned")[bucket] += 1;
+    let mut per = shared.metrics.digest_us_hists.lock().expect("digest hists poisoned");
+    if per.len() < MAX_DIGEST_HISTS || per.contains_key(&digest) {
+        per.entry(digest).or_insert([0; SERVICE_HIST_BUCKETS])[bucket] += 1;
+    }
 }
 
 /// Assembles the serving registry: every admission/coalescing/cache
@@ -409,6 +683,12 @@ fn snapshot(shared: &Shared) -> MetricsRegistry {
     let hist = m.service_us_hist.lock().expect("service hist poisoned");
     let last = hist.iter().rposition(|&c| c > 0).map_or(0, |i| i + 1);
     reg.hist("serve.service_us_log2", hist[..last].to_vec());
+    drop(hist);
+    let per = m.digest_us_hists.lock().expect("digest hists poisoned");
+    for (digest, hist) in per.iter() {
+        let last = hist.iter().rposition(|&c| c > 0).map_or(0, |i| i + 1);
+        reg.hist(&format!("serve.digest.{digest:016x}.service_us_log2"), hist[..last].to_vec());
+    }
     reg
 }
 

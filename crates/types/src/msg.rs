@@ -208,6 +208,11 @@ pub struct Message {
     /// yet) hold — message retransmission can deliver an intervention the
     /// home has since cancelled. Zero on all other messages.
     pub owner_seq: u64,
+    /// Transaction id of the miss this message serves: a stable span id that
+    /// follows the whole lifecycle (request, forwarded intervention, reply,
+    /// retry) so observers can reconstruct one miss as a causal tree. Zero
+    /// when the message serves no tracked transaction (e.g. evictions).
+    pub txn: u64,
 }
 
 impl Message {
@@ -250,7 +255,14 @@ impl Message {
             carried_sharers: SharerSet::EMPTY,
             issued_at,
             owner_seq: 0,
+            txn: 0,
         }
+    }
+
+    /// Tags the message with the transaction id it serves.
+    pub fn with_txn(mut self, txn: u64) -> Self {
+        self.txn = txn;
+        self
     }
 
     /// Sets the ownership-instance sequence number.

@@ -10,7 +10,7 @@
 //! releases the workers.
 
 use dresar_obs::{MetricValue, MetricsRegistry};
-use dresar_server::client::{http_request, post_run};
+use dresar_server::client::{http_request, http_request_with, post_run};
 use dresar_server::serve::{Server, ServerConfig};
 use dresar_types::JsonValue;
 use std::io::{Read, Write};
@@ -206,5 +206,147 @@ fn health_and_metrics_endpoints_serve_json() {
     assert!(m.get("serve.run_requests").is_some());
     assert!(m.get("serve.executions").is_some());
     assert!(doc.get("host").and_then(|h| h.get("uptime_seconds")).is_some());
+    server.shutdown();
+}
+
+#[test]
+fn metrics_endpoint_negotiates_prometheus_text_exposition() {
+    let server = Server::start("127.0.0.1:0", ServerConfig::default()).unwrap();
+    let addr = server.local_addr().to_string();
+    let run = post_run(&addr, FFT_SPEC).unwrap();
+    assert_eq!(run.status, 200, "{}", run.body);
+
+    // Either the query parameter or an Accept header selects the text
+    // format; the default stays JSON.
+    let by_query = http_request(&addr, "GET", "/metrics?format=prom", "").unwrap();
+    assert_eq!(by_query.status, 200);
+    assert_eq!(by_query.header("content-type"), Some("text/plain; version=0.0.4"));
+    assert!(
+        by_query.body.contains("# TYPE serve_run_requests counter"),
+        "missing counter exposition: {}",
+        by_query.body
+    );
+    assert!(by_query.body.contains("serve_queue_depth_peak"), "gauge peak companion missing");
+    assert!(
+        by_query.body.contains("serve_service_us_log2_bucket{le=\"+Inf\"}"),
+        "histogram +Inf bucket missing: {}",
+        by_query.body
+    );
+
+    let by_accept =
+        http_request_with(&addr, "GET", "/metrics", &[("Accept", "text/plain")], "").unwrap();
+    assert_eq!(by_accept.status, 200);
+    assert!(by_accept.body.starts_with("# TYPE"), "Accept negotiation failed");
+
+    let json = http_request(&addr, "GET", "/metrics", "").unwrap();
+    assert!(JsonValue::parse(&json.body).is_ok(), "default /metrics must stay JSON");
+    // Per-digest service histograms surface once a run completed.
+    assert!(
+        json.body.contains("\"serve.digest."),
+        "per-digest latency hist missing: {}",
+        json.body
+    );
+    server.shutdown();
+}
+
+#[test]
+fn timing_headers_split_queue_wait_from_execution_and_mark_cache_hits() {
+    let server = Server::start("127.0.0.1:0", ServerConfig::default()).unwrap();
+    let addr = server.local_addr().to_string();
+
+    let cold = post_run(&addr, FFT_SPEC).unwrap();
+    assert_eq!(cold.status, 200, "{}", cold.body);
+    assert_eq!(cold.header("x-dresar-cache"), Some("miss"));
+    assert!(cold.header_u64("x-dresar-queue-us").is_some(), "cold run must report queue wait");
+    assert!(cold.header_u64("x-dresar-exec-us").is_some(), "cold run must report execute time");
+
+    let warm = post_run(&addr, FFT_SPEC).unwrap();
+    assert_eq!(warm.status, 200);
+    assert_eq!(warm.header("x-dresar-cache"), Some("hit"));
+    assert_eq!(warm.header("x-dresar-exec-us"), None, "cache hits execute nothing");
+    assert_eq!(cold.body, warm.body, "timing headers must not perturb the cached body");
+    server.shutdown();
+}
+
+#[test]
+fn traced_run_merges_server_and_simulator_spans_into_one_document() {
+    let server = Server::start("127.0.0.1:0", ServerConfig::default()).unwrap();
+    let addr = server.local_addr().to_string();
+
+    let resp =
+        http_request_with(&addr, "POST", "/run", &[("X-Dresar-Trace", "e2e-txn-001")], FFT_SPEC)
+            .unwrap();
+    assert_eq!(resp.status, 200, "traced run failed: {}", resp.body);
+    assert_eq!(resp.header("x-dresar-trace"), Some("e2e-txn-001"));
+    assert!(resp.header_u64("x-dresar-queue-us").is_some());
+    assert!(resp.header_u64("x-dresar-exec-us").is_some());
+
+    let doc = JsonValue::parse(&resp.body).expect("merged trace parses as JSON");
+    let events = doc
+        .get("traceEvents")
+        .and_then(JsonValue::as_arr)
+        .expect("object-form trace with traceEvents");
+    let pid_of = |e: &JsonValue| e.get("pid").and_then(JsonValue::as_u64);
+    // Server request spans live on their own process track...
+    let server_spans: Vec<&JsonValue> = events
+        .iter()
+        .filter(|e| pid_of(e) == Some(100) && e.get("ph").and_then(JsonValue::as_str) == Some("X"))
+        .collect();
+    for phase in ["admission", "cache_lookup", "queue_wait", "execute", "serialize"] {
+        assert!(
+            server_spans.iter().any(|e| e.get("name").and_then(JsonValue::as_str) == Some(phase)),
+            "missing server phase span '{phase}'"
+        );
+    }
+    // ...each carrying the trace id that links them to this request.
+    for e in &server_spans {
+        assert_eq!(
+            e.get("args").and_then(|a| a.get("trace_id")).and_then(JsonValue::as_str),
+            Some("e2e-txn-001")
+        );
+    }
+    // And the simulator's causal spans are spliced into the same array.
+    assert!(
+        events.iter().any(|e| pid_of(e) == Some(0)
+            && e.get("name").and_then(JsonValue::as_str) == Some("read_miss")),
+        "simulator read spans missing from the merged document"
+    );
+    // The dresar section ties the document back to the request.
+    let meta = doc.get("dresar").expect("dresar metadata section");
+    assert_eq!(meta.get("trace_id").and_then(JsonValue::as_str), Some("e2e-txn-001"));
+    assert!(meta.get("phases_us").and_then(|p| p.get("execute_us")).is_some());
+    server.shutdown();
+}
+
+#[test]
+fn anomalous_run_deposits_a_flight_dump_retrievable_over_http() {
+    let server = Server::start("127.0.0.1:0", ServerConfig::default()).unwrap();
+    let addr = server.local_addr().to_string();
+
+    // Before any anomalous run: a structured 404, not an empty document.
+    let early = http_request(&addr, "GET", "/debug/flight", "").unwrap();
+    assert_eq!(early.status, 404);
+    assert_eq!(error_code(&early.body), "no_flight_dump");
+
+    // Permanently lose a WriteReply: the write can never complete, the
+    // watchdog trips, and the run is anomalous — the always-on flight
+    // recorder's dump must land in the debug endpoint.
+    let faulted = r#"{"workload":"FFT","scale":"tiny","nodes":16,"sd_entries":256,"seed":7,
+                      "faults":"lose_kind=WriteReply,lose_nth=1"}"#;
+    let run = post_run(&addr, faulted).unwrap();
+    assert_eq!(run.status, 200, "faulted run must still serve a report: {}", run.body);
+    let doc = JsonValue::parse(&run.body).unwrap();
+    assert!(
+        doc.get("report").and_then(|r| r.get("watchdog")).is_some(),
+        "expected a watchdog trip in the report: {}",
+        run.body
+    );
+
+    let flight = http_request(&addr, "GET", "/debug/flight", "").unwrap();
+    assert_eq!(flight.status, 200, "{}", flight.body);
+    let dump = JsonValue::parse(&flight.body).expect("flight dump is JSON");
+    let records = dump.get("records").and_then(JsonValue::as_arr).expect("dump has records");
+    assert!(!records.is_empty(), "flight dump must not be empty after an anomaly");
+    assert!(dump.get("total").and_then(JsonValue::as_u64).unwrap_or(0) > 0);
     server.shutdown();
 }
