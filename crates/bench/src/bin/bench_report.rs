@@ -12,9 +12,16 @@
 //! Usage:
 //!
 //! ```text
-//! bench_report [tiny|reduced|paper] [--out PATH]
+//! bench_report [tiny|reduced|paper] [--out PATH] [--heatmap PATH]
 //!              [--baseline PATH [--tolerance PCT] [--informational]]
 //! ```
+//!
+//! With `--heatmap`, a second schema-versioned document is written holding
+//! the topology contention heatmap sweep: every execution-driven workload
+//! at base and sd1024, each run carrying its metrics, per-phase latency
+//! breakdown and per-resource contention attribution (the input format of
+//! `dresar_diff`). Like `runs`, the heatmap document is byte-identical
+//! across thread counts.
 //!
 //! With `--baseline`, the freshly produced registries are diffed scalar-by-
 //! scalar against the baseline document. Any scalar whose relative change
@@ -23,7 +30,7 @@
 //! unless `--informational` downgrades the gate to reporting only (the
 //! mode CI uses on pull requests).
 
-use dresar_bench::sweep::{standard_runs, RunResult, SweepRunner};
+use dresar_bench::sweep::{heatmap_runs, standard_runs, RunResult, SweepRunner};
 use dresar_bench::{json_doc, suite};
 use dresar_obs::{HostProfiler, MetricsRegistry};
 use dresar_types::{FromJson, JsonValue, ToJson, SCHEMA_VERSION};
@@ -33,6 +40,7 @@ use std::process::ExitCode;
 struct Args {
     scale: Scale,
     out: String,
+    heatmap: Option<String>,
     baseline: Option<String>,
     tolerance_pct: f64,
     informational: bool,
@@ -42,6 +50,7 @@ fn parse_args() -> Result<Args, String> {
     let mut args = Args {
         scale: Scale::Tiny,
         out: "BENCH_dresar.json".into(),
+        heatmap: None,
         baseline: None,
         tolerance_pct: 0.0,
         informational: false,
@@ -50,6 +59,7 @@ fn parse_args() -> Result<Args, String> {
     while let Some(a) = it.next() {
         match a.as_str() {
             "--out" => args.out = it.next().ok_or("--out needs a path")?,
+            "--heatmap" => args.heatmap = Some(it.next().ok_or("--heatmap needs a path")?),
             "--baseline" => args.baseline = Some(it.next().ok_or("--baseline needs a path")?),
             "--tolerance" => {
                 let v = it.next().ok_or("--tolerance needs a percentage")?;
@@ -203,6 +213,34 @@ fn main() -> ExitCode {
         sim_cycles,
         host.cycles_per_sec(sim_cycles)
     );
+
+    if let Some(hm_path) = &args.heatmap {
+        let hm_runs = heatmap_runs(&benches, SweepRunner::from_env());
+        let hm_json: Vec<JsonValue> = hm_runs.iter().map(ToJson::to_json).collect();
+        let hm_doc = json_doc("heatmap")
+            .field("scale", format!("{:?}", args.scale))
+            .field("runs", hm_json)
+            .build();
+        let mut hm_text = hm_doc.dump();
+        hm_text.push('\n');
+        if let Err(e) = std::fs::write(hm_path, &hm_text) {
+            eprintln!("bench_report: cannot write {hm_path}: {e}");
+            return ExitCode::from(2);
+        }
+        let critical = hm_runs
+            .iter()
+            .filter_map(|r| r.heatmap.critical.as_ref().map(|c| (&r.name, c)))
+            .max_by(|a, b| a.1.utilization.total_cmp(&b.1.utilization));
+        match critical {
+            Some((name, c)) => println!(
+                "bench_report: {} heatmap runs -> {hm_path} (hottest: {name} {} at {:.1}%)",
+                hm_runs.len(),
+                c.resource,
+                100.0 * c.utilization
+            ),
+            None => println!("bench_report: {} heatmap runs -> {hm_path}", hm_runs.len()),
+        }
+    }
 
     let Some(baseline_path) = &args.baseline else {
         return ExitCode::SUCCESS;

@@ -4,7 +4,9 @@
 //!
 //! With `--json`, emits one machine-readable document instead, including
 //! the per-phase read-latency breakdown from the observability layer
-//! (execution-driven workloads only).
+//! (execution-driven workloads only). Adding `--heatmap` also attaches the
+//! topology contention heatmap to each observed run (`base_heatmap` /
+//! `with_sd_heatmap`), naming the critical resource per configuration.
 
 use dresar::TransientReadPolicy;
 use dresar_bench::{
@@ -12,7 +14,7 @@ use dresar_bench::{
     run_one_observed, scale_from_args, suite,
 };
 use dresar_faults::FaultPlan;
-use dresar_obs::ObserverConfig;
+use dresar_obs::{ObserverConfig, DEFAULT_ATTRIB_WINDOW};
 use dresar_stats::{percent_of, percent_reduction};
 use dresar_types::{JsonValue, ToJson};
 
@@ -115,11 +117,16 @@ fn run_faulted(scale: dresar_workloads::Scale, plan: FaultPlan) {
 }
 
 fn emit_json(scale: dresar_workloads::Scale) {
-    let observers = ObserverConfig { latency_breakdown: true, ..Default::default() };
+    let heatmap = std::env::args().skip(1).any(|a| a == "--heatmap");
+    let observers = ObserverConfig {
+        latency_breakdown: true,
+        heatmap_window: heatmap.then_some(DEFAULT_ATTRIB_WINDOW),
+        ..Default::default()
+    };
     let benches = suite(scale);
     let workloads: Vec<JsonValue> = par_map(&benches, |b| {
-        let (base, base_obs) = run_one_observed(b, None, TransientReadPolicy::Retry, observers);
-        let (with, with_obs) =
+        let (base, mut base_obs) = run_one_observed(b, None, TransientReadPolicy::Retry, observers);
+        let (with, mut with_obs) =
             run_one_observed(b, Some(1024), TransientReadPolicy::Retry, observers);
         let mut w = JsonValue::obj()
             .field("label", b.label)
@@ -140,11 +147,17 @@ fn emit_json(scale: dresar_workloads::Scale) {
                     .field("exec_pct", percent_reduction(base.exec(), with.exec()))
                     .build(),
             );
-        if let Some(bd) = base_obs.and_then(|o| o.breakdown) {
+        if let Some(bd) = base_obs.as_mut().and_then(|o| o.breakdown.take()) {
             w = w.field("base_breakdown", bd.to_json());
         }
-        if let Some(bd) = with_obs.and_then(|o| o.breakdown) {
+        if let Some(bd) = with_obs.as_mut().and_then(|o| o.breakdown.take()) {
             w = w.field("with_sd_breakdown", bd.to_json());
+        }
+        if let Some(hm) = base_obs.and_then(|o| o.heatmap) {
+            w = w.field("base_heatmap", hm.to_json());
+        }
+        if let Some(hm) = with_obs.and_then(|o| o.heatmap) {
+            w = w.field("with_sd_heatmap", hm.to_json());
         }
         w.build()
     });

@@ -17,12 +17,16 @@
 //! available core); `DRESAR_SWEEP_THREADS=1` forces serial execution,
 //! which CI uses on one leg of the identity check.
 
-use crate::{run_one_faulted, run_one_registry, Bench};
+use crate::{run_one_faulted, run_one_observed, run_one_registry, Bench, Driver, Metrics};
 use dresar::TransientReadPolicy;
 use dresar_faults::FaultPlan;
 use dresar_interconnect::{routes, Bmin, FlitNetwork};
-use dresar_obs::{MetricValue, MetricsRegistry, RunTiming};
+use dresar_obs::{
+    Heatmap, LatencyBreakdown, MetricValue, MetricsRegistry, ObserverConfig, RunTiming,
+    DEFAULT_ATTRIB_WINDOW,
+};
 use dresar_types::config::SystemConfig;
+use dresar_types::{JsonValue, ToJson};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 use std::time::Instant;
@@ -179,6 +183,65 @@ fn workload_chain(b: &Bench) -> Vec<(RunResult, f64)> {
         ));
     }
     out
+}
+
+/// One observed run in a `--heatmap` document: the figure metrics, the
+/// per-phase read-latency breakdown, and the topology contention heatmap.
+pub struct HeatmapRun {
+    /// Run name, `<workload>.<config>` (same scheme as [`RunResult`]).
+    pub name: String,
+    /// The run's figure metrics.
+    pub metrics: Metrics,
+    /// Per-phase latency breakdown (phase sums telescope to
+    /// `reads.latency_cycles` exactly, which is what lets `dresar_diff`
+    /// attribute a cycle delta with zero residual).
+    pub breakdown: LatencyBreakdown,
+    /// Per-resource contention attribution.
+    pub heatmap: Heatmap,
+}
+
+impl ToJson for HeatmapRun {
+    fn to_json(&self) -> JsonValue {
+        JsonValue::obj()
+            .field("name", self.name.as_str())
+            .field("metrics", self.metrics.to_json())
+            .field("breakdown", self.breakdown.to_json())
+            .field("heatmap", self.heatmap.to_json())
+            .build()
+    }
+}
+
+/// The `--heatmap` run set, executed through `runner`: every
+/// execution-driven suite workload at base and 1K-entry switch directory,
+/// with the latency-breakdown and contention-attribution observers on.
+/// Trace-driven workloads are skipped — the constant-latency model has no
+/// topology to attribute. Runs come back sorted by name, and the output is
+/// byte-identical across thread counts for the same reasons as
+/// [`standard_runs`] (independent jobs, submission-order slots, name sort).
+pub fn heatmap_runs(benches: &[Bench], runner: SweepRunner) -> Vec<HeatmapRun> {
+    let observers = ObserverConfig {
+        latency_breakdown: true,
+        heatmap_window: Some(DEFAULT_ATTRIB_WINDOW),
+        ..Default::default()
+    };
+    let mut jobs: Vec<Job<'_, Option<HeatmapRun>>> = Vec::new();
+    for b in benches.iter().filter(|b| b.driver == Driver::Execution) {
+        for (tag, sd) in [("base", None), ("sd1024", Some(1024))] {
+            jobs.push(Box::new(move || {
+                let (metrics, obs) = run_one_observed(b, sd, TransientReadPolicy::Retry, observers);
+                let obs = obs?;
+                Some(HeatmapRun {
+                    name: format!("{}.{}", b.label, tag),
+                    metrics,
+                    breakdown: obs.breakdown?,
+                    heatmap: obs.heatmap?,
+                })
+            }));
+        }
+    }
+    let mut runs: Vec<HeatmapRun> = runner.run_jobs(jobs).into_iter().flatten().collect();
+    runs.sort_by(|a, b| a.name.cmp(&b.name));
+    runs
 }
 
 /// Informational robustness run: the sd1024 configuration with the switch

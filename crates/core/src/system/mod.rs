@@ -413,6 +413,7 @@ impl System {
                         MshrKind::Read => "read",
                         MshrKind::Write => "write",
                     },
+                    txn: m.txn,
                     issued_at: m.issued_at,
                     retry_pending: m.retry_pending,
                 });
@@ -857,7 +858,7 @@ impl System {
         }
         let flits = self.flits(&msg);
         probe.msg_send(t, &msg);
-        let arrive = self.net.traverse_link_probed(route.links[0], t, flits, probe);
+        let arrive = self.net.traverse_link_probed(route.links[0], t, flits, msg.kind, probe);
         self.queue.schedule_at(arrive, Ev::Msg(Box::new(InFlight { msg, route, hop: 0 })));
     }
 
@@ -1041,8 +1042,13 @@ impl System {
     fn forward_hop<P: Probe>(&mut self, mut infl: Box<InFlight>, t: Cycle, probe: &mut P) {
         let flits = self.flits(&infl.msg);
         let depart = t + self.net.core_delay();
-        let arrive =
-            self.net.traverse_link_probed(infl.route.links[infl.hop + 1], depart, flits, probe);
+        let arrive = self.net.traverse_link_probed(
+            infl.route.links[infl.hop + 1],
+            depart,
+            flits,
+            infl.msg.kind,
+            probe,
+        );
         infl.hop += 1;
         self.queue.schedule_at(arrive, Ev::Msg(infl));
     }
@@ -1064,7 +1070,7 @@ impl System {
                 dstart + dram
             }
         };
-        probe.home_service(h, msg.block, t, start, done);
+        probe.home_service(h, msg.block, msg.kind, t, start, done);
         if msg.kind == MsgType::ReadRequest {
             probe.read_service_arrive(msg.requester, msg.block, ServicePoint::Home(h), t, msg.txn);
         }

@@ -447,6 +447,10 @@ pub struct StuckMsg {
     pub block: BlockAddr,
     /// Transaction kind label (`read` / `write`).
     pub kind: &'static str,
+    /// Transaction id of the stuck miss (the `txn` every message on its
+    /// behalf carries), cross-referencing the causal trees in traces and
+    /// flight-recorder dumps. Zero for untracked transactions.
+    pub txn: u64,
     /// Cycle the transaction was first issued.
     pub issued_at: Cycle,
     /// Whether a retry event was still pending when the run ended.
@@ -459,6 +463,7 @@ impl ToJson for StuckMsg {
             .field("node", u64::from(self.node))
             .field("block", self.block.0)
             .field("kind", self.kind)
+            .field("txn", self.txn)
             .field("issued_at", self.issued_at)
             .field("retry_pending", self.retry_pending)
             .build()
@@ -704,6 +709,7 @@ mod tests {
                 node: 3,
                 block: BlockAddr(0x40),
                 kind: "write",
+                txn: 77,
                 issued_at: 1000,
                 retry_pending: false,
             }],
@@ -714,5 +720,6 @@ mod tests {
         assert_eq!(a, b);
         assert!(a.contains("quiescence_failure"));
         assert!(a.contains("lost WriteReply"));
+        assert!(a.contains("\"txn\":77"), "lineage carries the transaction id: {a}");
     }
 }

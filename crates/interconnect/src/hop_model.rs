@@ -16,6 +16,7 @@ use crate::routes::LinkId;
 use dresar_engine::Resource;
 use dresar_obs::{LinkKey, Probe};
 use dresar_types::config::SwitchConfig;
+use dresar_types::msg::MsgType;
 use dresar_types::Cycle;
 
 /// Packs a [`LinkId`] into the flat [`LinkKey`] the observability layer
@@ -93,21 +94,27 @@ impl HopNetwork {
     }
 
     /// [`HopNetwork::traverse_link`] with observability: reports the booked
-    /// busy interval (`start..start + serialization`) through `probe`.
+    /// busy interval (`start..start + serialization`), the message kind
+    /// carried and the queue wait (`start - now`) through `probe`, keyed by
+    /// both the packed [`LinkKey`] and the dense [`LinkIndexer`] id.
     pub fn traverse_link_probed<P: Probe>(
         &mut self,
         link: LinkId,
         now: Cycle,
         flits: u32,
+        kind: MsgType,
         probe: &mut P,
     ) -> Cycle {
         let head = self.traverse_link(link, now, flits);
         let start = head - self.flit_time();
         probe.link_traverse(
             link_key(link),
+            self.index.index(link) as u32,
             start,
             start + flits as Cycle * self.flit_time(),
             flits,
+            kind,
+            start - now,
         );
         head
     }
@@ -214,6 +221,43 @@ mod tests {
         assert_eq!(n.base_latency(2, 1), 20);
         // A 5-flit reply over 2 switches adds 4 flits x 4 = 16 tail cycles.
         assert_eq!(n.base_latency(2, 5), 36);
+    }
+
+    #[test]
+    fn link_key_packing_matches_obs_labels() {
+        use dresar_obs::link_label;
+        assert_eq!(link_label(link_key(LinkId::ProcUp(5))), "link:proc5.up");
+        assert_eq!(link_label(link_key(LinkId::ProcDown(5))), "link:proc5.down");
+        assert_eq!(link_label(link_key(LinkId::MemUp(2))), "link:mem2.up");
+        assert_eq!(link_label(link_key(LinkId::MemDown(2))), "link:mem2.down");
+        assert_eq!(
+            link_label(link_key(LinkId::Up { stage: 1, lower: 2, port: 3 })),
+            "link:s1.x2.p3.up"
+        );
+        assert_eq!(
+            link_label(link_key(LinkId::Down { stage: 1, lower: 2, port: 3 })),
+            "link:s1.x2.p3.down"
+        );
+    }
+
+    #[test]
+    fn probed_traversal_reports_class_wait_and_dense_id() {
+        use dresar_obs::{link_label, AttribObserver};
+        let mut n = net();
+        let mut attrib = AttribObserver::new(1 << 20, 16, 4);
+        // Two back-to-back bookings of the same link: the second waits for
+        // the first's 20-cycle serialization.
+        n.traverse_link_probed(LinkId::ProcUp(0), 0, 5, MsgType::ReadReply, &mut attrib);
+        n.traverse_link_probed(LinkId::ProcUp(0), 0, 1, MsgType::ReadRequest, &mut attrib);
+        let hm = attrib.finish();
+        assert_eq!(hm.links.len(), 1);
+        let l = &hm.links[0];
+        assert_eq!(l.dense, 0, "ProcUp(0) is dense id 0");
+        assert_eq!(link_label(l.key), "link:proc0.up");
+        assert_eq!(l.load.busy_cycles, 24, "5 + 1 flits x 4 cycles");
+        assert_eq!(l.load.wait_cycles, 20, "second booking queued behind the first");
+        assert_eq!(l.load.class_busy[2], 20, "reply class");
+        assert_eq!(l.load.class_busy[0], 4, "request class");
     }
 
     #[test]

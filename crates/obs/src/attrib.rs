@@ -1,0 +1,540 @@
+//! Topology contention attribution.
+//!
+//! The [`AttribObserver`] accumulates occupancy and queue wait per physical
+//! resource — every directed link (keyed by the interconnect's dense
+//! `LinkIndexer` ids, which in the hop model double as the crossbar ports
+//! they feed), every switch's directory bank, and every home directory —
+//! split by traffic class, plus a coarse per-window busy profile that
+//! locates *when* each resource peaked. [`AttribObserver::finish`] distills
+//! the accumulators into a deterministic [`Heatmap`]: the per-resource
+//! table plus the single critical resource (highest busy-cycle share of
+//! the run).
+//!
+//! Everything here is exact integer accounting over the deterministic
+//! event stream, so two runs of the same configuration — serial or inside
+//! a parallel sweep — produce byte-identical heatmap JSON.
+
+use crate::{LinkKey, Probe, SdProbeEvent, SwitchLoc};
+use dresar_types::msg::{Message, MsgType};
+use dresar_types::{BlockAddr, Cycle, JsonValue, NodeId, ToJson};
+
+/// Heatmap payload schema version (bumped on layout changes).
+pub const HEATMAP_VERSION: u64 = 1;
+
+/// Default attribution window, cycles.
+pub const DEFAULT_ATTRIB_WINDOW: Cycle = 4096;
+
+/// Stable traffic-class labels, indexed by [`traffic_class`].
+pub const TRAFFIC_CLASSES: [&str; 5] =
+    ["request", "intervention", "reply", "writeback", "invalidation"];
+
+/// Maps a message type onto the five attribution traffic classes:
+/// requests (read/write misses), interventions (forwarded CtoC requests),
+/// replies (data and NAKs flowing back to processors), writeback traffic
+/// (evictions, copybacks and their acks) and invalidation rounds.
+pub fn traffic_class(kind: MsgType) -> usize {
+    match kind {
+        MsgType::ReadRequest | MsgType::WriteRequest => 0,
+        MsgType::CtoCRequest => 1,
+        MsgType::ReadReply | MsgType::WriteReply | MsgType::CtoCData | MsgType::Retry => 2,
+        MsgType::WriteBack | MsgType::CopyBack | MsgType::WriteBackAck => 3,
+        MsgType::Invalidate | MsgType::InvalAck => 4,
+    }
+}
+
+/// Decodes the interconnect's packed [`LinkKey`] into a stable human label.
+/// Mirrors the packing in `dresar-interconnect`'s `link_key` (variant tag
+/// in bits 32..); `tests/topology_invariant.rs` cross-checks the two.
+pub fn link_label(key: LinkKey) -> String {
+    let k = key.0;
+    let low = k & 0xffff_ffff;
+    match k >> 32 {
+        0 => format!("link:proc{low}.up"),
+        1 => format!("link:proc{low}.down"),
+        2 => format!("link:mem{low}.up"),
+        3 => format!("link:mem{low}.down"),
+        tag @ (4 | 5) => {
+            let stage = (low >> 24) & 0xff;
+            let lower = (low >> 8) & 0xffff;
+            let port = low & 0xff;
+            let dir = if tag == 4 { "up" } else { "down" };
+            format!("link:s{stage}.x{lower}.p{port}.{dir}")
+        }
+        _ => format!("link:raw{k:#x}"),
+    }
+}
+
+/// Accumulated load of one serialized resource (a link or a home
+/// controller + DRAM pipeline).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ResourceLoad {
+    /// Cycles the resource spent occupied.
+    pub busy_cycles: Cycle,
+    /// Cycles messages waited for the resource before acquiring it.
+    pub wait_cycles: Cycle,
+    /// Number of bookings / services.
+    pub events: u64,
+    /// Flits serialized (links only; zero for homes).
+    pub flits: u64,
+    /// Busy cycles split by [`traffic_class`].
+    pub class_busy: [Cycle; 5],
+    /// Busiest single attribution window's busy cycles.
+    pub peak_window_busy: Cycle,
+    /// Index of that window.
+    pub peak_window: Cycle,
+    cur_window: Cycle,
+    cur_busy: Cycle,
+}
+
+impl ResourceLoad {
+    /// Books `[start, end)` busy cycles of class `class` after `wait`
+    /// cycles of queuing. Starts are monotone per resource (serialized
+    /// acquisition), which keeps the streaming window fold exact.
+    fn book(&mut self, window: Cycle, class: usize, start: Cycle, end: Cycle, wait: Cycle) {
+        let busy = end.saturating_sub(start);
+        self.busy_cycles += busy;
+        self.wait_cycles += wait;
+        self.events += 1;
+        self.class_busy[class] += busy;
+        let w = start / window;
+        if w != self.cur_window {
+            self.fold_window();
+            self.cur_window = w;
+        }
+        self.cur_busy += busy;
+    }
+
+    fn fold_window(&mut self) {
+        if self.cur_busy > self.peak_window_busy {
+            self.peak_window_busy = self.cur_busy;
+            self.peak_window = self.cur_window;
+        }
+        self.cur_busy = 0;
+    }
+
+    fn json(&self) -> JsonValue {
+        JsonValue::obj()
+            .field("busy_cycles", self.busy_cycles)
+            .field("wait_cycles", self.wait_cycles)
+            .field("events", self.events)
+            .field("flits", self.flits)
+            .field("class_busy", self.class_busy.to_vec())
+            .field("peak_window", self.peak_window)
+            .field("peak_window_busy", self.peak_window_busy)
+            .build()
+    }
+}
+
+/// One link's row in the heatmap.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LinkLoad {
+    /// Dense `LinkIndexer` id.
+    pub dense: u32,
+    /// Packed link identity.
+    pub key: LinkKey,
+    /// Accumulated load.
+    pub load: ResourceLoad,
+}
+
+/// One switch's row: crossbar pressure (hops through the switch, by
+/// class) and switch-directory bank load (occupancy peaks and the snoops
+/// it held up with NAKs or accumulation).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SwitchLoad {
+    /// Message headers that crossed the switch.
+    pub hops: u64,
+    /// Messages the switch directory sank (SD read hits / accumulated).
+    pub sinks: u64,
+    /// Hops split by [`traffic_class`].
+    pub class_hops: [u64; 5],
+    /// Peak valid SD entries observed.
+    pub sd_peak_valid: u64,
+    /// Peak TRANSIENT (pending-buffer) entries observed.
+    pub sd_peak_transient: u64,
+    /// Snoops held at the bank: transient NAKs, accumulated readers and
+    /// write NAKs.
+    pub sd_wait_events: u64,
+    /// SD entries evicted.
+    pub sd_evictions: u64,
+}
+
+/// The critical resource: the link or home with the largest busy share.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CriticalResource {
+    /// Stable label (`link:...` or `home:<n>`).
+    pub resource: String,
+    /// Its busy cycles.
+    pub busy_cycles: Cycle,
+    /// `busy_cycles / total_cycles`. Can exceed 1.0 for homes: a home
+    /// service interval spans controller occupancy plus the banked DRAM
+    /// access, and banks overlap, so aggregate service time at a
+    /// congested home legitimately outruns wall-clock.
+    pub utilization: f64,
+}
+
+/// The finished topology heatmap.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Heatmap {
+    /// Attribution window width, cycles.
+    pub window: Cycle,
+    /// Last cycle observed (the utilization denominator).
+    pub total_cycles: Cycle,
+    /// Per-link loads, dense-id ascending, active links only.
+    pub links: Vec<LinkLoad>,
+    /// Per-switch loads, linear-index ascending, active switches only.
+    pub switches: Vec<(u16, SwitchLoad)>,
+    /// Per-home loads, node-id ascending, active homes only.
+    pub homes: Vec<(NodeId, ResourceLoad)>,
+    /// The busiest serialized resource, if anything was booked.
+    pub critical: Option<CriticalResource>,
+}
+
+impl ToJson for Heatmap {
+    fn to_json(&self) -> JsonValue {
+        let links: Vec<JsonValue> = self
+            .links
+            .iter()
+            .map(|l| {
+                JsonValue::obj()
+                    .field("dense", l.dense)
+                    .field("label", link_label(l.key))
+                    .field("load", l.load.json())
+                    .build()
+            })
+            .collect();
+        let switches: Vec<JsonValue> = self
+            .switches
+            .iter()
+            .map(|(linear, s)| {
+                JsonValue::obj()
+                    .field("switch", *linear)
+                    .field("hops", s.hops)
+                    .field("sinks", s.sinks)
+                    .field("class_hops", s.class_hops.to_vec())
+                    .field("sd_peak_valid", s.sd_peak_valid)
+                    .field("sd_peak_transient", s.sd_peak_transient)
+                    .field("sd_wait_events", s.sd_wait_events)
+                    .field("sd_evictions", s.sd_evictions)
+                    .build()
+            })
+            .collect();
+        let homes: Vec<JsonValue> = self
+            .homes
+            .iter()
+            .map(|(h, load)| JsonValue::obj().field("home", *h).field("load", load.json()).build())
+            .collect();
+        let mut b = JsonValue::obj()
+            .field("heatmap_version", HEATMAP_VERSION)
+            .field("window_cycles", self.window)
+            .field("total_cycles", self.total_cycles)
+            .field("classes", TRAFFIC_CLASSES.iter().map(|c| c.to_string()).collect::<Vec<_>>())
+            .field("links", links)
+            .field("switches", switches)
+            .field("homes", homes);
+        if let Some(c) = &self.critical {
+            b = b.field(
+                "critical",
+                JsonValue::obj()
+                    .field("resource", c.resource.as_str())
+                    .field("busy_cycles", c.busy_cycles)
+                    .field("utilization", c.utilization)
+                    .build(),
+            );
+        }
+        b.build()
+    }
+}
+
+/// One link slot in the dense table (key recorded on first booking).
+#[derive(Debug, Clone, Default)]
+struct LinkSlot {
+    key: LinkKey,
+    load: ResourceLoad,
+}
+
+/// The live attribution observer.
+#[derive(Debug)]
+pub struct AttribObserver {
+    window: Cycle,
+    links: Vec<LinkSlot>,
+    switches: Vec<SwitchLoad>,
+    homes: Vec<ResourceLoad>,
+    end: Cycle,
+}
+
+impl AttribObserver {
+    /// Creates an observer with the given window width (clamped to >= 1)
+    /// for `nodes` homes and `switches` switches.
+    pub fn new(window: Cycle, nodes: usize, switches: usize) -> Self {
+        AttribObserver {
+            window: window.max(1),
+            links: Vec::new(),
+            switches: vec![SwitchLoad::default(); switches],
+            homes: vec![ResourceLoad::default(); nodes],
+            end: 0,
+        }
+    }
+
+    fn link_slot(&mut self, dense: u32) -> &mut LinkSlot {
+        let i = dense as usize;
+        if i >= self.links.len() {
+            self.links.resize(i + 1, LinkSlot::default());
+        }
+        &mut self.links[i]
+    }
+
+    /// Finalizes into the heatmap payload.
+    pub fn finish(mut self) -> Heatmap {
+        for slot in &mut self.links {
+            slot.load.fold_window();
+        }
+        for home in &mut self.homes {
+            home.fold_window();
+        }
+        let total = self.end.max(1);
+        let mut critical: Option<CriticalResource> = None;
+        let mut consider = |resource: String, busy: Cycle| {
+            if busy > 0 && critical.as_ref().is_none_or(|c| busy > c.busy_cycles) {
+                critical = Some(CriticalResource {
+                    resource,
+                    busy_cycles: busy,
+                    utilization: busy as f64 / total as f64,
+                });
+            }
+        };
+        for slot in &self.links {
+            if slot.load.events > 0 {
+                consider(link_label(slot.key), slot.load.busy_cycles);
+            }
+        }
+        for (h, load) in self.homes.iter().enumerate() {
+            if load.events > 0 {
+                consider(format!("home:{h}"), load.busy_cycles);
+            }
+        }
+        Heatmap {
+            window: self.window,
+            total_cycles: self.end,
+            links: self
+                .links
+                .iter()
+                .enumerate()
+                .filter(|(_, s)| s.load.events > 0)
+                .map(|(i, s)| LinkLoad { dense: i as u32, key: s.key, load: s.load.clone() })
+                .collect(),
+            switches: self
+                .switches
+                .iter()
+                .enumerate()
+                .filter(|(_, s)| s.hops + s.sinks + s.sd_wait_events + s.sd_evictions > 0)
+                .map(|(i, s)| (i as u16, *s))
+                .collect(),
+            homes: self
+                .homes
+                .iter()
+                .enumerate()
+                .filter(|(_, l)| l.events > 0)
+                .map(|(i, l)| (i as NodeId, l.clone()))
+                .collect(),
+            critical,
+        }
+    }
+}
+
+impl Probe for AttribObserver {
+    fn tick(&mut self, t: Cycle, _queue_depth: usize) {
+        self.end = self.end.max(t);
+    }
+
+    fn msg_hop(&mut self, _t: Cycle, msg: &Message, sw: SwitchLoc) {
+        if let Some(s) = self.switches.get_mut(sw.linear as usize) {
+            s.hops += 1;
+            s.class_hops[traffic_class(msg.kind)] += 1;
+        }
+    }
+
+    fn msg_sink(&mut self, _t: Cycle, _msg: &Message, sw: SwitchLoc) {
+        if let Some(s) = self.switches.get_mut(sw.linear as usize) {
+            s.sinks += 1;
+        }
+    }
+
+    fn sd_event(&mut self, _t: Cycle, sw: SwitchLoc, _block: BlockAddr, ev: SdProbeEvent) {
+        let Some(s) = self.switches.get_mut(sw.linear as usize) else { return };
+        match ev {
+            SdProbeEvent::TransientNak { .. }
+            | SdProbeEvent::ReaderAccumulated { .. }
+            | SdProbeEvent::WriteNak { .. } => s.sd_wait_events += 1,
+            SdProbeEvent::Evict => s.sd_evictions += 1,
+            _ => {}
+        }
+    }
+
+    fn sd_occupancy(&mut self, _t: Cycle, sw: SwitchLoc, valid: usize, transient: usize) {
+        if let Some(s) = self.switches.get_mut(sw.linear as usize) {
+            s.sd_peak_valid = s.sd_peak_valid.max(valid as u64);
+            s.sd_peak_transient = s.sd_peak_transient.max(transient as u64);
+        }
+    }
+
+    fn home_service(
+        &mut self,
+        home: NodeId,
+        _block: BlockAddr,
+        kind: MsgType,
+        arrive: Cycle,
+        start: Cycle,
+        done: Cycle,
+    ) {
+        let window = self.window;
+        if let Some(h) = self.homes.get_mut(home as usize) {
+            h.book(window, traffic_class(kind), start, done, start.saturating_sub(arrive));
+        }
+        self.end = self.end.max(done);
+    }
+
+    fn link_traverse(
+        &mut self,
+        link: LinkKey,
+        dense: u32,
+        start: Cycle,
+        end: Cycle,
+        flits: u32,
+        kind: MsgType,
+        wait: Cycle,
+    ) {
+        let window = self.window;
+        let slot = self.link_slot(dense);
+        slot.key = link;
+        slot.load.book(window, traffic_class(kind), start, end, wait);
+        slot.load.flits += flits as u64;
+        self.end = self.end.max(end);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn observer() -> AttribObserver {
+        AttribObserver::new(100, 2, 2)
+    }
+
+    #[test]
+    fn traffic_classes_cover_every_message_type() {
+        use MsgType::*;
+        let all = [
+            ReadRequest,
+            WriteRequest,
+            WriteReply,
+            CtoCRequest,
+            CopyBack,
+            WriteBack,
+            Retry,
+            ReadReply,
+            CtoCData,
+            Invalidate,
+            InvalAck,
+            WriteBackAck,
+        ];
+        for kind in all {
+            assert!(traffic_class(kind) < TRAFFIC_CLASSES.len(), "{kind:?}");
+        }
+        assert_eq!(traffic_class(ReadRequest), 0);
+        assert_eq!(traffic_class(CtoCRequest), 1);
+        assert_eq!(traffic_class(CtoCData), 2);
+        assert_eq!(traffic_class(CopyBack), 3);
+        assert_eq!(traffic_class(Invalidate), 4);
+    }
+
+    #[test]
+    fn link_bookings_accumulate_by_class() {
+        let mut a = observer();
+        a.link_traverse(LinkKey(7), 3, 0, 20, 5, MsgType::ReadRequest, 0);
+        a.link_traverse(LinkKey(7), 3, 20, 24, 1, MsgType::ReadReply, 16);
+        let hm = a.finish();
+        assert_eq!(hm.links.len(), 1);
+        let l = &hm.links[0];
+        assert_eq!(l.dense, 3);
+        assert_eq!(l.load.busy_cycles, 24);
+        assert_eq!(l.load.wait_cycles, 16);
+        assert_eq!(l.load.events, 2);
+        assert_eq!(l.load.flits, 6);
+        assert_eq!(l.load.class_busy[0], 20);
+        assert_eq!(l.load.class_busy[2], 4);
+    }
+
+    #[test]
+    fn peak_window_tracks_the_busiest_window() {
+        let mut a = observer();
+        // Window 0: 10 busy cycles; window 2: 60 busy cycles.
+        a.link_traverse(LinkKey(1), 0, 5, 15, 1, MsgType::ReadRequest, 0);
+        a.link_traverse(LinkKey(1), 0, 200, 260, 5, MsgType::ReadReply, 0);
+        let hm = a.finish();
+        assert_eq!(hm.links[0].load.peak_window, 2);
+        assert_eq!(hm.links[0].load.peak_window_busy, 60);
+    }
+
+    #[test]
+    fn home_service_books_wait_and_busy() {
+        let mut a = observer();
+        a.home_service(1, BlockAddr(9), MsgType::WriteBack, 10, 30, 90);
+        let hm = a.finish();
+        assert_eq!(hm.homes.len(), 1);
+        let (h, load) = &hm.homes[0];
+        assert_eq!(*h, 1);
+        assert_eq!(load.busy_cycles, 60);
+        assert_eq!(load.wait_cycles, 20);
+        assert_eq!(load.class_busy[3], 60);
+    }
+
+    #[test]
+    fn critical_resource_is_the_busiest_link_or_home() {
+        let mut a = observer();
+        a.link_traverse(LinkKey(0), 0, 0, 40, 5, MsgType::ReadRequest, 0);
+        a.home_service(0, BlockAddr(0), MsgType::ReadRequest, 0, 0, 100);
+        let hm = a.finish();
+        let c = hm.critical.expect("critical resource");
+        assert_eq!(c.resource, "home:0");
+        assert_eq!(c.busy_cycles, 100);
+        assert!((c.utilization - 1.0).abs() < 1e-9, "{}", c.utilization);
+    }
+
+    #[test]
+    fn empty_runs_produce_an_empty_heatmap() {
+        let hm = observer().finish();
+        assert!(hm.links.is_empty() && hm.switches.is_empty() && hm.homes.is_empty());
+        assert!(hm.critical.is_none());
+        let dump = hm.to_json().dump();
+        assert!(dump.contains("\"heatmap_version\":1"), "{dump}");
+    }
+
+    #[test]
+    fn link_labels_decode_every_variant() {
+        assert_eq!(link_label(LinkKey(5)), "link:proc5.up");
+        assert_eq!(link_label(LinkKey((1u64 << 32) | 3)), "link:proc3.down");
+        assert_eq!(link_label(LinkKey((2u64 << 32) | 7)), "link:mem7.up");
+        assert_eq!(link_label(LinkKey((3u64 << 32) | 7)), "link:mem7.down");
+        let up = (4u64 << 32) | (1u64 << 24) | (2u64 << 8) | 3;
+        assert_eq!(link_label(LinkKey(up)), "link:s1.x2.p3.up");
+        let down = (5u64 << 32) | (1u64 << 24) | (2u64 << 8) | 3;
+        assert_eq!(link_label(LinkKey(down)), "link:s1.x2.p3.down");
+    }
+
+    #[test]
+    fn sd_bank_pressure_lands_on_the_switch_rows() {
+        let mut a = observer();
+        let sw = SwitchLoc { stage: 0, index: 1, linear: 1 };
+        a.sd_event(5, sw, BlockAddr(1), SdProbeEvent::TransientNak { requester: 2 });
+        a.sd_event(6, sw, BlockAddr(1), SdProbeEvent::Evict);
+        a.sd_occupancy(7, sw, 9, 4);
+        let hm = a.finish();
+        assert_eq!(hm.switches.len(), 1);
+        let (linear, s) = hm.switches[0];
+        assert_eq!(linear, 1);
+        assert_eq!(s.sd_wait_events, 1);
+        assert_eq!(s.sd_evictions, 1);
+        assert_eq!(s.sd_peak_valid, 9);
+        assert_eq!(s.sd_peak_transient, 4);
+    }
+}

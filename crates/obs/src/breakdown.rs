@@ -485,6 +485,51 @@ mod tests {
         assert!((4.0..=7.0).contains(&v));
     }
 
+    /// Values past the histogram's range clamp into the top bucket rather
+    /// than indexing out of bounds, and a distribution entirely in that
+    /// bucket still yields in-range percentiles.
+    #[test]
+    fn all_mass_in_top_bucket_clamps_and_stays_in_range() {
+        assert_eq!(log2_bucket(0, HIST_BUCKETS), 0);
+        assert_eq!(log2_bucket(1, HIST_BUCKETS), 1);
+        // 2^39 and u64::MAX both exceed a 40-bucket histogram: clamped.
+        assert_eq!(log2_bucket(1 << 39, HIST_BUCKETS), HIST_BUCKETS - 1);
+        assert_eq!(log2_bucket(u64::MAX, HIST_BUCKETS), HIST_BUCKETS - 1);
+
+        // (1 << 60, not u64::MAX: `total_latency` sums the raw samples.)
+        let mut s = PhaseSums::default();
+        for _ in 0..10 {
+            s.record([0; 5], 1 << 60);
+        }
+        assert_eq!(s.hist[HIST_BUCKETS - 1], 10, "every sample in the top bucket");
+        let (lo, hi) = bucket_bounds(HIST_BUCKETS - 1);
+        for p in [0.01, 0.50, 0.99, 1.0] {
+            let v = s.percentile(p).unwrap();
+            assert!((lo..=hi).contains(&v), "p{p}: {v} outside top bucket [{lo}, {hi}]");
+        }
+    }
+
+    /// A degenerate single-valued distribution collapses p50 and p99 to
+    /// the same bucket — exactly equal when the bucket holds one value,
+    /// and never further apart than the bucket width otherwise.
+    #[test]
+    fn single_valued_distribution_collapses_p50_and_p99() {
+        // One sample in the [4, 7] bucket: every percentile interpolates
+        // inside that bucket's range, never outside it.
+        let one = vec![0, 0, 0, 1];
+        let p50 = log2_percentile(&one, 0.50).unwrap();
+        let p99 = log2_percentile(&one, 0.99).unwrap();
+        assert!((4.0..=7.0).contains(&p50) && (4.0..=7.0).contains(&p99), "{p50} {p99}");
+        // Many samples of value 1 (a single-valued bucket): exactly equal,
+        // and exactly the value.
+        let mut s = PhaseSums::default();
+        for _ in 0..1000 {
+            s.record([0; 5], 1);
+        }
+        assert_eq!(s.percentile(0.50), Some(1.0));
+        assert_eq!(s.percentile(0.50), s.percentile(0.99));
+    }
+
     #[test]
     fn json_includes_percentiles() {
         let mut s = PhaseSums::default();

@@ -9,7 +9,7 @@
 //! run instrumented with [`NullProbe`] monomorphizes to exactly the
 //! uninstrumented code — observability is free when it is off.
 //!
-//! Four observers implement `Probe`:
+//! Five observers implement `Probe`:
 //!
 //! * [`breakdown::LatencyRecorder`] — decomposes every read miss into
 //!   per-phase cycle counts (L2 detect, retry wait, request network, home
@@ -23,11 +23,16 @@
 //!   flow events stitching each transaction into a causal tree;
 //! * [`recorder::FlightRecorder`] — a bounded ring of compact event
 //!   records, cheap enough to leave on for every run and dumped post
-//!   mortem when a watchdog, audit or fault anomaly fires.
+//!   mortem when a watchdog, audit or fault anomaly fires;
+//! * [`attrib::AttribObserver`] — per-resource contention attribution
+//!   (links, crossbar ports, SD banks, home directories) split by traffic
+//!   class, distilled into a deterministic topology heatmap naming the
+//!   critical resource.
 //!
-//! [`ObserverSet`] bundles any subset of the four behind one `Probe`
+//! [`ObserverSet`] bundles any subset of the five behind one `Probe`
 //! implementation and is what [`ObserverConfig`] enables from run options.
 
+pub mod attrib;
 pub mod breakdown;
 pub mod hostprof;
 pub mod metrics;
@@ -36,9 +41,12 @@ pub mod sampler;
 pub mod trace;
 
 use dresar_stats::ReadClass;
-use dresar_types::msg::Message;
+use dresar_types::msg::{Message, MsgType};
 use dresar_types::{BlockAddr, Cycle, JsonValue, NodeId, ToJson};
 
+pub use attrib::{
+    link_label, traffic_class, AttribObserver, Heatmap, DEFAULT_ATTRIB_WINDOW, TRAFFIC_CLASSES,
+};
 pub use breakdown::{
     log2_bucket, log2_percentile, LatencyBreakdown, LatencyRecorder, PhaseSums, PHASES,
 };
@@ -62,7 +70,7 @@ pub struct SwitchLoc {
 
 /// Opaque identity of a directed network link, packed by the interconnect
 /// (variant tag in the top bits). Stable across runs of the same topology.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash)]
 pub struct LinkKey(pub u64);
 
 /// Where a read miss was serviced.
@@ -246,13 +254,14 @@ pub trait Probe {
     #[inline]
     fn home_fsm(&mut self, t: Cycle, home: NodeId, block: BlockAddr, tr: HomeTransition) {}
 
-    /// The home controller + DRAM processed a message: arrival at `arrive`,
-    /// controller acquired at `start`, finished at `done`.
+    /// The home controller + DRAM processed a `kind` message: arrival at
+    /// `arrive`, controller acquired at `start`, finished at `done`.
     #[inline]
     fn home_service(
         &mut self,
         home: NodeId,
         block: BlockAddr,
+        kind: MsgType,
         arrive: Cycle,
         start: Cycle,
         done: Cycle,
@@ -263,9 +272,23 @@ pub trait Probe {
     #[inline]
     fn nak_received(&mut self, t: Cycle, node: NodeId, block: BlockAddr) {}
 
-    /// A directed link was booked from `start` to `end` for `flits` flits.
+    /// A directed link was booked from `start` to `end` for `flits` flits
+    /// by a `kind` message that waited `wait` cycles for the link. `dense`
+    /// is the interconnect's `LinkIndexer` id, a stable dense key for
+    /// per-link observer tables.
     #[inline]
-    fn link_traverse(&mut self, link: LinkKey, start: Cycle, end: Cycle, flits: u32) {}
+    #[allow(clippy::too_many_arguments)]
+    fn link_traverse(
+        &mut self,
+        link: LinkKey,
+        dense: u32,
+        start: Cycle,
+        end: Cycle,
+        flits: u32,
+        kind: MsgType,
+        wait: Cycle,
+    ) {
+    }
 
     /// A read miss left the processor: stall began at `t0`, the request
     /// enters the network at `inject` (after L2 miss detection). `txn` is
@@ -327,6 +350,9 @@ pub struct ObserverConfig {
     /// Keep a flight-recorder ring of the last N event records for
     /// postmortem dumps.
     pub flight: Option<usize>,
+    /// Attribute contention per topology resource into a heatmap, with
+    /// this attribution-window size in cycles.
+    pub heatmap_window: Option<Cycle>,
 }
 
 impl ObserverConfig {
@@ -336,6 +362,7 @@ impl ObserverConfig {
             || self.timeseries_window.is_some()
             || self.trace
             || self.flight.is_some()
+            || self.heatmap_window.is_some()
     }
 
     /// Everything on, with the given sampling window.
@@ -345,6 +372,7 @@ impl ObserverConfig {
             timeseries_window: Some(window),
             trace: true,
             flight: Some(DEFAULT_FLIGHT_CAPACITY),
+            heatmap_window: Some(window),
         }
     }
 }
@@ -370,6 +398,8 @@ pub struct ObsReport {
     pub trace: Option<String>,
     /// Flight-recorder dump, if attached (anomalous runs only).
     pub flight: Option<FlightDump>,
+    /// Topology contention heatmap, if attributed.
+    pub heatmap: Option<Heatmap>,
 }
 
 impl ObsReport {
@@ -379,6 +409,7 @@ impl ObsReport {
             && self.timeseries.is_none()
             && self.trace.is_none()
             && self.flight.is_none()
+            && self.heatmap.is_none()
     }
 }
 
@@ -397,6 +428,9 @@ impl ToJson for ObsReport {
         if let Some(fl) = &self.flight {
             b = b.field("flight", fl.to_json());
         }
+        if let Some(hm) = &self.heatmap {
+            b = b.field("heatmap", hm.to_json());
+        }
         b.build()
     }
 }
@@ -408,6 +442,7 @@ pub struct ObserverSet {
     sampler: Option<Sampler>,
     tracer: Option<Tracer>,
     flight: Option<FlightRecorder>,
+    attrib: Option<AttribObserver>,
 }
 
 impl ObserverSet {
@@ -418,6 +453,7 @@ impl ObserverSet {
             sampler: cfg.timeseries_window.map(Sampler::new),
             tracer: cfg.trace.then(Tracer::new),
             flight: cfg.flight.map(FlightRecorder::new),
+            attrib: cfg.heatmap_window.map(|w| AttribObserver::new(w, shape.nodes, shape.switches)),
         }
     }
 
@@ -428,6 +464,7 @@ impl ObserverSet {
             timeseries: self.sampler.map(Sampler::finish),
             trace: self.tracer.map(Tracer::finish),
             flight: self.flight.map(FlightRecorder::finish),
+            heatmap: self.attrib.map(AttribObserver::finish),
         }
     }
 }
@@ -445,6 +482,9 @@ macro_rules! fan_out {
         }
         if let Some(f) = $self.flight.as_mut() {
             f.$m($($a),*);
+        }
+        if let Some(a) = $self.attrib.as_mut() {
+            a.$m($($a),*);
         }
     };
 }
@@ -478,17 +518,27 @@ impl Probe for ObserverSet {
         &mut self,
         home: NodeId,
         block: BlockAddr,
+        kind: MsgType,
         arrive: Cycle,
         start: Cycle,
         done: Cycle,
     ) {
-        fan_out!(self, home_service(home, block, arrive, start, done));
+        fan_out!(self, home_service(home, block, kind, arrive, start, done));
     }
     fn nak_received(&mut self, t: Cycle, node: NodeId, block: BlockAddr) {
         fan_out!(self, nak_received(t, node, block));
     }
-    fn link_traverse(&mut self, link: LinkKey, start: Cycle, end: Cycle, flits: u32) {
-        fan_out!(self, link_traverse(link, start, end, flits));
+    fn link_traverse(
+        &mut self,
+        link: LinkKey,
+        dense: u32,
+        start: Cycle,
+        end: Cycle,
+        flits: u32,
+        kind: MsgType,
+        wait: Cycle,
+    ) {
+        fan_out!(self, link_traverse(link, dense, start, end, flits, kind, wait));
     }
     fn read_issue(&mut self, node: NodeId, block: BlockAddr, t0: Cycle, inject: Cycle, txn: u64) {
         fan_out!(self, read_issue(node, block, t0, inject, txn));

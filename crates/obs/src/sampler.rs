@@ -9,7 +9,7 @@
 
 use crate::{LinkKey, Probe, SdProbeEvent, SwitchLoc};
 use dresar_stats::ReadClass;
-use dresar_types::msg::Message;
+use dresar_types::msg::{Message, MsgType};
 use dresar_types::{BlockAddr, Cycle, JsonValue, NodeId, ToJson};
 
 /// One window's accumulated activity.
@@ -131,6 +131,7 @@ impl Probe for Sampler {
         &mut self,
         _home: NodeId,
         _block: BlockAddr,
+        _kind: MsgType,
         _arrive: Cycle,
         start: Cycle,
         done: Cycle,
@@ -138,7 +139,16 @@ impl Probe for Sampler {
         self.spread(start, done, |s, d| s.home_busy += d);
     }
 
-    fn link_traverse(&mut self, _link: LinkKey, start: Cycle, end: Cycle, _flits: u32) {
+    fn link_traverse(
+        &mut self,
+        _link: LinkKey,
+        _dense: u32,
+        start: Cycle,
+        end: Cycle,
+        _flits: u32,
+        _kind: MsgType,
+        _wait: Cycle,
+    ) {
         self.spread(start, end, |s, d| s.link_busy += d);
     }
 
@@ -193,7 +203,7 @@ mod tests {
     fn busy_intervals_split_across_window_boundaries() {
         let mut s = Sampler::new(100);
         // 80..230 spans three windows: 20 + 100 + 30.
-        s.link_traverse(LinkKey(1), 80, 230, 4);
+        s.link_traverse(LinkKey(1), 1, 80, 230, 4, MsgType::ReadRequest, 0);
         let ts = s.finish();
         assert_eq!(ts.windows[0].link_busy, 20);
         assert_eq!(ts.windows[1].link_busy, 100);
@@ -237,7 +247,7 @@ mod tests {
     fn busy_interval_ending_on_a_boundary_adds_nothing_past_it() {
         let mut s = Sampler::new(100);
         // [0, 100) is exactly one full window: nothing spills into window 1.
-        s.link_traverse(LinkKey(1), 0, 100, 1);
+        s.link_traverse(LinkKey(1), 1, 0, 100, 1, MsgType::ReadRequest, 0);
         let ts = s.finish();
         assert_eq!(ts.windows.len(), 1);
         assert_eq!(ts.windows[0].link_busy, 100);
@@ -246,8 +256,8 @@ mod tests {
     #[test]
     fn empty_and_zero_length_intervals_record_nothing() {
         let mut s = Sampler::new(100);
-        s.home_service(0, BlockAddr(0), 5, 50, 50); // zero-length busy
-        s.link_traverse(LinkKey(0), 80, 70, 1); // end before start
+        s.home_service(0, BlockAddr(0), MsgType::ReadRequest, 5, 50, 50); // zero-length busy
+        s.link_traverse(LinkKey(0), 0, 80, 70, 1, MsgType::ReadRequest, 0); // end before start
         let ts = s.finish();
         assert!(ts.windows.iter().all(|w| w.home_busy == 0 && w.link_busy == 0));
     }

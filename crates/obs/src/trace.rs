@@ -23,7 +23,7 @@
 use crate::class_index;
 use crate::{HomeTransition, Probe, SdProbeEvent, ServicePoint, SwitchLoc, CLASS_LABELS};
 use dresar_stats::ReadClass;
-use dresar_types::msg::{Endpoint, Message};
+use dresar_types::msg::{Endpoint, Message, MsgType};
 use dresar_types::{BlockAddr, Cycle, NodeId};
 use std::collections::HashMap;
 
@@ -148,14 +148,16 @@ impl Probe for Tracer {
         &mut self,
         home: NodeId,
         block: BlockAddr,
+        kind: MsgType,
         _arrive: Cycle,
         start: Cycle,
         done: Cycle,
     ) {
         let dur = done.saturating_sub(start);
         self.events.push(format!(
-            "{{\"name\":\"home_service\",\"ph\":\"X\",\"pid\":{PID_HOME},\"tid\":{home},\"ts\":{start},\"dur\":{dur},\"args\":{{\"block\":{}}}}}",
-            block.0
+            "{{\"name\":\"home_service\",\"ph\":\"X\",\"pid\":{PID_HOME},\"tid\":{home},\"ts\":{start},\"dur\":{dur},\"args\":{{\"block\":{},\"kind\":\"{}\"}}}}",
+            block.0,
+            kind.label()
         ));
     }
 
@@ -246,7 +248,7 @@ mod tests {
         let mut t = Tracer::new();
         t.read_issue(1, BlockAddr(5), 10, 15, 7);
         t.read_service_arrive(1, BlockAddr(5), ServicePoint::Home(0), 40, 7);
-        t.home_service(0, BlockAddr(5), 40, 42, 90);
+        t.home_service(0, BlockAddr(5), MsgType::ReadRequest, 40, 42, 90);
         t.read_complete(1, BlockAddr(5), ReadClass::CleanMemory, 100, 110, 7);
         let doc = t.finish();
         let parsed = JsonValue::parse(&doc).expect("trace parses as JSON");

@@ -2,6 +2,7 @@
 //!
 //! ```text
 //! dresar_client [--addr HOST:PORT] [--requests N] [--concurrency N] [--json]
+//! dresar_client [--addr HOST:PORT] --watch [--frames N] [--interval-ms M]
 //! dresar_client [--addr HOST:PORT] --shutdown
 //! ```
 //!
@@ -10,15 +11,23 @@
 //! per-status counts plus p50/p95/p99 service times. `--json` emits the
 //! machine-readable report document on stdout; `--shutdown` instead asks
 //! the server to drain and exit.
+//!
+//! `--watch` subscribes to `GET /metrics/stream` and renders one line per
+//! frame with the counters that moved inside that frame's window (`--json`
+//! prints each frame's raw payload instead). `--frames 0` (the default)
+//! watches until the server drains or the connection drops.
 
-use dresar_server::client::{default_mix, http_request, run_load, LoadOptions};
-use dresar_types::ToJson;
+use dresar_server::client::{default_mix, http_request, run_load, stream_metrics, LoadOptions};
+use dresar_types::{JsonValue, ToJson};
 
 fn main() {
     let mut addr = "127.0.0.1:8757".to_string();
     let mut opts = LoadOptions::default();
     let mut json = false;
     let mut shutdown = false;
+    let mut watch = false;
+    let mut frames = 0usize;
+    let mut interval_ms = 1000usize;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         let mut take = |name: &str| {
@@ -35,10 +44,13 @@ fn main() {
             }
             "--json" => json = true,
             "--shutdown" => shutdown = true,
+            "--watch" => watch = true,
+            "--frames" => frames = parse_num(&take("--frames"), "--frames"),
+            "--interval-ms" => interval_ms = parse_num(&take("--interval-ms"), "--interval-ms"),
             "--help" | "-h" => {
                 println!(
                     "usage: dresar_client [--addr HOST:PORT] [--requests N] [--concurrency N] \
-                     [--json] | --shutdown"
+                     [--json] | --watch [--frames N] [--interval-ms M] | --shutdown"
                 );
                 return;
             }
@@ -53,6 +65,25 @@ fn main() {
             Ok(resp) => eprintln!("shutdown requested: HTTP {}", resp.status),
             Err(e) => {
                 eprintln!("error: shutdown request to {addr} failed: {e}");
+                std::process::exit(1);
+            }
+        }
+        return;
+    }
+    if watch {
+        let query = format!("frames={frames}&interval_ms={interval_ms}");
+        let outcome = stream_metrics(&addr, &query, |data| {
+            if json {
+                println!("{data}");
+                return true;
+            }
+            render_frame(data);
+            true
+        });
+        match outcome {
+            Ok(n) => eprintln!("stream ended after {n} frames"),
+            Err(e) => {
+                eprintln!("error: metrics stream from {addr} failed: {e}");
                 std::process::exit(1);
             }
         }
@@ -93,6 +124,36 @@ fn main() {
     }
     if report.transport_errors > 0 {
         std::process::exit(1);
+    }
+}
+
+/// One human-readable line per stream frame: the sequence number, host
+/// uptime, and every counter that moved inside this frame's window. Frames
+/// where nothing moved print `(idle)` so the watcher still sees a
+/// heartbeat.
+fn render_frame(data: &str) {
+    let frame = match JsonValue::parse(data) {
+        Ok(v) => v,
+        Err(_) => {
+            eprintln!("unparseable frame: {data}");
+            return;
+        }
+    };
+    let seq = frame.get("seq").and_then(JsonValue::as_u64).unwrap_or(0);
+    let uptime = frame.get("uptime_seconds").and_then(JsonValue::as_f64).unwrap_or(0.0);
+    let mut moved = Vec::new();
+    if let Some(JsonValue::Obj(fields)) = frame.get("window") {
+        for (name, v) in fields {
+            match v.as_u64() {
+                Some(0) | None => {}
+                Some(delta) => moved.push(format!("{name} +{delta}")),
+            }
+        }
+    }
+    if moved.is_empty() {
+        eprintln!("frame {seq} @{uptime:.1}s (idle)");
+    } else {
+        eprintln!("frame {seq} @{uptime:.1}s {}", moved.join("  "));
     }
 }
 

@@ -12,7 +12,7 @@
 use dresar_obs::{log2_bucket, log2_percentile};
 use dresar_types::{JsonValue, ToJson};
 use std::collections::BTreeMap;
-use std::io::{Read, Write};
+use std::io::{BufRead, BufReader, Read, Write};
 use std::net::TcpStream;
 use std::sync::{Arc, Mutex};
 use std::time::Instant;
@@ -106,6 +106,100 @@ fn parse_response(raw: &[u8]) -> std::io::Result<HttpResponse> {
     let body = String::from_utf8(raw[head_end + 4..].to_vec())
         .map_err(|_| bad("response body is not UTF-8"))?;
     Ok(HttpResponse { status, headers, body })
+}
+
+/// Opens `GET /metrics/stream?{query}` on `addr` and invokes `on_event`
+/// with each SSE `data:` payload as the server pushes it — the one place
+/// the client does *not* read to EOF, because the response is unbounded.
+/// Returns the number of events delivered once the server terminates the
+/// stream (frame limit or drain), the connection drops, or `on_event`
+/// returns `false`.
+pub fn stream_metrics(
+    addr: &str,
+    query: &str,
+    on_event: impl FnMut(&str) -> bool,
+) -> std::io::Result<u64> {
+    let mut stream = TcpStream::connect(addr)?;
+    let path = if query.is_empty() {
+        "/metrics/stream".to_string()
+    } else {
+        format!("/metrics/stream?{query}")
+    };
+    let head = format!(
+        "GET {path} HTTP/1.1\r\nHost: {addr}\r\nAccept: text/event-stream\r\nConnection: close\r\n\r\n"
+    );
+    stream.write_all(head.as_bytes())?;
+    stream.flush()?;
+    read_sse_events(BufReader::new(stream), on_event)
+}
+
+/// Incrementally decodes a chunked-transfer SSE response, invoking
+/// `on_event` per `data:` line as chunks arrive. Split from
+/// [`stream_metrics`] so the decoder is testable against canned bytes.
+fn read_sse_events<R: BufRead>(
+    mut reader: R,
+    mut on_event: impl FnMut(&str) -> bool,
+) -> std::io::Result<u64> {
+    let bad = |msg: String| std::io::Error::new(std::io::ErrorKind::InvalidData, msg);
+    let mut line = String::new();
+    reader.read_line(&mut line)?;
+    let status = line
+        .split_ascii_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse::<u16>().ok())
+        .ok_or_else(|| bad(format!("malformed status line: {line:?}")))?;
+    if status != 200 {
+        return Err(bad(format!("stream refused: HTTP {status}")));
+    }
+    let mut chunked = false;
+    loop {
+        line.clear();
+        reader.read_line(&mut line)?;
+        let trimmed = line.trim_end();
+        if trimmed.is_empty() {
+            break;
+        }
+        if let Some((name, value)) = trimmed.split_once(':') {
+            if name.eq_ignore_ascii_case("transfer-encoding")
+                && value.trim().eq_ignore_ascii_case("chunked")
+            {
+                chunked = true;
+            }
+        }
+    }
+    if !chunked {
+        return Err(bad("stream response is not chunked".to_string()));
+    }
+    let mut events = 0u64;
+    let mut pending = String::new();
+    loop {
+        line.clear();
+        if reader.read_line(&mut line)? == 0 {
+            break; // connection dropped without a terminal chunk
+        }
+        let size = usize::from_str_radix(line.trim(), 16)
+            .map_err(|_| bad(format!("bad chunk size line: {line:?}")))?;
+        if size == 0 {
+            break;
+        }
+        let mut chunk = vec![0u8; size + 2]; // payload + trailing CRLF
+        reader.read_exact(&mut chunk)?;
+        chunk.truncate(size);
+        pending.push_str(std::str::from_utf8(&chunk).map_err(|_| bad("chunk not UTF-8".into()))?);
+        // A blank line terminates one SSE event; a chunk may end mid-event.
+        while let Some(pos) = pending.find("\n\n") {
+            let event: String = pending.drain(..pos + 2).collect();
+            for event_line in event.lines() {
+                if let Some(data) = event_line.strip_prefix("data: ") {
+                    events += 1;
+                    if !on_event(data) {
+                        return Ok(events);
+                    }
+                }
+            }
+        }
+    }
+    Ok(events)
 }
 
 /// Posts one run-spec body to `/run`.
@@ -282,6 +376,46 @@ mod tests {
     fn malformed_responses_are_io_errors() {
         assert!(parse_response(b"no terminator").is_err());
         assert!(parse_response(b"HTTP/1.1 nope\r\n\r\n").is_err());
+    }
+
+    #[test]
+    fn sse_decoder_reassembles_events_across_chunk_boundaries() {
+        let body = "data: {\"seq\":0}\n\ndata: {\"seq\":1}\n\n";
+        let (a, b) = body.split_at(10); // second chunk starts mid-event
+        let raw = format!(
+            "HTTP/1.1 200 OK\r\nContent-Type: text/event-stream\r\n\
+             Transfer-Encoding: chunked\r\n\r\n{:x}\r\n{a}\r\n{:x}\r\n{b}\r\n0\r\n\r\n",
+            a.len(),
+            b.len()
+        );
+        let mut got = Vec::new();
+        let n = read_sse_events(raw.as_bytes(), |d| {
+            got.push(d.to_string());
+            true
+        })
+        .unwrap();
+        assert_eq!(n, 2);
+        assert_eq!(got, vec!["{\"seq\":0}", "{\"seq\":1}"]);
+    }
+
+    #[test]
+    fn sse_decoder_rejects_non_streaming_responses() {
+        let refused = b"HTTP/1.1 404 Not Found\r\nContent-Length: 2\r\n\r\n{}";
+        assert!(read_sse_events(&refused[..], |_| true).is_err());
+        let unchunked = b"HTTP/1.1 200 OK\r\nContent-Length: 2\r\n\r\n{}";
+        assert!(read_sse_events(&unchunked[..], |_| true).is_err());
+    }
+
+    #[test]
+    fn sse_decoder_callback_can_stop_the_stream_early() {
+        let event = "data: x\n\n";
+        let raw = format!(
+            "HTTP/1.1 200 OK\r\nTransfer-Encoding: chunked\r\n\r\n\
+             {len:x}\r\n{event}\r\n{len:x}\r\n{event}\r\n0\r\n\r\n",
+            len = event.len()
+        );
+        let n = read_sse_events(raw.as_bytes(), |_| false).unwrap();
+        assert_eq!(n, 1, "a false return should stop after the first event");
     }
 
     #[test]

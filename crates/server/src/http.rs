@@ -2,7 +2,10 @@
 //!
 //! The service speaks the smallest useful subset of HTTP/1.1: one request
 //! per connection (`Connection: close` on every response), `Content-Length`
-//! bodies only, JSON in both directions. Matching the workspace's
+//! bodies only, JSON in both directions. The single exception is the
+//! chunked `text/event-stream` path ([`write_sse_head`] /
+//! [`write_sse_event`]) backing `GET /metrics/stream`. Matching the
+//! workspace's
 //! hand-rolled JSON layer, this keeps the server dependency-free and the
 //! framing fully auditable; load generators, `curl` and browsers all speak
 //! it.
@@ -159,6 +162,38 @@ pub fn write_response_with(
     head.push_str("Connection: close\r\n\r\n");
     stream.write_all(head.as_bytes())?;
     stream.write_all(body.as_bytes())?;
+    stream.flush()
+}
+
+/// Starts a chunked `text/event-stream` response: the one place the server
+/// departs from `Content-Length` framing. Each subsequent
+/// [`write_sse_event`] is one HTTP/1.1 chunk carrying one SSE event;
+/// [`write_sse_end`] sends the terminal zero-length chunk. The connection
+/// still closes afterwards (`Connection: close`), so a client reading to
+/// EOF after the terminator stays sound.
+pub fn write_sse_head(stream: &mut TcpStream) -> std::io::Result<()> {
+    stream.write_all(
+        b"HTTP/1.1 200 OK\r\nContent-Type: text/event-stream\r\n\
+          Transfer-Encoding: chunked\r\nCache-Control: no-store\r\n\
+          Connection: close\r\n\r\n",
+    )?;
+    stream.flush()
+}
+
+/// Writes one SSE event (`data: <payload>\n\n`) as a single HTTP chunk and
+/// flushes, so watchers see each frame as soon as it is produced. The
+/// payload must not contain newlines (the callers send compact JSON).
+pub fn write_sse_event(stream: &mut TcpStream, data: &str) -> std::io::Result<()> {
+    let body = format!("data: {data}\n\n");
+    stream.write_all(format!("{:x}\r\n", body.len()).as_bytes())?;
+    stream.write_all(body.as_bytes())?;
+    stream.write_all(b"\r\n")?;
+    stream.flush()
+}
+
+/// Terminates a chunked SSE response (zero-length chunk).
+pub fn write_sse_end(stream: &mut TcpStream) -> std::io::Result<()> {
+    stream.write_all(b"0\r\n\r\n")?;
     stream.flush()
 }
 

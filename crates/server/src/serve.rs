@@ -25,16 +25,22 @@
 //! `serve.coalesced`, `serve.shed`, `serve.queue_depth`, ...) as a
 //! [`MetricsRegistry`] document plus a host section (uptime, peak RSS) in
 //! the `hostprof` spirit: host numbers are informational and never
-//! deterministic. `GET /healthz` answers liveness; `POST /shutdown`
-//! triggers a graceful drain (stop admissions, finish queued work, join
-//! workers).
+//! deterministic. `GET /metrics/stream` pushes the same registry as
+//! chunked server-sent events at a configurable interval, each frame
+//! carrying the counter deltas since the previous one (what
+//! `dresar_client --watch` renders). `GET /healthz` answers liveness;
+//! `POST /shutdown` triggers a graceful drain (stop admissions, finish
+//! queued work, join workers).
 
 use crate::cache::ResultCache;
 use crate::error::ServeError;
-use crate::http::{read_request, write_response, write_response_with, Request};
+use crate::http::{
+    read_request, write_response, write_response_with, write_sse_end, write_sse_event,
+    write_sse_head, Request,
+};
 use crate::run::{validate, ExecOutput, ValidatedSpec};
 use dresar_bench::sweep::{ServicePool, SubmitError, SweepRunner};
-use dresar_obs::{hostprof, log2_bucket, MetricsRegistry};
+use dresar_obs::{hostprof, log2_bucket, MetricValue, MetricsRegistry};
 use dresar_types::{FastMap, FromJson, JsonValue, RunSpec, ToJson};
 use std::collections::BTreeMap;
 use std::net::{TcpListener, TcpStream};
@@ -46,9 +52,15 @@ use std::time::{Duration, Instant};
 const SERVICE_HIST_BUCKETS: usize = 40;
 
 /// Cap on distinct per-digest latency histograms kept in `/metrics`;
-/// beyond it new digests fold into the global histogram only (bounds the
-/// registry against digest churn).
+/// at the cap a new digest evicts the least-recently-updated histogram
+/// (counted by `serve.hist_digests_evicted`), so a hot digest arriving
+/// late still gets a histogram while the registry stays bounded against
+/// digest churn.
 const MAX_DIGEST_HISTS: usize = 64;
+
+/// Default `GET /metrics/stream` frame interval when the query string does
+/// not set `interval_ms`.
+const STREAM_DEFAULT_INTERVAL_MS: u64 = 1000;
 
 /// The `pid` server request spans use in merged Perfetto documents —
 /// far from the simulator's pids 0..2, so the serving timeline renders as
@@ -141,10 +153,12 @@ struct ServeMetrics {
     executions: AtomicU64,
     errors: AtomicU64,
     inflight_peak: AtomicU64,
+    /// `GET /metrics/stream` connections accepted.
+    metric_streams: AtomicU64,
     service_us_hist: Mutex<[u64; SERVICE_HIST_BUCKETS]>,
-    /// Per-digest service-time histograms (bounded at
-    /// [`MAX_DIGEST_HISTS`]); `BTreeMap` so `/metrics` emission is sorted.
-    digest_us_hists: Mutex<BTreeMap<u64, [u64; SERVICE_HIST_BUCKETS]>>,
+    /// Per-digest service-time histograms (bounded at [`MAX_DIGEST_HISTS`]
+    /// with least-recently-updated eviction).
+    digest_us_hists: Mutex<DigestHists>,
 }
 
 impl Default for ServeMetrics {
@@ -158,9 +172,52 @@ impl Default for ServeMetrics {
             executions: AtomicU64::new(0),
             errors: AtomicU64::new(0),
             inflight_peak: AtomicU64::new(0),
+            metric_streams: AtomicU64::new(0),
             service_us_hist: Mutex::new([0; SERVICE_HIST_BUCKETS]),
-            digest_us_hists: Mutex::new(BTreeMap::new()),
+            digest_us_hists: Mutex::new(DigestHists::default()),
         }
+    }
+}
+
+/// One digest's service-time histogram plus its recency stamp.
+#[derive(Debug)]
+struct DigestHist {
+    buckets: [u64; SERVICE_HIST_BUCKETS],
+    last_touch: u64,
+}
+
+/// Bounded per-digest service-time histograms. `BTreeMap` keeps `/metrics`
+/// emission sorted by digest; the logical clock orders evictions.
+#[derive(Debug, Default)]
+struct DigestHists {
+    clock: u64,
+    /// Histograms dropped to admit newer digests at the cap.
+    evicted: u64,
+    hists: BTreeMap<u64, DigestHist>,
+}
+
+impl DigestHists {
+    /// Records one observation. At [`MAX_DIGEST_HISTS`] a new digest
+    /// evicts the least-recently-updated histogram instead of being
+    /// silently dropped, so late-arriving hot digests are still tracked.
+    fn record(&mut self, digest: u64, bucket: usize) {
+        self.clock += 1;
+        if !self.hists.contains_key(&digest) && self.hists.len() >= MAX_DIGEST_HISTS {
+            let coldest = self
+                .hists
+                .iter()
+                .min_by_key(|(_, h)| h.last_touch)
+                .map(|(&d, _)| d)
+                .expect("map is nonempty at the cap");
+            self.hists.remove(&coldest);
+            self.evicted += 1;
+        }
+        let h = self
+            .hists
+            .entry(digest)
+            .or_insert(DigestHist { buckets: [0; SERVICE_HIST_BUCKETS], last_touch: 0 });
+        h.buckets[bucket] += 1;
+        h.last_touch = self.clock;
     }
 }
 
@@ -311,6 +368,12 @@ fn handle_conn(mut stream: TcpStream, shared: &Arc<Shared>) {
             return;
         }
     };
+    // The streaming route writes the socket itself (chunked SSE frames);
+    // everything else goes through the Content-Length reply path.
+    if request.method == "GET" && request.route().0 == "/metrics/stream" {
+        serve_metrics_stream(&mut stream, &request, shared);
+        return;
+    }
     match route(&request, shared) {
         Ok(reply) => {
             let _ = write_response_with(
@@ -613,6 +676,78 @@ fn serve_run_traced(body: &str, trace_id: &str, shared: &Arc<Shared>) -> Result<
     })
 }
 
+/// `GET /metrics/stream`: pushes windowed metric snapshots as chunked
+/// server-sent events until the client disconnects, the server drains, or
+/// the requested frame count is reached.
+///
+/// Query parameters: `frames=N` bounds the stream to N events (0 or absent
+/// streams until shutdown/disconnect); `interval_ms=M` sets the frame
+/// interval (clamped to 10..60000, default
+/// [`STREAM_DEFAULT_INTERVAL_MS`]).
+///
+/// Each event's `data:` line is one compact JSON object: `seq`, host
+/// `uptime_seconds`, the full cumulative `metrics` registry, and `window`
+/// — the counter deltas since the previous frame (first frame: since the
+/// counters were zero), which is what makes the stream a rate view rather
+/// than a monotone ramp.
+fn serve_metrics_stream(stream: &mut TcpStream, request: &Request, shared: &Arc<Shared>) {
+    let (_, query) = request.route();
+    let mut frames = 0u64;
+    let mut interval_ms = STREAM_DEFAULT_INTERVAL_MS;
+    for kv in query.split('&') {
+        if let Some((k, v)) = kv.split_once('=') {
+            match k {
+                "frames" => frames = v.parse().unwrap_or(frames),
+                "interval_ms" => interval_ms = v.parse().unwrap_or(interval_ms),
+                _ => {}
+            }
+        }
+    }
+    let interval = Duration::from_millis(interval_ms.clamp(10, 60_000));
+    if write_sse_head(stream).is_err() {
+        return;
+    }
+    shared.metrics.metric_streams.fetch_add(1, Ordering::Relaxed);
+    let mut prev: Option<MetricsRegistry> = None;
+    let mut seq = 0u64;
+    loop {
+        let snap = snapshot(shared);
+        let mut window = JsonValue::obj();
+        for (name, v) in snap.iter() {
+            if let MetricValue::Counter(c) = v {
+                let before = match prev.as_ref().and_then(|p| p.get(name)) {
+                    Some(MetricValue::Counter(b)) => *b,
+                    _ => 0,
+                };
+                window = window.field(name, c.saturating_sub(before));
+            }
+        }
+        let payload = JsonValue::obj()
+            .field("seq", seq)
+            .field("uptime_seconds", shared.started.elapsed().as_secs_f64())
+            .field("interval_ms", interval.as_millis() as u64)
+            .field("metrics", snap.to_json())
+            .field("window", window.build())
+            .build()
+            .dump();
+        if write_sse_event(stream, &payload).is_err() {
+            return; // client hung up mid-stream; nothing to terminate
+        }
+        prev = Some(snap);
+        seq += 1;
+        if (frames != 0 && seq >= frames) || shared.shutting_down.load(Ordering::SeqCst) {
+            break;
+        }
+        // Sleep in short steps so a drain is observed promptly even at
+        // slow frame intervals.
+        let wake = Instant::now() + interval;
+        while Instant::now() < wake && !shared.shutting_down.load(Ordering::SeqCst) {
+            std::thread::sleep(Duration::from_millis(10).min(interval));
+        }
+    }
+    let _ = write_sse_end(stream);
+}
+
 /// The event lines of a Tracer document (strips the enclosing JSON array
 /// brackets so the events splice into a larger `traceEvents` array).
 fn trace_inner(doc: &str) -> &str {
@@ -648,10 +783,7 @@ fn deposit_flight(shared: &Shared, flight: Option<&str>) {
 fn record_service_time(shared: &Shared, digest: u64, elapsed: Duration) {
     let bucket = log2_bucket(us(elapsed), SERVICE_HIST_BUCKETS);
     shared.metrics.service_us_hist.lock().expect("service hist poisoned")[bucket] += 1;
-    let mut per = shared.metrics.digest_us_hists.lock().expect("digest hists poisoned");
-    if per.len() < MAX_DIGEST_HISTS || per.contains_key(&digest) {
-        per.entry(digest).or_insert([0; SERVICE_HIST_BUCKETS])[bucket] += 1;
-    }
+    shared.metrics.digest_us_hists.lock().expect("digest hists poisoned").record(digest, bucket);
 }
 
 /// Assembles the serving registry: every admission/coalescing/cache
@@ -684,10 +816,15 @@ fn snapshot(shared: &Shared) -> MetricsRegistry {
     let last = hist.iter().rposition(|&c| c > 0).map_or(0, |i| i + 1);
     reg.hist("serve.service_us_log2", hist[..last].to_vec());
     drop(hist);
+    reg.counter("serve.metric_streams", m.metric_streams.load(Ordering::Relaxed));
     let per = m.digest_us_hists.lock().expect("digest hists poisoned");
-    for (digest, hist) in per.iter() {
-        let last = hist.iter().rposition(|&c| c > 0).map_or(0, |i| i + 1);
-        reg.hist(&format!("serve.digest.{digest:016x}.service_us_log2"), hist[..last].to_vec());
+    reg.counter("serve.hist_digests_evicted", per.evicted);
+    for (digest, h) in per.hists.iter() {
+        let last = h.buckets.iter().rposition(|&c| c > 0).map_or(0, |i| i + 1);
+        reg.hist(
+            &format!("serve.digest.{digest:016x}.service_us_log2"),
+            h.buckets[..last].to_vec(),
+        );
     }
     reg
 }
@@ -715,4 +852,61 @@ fn healthz_body(shared: &Shared) -> String {
         .dump();
     text.push('\n');
     text
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn digest_hists_evict_least_recently_updated_at_the_cap() {
+        let mut d = DigestHists::default();
+        for digest in 0..MAX_DIGEST_HISTS as u64 {
+            d.record(digest, 0);
+        }
+        assert_eq!(d.hists.len(), MAX_DIGEST_HISTS);
+        assert_eq!(d.evicted, 0);
+        // Touch digest 0 so digest 1 becomes the coldest, then overflow.
+        d.record(0, 1);
+        d.record(10_000, 0);
+        assert_eq!(d.hists.len(), MAX_DIGEST_HISTS, "cap holds");
+        assert_eq!(d.evicted, 1);
+        assert!(d.hists.contains_key(&0), "recently touched digest survives");
+        assert!(!d.hists.contains_key(&1), "coldest digest was evicted");
+        assert!(d.hists.contains_key(&10_000), "new digest gets a histogram, not a silent drop");
+    }
+
+    #[test]
+    fn digest_hists_at_the_cap_keep_counting_known_digests() {
+        let mut d = DigestHists::default();
+        for digest in 0..MAX_DIGEST_HISTS as u64 {
+            d.record(digest, 0);
+        }
+        d.record(3, 2);
+        assert_eq!(d.evicted, 0, "existing digest never evicts");
+        assert_eq!(d.hists[&3].buckets[2], 1);
+    }
+
+    #[test]
+    fn eviction_count_reaches_the_metrics_registry() {
+        // The snapshot wiring: evictions surface as the
+        // `serve.hist_digests_evicted` counter.
+        let shared = Shared {
+            pool: ServicePool::start(SweepRunner::with_threads(1), 1, false),
+            cache: Mutex::new(ResultCache::new(4)),
+            inflight: Mutex::new(FastMap::default()),
+            metrics: ServeMetrics::default(),
+            shutting_down: AtomicBool::new(false),
+            started: Instant::now(),
+            last_flight: Mutex::new(None),
+        };
+        for digest in 0..(MAX_DIGEST_HISTS as u64 + 5) {
+            record_service_time(&shared, digest, Duration::from_micros(digest + 1));
+        }
+        let reg = snapshot(&shared);
+        assert_eq!(reg.get("serve.hist_digests_evicted"), Some(&MetricValue::Counter(5)));
+        let digests = reg.iter().filter(|(n, _)| n.starts_with("serve.digest.")).count();
+        assert_eq!(digests, MAX_DIGEST_HISTS);
+        shared.pool.drain();
+    }
 }

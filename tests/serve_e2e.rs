@@ -10,7 +10,7 @@
 //! releases the workers.
 
 use dresar_obs::{MetricValue, MetricsRegistry};
-use dresar_server::client::{http_request, http_request_with, post_run};
+use dresar_server::client::{http_request, http_request_with, post_run, stream_metrics};
 use dresar_server::serve::{Server, ServerConfig};
 use dresar_types::JsonValue;
 use std::io::{Read, Write};
@@ -315,6 +315,49 @@ fn traced_run_merges_server_and_simulator_spans_into_one_document() {
     let meta = doc.get("dresar").expect("dresar metadata section");
     assert_eq!(meta.get("trace_id").and_then(JsonValue::as_str), Some("e2e-txn-001"));
     assert!(meta.get("phases_us").and_then(|p| p.get("execute_us")).is_some());
+    server.shutdown();
+}
+
+#[test]
+fn metrics_stream_pushes_bounded_sse_frames_with_windowed_deltas() {
+    let server = Server::start("127.0.0.1:0", ServerConfig::default()).unwrap();
+    let addr = server.local_addr().to_string();
+
+    // Do one run so the stream has non-trivial counters to report, then
+    // ask for exactly 3 frames at a fast interval.
+    let run = post_run(&addr, FFT_SPEC).unwrap();
+    assert_eq!(run.status, 200, "{}", run.body);
+
+    let mut frames = Vec::new();
+    let n = stream_metrics(&addr, "frames=3&interval_ms=50", |data| {
+        frames.push(data.to_string());
+        true
+    })
+    .expect("stream completed");
+    assert_eq!(n, 3, "frames=3 must deliver exactly 3 events");
+    assert_eq!(frames.len(), 3);
+
+    for (i, raw) in frames.iter().enumerate() {
+        let frame = JsonValue::parse(raw).expect("frame payload is JSON");
+        assert_eq!(frame.get("seq").and_then(JsonValue::as_u64), Some(i as u64));
+        let metrics = frame.get("metrics").expect("cumulative metrics section");
+        assert!(metrics.get("serve.run_requests").is_some());
+        assert!(frame.get("window").is_some(), "windowed delta section missing");
+    }
+    // The run happened before the first frame, so its counters land in
+    // frame 0's window (deltas vs zero) and NOT in later windows — the
+    // stream reports rates, not a monotone ramp.
+    let first = JsonValue::parse(&frames[0]).unwrap();
+    let window_requests = |f: &JsonValue| {
+        f.get("window").and_then(|w| w.get("serve.run_requests")).and_then(JsonValue::as_u64)
+    };
+    assert_eq!(window_requests(&first), Some(1), "first window counts the pre-stream run");
+    let last = JsonValue::parse(&frames[2]).unwrap();
+    assert_eq!(window_requests(&last), Some(0), "idle window must report zero delta");
+
+    // The stream registered itself in the very metrics it reports.
+    let reg = server.metrics();
+    assert_eq!(counter(&reg, "serve.metric_streams"), 1);
     server.shutdown();
 }
 

@@ -15,7 +15,7 @@
 //!    committed baseline legitimately reports zero.)
 
 use dresar_bench::suite;
-use dresar_bench::sweep::{standard_runs, SweepRunner};
+use dresar_bench::sweep::{heatmap_runs, standard_runs, SweepRunner};
 use dresar_obs::MetricValue;
 use dresar_types::{JsonValue, ToJson};
 use dresar_workloads::Scale;
@@ -43,6 +43,23 @@ fn parallel_sweep_is_byte_identical_to_serial() {
     // The degraded runs depend on the sd1024 cycle counts, so a real
     // document came out of both paths, not two identical empties.
     assert!(serial.contains("FFT.sd-degraded"), "expected full run set, got: {serial}");
+}
+
+#[test]
+fn heatmap_sweep_is_byte_identical_to_serial() {
+    let doc = |runner| {
+        let benches = suite(Scale::Tiny);
+        let runs = heatmap_runs(&benches, runner);
+        JsonValue::Arr(runs.iter().map(ToJson::to_json).collect()).dump()
+    };
+    let serial = doc(SweepRunner::serial());
+    let parallel = doc(SweepRunner::with_threads(4));
+    assert_eq!(serial, parallel, "parallel heatmap sweep diverged from serial");
+    // Execution-driven workloads at both configurations, each naming a
+    // critical resource — a real attribution came out of both paths.
+    assert!(serial.contains("FFT.base") && serial.contains("FFT.sd1024"), "{serial}");
+    assert!(serial.contains("\"critical\":{\"resource\":"), "no critical resource: {serial}");
+    assert!(!serial.contains("TPC-C"), "trace-driven workloads have no topology to attribute");
 }
 
 #[test]
