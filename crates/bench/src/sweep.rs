@@ -27,9 +27,10 @@ use dresar_obs::{
 };
 use dresar_types::config::SystemConfig;
 use dresar_types::{JsonValue, ToJson};
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// A boxed sweep job: runs once on a worker thread, yielding `R`.
 pub type Job<'a, R> = Box<dyn FnOnce() -> R + Send + 'a>;
@@ -83,11 +84,42 @@ impl SweepRunner {
     /// Executes `jobs`, returning the `i`-th job's result at index `i`.
     ///
     /// # Panics
-    /// Propagates a panic from any job after all workers stop.
+    /// If any job panics, panics once — after every worker has stopped —
+    /// with a structured message naming the panicked jobs and how many
+    /// results were produced, instead of the historical double panic (a
+    /// poisoned worker join aborting mid-unwind). Callers that want the
+    /// panics as data use [`SweepRunner::try_run_jobs`].
     pub fn run_jobs<'a, R: Send>(&self, jobs: Vec<Job<'a, R>>) -> Vec<R> {
+        match self.try_run_jobs(jobs) {
+            Ok(results) => results,
+            Err(report) => panic!("{report}"),
+        }
+    }
+
+    /// [`SweepRunner::run_jobs`], but job panics come back as data: every
+    /// panicking job is caught on its worker (the worker then continues
+    /// with the next job), and the error lists each panicked job's index
+    /// and payload plus how many completed results were discarded.
+    pub fn try_run_jobs<'a, R: Send>(
+        &self,
+        jobs: Vec<Job<'a, R>>,
+    ) -> Result<Vec<R>, SweepPanicReport> {
         let n = jobs.len();
         if self.threads <= 1 || n <= 1 {
-            return jobs.into_iter().map(|j| j()).collect();
+            let mut results = Vec::with_capacity(n);
+            let mut panics = Vec::new();
+            for (i, job) in jobs.into_iter().enumerate() {
+                match catch_unwind(AssertUnwindSafe(job)) {
+                    Ok(r) => results.push(r),
+                    Err(payload) => {
+                        panics.push(JobPanic { job: i, message: panic_message(&*payload) })
+                    }
+                }
+            }
+            if panics.is_empty() {
+                return Ok(results);
+            }
+            return Err(SweepPanicReport { panics, completed: results.len() });
         }
         let workers = self.threads.min(n);
         // FnOnce must be moved out to call; parking each job in its own
@@ -96,6 +128,7 @@ impl SweepRunner {
             jobs.into_iter().map(|j| Mutex::new(Some(j))).collect();
         let cursor = AtomicUsize::new(0);
         let mut results: Vec<Option<R>> = (0..n).map(|_| None).collect();
+        let mut panics: Vec<JobPanic> = Vec::new();
         std::thread::scope(|s| {
             let handles: Vec<_> = (0..workers)
                 .map(|_| {
@@ -103,29 +136,119 @@ impl SweepRunner {
                     let cursor = &cursor;
                     s.spawn(move || {
                         let mut done = Vec::new();
+                        let mut failed = Vec::new();
                         loop {
                             let i = cursor.fetch_add(1, Ordering::Relaxed);
                             if i >= n {
-                                return done;
+                                return (done, failed);
                             }
                             let job = slots[i]
                                 .lock()
-                                .expect("sweep job slot poisoned")
+                                .unwrap_or_else(std::sync::PoisonError::into_inner)
                                 .take()
                                 .expect("sweep job claimed twice");
-                            done.push((i, job()));
+                            // A panicking job is contained here: the worker
+                            // records it and moves on to the next slot, so
+                            // one bad job never strands the rest of the
+                            // batch or poisons the join below.
+                            match catch_unwind(AssertUnwindSafe(job)) {
+                                Ok(r) => done.push((i, r)),
+                                Err(payload) => failed
+                                    .push(JobPanic { job: i, message: panic_message(&*payload) }),
+                            }
                         }
                     })
                 })
                 .collect();
             for h in handles {
-                for (i, r) in h.join().expect("sweep worker panicked") {
-                    results[i] = Some(r);
+                // Workers can no longer die from a job panic; an Err here
+                // means the thread was killed some other way (e.g. abort).
+                // Record it instead of double-panicking mid-drain.
+                match h.join() {
+                    Ok((done, failed)) => {
+                        for (i, r) in done {
+                            results[i] = Some(r);
+                        }
+                        panics.extend(failed);
+                    }
+                    Err(payload) => {
+                        panics.push(JobPanic { job: usize::MAX, message: panic_message(&*payload) })
+                    }
                 }
             }
         });
-        results.into_iter().map(|r| r.expect("sweep job produced no result")).collect()
+        if panics.is_empty() {
+            return Ok(results
+                .into_iter()
+                .map(|r| r.expect("sweep job produced no result"))
+                .collect());
+        }
+        panics.sort_by_key(|p| p.job);
+        let completed = results.iter().filter(|r| r.is_some()).count();
+        Err(SweepPanicReport { panics, completed })
     }
+}
+
+/// One job that panicked inside [`SweepRunner::try_run_jobs`].
+#[derive(Debug, Clone)]
+pub struct JobPanic {
+    /// Submission index of the panicked job (`usize::MAX` when a worker
+    /// thread itself died outside any job — only possible via abort).
+    pub job: usize,
+    /// The panic payload, stringified.
+    pub message: String,
+}
+
+/// Structured account of a sweep batch that lost jobs to panics.
+#[derive(Debug, Clone)]
+pub struct SweepPanicReport {
+    /// Every panicked job, sorted by submission index.
+    pub panics: Vec<JobPanic>,
+    /// How many jobs completed and produced a (discarded) result.
+    pub completed: usize,
+}
+
+impl std::fmt::Display for SweepPanicReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} sweep job(s) panicked ({} completed results discarded):",
+            self.panics.len(),
+            self.completed
+        )?;
+        for p in &self.panics {
+            if p.job == usize::MAX {
+                write!(f, " [worker died: {}]", p.message)?;
+            } else {
+                write!(f, " [job {}: {}]", p.job, p.message)?;
+            }
+        }
+        Ok(())
+    }
+}
+
+impl std::error::Error for SweepPanicReport {}
+
+/// Stringifies a caught panic payload (the `&str`/`String` forms `panic!`
+/// produces; anything else becomes an opaque marker).
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// Runs one fallible job body under a panic guard, converting an unwind
+/// into [`SubmitError::JobPanicked`]. This is the per-job isolation the
+/// serving layer wraps engine executions in: the worker thread survives,
+/// and the panic becomes a structured error the request path can serve as
+/// an HTTP 500 instead of a dead pool.
+pub fn catch_job_panic<R>(f: impl FnOnce() -> R) -> Result<R, SubmitError> {
+    catch_unwind(AssertUnwindSafe(f))
+        .map_err(|payload| SubmitError::JobPanicked { message: panic_message(&*payload) })
 }
 
 /// The standard `bench_report` run set, executed through `runner`: every
@@ -289,8 +412,11 @@ pub fn crossbar_validation() -> MetricsRegistry {
     m
 }
 
-/// Why [`ServicePool::try_submit`] refused a job.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+/// Why a [`ServicePool`] job could not produce a result: refused at
+/// submission ([`SubmitError::QueueFull`] / [`SubmitError::ShuttingDown`])
+/// or lost to a contained panic during execution
+/// ([`SubmitError::JobPanicked`], produced by [`catch_job_panic`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub enum SubmitError {
     /// The bounded admission queue is at capacity: shed the request.
     QueueFull {
@@ -299,6 +425,13 @@ pub enum SubmitError {
     },
     /// The pool is draining for shutdown and accepts no new work.
     ShuttingDown,
+    /// The job panicked mid-execution. The panic was contained by the
+    /// worker (the pool keeps serving); the payload is preserved so the
+    /// caller can report a structured error instead of a dead connection.
+    JobPanicked {
+        /// The stringified panic payload.
+        message: String,
+    },
 }
 
 /// A persistent, bounded worker pool: the serving counterpart of the
@@ -342,6 +475,8 @@ struct PoolState {
     peak_depth: u64,
     /// Total jobs accepted over the pool's lifetime.
     scheduled: u64,
+    /// Jobs whose panic a worker contained (the worker kept running).
+    panics: u64,
 }
 
 impl std::fmt::Debug for PoolState {
@@ -353,7 +488,30 @@ impl std::fmt::Debug for PoolState {
             .field("active", &self.active)
             .field("peak_depth", &self.peak_depth)
             .field("scheduled", &self.scheduled)
+            .field("panics", &self.panics)
             .finish()
+    }
+}
+
+/// What [`ServicePool::drain`] observed while shutting the pool down —
+/// surfaced as data so a supervisor can report which workers were lost and
+/// how many jobs were abandoned, instead of the historical double panic
+/// (`expect` on a poisoned join while already unwinding).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct DrainReport {
+    /// Job panics contained by workers over the pool's lifetime.
+    pub worker_panics: u64,
+    /// Worker threads that died outside the per-job guard (only possible
+    /// via a non-unwinding kill; a contained panic never loses a worker).
+    pub workers_lost: usize,
+    /// Queued jobs discarded because no live worker remained to run them.
+    pub jobs_abandoned: usize,
+}
+
+impl DrainReport {
+    /// Whether the drain completed without losing a worker or a job.
+    pub fn clean(&self) -> bool {
+        self.workers_lost == 0 && self.jobs_abandoned == 0
     }
 }
 
@@ -379,7 +537,7 @@ impl ServicePool {
 
     /// Queues one job, or reports why it cannot be accepted. Never blocks.
     pub fn try_submit(&self, job: Box<dyn FnOnce() + Send>) -> Result<(), SubmitError> {
-        let mut st = self.inner.state.lock().expect("service pool poisoned");
+        let mut st = lock_pool(&self.inner.state);
         if st.stopping {
             return Err(SubmitError::ShuttingDown);
         }
@@ -396,46 +554,92 @@ impl ServicePool {
 
     /// Holds workers idle after their current job; queued jobs stay queued.
     pub fn pause(&self) {
-        self.inner.state.lock().expect("service pool poisoned").paused = true;
+        lock_pool(&self.inner.state).paused = true;
     }
 
     /// Releases paused workers.
     pub fn resume(&self) {
-        self.inner.state.lock().expect("service pool poisoned").paused = false;
+        lock_pool(&self.inner.state).paused = false;
         self.inner.takeable.notify_all();
     }
 
     /// `(queued + active, peak, scheduled)` — the admission gauges the
     /// server exports as `serve.queue_depth` and `serve.scheduled`.
     pub fn depth(&self) -> (u64, u64, u64) {
-        let st = self.inner.state.lock().expect("service pool poisoned");
+        let st = lock_pool(&self.inner.state);
         ((st.queue.len() + st.active) as u64, st.peak_depth, st.scheduled)
+    }
+
+    /// Job panics contained by the workers so far (each one left the
+    /// worker alive and the pool serving — exported as
+    /// `serve.worker_panics`).
+    pub fn panics(&self) -> u64 {
+        lock_pool(&self.inner.state).panics
     }
 
     /// Graceful drain: stops admissions, runs every queued job to
     /// completion (resuming paused workers), then joins the workers.
-    pub fn drain(&self) {
+    ///
+    /// Returns what happened as data. Contained job panics do not disturb
+    /// the drain (the workers that caught them are joined normally); if
+    /// every worker was lost to a non-unwinding kill while jobs were still
+    /// queued, those jobs are abandoned and counted rather than waited on
+    /// forever.
+    pub fn drain(&self) -> DrainReport {
         {
-            let mut st = self.inner.state.lock().expect("service pool poisoned");
+            let mut st = lock_pool(&self.inner.state);
             st.stopping = true;
             st.paused = false;
         }
         self.inner.takeable.notify_all();
-        let mut st = self.inner.state.lock().expect("service pool poisoned");
+        let mut st = lock_pool(&self.inner.state);
+        let mut jobs_abandoned = 0usize;
         while !st.queue.is_empty() || st.active > 0 {
-            st = self.inner.drained.wait(st).expect("service pool poisoned");
+            // Bounded wait so worker liveness is re-checked: if no worker
+            // thread remains to run the queue down, waiting on `drained`
+            // would hang forever — abandon the queue instead and report it.
+            let (guard, _) = self
+                .inner
+                .drained
+                .wait_timeout(st, Duration::from_millis(50))
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+            st = guard;
+            let all_dead =
+                lock_pool_list(&self.workers).iter().all(std::thread::JoinHandle::is_finished);
+            if all_dead && st.active == 0 && !st.queue.is_empty() {
+                jobs_abandoned = st.queue.len();
+                st.queue.clear();
+                break;
+            }
         }
+        let worker_panics = st.panics;
         drop(st);
-        for w in self.workers.lock().expect("service pool poisoned").drain(..) {
-            w.join().expect("service pool worker panicked");
+        let mut workers_lost = 0usize;
+        for w in lock_pool_list(&self.workers).drain(..) {
+            if w.join().is_err() {
+                workers_lost += 1;
+            }
         }
+        DrainReport { worker_panics, workers_lost, jobs_abandoned }
     }
+}
+
+/// Poison-tolerant pool-state lock: a panic elsewhere must degrade to a
+/// contained, counted error — never cascade into every pool operation.
+fn lock_pool(m: &Mutex<PoolState>) -> std::sync::MutexGuard<'_, PoolState> {
+    m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+fn lock_pool_list(
+    m: &Mutex<Vec<std::thread::JoinHandle<()>>>,
+) -> std::sync::MutexGuard<'_, Vec<std::thread::JoinHandle<()>>> {
+    m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
 }
 
 fn worker_loop(shared: &PoolShared) {
     loop {
         let job = {
-            let mut st = shared.state.lock().expect("service pool poisoned");
+            let mut st = lock_pool(&shared.state);
             loop {
                 if !st.paused {
                     if let Some(job) = st.queue.pop_front() {
@@ -451,12 +655,19 @@ fn worker_loop(shared: &PoolShared) {
                     st.paused = false;
                     continue;
                 }
-                st = shared.takeable.wait(st).expect("service pool poisoned");
+                st = shared.takeable.wait(st).unwrap_or_else(std::sync::PoisonError::into_inner);
             }
         };
-        job();
-        let mut st = shared.state.lock().expect("service pool poisoned");
+        // Contain a panicking job here: the worker survives (in-place
+        // respawn — same thread, fresh job), `active` is decremented on
+        // every path so a panic can never leak an active count and hang
+        // the drain, and the panic is counted for `serve.worker_panics`.
+        let panicked = catch_unwind(AssertUnwindSafe(job)).is_err();
+        let mut st = lock_pool(&shared.state);
         st.active -= 1;
+        if panicked {
+            st.panics += 1;
+        }
         if st.queue.is_empty() && st.active == 0 {
             shared.drained.notify_all();
         }
@@ -538,6 +749,75 @@ mod tests {
         // pool then refuses new work as shutting down.
         pool.drain();
         assert_eq!(pool.try_submit(Box::new(|| {})), Err(SubmitError::ShuttingDown));
+    }
+
+    #[test]
+    fn try_run_jobs_reports_panics_as_data_on_both_paths() {
+        let mk = || -> Vec<Job<'static, u64>> {
+            (0..6u64)
+                .map(|i| {
+                    let b: Job<'static, u64> = Box::new(move || {
+                        assert!(i != 2 && i != 4, "job {i} exploded");
+                        i
+                    });
+                    b
+                })
+                .collect()
+        };
+        for runner in [SweepRunner::serial(), SweepRunner::with_threads(3)] {
+            let report = runner.try_run_jobs(mk()).expect_err("two jobs panic");
+            assert_eq!(report.panics.len(), 2);
+            assert_eq!(report.panics[0].job, 2);
+            assert_eq!(report.panics[1].job, 4);
+            assert_eq!(report.completed, 4);
+            assert!(report.panics[0].message.contains("job 2 exploded"));
+            let shown = report.to_string();
+            assert!(shown.contains("2 sweep job(s) panicked"), "got: {shown}");
+            assert!(shown.contains("[job 4:"), "got: {shown}");
+        }
+    }
+
+    #[test]
+    fn run_jobs_panics_once_with_the_structured_report() {
+        let jobs: Vec<Job<'static, ()>> =
+            vec![Box::new(|| {}), Box::new(|| panic!("boom")), Box::new(|| {})];
+        let err = catch_unwind(AssertUnwindSafe(|| {
+            SweepRunner::with_threads(2).run_jobs(jobs);
+        }))
+        .expect_err("a panicking job fails the batch");
+        let msg = panic_message(&*err);
+        assert!(msg.contains("1 sweep job(s) panicked"), "got: {msg}");
+        assert!(msg.contains("[job 1: boom]"), "got: {msg}");
+    }
+
+    #[test]
+    fn catch_job_panic_converts_an_unwind_into_a_submit_error() {
+        assert_eq!(catch_job_panic(|| 7), Ok(7));
+        let err = catch_job_panic(|| -> u64 { panic!("engine bug {}", 13) })
+            .expect_err("panic becomes data");
+        assert_eq!(err, SubmitError::JobPanicked { message: "engine bug 13".into() });
+    }
+
+    #[test]
+    fn service_pool_survives_a_panicking_job_and_reports_it_at_drain() {
+        use std::sync::atomic::AtomicU64;
+        let pool = ServicePool::start(SweepRunner::with_threads(2), 16, false);
+        let done = std::sync::Arc::new(AtomicU64::new(0));
+        pool.try_submit(Box::new(|| panic!("injected worker panic"))).unwrap();
+        // The pool must keep serving after the contained panic: the same
+        // workers run every subsequent job.
+        for _ in 0..8 {
+            let done = std::sync::Arc::clone(&done);
+            pool.try_submit(Box::new(move || {
+                done.fetch_add(1, Ordering::Relaxed);
+            }))
+            .unwrap();
+        }
+        let report = pool.drain();
+        assert_eq!(done.load(Ordering::Relaxed), 8);
+        assert_eq!(report, DrainReport { worker_panics: 1, workers_lost: 0, jobs_abandoned: 0 });
+        assert!(report.clean(), "a contained panic is not a lost worker");
+        assert_eq!(pool.panics(), 1);
     }
 
     #[test]

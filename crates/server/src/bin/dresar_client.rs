@@ -1,7 +1,8 @@
 //! `dresar_client` — load generator and admin client for `dresar-serve`.
 //!
 //! ```text
-//! dresar_client [--addr HOST:PORT] [--requests N] [--concurrency N] [--json]
+//! dresar_client [--addr HOST:PORT] [--requests N] [--concurrency N]
+//!               [--retries N] [--backoff-ms M] [--retry-seed S] [--json]
 //! dresar_client [--addr HOST:PORT] --watch [--frames N] [--interval-ms M]
 //! dresar_client [--addr HOST:PORT] --shutdown
 //! ```
@@ -12,12 +13,22 @@
 //! machine-readable report document on stdout; `--shutdown` instead asks
 //! the server to drain and exit.
 //!
+//! `--retries` enables client-side retry of shed (429) and draining /
+//! deadline (503) replies with capped exponential backoff and seeded
+//! jitter; the server's `Retry-After` hint is honored as a floor.
+//! `--backoff-ms` sets the first wait (doubling per retry, capped at 40x),
+//! and `--retry-seed` pins the jitter schedule for reproducible runs. The
+//! report then includes how many retries were absorbed and how many
+//! requests gave up still shed.
+//!
 //! `--watch` subscribes to `GET /metrics/stream` and renders one line per
 //! frame with the counters that moved inside that frame's window (`--json`
 //! prints each frame's raw payload instead). `--frames 0` (the default)
 //! watches until the server drains or the connection drops.
 
-use dresar_server::client::{default_mix, http_request, run_load, stream_metrics, LoadOptions};
+use dresar_server::client::{
+    default_mix, http_request, run_load, stream_metrics, LoadOptions, RetryPolicy,
+};
 use dresar_types::{JsonValue, ToJson};
 
 fn main() {
@@ -42,6 +53,20 @@ fn main() {
             "--concurrency" => {
                 opts.concurrency = parse_num(&take("--concurrency"), "--concurrency")
             }
+            "--retries" => {
+                let n = parse_num(&take("--retries"), "--retries");
+                opts.retry.get_or_insert_with(RetryPolicy::default).max_retries = n as u32;
+            }
+            "--backoff-ms" => {
+                let base = parse_num(&take("--backoff-ms"), "--backoff-ms").max(1) as u64;
+                let policy = opts.retry.get_or_insert_with(RetryPolicy::default);
+                policy.base_ms = base;
+                policy.cap_ms = base.saturating_mul(40);
+            }
+            "--retry-seed" => {
+                let seed = parse_num(&take("--retry-seed"), "--retry-seed") as u64;
+                opts.retry.get_or_insert_with(RetryPolicy::default).seed = seed;
+            }
             "--json" => json = true,
             "--shutdown" => shutdown = true,
             "--watch" => watch = true,
@@ -50,7 +75,8 @@ fn main() {
             "--help" | "-h" => {
                 println!(
                     "usage: dresar_client [--addr HOST:PORT] [--requests N] [--concurrency N] \
-                     [--json] | --watch [--frames N] [--interval-ms M] | --shutdown"
+                     [--retries N] [--backoff-ms M] [--retry-seed S] [--json] | \
+                     --watch [--frames N] [--interval-ms M] | --shutdown"
                 );
                 return;
             }
@@ -101,6 +127,12 @@ fn main() {
             "{} requests ({} transport errors, {} cache hits) against {addr}",
             report.total, report.transport_errors, report.cache_hits
         );
+        if opts.retry.is_some() {
+            eprintln!(
+                "  retries absorbed: {} (gave up still shed: {})",
+                report.retries, report.give_ups
+            );
+        }
         for (status, count) in &report.by_status {
             eprintln!("  HTTP {status}: {count}");
         }

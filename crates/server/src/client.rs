@@ -207,6 +207,98 @@ pub fn post_run(addr: &str, spec_json: &str) -> std::io::Result<HttpResponse> {
     http_request(addr, "POST", "/run", spec_json)
 }
 
+/// Retry/backoff policy for [`post_run_retry`]: capped exponential backoff
+/// with deterministic seeded jitter.
+///
+/// A retryable reply (429/503, which the server marks with `Retry-After`)
+/// is retried up to `max_retries` times. The `k`-th wait is
+/// `min(base_ms << k, cap_ms)` scaled by a jitter factor in `[0.5, 1.0)`
+/// drawn from a [`SmallRng`](dresar_types::SmallRng) seeded with `seed` —
+/// so a load run's retry schedule is reproducible, matching the
+/// workspace-wide determinism discipline. When the server sends
+/// `Retry-After: N` (seconds), the wait is raised to at least `N * 1000`
+/// milliseconds: an explicit server hint outranks the local schedule.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Retries after the first attempt (0 = behave like [`post_run`]).
+    pub max_retries: u32,
+    /// First backoff wait, milliseconds.
+    pub base_ms: u64,
+    /// Upper bound any single wait is clamped to, milliseconds.
+    pub cap_ms: u64,
+    /// Jitter seed; equal seeds give equal retry schedules.
+    pub seed: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy { max_retries: 3, base_ms: 50, cap_ms: 2_000, seed: 0 }
+    }
+}
+
+impl RetryPolicy {
+    /// The wait before retry number `attempt` (0-based), in milliseconds,
+    /// honoring the server's `Retry-After` hint (seconds) as a floor.
+    /// Pure — the deterministic schedule is unit-testable without a clock.
+    pub fn backoff_ms(
+        &self,
+        attempt: u32,
+        retry_after_s: Option<u64>,
+        rng: &mut dresar_types::SmallRng,
+    ) -> u64 {
+        let exp =
+            self.base_ms.checked_shl(attempt.min(63)).unwrap_or(u64::MAX).min(self.cap_ms).max(1);
+        let jittered = ((exp as f64) * (0.5 + rng.gen::<f64>() * 0.5)).round() as u64;
+        jittered.max(retry_after_s.unwrap_or(0).saturating_mul(1000))
+    }
+}
+
+/// Whether a reply should be retried under a [`RetryPolicy`]: the
+/// transient statuses the server marks retryable (429 shed, 503
+/// draining/deadline). 500s are not retried — a deterministic engine will
+/// fail deterministically again.
+fn retryable(status: u16) -> bool {
+    status == 429 || status == 503
+}
+
+/// What one [`post_run_retry`] call did, beyond the final response.
+#[derive(Debug, Clone, Default)]
+pub struct RetryOutcome {
+    /// Retries performed (0 = first attempt succeeded or was terminal).
+    pub retries: u32,
+    /// True if retries were exhausted while the server still said 429/503.
+    pub gave_up: bool,
+}
+
+/// [`post_run`] with retry/backoff: retries 429/503 replies per `policy`,
+/// sleeping the backoff schedule between attempts. Transport errors are
+/// retried too (the server may be restarting). Returns the final response
+/// plus how many retries it took.
+pub fn post_run_retry(
+    addr: &str,
+    spec_json: &str,
+    policy: &RetryPolicy,
+) -> std::io::Result<(HttpResponse, RetryOutcome)> {
+    let mut rng = dresar_types::SmallRng::seed_from_u64(policy.seed);
+    let mut outcome = RetryOutcome::default();
+    for attempt in 0..=policy.max_retries {
+        let result = post_run(addr, spec_json);
+        let retry_after_s = match &result {
+            Ok(resp) if retryable(resp.status) => resp.header_u64("retry-after").filter(|&s| s > 0),
+            Ok(_) => return Ok((result.expect("just matched Ok"), outcome)),
+            Err(_) => None,
+        };
+        if attempt == policy.max_retries {
+            outcome.gave_up = true;
+            return result.map(|resp| (resp, outcome.clone()));
+        }
+        let wait = policy.backoff_ms(attempt, retry_after_s, &mut rng);
+        std::thread::sleep(std::time::Duration::from_millis(wait));
+        outcome.retries += 1;
+    }
+    unreachable!("loop returns on the final attempt")
+}
+
 /// The default load mix: a handful of distinct tiny-scale specs (several
 /// workloads, two SD sizes) plus a repeated one, so a run exercises cache
 /// hits, coalescing and distinct executions all at once.
@@ -227,11 +319,16 @@ pub struct LoadOptions {
     pub total: usize,
     /// Concurrent client connections.
     pub concurrency: usize,
+    /// Retry shed/draining replies per this policy; `None` records the
+    /// raw 429/503s instead (the pre-retry behavior). Each request derives
+    /// its jitter seed from `policy.seed ^ request_index`, so concurrent
+    /// workers never share (or sleep in lockstep on) one RNG.
+    pub retry: Option<RetryPolicy>,
 }
 
 impl Default for LoadOptions {
     fn default() -> Self {
-        LoadOptions { total: 32, concurrency: 4 }
+        LoadOptions { total: 32, concurrency: 4, retry: None }
     }
 }
 
@@ -246,6 +343,13 @@ pub struct LoadReport {
     pub by_status: BTreeMap<u64, u64>,
     /// Responses served from the cache (`X-Dresar-Cache: hit`).
     pub cache_hits: u64,
+    /// Retries performed across all requests (0 unless a [`RetryPolicy`]
+    /// was configured). `by_status` counts only each request's *final*
+    /// response; the shed replies a retry absorbed show up here instead.
+    pub retries: u64,
+    /// Requests whose retries were exhausted while the server still
+    /// answered 429/503 — the load the retry policy could not hide.
+    pub give_ups: u64,
     /// Log2 histogram of request service times, microseconds.
     pub service_us_hist: Vec<u64>,
     /// Log2 histogram of server-reported queue waits, microseconds. Only
@@ -280,6 +384,8 @@ impl ToJson for LoadReport {
             .field("transport_errors", self.transport_errors)
             .field("by_status", self.by_status.clone())
             .field("cache_hits", self.cache_hits)
+            .field("retries", self.retries)
+            .field("give_ups", self.give_ups)
             .field("p50_us", self.percentile_us(50.0))
             .field("p95_us", self.percentile_us(95.0))
             .field("p99_us", self.percentile_us(99.0))
@@ -314,15 +420,37 @@ pub fn run_load(addr: &str, mix: &[String], opts: &LoadOptions) -> LoadReport {
             let mix = Arc::clone(&mix);
             let addr = addr.clone();
             let total = opts.total;
+            let retry = opts.retry.clone();
             std::thread::spawn(move || {
                 let mut i = w;
                 while i < total {
                     let spec = &mix[i % mix.len()];
                     let t0 = Instant::now();
-                    let outcome = post_run(&addr, spec);
+                    let (outcome, stats) = match &retry {
+                        Some(policy) => {
+                            let per_request =
+                                RetryPolicy { seed: policy.seed ^ i as u64, ..policy.clone() };
+                            match post_run_retry(&addr, spec, &per_request) {
+                                Ok((resp, stats)) => (Ok(resp), stats),
+                                // A terminal Err means every attempt ran.
+                                Err(e) => (
+                                    Err(e),
+                                    RetryOutcome {
+                                        retries: per_request.max_retries,
+                                        gave_up: true,
+                                    },
+                                ),
+                            }
+                        }
+                        None => (post_run(&addr, spec), RetryOutcome::default()),
+                    };
                     let us = t0.elapsed().as_micros().min(u128::from(u64::MAX)) as u64;
-                    let mut r = report.lock().expect("load report poisoned");
+                    let mut r = report.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
                     r.total += 1;
+                    r.retries += u64::from(stats.retries);
+                    if stats.gave_up {
+                        r.give_ups += 1;
+                    }
                     match outcome {
                         Ok(resp) => {
                             *r.by_status.entry(u64::from(resp.status)).or_insert(0) += 1;
@@ -416,6 +544,44 @@ mod tests {
         );
         let n = read_sse_events(raw.as_bytes(), |_| false).unwrap();
         assert_eq!(n, 1, "a false return should stop after the first event");
+    }
+
+    #[test]
+    fn backoff_schedule_is_deterministic_capped_and_honors_retry_after() {
+        let policy = RetryPolicy { max_retries: 8, base_ms: 50, cap_ms: 400, seed: 11 };
+        let schedule = |seed| {
+            let mut rng = dresar_types::SmallRng::seed_from_u64(seed);
+            (0..6).map(|k| policy.backoff_ms(k, None, &mut rng)).collect::<Vec<_>>()
+        };
+        assert_eq!(schedule(11), schedule(11), "equal seeds give equal schedules");
+        for (k, &wait) in schedule(11).iter().enumerate() {
+            let exp = (policy.base_ms << k).min(policy.cap_ms);
+            assert!(
+                wait >= exp / 2 && wait <= exp,
+                "wait {wait} for retry {k} outside jitter envelope [{}, {exp}]",
+                exp / 2
+            );
+        }
+        // An explicit server hint outranks the local schedule.
+        let mut rng = dresar_types::SmallRng::seed_from_u64(11);
+        assert_eq!(policy.backoff_ms(0, Some(3), &mut rng), 3_000);
+    }
+
+    #[test]
+    fn only_shed_and_draining_statuses_are_retryable() {
+        assert!(retryable(429) && retryable(503));
+        for status in [200u16, 400, 404, 413, 500] {
+            assert!(!retryable(status), "status {status} must not be retried");
+        }
+    }
+
+    #[test]
+    fn retry_exhaustion_against_a_dead_server_reports_give_up() {
+        // Nothing listens on this address: every attempt is a transport
+        // error, so the call must run the full schedule and then fail.
+        let policy = RetryPolicy { max_retries: 2, base_ms: 1, cap_ms: 2, seed: 5 };
+        let err = post_run_retry("127.0.0.1:1", "{}", &policy);
+        assert!(err.is_err(), "no server means a terminal transport error");
     }
 
     #[test]

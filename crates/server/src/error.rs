@@ -66,6 +66,24 @@ pub enum ServeError {
     ShuttingDown,
     /// The simulation failed internally (reported, never a crash).
     Internal(String),
+    /// The engine execution panicked. The panic was contained by its
+    /// worker (the pool keeps serving); this request reports the failure
+    /// structurally, with the digest so operators can reproduce it.
+    JobPanicked {
+        /// Hex digest of the spec whose execution panicked.
+        digest: String,
+        /// The stringified panic payload.
+        message: String,
+    },
+    /// The request's compute deadline passed before a result was ready
+    /// (either expired while still queued — enforced at dequeue, without
+    /// burning a worker — or while waiting on a coalesced execution).
+    DeadlineExceeded {
+        /// The effective deadline in milliseconds (after the server cap).
+        deadline_ms: u64,
+        /// Where the deadline expired: `"queued"` or `"waiting"`.
+        at: &'static str,
+    },
 }
 
 impl ServeError {
@@ -90,6 +108,8 @@ impl ServeError {
             ServeError::FlightUnavailable => "no_flight_dump",
             ServeError::ShuttingDown => "shutting_down",
             ServeError::Internal(_) => "internal",
+            ServeError::JobPanicked { .. } => "internal_panic",
+            ServeError::DeadlineExceeded { .. } => "deadline_exceeded",
         }
     }
 
@@ -100,9 +120,22 @@ impl ServeError {
             ServeError::MethodNotAllowed(_) => 405,
             ServeError::BodyTooLarge(_) => 413,
             ServeError::Overloaded { .. } => 429,
-            ServeError::ShuttingDown => 503,
-            ServeError::Internal(_) => 500,
+            ServeError::ShuttingDown | ServeError::DeadlineExceeded { .. } => 503,
+            ServeError::Internal(_) | ServeError::JobPanicked { .. } => 500,
             _ => 400,
+        }
+    }
+
+    /// `Retry-After` seconds for retryable failures: transient conditions
+    /// (a shed request, a draining server, an expired deadline) advertise
+    /// when trying again is reasonable; permanent failures return `None`
+    /// and get no header.
+    pub fn retry_after(&self) -> Option<u64> {
+        match self {
+            ServeError::Overloaded { .. }
+            | ServeError::ShuttingDown
+            | ServeError::DeadlineExceeded { .. } => Some(1),
+            _ => None,
         }
     }
 
@@ -135,6 +168,12 @@ impl ServeError {
                 "no flight-recorder dump recorded yet (no anomalous run has completed)".to_string()
             }
             ServeError::ShuttingDown => "server is draining for shutdown".to_string(),
+            ServeError::JobPanicked { digest, message } => {
+                format!("execution for digest {digest} panicked (worker contained it): {message}")
+            }
+            ServeError::DeadlineExceeded { deadline_ms, at } => {
+                format!("compute deadline of {deadline_ms} ms expired while {at}")
+            }
         }
     }
 
@@ -199,11 +238,29 @@ mod tests {
             ServeError::FlightUnavailable,
             ServeError::ShuttingDown,
             ServeError::Internal(String::new()),
+            ServeError::JobPanicked { digest: String::new(), message: String::new() },
+            ServeError::DeadlineExceeded { deadline_ms: 1, at: "queued" },
         ];
         let mut codes: Vec<&str> = all.iter().map(ServeError::code).collect();
         codes.sort_unstable();
         codes.dedup();
         assert_eq!(codes.len(), all.len(), "error codes must be pairwise distinct");
+    }
+
+    #[test]
+    fn retryable_errors_advertise_retry_after() {
+        assert_eq!(ServeError::Overloaded { queue_depth: 4 }.retry_after(), Some(1));
+        assert_eq!(ServeError::ShuttingDown.retry_after(), Some(1));
+        assert_eq!(
+            ServeError::DeadlineExceeded { deadline_ms: 10, at: "queued" }.retry_after(),
+            Some(1)
+        );
+        assert_eq!(ServeError::BadJson(String::new()).retry_after(), None);
+        assert_eq!(
+            ServeError::JobPanicked { digest: String::new(), message: String::new() }.retry_after(),
+            None,
+            "a deterministic panic will panic again; advertising a retry would be a lie"
+        );
     }
 
     #[test]

@@ -44,14 +44,21 @@
 #![warn(missing_docs)]
 
 pub mod cache;
+pub mod chaos;
 pub mod client;
 pub mod error;
 pub mod http;
 pub mod run;
 pub mod serve;
+pub mod store;
 
 pub use cache::ResultCache;
-pub use client::{http_request, post_run, run_load, HttpResponse, LoadOptions, LoadReport};
+pub use chaos::{ServeChaos, ServeFaultPlan};
+pub use client::{
+    http_request, post_run, post_run_retry, run_load, HttpResponse, LoadOptions, LoadReport,
+    RetryPolicy,
+};
 pub use error::ServeError;
 pub use run::{validate, ValidatedSpec};
 pub use serve::{Server, ServerConfig};
+pub use store::{ResultStore, StoreError};

@@ -33,19 +33,21 @@
 //! queued work, join workers).
 
 use crate::cache::ResultCache;
+use crate::chaos::{ServeChaos, ServeFaultPlan};
 use crate::error::ServeError;
 use crate::http::{
     read_request, write_response, write_response_with, write_sse_end, write_sse_event,
     write_sse_head, Request,
 };
 use crate::run::{validate, ExecOutput, ValidatedSpec};
-use dresar_bench::sweep::{ServicePool, SubmitError, SweepRunner};
+use crate::store::ResultStore;
+use dresar_bench::sweep::{catch_job_panic, ServicePool, SubmitError, SweepRunner};
 use dresar_obs::{hostprof, log2_bucket, MetricValue, MetricsRegistry};
 use dresar_types::{FastMap, FromJson, JsonValue, RunSpec, ToJson};
 use std::collections::BTreeMap;
 use std::net::{TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
 use std::time::{Duration, Instant};
 
 /// Number of log2 buckets in the service-time histogram (microseconds).
@@ -67,10 +69,11 @@ const STREAM_DEFAULT_INTERVAL_MS: u64 = 1000;
 /// its own process.
 const PID_SERVER: u32 = 100;
 
-/// How long a request waits for its (possibly coalesced) execution before
-/// reporting an internal timeout. Generous: tier-1 runs tiny workloads in
-/// debug builds.
-const RESULT_WAIT_TIMEOUT: Duration = Duration::from_secs(600);
+/// Default cap on (and default value of) a request's compute deadline.
+/// Generous: tier-1 runs tiny workloads in debug builds. Requests lower it
+/// per-spec via `deadline_ms`; [`ServerConfig::max_deadline`] caps what
+/// they may ask for.
+const DEFAULT_MAX_DEADLINE: Duration = Duration::from_secs(600);
 
 /// Server construction parameters.
 #[derive(Debug, Clone)]
@@ -86,11 +89,30 @@ pub struct ServerConfig {
     /// but nothing executes until [`Server::resume_workers`]). Tests use
     /// this to make concurrency assertions deterministic.
     pub start_paused: bool,
+    /// Directory for the durable result store ([`ResultStore`]); `None`
+    /// serves memory-only, exactly as before the disk tier existed.
+    pub store_dir: Option<std::path::PathBuf>,
+    /// Upper bound on (and default for) per-request compute deadlines. A
+    /// spec's `deadline_ms` is clamped to this; specs without one get it
+    /// whole.
+    pub max_deadline: Duration,
+    /// Seeded serve-tier fault injection; `None` (the default) injects
+    /// nothing. Test/CI-only — the binary arms it behind an explicit
+    /// `--chaos` flag or `DRESAR_SERVE_CHAOS` env var.
+    pub chaos: Option<ServeFaultPlan>,
 }
 
 impl Default for ServerConfig {
     fn default() -> Self {
-        ServerConfig { queue_depth: 64, workers: 0, cache_entries: 128, start_paused: false }
+        ServerConfig {
+            queue_depth: 64,
+            workers: 0,
+            cache_entries: 128,
+            start_paused: false,
+            store_dir: None,
+            max_deadline: DEFAULT_MAX_DEADLINE,
+            chaos: None,
+        }
     }
 }
 
@@ -120,23 +142,42 @@ impl<T> Default for Flight<T> {
 
 impl<T: Clone> Flight<T> {
     fn publish(&self, result: Result<T, ServeError>) {
-        *self.result.lock().expect("in-flight result poisoned") = Some(result);
+        *lock_recover(&self.result) = Some(result);
         self.ready.notify_all();
     }
 
-    fn wait(&self) -> Result<T, ServeError> {
-        let mut slot = self.result.lock().expect("in-flight result poisoned");
-        let deadline = Instant::now() + RESULT_WAIT_TIMEOUT;
+    /// Waits for the result until `deadline`. Each waiter enforces its
+    /// *own* deadline here — a coalesced follower with a tighter deadline
+    /// than the leader gives up on time even though the shared execution
+    /// keeps running (and lands in the cache for its retry).
+    fn wait(&self, deadline: Instant, deadline_ms: u64) -> Result<T, ServeError> {
+        let mut slot = lock_recover(&self.result);
         while slot.is_none() {
             let left = deadline.saturating_duration_since(Instant::now());
             if left.is_zero() {
-                return Err(ServeError::Internal("timed out waiting for execution".into()));
+                return Err(ServeError::DeadlineExceeded { deadline_ms, at: "waiting" });
             }
-            let (guard, _) = self.ready.wait_timeout(slot, left).expect("in-flight poisoned");
+            let (guard, _) =
+                self.ready.wait_timeout(slot, left).unwrap_or_else(PoisonError::into_inner);
             slot = guard;
         }
         slot.as_ref().expect("checked above").clone()
     }
+}
+
+/// Poison-tolerant lock: serving state must stay usable after a panic
+/// elsewhere — the panic is already contained and counted; cascading a
+/// poisoned mutex into every later request would turn one bug into an
+/// outage.
+fn lock_recover<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// The effective compute deadline for a request: the spec's `deadline_ms`
+/// clamped to the server cap, or the whole cap when the spec sets none.
+fn effective_deadline_ms(spec: &RunSpec, max_deadline: Duration) -> u64 {
+    let cap = us(max_deadline) / 1000;
+    spec.deadline_ms.map_or(cap, |d| d.clamp(1, cap.max(1)))
 }
 
 /// One in-flight coalesced execution that same-digest requests share.
@@ -153,6 +194,15 @@ struct ServeMetrics {
     executions: AtomicU64,
     errors: AtomicU64,
     inflight_peak: AtomicU64,
+    /// Executions whose panic the per-job guard converted into a
+    /// structured 500 (`internal_panic`); the worker survived each one.
+    worker_panics: AtomicU64,
+    /// Jobs whose deadline expired while still queued (dequeue-time check;
+    /// no worker time was burned) plus waits that timed out.
+    deadline_expired: AtomicU64,
+    /// Store writes that failed (injected or real I/O errors); the result
+    /// was still served from memory, only durability was lost.
+    store_write_errors: AtomicU64,
     /// `GET /metrics/stream` connections accepted.
     metric_streams: AtomicU64,
     service_us_hist: Mutex<[u64; SERVICE_HIST_BUCKETS]>,
@@ -172,6 +222,9 @@ impl Default for ServeMetrics {
             executions: AtomicU64::new(0),
             errors: AtomicU64::new(0),
             inflight_peak: AtomicU64::new(0),
+            worker_panics: AtomicU64::new(0),
+            deadline_expired: AtomicU64::new(0),
+            store_write_errors: AtomicU64::new(0),
             metric_streams: AtomicU64::new(0),
             service_us_hist: Mutex::new([0; SERVICE_HIST_BUCKETS]),
             digest_us_hists: Mutex::new(DigestHists::default()),
@@ -224,10 +277,16 @@ impl DigestHists {
 struct Shared {
     pool: ServicePool,
     cache: Mutex<ResultCache>,
+    /// Disk tier under the LRU; `None` when no `--store-dir` was given.
+    store: Option<Mutex<ResultStore>>,
     inflight: Mutex<FastMap<u64, Arc<InFlight>>>,
     metrics: ServeMetrics,
     shutting_down: AtomicBool,
     started: Instant,
+    /// Server cap on per-request compute deadlines.
+    max_deadline: Duration,
+    /// Armed fault injection; `None` in every production configuration.
+    chaos: Option<ServeChaos>,
     /// Most recent flight-recorder dump deposited by an anomalous run,
     /// served verbatim by `GET /debug/flight`.
     last_flight: Mutex<Option<Arc<String>>>,
@@ -256,13 +315,24 @@ impl Server {
         } else {
             SweepRunner::with_threads(cfg.workers)
         };
+        // Warm-start: opening the store scans existing entries, so a
+        // restarted server answers previously computed digests from disk.
+        let store = match &cfg.store_dir {
+            Some(dir) => Some(Mutex::new(
+                ResultStore::open(dir).map_err(|e| std::io::Error::other(e.to_string()))?,
+            )),
+            None => None,
+        };
         let shared = Arc::new(Shared {
             pool: ServicePool::start(runner, cfg.queue_depth, cfg.start_paused),
             cache: Mutex::new(ResultCache::new(cfg.cache_entries)),
+            store,
             inflight: Mutex::new(FastMap::default()),
             metrics: ServeMetrics::default(),
             shutting_down: AtomicBool::new(false),
             started: Instant::now(),
+            max_deadline: cfg.max_deadline,
+            chaos: cfg.chaos.filter(ServeFaultPlan::is_active).map(ServeChaos::arm),
             last_flight: Mutex::new(None),
         });
         let conns: Arc<Mutex<Vec<std::thread::JoinHandle<()>>>> = Arc::default();
@@ -306,16 +376,28 @@ impl Server {
     }
 
     fn join_inner(&mut self) {
+        // A poisoned acceptor or handler thread must not abort the drain:
+        // count the casualty and keep shutting down — every remaining
+        // thread still gets joined and every queued job still runs.
         if let Some(a) = self.acceptor.take() {
-            a.join().expect("acceptor panicked");
+            if a.join().is_err() {
+                self.shared.metrics.errors.fetch_add(1, Ordering::Relaxed);
+            }
         }
         // New connections are no longer accepted; finish the ones in
         // flight (their queued executions run to completion in drain).
-        self.shared.pool.drain();
-        let handles: Vec<_> =
-            std::mem::take(&mut *self.conns.lock().expect("conn registry poisoned"));
+        let report = self.shared.pool.drain();
+        if !report.clean() {
+            eprintln!(
+                "dresar-serve: unclean drain: {} worker(s) lost, {} job(s) abandoned",
+                report.workers_lost, report.jobs_abandoned
+            );
+        }
+        let handles: Vec<_> = std::mem::take(&mut *lock_recover(&self.conns));
         for h in handles {
-            h.join().expect("connection handler panicked");
+            if h.join().is_err() {
+                self.shared.metrics.errors.fetch_add(1, Ordering::Relaxed);
+            }
         }
     }
 }
@@ -330,7 +412,7 @@ fn accept_loop(
             Ok((stream, _)) => {
                 let shared = Arc::clone(shared);
                 let handle = std::thread::spawn(move || handle_conn(stream, &shared));
-                let mut reg = conns.lock().expect("conn registry poisoned");
+                let mut reg = lock_recover(conns);
                 // Opportunistically reap finished handlers so the registry
                 // does not grow with total connections served.
                 reg.retain(|h| !h.is_finished());
@@ -364,7 +446,7 @@ fn handle_conn(mut stream: TcpStream, shared: &Arc<Shared>) {
         Ok(r) => r,
         Err(e) => {
             shared.metrics.errors.fetch_add(1, Ordering::Relaxed);
-            let _ = write_response(&mut stream, e.status(), &e.body());
+            let _ = write_error(&mut stream, &e);
             return;
         }
     };
@@ -386,8 +468,25 @@ fn handle_conn(mut stream: TcpStream, shared: &Arc<Shared>) {
         }
         Err(e) => {
             shared.metrics.errors.fetch_add(1, Ordering::Relaxed);
-            let _ = write_response(&mut stream, e.status(), &e.body());
+            let _ = write_error(&mut stream, &e);
         }
+    }
+}
+
+/// Writes a structured error reply, with a `Retry-After` header on every
+/// retryable failure (429 `overloaded`, 503 `shutting_down` /
+/// `deadline_exceeded`) so well-behaved clients back off instead of
+/// hammering.
+fn write_error(stream: &mut TcpStream, e: &ServeError) -> std::io::Result<()> {
+    match e.retry_after() {
+        Some(secs) => write_response_with(
+            stream,
+            e.status(),
+            "application/json",
+            &[("Retry-After", secs.to_string())],
+            &e.body(),
+        ),
+        None => write_response(stream, e.status(), &e.body()),
     }
 }
 
@@ -413,7 +512,7 @@ fn route(request: &Request, shared: &Arc<Shared>) -> Result<Reply, ServeError> {
             }
         }
         ("GET", "/debug/flight") => {
-            let dump = shared.last_flight.lock().expect("flight slot poisoned").clone();
+            let dump = lock_recover(&shared.last_flight).clone();
             match dump {
                 Some(body) => Ok(Reply::json(200, (*body).clone())),
                 None => Err(ServeError::FlightUnavailable),
@@ -434,6 +533,7 @@ fn route(request: &Request, shared: &Arc<Shared>) -> Result<Reply, ServeError> {
                 let mut reply = Reply::json(200, served.body);
                 reply.headers = match served.source {
                     RunSource::Cache => vec![("X-Dresar-Cache", "hit".to_string())],
+                    RunSource::Disk => vec![("X-Dresar-Cache", "disk".to_string())],
                     RunSource::Executed { queue_us, exec_us } => vec![
                         ("X-Dresar-Cache", "miss".to_string()),
                         ("X-Dresar-Queue-Us", queue_us.to_string()),
@@ -458,6 +558,9 @@ fn route(request: &Request, shared: &Arc<Shared>) -> Result<Reply, ServeError> {
 /// (coalesced followers report the shared execution's timings).
 enum RunSource {
     Cache,
+    /// Served from the durable store after a restart (or an LRU eviction):
+    /// the body was verified against its framing before being trusted.
+    Disk,
     Executed {
         /// Microseconds the execution waited in the admission queue.
         queue_us: u64,
@@ -471,20 +574,32 @@ struct ServedRun {
     source: RunSource,
 }
 
-/// The `/run` pipeline: parse, validate, cache, coalesce, admit, wait.
+/// The `/run` pipeline: parse, validate, cache, store, coalesce, admit,
+/// wait — each tier falling through to the next on a miss.
 fn serve_run(body: &str, shared: &Arc<Shared>) -> Result<(ServedRun, u64), ServeError> {
     shared.metrics.run_requests.fetch_add(1, Ordering::Relaxed);
     let spec = parse_spec(body)?;
     let validated = validate(&spec)?;
     let digest = spec.digest();
+    let deadline_ms = effective_deadline_ms(&spec, shared.max_deadline);
+    let deadline = Instant::now() + Duration::from_millis(deadline_ms);
 
-    if let Some(cached) = shared.cache.lock().expect("cache poisoned").get(digest) {
+    if let Some(cached) = lock_recover(&shared.cache).get(digest) {
         shared.metrics.cache_hits.fetch_add(1, Ordering::Relaxed);
         return Ok((ServedRun { body: (*cached).clone(), source: RunSource::Cache }, digest));
     }
 
-    let flight = attach_or_lead(digest, validated, shared)?;
-    let outcome = flight.wait()?;
+    // Disk tier: a verified hit repopulates the LRU (so the next request is
+    // a memory hit) and is served with the `disk` cache marker. A corrupt
+    // entry was quarantined inside `load` — fall through and re-execute.
+    if let Some(stored) = store_load(shared, digest) {
+        lock_recover(&shared.cache).insert(digest, Arc::clone(&stored));
+        return Ok((ServedRun { body: (*stored).clone(), source: RunSource::Disk }, digest));
+    }
+
+    let flight =
+        attach_or_lead(digest, spec.digest_hex(), validated, deadline, deadline_ms, shared)?;
+    let outcome = flight.wait(deadline, deadline_ms)?;
     Ok((
         ServedRun {
             body: (*outcome.body).clone(),
@@ -494,16 +609,65 @@ fn serve_run(body: &str, shared: &Arc<Shared>) -> Result<(ServedRun, u64), Serve
     ))
 }
 
+/// Loads `digest` from the disk tier, if one is configured. Chaos may
+/// corrupt the entry's bytes first — which must surface as a quarantine
+/// (counted in `serve.store_corrupt`), never as served garbage.
+fn store_load(shared: &Shared, digest: u64) -> Option<Arc<String>> {
+    let store = shared.store.as_ref()?;
+    let mut store = lock_recover(store);
+    if let Some(chaos) = &shared.chaos {
+        if store.contains(digest) && chaos.corrupt_store_read() {
+            corrupt_entry_on_disk(&store.path_of(digest));
+        }
+    }
+    match store.load(digest) {
+        Ok(hit) => hit.map(Arc::new),
+        // Io or Corrupt: either way the store already accounted for it and
+        // the entry cannot be served; re-executing is the honest fallback.
+        Err(_) => None,
+    }
+}
+
+/// Chaos helper: flips one bit of the last body byte on disk, so the
+/// store's checksum verification must catch it.
+fn corrupt_entry_on_disk(path: &std::path::Path) {
+    if let Ok(mut raw) = std::fs::read(path) {
+        // The final 8 bytes are the checksum frame; byte len-9 is the last
+        // body byte, so the flip damages the body, not the framing.
+        if let Some(i) = raw.len().checked_sub(9) {
+            raw[i] ^= 0x01;
+            let _ = std::fs::write(path, raw);
+        }
+    }
+}
+
+/// Persists a freshly computed body to the disk tier (write-through under
+/// the LRU). Failures cost durability, never the response: the error is
+/// counted and the in-memory result is served regardless.
+fn store_save(shared: &Shared, digest: u64, body: &str) {
+    let Some(store) = shared.store.as_ref() else { return };
+    if shared.chaos.as_ref().is_some_and(ServeChaos::fail_store_write) {
+        shared.metrics.store_write_errors.fetch_add(1, Ordering::Relaxed);
+        return;
+    }
+    if lock_recover(store).save(digest, body).is_err() {
+        shared.metrics.store_write_errors.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
 /// Joins the in-flight execution for `digest`, creating and admitting it
 /// if this request is the first (the "leader"). Holding the in-flight lock
 /// across admission closes both races: two leaders for one digest, and a
 /// follower attaching to an entry that was shed between insert and submit.
 fn attach_or_lead(
     digest: u64,
+    digest_hex: String,
     validated: ValidatedSpec,
+    deadline: Instant,
+    deadline_ms: u64,
     shared: &Arc<Shared>,
 ) -> Result<Arc<InFlight>, ServeError> {
-    let mut inflight = shared.inflight.lock().expect("in-flight table poisoned");
+    let mut inflight = lock_recover(&shared.inflight);
     if let Some(existing) = inflight.get(&digest) {
         shared.metrics.coalesced.fetch_add(1, Ordering::Relaxed);
         return Ok(Arc::clone(existing));
@@ -516,28 +680,52 @@ fn attach_or_lead(
     let job = {
         let shared = Arc::clone(shared);
         let flight = Arc::clone(&flight);
+        let digest_hex = digest_hex.clone();
         let submitted = Instant::now();
         Box::new(move || {
+            // Dequeue-time deadline check: a job whose leader's deadline
+            // expired while it sat queued is answered 503 without burning
+            // a worker on a result nobody is waiting for.
+            if Instant::now() >= deadline {
+                shared.metrics.deadline_expired.fetch_add(1, Ordering::Relaxed);
+                lock_recover(&shared.inflight).remove(&digest);
+                flight.publish(Err(ServeError::DeadlineExceeded { deadline_ms, at: "queued" }));
+                return;
+            }
             let queue_us = us(submitted.elapsed());
             shared.metrics.executions.fetch_add(1, Ordering::Relaxed);
             let t_exec = Instant::now();
-            let result = validated.execute_full(false);
+            // Panic isolation: an engine panic (or an injected chaos
+            // panic) is contained here, converted to a structured 500
+            // published to every waiter — the worker and the pool survive.
+            let result = match catch_job_panic(|| {
+                if let Some(chaos) = &shared.chaos {
+                    if chaos.before_exec() {
+                        panic!("chaos: injected worker panic");
+                    }
+                }
+                validated.execute_full(false)
+            }) {
+                Ok(executed) => executed,
+                Err(SubmitError::JobPanicked { message }) => {
+                    shared.metrics.worker_panics.fetch_add(1, Ordering::Relaxed);
+                    Err(ServeError::JobPanicked { digest: digest_hex.clone(), message })
+                }
+                Err(other) => Err(ServeError::Internal(format!("job guard: {other:?}"))),
+            };
             let exec_us = us(t_exec.elapsed());
             let result = result.map(|out| {
                 deposit_flight(&shared, out.flight.as_deref());
                 RunOutcome { body: Arc::new(out.body), queue_us, exec_us }
             });
             if let Ok(outcome) = &result {
-                shared
-                    .cache
-                    .lock()
-                    .expect("cache poisoned")
-                    .insert(digest, Arc::clone(&outcome.body));
+                lock_recover(&shared.cache).insert(digest, Arc::clone(&outcome.body));
+                store_save(&shared, digest, &outcome.body);
             }
             // Unregister before publishing: a request arriving after this
             // point must hit the cache (or start a fresh run), never attach
             // to a completed flight.
-            shared.inflight.lock().expect("in-flight table poisoned").remove(&digest);
+            lock_recover(&shared.inflight).remove(&digest);
             flight.publish(result);
         })
     };
@@ -548,6 +736,9 @@ fn attach_or_lead(
             let err = match submit_err {
                 SubmitError::QueueFull { queue_depth } => ServeError::Overloaded { queue_depth },
                 SubmitError::ShuttingDown => ServeError::ShuttingDown,
+                SubmitError::JobPanicked { message } => {
+                    ServeError::JobPanicked { digest: digest_hex.clone(), message }
+                }
             };
             shared.metrics.shed.fetch_add(1, Ordering::Relaxed);
             // Any follower that attached before this lock was taken gets
@@ -573,9 +764,11 @@ fn serve_run_traced(body: &str, trace_id: &str, shared: &Arc<Shared>) -> Result<
     let validated = validate(&spec)?;
     let digest = spec.digest();
     let digest_hex = spec.digest_hex();
+    let deadline_ms = effective_deadline_ms(&spec, shared.max_deadline);
+    let deadline = Instant::now() + Duration::from_millis(deadline_ms);
     let admit_end = us(t0.elapsed());
 
-    let cache_hit = shared.cache.lock().expect("cache poisoned").get(digest).is_some();
+    let cache_hit = lock_recover(&shared.cache).get(digest).is_some();
     let cache_end = us(t0.elapsed());
 
     // Real queue wait: the instrumented run goes through the same bounded
@@ -586,11 +779,19 @@ fn serve_run_traced(body: &str, trace_id: &str, shared: &Arc<Shared>) -> Result<
         let shared = Arc::clone(shared);
         let flight = Arc::clone(&flight);
         let submitted = Instant::now();
+        let digest_hex = digest_hex.clone();
         Box::new(move || {
             let queue_us = us(submitted.elapsed());
             shared.metrics.executions.fetch_add(1, Ordering::Relaxed);
             let t_exec = Instant::now();
-            let result = validated.execute_full(true);
+            let result = match catch_job_panic(|| validated.execute_full(true)) {
+                Ok(executed) => executed,
+                Err(SubmitError::JobPanicked { message }) => {
+                    shared.metrics.worker_panics.fetch_add(1, Ordering::Relaxed);
+                    Err(ServeError::JobPanicked { digest: digest_hex, message })
+                }
+                Err(other) => Err(ServeError::Internal(format!("job guard: {other:?}"))),
+            };
             let exec_us = us(t_exec.elapsed());
             let result = result.map(|out| {
                 deposit_flight(&shared, out.flight.as_deref());
@@ -604,9 +805,12 @@ fn serve_run_traced(body: &str, trace_id: &str, shared: &Arc<Shared>) -> Result<
         return Err(match submit_err {
             SubmitError::QueueFull { queue_depth } => ServeError::Overloaded { queue_depth },
             SubmitError::ShuttingDown => ServeError::ShuttingDown,
+            SubmitError::JobPanicked { message } => {
+                ServeError::JobPanicked { digest: digest_hex.clone(), message }
+            }
         });
     }
-    let (out, queue_us, exec_us) = flight.wait()?;
+    let (out, queue_us, exec_us) = flight.wait(deadline, deadline_ms)?;
 
     let ser_off = us(t0.elapsed());
     let sim_events = out.trace.as_deref().map(trace_inner).unwrap_or_default();
@@ -775,15 +979,14 @@ fn us(elapsed: Duration) -> u64 {
 /// Deposits an anomalous run's flight dump into the `/debug/flight` slot.
 fn deposit_flight(shared: &Shared, flight: Option<&str>) {
     if let Some(dump) = flight {
-        *shared.last_flight.lock().expect("flight slot poisoned") =
-            Some(Arc::new(dump.to_string()));
+        *lock_recover(&shared.last_flight) = Some(Arc::new(dump.to_string()));
     }
 }
 
 fn record_service_time(shared: &Shared, digest: u64, elapsed: Duration) {
     let bucket = log2_bucket(us(elapsed), SERVICE_HIST_BUCKETS);
-    shared.metrics.service_us_hist.lock().expect("service hist poisoned")[bucket] += 1;
-    shared.metrics.digest_us_hists.lock().expect("digest hists poisoned").record(digest, bucket);
+    lock_recover(&shared.metrics.service_us_hist)[bucket] += 1;
+    lock_recover(&shared.metrics.digest_us_hists).record(digest, bucket);
 }
 
 /// Assembles the serving registry: every admission/coalescing/cache
@@ -800,24 +1003,46 @@ fn snapshot(shared: &Shared) -> MetricsRegistry {
     reg.counter("serve.executions", m.executions.load(Ordering::Relaxed));
     reg.counter("serve.errors", m.errors.load(Ordering::Relaxed));
     {
-        let cache = shared.cache.lock().expect("cache poisoned");
+        let cache = lock_recover(&shared.cache);
         let (hits, misses, evictions) = cache.stats();
         reg.counter("serve.cache_lookup_hits", hits);
         reg.counter("serve.cache_lookup_misses", misses);
         reg.counter("serve.cache_evictions", evictions);
         reg.gauge("serve.cache_entries", cache.len() as u64, cache.len() as u64);
     }
+    // Panics contained by the per-job guard plus any that escaped to the
+    // pool's worker-level backstop: either way the worker survived and the
+    // request got a structured 500.
+    reg.counter(
+        "serve.worker_panics",
+        m.worker_panics.load(Ordering::Relaxed) + shared.pool.panics(),
+    );
+    reg.counter("serve.deadline_expired", m.deadline_expired.load(Ordering::Relaxed));
+    // Store counters are emitted even with no store configured (as zeros)
+    // so dashboards and the prom exposition have a stable schema.
+    let (store_hits, store_corrupt, store_entries) = match &shared.store {
+        Some(store) => {
+            let store = lock_recover(store);
+            let (hits, corrupt) = store.stats();
+            (hits, corrupt, store.entries())
+        }
+        None => (0, 0, 0),
+    };
+    reg.counter("serve.store_hits", store_hits);
+    reg.counter("serve.store_corrupt", store_corrupt);
+    reg.counter("serve.store_write_errors", m.store_write_errors.load(Ordering::Relaxed));
+    reg.gauge("serve.store_entries", store_entries, store_entries);
     let (depth, peak, scheduled) = shared.pool.depth();
     reg.gauge("serve.queue_depth", depth, peak);
     reg.counter("serve.scheduled", scheduled);
-    let inflight_now = shared.inflight.lock().expect("in-flight table poisoned").len() as u64;
+    let inflight_now = lock_recover(&shared.inflight).len() as u64;
     reg.gauge("serve.inflight", inflight_now, m.inflight_peak.load(Ordering::Relaxed));
-    let hist = m.service_us_hist.lock().expect("service hist poisoned");
+    let hist = lock_recover(&m.service_us_hist);
     let last = hist.iter().rposition(|&c| c > 0).map_or(0, |i| i + 1);
     reg.hist("serve.service_us_log2", hist[..last].to_vec());
     drop(hist);
     reg.counter("serve.metric_streams", m.metric_streams.load(Ordering::Relaxed));
-    let per = m.digest_us_hists.lock().expect("digest hists poisoned");
+    let per = lock_recover(&m.digest_us_hists);
     reg.counter("serve.hist_digests_evicted", per.evicted);
     for (digest, h) in per.hists.iter() {
         let last = h.buckets.iter().rposition(|&c| c > 0).map_or(0, |i| i + 1);
@@ -887,19 +1112,26 @@ mod tests {
         assert_eq!(d.hists[&3].buckets[2], 1);
     }
 
-    #[test]
-    fn eviction_count_reaches_the_metrics_registry() {
-        // The snapshot wiring: evictions surface as the
-        // `serve.hist_digests_evicted` counter.
-        let shared = Shared {
+    fn bare_shared() -> Shared {
+        Shared {
             pool: ServicePool::start(SweepRunner::with_threads(1), 1, false),
             cache: Mutex::new(ResultCache::new(4)),
+            store: None,
             inflight: Mutex::new(FastMap::default()),
             metrics: ServeMetrics::default(),
             shutting_down: AtomicBool::new(false),
             started: Instant::now(),
+            max_deadline: DEFAULT_MAX_DEADLINE,
+            chaos: None,
             last_flight: Mutex::new(None),
-        };
+        }
+    }
+
+    #[test]
+    fn eviction_count_reaches_the_metrics_registry() {
+        // The snapshot wiring: evictions surface as the
+        // `serve.hist_digests_evicted` counter.
+        let shared = bare_shared();
         for digest in 0..(MAX_DIGEST_HISTS as u64 + 5) {
             record_service_time(&shared, digest, Duration::from_micros(digest + 1));
         }
@@ -908,5 +1140,63 @@ mod tests {
         let digests = reg.iter().filter(|(n, _)| n.starts_with("serve.digest.")).count();
         assert_eq!(digests, MAX_DIGEST_HISTS);
         shared.pool.drain();
+    }
+
+    #[test]
+    fn robustness_counters_render_in_both_expositions() {
+        let shared = bare_shared();
+        shared.metrics.worker_panics.fetch_add(2, Ordering::Relaxed);
+        shared.metrics.deadline_expired.fetch_add(3, Ordering::Relaxed);
+        let reg = snapshot(&shared);
+        // JSON exposition: present as plain counters.
+        assert_eq!(reg.get("serve.worker_panics"), Some(&MetricValue::Counter(2)));
+        assert_eq!(reg.get("serve.deadline_expired"), Some(&MetricValue::Counter(3)));
+        assert_eq!(reg.get("serve.store_hits"), Some(&MetricValue::Counter(0)));
+        assert_eq!(reg.get("serve.store_corrupt"), Some(&MetricValue::Counter(0)));
+        // Prometheus exposition: dotted names flatten to underscores with
+        // TYPE lines.
+        let prom = reg.to_prometheus();
+        for line in [
+            "# TYPE serve_worker_panics counter\nserve_worker_panics 2\n",
+            "# TYPE serve_deadline_expired counter\nserve_deadline_expired 3\n",
+            "# TYPE serve_store_hits counter\nserve_store_hits 0\n",
+            "# TYPE serve_store_corrupt counter\nserve_store_corrupt 0\n",
+            "# TYPE serve_store_write_errors counter\nserve_store_write_errors 0\n",
+        ] {
+            assert!(prom.contains(line), "missing {line:?} in:\n{prom}");
+        }
+        shared.pool.drain();
+    }
+
+    #[test]
+    fn store_tier_counters_flow_from_a_real_store() {
+        let dir = std::env::temp_dir().join(format!("dresar-serve-snap-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let mut shared = bare_shared();
+        let mut store = ResultStore::open(&dir).unwrap();
+        store.save(11, "body").unwrap();
+        store.load(11).unwrap();
+        shared.store = Some(Mutex::new(store));
+        let reg = snapshot(&shared);
+        assert_eq!(reg.get("serve.store_hits"), Some(&MetricValue::Counter(1)));
+        assert_eq!(
+            reg.get("serve.store_entries"),
+            Some(&MetricValue::Gauge { current: 1, peak: 1 })
+        );
+        shared.pool.drain();
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn effective_deadline_clamps_to_the_server_cap() {
+        let cap = Duration::from_secs(10);
+        let none = RunSpec::default();
+        assert_eq!(effective_deadline_ms(&none, cap), 10_000, "no spec deadline: whole cap");
+        let tight = RunSpec { deadline_ms: Some(250), ..RunSpec::default() };
+        assert_eq!(effective_deadline_ms(&tight, cap), 250);
+        let greedy = RunSpec { deadline_ms: Some(3_600_000), ..RunSpec::default() };
+        assert_eq!(effective_deadline_ms(&greedy, cap), 10_000, "greedy ask capped");
+        let zero = RunSpec { deadline_ms: Some(0), ..RunSpec::default() };
+        assert_eq!(effective_deadline_ms(&zero, cap), 1, "zero clamps up, not to forever");
     }
 }

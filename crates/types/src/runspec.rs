@@ -60,6 +60,12 @@ pub struct RunSpec {
     /// Optional fault-plan spec (`key=value,...` — see
     /// `dresar_faults::FaultPlan::parse`). Execution-driven workloads only.
     pub faults: Option<String>,
+    /// Optional per-request compute deadline in milliseconds (the server
+    /// caps it). A *scheduling* directive, not part of the simulation:
+    /// deliberately excluded from [`RunSpec::digest`] and from the JSON
+    /// echo, so the same run requested with different deadlines shares one
+    /// cache entry and one byte-identical body.
+    pub deadline_ms: Option<u64>,
 }
 
 impl Default for RunSpec {
@@ -74,6 +80,7 @@ impl Default for RunSpec {
             sd_entries: Some(1024),
             seed: 0xD2E5_A25E,
             faults: None,
+            deadline_ms: None,
         }
     }
 }
@@ -87,6 +94,11 @@ impl RunSpec {
     /// presence byte (`0`/`1`) followed by the value encoding when present.
     /// The encoding is length-delimited everywhere a field is
     /// variable-sized, so no two distinct specs share a byte stream.
+    ///
+    /// `deadline_ms` is *not* folded in: it changes when a request is
+    /// willing to wait, never what the simulation computes, and folding it
+    /// in would split the cache per deadline (and break body identity
+    /// across deadline spellings).
     pub fn digest(&self) -> u64 {
         let mut h = fnv1a(FNV_OFFSET, DIGEST_DOMAIN);
         h = fold_str(h, b"workload", &self.workload);
@@ -126,6 +138,9 @@ fn fold_opt_u64(h: u64, name: &[u8], value: Option<u64>) -> u64 {
 }
 
 impl ToJson for RunSpec {
+    /// The canonical spec echo. `deadline_ms` is omitted on purpose: served
+    /// bodies must be byte-identical for equal digests, and the deadline is
+    /// not part of the digest.
     fn to_json(&self) -> JsonValue {
         JsonValue::obj()
             .field("workload", self.workload.as_str())
@@ -173,6 +188,14 @@ impl FromJson for RunSpec {
                         JsonValue::Null => None,
                         JsonValue::Str(s) => Some(s.clone()),
                         _ => return Err(JsonError::new("field `faults` must be a string or null")),
+                    }
+                }
+                "deadline_ms" => {
+                    spec.deadline_ms = match val {
+                        JsonValue::Null => None,
+                        other => Some(other.as_u64().ok_or_else(|| {
+                            JsonError::new("field `deadline_ms` must be an integer or null")
+                        })?),
                     }
                 }
                 other => return Err(JsonError::new(format!("unknown field `{other}`"))),
@@ -276,10 +299,36 @@ mod tests {
             sd_entries: None,
             seed: 42,
             faults: Some("drop_ppm=2000,seed=7".into()),
+            deadline_ms: None,
         };
         let back = RunSpec::from_json(&spec.to_json()).unwrap();
         assert_eq!(back, spec);
         assert_eq!(back.digest(), spec.digest());
+    }
+
+    #[test]
+    fn deadline_is_accepted_but_never_in_digest_or_echo() {
+        let with = RunSpec::from_json(
+            &JsonValue::parse(r#"{"workload":"FFT","deadline_ms":250}"#).unwrap(),
+        )
+        .unwrap();
+        assert_eq!(with.deadline_ms, Some(250));
+        let without =
+            RunSpec::from_json(&JsonValue::parse(r#"{"workload":"FFT"}"#).unwrap()).unwrap();
+        // Scheduling directive, not simulation input: one cache entry, one
+        // body, regardless of deadline spelling.
+        assert_eq!(with.digest(), without.digest());
+        assert_eq!(with.to_json().dump(), without.to_json().dump());
+        assert!(!with.to_json().dump().contains("deadline"));
+        let null = RunSpec::from_json(
+            &JsonValue::parse(r#"{"workload":"FFT","deadline_ms":null}"#).unwrap(),
+        )
+        .unwrap();
+        assert_eq!(null.deadline_ms, None);
+        assert!(RunSpec::from_json(
+            &JsonValue::parse(r#"{"workload":"FFT","deadline_ms":"soon"}"#).unwrap()
+        )
+        .is_err());
     }
 
     /// Pinned digests of the standard-run configurations. These values are

@@ -140,6 +140,11 @@ fn full_queue_sheds_with_structured_429_and_recovers() {
     let shed = post_run(&addr, shed_spec).unwrap();
     assert_eq!(shed.status, 429, "full queue must shed: {}", shed.body);
     assert_eq!(error_code(&shed.body), "overloaded");
+    assert_eq!(
+        shed.header("retry-after"),
+        Some("1"),
+        "shed replies must advertise Retry-After so clients can back off"
+    );
     assert!(counter(&server.metrics(), "serve.shed") >= 1);
 
     // Release the engine: the occupant completes, and the server keeps
