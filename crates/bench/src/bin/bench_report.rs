@@ -13,8 +13,19 @@
 //!
 //! ```text
 //! bench_report [tiny|reduced|paper] [--out PATH] [--heatmap PATH]
+//!              [--scaling PATH]
 //!              [--baseline PATH [--tolerance PCT] [--informational]]
 //! ```
+//!
+//! With `--scaling`, the machine-size sweep (16/64/256-node radix-4 BMINs,
+//! base and two switch-directory sizes, two workloads) runs and its figure
+//! is written as a markdown document: raw counters, the derived
+//! latency-reduction table, and a bar chart of the largest-SD benefit per
+//! machine size. The sweep runs inside the host-profiler window, so the
+//! main document's `host.profile` (and its VmHWM peak) covers the 256-node
+//! machines — the CI scaling leg gates on that number. The figure itself
+//! contains only deterministic counters and is byte-identical across
+//! sweep thread counts.
 //!
 //! With `--heatmap`, a second schema-versioned document is written holding
 //! the topology contention heatmap sweep: every execution-driven workload
@@ -30,7 +41,9 @@
 //! unless `--informational` downgrades the gate to reporting only (the
 //! mode CI uses on pull requests).
 
-use dresar_bench::sweep::{heatmap_runs, standard_runs, RunResult, SweepRunner};
+use dresar_bench::sweep::{
+    heatmap_runs, scaling_runs, standard_runs, RunResult, ScalingRun, SweepRunner, SCALING_CONFIGS,
+};
 use dresar_bench::{json_doc, suite};
 use dresar_obs::{HostProfiler, MetricsRegistry};
 use dresar_types::{FromJson, JsonValue, ToJson, SCHEMA_VERSION};
@@ -41,6 +54,7 @@ struct Args {
     scale: Scale,
     out: String,
     heatmap: Option<String>,
+    scaling: Option<String>,
     baseline: Option<String>,
     tolerance_pct: f64,
     informational: bool,
@@ -51,6 +65,7 @@ fn parse_args() -> Result<Args, String> {
         scale: Scale::Tiny,
         out: "BENCH_dresar.json".into(),
         heatmap: None,
+        scaling: None,
         baseline: None,
         tolerance_pct: 0.0,
         informational: false,
@@ -60,6 +75,7 @@ fn parse_args() -> Result<Args, String> {
         match a.as_str() {
             "--out" => args.out = it.next().ok_or("--out needs a path")?,
             "--heatmap" => args.heatmap = Some(it.next().ok_or("--heatmap needs a path")?),
+            "--scaling" => args.scaling = Some(it.next().ok_or("--scaling needs a path")?),
             "--baseline" => args.baseline = Some(it.next().ok_or("--baseline needs a path")?),
             "--tolerance" => {
                 let v = it.next().ok_or("--tolerance needs a percentage")?;
@@ -156,6 +172,140 @@ fn compare(
     regressions
 }
 
+/// Renders the `--scaling` figure: the nodes x sd-size x workload sweep as
+/// a markdown document — a raw-counter table, the derived benefit table,
+/// and a bar chart of the largest-SD latency reduction per machine size. Every
+/// number is a deterministic simulation counter (or a fixed-precision ratio
+/// of two), so the document is byte-identical across sweep thread counts.
+fn render_scaling(scale: Scale, runs: &[ScalingRun]) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    out.push_str("# Scaling figure: switch-directory benefit vs machine size\n\n");
+    let _ = writeln!(
+        out,
+        "Generated by `bench_report {} --scaling <path>`. All numbers are\n\
+         deterministic simulation counters; the document is byte-identical\n\
+         across sweep thread counts.\n",
+        format!("{scale:?}").to_lowercase()
+    );
+    out.push_str(
+        "Each machine-size step adds one BMIN stage to the home path, so the\n\
+         paper predicts the switch-directory shortcut (serving cache-to-cache\n\
+         reads from the switch instead of the home directory) saves more read\n\
+         latency the larger the machine.\n\n",
+    );
+
+    out.push_str("## Runs\n\n");
+    out.push_str(
+        "| run | nodes | stages | sd entries | avg read latency | home CtoC | \
+         switch CtoC | SD hits | exec cycles |\n\
+         |---|--:|--:|--:|--:|--:|--:|--:|--:|\n",
+    );
+    for r in runs {
+        let sd = r.sd_entries.map_or("-".to_string(), |e| e.to_string());
+        let _ = writeln!(
+            out,
+            "| {} | {} | {} | {} | {:.2} | {} | {} | {} | {} |",
+            r.name,
+            r.nodes,
+            r.stages,
+            sd,
+            r.metrics.avg_read_latency(),
+            r.metrics.reads.ctoc_home,
+            r.metrics.reads.ctoc_switch,
+            r.metrics.sd_hits,
+            r.metrics.exec_cycles,
+        );
+    }
+
+    // Benefit per (workload, machine): latency reduction vs that machine's
+    // own base run.
+    let base = |wl: &str, nodes: usize| -> Option<f64> {
+        runs.iter()
+            .find(|r| r.workload == wl && r.nodes == nodes && r.sd_entries.is_none())
+            .map(|r| r.metrics.avg_read_latency())
+    };
+    let benefit = |r: &ScalingRun| -> Option<f64> {
+        let b = base(r.workload, r.nodes)?;
+        (b > 0.0).then(|| 100.0 * (b - r.metrics.avg_read_latency()) / b)
+    };
+
+    // Cycles saved per switch-served CtoC read: the total read-latency
+    // cycles the SD machine shaved off the base machine, amortized over the
+    // reads the switches actually served. This is the per-shortcut saving —
+    // the quantity the paper's longer-home-path argument is directly about
+    // (each extra BMIN stage is another hop plus directory occupancy the
+    // shortcut skips) — and unlike the aggregate percentage it is not
+    // diluted by how much of the workload's traffic the SD can capture.
+    let per_hit = |r: &ScalingRun| -> Option<f64> {
+        let base_run = runs
+            .iter()
+            .find(|b| b.workload == r.workload && b.nodes == r.nodes && b.sd_entries.is_none())?;
+        (r.metrics.reads.ctoc_switch > 0).then(|| {
+            (base_run.metrics.reads.latency_cycles as f64 - r.metrics.reads.latency_cycles as f64)
+                / r.metrics.reads.ctoc_switch as f64
+        })
+    };
+
+    let sd_tags: Vec<(&str, u32)> =
+        SCALING_CONFIGS.iter().filter_map(|&(tag, sd)| sd.map(|e| (tag, e))).collect();
+    // Spotlight the largest SD on the axis for the per-hit column and the
+    // bar chart: it is the config with the most capacity headroom, so its
+    // numbers isolate path length from eviction-thrash effects.
+    let (spot_tag, spot_entries) = *sd_tags.last().expect("SCALING_CONFIGS has an SD config");
+    out.push_str("\n## Benefit: read-latency reduction vs the base machine\n\n");
+    let _ = write!(out, "| workload | nodes | stages |");
+    for (tag, _) in &sd_tags {
+        let _ = write!(out, " {tag} |");
+    }
+    let _ = write!(out, " {spot_tag} cycles saved / switch CtoC |\n|---|--:|--:|");
+    for _ in 0..=sd_tags.len() {
+        out.push_str("--:|");
+    }
+    out.push('\n');
+    for probe in runs.iter().filter(|r| r.sd_entries.is_none()) {
+        let mut cells = String::new();
+        let mut saved = String::from("-");
+        for &(_, entries) in &sd_tags {
+            let run = runs.iter().find(|r| {
+                r.workload == probe.workload
+                    && r.nodes == probe.nodes
+                    && r.sd_entries == Some(entries)
+            });
+            match run.and_then(&benefit) {
+                Some(pct) => {
+                    let _ = write!(cells, " {pct:.1}% |");
+                }
+                None => cells.push_str(" - |"),
+            }
+            if entries == spot_entries {
+                if let Some(s) = run.and_then(&per_hit) {
+                    saved = format!("{s:.0}");
+                }
+            }
+        }
+        let _ = writeln!(
+            out,
+            "| {} | {} | {} |{} {saved} |",
+            probe.workload, probe.nodes, probe.stages, cells
+        );
+    }
+
+    let _ = write!(out, "\n```text\n{spot_tag} read-latency reduction (one # per percent)\n\n");
+    for probe in runs.iter().filter(|r| r.sd_entries == Some(spot_entries)) {
+        if let Some(pct) = benefit(probe) {
+            let bar = "#".repeat(pct.round().clamp(0.0, 60.0) as usize);
+            let _ = writeln!(
+                out,
+                "{:<4} n{:03} ({} stages) {:<60} {pct:5.1}%",
+                probe.workload, probe.nodes, probe.stages, bar
+            );
+        }
+    }
+    out.push_str("```\n");
+    out
+}
+
 fn main() -> ExitCode {
     let args = match parse_args() {
         Ok(a) => a,
@@ -174,6 +324,13 @@ fn main() -> ExitCode {
     for t in &timings {
         prof.run_timing(&t.name, t.wall_seconds);
     }
+    // The scaling sweep runs inside the profiled window on purpose: its
+    // 256-node machines dominate peak RSS, and the CI scaling leg gates on
+    // the `host.profile` VmHWM this run records.
+    let scaling = args.scaling.as_ref().map(|_| {
+        prof.phase("scaling");
+        scaling_runs(args.scale, SweepRunner::from_env())
+    });
     prof.phase("report");
     let sim_cycles = total_sim_cycles(&runs);
 
@@ -213,6 +370,15 @@ fn main() -> ExitCode {
         sim_cycles,
         host.cycles_per_sec(sim_cycles)
     );
+
+    if let (Some(path), Some(runs)) = (&args.scaling, &scaling) {
+        let text = render_scaling(args.scale, runs);
+        if let Err(e) = std::fs::write(path, &text) {
+            eprintln!("bench_report: cannot write {path}: {e}");
+            return ExitCode::from(2);
+        }
+        println!("bench_report: {} scaling runs -> {path}", runs.len());
+    }
 
     if let Some(hm_path) = &args.heatmap {
         let hm_runs = heatmap_runs(&benches, SweepRunner::from_env());

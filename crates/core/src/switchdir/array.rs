@@ -26,7 +26,7 @@ pub enum SdState {
 }
 
 /// Read-only view of an entry, for the FSM and tests.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct SdEntryView {
     /// Entry state.
     pub state: SdState,
@@ -38,7 +38,7 @@ pub struct SdEntryView {
     pub sharers: SharerSet,
 }
 
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 struct Way {
     valid: bool,
     tag: u64,
@@ -121,7 +121,7 @@ impl SdArray {
                 state: w.state,
                 owner: w.owner,
                 first_requester: w.first_requester,
-                sharers: w.sharers,
+                sharers: w.sharers.clone(),
             }
         })
     }
@@ -266,7 +266,7 @@ impl SdArray {
                     state: w.state,
                     owner: w.owner,
                     first_requester: w.first_requester,
-                    sharers: w.sharers,
+                    sharers: w.sharers.clone(),
                 },
             )
         })

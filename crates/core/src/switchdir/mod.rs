@@ -351,8 +351,8 @@ impl SwitchDirectory {
                     // queued so the home's full-map vector stays exact, and
                     // (Accumulate policy) answer queued readers beyond the
                     // first from the copyback's data.
-                    let served = e.sharers;
-                    msg.carried_sharers = msg.carried_sharers.union(served);
+                    let served = e.sharers.clone();
+                    msg.carried_sharers = msg.carried_sharers.clone().union(served.clone());
                     self.stats.copybacks_marked += 1;
                     probe.sd_event(
                         t,
@@ -389,8 +389,8 @@ impl SwitchDirectory {
                     // serve every waiting reader from the writeback's data
                     // and mark the writeback so the home records them as
                     // sharers (paper §3.2).
-                    let served = e.sharers;
-                    msg.carried_sharers = msg.carried_sharers.union(served);
+                    let served = e.sharers.clone();
+                    msg.carried_sharers = msg.carried_sharers.clone().union(served.clone());
                     self.array.invalidate(block);
                     self.stats.writeback_replies += served.len() as u64;
                     probe.sd_event(

@@ -147,7 +147,7 @@ pub(super) fn check(sys: &System) -> CoherenceOutcome {
         holders.sort_by_key(|&(n, _)| n);
         let dirty: Vec<NodeId> =
             holders.iter().filter(|&&(_, s)| s == LineState::Modified).map(|&(n, _)| n).collect();
-        let (home_state, home_busy) = v.home.unwrap_or((DirState::Uncached, false));
+        let (home_state, home_busy) = v.home.clone().unwrap_or((DirState::Uncached, false));
 
         // 1. Exactly one MODIFIED holder, matching the home's record.
         if dirty.len() > 1 {
@@ -178,10 +178,10 @@ pub(super) fn check(sys: &System) -> CoherenceOutcome {
 
             // 2. Every cached copy is covered by the home state.
             for &(n, state) in &holders {
-                let covered = match home_state {
+                let covered = match &home_state {
                     DirState::Uncached => false,
                     DirState::Shared(s) => state == LineState::Shared && s.contains(n),
-                    DirState::Modified(owner) => n == owner,
+                    DirState::Modified(owner) => n == *owner,
                 };
                 if !covered {
                     out.violations.push(CoherenceViolation {
@@ -226,15 +226,25 @@ pub(super) fn check(sys: &System) -> CoherenceOutcome {
 
         // Digest the block's final home + cache state (hints excluded).
         digest = fnv1a(digest, &addr.to_le_bytes());
-        match home_state {
+        match &home_state {
             DirState::Uncached => digest = fnv1a(digest, b"U"),
             DirState::Shared(s) => {
                 digest = fnv1a(digest, b"S");
-                digest = fnv1a(digest, &s.raw().to_le_bytes());
+                // Digest the canonical word layout: word 0 always (matching
+                // the old single-`u64` digest bit-for-bit for <=64-node
+                // machines, protecting committed baselines), higher words
+                // only when any pid >= 64 is present.
+                let words = s.words();
+                digest = fnv1a(digest, &words[0].to_le_bytes());
+                if words[1..].iter().any(|&w| w != 0) {
+                    for w in &words[1..] {
+                        digest = fnv1a(digest, &w.to_le_bytes());
+                    }
+                }
             }
             DirState::Modified(owner) => {
                 digest = fnv1a(digest, b"M");
-                digest = fnv1a(digest, &[owner]);
+                digest = fnv1a(digest, &[*owner]);
             }
         }
         for &(n, state) in &holders {

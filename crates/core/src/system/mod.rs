@@ -118,20 +118,35 @@ enum Ev {
     },
 }
 
-/// A message in transit. The route is shared (`Rc`): static
-/// forward/backward routes come from the tables precomputed in
-/// [`System::new`], so the send path clones a pointer instead of two
-/// `Vec`s. A `System` is single-threaded by construction (one per run;
-/// sweeps parallelise across systems), so `Rc` is sufficient.
+/// Handle to a message's route. Static forward/backward routes live in
+/// the [`RouteTable`] arenas owned by the [`System`] — the handle is just
+/// the endpoint pair, so the send path allocates nothing and 256-node
+/// machines avoid n² individually boxed routes. Dynamically computed
+/// routes (proc-to-proc transfers, switch-originated messages) still ride
+/// an `Rc<Route>`; a `System` is single-threaded by construction (one per
+/// run; sweeps parallelise across systems), so `Rc` is sufficient.
+#[derive(Clone)]
+enum RouteRef {
+    /// Forward proc `p` -> mem `home` route from the forward table.
+    Fwd(NodeId, NodeId),
+    /// Backward mem `home` -> proc `p` route from the backward table.
+    Bwd(NodeId, NodeId),
+    /// A dynamically computed route.
+    Dyn(Rc<Route>),
+}
+
+/// A message in transit.
 struct InFlight {
     msg: Message,
-    route: Rc<Route>,
+    route: RouteRef,
     hop: usize,
 }
 
+/// Barrier rendezvous. Tracks only the arrival count — the old per-node
+/// `arrived: u64` bitmask was write-only and capped the machine at 64
+/// nodes (`1u64 << p` overflows for p >= 64).
 #[derive(Debug, Default)]
 struct BarrierState {
-    arrived: u64,
     count: usize,
     max_time: Cycle,
 }
@@ -148,10 +163,10 @@ pub struct System {
     dram: Vec<BankedResource>,
     sdirs: Vec<Option<SwitchDirectory>>,
     queue: EventQueue<Ev>,
-    /// Precomputed proc->mem routes, indexed `p * nodes + home`.
-    fwd_routes: Vec<Rc<Route>>,
-    /// Precomputed mem->proc routes, indexed `home * nodes + p`.
-    bwd_routes: Vec<Rc<Route>>,
+    /// Precomputed proc->mem routes (structure-of-arrays arena).
+    fwd_routes: routes::RouteTable,
+    /// Precomputed mem->proc routes (structure-of-arrays arena).
+    bwd_routes: routes::RouteTable,
     msg_seq: u64,
     /// Transaction ids: one per tracked miss, stable across retries,
     /// coalesced upgrades and cache-to-cache forwards. Distinct from
@@ -196,20 +211,14 @@ impl System {
         // Static routes are a function of (endpoint pair) only; computing
         // the full n*n tables once keeps route construction off the
         // per-message hot path.
-        let mut fwd_routes = Vec::with_capacity(cfg.nodes * cfg.nodes);
-        let mut bwd_routes = Vec::with_capacity(cfg.nodes * cfg.nodes);
-        for a in 0..cfg.nodes {
-            for b in 0..cfg.nodes {
-                fwd_routes.push(Rc::new(routes::forward(&bmin, a as NodeId, b as NodeId)));
-                bwd_routes.push(Rc::new(routes::backward(&bmin, a as NodeId, b as NodeId)));
-            }
-        }
+        let fwd_routes = routes::RouteTable::forward(&bmin);
+        let bwd_routes = routes::RouteTable::backward(&bmin);
         System {
             map,
             bmin,
             net: HopNetwork::new(cfg.switch, cfg.nodes),
             nodes,
-            homes: (0..cfg.nodes).map(|_| HomeDirectory::new(8)).collect(),
+            homes: (0..cfg.nodes).map(|_| HomeDirectory::with_nodes(8, cfg.nodes)).collect(),
             home_ctrl: vec![Resource::new(); cfg.nodes],
             dram: (0..cfg.nodes)
                 .map(|_| BankedResource::new(cfg.memory.interleave as usize))
@@ -252,14 +261,34 @@ impl System {
         self.nodes[p as usize].mshrs.get(&block).map_or(0, |m| m.txn)
     }
 
+    /// Switch traversals of `r` (routes end with one endpoint link beyond
+    /// the last switch).
     #[inline]
-    fn fwd_route(&self, p: NodeId, home: NodeId) -> Rc<Route> {
-        Rc::clone(&self.fwd_routes[p as usize * self.cfg.nodes + home as usize])
+    fn route_switch_count(&self, r: &RouteRef) -> usize {
+        match r {
+            RouteRef::Fwd(..) | RouteRef::Bwd(..) => self.fwd_routes.switches_per_route(),
+            RouteRef::Dyn(route) => route.switches.len(),
+        }
     }
 
+    /// The `i`-th switch of `r` (copied out so no borrow outlives the call).
     #[inline]
-    fn bwd_route(&self, home: NodeId, p: NodeId) -> Rc<Route> {
-        Rc::clone(&self.bwd_routes[home as usize * self.cfg.nodes + p as usize])
+    fn route_switch(&self, r: &RouteRef, i: usize) -> SwitchId {
+        match r {
+            RouteRef::Fwd(a, b) => self.fwd_routes.switches(*a, *b)[i],
+            RouteRef::Bwd(a, b) => self.bwd_routes.switches(*a, *b)[i],
+            RouteRef::Dyn(route) => route.switches[i],
+        }
+    }
+
+    /// The `i`-th link of `r`.
+    #[inline]
+    fn route_link(&self, r: &RouteRef, i: usize) -> routes::LinkId {
+        match r {
+            RouteRef::Fwd(a, b) => self.fwd_routes.links(*a, *b)[i],
+            RouteRef::Bwd(a, b) => self.bwd_routes.links(*a, *b)[i],
+            RouteRef::Dyn(route) => route.links[i],
+        }
     }
 
     /// Runs the simulation to completion and returns the report.
@@ -476,6 +505,15 @@ impl System {
     }
 
     fn build_report(mut self, verify_coherence: bool) -> ExecutionReport {
+        // Directory-level protocol violations (out-of-range node ids, stray
+        // inval acks) become structured sim errors so a release run can
+        // never silently corrupt sharer state. Home order keeps this
+        // deterministic.
+        for h in &mut self.homes {
+            for e in h.take_errors() {
+                self.sim_errors.push(SimError::Protocol { context: e.context, detail: e.detail });
+            }
+        }
         let mut r = ExecutionReport {
             workload: std::mem::take(&mut self.workload),
             cycles: self.end_time,
@@ -774,8 +812,7 @@ impl System {
         }
     }
 
-    fn barrier_arrive(&mut self, p: NodeId, t: Cycle) {
-        self.barrier.arrived |= 1u64 << p;
+    fn barrier_arrive(&mut self, _p: NodeId, t: Cycle) {
         self.barrier.count += 1;
         self.barrier.max_time = self.barrier.max_time.max(t);
         if self.barrier.count == self.cfg.nodes {
@@ -817,7 +854,7 @@ impl System {
         msg.flits(self.cfg.l2.line_bytes, self.cfg.switch.flit_bytes)
     }
 
-    fn launch<P: Probe>(&mut self, msg: Message, route: Rc<Route>, t: Cycle, probe: &mut P) {
+    fn launch<P: Probe>(&mut self, msg: Message, route: RouteRef, t: Cycle, probe: &mut P) {
         self.launch_attempt(msg, route, t, 0, probe);
     }
 
@@ -828,12 +865,14 @@ impl System {
     fn launch_attempt<P: Probe>(
         &mut self,
         msg: Message,
-        route: Rc<Route>,
+        route: RouteRef,
         t: Cycle,
         attempt: u32,
         probe: &mut P,
     ) {
-        debug_assert!(route.well_formed());
+        if let RouteRef::Dyn(r) = &route {
+            debug_assert!(r.well_formed());
+        }
         if let Some(fs) = self.faults.as_mut() {
             match fs.on_launch(msg.id, msg.kind, attempt) {
                 LaunchVerdict::Deliver => {}
@@ -858,7 +897,8 @@ impl System {
         }
         let flits = self.flits(&msg);
         probe.msg_send(t, &msg);
-        let arrive = self.net.traverse_link_probed(route.links[0], t, flits, msg.kind, probe);
+        let first_link = self.route_link(&route, 0);
+        let arrive = self.net.traverse_link_probed(first_link, t, flits, msg.kind, probe);
         self.queue.schedule_at(arrive, Ev::Msg(Box::new(InFlight { msg, route, hop: 0 })));
     }
 
@@ -880,8 +920,7 @@ impl System {
         let msg =
             Message::new(self.next_id(), kind, block, Endpoint::Proc(p), Endpoint::Mem(home), p, t)
                 .with_txn(txn);
-        let route = self.fwd_route(p, home);
-        self.launch(msg, route, t, probe);
+        self.launch(msg, RouteRef::Fwd(p, home), t, probe);
     }
 
     fn send_from_proc<P: Probe>(&mut self, msg: Message, t: Cycle, probe: &mut P) {
@@ -890,9 +929,9 @@ impl System {
             _ => unreachable!("send_from_proc with non-proc source"),
         };
         let route = match msg.dst {
-            Endpoint::Mem(h) => self.fwd_route(src, h),
+            Endpoint::Mem(h) => RouteRef::Fwd(src, h),
             Endpoint::Proc(q) => match routes::proc_to_proc(&self.bmin, src, q, msg.block.0) {
-                Ok(r) => Rc::new(r),
+                Ok(r) => RouteRef::Dyn(Rc::new(r)),
                 Err(e) => {
                     self.sim_errors.push(e);
                     return;
@@ -912,8 +951,7 @@ impl System {
             Endpoint::Proc(p) => p,
             _ => unreachable!("memory only sends to processors"),
         };
-        let route = self.bwd_route(src, dst);
-        self.launch(msg, route, t, probe);
+        self.launch(msg, RouteRef::Bwd(src, dst), t, probe);
     }
 
     fn send_from_switch<P: Probe>(
@@ -953,7 +991,7 @@ impl System {
         // reachable (placement invariant); NAKs to foreign CtoC requesters
         // may need to ascend and turn around.
         let route = match routes::from_switch_to_proc_via(&self.bmin, sw, to, orig.block.0) {
-            Ok(r) => Rc::new(r),
+            Ok(r) => RouteRef::Dyn(Rc::new(r)),
             Err(e) => {
                 self.sim_errors.push(e);
                 return;
@@ -970,8 +1008,8 @@ impl System {
 
     fn on_msg<P: Probe>(&mut self, mut infl: Box<InFlight>, t: Cycle, probe: &mut P) {
         let hop = infl.hop;
-        if hop < infl.route.switches.len() {
-            let sw = infl.route.switches[hop];
+        if hop < self.route_switch_count(&infl.route) {
+            let sw = self.route_switch(&infl.route, hop);
             let idx = self.linear(sw);
             let loc = self.switch_loc(sw);
             probe.msg_hop(t, &infl.msg, loc);
@@ -1042,13 +1080,8 @@ impl System {
     fn forward_hop<P: Probe>(&mut self, mut infl: Box<InFlight>, t: Cycle, probe: &mut P) {
         let flits = self.flits(&infl.msg);
         let depart = t + self.net.core_delay();
-        let arrive = self.net.traverse_link_probed(
-            infl.route.links[infl.hop + 1],
-            depart,
-            flits,
-            infl.msg.kind,
-            probe,
-        );
+        let link = self.route_link(&infl.route, infl.hop + 1);
+        let arrive = self.net.traverse_link_probed(link, depart, flits, infl.msg.kind, probe);
         infl.hop += 1;
         self.queue.schedule_at(arrive, Ev::Msg(infl));
     }
@@ -1880,6 +1913,43 @@ mod tests {
         let r = run(SystemConfig::paper_table2(), &wl(streams));
         assert_eq!(r.refs_executed, 32);
         assert!(r.reads.dirty() > 0);
+    }
+
+    #[test]
+    fn directory_errors_surface_as_sim_errors() {
+        // An out-of-range requester id must become a structured sim error
+        // in the report — in release builds too (no debug_assert involved)
+        // — and must not wrap into any sharer vector.
+        let w = wl(vec![vec![], vec![], vec![], vec![]]);
+        let mut sys = System::new(small_cfg(false), &w);
+        sys.homes[0].handle_read(BlockAddr(0), 200);
+        assert_eq!(sys.homes[0].state(BlockAddr(0)), dresar_directory::DirState::Uncached);
+        let r = sys.run(RunOptions { max_cycles: 10_000_000, ..Default::default() });
+        assert!(
+            r.sim_errors.iter().any(|e| e.contains("dir_read_bounds") && e.contains("200")),
+            "expected a dir_read_bounds protocol error, got {:?}",
+            r.sim_errors
+        );
+    }
+
+    #[test]
+    fn scaled_64_node_machine_runs_coherently() {
+        // Past the old 64-node SharerSet ceiling's edge: all 64 nodes read
+        // one block (sharer bit 63 in use), then a writer invalidates all.
+        let cfg = SystemConfig::scaled(64, 4);
+        let mut streams: Vec<Vec<StreamItem>> =
+            (0..64).map(|_| vec![StreamItem::read(0, 1), StreamItem::Barrier(0)]).collect();
+        streams[0].push(StreamItem::write(0, 1));
+        let r = System::new(cfg, &wl(streams)).run(RunOptions {
+            max_cycles: 10_000_000,
+            verify_coherence: true,
+            ..Default::default()
+        });
+        assert!(r.sim_errors.is_empty(), "sim errors: {:?}", r.sim_errors);
+        let c = r.coherence.expect("coherence audit requested");
+        assert!(c.ok(), "violations: {:?}", c.violations);
+        assert_eq!(r.refs_executed, 65);
+        assert!(r.dir.invals_sent >= 63, "writer must invalidate the other 63 sharers");
     }
 
     #[test]

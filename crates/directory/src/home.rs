@@ -15,12 +15,12 @@
 
 use dresar_obs::{DirStateKind, HomeReq, HomeTransition, Probe};
 use dresar_types::{
-    BlockAddr, Cycle, FastMap, FromJson, JsonError, JsonValue, NodeId, SharerSet, ToJson,
+    BlockAddr, Cycle, FastMap, FromJson, JsonError, JsonValue, NodeId, SharerSet, ToJson, MAX_NODES,
 };
 use std::collections::hash_map::Entry;
 use std::collections::VecDeque;
 
-fn kind_of(state: DirState) -> DirStateKind {
+fn kind_of(state: &DirState) -> DirStateKind {
     match state {
         DirState::Uncached => DirStateKind::Uncached,
         DirState::Shared(_) => DirStateKind::Shared,
@@ -29,7 +29,7 @@ fn kind_of(state: DirState) -> DirStateKind {
 }
 
 /// Stable directory state of a block.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub enum DirState {
     /// No cache holds the block; memory is the only copy.
     Uncached,
@@ -61,7 +61,7 @@ pub struct QueuedReq {
 }
 
 /// What the home directory wants the surrounding simulator to do.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub enum DirAction {
     /// Send the requester a clean `ReadReply` from memory.
     ReadReplyClean {
@@ -222,12 +222,31 @@ impl FromJson for DirStats {
     }
 }
 
+/// A protocol invariant violation the directory recorded instead of
+/// corrupting state. Bounds violations (a node id at or past the machine
+/// size) and impossible FSM transitions land here in release builds —
+/// the old `debug_assert!`s vanished in release and let a bad id silently
+/// wrap into the sharer vector. The simulator drains these into
+/// `ExecutionReport::sim_errors`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DirError {
+    /// Which handler / invariant tripped (e.g. `"dir_read_bounds"`).
+    pub context: &'static str,
+    /// Human-readable specifics (ids, machine size).
+    pub detail: String,
+}
+
 /// The full-map directory for the blocks homed at one node.
 #[derive(Debug, Clone)]
 pub struct HomeDirectory {
     blocks: FastMap<BlockAddr, BlockEntry>,
     pending_limit: usize,
+    /// Machine size: node ids must be `< nodes`. Ids at or past this are
+    /// recorded as [`DirError`]s rather than entering the sharer vector.
+    nodes: usize,
     stats: DirStats,
+    /// Protocol violations recorded in release builds (see [`DirError`]).
+    errors: Vec<DirError>,
     /// Blocks currently mid-transaction (feeds `stats.peak_busy`).
     busy_now: u64,
     /// Requests currently parked across all queues (feeds
@@ -255,20 +274,79 @@ impl Default for HomeDirectory {
 
 impl HomeDirectory {
     /// Creates a directory with the given per-block pending-queue bound.
+    /// Accepts the full `NodeId` range; use [`HomeDirectory::with_nodes`]
+    /// to enforce the actual machine size.
     pub fn new(pending_limit: usize) -> Self {
+        Self::with_nodes(pending_limit, MAX_NODES)
+    }
+
+    /// Creates a directory for a `nodes`-node machine: handler arguments
+    /// naming ids `>= nodes` are rejected with a recorded [`DirError`]
+    /// instead of corrupting the sharer vector.
+    pub fn with_nodes(pending_limit: usize, nodes: usize) -> Self {
         HomeDirectory {
             blocks: FastMap::default(),
             pending_limit,
+            nodes,
             stats: DirStats::default(),
+            errors: Vec::new(),
             busy_now: 0,
             pending_now: 0,
         }
     }
 
+    /// Drains the protocol violations recorded so far (oldest first).
+    pub fn take_errors(&mut self) -> Vec<DirError> {
+        std::mem::take(&mut self.errors)
+    }
+
+    /// Whether any protocol violation has been recorded and not drained.
+    pub fn has_errors(&self) -> bool {
+        !self.errors.is_empty()
+    }
+
+    fn record_error(&mut self, context: &'static str, detail: String) {
+        self.errors.push(DirError { context, detail });
+    }
+
+    /// Release-mode bounds guard: `true` iff `id` names a real node.
+    fn node_ok(&mut self, context: &'static str, id: NodeId) -> bool {
+        if (id as usize) < self.nodes {
+            true
+        } else {
+            let nodes = self.nodes;
+            self.record_error(
+                context,
+                format!("node id {id} out of range for a {nodes}-node machine"),
+            );
+            false
+        }
+    }
+
+    /// Drops out-of-range pids from a carried sharer set, recording one
+    /// error naming the offenders. In-range pids still fold in so one bad
+    /// pid cannot wipe a marked completion.
+    fn sanitize_carried(&mut self, context: &'static str, carried: SharerSet) -> SharerSet {
+        let bad: Vec<NodeId> = carried.iter().filter(|&p| (p as usize) >= self.nodes).collect();
+        if bad.is_empty() {
+            return carried;
+        }
+        let nodes = self.nodes;
+        self.record_error(
+            context,
+            format!("carried sharer ids {bad:?} out of range for a {nodes}-node machine"),
+        );
+        let mut clean = carried;
+        for p in bad {
+            clean.remove(p);
+        }
+        clean
+    }
+
     /// Current stable state of a block (`Uncached` if never touched).
     /// Busy blocks report their pre-transaction stable state.
     pub fn state(&self, block: BlockAddr) -> DirState {
-        self.blocks.get(&block).map(|e| e.state).unwrap_or(DirState::Uncached)
+        self.blocks.get(&block).map(|e| e.state.clone()).unwrap_or(DirState::Uncached)
     }
 
     /// Whether a transaction is in flight for the block.
@@ -280,7 +358,7 @@ impl HomeDirectory {
     /// transaction is mid-flight. Order is arbitrary (hash map); callers
     /// needing determinism must sort.
     pub fn blocks(&self) -> impl Iterator<Item = (BlockAddr, DirState, bool)> + '_ {
-        self.blocks.iter().map(|(&b, e)| (b, e.state, e.busy.is_some()))
+        self.blocks.iter().map(|(&b, e)| (b, e.state.clone(), e.busy.is_some()))
     }
 
     /// Counters.
@@ -347,11 +425,15 @@ impl HomeDirectory {
     }
 
     fn read_impl(&mut self, block: BlockAddr, requester: NodeId) -> DirAction {
+        if !self.node_ok("dir_read_bounds", requester) {
+            self.stats.naks += 1;
+            return DirAction::Nak { to: requester };
+        }
         if self.entry(block).busy.is_some() {
             return self.park(block, requester, ReqKind::Read);
         }
         let e = self.entry(block);
-        match e.state {
+        match e.state.clone() {
             DirState::Uncached => {
                 e.state = DirState::Shared(SharerSet::singleton(requester));
                 self.stats.reads_clean += 1;
@@ -394,11 +476,15 @@ impl HomeDirectory {
     }
 
     fn write_impl(&mut self, block: BlockAddr, requester: NodeId) -> DirAction {
+        if !self.node_ok("dir_write_bounds", requester) {
+            self.stats.naks += 1;
+            return DirAction::Nak { to: requester };
+        }
         if self.entry(block).busy.is_some() {
             return self.park(block, requester, ReqKind::Write);
         }
         let e = self.entry(block);
-        match e.state {
+        match e.state.clone() {
             DirState::Uncached => {
                 e.state = DirState::Modified(requester);
                 e.seq += 1;
@@ -454,8 +540,17 @@ impl HomeDirectory {
     fn inval_ack_impl(&mut self, block: BlockAddr) -> Completion {
         let e = self.entry(block);
         match e.busy {
+            Some(Busy::Inval { acks_left: 0, .. }) => {
+                // Was a debug_assert!(acks_left > 0): an inval round can
+                // never be parked with zero outstanding acks, so reaching
+                // here means a duplicated or forged ack.
+                self.record_error(
+                    "dir_inval_ack_underflow",
+                    format!("InvalAck for {block:?} with zero acks outstanding"),
+                );
+                Completion::default()
+            }
             Some(Busy::Inval { writer, acks_left }) => {
-                debug_assert!(acks_left > 0);
                 if acks_left == 1 {
                     e.busy = None;
                     e.state = DirState::Modified(writer);
@@ -471,7 +566,12 @@ impl HomeDirectory {
                 }
             }
             _ => {
-                debug_assert!(false, "InvalAck for a block with no inval round in flight");
+                // Was a debug_assert!(false, ...): promoted so release runs
+                // surface the stray ack instead of silently dropping it.
+                self.record_error(
+                    "dir_inval_ack_stray",
+                    format!("InvalAck for {block:?} with no inval round in flight"),
+                );
                 Completion::default()
             }
         }
@@ -495,6 +595,10 @@ impl HomeDirectory {
     }
 
     fn copyback_impl(&mut self, block: BlockAddr, from: NodeId, carried: SharerSet) -> Completion {
+        if !self.node_ok("dir_copyback_bounds", from) {
+            return Completion::default();
+        }
+        let carried = self.sanitize_carried("dir_copyback_carried_bounds", carried);
         if !carried.is_empty() {
             self.stats.marked_completions += 1;
         }
@@ -520,7 +624,7 @@ impl HomeDirectory {
                     // serviced a read CtoC first: everyone now sharing must
                     // be invalidated before the writer gets ownership.
                     let targets = {
-                        let mut t = set;
+                        let mut t = set.clone();
                         t.remove(requester);
                         t
                     };
@@ -551,7 +655,7 @@ impl HomeDirectory {
             _ => {
                 // Unsolicited: a switch-directory-initiated CtoC. The block
                 // must be recorded Modified(from); fold in carried sharers.
-                match e.state {
+                match e.state.clone() {
                     DirState::Modified(owner) if owner == from => {
                         e.state = DirState::Shared(SharerSet::singleton(from).union(carried));
                         let replay = std::mem::take(&mut e.pending).into_iter().collect();
@@ -561,7 +665,7 @@ impl HomeDirectory {
                         // Stale copyback (transaction already resolved by a
                         // racing writeback). Memory write is harmless; fold
                         // carried sharers if the state is Shared.
-                        if let DirState::Shared(set) = e.state {
+                        if let DirState::Shared(set) = e.state.clone() {
                             e.state = DirState::Shared(set.union(carried));
                         }
                         Completion::default()
@@ -589,6 +693,10 @@ impl HomeDirectory {
     }
 
     fn writeback_impl(&mut self, block: BlockAddr, from: NodeId, carried: SharerSet) -> Completion {
+        if !self.node_ok("dir_writeback_bounds", from) {
+            return Completion::default();
+        }
+        let carried = self.sanitize_carried("dir_writeback_carried_bounds", carried);
         if !carried.is_empty() {
             self.stats.marked_completions += 1;
         }
@@ -609,7 +717,7 @@ impl HomeDirectory {
                             replay,
                         };
                     }
-                    e.state = DirState::Shared(targets);
+                    e.state = DirState::Shared(targets.clone());
                     e.busy =
                         Some(Busy::Inval { writer: requester, acks_left: targets.len() as u32 });
                     self.stats.inval_rounds += 1;
@@ -624,7 +732,7 @@ impl HomeDirectory {
                 let replay = std::mem::take(&mut e.pending).into_iter().collect();
                 Completion { actions: vec![DirAction::ReadReplyClean { to: requester }], replay }
             }
-            _ => match e.state {
+            _ => match e.state.clone() {
                 DirState::Modified(owner) if owner == from => {
                     e.state = if carried.is_empty() {
                         DirState::Uncached
@@ -645,7 +753,7 @@ impl HomeDirectory {
     }
 
     fn snapshot(&self, block: BlockAddr) -> (DirStateKind, bool) {
-        (kind_of(self.state(block)), self.is_busy(block))
+        (kind_of(&self.state(block)), self.is_busy(block))
     }
 
     #[allow(clippy::too_many_arguments)] // flattened HomeTransition fields
@@ -1004,6 +1112,54 @@ mod tests {
         a.merge(&b);
         assert_eq!(a.peak_busy, 7);
         assert_eq!(a.lookups, 17);
+    }
+
+    #[test]
+    fn out_of_range_requester_is_rejected_with_recorded_error() {
+        let mut d = HomeDirectory::with_nodes(8, 16);
+        assert_eq!(d.handle_read(B, 200), DirAction::Nak { to: 200 });
+        assert_eq!(d.handle_write(B, 16), DirAction::Nak { to: 16 });
+        // No silent wrap: nothing entered the directory state.
+        assert_eq!(d.state(B), DirState::Uncached);
+        let errs = d.take_errors();
+        assert_eq!(errs.len(), 2);
+        assert_eq!(errs[0].context, "dir_read_bounds");
+        assert_eq!(errs[1].context, "dir_write_bounds");
+        assert!(errs[0].detail.contains("200"));
+        assert!(!d.has_errors());
+    }
+
+    #[test]
+    fn out_of_range_carried_pids_are_filtered_and_reported() {
+        let mut d = HomeDirectory::with_nodes(8, 16);
+        d.handle_write(B, 7);
+        let carried: SharerSet = [4u8, 40].into_iter().collect();
+        d.handle_copyback(B, 7, carried);
+        // The valid pid folded in; the bogus one was dropped, not wrapped.
+        let expected: SharerSet = [4u8, 7].into_iter().collect();
+        assert_eq!(d.state(B), DirState::Shared(expected));
+        let errs = d.take_errors();
+        assert_eq!(errs.len(), 1);
+        assert_eq!(errs[0].context, "dir_copyback_carried_bounds");
+        assert!(errs[0].detail.contains("40"));
+    }
+
+    #[test]
+    fn out_of_range_completion_sender_is_dropped() {
+        let mut d = HomeDirectory::with_nodes(8, 16);
+        d.handle_write(B, 7);
+        assert_eq!(d.handle_writeback(B, 99, SharerSet::EMPTY), Completion::default());
+        assert_eq!(d.state(B), DirState::Modified(7));
+        assert_eq!(d.take_errors()[0].context, "dir_writeback_bounds");
+    }
+
+    #[test]
+    fn stray_inval_ack_is_recorded_not_asserted() {
+        let mut d = HomeDirectory::default();
+        assert_eq!(d.handle_inval_ack(B), Completion::default());
+        let errs = d.take_errors();
+        assert_eq!(errs.len(), 1);
+        assert_eq!(errs[0].context, "dir_inval_ack_stray");
     }
 
     #[test]

@@ -18,4 +18,6 @@
 
 pub mod home;
 
-pub use home::{Completion, DirAction, DirState, DirStats, HomeDirectory, QueuedReq, ReqKind};
+pub use home::{
+    Completion, DirAction, DirError, DirState, DirStats, HomeDirectory, QueuedReq, ReqKind,
+};

@@ -36,5 +36,5 @@ pub use crossbar::{ArbiterStats, Crossbar, Flit};
 pub use flit_net::{Delivery, FlitNetwork};
 pub use hop_model::{link_key, HopNetwork};
 pub use link_index::LinkIndexer;
-pub use routes::{Hop, LinkId, Route};
+pub use routes::{Hop, LinkId, Route, RouteTable};
 pub use topology::{Bmin, SwitchId};

@@ -40,15 +40,20 @@ impl LinkIndexer {
         LinkIndexer { n: bmin.nodes(), d: bmin.radix(), stages: bmin.stages() }
     }
 
-    /// Indexer from raw shape parameters (`nodes` a power of `radix`).
+    /// Indexer from raw shape parameters.
+    ///
+    /// # Panics
+    /// Panics when the shape is not a buildable butterfly (the old
+    /// behavior silently computed a wrong stage count and broke the
+    /// bijection for non-power-of-radix node counts).
     pub fn from_shape(nodes: usize, radix: usize) -> Self {
-        let mut stages = 1usize;
-        let mut span = radix;
-        while span < nodes {
-            span *= radix;
-            stages += 1;
-        }
-        LinkIndexer { n: nodes, d: radix, stages }
+        Self::try_from_shape(nodes, radix).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible [`LinkIndexer::from_shape`]: rejects unbuildable shapes
+    /// with the same structured `bad_topology` message as [`Bmin::try_new`].
+    pub fn try_from_shape(nodes: usize, radix: usize) -> Result<Self, String> {
+        Bmin::try_new(nodes, radix).map(|b| Self::new(&b))
     }
 
     /// Total number of distinct links (the exclusive index bound).
@@ -115,11 +120,13 @@ mod tests {
 
     fn all_links(ix: &LinkIndexer, n: usize, d: usize, stages: usize) -> Vec<LinkId> {
         let mut v = Vec::with_capacity(ix.len());
-        for p in 0..n as u8 {
-            v.push(LinkId::ProcUp(p));
-            v.push(LinkId::ProcDown(p));
-            v.push(LinkId::MemUp(p));
-            v.push(LinkId::MemDown(p));
+        for p in 0..n {
+            // Iterate in usize: `0..n as u8` is empty at the 256-node
+            // boundary even though every id 0..=255 is representable.
+            v.push(LinkId::ProcUp(p as u8));
+            v.push(LinkId::ProcDown(p as u8));
+            v.push(LinkId::MemUp(p as u8));
+            v.push(LinkId::MemDown(p as u8));
         }
         for stage in 0..(stages - 1) as u8 {
             for lower in 0..(n / d) as u16 {
@@ -134,7 +141,7 @@ mod tests {
 
     #[test]
     fn index_is_a_bijection() {
-        for (n, d) in [(16usize, 4usize), (16, 2), (4, 2), (4, 4)] {
+        for (n, d) in [(16usize, 4usize), (16, 2), (4, 2), (4, 4), (64, 4), (128, 2), (256, 4)] {
             let ix = LinkIndexer::from_shape(n, d);
             let links = all_links(&ix, n, d, ix.stages);
             assert_eq!(links.len(), ix.len(), "n={n} d={d}");
@@ -158,5 +165,17 @@ mod tests {
         assert_eq!(a.len(), b.len());
         assert_eq!(a.stages, 2);
         assert_eq!(a.len(), 4 * 16 + 2 * 16);
+    }
+
+    #[test]
+    fn unbuildable_shapes_are_rejected_not_misindexed() {
+        // The old from_shape silently computed stages for these and broke
+        // the bijection; now they surface as structured errors.
+        assert!(LinkIndexer::try_from_shape(12, 4).unwrap_err().contains("bad_topology"));
+        assert!(LinkIndexer::try_from_shape(16, 1).unwrap_err().contains("bad_topology"));
+        assert!(LinkIndexer::try_from_shape(512, 2).unwrap_err().contains("NodeId"));
+        // Radix 2 at depth 4 and the deepest supported machines build.
+        assert_eq!(LinkIndexer::try_from_shape(16, 2).unwrap().stages, 4);
+        assert_eq!(LinkIndexer::try_from_shape(256, 2).unwrap().stages, 8);
     }
 }

@@ -89,6 +89,76 @@ impl Route {
     }
 }
 
+/// Structure-of-arrays table of all n² static routes in one direction
+/// (forward proc->mem or backward mem->proc).
+///
+/// Static butterfly routes have a fixed shape — every route traverses
+/// exactly `stages` switches and `stages + 1` links — so the table stores
+/// two flat arenas indexed by `(a * n + b) * stride` instead of n²
+/// individually boxed [`Route`]s. At 256 nodes this replaces ~130k heap
+/// route objects (each an `Rc` plus two `Vec`s) per `System` with two
+/// allocations, which is what keeps the 256-node machine inside the
+/// hostprof VmHWM budget.
+#[derive(Debug, Clone)]
+pub struct RouteTable {
+    nodes: usize,
+    /// Switches per route (= BMIN stages).
+    sw_stride: usize,
+    /// Links per route (= stages + 1).
+    link_stride: usize,
+    switches: Vec<SwitchId>,
+    links: Vec<LinkId>,
+}
+
+impl RouteTable {
+    fn build(bmin: &Bmin, make: impl Fn(&Bmin, NodeId, NodeId) -> Route) -> Self {
+        let n = bmin.nodes();
+        let sw_stride = bmin.stages();
+        let link_stride = sw_stride + 1;
+        let mut switches = Vec::with_capacity(n * n * sw_stride);
+        let mut links = Vec::with_capacity(n * n * link_stride);
+        for a in 0..n {
+            for b in 0..n {
+                let r = make(bmin, a as NodeId, b as NodeId);
+                debug_assert_eq!(r.switches.len(), sw_stride);
+                debug_assert_eq!(r.links.len(), link_stride);
+                switches.extend_from_slice(&r.switches);
+                links.extend_from_slice(&r.links);
+            }
+        }
+        RouteTable { nodes: n, sw_stride, link_stride, switches, links }
+    }
+
+    /// Table of every forward route proc `a` -> mem `b`.
+    pub fn forward(bmin: &Bmin) -> Self {
+        Self::build(bmin, forward)
+    }
+
+    /// Table of every backward route mem `a` -> proc `b`.
+    pub fn backward(bmin: &Bmin) -> Self {
+        Self::build(bmin, backward)
+    }
+
+    /// Switches of route `a -> b`, in traversal order.
+    #[inline]
+    pub fn switches(&self, a: NodeId, b: NodeId) -> &[SwitchId] {
+        let i = (a as usize * self.nodes + b as usize) * self.sw_stride;
+        &self.switches[i..i + self.sw_stride]
+    }
+
+    /// Links of route `a -> b`, in traversal order.
+    #[inline]
+    pub fn links(&self, a: NodeId, b: NodeId) -> &[LinkId] {
+        let i = (a as usize * self.nodes + b as usize) * self.link_stride;
+        &self.links[i..i + self.link_stride]
+    }
+
+    /// Switches per route (the BMIN stage count).
+    pub fn switches_per_route(&self) -> usize {
+        self.sw_stride
+    }
+}
+
 /// Derives the inter-stage link id between two adjacent path switches.
 /// `upper.m_part = lower.m_part * d + port`, so the port is recoverable
 /// from the upper switch alone.
@@ -427,6 +497,29 @@ mod tests {
                 assert!(hops.last().unwrap().switch.is_none());
                 for h in &hops[..hops.len() - 1] {
                     assert!(h.switch.is_some());
+                }
+            }
+        }
+    }
+
+    /// The SoA table returns exactly what the per-pair constructors build,
+    /// for every pair, at several shapes including the deep ones.
+    #[test]
+    fn route_table_matches_constructors() {
+        for (n, d) in [(16usize, 4usize), (16, 2), (64, 4), (256, 4)] {
+            let bmin = Bmin::new(n, d);
+            let fwd = RouteTable::forward(&bmin);
+            let bwd = RouteTable::backward(&bmin);
+            assert_eq!(fwd.switches_per_route(), bmin.stages());
+            for a in 0..n {
+                for b in 0..n {
+                    let (a, b) = (a as NodeId, b as NodeId);
+                    let f = forward(&bmin, a, b);
+                    assert_eq!(fwd.switches(a, b), &f.switches[..], "fwd n={n} d={d}");
+                    assert_eq!(fwd.links(a, b), &f.links[..]);
+                    let r = backward(&bmin, a, b);
+                    assert_eq!(bwd.switches(a, b), &r.switches[..], "bwd n={n} d={d}");
+                    assert_eq!(bwd.links(a, b), &r.links[..]);
                 }
             }
         }

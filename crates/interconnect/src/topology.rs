@@ -53,17 +53,35 @@ impl Bmin {
     ///
     /// # Panics
     /// Panics unless `radix >= 2` and `nodes` is a positive power of
-    /// `radix`.
+    /// `radix` within the `NodeId` range. Use [`Bmin::try_new`] where an
+    /// unbuildable shape must surface as a structured error instead.
     pub fn new(nodes: usize, radix: usize) -> Self {
-        assert!(radix >= 2, "radix must be at least 2");
+        Self::try_new(nodes, radix).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible constructor: validates the butterfly shape and returns a
+    /// structured `bad_topology`-style message for anything unbuildable
+    /// (radix below 2, node counts that are not a positive power of the
+    /// radix, or machines beyond the 256-id `NodeId` range).
+    pub fn try_new(nodes: usize, radix: usize) -> Result<Self, String> {
+        if radix < 2 {
+            return Err(format!("bad_topology: switch radix {radix} must be at least 2"));
+        }
+        if nodes > 256 {
+            return Err(format!("bad_topology: {nodes} nodes exceed the 256-id NodeId range"));
+        }
         let mut stages = 0;
         let mut reach = 1usize;
         while reach < nodes {
             reach *= radix;
             stages += 1;
         }
-        assert!(reach == nodes && stages >= 1, "nodes must be a positive power of radix");
-        Bmin { nodes, radix, stages }
+        if reach != nodes || stages < 1 {
+            return Err(format!(
+                "bad_topology: {nodes} nodes is not a positive power of switch radix {radix}"
+            ));
+        }
+        Ok(Bmin { nodes, radix, stages })
     }
 
     /// Number of nodes.
@@ -212,6 +230,35 @@ mod tests {
         let b = Bmin::new(16, 2);
         assert_eq!(b.stages(), 4);
         assert_eq!(b.total_switches(), 32);
+    }
+
+    #[test]
+    fn try_new_rejects_unbuildable_shapes() {
+        assert!(Bmin::try_new(16, 1).unwrap_err().contains("bad_topology"));
+        assert!(Bmin::try_new(12, 4).unwrap_err().contains("bad_topology"));
+        assert!(Bmin::try_new(1, 2).unwrap_err().contains("bad_topology"));
+        assert!(Bmin::try_new(512, 2).unwrap_err().contains("NodeId"));
+        assert_eq!(Bmin::try_new(16, 2).unwrap().stages(), 4); // radix 2 at depth 4
+        assert_eq!(Bmin::try_new(256, 4).unwrap().stages(), 4);
+        assert_eq!(Bmin::try_new(256, 2).unwrap().stages(), 8);
+    }
+
+    #[test]
+    fn deep_butterfly_paths_cover_256_nodes() {
+        let b = Bmin::new(256, 4);
+        assert_eq!(b.switches_per_stage(), 64);
+        assert_eq!(b.total_switches(), 256);
+        for p in [0usize, 1, 63, 64, 127, 128, 255] {
+            for m in [0usize, 5, 200, 255] {
+                let path = b.path_switches(p as u8, m as u8);
+                assert_eq!(path.len(), 4);
+                assert_eq!(path[0].index, (p / 4) as u16);
+                assert_eq!(path[3].index, (m / 4) as u16);
+                for sw in path {
+                    assert!((sw.index as usize) < b.switches_per_stage());
+                }
+            }
+        }
     }
 
     #[test]

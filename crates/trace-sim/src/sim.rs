@@ -104,7 +104,7 @@ impl TraceSimulator {
         TraceSimulator {
             map: cfg.address_map(),
             caches: (0..cfg.nodes).map(|_| SetAssocCache::new(cfg.cache)).collect(),
-            dir: HomeDirectory::new(usize::MAX / 2),
+            dir: HomeDirectory::with_nodes(usize::MAX / 2, cfg.nodes),
             sdirs: (0..bmin.total_switches())
                 .map(|_| cfg.switch_dir.map(SwitchDirectory::new))
                 .collect(),

@@ -8,6 +8,11 @@
 
 use crate::addr::AddressMap;
 
+/// Largest supported machine: the full range a `NodeId` (`u8`) can
+/// address. The hybrid `SharerSet` bitmap covers exactly this range, so no
+/// valid configuration can ever wrap a directory bit vector.
+pub const MAX_NODES: usize = 256;
+
 /// Geometry and access time of one set-associative cache level.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct CacheGeometry {
@@ -200,6 +205,17 @@ impl SystemConfig {
         SystemConfig { switch_dir: None, ..Self::paper_table2() }
     }
 
+    /// A Table 2 machine scaled to a deeper butterfly: `nodes` processors
+    /// behind `radix`-down-port switches (e.g. 64 nodes/radix 4 = 3 stages,
+    /// 256 nodes/radix 4 = 4 stages). Everything else keeps the paper's
+    /// parameters so scaling sweeps vary exactly one axis.
+    pub fn scaled(nodes: usize, radix: u32) -> Self {
+        let mut cfg = Self::paper_table2();
+        cfg.nodes = nodes;
+        cfg.switch.radix = radix;
+        cfg
+    }
+
     /// Address map implied by this configuration (L1 and L2 share one line
     /// size; `validate` enforces it).
     pub fn address_map(&self) -> AddressMap {
@@ -219,8 +235,8 @@ impl SystemConfig {
 
     /// Validates the whole configuration.
     pub fn validate(&self) -> Result<(), String> {
-        if self.nodes < 2 || self.nodes > 64 {
-            return Err(format!("nodes = {} outside supported range 2..=64", self.nodes));
+        if self.nodes < 2 || self.nodes > MAX_NODES {
+            return Err(format!("nodes = {} outside supported range 2..={MAX_NODES}", self.nodes));
         }
         if !self.nodes.is_power_of_two() {
             return Err("node count must be a power of two for the butterfly BMIN".into());
@@ -330,8 +346,24 @@ impl TraceSimConfig {
 
     /// Validates the configuration.
     pub fn validate(&self) -> Result<(), String> {
-        if self.nodes < 2 || self.nodes > 64 {
-            return Err(format!("nodes = {} outside supported range 2..=64", self.nodes));
+        if self.nodes < 2 || self.nodes > MAX_NODES {
+            return Err(format!("nodes = {} outside supported range 2..={MAX_NODES}", self.nodes));
+        }
+        if !self.nodes.is_power_of_two() {
+            return Err("node count must be a power of two for the butterfly BMIN".into());
+        }
+        // The BMIN is constructed even for base (no switch directory)
+        // machines, so the butterfly shape must always be realizable.
+        let radix = self.switch_radix as usize;
+        if radix < 2 {
+            return Err("switch radix must be at least 2".into());
+        }
+        let mut reach = 1usize;
+        while reach < self.nodes {
+            reach *= radix;
+        }
+        if reach != self.nodes {
+            return Err(format!("nodes = {} is not a power of switch radix {radix}", self.nodes));
         }
         self.cache.validate().map_err(|e| format!("cache: {e}"))?;
         if let Some(sd) = &self.switch_dir {
@@ -417,6 +449,32 @@ mod tests {
         c.switch.radix = 2; // "4x4" switches
         assert_eq!(c.stages(), 4);
         c.validate().unwrap();
+    }
+
+    #[test]
+    fn scaled_presets_cover_deeper_butterflies() {
+        for (nodes, radix, stages) in [(64, 4, 3), (128, 2, 7), (256, 4, 4), (256, 2, 8)] {
+            let c = SystemConfig::scaled(nodes, radix);
+            c.validate().unwrap_or_else(|e| panic!("scaled({nodes},{radix}): {e}"));
+            assert_eq!(c.stages(), stages, "scaled({nodes},{radix})");
+        }
+    }
+
+    #[test]
+    fn validate_rejects_out_of_range_and_unbuildable_nodes() {
+        let mut c = SystemConfig::paper_table2();
+        c.nodes = 512;
+        assert!(c.validate().unwrap_err().contains("2..=256"));
+        let mut c = SystemConfig::scaled(128, 4); // 128 is not a power of 4
+        c.nodes = 128;
+        assert!(c.validate().unwrap_err().contains("not a power of switch radix"));
+        let mut t = TraceSimConfig::paper_table3();
+        t.nodes = 512;
+        assert!(t.validate().unwrap_err().contains("2..=256"));
+        t.nodes = 12;
+        assert!(t.validate().is_err(), "unbuildable butterfly must be rejected up front");
+        t.nodes = 256;
+        t.validate().expect("256-node trace machine (4 stages of radix 4) must validate");
     }
 
     #[test]

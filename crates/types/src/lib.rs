@@ -40,7 +40,7 @@ pub mod runspec;
 pub mod sharers;
 
 pub use addr::{Addr, BlockAddr, NodeId};
-pub use config::{SystemConfig, TraceSimConfig};
+pub use config::{SystemConfig, TraceSimConfig, MAX_NODES};
 pub use fasthash::{FastBuildHasher, FastHasher, FastMap, FastSet};
 pub use json::{FromJson, JsonError, JsonValue, ObjBuilder, ToJson, SCHEMA_VERSION};
 pub use msg::{Message, MsgType};

@@ -197,6 +197,51 @@ fn same_fault_seed_is_byte_identical() {
     }
 }
 
+/// Scaled machines past the old 64-node `SharerSet` ceiling: 3- and
+/// 4-stage butterflies must reach clean quiescence with zero sim errors
+/// (no silent sharer-id wrap anywhere) and a clean coherence audit.
+#[test]
+fn scaled_machines_quiesce_coherently() {
+    for (nodes, radix) in [(64usize, 4u32), (128, 2), (256, 4)] {
+        let mut cfg = SystemConfig::scaled(nodes, radix);
+        cfg.switch_dir =
+            Some(SwitchDirConfig { entries: 1024, ..SwitchDirConfig::paper_default() });
+        let w = random_workload(9, nodes, 24, 96);
+        let total = w.total_refs() as u64;
+        let r = System::new(cfg, &w).run(opts(FaultPlan::default()));
+        assert!(r.watchdog.is_none(), "{nodes}x{radix}: {:?}", r.watchdog);
+        assert!(r.sim_errors.is_empty(), "{nodes}x{radix}: sim errors {:?}", r.sim_errors);
+        assert_eq!(r.refs_executed, total, "{nodes}x{radix}: lost references");
+        let c = r.coherence.expect("verify_coherence was requested");
+        assert!(c.quiesced, "{nodes}x{radix}: did not quiesce");
+        assert!(c.ok(), "{nodes}x{radix}: coherence violations: {:?}", c.violations);
+    }
+}
+
+/// Hint-destroying chaos on the deepest machine: a 256-node, 4-stage BMIN
+/// under scrub + eviction-storm faults must stay coherent — the hint-only
+/// safety argument is size-independent.
+#[test]
+fn deep_machine_hint_faults_stay_coherent() {
+    let mut cfg = SystemConfig::scaled(256, 4);
+    cfg.switch_dir = Some(SwitchDirConfig { entries: 1024, ..SwitchDirConfig::paper_default() });
+    let w = random_workload(11, 256, 16, 64);
+    let total = w.total_refs() as u64;
+    let plan = FaultPlan {
+        seed: 11,
+        scrub_period: 2_000,
+        storm_at: 5_000,
+        storm_evictions: 64,
+        ..FaultPlan::default()
+    };
+    let r = System::new(cfg, &w).run(opts(plan));
+    assert!(r.watchdog.is_none(), "{:?}", r.watchdog);
+    assert!(r.sim_errors.is_empty(), "sim errors: {:?}", r.sim_errors);
+    assert_eq!(r.refs_executed, total);
+    let c = r.coherence.expect("verify_coherence was requested");
+    assert!(c.ok(), "coherence violations: {:?}", c.violations);
+}
+
 #[test]
 fn sd_disabled_mid_run_matches_base_machine_state() {
     let w = ordered_workload(64);

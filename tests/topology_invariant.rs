@@ -8,8 +8,12 @@
 //! 2. the owner's cleanup traffic (copyback / writeback) to h re-traverses
 //!    exactly those switches, so no entry survives its owner's loss of the
 //!    block.
+//!
+//! Node loops iterate in `usize` and cast per-use: `0..bmin.nodes() as u8`
+//! is silently empty at the 256-node boundary.
 
 use dresar_workspace::interconnect::{routes, Bmin};
+use dresar_workspace::types::NodeId;
 
 fn topologies() -> Vec<Bmin> {
     vec![
@@ -18,7 +22,13 @@ fn topologies() -> Vec<Bmin> {
         Bmin::new(64, 4),
         Bmin::new(8, 2),
         Bmin::new(64, 8),
+        Bmin::new(128, 2), // 7-stage deep machine
+        Bmin::new(256, 4), // the full NodeId range, 4 stages
     ]
+}
+
+fn node_ids(bmin: &Bmin) -> impl Iterator<Item = NodeId> {
+    (0..bmin.nodes()).map(|p| p as NodeId)
 }
 
 /// Invariant 1: entries can always re-route to their owner. Exhaustive over
@@ -26,8 +36,8 @@ fn topologies() -> Vec<Bmin> {
 #[test]
 fn entries_reach_owner() {
     for bmin in topologies() {
-        for o in 0..bmin.nodes() as u8 {
-            for h in 0..bmin.nodes() as u8 {
+        for o in node_ids(&bmin) {
+            for h in node_ids(&bmin) {
                 for sw in bmin.path_switches(o, h) {
                     assert!(
                         routes::from_switch_to_proc(&bmin, sw, o).is_some(),
@@ -43,8 +53,8 @@ fn entries_reach_owner() {
 #[test]
 fn cleanup_covers_entries() {
     for bmin in topologies() {
-        for o in 0..bmin.nodes() as u8 {
-            for h in 0..bmin.nodes() as u8 {
+        for o in node_ids(&bmin) {
+            for h in node_ids(&bmin) {
                 // Entries are installed along the write-reply path (h -> o),
                 // which in this topology uses the same switches as (o -> h).
                 let install = bmin.path_switches(o, h);
@@ -61,8 +71,8 @@ fn cleanup_covers_entries() {
 #[test]
 fn route_lengths_minimal() {
     for bmin in topologies() {
-        for a in 0..bmin.nodes() as u8 {
-            for b in 0..bmin.nodes() as u8 {
+        for a in node_ids(&bmin) {
+            for b in node_ids(&bmin) {
                 assert_eq!(routes::forward(&bmin, a, b).switch_hops(), bmin.stages());
                 assert_eq!(routes::backward(&bmin, b, a).switch_hops(), bmin.stages());
                 let p2p = routes::proc_to_proc(&bmin, a, b, 0).expect("minimal-topology route");
@@ -75,18 +85,22 @@ fn route_lengths_minimal() {
 
 /// The generalized switch-origin route terminates at its target for
 /// every (origin switch, target) combination, including foreign ones.
-/// Exhaustive over endpoints, sampled over tie-break values.
+/// Exhaustive over endpoints up to 64 nodes; the O(n³) sweep is strided
+/// above that (the stride is coprime-ish with the radix so samples cross
+/// subtree boundaries), still covering every stage of the deep machines.
 #[test]
 fn via_routes_universal() {
     for bmin in topologies() {
-        let n = bmin.nodes() as u8;
-        for o in 0..n {
-            for h in 0..n {
-                let path = bmin.path_switches(o, h);
-                for target in 0..n {
+        let n = bmin.nodes();
+        let step = if n > 64 { n / 16 + 1 } else { 1 };
+        for o in (0..n).step_by(step) {
+            for h in (0..n).step_by(step) {
+                let path = bmin.path_switches(o as NodeId, h as NodeId);
+                for target in (0..n).step_by(step) {
                     for tb in [0u64, 3, 511] {
                         for &sw in &path {
-                            let r = routes::from_switch_to_proc_via(&bmin, sw, target, tb)
+                            let t = target as NodeId;
+                            let r = routes::from_switch_to_proc_via(&bmin, sw, t, tb)
                                 .unwrap_or_else(|e| {
                                     panic!("{bmin:?}: sw={sw:?} target={target} tb={tb}: {e}")
                                 });
