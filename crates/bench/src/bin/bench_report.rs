@@ -13,7 +13,7 @@
 //!
 //! ```text
 //! bench_report [tiny|reduced|paper] [--out PATH] [--heatmap PATH]
-//!              [--scaling PATH]
+//!              [--scaling PATH] [--protocols PATH]
 //!              [--baseline PATH [--tolerance PCT] [--informational]]
 //! ```
 //!
@@ -25,6 +25,15 @@
 //! main document's `host.profile` (and its VmHWM peak) covers the 256-node
 //! machines — the CI scaling leg gates on that number. The figure itself
 //! contains only deterministic counters and is byte-identical across
+//! sweep thread counts.
+//!
+//! With `--protocols`, the coherence-protocol ablation (MSI, MESI, MOESI
+//! and the directoryless-shared-LLC baseline, each at base and two
+//! switch-directory sizes, two workloads, the paper's 16-node machine)
+//! runs and its figure is written as a markdown document: raw counters and
+//! the per-protocol latency-reduction table, including cycles saved per
+//! switch-served cache-to-cache read. Every run is audited by the
+//! per-protocol coherence checker; the figure is byte-identical across
 //! sweep thread counts.
 //!
 //! With `--heatmap`, a second schema-versioned document is written holding
@@ -42,7 +51,8 @@
 //! mode CI uses on pull requests).
 
 use dresar_bench::sweep::{
-    heatmap_runs, scaling_runs, standard_runs, RunResult, ScalingRun, SweepRunner, SCALING_CONFIGS,
+    heatmap_runs, protocol_runs, scaling_runs, standard_runs, ProtocolRun, RunResult, ScalingRun,
+    SweepRunner, SCALING_CONFIGS,
 };
 use dresar_bench::{json_doc, suite};
 use dresar_obs::{HostProfiler, MetricsRegistry};
@@ -55,6 +65,7 @@ struct Args {
     out: String,
     heatmap: Option<String>,
     scaling: Option<String>,
+    protocols: Option<String>,
     baseline: Option<String>,
     tolerance_pct: f64,
     informational: bool,
@@ -66,6 +77,7 @@ fn parse_args() -> Result<Args, String> {
         out: "BENCH_dresar.json".into(),
         heatmap: None,
         scaling: None,
+        protocols: None,
         baseline: None,
         tolerance_pct: 0.0,
         informational: false,
@@ -76,6 +88,7 @@ fn parse_args() -> Result<Args, String> {
             "--out" => args.out = it.next().ok_or("--out needs a path")?,
             "--heatmap" => args.heatmap = Some(it.next().ok_or("--heatmap needs a path")?),
             "--scaling" => args.scaling = Some(it.next().ok_or("--scaling needs a path")?),
+            "--protocols" => args.protocols = Some(it.next().ok_or("--protocols needs a path")?),
             "--baseline" => args.baseline = Some(it.next().ok_or("--baseline needs a path")?),
             "--tolerance" => {
                 let v = it.next().ok_or("--tolerance needs a percentage")?;
@@ -306,6 +319,132 @@ fn render_scaling(scale: Scale, runs: &[ScalingRun]) -> String {
     out
 }
 
+/// Renders the `--protocols` figure: the protocol x sd-size x workload
+/// ablation as a markdown document — a raw-counter table, the derived
+/// per-protocol benefit table (including cycles saved per switch-served
+/// CtoC read), and a bar chart of the largest-SD latency reduction per
+/// protocol. Every number is a deterministic simulation counter (or a
+/// fixed-precision ratio of two), so the document is byte-identical across
+/// sweep thread counts.
+fn render_protocols(scale: Scale, runs: &[ProtocolRun]) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    out.push_str("# Protocol figure: switch-directory benefit per coherence protocol\n\n");
+    let _ = writeln!(
+        out,
+        "Generated by `bench_report {} --protocols <path>`. All numbers are\n\
+         deterministic simulation counters; the document is byte-identical\n\
+         across sweep thread counts.\n",
+        format!("{scale:?}").to_lowercase()
+    );
+    out.push_str(
+        "The switch directories are protocol-agnostic hint caches: they snoop\n\
+         the same reply/copyback traffic and shortcut dirty remote reads the\n\
+         same way under every protocol. What changes per protocol is how many\n\
+         dirty remote reads exist to shortcut — MESI's silent upgrades create\n\
+         dirty blocks the home never saw a write for, MOESI's owner keeps\n\
+         serving readers after the first shortcut, and the directoryless\n\
+         shared-LLC baseline (`dls`) serves reads at home without any\n\
+         intervention, which is the latency floor the shortcut competes\n\
+         against.\n\n",
+    );
+
+    out.push_str("## Runs\n\n");
+    out.push_str(
+        "| run | protocol | sd entries | avg read latency | home CtoC | \
+         switch CtoC | SD hits | exec cycles |\n\
+         |---|---|--:|--:|--:|--:|--:|--:|\n",
+    );
+    for r in runs {
+        let sd = r.sd_entries.map_or("-".to_string(), |e| e.to_string());
+        let _ = writeln!(
+            out,
+            "| {} | {} | {} | {:.2} | {} | {} | {} | {} |",
+            r.name,
+            r.protocol,
+            sd,
+            r.metrics.avg_read_latency(),
+            r.metrics.reads.ctoc_home,
+            r.metrics.reads.ctoc_switch,
+            r.metrics.sd_hits,
+            r.metrics.exec_cycles,
+        );
+    }
+
+    // Benefit per (workload, protocol): latency reduction vs that
+    // protocol's own base run — each protocol competes against itself, so
+    // the column isolates what the switch directories add on top of the
+    // protocol's native sharing optimizations.
+    let base = |r: &ProtocolRun| -> Option<&ProtocolRun> {
+        runs.iter().find(|b| {
+            b.workload == r.workload && b.protocol == r.protocol && b.sd_entries.is_none()
+        })
+    };
+    let benefit = |r: &ProtocolRun| -> Option<f64> {
+        let b = base(r)?.metrics.avg_read_latency();
+        (b > 0.0).then(|| 100.0 * (b - r.metrics.avg_read_latency()) / b)
+    };
+    // Cycles saved per switch-served CtoC read: total read-latency cycles
+    // the SD machine shaved off the same protocol's base machine, amortized
+    // over the reads the switches actually served — the per-shortcut saving
+    // the paper's benefit argument is about, per protocol.
+    let per_hit = |r: &ProtocolRun| -> Option<f64> {
+        let b = base(r)?;
+        (r.metrics.reads.ctoc_switch > 0).then(|| {
+            (b.metrics.reads.latency_cycles as f64 - r.metrics.reads.latency_cycles as f64)
+                / r.metrics.reads.ctoc_switch as f64
+        })
+    };
+
+    let sd_tags: Vec<(&str, u32)> =
+        SCALING_CONFIGS.iter().filter_map(|&(tag, sd)| sd.map(|e| (tag, e))).collect();
+    let (spot_tag, spot_entries) = *sd_tags.last().expect("SCALING_CONFIGS has an SD config");
+    out.push_str("\n## Benefit: read-latency reduction vs each protocol's own base machine\n\n");
+    let _ = write!(out, "| workload | protocol |");
+    for (tag, _) in &sd_tags {
+        let _ = write!(out, " {tag} |");
+    }
+    let _ = write!(out, " {spot_tag} cycles saved / switch CtoC |\n|---|---|");
+    for _ in 0..=sd_tags.len() {
+        out.push_str("--:|");
+    }
+    out.push('\n');
+    for probe in runs.iter().filter(|r| r.sd_entries.is_none()) {
+        let mut cells = String::new();
+        let mut saved = String::from("-");
+        for &(_, entries) in &sd_tags {
+            let run = runs.iter().find(|r| {
+                r.workload == probe.workload
+                    && r.protocol == probe.protocol
+                    && r.sd_entries == Some(entries)
+            });
+            match run.and_then(&benefit) {
+                Some(pct) => {
+                    let _ = write!(cells, " {pct:.1}% |");
+                }
+                None => cells.push_str(" - |"),
+            }
+            if entries == spot_entries {
+                if let Some(s) = run.and_then(&per_hit) {
+                    saved = format!("{s:.0}");
+                }
+            }
+        }
+        let _ = writeln!(out, "| {} | {} |{} {saved} |", probe.workload, probe.protocol, cells);
+    }
+
+    let _ = write!(out, "\n```text\n{spot_tag} read-latency reduction (one # per percent)\n\n");
+    for probe in runs.iter().filter(|r| r.sd_entries == Some(spot_entries)) {
+        if let Some(pct) = benefit(probe) {
+            let bar = "#".repeat(pct.round().clamp(0.0, 60.0) as usize);
+            let _ =
+                writeln!(out, "{:<4} {:<5} {:<60} {pct:5.1}%", probe.workload, probe.protocol, bar);
+        }
+    }
+    out.push_str("```\n");
+    out
+}
+
 fn main() -> ExitCode {
     let args = match parse_args() {
         Ok(a) => a,
@@ -330,6 +469,10 @@ fn main() -> ExitCode {
     let scaling = args.scaling.as_ref().map(|_| {
         prof.phase("scaling");
         scaling_runs(args.scale, SweepRunner::from_env())
+    });
+    let protocols = args.protocols.as_ref().map(|_| {
+        prof.phase("protocols");
+        protocol_runs(args.scale, SweepRunner::from_env())
     });
     prof.phase("report");
     let sim_cycles = total_sim_cycles(&runs);
@@ -378,6 +521,15 @@ fn main() -> ExitCode {
             return ExitCode::from(2);
         }
         println!("bench_report: {} scaling runs -> {path}", runs.len());
+    }
+
+    if let (Some(path), Some(runs)) = (&args.protocols, &protocols) {
+        let text = render_protocols(args.scale, runs);
+        if let Err(e) = std::fs::write(path, &text) {
+            eprintln!("bench_report: cannot write {path}: {e}");
+            return ExitCode::from(2);
+        }
+        println!("bench_report: {} protocol runs -> {path}", runs.len());
     }
 
     if let Some(hm_path) = &args.heatmap {

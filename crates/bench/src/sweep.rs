@@ -27,7 +27,7 @@ use dresar_obs::{
     DEFAULT_ATTRIB_WINDOW,
 };
 use dresar_types::config::{SwitchDirConfig, SystemConfig};
-use dresar_types::{JsonValue, ToJson, Workload};
+use dresar_types::{JsonValue, Protocol, ToJson, Workload};
 use dresar_workloads::{scientific, Scale};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -528,6 +528,116 @@ pub fn scaling_runs_at(
     runs
 }
 
+/// One run of the `--protocols` ablation: a workload under one coherence
+/// protocol at one switch-directory configuration on the paper's 16-node
+/// machine.
+pub struct ProtocolRun {
+    /// Run name, `<workload>.<protocol>.<config>` (e.g. `"FFT.mesi.sd1024"`).
+    pub name: String,
+    /// Workload label (`"FFT"`, `"SOR"`).
+    pub workload: &'static str,
+    /// The coherence protocol the caches and home directories ran.
+    pub protocol: Protocol,
+    /// Switch-directory entries per switch (`None` = base machine).
+    pub sd_entries: Option<u32>,
+    /// The run's figure metrics.
+    pub metrics: Metrics,
+}
+
+impl ToJson for ProtocolRun {
+    fn to_json(&self) -> JsonValue {
+        JsonValue::obj()
+            .field("name", self.name.as_str())
+            .field("workload", self.workload)
+            .field("protocol", self.protocol.as_str())
+            .field("sd_entries", self.sd_entries.map_or(0, u64::from))
+            .field("metrics", self.metrics.to_json())
+            .build()
+    }
+}
+
+/// The workloads the protocol ablation evaluates: the two execution-driven
+/// kernels with the most contrasting sharing patterns (same pair as the
+/// scaling ladder), on the paper's 16-processor machine.
+fn protocol_workloads(scale: Scale) -> Vec<(&'static str, Workload)> {
+    let p = 16;
+    vec![
+        ("FFT", scientific::fft(p, scale.fft_points())),
+        ("SOR", scientific::sor(p, scale.grid_n(), scale.sor_iters())),
+    ]
+}
+
+/// Runs one protocol ablation point. Every run doubles as a correctness
+/// probe: the end-of-run per-protocol coherence audit must be clean and no
+/// structural sim error (e.g. an undefined protocol transition) may have
+/// been recorded — a protocol whose transition table has a hole must fail
+/// the sweep, not publish a figure.
+fn protocol_one(w: &Workload, protocol: Protocol, sd: Option<u32>) -> Metrics {
+    let mut cfg = SystemConfig::paper_table2();
+    cfg.protocol = protocol;
+    cfg.switch_dir =
+        sd.map(|entries| SwitchDirConfig { entries, ..SwitchDirConfig::paper_default() });
+    let report = System::new(cfg, w).run(RunOptions {
+        transient_policy: TransientReadPolicy::Retry,
+        verify_coherence: true,
+        ..RunOptions::default()
+    });
+    assert!(
+        report.sim_errors.is_empty(),
+        "protocol run {protocol} sd={sd:?}: sim errors {:?}",
+        report.sim_errors
+    );
+    let audit = report.coherence.as_ref().expect("verify_coherence was requested");
+    assert!(
+        audit.ok(),
+        "protocol run {protocol} sd={sd:?}: coherence violations {:?}",
+        audit.violations
+    );
+    Metrics { reads: report.reads, exec_cycles: report.cycles, sd_hits: report.sd.read_hits }
+}
+
+/// The `--protocols` run set: every protocol in [`Protocol::ALL`] crossed
+/// with the [`SCALING_CONFIGS`] switch-directory axis and the two kernels,
+/// executed through `runner`. Output is byte-identical across thread counts
+/// for the same reasons as [`standard_runs`]: independent jobs,
+/// submission-order result slots, name-sorted assembly.
+pub fn protocol_runs(scale: Scale, runner: SweepRunner) -> Vec<ProtocolRun> {
+    protocol_runs_at(&Protocol::ALL, scale, runner)
+}
+
+/// [`protocol_runs`] over an explicit protocol set (tests use a reduced
+/// one).
+pub fn protocol_runs_at(
+    protocols: &[Protocol],
+    scale: Scale,
+    runner: SweepRunner,
+) -> Vec<ProtocolRun> {
+    // One job per (protocol, workload, config): the kernels regenerate
+    // their streams inside the worker (generation is cheap next to
+    // simulation), so jobs share no state.
+    let mut jobs: Vec<Job<'_, ProtocolRun>> = Vec::new();
+    for &protocol in protocols {
+        for wi in 0..protocol_workloads(scale).len() {
+            for (tag, sd) in SCALING_CONFIGS {
+                jobs.push(Box::new(move || {
+                    let (label, w) = protocol_workloads(scale).swap_remove(wi);
+                    let metrics = protocol_one(&w, protocol, sd);
+                    ProtocolRun {
+                        name: format!("{label}.{protocol}.{tag}"),
+                        workload: label,
+                        protocol,
+                        sd_entries: sd,
+                        metrics,
+                    }
+                }));
+            }
+        }
+    }
+    let mut runs = runner.run_jobs(jobs);
+    runs.sort_by(|a, b| a.name.cmp(&b.name));
+    runs
+}
+
 /// Informational robustness run: the sd1024 configuration with the switch
 /// directories disabled half-way through (derived deterministically from
 /// the healthy run's cycle count), exercising the degraded home-directory
@@ -995,6 +1105,26 @@ mod tests {
                 x.to_json().dump(),
                 y.to_json().dump(),
                 "{}: scaling runs must be byte-identical serial vs parallel",
+                x.name
+            );
+        }
+    }
+
+    #[test]
+    fn protocol_runs_serial_matches_parallel() {
+        // Reduced protocol set at tiny scale so the test stays cheap; the
+        // full MSI/MESI/MOESI/DLS matrix is exercised by the CI protocols
+        // leg and the committed FIG_protocols.md.
+        let protocols = [Protocol::Msi, Protocol::Mesi];
+        let a = protocol_runs_at(&protocols, Scale::Tiny, SweepRunner::serial());
+        let b = protocol_runs_at(&protocols, Scale::Tiny, SweepRunner::with_threads(4));
+        assert_eq!(a.len(), protocols.len() * 2 * SCALING_CONFIGS.len());
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.name, y.name, "run order must not depend on thread count");
+            assert_eq!(
+                x.to_json().dump(),
+                y.to_json().dump(),
+                "{}: protocol runs must be byte-identical serial vs parallel",
                 x.name
             );
         }

@@ -56,7 +56,10 @@ impl AccessOutcome {
 /// A block displaced by a fill.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Eviction {
-    /// A dirty (Modified) L2 victim: must be written back to its home.
+    /// An L2 victim the home still books this node as owner of (Modified,
+    /// Owned, or MESI's clean Exclusive): must be announced to its home. A
+    /// silently dropped Exclusive line would leave the home forwarding
+    /// interventions at a cache that can no longer serve them.
     Writeback(BlockAddr),
     /// A clean victim, dropped silently. (The base protocol sends no
     /// replacement hints, matching the paper's full-map scheme where clean
@@ -144,14 +147,24 @@ impl CacheHierarchy {
         AccessOutcome::Miss { latency: self.l1_latency + self.l2_latency }
     }
 
-    /// Processor write probe.
+    /// Processor write probe. An Exclusive line upgrades to Modified
+    /// silently (the MESI/MOESI E-state rule: the home already books this
+    /// node as owner, so no directory transaction is needed) and counts as
+    /// an ordinary write hit; an Owned line still needs an upgrade, because
+    /// other caches hold Shared copies that must be invalidated.
     pub fn write(&mut self, block: BlockAddr) -> AccessOutcome {
         match self.l1.access(block) {
             Some(LineState::Modified) => {
                 self.stats.write_hits += 1;
                 return AccessOutcome::L1Hit { latency: self.l1_latency };
             }
-            Some(LineState::Shared) => {
+            Some(LineState::Exclusive) => {
+                self.l1.set_state(block, LineState::Modified);
+                self.l2.set_state(block, LineState::Modified);
+                self.stats.write_hits += 1;
+                return AccessOutcome::L1Hit { latency: self.l1_latency };
+            }
+            Some(LineState::Shared | LineState::Owned) => {
                 self.stats.write_upgrades += 1;
                 return AccessOutcome::UpgradeNeeded { latency: self.l1_latency };
             }
@@ -163,7 +176,13 @@ impl CacheHierarchy {
                 self.fill_l1(block, LineState::Modified);
                 AccessOutcome::L2Hit { latency: self.l1_latency + self.l2_latency }
             }
-            Some(LineState::Shared) => {
+            Some(LineState::Exclusive) => {
+                self.l2.set_state(block, LineState::Modified);
+                self.stats.write_hits += 1;
+                self.fill_l1(block, LineState::Modified);
+                AccessOutcome::L2Hit { latency: self.l1_latency + self.l2_latency }
+            }
+            Some(LineState::Shared | LineState::Owned) => {
                 self.stats.write_upgrades += 1;
                 AccessOutcome::UpgradeNeeded { latency: self.l1_latency + self.l2_latency }
             }
@@ -184,8 +203,8 @@ impl CacheHierarchy {
             // the victim makes the writeback carry the freshest data; either
             // way the victim's dirtiness decides Writeback vs Drop.
             let l1_victim_state = self.l1.invalidate(victim);
-            let dirty =
-                victim_state == LineState::Modified || l1_victim_state == Some(LineState::Modified);
+            let owned_by_home = |s: LineState| s.is_dirty() || s == LineState::Exclusive;
+            let dirty = owned_by_home(victim_state) || l1_victim_state.is_some_and(owned_by_home);
             if dirty {
                 self.stats.writebacks += 1;
             }
@@ -198,11 +217,13 @@ impl CacheHierarchy {
     /// Installs into L1, absorbing a dirty L1 victim into L2. L1 evictions
     /// never surface externally thanks to inclusion.
     fn fill_l1(&mut self, block: BlockAddr, state: LineState) {
-        if let Some((victim, LineState::Modified)) = self.l1.insert(block, state) {
-            // Write the dirty L1 victim back into L2 (must be resident by
-            // inclusion).
-            let present = self.l2.set_state(victim, LineState::Modified);
-            debug_assert!(present, "inclusion violated: dirty L1 victim absent from L2");
+        if let Some((victim, st)) = self.l1.insert(block, state) {
+            if st.is_dirty() {
+                // Write the dirty L1 victim back into L2 (must be resident
+                // by inclusion).
+                let present = self.l2.set_state(victim, st);
+                debug_assert!(present, "inclusion violated: dirty L1 victim absent from L2");
+            }
         }
     }
 
@@ -212,27 +233,39 @@ impl CacheHierarchy {
     pub fn invalidate(&mut self, block: BlockAddr) -> bool {
         let l1 = self.l1.invalidate(block);
         let l2 = self.l2.invalidate(block);
-        let was_dirty = l1 == Some(LineState::Modified) || l2 == Some(LineState::Modified);
+        let supplier =
+            |s: Option<LineState>| s.is_some_and(|s| s.is_dirty() || s == LineState::Exclusive);
+        let was_dirty = supplier(l1) || supplier(l2);
         if was_dirty {
             self.stats.ctoc_serves += 1;
         }
         was_dirty
     }
 
-    /// External downgrade M -> S (a cache-to-cache read intervention).
-    /// Returns `true` if this cache actually held the block Modified.
+    /// External downgrade to Shared (a cache-to-cache read intervention in
+    /// the MSI/MESI protocols). Returns `true` if this cache actually held
+    /// the block as its supplier.
     pub fn downgrade(&mut self, block: BlockAddr) -> bool {
-        let was_dirty = self.probe(block) == Some(LineState::Modified);
-        if was_dirty {
+        self.downgrade_to(block, LineState::Shared)
+    }
+
+    /// External downgrade to `state`: MSI read interventions make M -> S,
+    /// MESI's clean E -> S, MOESI retains dirty ownership with M -> O (and
+    /// an O holder serving a read stays O). Returns `true` if this cache
+    /// was the block's supplier (held it Modified, Owned or Exclusive).
+    pub fn downgrade_to(&mut self, block: BlockAddr, state: LineState) -> bool {
+        let was_supplier =
+            self.probe(block).is_some_and(|s| s.is_dirty() || s == LineState::Exclusive);
+        if was_supplier {
             self.stats.ctoc_serves += 1;
         }
         if self.l1.probe(block).is_some() {
-            self.l1.set_state(block, LineState::Shared);
+            self.l1.set_state(block, state);
         }
         if self.l2.probe(block).is_some() {
-            self.l2.set_state(block, LineState::Shared);
+            self.l2.set_state(block, state);
         }
-        was_dirty
+        was_supplier
     }
 
     /// Iterates every resident block with its coherence state. Inclusion
@@ -242,14 +275,21 @@ impl CacheHierarchy {
         self.l2.resident_blocks()
     }
 
-    /// Authoritative state of a block (L1 dirtiness wins over L2's record).
+    /// Authoritative state of a block (the strongest level's record wins,
+    /// so L1 dirtiness beats a stale L2 Shared: M > O > E > S).
     pub fn probe(&self, block: BlockAddr) -> Option<LineState> {
-        match (self.l1.probe(block), self.l2.probe(block)) {
-            (Some(LineState::Modified), _) | (_, Some(LineState::Modified)) => {
-                Some(LineState::Modified)
+        fn rank(s: LineState) -> u8 {
+            match s {
+                LineState::Modified => 3,
+                LineState::Owned => 2,
+                LineState::Exclusive => 1,
+                LineState::Shared => 0,
             }
-            (Some(LineState::Shared), _) | (_, Some(LineState::Shared)) => Some(LineState::Shared),
+        }
+        match (self.l1.probe(block), self.l2.probe(block)) {
             (None, None) => None,
+            (Some(s), None) | (None, Some(s)) => Some(s),
+            (Some(a), Some(b)) => Some(if rank(a) >= rank(b) { a } else { b }),
         }
     }
 
@@ -381,6 +421,57 @@ mod tests {
         h.invalidate(BlockAddr(8));
         h.invalidate(BlockAddr(2)); // clean: not a serve
         assert_eq!(h.stats().ctoc_serves, 2);
+    }
+
+    #[test]
+    fn exclusive_write_upgrades_silently() {
+        let mut h = tiny();
+        h.fill(BlockAddr(0), LineState::Exclusive);
+        assert_eq!(h.probe(BlockAddr(0)), Some(LineState::Exclusive));
+        assert!(matches!(h.write(BlockAddr(0)), AccessOutcome::L1Hit { .. }));
+        assert_eq!(h.probe(BlockAddr(0)), Some(LineState::Modified));
+        assert_eq!(h.stats().write_hits, 1);
+        assert_eq!(h.stats().write_upgrades, 0, "E upgrade is silent, not a directory upgrade");
+        // The L2 record must have upgraded too, or an L1 eviction would
+        // lose dirtiness.
+        h.fill(BlockAddr(2), LineState::Shared);
+        let ev = h.fill(BlockAddr(4), LineState::Shared);
+        assert_eq!(ev, vec![Eviction::Writeback(BlockAddr(0))]);
+    }
+
+    #[test]
+    fn exclusive_upgrade_through_l2_after_l1_eviction() {
+        let mut h = tiny();
+        h.fill(BlockAddr(0), LineState::Exclusive);
+        h.fill(BlockAddr(2), LineState::Shared); // evicts 0 from 1-way L1 set
+        assert!(matches!(h.write(BlockAddr(0)), AccessOutcome::L2Hit { .. }));
+        assert_eq!(h.probe(BlockAddr(0)), Some(LineState::Modified));
+    }
+
+    #[test]
+    fn exclusive_eviction_is_announced_not_dropped() {
+        let mut h = tiny();
+        h.fill(BlockAddr(0), LineState::Exclusive);
+        h.fill(BlockAddr(2), LineState::Shared);
+        let ev = h.fill(BlockAddr(4), LineState::Shared);
+        assert_eq!(ev, vec![Eviction::Writeback(BlockAddr(0))], "home books us as owner");
+    }
+
+    #[test]
+    fn owned_lines_need_upgrades_and_keep_serving_reads() {
+        let mut h = tiny();
+        h.fill(BlockAddr(0), LineState::Owned);
+        assert!(matches!(h.write(BlockAddr(0)), AccessOutcome::UpgradeNeeded { .. }));
+        assert_eq!(h.stats().write_upgrades, 1);
+        // A MOESI owner serving a read intervention stays Owned and counts
+        // a CtoC serve each time.
+        assert!(h.downgrade_to(BlockAddr(0), LineState::Owned));
+        assert!(h.downgrade_to(BlockAddr(0), LineState::Owned));
+        assert_eq!(h.probe(BlockAddr(0)), Some(LineState::Owned));
+        assert_eq!(h.stats().ctoc_serves, 2);
+        // Invalidating the dirty owner is a serve as well.
+        assert!(h.invalidate(BlockAddr(0)));
+        assert_eq!(h.stats().ctoc_serves, 3);
     }
 
     #[test]

@@ -1,16 +1,33 @@
-//! A set-associative cache array with MSI states and true-LRU replacement.
+//! A set-associative cache array with coherence line states and true-LRU
+//! replacement.
 
 use dresar_types::config::CacheGeometry;
 use dresar_types::BlockAddr;
 
-/// MSI coherence state of a cached line (the paper's three-state cache
-/// protocol, §3.2).
+/// Coherence state of a cached line. Absence from the array is the implicit
+/// INVALID state. The paper's protocol (§3.2) uses only S/M; the EXCLUSIVE
+/// and OWNED states exist for the MESI/MOESI members of the protocol family
+/// (`dresar-protocol`) and are never installed under MSI.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum LineState {
     /// Read-only copy; memory (or the owner's copyback) is up to date.
     Shared,
+    /// Sole clean copy (MESI/MOESI): memory is up to date, but no other
+    /// cache holds the block, so a write may upgrade to MODIFIED silently.
+    Exclusive,
+    /// Dirty copy shared with readers (MOESI): this cache owns the block
+    /// and supplies it, but other caches may hold SHARED copies.
+    Owned,
     /// Exclusive dirty copy; this cache is the owner.
     Modified,
+}
+
+impl LineState {
+    /// Whether a line in this state holds data newer than memory (and so
+    /// must be written back or supplied on eviction/intervention).
+    pub fn is_dirty(self) -> bool {
+        matches!(self, LineState::Modified | LineState::Owned)
+    }
 }
 
 #[derive(Debug, Clone, Copy)]

@@ -5,11 +5,16 @@
 //! protocol, because the home full-map directory stays authoritative. This
 //! module audits that claim after a run, fault-injected or not:
 //!
-//! 1. **Exclusive ownership** — at most one cache holds a block MODIFIED,
-//!    and when the home records `Modified(n)`, node `n` is that holder.
+//! 1. **Exclusive ownership** — at most one cache holds a block dirty
+//!    (MODIFIED or OWNED), at most one holds it EXCLUSIVE, and the home's
+//!    ownership record names that holder. Which resident states a home
+//!    claim permits is a protocol property: under MESI/MOESI a home
+//!    `Modified(n)` is satisfied by `n` holding EXCLUSIVE, under MOESI a
+//!    home `Owned` requires the owner to hold OWNED.
 //! 2. **Holder tracking** — every cached copy is covered by the home state
-//!    (the home's sharer vector may be a superset: clean copies evict
-//!    silently, but never the reverse).
+//!    per [`dresar_protocol::holder_allowed`] (the home's sharer vector may
+//!    be a superset: clean copies evict silently, but never the reverse;
+//!    the DLS baseline deliberately leaves read bypasses untracked).
 //! 3. **Hint soundness** — every MODIFIED switch-directory entry points at
 //!    the block's true current owner per the home directory.
 //! 4. **Quiescence** — after a clean drain no home entry is mid-transaction
@@ -27,6 +32,7 @@ use std::collections::BTreeMap;
 
 use dresar_cache::LineState;
 use dresar_directory::DirState;
+use dresar_protocol::{holder_allowed, HomeClaim};
 use dresar_types::{BlockAddr, JsonValue, NodeId, StreamItem, ToJson};
 
 use super::{Node, System};
@@ -141,49 +147,103 @@ pub(super) fn check(sys: &System) -> CoherenceOutcome {
     };
     let mut digest = FNV_OFFSET;
 
+    let protocol = sys.cfg.protocol;
     for (&addr, v) in &blocks {
         let block = BlockAddr(addr);
         let mut holders = v.holders.clone();
         holders.sort_by_key(|&(n, _)| n);
         let dirty: Vec<NodeId> =
-            holders.iter().filter(|&&(_, s)| s == LineState::Modified).map(|&(n, _)| n).collect();
+            holders.iter().filter(|&&(_, s)| s.is_dirty()).map(|&(n, _)| n).collect();
+        let excl: Vec<NodeId> =
+            holders.iter().filter(|&&(_, s)| s == LineState::Exclusive).map(|&(n, _)| n).collect();
         let (home_state, home_busy) = v.home.clone().unwrap_or((DirState::Uncached, false));
 
-        // 1. Exactly one MODIFIED holder, matching the home's record.
+        // 1. Exactly one dirty (MODIFIED/OWNED) holder, matching the home's
+        // record, and an EXCLUSIVE holder is the sole copy.
         if dirty.len() > 1 {
             out.violations.push(CoherenceViolation {
                 rule: "exclusive-owner",
                 block: Some(block),
-                detail: format!("{} caches hold the block MODIFIED: {dirty:?}", dirty.len()),
+                detail: format!("{} caches hold the block dirty: {dirty:?}", dirty.len()),
+            });
+        }
+        if !excl.is_empty() && holders.len() > 1 {
+            out.violations.push(CoherenceViolation {
+                rule: "exclusive-owner",
+                block: Some(block),
+                detail: format!(
+                    "node {} holds EXCLUSIVE but {} caches hold copies",
+                    excl[0],
+                    holders.len()
+                ),
             });
         }
         if quiesced {
-            if let DirState::Modified(owner) = home_state {
-                if dirty != [owner] {
-                    out.violations.push(CoherenceViolation {
-                        rule: "exclusive-owner",
-                        block: Some(block),
-                        detail: format!(
-                            "home records owner {owner} but MODIFIED holders are {dirty:?}"
-                        ),
-                    });
+            match &home_state {
+                DirState::Modified(owner) => {
+                    // The booked owner holds the block MODIFIED — or
+                    // EXCLUSIVE, which the home cannot distinguish.
+                    let ok = (dirty == [*owner] && excl.is_empty())
+                        || (dirty.is_empty() && excl == [*owner]);
+                    if !ok {
+                        out.violations.push(CoherenceViolation {
+                            rule: "exclusive-owner",
+                            block: Some(block),
+                            detail: format!(
+                                "home records owner {owner} but dirty holders are {dirty:?} \
+                                 and exclusive holders are {excl:?}"
+                            ),
+                        });
+                    }
                 }
-            } else if let Some(&n) = dirty.first() {
-                out.violations.push(CoherenceViolation {
-                    rule: "exclusive-owner",
-                    block: Some(block),
-                    detail: format!("node {n} holds MODIFIED but home state is {home_state:?}"),
-                });
+                DirState::Owned { owner, .. } => {
+                    let holds_owned =
+                        holders.iter().any(|&(n, s)| n == *owner && s == LineState::Owned);
+                    if dirty != [*owner] || !holds_owned {
+                        out.violations.push(CoherenceViolation {
+                            rule: "exclusive-owner",
+                            block: Some(block),
+                            detail: format!(
+                                "home records OWNED supplier {owner} but dirty holders \
+                                 are {dirty:?}"
+                            ),
+                        });
+                    }
+                }
+                _ => {
+                    if let Some(&n) = dirty.first() {
+                        out.violations.push(CoherenceViolation {
+                            rule: "exclusive-owner",
+                            block: Some(block),
+                            detail: format!(
+                                "node {n} holds the block dirty but home state is {home_state:?}"
+                            ),
+                        });
+                    }
+                    if let Some(&n) = excl.first() {
+                        out.violations.push(CoherenceViolation {
+                            rule: "exclusive-owner",
+                            block: Some(block),
+                            detail: format!(
+                                "node {n} holds EXCLUSIVE but home state is {home_state:?}"
+                            ),
+                        });
+                    }
+                }
             }
 
-            // 2. Every cached copy is covered by the home state.
+            // 2. Every cached copy is covered by the home state, by the
+            // active protocol's rules.
             for &(n, state) in &holders {
-                let covered = match &home_state {
-                    DirState::Uncached => false,
-                    DirState::Shared(s) => state == LineState::Shared && s.contains(n),
-                    DirState::Modified(owner) => n == *owner,
+                let claim = match &home_state {
+                    DirState::Uncached => HomeClaim::Uncached,
+                    DirState::Shared(s) => HomeClaim::SharedTracked(s.contains(n)),
+                    DirState::Modified(o) => HomeClaim::ModifiedBy(*o == n),
+                    DirState::Owned { owner, sharers } => {
+                        HomeClaim::OwnedBy { is_owner: *owner == n, tracked: sharers.contains(n) }
+                    }
                 };
-                if !covered {
+                if !holder_allowed(protocol, state, claim) {
                     out.violations.push(CoherenceViolation {
                         rule: "holder-not-tracked",
                         block: Some(block),
@@ -194,9 +254,15 @@ pub(super) fn check(sys: &System) -> CoherenceOutcome {
                 }
             }
 
-            // 3. MODIFIED switch-directory hints point at the true owner.
+            // 3. MODIFIED switch-directory hints point at the true current
+            // supplier — the booked owner, MODIFIED or (MOESI) OWNED.
             for &(sw, hinted) in &v.sd_modified {
-                if home_state != DirState::Modified(hinted) {
+                let hint_ok = match &home_state {
+                    DirState::Modified(o) => *o == hinted,
+                    DirState::Owned { owner, .. } => *owner == hinted,
+                    _ => false,
+                };
+                if !hint_ok {
                     out.violations.push(CoherenceViolation {
                         rule: "sd-stale-hint",
                         block: Some(block),
@@ -246,9 +312,30 @@ pub(super) fn check(sys: &System) -> CoherenceOutcome {
                 digest = fnv1a(digest, b"M");
                 digest = fnv1a(digest, &[*owner]);
             }
+            DirState::Owned { owner, sharers } => {
+                // New tag for a state only non-MSI protocols produce: MSI
+                // digests stay bit-identical to the committed baselines.
+                digest = fnv1a(digest, b"O");
+                digest = fnv1a(digest, &[*owner]);
+                let words = sharers.words();
+                digest = fnv1a(digest, &words[0].to_le_bytes());
+                if words[1..].iter().any(|&w| w != 0) {
+                    for w in &words[1..] {
+                        digest = fnv1a(digest, &w.to_le_bytes());
+                    }
+                }
+            }
         }
         for &(n, state) in &holders {
-            digest = fnv1a(digest, &[n, if state == LineState::Modified { 2 } else { 1 }]);
+            // Holder tags: 1 = Shared (MSI legacy), 2 = Modified (MSI
+            // legacy), 3 = Exclusive, 4 = Owned. MSI runs only emit 1/2.
+            let tag = match state {
+                LineState::Modified => 2,
+                LineState::Exclusive => 3,
+                LineState::Owned => 4,
+                _ => 1,
+            };
+            digest = fnv1a(digest, &[n, tag]);
         }
     }
 

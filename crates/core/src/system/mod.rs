@@ -36,6 +36,7 @@ use dresar_interconnect::{Bmin, HopNetwork, SwitchId};
 use dresar_obs::{
     MachineShape, NullProbe, ObserverConfig, ObserverSet, Probe, ServicePoint, SwitchLoc,
 };
+use dresar_protocol::{spec, ProtoState};
 use dresar_stats::{BlockHistogram, ReadClass};
 use dresar_types::addr::AddressMap;
 use dresar_types::config::SystemConfig;
@@ -218,7 +219,9 @@ impl System {
             bmin,
             net: HopNetwork::new(cfg.switch, cfg.nodes),
             nodes,
-            homes: (0..cfg.nodes).map(|_| HomeDirectory::with_nodes(8, cfg.nodes)).collect(),
+            homes: (0..cfg.nodes)
+                .map(|_| HomeDirectory::with_protocol(8, cfg.nodes, cfg.protocol))
+                .collect(),
             home_ctrl: vec![Resource::new(); cfg.nodes],
             dram: (0..cfg.nodes)
                 .map(|_| BankedResource::new(cfg.memory.interleave as usize))
@@ -1137,10 +1140,14 @@ impl System {
                     Endpoint::Proc(p) => p,
                     _ => unreachable!("copybacks originate at caches"),
                 };
+                // A copyback whose `owner` field is set announces that the
+                // supplier retained the line OWNED (MOESI dirty sharing).
+                let retained = msg.owner.is_some();
                 let c = self.homes[h as usize].handle_copyback_probed(
                     msg.block,
                     sender,
                     msg.carried_sharers,
+                    retained,
                     h,
                     t,
                     probe,
@@ -1218,6 +1225,27 @@ impl System {
                 .with_txn(txn);
                 self.send_from_mem(msg, t, probe);
             }
+            DirAction::ReadReplyExcl { to, seq } => {
+                // MESI/MOESI unshared fill: a ReadReply whose `owner` field
+                // names the requester is the EXCLUSIVE grant (under MSI the
+                // field is always absent on read replies), and `owner_seq`
+                // carries the booked ownership instance.
+                let txn = self.txn_of(to, block);
+                probe.read_service_done(to, block, t, txn);
+                let msg = Message::new(
+                    self.next_id(),
+                    MsgType::ReadReply,
+                    block,
+                    Endpoint::Mem(h),
+                    Endpoint::Proc(to),
+                    to,
+                    t,
+                )
+                .with_owner(to)
+                .with_owner_seq(seq)
+                .with_txn(txn);
+                self.send_from_mem(msg, t, probe);
+            }
             DirAction::WriteReplyGrant { to, seq } => {
                 let msg = Message::new(
                     self.next_id(),
@@ -1292,7 +1320,11 @@ impl System {
     fn on_proc_delivery<P: Probe>(&mut self, p: NodeId, msg: Message, t: Cycle, probe: &mut P) {
         match msg.kind {
             MsgType::ReadReply => {
-                self.complete_fill(p, &msg, LineState::Shared, self.classify_read(&msg), t, probe)
+                // An `owner` field on a ReadReply is the MESI/MOESI
+                // EXCLUSIVE grant (never set on MSI read replies).
+                let state =
+                    if msg.owner.is_some() { LineState::Exclusive } else { LineState::Shared };
+                self.complete_fill(p, &msg, state, self.classify_read(&msg), t, probe)
             }
             MsgType::CtoCData => {
                 if msg.write_intent {
@@ -1342,6 +1374,9 @@ impl System {
         if let Some(wd) = self.watchdog.as_mut() {
             wd.progress(t);
         }
+        // Ownership-bearing fills: MODIFIED grants and EXCLUSIVE grants both
+        // record the home-booked instance (the home cannot tell them apart).
+        let owning = matches!(state, LineState::Modified | LineState::Exclusive);
         let Some(m) = self.nodes[p as usize].mshrs.remove(&block) else {
             // Duplicate reply with no transaction waiting (NAK'd then served
             // twice, or delayed by fault retransmission). An ownership grant
@@ -1349,14 +1384,14 @@ impl System {
             // and will direct the next intervention here. A duplicate Shared
             // fill is dropped — installing one that was delayed past a later
             // Invalidate would resurrect a line the home no longer tracks.
-            if state == LineState::Modified {
+            if owning {
                 self.nodes[p as usize].owner_seq.insert(block, msg.owner_seq);
                 let evictions = self.nodes[p as usize].hier.fill(block, state);
                 self.emit_evictions(p, evictions, t, probe);
             }
             return;
         };
-        if state == LineState::Modified {
+        if owning {
             self.nodes[p as usize].owner_seq.insert(block, msg.owner_seq);
         }
         let evictions = self.nodes[p as usize].hier.fill(block, state);
@@ -1373,7 +1408,16 @@ impl System {
                         h.record_miss(block, class != ReadClass::CleanMemory);
                     }
                 }
-                if m.then_write {
+                if m.then_write && state == LineState::Exclusive {
+                    // The coalesced write completes locally: an EXCLUSIVE
+                    // holder upgrades silently. It must NOT send a
+                    // WriteRequest — the home books E as ownership and NAKs
+                    // owner-requests forever (livelock).
+                    self.nodes[p as usize].hier.write(block);
+                    if m.inval_pending {
+                        self.nodes[p as usize].hier.invalidate(block);
+                    }
+                } else if m.then_write {
                     // A write coalesced behind this read: upgrade now.
                     let node = &mut self.nodes[p as usize];
                     node.writes_inflight += 1;
@@ -1482,7 +1526,11 @@ impl System {
     fn on_intervention<P: Probe>(&mut self, p: NodeId, msg: Message, t: Cycle, probe: &mut P) {
         let block = msg.block;
         let t_cache = t + self.cfg.l2.access_cycles as Cycle;
-        let holds_dirty = self.nodes[p as usize].hier.probe(block) == Some(LineState::Modified);
+        // Which resident states can service an intervention is a protocol
+        // property: M always; E under MESI/MOESI; O under MOESI.
+        let holds_dirty = self.nodes[p as usize].hier.probe(block).is_some_and(|s| {
+            spec(self.cfg.protocol).serves_intervention(ProtoState::from_line(Some(s)))
+        });
         let d = DeferredIntervention {
             requester: msg.requester,
             write_intent: msg.write_intent,
@@ -1565,10 +1613,23 @@ impl System {
         t_cache: Cycle,
         probe: &mut P,
     ) {
+        // MOESI owner-supplies rule: a dirty holder answering a read keeps
+        // the line OWNED and stays the supplier; everyone else downgrades
+        // to Shared. E holders (MESI/MOESI) serve clean and downgrade.
+        let retains = !d.write_intent
+            && self.cfg.protocol.owner_retains_on_read()
+            && matches!(
+                self.nodes[p as usize].hier.probe(block),
+                Some(LineState::Modified | LineState::Owned)
+            );
         if d.write_intent {
             self.nodes[p as usize].hier.invalidate(block);
         } else {
-            self.nodes[p as usize].hier.downgrade(block);
+            if retains {
+                self.nodes[p as usize].hier.downgrade_to(block, LineState::Owned);
+            } else {
+                self.nodes[p as usize].hier.downgrade(block);
+            }
             // The owner cache is the service point of a read CtoC: the
             // data departs toward the requester now.
             probe.read_service_done(d.requester, block, t_cache, d.txn);
@@ -1608,6 +1669,11 @@ impl System {
         cb.switch_generated = d.switch_generated;
         if d.write_intent {
             cb = cb.with_write_intent();
+        }
+        if retains {
+            // Mark the copyback "retained": the home books this cache as
+            // the OWNED supplier instead of a mere sharer.
+            cb = cb.with_owner(p);
         }
         self.send_from_proc(cb, t_cache, probe);
     }
@@ -1960,5 +2026,137 @@ mod tests {
             max_cycles: 1, // absurdly small bound
             ..Default::default()
         });
+    }
+
+    use dresar_types::Protocol;
+
+    fn proto_cfg(p: Protocol, switch_dir: bool) -> SystemConfig {
+        let mut cfg = small_cfg(switch_dir);
+        cfg.protocol = p;
+        cfg
+    }
+
+    fn run_verified(cfg: SystemConfig, w: &Workload) -> ExecutionReport {
+        let r = System::new(cfg, w).run(RunOptions {
+            max_cycles: 10_000_000,
+            verify_coherence: true,
+            ..Default::default()
+        });
+        assert!(r.sim_errors.is_empty(), "sim errors: {:?}", r.sim_errors);
+        let c = r.coherence.as_ref().expect("coherence audit requested");
+        assert!(c.ok(), "violations: {:?}", c.violations);
+        r
+    }
+
+    #[test]
+    fn mesi_read_then_write_upgrades_silently() {
+        // One processor reads a private block then writes it. MESI grants
+        // EXCLUSIVE on the unshared fill, so the write completes locally:
+        // the home sees exactly one lookup (the read) and no write traffic.
+        let w =
+            wl(vec![vec![StreamItem::read(0, 1), StreamItem::write(0, 1)], vec![], vec![], vec![]]);
+        let mesi = run_verified(proto_cfg(Protocol::Mesi, false), &w);
+        assert_eq!(mesi.dir.lookups, 1, "the silent upgrade must not reach the home");
+        assert_eq!(mesi.dir.reads_clean, 1);
+        // MSI needs the explicit upgrade transaction.
+        let msi = run_verified(proto_cfg(Protocol::Msi, false), &w);
+        assert_eq!(msi.dir.lookups, 2);
+    }
+
+    #[test]
+    fn mesi_exclusive_holder_serves_remote_read_clean() {
+        // p0 read-fills EXCLUSIVE; p1's later read is forwarded to p0 as a
+        // cache-to-cache transfer even though p0 never wrote.
+        let w = wl(vec![
+            vec![StreamItem::read(0, 1), StreamItem::Barrier(0)],
+            vec![StreamItem::Barrier(0), StreamItem::read(0, 1)],
+            vec![StreamItem::Barrier(0)],
+            vec![StreamItem::Barrier(0)],
+        ]);
+        let r = run_verified(proto_cfg(Protocol::Mesi, false), &w);
+        assert_eq!(r.dir.reads_ctoc, 1, "the E holder must be intervened");
+        // Under MSI both reads are clean memory fills.
+        let msi = run_verified(proto_cfg(Protocol::Msi, false), &w);
+        assert_eq!(msi.dir.reads_ctoc, 0);
+    }
+
+    #[test]
+    fn moesi_owner_supplies_every_reader() {
+        // Producer writes; two consumers read in separate phases. Under
+        // MOESI the owner retains the line OWNED after the first read and
+        // supplies the second reader too; under MSI the first read
+        // downgrades everyone to Shared and the second is a memory fill.
+        let w = wl(vec![
+            vec![StreamItem::write(0, 1), StreamItem::Barrier(0), StreamItem::Barrier(1)],
+            vec![StreamItem::Barrier(0), StreamItem::read(0, 1), StreamItem::Barrier(1)],
+            vec![StreamItem::Barrier(0), StreamItem::Barrier(1), StreamItem::read(0, 1)],
+            vec![StreamItem::Barrier(0), StreamItem::Barrier(1)],
+        ]);
+        let moesi = run_verified(proto_cfg(Protocol::Moesi, false), &w);
+        assert_eq!(moesi.dir.reads_ctoc, 2, "both reads must be owner-supplied");
+        assert_eq!(moesi.reads.dirty(), 2);
+        let msi = run_verified(proto_cfg(Protocol::Msi, false), &w);
+        assert_eq!(msi.dir.reads_ctoc, 1);
+        assert_eq!(msi.reads.dirty(), 1);
+    }
+
+    #[test]
+    fn moesi_write_after_dirty_sharing_invalidates_owner_and_sharers() {
+        let w = wl(vec![
+            vec![StreamItem::write(0, 1), StreamItem::Barrier(0), StreamItem::Barrier(1)],
+            vec![StreamItem::Barrier(0), StreamItem::read(0, 1), StreamItem::Barrier(1)],
+            vec![StreamItem::Barrier(0), StreamItem::Barrier(1), StreamItem::write(0, 1)],
+            vec![StreamItem::Barrier(0), StreamItem::Barrier(1)],
+        ]);
+        let r = run_verified(proto_cfg(Protocol::Moesi, false), &w);
+        assert!(r.dir.inval_rounds >= 1);
+        assert!(
+            r.dir.invals_sent >= 2,
+            "owner and sharer must both be invalidated, got {}",
+            r.dir.invals_sent
+        );
+    }
+
+    #[test]
+    fn dls_reads_to_dirty_blocks_bypass_the_intervention() {
+        let w = wl(vec![
+            vec![StreamItem::write(0, 1), StreamItem::Barrier(0)],
+            vec![StreamItem::Barrier(0), StreamItem::read(0, 1)],
+            vec![StreamItem::Barrier(0)],
+            vec![StreamItem::Barrier(0)],
+        ]);
+        let r = run_verified(proto_cfg(Protocol::Dls, false), &w);
+        assert_eq!(r.dir.reads_ctoc, 0, "the DLS baseline never forwards read interventions");
+        assert_eq!(r.reads.clean, 1);
+        assert_eq!(r.reads.dirty(), 0);
+    }
+
+    #[test]
+    fn every_protocol_runs_coherently_with_switch_directories() {
+        // The paper's SD mechanism is protocol-agnostic: hints stay safe
+        // under every family member, including with producer/consumer
+        // sharing that exercises retained (MOESI) copybacks through
+        // switch-generated interventions.
+        let blocks: Vec<u64> = (0..8).map(|i| i * 32).collect();
+        let producer: Vec<StreamItem> = blocks
+            .iter()
+            .map(|&b| StreamItem::write(b, 2))
+            .chain([StreamItem::Barrier(0)])
+            .collect();
+        let consumer: Vec<StreamItem> = [StreamItem::Barrier(0)]
+            .into_iter()
+            .chain(blocks.iter().map(|&b| StreamItem::read(b, 2)))
+            .chain([StreamItem::write(0, 1)])
+            .collect();
+        let w = wl(vec![
+            producer,
+            consumer,
+            vec![StreamItem::Barrier(0), StreamItem::read(0, 2)],
+            vec![StreamItem::Barrier(0)],
+        ]);
+        for p in Protocol::ALL {
+            let r = run_verified(proto_cfg(p, true), &w);
+            assert!(r.refs_executed > 0, "{p}: no references executed");
+        }
     }
 }

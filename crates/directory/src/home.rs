@@ -15,7 +15,8 @@
 
 use dresar_obs::{DirStateKind, HomeReq, HomeTransition, Probe};
 use dresar_types::{
-    BlockAddr, Cycle, FastMap, FromJson, JsonError, JsonValue, NodeId, SharerSet, ToJson, MAX_NODES,
+    BlockAddr, Cycle, FastMap, FromJson, JsonError, JsonValue, NodeId, Protocol, SharerSet, ToJson,
+    MAX_NODES,
 };
 use std::collections::hash_map::Entry;
 use std::collections::VecDeque;
@@ -25,6 +26,7 @@ fn kind_of(state: &DirState) -> DirStateKind {
         DirState::Uncached => DirStateKind::Uncached,
         DirState::Shared(_) => DirStateKind::Shared,
         DirState::Modified(_) => DirStateKind::Modified,
+        DirState::Owned { .. } => DirStateKind::Owned,
     }
 }
 
@@ -36,8 +38,19 @@ pub enum DirState {
     /// Read-only copies at the recorded sharers; memory is up to date.
     /// (The vector may include stale sharers that evicted silently.)
     Shared(SharerSet),
-    /// One cache holds the block dirty.
+    /// One cache holds the block dirty — or, under MESI/MOESI, holds it
+    /// EXCLUSIVE: the home cannot tell E from M (the silent-upgrade rule)
+    /// and books both as ownership.
     Modified(NodeId),
+    /// MOESI dirty sharing: `owner` holds the block OWNED and supplies
+    /// reads; `sharers` hold read-only copies (the owner is *not* in the
+    /// sharer vector). Never constructed under the other protocols.
+    Owned {
+        /// The cache that supplies the block.
+        owner: NodeId,
+        /// Read-only copy holders beside the owner.
+        sharers: SharerSet,
+    },
 }
 
 /// A queued request kind.
@@ -67,6 +80,15 @@ pub enum DirAction {
     ReadReplyClean {
         /// Destination processor.
         to: NodeId,
+    },
+    /// Send the requester a clean `ReadReply` granting the EXCLUSIVE state
+    /// (MESI/MOESI unshared-fill rule). The home books the requester as
+    /// owner under `seq`, because the E copy may upgrade to M silently.
+    ReadReplyExcl {
+        /// Destination processor.
+        to: NodeId,
+        /// Sequence number of the granted ownership instance.
+        seq: u64,
     },
     /// Send the requester a `WriteReply` granting ownership (with data).
     WriteReplyGrant {
@@ -244,6 +266,8 @@ pub struct HomeDirectory {
     /// Machine size: node ids must be `< nodes`. Ids at or past this are
     /// recorded as [`DirError`]s rather than entering the sharer vector.
     nodes: usize,
+    /// Which member of the coherence-protocol family this home runs.
+    protocol: Protocol,
     stats: DirStats,
     /// Protocol violations recorded in release builds (see [`DirError`]).
     errors: Vec<DirError>,
@@ -282,12 +306,19 @@ impl HomeDirectory {
 
     /// Creates a directory for a `nodes`-node machine: handler arguments
     /// naming ids `>= nodes` are rejected with a recorded [`DirError`]
-    /// instead of corrupting the sharer vector.
+    /// instead of corrupting the sharer vector. Runs the paper's MSI
+    /// protocol; use [`HomeDirectory::with_protocol`] for the others.
     pub fn with_nodes(pending_limit: usize, nodes: usize) -> Self {
+        Self::with_protocol(pending_limit, nodes, Protocol::Msi)
+    }
+
+    /// Creates a directory running one member of the protocol family.
+    pub fn with_protocol(pending_limit: usize, nodes: usize, protocol: Protocol) -> Self {
         HomeDirectory {
             blocks: FastMap::default(),
             pending_limit,
             nodes,
+            protocol,
             stats: DirStats::default(),
             errors: Vec::new(),
             busy_now: 0,
@@ -432,8 +463,19 @@ impl HomeDirectory {
         if self.entry(block).busy.is_some() {
             return self.park(block, requester, ReqKind::Read);
         }
+        let protocol = self.protocol;
         let e = self.entry(block);
         match e.state.clone() {
+            DirState::Uncached if protocol.exclusive_read_fill() => {
+                // MESI/MOESI unshared fill: grant EXCLUSIVE and book the
+                // reader as owner (it may upgrade silently). Memory serves
+                // the data, so it still counts as a clean read.
+                e.state = DirState::Modified(requester);
+                e.seq += 1;
+                let seq = e.seq;
+                self.stats.reads_clean += 1;
+                DirAction::ReadReplyExcl { to: requester, seq }
+            }
             DirState::Uncached => {
                 e.state = DirState::Shared(SharerSet::singleton(requester));
                 self.stats.reads_clean += 1;
@@ -452,7 +494,33 @@ impl HomeDirectory {
                 self.stats.naks += 1;
                 DirAction::Nak { to: requester }
             }
+            DirState::Modified(_) if protocol.home_read_bypass() => {
+                // The directoryless-shared-LLC baseline: serve the read
+                // straight from memory, no intervention, no state change.
+                // The owner is left booked and the new reader untracked —
+                // the documented staleness cost of the bypass.
+                self.stats.reads_clean += 1;
+                DirAction::ReadReplyClean { to: requester }
+            }
             DirState::Modified(owner) => {
+                e.busy = Some(Busy::CtoC { owner, requester, write_intent: false });
+                let act = DirAction::ForwardCtoC {
+                    owner,
+                    requester,
+                    write_intent: false,
+                    owner_seq: e.seq,
+                };
+                self.stats.reads_ctoc += 1;
+                act
+            }
+            DirState::Owned { owner, .. } if owner == requester => {
+                // Writeback race, as for Modified.
+                self.stats.naks += 1;
+                DirAction::Nak { to: requester }
+            }
+            DirState::Owned { owner, .. } => {
+                // MOESI owner-supplies rule: every read of a dirty-shared
+                // block is served by the owner, cache to cache.
                 e.busy = Some(Busy::CtoC { owner, requester, write_intent: false });
                 let act = DirAction::ForwardCtoC {
                     owner,
@@ -524,6 +592,29 @@ impl HomeDirectory {
                 self.stats.writes_ctoc += 1;
                 act
             }
+            DirState::Owned { owner, sharers } => {
+                // MOESI write to a dirty-shared block: memory is fresh (the
+                // retained copyback refreshed it), so this is an invalidation
+                // round over owner + sharers, not an ownership transfer.
+                let targets = {
+                    let mut t = sharers;
+                    t.insert(owner);
+                    t.remove(requester);
+                    t
+                };
+                if targets.is_empty() {
+                    // The owner itself upgrading with no other sharers.
+                    e.state = DirState::Modified(requester);
+                    e.seq += 1;
+                    DirAction::WriteReplyGrant { to: requester, seq: e.seq }
+                } else {
+                    e.busy =
+                        Some(Busy::Inval { writer: requester, acks_left: targets.len() as u32 });
+                    self.stats.inval_rounds += 1;
+                    self.stats.invals_sent += targets.len() as u64;
+                    DirAction::Invalidate { targets, writer: requester }
+                }
+            }
         }
     }
 
@@ -580,21 +671,30 @@ impl HomeDirectory {
     /// Handles a `CopyBack` from `from` — either solicited (the home
     /// forwarded an intervention) or unsolicited (a switch directory
     /// initiated the cache-to-cache transfer and the copyback is *marked*
-    /// with the extra sharer pids in `carried`).
+    /// with the extra sharer pids in `carried`). A *retained* copyback
+    /// (MOESI) means the supplier kept the block OWNED instead of
+    /// downgrading to Shared; the home books it as the `Owned` owner.
     pub fn handle_copyback(
         &mut self,
         block: BlockAddr,
         from: NodeId,
         carried: SharerSet,
+        retained: bool,
     ) -> Completion {
         let before = self.occupancy_of(block);
         self.stats.lookups += 1;
-        let c = self.copyback_impl(block, from, carried);
+        let c = self.copyback_impl(block, from, carried, retained);
         self.track_occupancy(block, before);
         c
     }
 
-    fn copyback_impl(&mut self, block: BlockAddr, from: NodeId, carried: SharerSet) -> Completion {
+    fn copyback_impl(
+        &mut self,
+        block: BlockAddr,
+        from: NodeId,
+        carried: SharerSet,
+        retained: bool,
+    ) -> Completion {
         if !self.node_ok("dir_copyback_bounds", from) {
             return Completion::default();
         }
@@ -603,6 +703,12 @@ impl HomeDirectory {
             self.stats.marked_completions += 1;
         }
         let e = self.entry(block);
+        // Sharers already recorded beside `from` when the block is Owned —
+        // an O owner re-serving a read must not wipe them.
+        let prior = match &e.state {
+            DirState::Owned { owner, sharers } if *owner == from => sharers.clone(),
+            _ => SharerSet::EMPTY,
+        };
         match e.busy {
             Some(Busy::CtoC { owner, requester, write_intent }) if owner == from => {
                 e.busy = None;
@@ -616,9 +722,10 @@ impl HomeDirectory {
                     return Completion { actions: vec![], replay };
                 }
                 // Read intervention completed (or a switch-initiated read
-                // CtoC completed while we were waiting): memory is fresh,
-                // owner downgraded to Shared.
-                let mut set = SharerSet::singleton(owner).union(carried);
+                // CtoC completed while we were waiting): memory is fresh;
+                // the owner downgraded to Shared — or, MOESI, kept OWNED.
+                let mut set =
+                    SharerSet::singleton(owner).union(carried.clone()).union(prior.clone());
                 if write_intent {
                     // Our waiting transaction was a write but the owner
                     // serviced a read CtoC first: everyone now sharing must
@@ -637,7 +744,13 @@ impl HomeDirectory {
                             replay,
                         };
                     }
-                    e.state = DirState::Shared(set);
+                    e.state = if retained {
+                        let mut sharers = carried.union(prior);
+                        sharers.remove(from);
+                        DirState::Owned { owner: from, sharers }
+                    } else {
+                        DirState::Shared(set)
+                    };
                     e.busy =
                         Some(Busy::Inval { writer: requester, acks_left: targets.len() as u32 });
                     self.stats.inval_rounds += 1;
@@ -647,17 +760,36 @@ impl HomeDirectory {
                         replay: vec![],
                     };
                 }
-                set.insert(requester);
-                e.state = DirState::Shared(set);
+                e.state = if retained {
+                    let mut sharers = carried.union(prior);
+                    sharers.insert(requester);
+                    sharers.remove(from);
+                    DirState::Owned { owner: from, sharers }
+                } else {
+                    set.insert(requester);
+                    DirState::Shared(set)
+                };
                 let replay = std::mem::take(&mut e.pending).into_iter().collect();
                 Completion { actions: vec![DirAction::ReadReplyClean { to: requester }], replay }
             }
             _ => {
                 // Unsolicited: a switch-directory-initiated CtoC. The block
-                // must be recorded Modified(from); fold in carried sharers.
+                // must be recorded with `from` as owner; fold in carried
+                // sharers (and keep the owner OWNED when it retained).
                 match e.state.clone() {
                     DirState::Modified(owner) if owner == from => {
-                        e.state = DirState::Shared(SharerSet::singleton(from).union(carried));
+                        e.state = if retained {
+                            DirState::Owned { owner: from, sharers: carried }
+                        } else {
+                            DirState::Shared(SharerSet::singleton(from).union(carried))
+                        };
+                        let replay = std::mem::take(&mut e.pending).into_iter().collect();
+                        Completion { actions: vec![], replay }
+                    }
+                    DirState::Owned { owner, sharers } if owner == from => {
+                        // An O owner re-served another reader through a
+                        // switch; it stays owner either way.
+                        e.state = DirState::Owned { owner: from, sharers: sharers.union(carried) };
                         let replay = std::mem::take(&mut e.pending).into_iter().collect();
                         Completion { actions: vec![], replay }
                     }
@@ -701,13 +833,19 @@ impl HomeDirectory {
             self.stats.marked_completions += 1;
         }
         let e = self.entry(block);
+        // Sharers recorded beside an OWNED `from` survive its eviction —
+        // their copies are still valid (memory is fresh under MOESI).
+        let prior = match &e.state {
+            DirState::Owned { owner, sharers } if *owner == from => sharers.clone(),
+            _ => SharerSet::EMPTY,
+        };
         match e.busy {
             Some(Busy::CtoC { owner, requester, write_intent }) if owner == from => {
                 // Eviction race: the owner wrote back before our intervention
                 // reached it. Serve the waiting requester from memory.
                 e.busy = None;
                 if write_intent {
-                    let targets = carried;
+                    let targets = carried.union(prior);
                     if targets.is_empty() {
                         e.state = DirState::Modified(requester);
                         e.seq += 1;
@@ -727,7 +865,7 @@ impl HomeDirectory {
                         replay: vec![],
                     };
                 }
-                let set = SharerSet::singleton(requester).union(carried);
+                let set = SharerSet::singleton(requester).union(carried).union(prior);
                 e.state = DirState::Shared(set);
                 let replay = std::mem::take(&mut e.pending).into_iter().collect();
                 Completion { actions: vec![DirAction::ReadReplyClean { to: requester }], replay }
@@ -739,6 +877,15 @@ impl HomeDirectory {
                     } else {
                         DirState::Shared(carried)
                     };
+                    let replay = std::mem::take(&mut e.pending).into_iter().collect();
+                    Completion { actions: vec![], replay }
+                }
+                DirState::Owned { owner, sharers } if owner == from => {
+                    // The O owner evicted; the remaining sharers keep their
+                    // clean copies (memory already has the data).
+                    let left = sharers.union(carried);
+                    e.state =
+                        if left.is_empty() { DirState::Uncached } else { DirState::Shared(left) };
                     let replay = std::mem::take(&mut e.pending).into_iter().collect();
                     Completion { actions: vec![], replay }
                 }
@@ -827,17 +974,19 @@ impl HomeDirectory {
     }
 
     /// [`HomeDirectory::handle_copyback`] with observability.
+    #[allow(clippy::too_many_arguments)] // mirrors handle_copyback + probe context
     pub fn handle_copyback_probed<P: Probe>(
         &mut self,
         block: BlockAddr,
         from: NodeId,
         carried: SharerSet,
+        retained: bool,
         home: NodeId,
         t: Cycle,
         probe: &mut P,
     ) -> Completion {
         let before = self.snapshot(block);
-        let c = self.handle_copyback(block, from, carried);
+        let c = self.handle_copyback(block, from, carried, retained);
         self.emit_fsm(probe, t, home, block, HomeReq::CopyBack, before, false, false);
         c
     }
@@ -957,7 +1106,7 @@ mod tests {
             DirAction::ForwardCtoC { owner: 7, requester: 2, write_intent: false, owner_seq: 1 }
         );
         assert_eq!(d.stats().reads_ctoc, 1);
-        let c = d.handle_copyback(B, 7, SharerSet::EMPTY);
+        let c = d.handle_copyback(B, 7, SharerSet::EMPTY, false);
         assert_eq!(c.actions, vec![DirAction::ReadReplyClean { to: 2 }]);
         let expected: SharerSet = [2u8, 7].into_iter().collect();
         assert_eq!(d.state(B), DirState::Shared(expected));
@@ -972,7 +1121,7 @@ mod tests {
             act,
             DirAction::ForwardCtoC { owner: 7, requester: 2, write_intent: true, owner_seq: 1 }
         );
-        let c = d.handle_copyback(B, 7, SharerSet::EMPTY);
+        let c = d.handle_copyback(B, 7, SharerSet::EMPTY, false);
         assert!(c.actions.is_empty(), "ownership transfer needs no home reply");
         assert_eq!(d.state(B), DirState::Modified(2));
     }
@@ -984,7 +1133,7 @@ mod tests {
         d.handle_read(B, 1); // busy: CtoC
         assert_eq!(d.handle_read(B, 2), DirAction::Queued);
         assert_eq!(d.handle_write(B, 3), DirAction::Queued);
-        let c = d.handle_copyback(B, 7, SharerSet::EMPTY);
+        let c = d.handle_copyback(B, 7, SharerSet::EMPTY, false);
         assert_eq!(
             c.replay,
             vec![
@@ -1046,7 +1195,7 @@ mod tests {
         d.handle_write(B, 7);
         // Switch directory served requester 4 directly; owner's copyback is
         // marked with pid 4 and arrives unsolicited.
-        let c = d.handle_copyback(B, 7, SharerSet::singleton(4));
+        let c = d.handle_copyback(B, 7, SharerSet::singleton(4), false);
         assert!(c.actions.is_empty());
         let expected: SharerSet = [4u8, 7].into_iter().collect();
         assert_eq!(d.state(B), DirState::Shared(expected));
@@ -1071,7 +1220,7 @@ mod tests {
                               // But a switch-initiated *read* CtoC completed first: owner 7 copies
                               // back marked with new sharer 4. Sharers {7,4} must be invalidated
                               // before 2 can own the block.
-        let c = d.handle_copyback(B, 7, SharerSet::singleton(4));
+        let c = d.handle_copyback(B, 7, SharerSet::singleton(4), false);
         let expected: SharerSet = [4u8, 7].into_iter().collect();
         assert_eq!(c.actions, vec![DirAction::Invalidate { targets: expected, writer: 2 }]);
         d.handle_inval_ack(B);
@@ -1102,8 +1251,8 @@ mod tests {
         assert_eq!(d.stats().peak_busy, 2);
         assert_eq!(d.stats().peak_pending, 1);
         // Completions drain the occupancy but peaks persist.
-        d.handle_copyback(B, 7, SharerSet::EMPTY);
-        d.handle_copyback(BlockAddr(43), 5, SharerSet::EMPTY);
+        d.handle_copyback(B, 7, SharerSet::EMPTY, false);
+        d.handle_copyback(BlockAddr(43), 5, SharerSet::EMPTY, false);
         assert!(!d.is_busy(B) && !d.is_busy(BlockAddr(43)));
         assert_eq!(d.stats().peak_busy, 2);
         // Merge takes the max of peaks, the sum of lookups.
@@ -1134,7 +1283,7 @@ mod tests {
         let mut d = HomeDirectory::with_nodes(8, 16);
         d.handle_write(B, 7);
         let carried: SharerSet = [4u8, 40].into_iter().collect();
-        d.handle_copyback(B, 7, carried);
+        d.handle_copyback(B, 7, carried, false);
         // The valid pid folded in; the bogus one was dropped, not wrapped.
         let expected: SharerSet = [4u8, 7].into_iter().collect();
         assert_eq!(d.state(B), DirState::Shared(expected));
@@ -1171,5 +1320,114 @@ mod tests {
         assert!(d.tracked_blocks() > 0);
         d.compact();
         assert_eq!(d.tracked_blocks(), 0);
+    }
+
+    #[test]
+    fn mesi_cold_read_grants_exclusive_and_books_owner() {
+        let mut d = HomeDirectory::with_protocol(8, 16, Protocol::Mesi);
+        assert_eq!(d.handle_read(B, 3), DirAction::ReadReplyExcl { to: 3, seq: 1 });
+        // Booked as ownership: a later reader goes through an intervention.
+        assert_eq!(d.state(B), DirState::Modified(3));
+        assert_eq!(d.stats().reads_clean, 1);
+        assert_eq!(
+            d.handle_read(B, 5),
+            DirAction::ForwardCtoC { owner: 3, requester: 5, write_intent: false, owner_seq: 1 }
+        );
+        // Under MSI the same cold read stays a plain shared fill.
+        let mut msi = HomeDirectory::with_nodes(8, 16);
+        assert_eq!(msi.handle_read(B, 3), DirAction::ReadReplyClean { to: 3 });
+        assert_eq!(msi.state(B), DirState::Shared(SharerSet::singleton(3)));
+    }
+
+    #[test]
+    fn dls_read_to_modified_bypasses_the_intervention() {
+        let mut d = HomeDirectory::with_protocol(8, 16, Protocol::Dls);
+        d.handle_write(B, 7);
+        // The directoryless baseline serves the read from memory: no busy
+        // state, no forwarded intervention, owner still booked.
+        assert_eq!(d.handle_read(B, 2), DirAction::ReadReplyClean { to: 2 });
+        assert_eq!(d.state(B), DirState::Modified(7));
+        assert!(!d.is_busy(B));
+        assert_eq!(d.stats().reads_ctoc, 0);
+        assert_eq!(d.stats().reads_clean, 1);
+        // The owner's own writeback race still NAKs.
+        assert_eq!(d.handle_read(B, 7), DirAction::Nak { to: 7 });
+    }
+
+    #[test]
+    fn moesi_retained_copyback_enters_owned_and_owner_keeps_serving() {
+        let mut d = HomeDirectory::with_protocol(8, 16, Protocol::Moesi);
+        d.handle_write(B, 7);
+        d.handle_read(B, 2); // ForwardCtoC to 7
+        let c = d.handle_copyback(B, 7, SharerSet::EMPTY, true);
+        assert_eq!(c.actions, vec![DirAction::ReadReplyClean { to: 2 }]);
+        assert_eq!(d.state(B), DirState::Owned { owner: 7, sharers: SharerSet::singleton(2) });
+        // Next read is again owner-supplied, and the retained copyback
+        // accumulates the new sharer without losing the old one.
+        assert_eq!(
+            d.handle_read(B, 4),
+            DirAction::ForwardCtoC { owner: 7, requester: 4, write_intent: false, owner_seq: 1 }
+        );
+        assert_eq!(d.stats().reads_ctoc, 2);
+        d.handle_copyback(B, 7, SharerSet::EMPTY, true);
+        let expected: SharerSet = [2u8, 4].into_iter().collect();
+        assert_eq!(d.state(B), DirState::Owned { owner: 7, sharers: expected });
+    }
+
+    #[test]
+    fn moesi_write_to_owned_invalidates_owner_and_sharers() {
+        let mut d = HomeDirectory::with_protocol(8, 16, Protocol::Moesi);
+        d.handle_write(B, 7);
+        d.handle_read(B, 2);
+        d.handle_copyback(B, 7, SharerSet::EMPTY, true); // Owned{7, {2}}
+        let act = d.handle_write(B, 3);
+        let expected: SharerSet = [2u8, 7].into_iter().collect();
+        assert_eq!(act, DirAction::Invalidate { targets: expected, writer: 3 });
+        d.handle_inval_ack(B);
+        let c = d.handle_inval_ack(B);
+        assert_eq!(c.actions, vec![DirAction::WriteReplyGrant { to: 3, seq: 2 }]);
+        assert_eq!(d.state(B), DirState::Modified(3));
+    }
+
+    #[test]
+    fn moesi_owner_upgrade_skips_self_invalidation() {
+        let mut d = HomeDirectory::with_protocol(8, 16, Protocol::Moesi);
+        d.handle_write(B, 7);
+        d.handle_read(B, 2);
+        d.handle_copyback(B, 7, SharerSet::EMPTY, true); // Owned{7, {2}}
+                                                         // The owner upgrading only invalidates the sharer, not itself.
+        assert_eq!(
+            d.handle_write(B, 7),
+            DirAction::Invalidate { targets: SharerSet::singleton(2), writer: 7 }
+        );
+        let c = d.handle_inval_ack(B);
+        assert_eq!(c.actions, vec![DirAction::WriteReplyGrant { to: 7, seq: 2 }]);
+        assert_eq!(d.state(B), DirState::Modified(7));
+    }
+
+    #[test]
+    fn moesi_owner_writeback_leaves_sharers_clean() {
+        let mut d = HomeDirectory::with_protocol(8, 16, Protocol::Moesi);
+        d.handle_write(B, 7);
+        d.handle_read(B, 2);
+        d.handle_copyback(B, 7, SharerSet::EMPTY, true); // Owned{7, {2}}
+        let c = d.handle_writeback(B, 7, SharerSet::EMPTY);
+        assert_eq!(c, Completion::default());
+        assert_eq!(d.state(B), DirState::Shared(SharerSet::singleton(2)));
+    }
+
+    #[test]
+    fn moesi_eviction_race_during_owned_read_merges_prior_sharers() {
+        let mut d = HomeDirectory::with_protocol(8, 16, Protocol::Moesi);
+        d.handle_write(B, 7);
+        d.handle_read(B, 2);
+        d.handle_copyback(B, 7, SharerSet::EMPTY, true); // Owned{7, {2}}
+        d.handle_read(B, 4); // busy CtoC to owner 7
+                             // Owner evicts before the intervention lands: requester is served
+                             // from memory and sharer 2's copy survives.
+        let c = d.handle_writeback(B, 7, SharerSet::EMPTY);
+        assert_eq!(c.actions, vec![DirAction::ReadReplyClean { to: 4 }]);
+        let expected: SharerSet = [2u8, 4].into_iter().collect();
+        assert_eq!(d.state(B), DirState::Shared(expected));
     }
 }

@@ -156,6 +156,9 @@ pub enum DirStateKind {
     Shared,
     /// One cache holds the block dirty.
     Modified,
+    /// One cache holds the block dirty *and* read-only copies exist
+    /// (MOESI's dirty-sharing state; never reported under MSI).
+    Owned,
 }
 
 impl DirStateKind {
@@ -165,6 +168,7 @@ impl DirStateKind {
             DirStateKind::Uncached => "U",
             DirStateKind::Shared => "S",
             DirStateKind::Modified => "M",
+            DirStateKind::Owned => "O",
         }
     }
 }

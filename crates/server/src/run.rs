@@ -88,6 +88,13 @@ pub fn validate(spec: &RunSpec) -> Result<ValidatedSpec, ServeError> {
     // The full config check (node count vs switch radix, cache geometry)
     // runs against the simulator the workload will actually use.
     if kind.is_trace_driven() {
+        if let Some(p) = spec.protocol.filter(|&p| p != dresar_types::Protocol::Msi) {
+            return Err(ServeError::BadField(format!(
+                "workload '{}' is trace-driven (constant-latency model, MSI only; \
+                 protocol '{p}' needs the execution-driven simulator)",
+                spec.workload
+            )));
+        }
         let mut cfg = TraceSimConfig::paper_table3();
         cfg.nodes = spec.nodes as usize;
         cfg.switch_dir = sd;
@@ -164,6 +171,7 @@ impl ValidatedSpec {
             let mut cfg = SystemConfig::paper_table2();
             cfg.nodes = self.spec.nodes as usize;
             cfg.switch_dir = self.sd;
+            cfg.protocol = self.spec.protocol.unwrap_or_default();
             let mut options = RunOptions {
                 transient_policy: TransientReadPolicy::Retry,
                 faults: self.faults,
@@ -240,6 +248,27 @@ mod tests {
             let err = validate(&spec).expect_err("spec must be rejected");
             assert_eq!(err.code(), code, "spec {spec:?}");
         }
+    }
+
+    #[test]
+    fn protocol_threads_through_and_trace_driven_rejects() {
+        let spec = RunSpec { protocol: Some(dresar_types::Protocol::Mesi), ..RunSpec::default() };
+        validate(&spec).expect("execution-driven spec accepts a protocol override");
+
+        let trace = RunSpec {
+            workload: "TPC-C".into(),
+            protocol: Some(dresar_types::Protocol::Mesi),
+            ..RunSpec::default()
+        };
+        let err = validate(&trace).expect_err("trace-driven spec must reject non-MSI protocols");
+        assert_eq!(err.code(), "bad_field");
+
+        let trace_msi = RunSpec {
+            workload: "TPC-C".into(),
+            protocol: Some(dresar_types::Protocol::Msi),
+            ..RunSpec::default()
+        };
+        validate(&trace_msi).expect("explicit MSI matches the trace-driven default");
     }
 
     #[test]

@@ -196,7 +196,7 @@ impl TraceSimulator {
             c.remove(owner);
             c
         };
-        let _ = self.dir.handle_copyback(block, owner, carried);
+        let _ = self.dir.handle_copyback(block, owner, carried, false);
     }
 
     /// Processes one read by processor `p`; returns the latency charged.
@@ -250,7 +250,7 @@ impl TraceSimulator {
             }
             DirAction::ForwardCtoC { owner, .. } => {
                 // The home-forwarded intervention completes atomically.
-                let c = self.dir.handle_copyback(block, owner, SharerSet::EMPTY);
+                let c = self.dir.handle_copyback(block, owner, SharerSet::EMPTY, false);
                 debug_assert_eq!(c.actions.len(), 1);
                 self.caches[owner as usize].set_state(block, LineState::Shared);
                 // The copyback still cleans stale switch entries.
@@ -302,7 +302,7 @@ impl TraceSimulator {
                 let mut intervention = self.mk_msg(MsgType::CtoCRequest, block, p, home);
                 let _ = self.walk_path(owner, home, &mut intervention, false);
                 self.caches[owner as usize].invalidate(block);
-                let _ = self.dir.handle_copyback(block, owner, SharerSet::EMPTY);
+                let _ = self.dir.handle_copyback(block, owner, SharerSet::EMPTY, false);
             }
             other => unreachable!("atomic trace model: unexpected {other:?}"),
         }

@@ -7,6 +7,7 @@
 //! wrong figures.
 
 use crate::addr::AddressMap;
+use crate::protocol::Protocol;
 
 /// Largest supported machine: the full range a `NodeId` (`u8`) can
 /// address. The hybrid `SharerSet` bitmap covers exactly this range, so no
@@ -171,6 +172,9 @@ pub struct SystemConfig {
     /// Switch-directory parameters; `None` simulates the base machine the
     /// paper normalizes against.
     pub switch_dir: Option<SwitchDirConfig>,
+    /// Coherence protocol the caches and home directories run
+    /// (default [`Protocol::Msi`], the paper's protocol).
+    pub protocol: Protocol,
 }
 
 impl SystemConfig {
@@ -197,6 +201,7 @@ impl SystemConfig {
                 buffer_flits: 4,
             },
             switch_dir: Some(SwitchDirConfig::paper_default()),
+            protocol: Protocol::Msi,
         }
     }
 

@@ -22,6 +22,8 @@
 //!   generators and consumed by the simulators.
 //! * [`json`] — a dependency-free JSON tree, writer and parser with the
 //!   [`ToJson`]/[`FromJson`] traits behind the `--json` telemetry surface.
+//! * [`protocol`] — the coherence-protocol family identifier
+//!   (MSI/MESI/MOESI + the directoryless baseline).
 //! * [`rng`] — the small seeded deterministic RNG the workload generators
 //!   and randomized tests draw from.
 //! * [`runspec`] — the canonical run-request struct ([`RunSpec`]) and its
@@ -34,6 +36,7 @@ pub mod config;
 pub mod fasthash;
 pub mod json;
 pub mod msg;
+pub mod protocol;
 pub mod refstream;
 pub mod rng;
 pub mod runspec;
@@ -44,6 +47,7 @@ pub use config::{SystemConfig, TraceSimConfig, MAX_NODES};
 pub use fasthash::{FastBuildHasher, FastHasher, FastMap, FastSet};
 pub use json::{FromJson, JsonError, JsonValue, ObjBuilder, ToJson, SCHEMA_VERSION};
 pub use msg::{Message, MsgType};
+pub use protocol::Protocol;
 pub use refstream::{MemRef, RefKind, StreamItem, Workload};
 pub use rng::SmallRng;
 pub use runspec::RunSpec;

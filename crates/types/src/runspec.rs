@@ -22,6 +22,7 @@
 //! reports, so a cache hit is indistinguishable from a re-run.
 
 use crate::json::{FromJson, JsonError, JsonValue, ToJson};
+use crate::protocol::Protocol;
 
 const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
 const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
@@ -66,6 +67,11 @@ pub struct RunSpec {
     /// echo, so the same run requested with different deadlines shares one
     /// cache entry and one byte-identical body.
     pub deadline_ms: Option<u64>,
+    /// Coherence protocol. `None` means the paper's MSI protocol; parsing
+    /// canonicalizes an explicit `"protocol":"msi"` to `None` so both
+    /// spellings share one digest, one cache entry and one echo body —
+    /// and so every pre-protocol-era spec keeps its v1 digest.
+    pub protocol: Option<Protocol>,
 }
 
 impl Default for RunSpec {
@@ -81,6 +87,7 @@ impl Default for RunSpec {
             seed: 0xD2E5_A25E,
             faults: None,
             deadline_ms: None,
+            protocol: None,
         }
     }
 }
@@ -110,6 +117,15 @@ impl RunSpec {
             None => fnv1a(fnv1a(h, b"faults\0"), &[0]),
             Some(s) => fold_str(fnv1a(fnv1a(h, b"faults\0"), &[1]), b"", s),
         };
+        // MSI (absent or explicit) folds nothing at all, so every
+        // pre-protocol-era spec keeps its exact v1 byte stream and digest;
+        // only the newer protocols extend the stream. The `parse` guarantee
+        // that no protocol label is empty keeps the extension unambiguous.
+        if let Some(p) = self.protocol {
+            if p != Protocol::Msi {
+                h = fold_str(h, b"protocol", p.as_str());
+            }
+        }
         h
     }
 
@@ -142,14 +158,19 @@ impl ToJson for RunSpec {
     /// bodies must be byte-identical for equal digests, and the deadline is
     /// not part of the digest.
     fn to_json(&self) -> JsonValue {
-        JsonValue::obj()
+        let b = JsonValue::obj()
             .field("workload", self.workload.as_str())
             .field("scale", self.scale.as_str())
             .field("nodes", self.nodes)
             .field("sd_entries", self.sd_entries.map(u64::from))
             .field("seed", self.seed)
-            .field("faults", self.faults.clone())
-            .build()
+            .field("faults", self.faults.clone());
+        // MSI is never echoed (it is canonicalized to `None` on parse), so
+        // pre-protocol-era bodies stay byte-identical.
+        match self.protocol {
+            Some(p) if p != Protocol::Msi => b.field("protocol", p.as_str()).build(),
+            _ => b.build(),
+        }
     }
 }
 
@@ -196,6 +217,24 @@ impl FromJson for RunSpec {
                         other => Some(other.as_u64().ok_or_else(|| {
                             JsonError::new("field `deadline_ms` must be an integer or null")
                         })?),
+                    }
+                }
+                "protocol" => {
+                    spec.protocol = match val {
+                        JsonValue::Null => None,
+                        other => {
+                            let s = other.as_str().ok_or_else(|| {
+                                JsonError::new("field `protocol` must be a string or null")
+                            })?;
+                            let p = Protocol::parse(s).ok_or_else(|| {
+                                JsonError::new(format!(
+                                    "field `protocol` has unknown value `{s}` \
+                                     (expected msi|mesi|moesi|dls)"
+                                ))
+                            })?;
+                            // Canonicalize: explicit MSI is the default.
+                            (p != Protocol::Msi).then_some(p)
+                        }
                     }
                 }
                 other => return Err(JsonError::new(format!("unknown field `{other}`"))),
@@ -254,6 +293,9 @@ mod tests {
             RunSpec { seed: 1, ..base.clone() },
             RunSpec { faults: Some("drop_ppm=100".into()), ..base.clone() },
             RunSpec { faults: Some(String::new()), ..base.clone() },
+            RunSpec { protocol: Some(Protocol::Mesi), ..base.clone() },
+            RunSpec { protocol: Some(Protocol::Moesi), ..base.clone() },
+            RunSpec { protocol: Some(Protocol::Dls), ..base.clone() },
         ];
         let mut digests: Vec<u64> = variants.iter().map(RunSpec::digest).collect();
         digests.push(base.digest());
@@ -300,6 +342,7 @@ mod tests {
             seed: 42,
             faults: Some("drop_ppm=2000,seed=7".into()),
             deadline_ms: None,
+            protocol: Some(Protocol::Moesi),
         };
         let back = RunSpec::from_json(&spec.to_json()).unwrap();
         assert_eq!(back, spec);
@@ -327,6 +370,53 @@ mod tests {
         assert_eq!(null.deadline_ms, None);
         assert!(RunSpec::from_json(
             &JsonValue::parse(r#"{"workload":"FFT","deadline_ms":"soon"}"#).unwrap()
+        )
+        .is_err());
+    }
+
+    /// The protocol field must be *scheduling-compatible* the way
+    /// `deadline_ms` is body-compatible: `"protocol":"msi"`, explicit
+    /// `null` and an absent field are one spec — one digest, one echo —
+    /// while the newer protocols digest distinctly. This is what keeps
+    /// every pre-protocol-era digest (and the committed BENCH baselines
+    /// keyed on them) valid.
+    #[test]
+    fn protocol_msi_and_absent_are_one_spec() {
+        let absent =
+            RunSpec::from_json(&JsonValue::parse(r#"{"workload":"FFT"}"#).unwrap()).unwrap();
+        let msi = RunSpec::from_json(
+            &JsonValue::parse(r#"{"workload":"FFT","protocol":"msi"}"#).unwrap(),
+        )
+        .unwrap();
+        let null =
+            RunSpec::from_json(&JsonValue::parse(r#"{"workload":"FFT","protocol":null}"#).unwrap())
+                .unwrap();
+        assert_eq!(msi.protocol, None, "explicit msi must canonicalize to None");
+        assert_eq!(null.protocol, None);
+        assert_eq!(absent.digest(), msi.digest());
+        assert_eq!(absent.digest(), null.digest());
+        assert_eq!(absent.to_json().dump(), msi.to_json().dump());
+        assert!(!msi.to_json().dump().contains("protocol"));
+        // Constructing Some(Msi) directly (bypassing parse) must still
+        // digest and echo as the canonical spec.
+        let direct = RunSpec { protocol: Some(Protocol::Msi), ..RunSpec::default() };
+        assert_eq!(direct.digest(), RunSpec::default().digest());
+        assert_eq!(direct.to_json().dump(), RunSpec::default().to_json().dump());
+
+        let mesi = RunSpec::from_json(
+            &JsonValue::parse(r#"{"workload":"FFT","protocol":"mesi"}"#).unwrap(),
+        )
+        .unwrap();
+        assert_eq!(mesi.protocol, Some(Protocol::Mesi));
+        assert_ne!(mesi.digest(), absent.digest());
+        assert!(mesi.to_json().dump().contains(r#""protocol":"mesi""#));
+        let err = RunSpec::from_json(
+            &JsonValue::parse(r#"{"workload":"FFT","protocol":"mosi"}"#).unwrap(),
+        )
+        .unwrap_err();
+        assert!(err.msg.contains("`protocol`"), "{err}");
+        assert!(RunSpec::from_json(
+            &JsonValue::parse(r#"{"workload":"FFT","protocol":3}"#).unwrap()
         )
         .is_err());
     }

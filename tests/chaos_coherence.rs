@@ -12,7 +12,7 @@ use dresar_workspace::dresar::system::{RunOptions, System};
 use dresar_workspace::faults::{FaultPlan, WatchdogConfig};
 use dresar_workspace::types::config::{SwitchDirConfig, SystemConfig};
 use dresar_workspace::types::rng::SmallRng;
-use dresar_workspace::types::{StreamItem, ToJson, Workload};
+use dresar_workspace::types::{Protocol, StreamItem, ToJson, Workload};
 
 fn chaos_seeds() -> Vec<u64> {
     let mut seeds = vec![1, 7, 42];
@@ -70,7 +70,12 @@ fn ordered_workload(blocks: u64) -> Workload {
 }
 
 fn cfg(sd: Option<u32>) -> SystemConfig {
+    cfg_proto(Protocol::Msi, sd)
+}
+
+fn cfg_proto(protocol: Protocol, sd: Option<u32>) -> SystemConfig {
     let mut cfg = SystemConfig::paper_table2();
+    cfg.protocol = protocol;
     cfg.switch_dir =
         sd.map(|entries| SwitchDirConfig { entries, ..SwitchDirConfig::paper_default() });
     cfg
@@ -130,6 +135,40 @@ fn hint_destroying_faults_never_break_coherence() {
             assert!(
                 c.ok(),
                 "seed {seed} schedule {name}: coherence violations: {:?}",
+                c.violations
+            );
+        }
+    }
+}
+
+/// The hint-only safety argument is protocol-independent: the same pinned
+/// seed matrix (including the CI-rotated `DRESAR_CHAOS_SEED`) must reach
+/// clean quiescence under MESI, with the per-protocol coherence audit
+/// accepting the Exclusive holders MESI's unshared read fills create.
+#[test]
+fn hint_destroying_faults_never_break_coherence_under_mesi() {
+    for seed in chaos_seeds() {
+        let w = random_workload(seed, 16, 120, 48);
+        let total = w.total_refs() as u64;
+        for (name, plan) in hint_only_schedules(seed) {
+            let r = System::new(cfg_proto(Protocol::Mesi, Some(1024)), &w).run(opts(plan));
+            assert!(
+                r.watchdog.is_none(),
+                "mesi seed {seed} schedule {name}: hint-only faults must not trip the \
+                 watchdog: {:?}",
+                r.watchdog
+            );
+            assert!(
+                r.sim_errors.is_empty(),
+                "mesi seed {seed} schedule {name}: sim errors {:?}",
+                r.sim_errors
+            );
+            assert_eq!(r.refs_executed, total, "mesi seed {seed} schedule {name}: lost refs");
+            let c = r.coherence.expect("verify_coherence was requested");
+            assert!(c.quiesced, "mesi seed {seed} schedule {name}: did not quiesce");
+            assert!(
+                c.ok(),
+                "mesi seed {seed} schedule {name}: coherence violations: {:?}",
                 c.violations
             );
         }
@@ -271,6 +310,39 @@ fn sd_disabled_mid_run_matches_base_machine_state() {
              per-block coherence state as the base machine"
         );
     }
+}
+
+/// The SD-disable digest argument also holds under MESI: hints only decide
+/// who serves a dirty read, never the quiesced state, so a MESI machine
+/// whose switch directories die mid-run must end in exactly the per-block
+/// coherence state of the MESI base machine (Exclusive holders included —
+/// the digest tags them distinctly from Shared and Modified).
+#[test]
+fn mesi_sd_disabled_mid_run_matches_base_machine_state() {
+    let w = ordered_workload(64);
+    let base_opts = RunOptions {
+        max_cycles: 500_000_000,
+        verify_coherence: true,
+        watchdog: Some(WatchdogConfig::default()),
+        ..Default::default()
+    };
+    let base = System::new(cfg_proto(Protocol::Mesi, None), &w).run(base_opts);
+    let base_c = base.coherence.clone().expect("verify_coherence was requested");
+    assert!(base_c.ok(), "mesi base machine violations: {:?}", base_c.violations);
+
+    let probe = System::new(cfg_proto(Protocol::Mesi, Some(1024)), &w).run(base_opts);
+    let plan = FaultPlan { disable_at: (probe.cycles / 2).max(1), ..FaultPlan::default() };
+    let r = System::new(cfg_proto(Protocol::Mesi, Some(1024)), &w).run(opts(plan));
+    assert!(r.watchdog.is_none(), "{:?}", r.watchdog);
+    assert!(r.sim_errors.is_empty(), "sim errors: {:?}", r.sim_errors);
+    assert_eq!(r.refs_executed, base.refs_executed);
+    let c = r.coherence.expect("verify_coherence was requested");
+    assert!(c.ok(), "violations: {:?}", c.violations);
+    assert_eq!(
+        c.digest, base_c.digest,
+        "degraded MESI run must quiesce in the same per-block coherence state as \
+         the MESI base machine"
+    );
 }
 
 #[test]
